@@ -1,0 +1,76 @@
+// Deployment-time extension (paper §1 motivation): image download dominates
+// container deployment, so shipping debug tools in every image is the cost
+// CNTR eliminates. Compares deploying the Top-50 as-shipped ("fat") versus
+// slim images + one shared tools image attached on demand.
+#include <cstdio>
+
+#include "src/container/engine.h"
+#include "src/slim/dataset.h"
+#include "src/slim/slimmer.h"
+
+using namespace cntr;
+
+int main() {
+  auto kernel = kernel::Kernel::Create();
+  container::ContainerRuntime runtime(kernel.get());
+  container::Registry registry(&kernel->clock());
+  container::DockerEngine docker(&runtime, &registry);
+  slim::DockerSlim slimmer(kernel.get(), &docker);
+
+  std::printf("=== Deployment time: fat images vs slim + shared tools (extension) ===\n\n");
+
+  auto dataset = slim::Top50Images();
+  // Build slim variants via the docker-slim pipeline.
+  std::vector<container::Image> fat_images;
+  std::vector<container::Image> slim_images;
+  for (auto& entry : dataset) {
+    auto result = slimmer.Analyze(entry.image, entry.runtime_paths);
+    if (!result.ok()) {
+      continue;
+    }
+    fat_images.push_back(entry.image);
+    slim_images.push_back(result->slim_image);
+  }
+
+  container::Image tools = container::MakeFatToolsImage();
+  for (auto& image : fat_images) {
+    registry.Push(image);
+  }
+  for (auto& image : slim_images) {
+    registry.Push(image);
+  }
+  registry.Push(tools);
+
+  // Deploy every image to a fresh node, fat vs slim+tools-once.
+  double fat_seconds = 0;
+  for (const auto& image : fat_images) {
+    auto est = registry.EstimatePullSeconds(image.Ref(), "node-fat");
+    if (est.ok()) {
+      fat_seconds += est.value();
+      (void)registry.Pull(image.Ref(), "node-fat");
+    }
+  }
+  double slim_seconds = 0;
+  {
+    auto est = registry.EstimatePullSeconds(tools.Ref(), "node-slim");
+    if (est.ok()) {
+      slim_seconds += est.value();
+      (void)registry.Pull(tools.Ref(), "node-slim");
+    }
+  }
+  for (const auto& image : slim_images) {
+    auto est = registry.EstimatePullSeconds(image.Ref(), "node-slim");
+    if (est.ok()) {
+      slim_seconds += est.value();
+      (void)registry.Pull(image.Ref(), "node-slim");
+    }
+  }
+
+  std::printf("deploy all 50 fat images:                 %7.1f s of transfer\n", fat_seconds);
+  std::printf("deploy 50 slim images + one tools image:  %7.1f s of transfer\n", slim_seconds);
+  std::printf("deployment-time reduction:                %6.1f%%\n",
+              fat_seconds > 0 ? (1 - slim_seconds / fat_seconds) * 100 : 0);
+  std::printf("\n(the tools image downloads once per node and serves every container via "
+              "cntr attach)\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Op-level microbenchmarks of the FUSE path (google-benchmark, manual time
+// from the virtual clock): per-op request latency through CntrFS vs the
+// native filesystem. Supporting data for Figure 2's per-workload analysis.
+#include <benchmark/benchmark.h>
+
+#include "src/workloads/harness.h"
+
+using namespace cntr;
+using namespace cntr::workloads;
+
+namespace {
+
+// Measures virtual ns per op of `fn` on a fresh side.
+template <typename Fn>
+void RunOpBench(benchmark::State& state, bool through_cntr, Fn&& op) {
+  HarnessOptions opts;
+  auto side = through_cntr ? BenchSide::MakeCntrFs(opts) : BenchSide::MakeNative(opts);
+  if (!side.ok()) {
+    state.SkipWithError("side setup failed");
+    return;
+  }
+  kernel::Kernel& kernel = (*side)->kernel();
+  // Setup: one directory with files to operate on.
+  auto proc = kernel.Fork(*kernel.init(), "micro");
+  std::string dir = through_cntr ? "/cntrmnt/data/bench" : "/data/bench";
+  int i = 0;
+  for (auto _ : state) {
+    uint64_t before = kernel.clock().NowNs();
+    op(kernel, *proc, dir, i++);
+    uint64_t elapsed = kernel.clock().NowNs() - before;
+    state.SetIterationTime(static_cast<double>(elapsed) * 1e-9);
+  }
+}
+
+void CreateUnlinkOp(kernel::Kernel& kernel, kernel::Process& proc, const std::string& dir,
+                    int i) {
+  std::string path = dir + "/micro-" + std::to_string(i);
+  auto fd = kernel.Open(proc, path, kernel::kOWrOnly | kernel::kOCreat, 0644);
+  if (fd.ok()) {
+    (void)kernel.Close(proc, fd.value());
+    (void)kernel.Unlink(proc, path);
+  }
+}
+
+void StatColdOp(kernel::Kernel& kernel, kernel::Process& proc, const std::string& dir, int i) {
+  static bool created = false;
+  std::string path = dir + "/stat-target";
+  if (!created) {
+    auto fd = kernel.Open(proc, path, kernel::kOWrOnly | kernel::kOCreat, 0644);
+    if (fd.ok()) {
+      (void)kernel.Close(proc, fd.value());
+    }
+    created = true;
+  }
+  kernel.dcache().Clear();  // force the lookup every iteration
+  (void)kernel.Stat(proc, path);
+}
+
+void Write4kOp(kernel::Kernel& kernel, kernel::Process& proc, const std::string& dir, int i) {
+  static kernel::Fd fd = -1;
+  static kernel::Kernel* owner = nullptr;
+  if (owner != &kernel) {
+    auto opened = kernel.Open(proc, dir + "/write-target", kernel::kOWrOnly | kernel::kOCreat,
+                              0644);
+    fd = opened.ok() ? opened.value() : -1;
+    owner = &kernel;
+  }
+  char buf[4096] = {};
+  (void)kernel.Pwrite(proc, fd, buf, sizeof(buf), static_cast<uint64_t>(i % 1024) * 4096);
+}
+
+void BM_CreateUnlink_Native(benchmark::State& state) {
+  RunOpBench(state, false, CreateUnlinkOp);
+}
+void BM_CreateUnlink_CntrFs(benchmark::State& state) {
+  RunOpBench(state, true, CreateUnlinkOp);
+}
+void BM_StatCold_Native(benchmark::State& state) { RunOpBench(state, false, StatColdOp); }
+void BM_StatCold_CntrFs(benchmark::State& state) { RunOpBench(state, true, StatColdOp); }
+void BM_Write4k_Native(benchmark::State& state) { RunOpBench(state, false, Write4kOp); }
+void BM_Write4k_CntrFs(benchmark::State& state) { RunOpBench(state, true, Write4kOp); }
+
+}  // namespace
+
+BENCHMARK(BM_CreateUnlink_Native)->UseManualTime()->Iterations(2000);
+BENCHMARK(BM_CreateUnlink_CntrFs)->UseManualTime()->Iterations(2000);
+BENCHMARK(BM_StatCold_Native)->UseManualTime()->Iterations(2000);
+BENCHMARK(BM_StatCold_CntrFs)->UseManualTime()->Iterations(2000);
+BENCHMARK(BM_Write4k_Native)->UseManualTime()->Iterations(2000);
+BENCHMARK(BM_Write4k_CntrFs)->UseManualTime()->Iterations(2000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Figure 2 reproduction: relative performance overhead of CntrFS for the
+// Phoronix disk suite, paper-vs-measured for each of the twenty benchmarks.
+//
+// Absolute values differ from the paper (different substrate); the shape —
+// which workloads hurt, which are free, and where CntrFS wins — is the
+// reproduction target. All timings are virtual (deterministic).
+#include <cstdio>
+
+#include "src/workloads/harness.h"
+
+int main() {
+  using namespace cntr::workloads;
+
+  std::printf("=== Figure 2: Relative overhead of CNTR on the Phoronix suite ===\n");
+  std::printf("(ratio > 1: CntrFS slower than native; < 1: CntrFS faster)\n\n");
+
+  HarnessOptions opts;  // all optimizations on, 4 server threads
+  std::vector<ComparisonRow> rows;
+  auto suite = MakePhoronixSuite();
+  for (auto& entry : suite) {
+    auto row = CompareWorkload(*entry.workload, entry.paper_overhead, opts);
+    if (!row.ok()) {
+      std::printf("%-26s FAILED: %s\n", entry.workload->Name().c_str(),
+                  row.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-26s measured %5.1fx   paper %5.1fx\n", row->name.c_str(), row->overhead,
+                row->paper_overhead);
+    std::fflush(stdout);
+    rows.push_back(std::move(row).value());
+  }
+
+  std::printf("\n%s\n", FormatComparisonTable(rows, "Figure 2 — full results").c_str());
+
+  // Geometric-mean sanity over shape agreement.
+  int in_band = 0;
+  for (const auto& row : rows) {
+    bool both_fast = row.overhead < 1.05 && row.paper_overhead < 1.05;
+    bool same_direction = (row.overhead >= 1.0) == (row.paper_overhead >= 1.0);
+    double ratio = row.paper_overhead > 0 ? row.overhead / row.paper_overhead : 0;
+    if (both_fast || (same_direction && ratio > 0.4 && ratio < 2.5)) {
+      ++in_band;
+    }
+  }
+  std::printf("shape agreement: %d/%zu benchmarks within band of the paper\n", in_band,
+              rows.size());
+  return 0;
+}

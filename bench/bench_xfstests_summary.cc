@@ -1,0 +1,60 @@
+// §5.1 reproduction: the xfstests generic-group result table. Runs the 94
+// ported generic tests (CntrFS mounted over tmpfs) in-process and prints the
+// pass/fail surface next to the paper's: 90/94 passing, with the four
+// documented deviations #228, #375, #391, #426.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+class SummaryListener : public ::testing::EmptyTestEventListener {
+ public:
+  int total = 0;
+  int passed = 0;
+  std::vector<std::string> failures;
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    ++total;
+    if (info.result()->Passed()) {
+      ++passed;
+    } else {
+      failures.push_back(std::string(info.test_suite_name()) + "." + info.name());
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  ::testing::GTEST_FLAG(filter) = "XfsTest.*";
+  auto& listeners = ::testing::UnitTest::GetInstance()->listeners();
+  delete listeners.Release(listeners.default_result_printer());
+  auto* summary = new SummaryListener();
+  listeners.Append(summary);
+
+  int rc = RUN_ALL_TESTS();
+
+  std::printf("=== xfstests generic group over CntrFS-on-tmpfs (paper 5.1) ===\n\n");
+  std::printf("tests run:      %d    (paper: 94)\n", summary->total);
+  std::printf("tests passed:   %d    (paper: 90 passed + 4 documented failures)\n",
+              summary->passed);
+  std::printf("\nThe paper's four failures are asserted as deviations and therefore\n"
+              "*pass* here when CntrFS exhibits the documented non-POSIX behaviour:\n");
+  std::printf("  #228  RLIMIT_FSIZE not enforced (ops replay as the server)\n");
+  std::printf("  #375  SETGID not cleared on chmod (setfsuid/setfsgid delegation)\n");
+  std::printf("  #391  O_DIRECT unsupported (mmap chosen over direct I/O)\n");
+  std::printf("  #426  name_to_handle_at unsupported (inodes not persistent)\n");
+  if (!summary->failures.empty()) {
+    std::printf("\nUNEXPECTED failures (%zu):\n", summary->failures.size());
+    for (const auto& name : summary->failures) {
+      std::printf("  %s\n", name.c_str());
+    }
+  } else {
+    std::printf("\nno unexpected failures — functional surface matches the paper's 90/94\n");
+  }
+  return rc;
+}

@@ -1,0 +1,73 @@
+// Container-to-container debugging (paper use case 1): a production
+// database container stays slim; gdb, strace and friends live in a separate
+// "fat" debug image that CNTR attaches on demand.
+//
+//   ./build/examples/debug_container
+#include <cstdio>
+
+#include "src/container/engine.h"
+#include "src/core/attach.h"
+
+using namespace cntr;
+
+int main() {
+  auto kernel = kernel::Kernel::Create();
+  container::ContainerRuntime runtime(kernel.get());
+  container::Registry registry(&kernel->clock());
+  auto docker = std::make_shared<container::DockerEngine>(&runtime, &registry);
+
+  // Production container: postgres, nothing else.
+  container::Image pg("acme/postgres", "slim");
+  container::Layer layer;
+  layer.id = "postgres";
+  layer.files.push_back({"/usr/bin/postgres", 24 << 20, 0755,
+                         container::FileClass::kAppBinary, ""});
+  layer.files.push_back({"/etc/postgresql.conf", 0, 0644, container::FileClass::kConfig,
+                         "max_connections=100\nshared_buffers=128MB\n"});
+  pg.AddLayer(std::move(layer));
+  pg.entrypoint() = "/usr/bin/postgres";
+  auto db = docker->Run("prod-db", pg);
+  if (!db.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  // One debug container serves every application container (paper: "a
+  // single debugging container to serve many application containers").
+  auto tools = docker->Run("debug-tools", container::MakeFatToolsImage("debian"));
+  if (!tools.ok()) {
+    std::fprintf(stderr, "tools run failed: %s\n", tools.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("slim image:  %.1f MB\n", pg.TotalBytes() / 1048576.0);
+  std::printf("fat image:   %.1f MB (stays out of production)\n\n",
+              container::MakeFatToolsImage("debian").TotalBytes() / 1048576.0);
+
+  core::Cntr cntr(kernel.get());
+  cntr.RegisterEngine(docker);
+  core::AttachOptions opts;
+  opts.fat_container = "debug-tools";
+  auto session = cntr.Attach("docker", "prod-db", opts);
+  if (!session.ok()) {
+    std::fprintf(stderr, "attach failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+
+  // gdb comes from the debug container; the process tree and config are the
+  // production container's.
+  std::printf("$ which gdb\n%s", session.value()->Execute("which gdb").c_str());
+  std::printf("\n$ which strace\n%s", session.value()->Execute("which strace").c_str());
+  std::printf("\n$ ps\n%s", session.value()->Execute("ps").c_str());
+  std::printf("\n$ gdb -p 1\n%s", session.value()->Execute("gdb -p 1").c_str());
+  std::printf("\n$ cat /var/lib/cntr/etc/postgresql.conf\n%s",
+              session.value()->Execute("cat /var/lib/cntr/etc/postgresql.conf").c_str());
+
+  // CntrFS statistics: what the attach cost in filesystem traffic.
+  auto stats = session.value()->cntrfs()->stats();
+  std::printf("\ncntrfs served: %llu lookups, %llu reads, %llu writes\n",
+              static_cast<unsigned long long>(stats.lookups),
+              static_cast<unsigned long long>(stats.reads),
+              static_cast<unsigned long long>(stats.writes));
+
+  return session.value()->Detach().ok() ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Container-to-host administration (paper use case 3): on container-
+// oriented distributions (CoreOS, RancherOS) the host has no package
+// manager; admin tools live in a privileged debug container, and CNTR gives
+// that container access to the host filesystem.
+//
+//   ./build/examples/host_admin
+#include <cstdio>
+
+#include "src/container/engine.h"
+#include "src/core/attach.h"
+
+using namespace cntr;
+
+int main() {
+  auto kernel = kernel::Kernel::Create();
+  container::ContainerRuntime runtime(kernel.get());
+  container::Registry registry(&kernel->clock());
+  auto docker = std::make_shared<container::DockerEngine>(&runtime, &registry);
+
+  // The toolbox container carries every admin tool the host lacks.
+  auto toolbox = docker->Run("toolbox", container::MakeFatToolsImage("debian"));
+  if (!toolbox.ok()) {
+    std::fprintf(stderr, "toolbox run failed: %s\n", toolbox.status().ToString().c_str());
+    return 1;
+  }
+
+  // Attach to the HOST (pid 1) with tools from the toolbox container: the
+  // shell runs in the host's namespaces, tools resolve through CntrFS into
+  // the toolbox image, and the host root is at /var/lib/cntr.
+  core::Cntr cntr(kernel.get());
+  cntr.RegisterEngine(docker);
+  core::AttachOptions opts;
+  opts.fat_container = "toolbox";
+  auto session = cntr.AttachPid(kernel->init()->global_pid(), opts);
+  if (!session.ok()) {
+    std::fprintf(stderr, "attach failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("attached to the host with toolbox tools\n\n");
+  std::printf("$ which htop        (from the toolbox image)\n%s",
+              session.value()->Execute("which htop").c_str());
+  std::printf("\n$ ls /var/lib/cntr  (the host root filesystem)\n%s",
+              session.value()->Execute("ls /var/lib/cntr").c_str());
+  std::printf("\n$ hostname          (the host's, not the toolbox's)\n%s",
+              session.value()->Execute("hostname").c_str());
+
+  // Administer the host: drop a config file onto the host filesystem.
+  session.value()->Execute("write /var/lib/cntr/etc/motd maintained-via-cntr");
+  auto fd = kernel->Open(*kernel->init(), "/etc/motd", kernel::kORdOnly);
+  if (fd.ok()) {
+    char buf[64] = {};
+    auto n = kernel->Read(*kernel->init(), fd.value(), buf, sizeof(buf));
+    std::printf("\nhost /etc/motd now reads: %s\n",
+                n.ok() ? std::string(buf, n.value()).c_str() : "?");
+    (void)kernel->Close(*kernel->init(), fd.value());
+  }
+
+  return session.value()->Detach().ok() ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Lambda debugging (paper §6 future work, implemented here): serverless
+// platforms give you no shell into an invocation; CNTR does. Deploy a
+// function, invoke it, then attach a fully tooled shell to the warm
+// instance while it keeps serving traffic.
+//
+//   ./build/examples/lambda_debug
+#include <cstdio>
+
+#include "src/container/lambda.h"
+#include "src/core/attach.h"
+
+using namespace cntr;
+
+int main() {
+  auto kernel = kernel::Kernel::Create();
+  container::ContainerRuntime runtime(kernel.get());
+  container::Registry registry(&kernel->clock());
+  auto docker = std::make_shared<container::DockerEngine>(&runtime, &registry);
+  container::LambdaPlatform platform(kernel.get(), &runtime);
+
+  // Deploy a python function.
+  container::FunctionSpec fn;
+  fn.name = "resize-image";
+  fn.runtime = "python3.9";
+  fn.handler = [](kernel::Kernel* k, kernel::Process& proc,
+                  const std::string& payload) -> StatusOr<std::string> {
+    auto fd = k->Open(proc, "/tmp/processed.log",
+                      kernel::kOWrOnly | kernel::kOCreat | kernel::kOAppend);
+    if (fd.ok()) {
+      std::string line = payload + "\n";
+      (void)k->Write(proc, fd.value(), line.data(), line.size());
+      (void)k->Close(proc, fd.value());
+    }
+    k->clock().Advance(3'000'000);
+    return "resized:" + payload;
+  };
+  if (!platform.Deploy(std::move(fn)).ok()) {
+    return 1;
+  }
+
+  // Traffic arrives.
+  for (const char* img : {"cat.jpg", "dog.png", "fox.gif"}) {
+    auto result = platform.Invoke("resize-image", img);
+    if (!result.ok()) {
+      std::fprintf(stderr, "invoke failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("invoke(%-8s) -> %-18s %s %.2f ms\n", img, result->response.c_str(),
+                result->cold_start ? "COLD" : "warm", result->duration_ms);
+  }
+
+  // Something looks slow — attach with the debug image, live.
+  auto tools = docker->Run("lambda-debug", container::MakeFatToolsImage());
+  if (!tools.ok()) {
+    return 1;
+  }
+  core::Cntr cntr(kernel.get());
+  cntr.RegisterEngine(std::make_shared<container::LambdaEngine>(&platform));
+  cntr.RegisterEngine(docker);
+  core::AttachOptions opts;
+  opts.fat_container = "lambda-debug";
+  opts.fat_engine = "docker";
+  auto session = cntr.Attach("lambda", "resize-image", opts);
+  if (!session.ok()) {
+    std::fprintf(stderr, "attach failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nattached to the warm instance:\n");
+  std::printf("$ which strace\n%s", session.value()->Execute("which strace").c_str());
+  std::printf("$ cat /var/lib/cntr/tmp/processed.log\n%s",
+              session.value()->Execute("cat /var/lib/cntr/tmp/processed.log").c_str());
+  std::printf("$ gdb -p 1\n%s", session.value()->Execute("gdb -p 1").c_str());
+
+  // The function keeps serving while we are attached.
+  auto live = platform.Invoke("resize-image", "owl.jpg");
+  if (live.ok()) {
+    std::printf("\ninvocation during debug session: %s (%s)\n", live->response.c_str(),
+                live->cold_start ? "COLD" : "warm");
+  }
+  return session.value()->Detach().ok() ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// The full CNTR story (paper §1 + §5.3): take a fat image, slim it with the
+// docker-slim pipeline, deploy the slim variant, and recover the dropped
+// tooling on demand with cntr attach.
+//
+//   ./build/examples/slim_deploy
+#include <cstdio>
+
+#include "src/container/engine.h"
+#include "src/core/attach.h"
+#include "src/slim/dataset.h"
+#include "src/slim/slimmer.h"
+
+using namespace cntr;
+
+int main() {
+  auto kernel = kernel::Kernel::Create();
+  container::ContainerRuntime runtime(kernel.get());
+  container::Registry registry(&kernel->clock());
+  auto docker = std::make_shared<container::DockerEngine>(&runtime, &registry);
+
+  // Pick a representative image from the Top-50 dataset (nginx).
+  auto dataset = slim::Top50Images();
+  const slim::DatasetImage* nginx = nullptr;
+  for (const auto& entry : dataset) {
+    if (entry.image.name() == "library/nginx") {
+      nginx = &entry;
+      break;
+    }
+  }
+  if (nginx == nullptr) {
+    std::fprintf(stderr, "nginx not in dataset\n");
+    return 1;
+  }
+
+  // 1. docker-slim: run, trace accesses, rebuild, validate.
+  slim::DockerSlim slimmer(kernel.get(), docker.get());
+  auto result = slimmer.Analyze(nginx->image, nginx->runtime_paths);
+  if (!result.ok()) {
+    std::fprintf(stderr, "slim failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("nginx:  %.1f MB  ->  %.1f MB   (-%.1f%%, validated=%s)\n",
+              result->original_bytes / 1048576.0, result->slim_bytes / 1048576.0,
+              result->reduction_pct, result->validated ? "yes" : "no");
+
+  // 2. Deployment cost, fat vs slim (registry bandwidth model).
+  registry.Push(nginx->image);
+  registry.Push(result->slim_image);
+  auto fat_secs = registry.EstimatePullSeconds(nginx->image.Ref(), "prod-node");
+  auto slim_secs = registry.EstimatePullSeconds(result->slim_image.Ref(), "prod-node");
+  if (fat_secs.ok() && slim_secs.ok()) {
+    std::printf("deploy time: fat %.2fs  vs  slim %.2fs\n", fat_secs.value(),
+                slim_secs.value());
+  }
+
+  // 3. Run the slim image in production.
+  auto prod = docker->RunFromRegistry("nginx-prod", result->slim_image.Ref());
+  if (!prod.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", prod.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Three months later, something is wrong: attach the fat tools.
+  auto tools = docker->Run("debug-tools", container::MakeFatToolsImage());
+  if (!tools.ok()) {
+    std::fprintf(stderr, "tools failed: %s\n", tools.status().ToString().c_str());
+    return 1;
+  }
+  core::Cntr cntr(kernel.get());
+  cntr.RegisterEngine(docker);
+  core::AttachOptions opts;
+  opts.fat_container = "debug-tools";
+  auto session = cntr.Attach("docker", "nginx-prod", opts);
+  if (!session.ok()) {
+    std::fprintf(stderr, "attach failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nattached to the slimmed container with full tooling:\n");
+  std::printf("$ which gdb\n%s", session.value()->Execute("which gdb").c_str());
+  std::printf("$ stat /var/lib/cntr/usr/bin/nginx\n%s",
+              session.value()->Execute("stat /var/lib/cntr/usr/bin/nginx").c_str());
+  std::printf("\nslim in production, fat on demand — no rebuild, no redeploy.\n");
+  return session.value()->Detach().ok() ? 0 : 1;
+}

@@ -1,0 +1,158 @@
+#include "src/container/engine.h"
+
+#include <cerrno>
+
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace cntr::container {
+
+StatusOr<ContainerPtr> ContainerEngine::Run(const std::string& name, const Image& image,
+                                            ContainerSpec spec) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (by_name_.count(name) != 0) {
+      return Status::Error(EEXIST, EngineName() + ": container name in use: " + name);
+    }
+  }
+  spec.name = name;
+  spec.id = MakeContainerId(name);
+  spec.image = image;
+  spec.cgroup_parent = CgroupParent(spec.id);
+  if (spec.lsm.unconfined()) {
+    spec.lsm = DefaultLsmProfile();
+  }
+  CNTR_ASSIGN_OR_RETURN(ContainerPtr container, runtime_->Start(std::move(spec)));
+  std::lock_guard<std::mutex> lock(mu_);
+  by_name_[name] = container;
+  return container;
+}
+
+StatusOr<ContainerPtr> ContainerEngine::RunFromRegistry(const std::string& name,
+                                                        const std::string& image_ref,
+                                                        ContainerSpec spec) {
+  if (registry_ == nullptr) {
+    return Status::Error(EINVAL, "engine has no registry");
+  }
+  CNTR_ASSIGN_OR_RETURN(Image image, registry_->Pull(image_ref, "local-node"));
+  return Run(name, image, std::move(spec));
+}
+
+StatusOr<ContainerPtr> ContainerEngine::FindByNameOrIdPrefix(const std::string& key,
+                                                             bool allow_prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(key);
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  if (allow_prefix && key.size() >= 4) {
+    ContainerPtr match;
+    for (const auto& [name, container] : by_name_) {
+      if (StartsWith(container->id(), key)) {
+        if (match != nullptr) {
+          return Status::Error(EINVAL, "ambiguous container id prefix: " + key);
+        }
+        match = container;
+      }
+    }
+    if (match != nullptr) {
+      return match;
+    }
+  }
+  return Status::Error(ENOENT, EngineName() + ": no such container: " + key);
+}
+
+StatusOr<ContainerPtr> ContainerEngine::Find(const std::string& name) const {
+  return FindByNameOrIdPrefix(name, /*allow_prefix=*/true);
+}
+
+std::vector<std::string> ContainerEngine::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, _] : by_name_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+Status ContainerEngine::Stop(const std::string& name) {
+  CNTR_ASSIGN_OR_RETURN(ContainerPtr container, Find(name));
+  CNTR_RETURN_IF_ERROR(runtime_->Stop(container));
+  std::lock_guard<std::mutex> lock(mu_);
+  by_name_.erase(container->name());
+  return Status::Ok();
+}
+
+StatusOr<kernel::Pid> ContainerEngine::ResolveNameToPid(const std::string& name) const {
+  CNTR_ASSIGN_OR_RETURN(ContainerPtr container, FindByNameOrIdPrefix(name, false));
+  if (!container->running()) {
+    return Status::Error(ESRCH, "container not running: " + name);
+  }
+  return container->init_proc()->global_pid();
+}
+
+namespace {
+
+// Deterministic hex id from a name (docker-style 64-hex, seeded).
+std::string HexId(const std::string& name, size_t length) {
+  Rng rng(std::hash<std::string>()(name) | 1);
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(kHex[rng.Below(16)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DockerEngine::MakeContainerId(const std::string& name) const {
+  return HexId("docker:" + name, 64);
+}
+
+StatusOr<kernel::Pid> DockerEngine::ResolveNameToPid(const std::string& name) const {
+  // docker inspect accepts a name, full id, or unambiguous id prefix.
+  CNTR_ASSIGN_OR_RETURN(ContainerPtr container, FindByNameOrIdPrefix(name, true));
+  if (!container->running()) {
+    return Status::Error(ESRCH, "docker: container not running: " + name);
+  }
+  return container->init_proc()->global_pid();
+}
+
+StatusOr<kernel::Pid> LxcEngine::ResolveNameToPid(const std::string& name) const {
+  // lxc-info -n <name> -p: exact names only.
+  CNTR_ASSIGN_OR_RETURN(ContainerPtr container, FindByNameOrIdPrefix(name, false));
+  if (!container->running()) {
+    return Status::Error(ESRCH, "lxc: container not running: " + name);
+  }
+  return container->init_proc()->global_pid();
+}
+
+std::string RktEngine::MakeContainerId(const std::string& name) const {
+  // rkt pod uuids: 8-4-4-4-12.
+  std::string hex = HexId("rkt:" + name, 32);
+  return hex.substr(0, 8) + "-" + hex.substr(8, 4) + "-" + hex.substr(12, 4) + "-" +
+         hex.substr(16, 4) + "-" + hex.substr(20, 12);
+}
+
+StatusOr<kernel::Pid> RktEngine::ResolveNameToPid(const std::string& name) const {
+  // rkt status accepts uuid prefixes.
+  CNTR_ASSIGN_OR_RETURN(ContainerPtr container, FindByNameOrIdPrefix(name, true));
+  if (!container->running()) {
+    return Status::Error(ESRCH, "rkt: pod not running: " + name);
+  }
+  return container->init_proc()->global_pid();
+}
+
+StatusOr<kernel::Pid> NspawnEngine::ResolveNameToPid(const std::string& name) const {
+  // machinectl show <name> --property=Leader: exact machine names.
+  CNTR_ASSIGN_OR_RETURN(ContainerPtr container, FindByNameOrIdPrefix(name, false));
+  if (!container->running()) {
+    return Status::Error(ESRCH, "machinectl: machine not running: " + name);
+  }
+  return container->init_proc()->global_pid();
+}
+
+}  // namespace cntr::container

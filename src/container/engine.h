@@ -1,0 +1,133 @@
+// Container engine adapters: Docker, LXC, rkt, systemd-nspawn.
+//
+// CNTR does not speak to engine APIs; it only needs the engine-specific
+// name-to-pid resolution (paper §3.2.1, ~70 LoC per engine in the Rust
+// implementation). Each adapter here reproduces its engine's conventions:
+// id format, name resolution rules, cgroup hierarchy, and LSM profile.
+#ifndef CNTR_SRC_CONTAINER_ENGINE_H_
+#define CNTR_SRC_CONTAINER_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/container/registry.h"
+#include "src/container/runtime.h"
+
+namespace cntr::container {
+
+class ContainerEngine {
+ public:
+  ContainerEngine(ContainerRuntime* runtime, Registry* registry)
+      : runtime_(runtime), registry_(registry) {}
+  virtual ~ContainerEngine() = default;
+
+  virtual std::string EngineName() const = 0;
+
+  // Runs a container from an image reference (pulled from the registry if
+  // attached) under this engine's conventions.
+  StatusOr<ContainerPtr> Run(const std::string& name, const Image& image,
+                             ContainerSpec spec_template = ContainerSpec{});
+  StatusOr<ContainerPtr> RunFromRegistry(const std::string& name, const std::string& image_ref,
+                                         ContainerSpec spec_template = ContainerSpec{});
+
+  // Engine-specific name resolution to the pid of the container's init —
+  // the only thing CNTR needs from an engine.
+  virtual StatusOr<kernel::Pid> ResolveNameToPid(const std::string& name) const;
+
+  StatusOr<ContainerPtr> Find(const std::string& name) const;
+  std::vector<std::string> List() const;
+  Status Stop(const std::string& name);
+
+ protected:
+  // Engine conventions.
+  virtual std::string MakeContainerId(const std::string& name) const = 0;
+  virtual std::string CgroupParent(const std::string& id) const = 0;
+  virtual kernel::LsmProfile DefaultLsmProfile() const = 0;
+
+  // Resolution helper honoring id-prefix matches (docker/rkt style).
+  StatusOr<ContainerPtr> FindByNameOrIdPrefix(const std::string& key, bool allow_prefix) const;
+
+  ContainerRuntime* runtime_;
+  Registry* registry_;
+  mutable std::mutex mu_;
+  std::map<std::string, ContainerPtr> by_name_;
+};
+
+class DockerEngine : public ContainerEngine {
+ public:
+  using ContainerEngine::ContainerEngine;
+  std::string EngineName() const override { return "docker"; }
+  StatusOr<kernel::Pid> ResolveNameToPid(const std::string& name) const override;
+
+ protected:
+  std::string MakeContainerId(const std::string& name) const override;
+  std::string CgroupParent(const std::string& id) const override { return "docker"; }
+  kernel::LsmProfile DefaultLsmProfile() const override {
+    kernel::LsmProfile p;
+    p.name = "docker-default";
+    p.deny_write_prefixes = {"/proc/sys", "/sys"};
+    return p;
+  }
+};
+
+class LxcEngine : public ContainerEngine {
+ public:
+  using ContainerEngine::ContainerEngine;
+  std::string EngineName() const override { return "lxc"; }
+  StatusOr<kernel::Pid> ResolveNameToPid(const std::string& name) const override;
+
+ protected:
+  std::string MakeContainerId(const std::string& name) const override { return name; }
+  std::string CgroupParent(const std::string& id) const override {
+    return "lxc.payload." + id;
+  }
+  kernel::LsmProfile DefaultLsmProfile() const override {
+    kernel::LsmProfile p;
+    p.name = "lxc-container-default";
+    p.deny_write_prefixes = {"/proc/sys"};
+    return p;
+  }
+};
+
+class RktEngine : public ContainerEngine {
+ public:
+  using ContainerEngine::ContainerEngine;
+  std::string EngineName() const override { return "rkt"; }
+  StatusOr<kernel::Pid> ResolveNameToPid(const std::string& name) const override;
+
+ protected:
+  std::string MakeContainerId(const std::string& name) const override;  // uuid style
+  std::string CgroupParent(const std::string& id) const override {
+    return "machine.slice/machine-rkt-" + id;
+  }
+  kernel::LsmProfile DefaultLsmProfile() const override {
+    kernel::LsmProfile p;
+    p.name = "rkt-default";
+    return p;
+  }
+};
+
+class NspawnEngine : public ContainerEngine {
+ public:
+  using ContainerEngine::ContainerEngine;
+  std::string EngineName() const override { return "systemd-nspawn"; }
+  StatusOr<kernel::Pid> ResolveNameToPid(const std::string& name) const override;
+
+ protected:
+  std::string MakeContainerId(const std::string& name) const override { return name; }
+  std::string CgroupParent(const std::string& id) const override {
+    return "machine.slice/systemd-nspawn@" + id;
+  }
+  kernel::LsmProfile DefaultLsmProfile() const override {
+    kernel::LsmProfile p;
+    p.name = "nspawn-default";
+    return p;
+  }
+};
+
+}  // namespace cntr::container
+
+#endif  // CNTR_SRC_CONTAINER_ENGINE_H_

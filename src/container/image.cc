@@ -1,0 +1,155 @@
+#include "src/container/image.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cntr::container {
+
+const char* FileClassName(FileClass c) {
+  switch (c) {
+    case FileClass::kAppBinary:
+      return "app-binary";
+    case FileClass::kAppData:
+      return "app-data";
+    case FileClass::kConfig:
+      return "config";
+    case FileClass::kLibrary:
+      return "library";
+    case FileClass::kRuntime:
+      return "runtime";
+    case FileClass::kShell:
+      return "shell";
+    case FileClass::kCoreutils:
+      return "coreutils";
+    case FileClass::kPackageManager:
+      return "package-manager";
+    case FileClass::kDebugTool:
+      return "debug-tool";
+    case FileClass::kEditor:
+      return "editor";
+    case FileClass::kDocs:
+      return "docs";
+  }
+  return "?";
+}
+
+std::vector<ImageFile> Image::Flatten() const {
+  std::map<std::string, ImageFile> by_path;
+  for (const auto& layer : layers_) {
+    for (const auto& file : layer.files) {
+      by_path[file.path] = file;  // upper layers win
+    }
+  }
+  std::vector<ImageFile> out;
+  out.reserve(by_path.size());
+  for (auto& [path, file] : by_path) {
+    out.push_back(std::move(file));
+  }
+  return out;
+}
+
+uint64_t Image::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& f : Flatten()) {
+    total += f.size;
+  }
+  return total;
+}
+
+uint64_t Image::BytesOfClass(FileClass c) const {
+  uint64_t total = 0;
+  for (const auto& f : Flatten()) {
+    if (f.file_class == c) {
+      total += f.size;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+constexpr uint64_t kKB = 1024;
+constexpr uint64_t kMB = 1024 * 1024;
+
+void AddFiles(Layer& layer, FileClass cls, kernel::Mode mode,
+              std::initializer_list<std::pair<const char*, uint64_t>> files) {
+  for (const auto& [path, size] : files) {
+    layer.files.push_back(ImageFile{path, size, mode, cls, ""});
+  }
+}
+
+}  // namespace
+
+Layer MakeBaseDistroLayer(const std::string& distro) {
+  Layer layer;
+  layer.id = "base-" + distro;
+  layer.description = distro + " base system";
+  bool alpine = distro == "alpine";
+  uint64_t scale = alpine ? 1 : 4;  // alpine ships musl+busybox, ~4x smaller
+
+  AddFiles(layer, FileClass::kShell, 0755,
+           {{"/bin/sh", 120 * kKB * scale}, {"/bin/bash", alpine ? 0 : 1100 * kKB}});
+  AddFiles(layer, FileClass::kCoreutils, 0755,
+           {{"/bin/ls", 130 * kKB * scale},
+            {"/bin/cat", 40 * kKB * scale},
+            {"/bin/cp", 140 * kKB * scale},
+            {"/bin/rm", 70 * kKB * scale},
+            {"/bin/grep", 180 * kKB * scale},
+            {"/bin/ps", 130 * kKB * scale},
+            {"/usr/bin/find", 280 * kKB * scale},
+            {"/usr/bin/tar", 420 * kKB * scale}});
+  AddFiles(layer, FileClass::kLibrary, 0755,
+           {{alpine ? "/lib/ld-musl-x86_64.so.1" : "/lib/x86_64-linux-gnu/libc.so.6",
+             alpine ? 600 * kKB : 1900 * kKB},
+            {"/lib/libz.so.1", 120 * kKB},
+            {"/lib/libssl.so.3", alpine ? 600 * kKB : 4200 * kKB}});
+  AddFiles(layer, FileClass::kPackageManager, 0755,
+           {{alpine ? "/sbin/apk" : "/usr/bin/apt", alpine ? 280 * kKB : 4200 * kKB},
+            {alpine ? "/etc/apk/world" : "/var/lib/dpkg/status", alpine ? 4 * kKB : 3 * kMB}});
+  AddFiles(layer, FileClass::kDocs, 0644,
+           {{"/usr/share/doc/licenses.txt", 500 * kKB * scale},
+            {"/usr/share/man/man1/bundle.1", 800 * kKB * scale},
+            {"/usr/share/locale/locales.bundle", alpine ? 200 * kKB : 8 * kMB}});
+  // A couple of real config files so tools inside containers can read them.
+  layer.files.push_back(
+      ImageFile{"/etc/passwd", 0, 0644, FileClass::kConfig, "root:x:0:0:root:/root:/bin/sh\n"});
+  layer.files.push_back(ImageFile{"/etc/os-release", 0, 0644, FileClass::kConfig,
+                                  "ID=" + distro + "\nPRETTY_NAME=\"" + distro + "\"\n"});
+  for (auto& f : layer.files) {
+    if (!f.content.empty() && f.size == 0) {
+      f.size = f.content.size();
+    }
+  }
+  return layer;
+}
+
+Layer MakeDebugToolsLayer() {
+  Layer layer;
+  layer.id = "debug-tools";
+  layer.description = "debuggers, tracers, profilers, editors";
+  AddFiles(layer, FileClass::kDebugTool, 0755,
+           {{"/usr/bin/gdb", 8 * kMB},
+            {"/usr/bin/strace", 1600 * kKB},
+            {"/usr/bin/ltrace", 350 * kKB},
+            {"/usr/bin/perf", 9 * kMB},
+            {"/usr/bin/tcpdump", 1300 * kKB},
+            {"/usr/bin/lsof", 220 * kKB},
+            {"/usr/bin/htop", 400 * kKB},
+            {"/usr/bin/curl", 260 * kKB},
+            {"/usr/bin/netstat", 160 * kKB}});
+  AddFiles(layer, FileClass::kEditor, 0755,
+           {{"/usr/bin/vim", 3700 * kKB}, {"/usr/bin/nano", 280 * kKB}});
+  AddFiles(layer, FileClass::kDocs, 0644, {{"/usr/share/gdb/python-bundle", 12 * kMB}});
+  return layer;
+}
+
+Image MakeFatToolsImage(const std::string& distro) {
+  Image image("cntr/tools-" + distro, "latest");
+  image.AddLayer(MakeBaseDistroLayer(distro));
+  image.AddLayer(MakeDebugToolsLayer());
+  image.entrypoint() = "/bin/sh";
+  image.env()["PATH"] = "/usr/local/bin:/usr/bin:/bin:/usr/sbin:/sbin";
+  return image;
+}
+
+}  // namespace cntr::container

@@ -1,0 +1,96 @@
+// Container images: layered file manifests with enough structure to
+// materialize a root filesystem and to reason about size (what CNTR's
+// slim/fat split and the docker-slim analysis in §5.3 operate on).
+#ifndef CNTR_SRC_CONTAINER_IMAGE_H_
+#define CNTR_SRC_CONTAINER_IMAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/kernel/types.h"
+
+namespace cntr::container {
+
+// Why a file is in the image; drives both the docker-slim analysis (which
+// classes the application actually touches) and the slim/fat split.
+enum class FileClass {
+  kAppBinary,    // the application itself
+  kAppData,      // data the application reads at runtime
+  kConfig,       // /etc-style configuration
+  kLibrary,      // shared libraries the app links against
+  kRuntime,      // interpreter/runtime (jvm, python, node)
+  kShell,        // shells (bash, sh)
+  kCoreutils,    // ls, cat, grep, ...
+  kPackageManager,
+  kDebugTool,    // gdb, strace, perf, tcpdump
+  kEditor,       // vim, nano
+  kDocs,         // man pages, locales, licenses
+};
+
+const char* FileClassName(FileClass c);
+
+struct ImageFile {
+  std::string path;   // absolute inside the container
+  uint64_t size = 0;  // bytes
+  kernel::Mode mode = 0644;
+  FileClass file_class = FileClass::kAppData;
+  // Optional literal content; files without it materialize sparse.
+  std::string content;
+};
+
+struct Layer {
+  std::string id;
+  std::string description;
+  std::vector<ImageFile> files;
+
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const auto& f : files) {
+      total += f.size;
+    }
+    return total;
+  }
+};
+
+class Image {
+ public:
+  Image() = default;
+  Image(std::string name, std::string tag) : name_(std::move(name)), tag_(std::move(tag)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& tag() const { return tag_; }
+  std::string Ref() const { return name_ + ":" + tag_; }
+
+  void AddLayer(Layer layer) { layers_.push_back(std::move(layer)); }
+  const std::vector<Layer>& layers() const { return layers_; }
+
+  std::map<std::string, std::string>& env() { return env_; }
+  const std::map<std::string, std::string>& env() const { return env_; }
+  std::string& entrypoint() { return entrypoint_; }
+  const std::string& entrypoint() const { return entrypoint_; }
+
+  // Upper layers shadow lower ones by path (overlayfs semantics).
+  std::vector<ImageFile> Flatten() const;
+  uint64_t TotalBytes() const;
+  uint64_t BytesOfClass(FileClass c) const;
+
+ private:
+  std::string name_;
+  std::string tag_ = "latest";
+  std::vector<Layer> layers_;
+  std::map<std::string, std::string> env_;
+  std::string entrypoint_ = "/bin/app";
+};
+
+// Standard layer builders shared by tests, the Top-50 dataset, and examples.
+// Sizes are representative of the paper's observations, not exact.
+Layer MakeBaseDistroLayer(const std::string& distro);  // "debian", "alpine", "ubuntu"
+Layer MakeDebugToolsLayer();                           // gdb/strace/perf + editors
+// A "fat" tools image: base distro + debug tools + package manager.
+Image MakeFatToolsImage(const std::string& distro = "debian");
+
+}  // namespace cntr::container
+
+#endif  // CNTR_SRC_CONTAINER_IMAGE_H_

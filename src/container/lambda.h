@@ -1,0 +1,118 @@
+// Serverless functions on the container substrate — the paper's stated
+// future work (§6: "we plan to support auxiliary tools for lambda functions
+// using CNTR", referencing SAND [43]).
+//
+// Lambdas ship "a small language runtime rather than the full-blown
+// container image" and famously offer no interactive debugging because
+// clients cannot reach the invocation container. This platform reproduces
+// that model — micro-containers with a bare language runtime, cold/warm
+// instance management — and then closes the debugging gap the CNTR way: the
+// platform exposes warm instances through a ContainerEngine adapter, so
+// `cntr attach` drops a fully tooled shell into a live invocation.
+#ifndef CNTR_SRC_CONTAINER_LAMBDA_H_
+#define CNTR_SRC_CONTAINER_LAMBDA_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/container/engine.h"
+#include "src/container/runtime.h"
+
+namespace cntr::container {
+
+// A handler runs inside the invocation container (as its init process) and
+// may use the kernel freely: read its code, write scratch files, emit logs.
+using LambdaHandler =
+    std::function<StatusOr<std::string>(kernel::Kernel* kernel, kernel::Process& proc,
+                                        const std::string& payload)>;
+
+struct FunctionSpec {
+  std::string name;
+  std::string runtime = "python3.9";  // selects the base layer
+  uint64_t code_size = 1 << 20;       // deployment package bytes
+  LambdaHandler handler;
+  // Idle instances kept warm before reaping.
+  int max_warm_instances = 1;
+};
+
+struct InvocationResult {
+  std::string response;
+  bool cold_start = false;
+  double duration_ms = 0.0;  // virtual time
+};
+
+class LambdaPlatform {
+ public:
+  LambdaPlatform(kernel::Kernel* kernel, ContainerRuntime* runtime);
+
+  Status Deploy(FunctionSpec spec);
+  StatusOr<InvocationResult> Invoke(const std::string& name, const std::string& payload);
+
+  // Warm-instance introspection (what real platforms hide; exposing it is
+  // exactly what lets CNTR attach).
+  StatusOr<kernel::Pid> WarmInstancePid(const std::string& name) const;
+  int warm_instances(const std::string& name) const;
+
+  struct Stats {
+    uint64_t invocations = 0;
+    uint64_t cold_starts = 0;
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  friend class LambdaEngine;
+
+  struct Function {
+    FunctionSpec spec;
+    Image image;
+    ContainerPtr warm;  // one warm instance (max_warm_instances = 1 model)
+  };
+
+  StatusOr<ContainerPtr> ColdStart(Function& fn);
+
+  kernel::Kernel* kernel_;
+  ContainerRuntime* runtime_;
+  mutable std::mutex mu_;
+  std::map<std::string, Function> functions_;
+  Stats stats_;
+  int instance_counter_ = 0;
+};
+
+// ContainerEngine adapter: function names resolve to warm-instance pids, so
+// the standard attach flow works unchanged:
+//   cntr.RegisterEngine(std::make_shared<LambdaEngine>(&platform));
+//   cntr.Attach("lambda", "thumbnailer", opts_with_fat_tools);
+class LambdaEngine : public ContainerEngine {
+ public:
+  explicit LambdaEngine(LambdaPlatform* platform)
+      : ContainerEngine(nullptr, nullptr), platform_(platform) {}
+
+  std::string EngineName() const override { return "lambda"; }
+  StatusOr<kernel::Pid> ResolveNameToPid(const std::string& name) const override {
+    return platform_->WarmInstancePid(name);
+  }
+
+ protected:
+  std::string MakeContainerId(const std::string& name) const override { return name; }
+  std::string CgroupParent(const std::string& id) const override {
+    return "lambda.slice/" + id;
+  }
+  kernel::LsmProfile DefaultLsmProfile() const override {
+    kernel::LsmProfile p;
+    p.name = "lambda-default";
+    return p;
+  }
+
+ private:
+  LambdaPlatform* platform_;
+};
+
+}  // namespace cntr::container
+
+#endif  // CNTR_SRC_CONTAINER_LAMBDA_H_

@@ -1,0 +1,57 @@
+#include "src/container/registry.h"
+
+#include <cerrno>
+
+namespace cntr::container {
+
+void Registry::Push(Image image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  images_[image.Ref()] = std::move(image);
+}
+
+bool Registry::Has(const std::string& ref) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return images_.count(ref) != 0;
+}
+
+StatusOr<Image> Registry::Pull(const std::string& ref, const std::string& node) {
+  Image image;
+  uint64_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = images_.find(ref);
+    if (it == images_.end()) {
+      return Status::Error(ENOENT, "no such image: " + ref);
+    }
+    image = it->second;
+    auto& cached = node_layers_[node];
+    for (const auto& layer : image.layers()) {
+      if (cached.insert(layer.id).second) {
+        bytes += layer.TotalBytes();
+      }
+    }
+    bytes_transferred_ += bytes;
+  }
+  clock_->Advance(TransferNs(bytes));
+  return image;
+}
+
+StatusOr<double> Registry::EstimatePullSeconds(const std::string& ref,
+                                               const std::string& node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = images_.find(ref);
+  if (it == images_.end()) {
+    return Status::Error(ENOENT, "no such image: " + ref);
+  }
+  uint64_t bytes = 0;
+  auto cached_it = node_layers_.find(node);
+  for (const auto& layer : it->second.layers()) {
+    bool cached = cached_it != node_layers_.end() && cached_it->second.count(layer.id) != 0;
+    if (!cached) {
+      bytes += layer.TotalBytes();
+    }
+  }
+  return static_cast<double>(TransferNs(bytes)) * 1e-9;
+}
+
+}  // namespace cntr::container

@@ -1,0 +1,59 @@
+// An image registry with a bandwidth model.
+//
+// Motivation from the paper's introduction: image download dominates
+// container deployment time (92% per Slacker's measurements [52]), which is
+// why shipping debug tools in every image is expensive. The registry charges
+// virtual time for layer transfers so the deployment benchmark can quantify
+// slim-vs-fat startup cost.
+#ifndef CNTR_SRC_CONTAINER_REGISTRY_H_
+#define CNTR_SRC_CONTAINER_REGISTRY_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "src/container/image.h"
+#include "src/util/sim_clock.h"
+#include "src/util/status.h"
+
+namespace cntr::container {
+
+class Registry {
+ public:
+  // bandwidth in bytes per virtual second; default ~120 MB/s (10GbE with
+  // registry-side contention, matching published registry studies).
+  Registry(SimClock* clock, uint64_t bandwidth_bytes_per_sec = 120ull << 20)
+      : clock_(clock), bandwidth_(bandwidth_bytes_per_sec) {}
+
+  void Push(Image image);
+  bool Has(const std::string& ref) const;
+
+  // Transfers the image to `node`: layers already present on the node are
+  // skipped (the layer-dedup benefit of shared base images, §2.2). Charges
+  // transfer time and returns the image.
+  StatusOr<Image> Pull(const std::string& ref, const std::string& node);
+
+  // Virtual seconds a pull of `ref` to `node` would take, without pulling.
+  StatusOr<double> EstimatePullSeconds(const std::string& ref, const std::string& node) const;
+
+  uint64_t bytes_transferred() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_transferred_;
+  }
+
+ private:
+  uint64_t TransferNs(uint64_t bytes) const { return bytes * 1'000'000'000ull / bandwidth_; }
+
+  SimClock* clock_;
+  uint64_t bandwidth_;
+  mutable std::mutex mu_;
+  std::map<std::string, Image> images_;
+  // node -> layer ids already cached there.
+  std::map<std::string, std::set<std::string>> node_layers_;
+  uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace cntr::container
+
+#endif  // CNTR_SRC_CONTAINER_REGISTRY_H_

@@ -1,0 +1,173 @@
+#include "src/container/runtime.h"
+
+#include <cerrno>
+
+#include "src/kernel/procfs.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace cntr::container {
+
+using kernel::kCloneNewCgroup;
+using kernel::kCloneNewIpc;
+using kernel::kCloneNewNet;
+using kernel::kCloneNewNs;
+using kernel::kCloneNewPid;
+using kernel::kCloneNewUser;
+using kernel::kCloneNewUts;
+
+ContainerRuntime::ContainerRuntime(kernel::Kernel* kernel) : kernel_(kernel) {
+  // Anchor point for container roots.
+  (void)kernel_->Mkdir(*kernel_->init(), "/containers", 0755);
+}
+
+Status ContainerRuntime::MkdirAll(kernel::Process& proc, const std::string& path) {
+  std::string cur;
+  for (const auto& comp : SplitPath(path)) {
+    cur += "/" + comp;
+    Status st = kernel_->Mkdir(proc, cur, 0755);
+    if (!st.ok() && st.error() != EEXIST) {
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ContainerRuntime::Materialize(kernel::Process& proc, const std::string& root,
+                                     const Image& image) {
+  for (const auto& file : image.Flatten()) {
+    std::string host_path = root + file.path;
+    CNTR_RETURN_IF_ERROR(MkdirAll(proc, std::string(Dirname(host_path))));
+    CNTR_ASSIGN_OR_RETURN(
+        kernel::Fd fd,
+        kernel_->Open(proc, host_path, kernel::kOWrOnly | kernel::kOCreat | kernel::kOTrunc,
+                      file.mode));
+    if (!file.content.empty()) {
+      CNTR_ASSIGN_OR_RETURN(size_t n,
+                            kernel_->Write(proc, fd, file.content.data(), file.content.size()));
+      (void)n;
+    } else if (file.size > 0) {
+      // Sparse materialization: the size is what matters for deployment and
+      // slimming; synthetic payloads read as zeros.
+      CNTR_RETURN_IF_ERROR(kernel_->Ftruncate(proc, fd, file.size));
+    }
+    CNTR_RETURN_IF_ERROR(kernel_->Close(proc, fd));
+  }
+  return Status::Ok();
+}
+
+StatusOr<ContainerPtr> ContainerRuntime::Start(ContainerSpec spec) {
+  return StartFrom(kernel_->init(), std::move(spec));
+}
+
+StatusOr<ContainerPtr> ContainerRuntime::StartNested(const ContainerPtr& parent,
+                                                     ContainerSpec spec) {
+  if (parent == nullptr || !parent->running()) {
+    return Status::Error(ESRCH, "parent container not running");
+  }
+  if (spec.cgroup_parent == "docker") {
+    spec.cgroup_parent = parent->cgroup()->Path().substr(1) + "/nested";
+  }
+  return StartFrom(parent->init_proc(), std::move(spec));
+}
+
+StatusOr<ContainerPtr> ContainerRuntime::StartFrom(const kernel::ProcessPtr& parent_proc,
+                                                   ContainerSpec spec) {
+  kernel::ProcessPtr host_init = kernel_->init();
+  std::string id = spec.id.empty() ? spec.name : spec.id;
+  auto container = std::make_shared<Container>(id, spec);
+
+  // 1. Root filesystem.
+  std::string host_root = "/containers/" + id;
+  CNTR_RETURN_IF_ERROR(MkdirAll(*host_init, host_root));
+  auto rootfs = kernel::MakeTmpFs(kernel_->AllocDevId(), &kernel_->clock(), &kernel_->costs());
+  CNTR_RETURN_IF_ERROR(kernel_->MountFs(*host_init, rootfs, host_root));
+  CNTR_RETURN_IF_ERROR(Materialize(*host_init, host_root, spec.image));
+  for (const char* dir : {"/proc", "/dev", "/tmp", "/etc", "/var", "/run"}) {
+    CNTR_RETURN_IF_ERROR(MkdirAll(*host_init, host_root + dir));
+  }
+  // Identity files tools expect.
+  {
+    std::string etc_hostname = host_root + "/etc/hostname";
+    std::string hostname = spec.hostname.empty() ? id.substr(0, 12) : spec.hostname;
+    auto fd = kernel_->Open(*host_init, etc_hostname,
+                            kernel::kOWrOnly | kernel::kOCreat | kernel::kOTrunc, 0644);
+    if (fd.ok()) {
+      (void)kernel_->Write(*host_init, fd.value(), hostname.data(), hostname.size());
+      (void)kernel_->Close(*host_init, fd.value());
+    }
+  }
+
+  // 2. Init process with fresh namespaces, forked from the host init or —
+  //    for nested containers — from the parent container's init. Nested
+  //    inits need the admin capabilities back for their own unshare/pivot.
+  kernel::ProcessPtr proc = kernel_->Fork(*parent_proc, spec.image.entrypoint());
+  proc->creds.effective.Add(kernel::Capability::kSysAdmin);
+  proc->creds.effective.Add(kernel::Capability::kSysChroot);
+  uint64_t clone_flags =
+      kCloneNewNs | kCloneNewPid | kCloneNewUts | kCloneNewIpc | kCloneNewNet | kCloneNewCgroup;
+  if (!spec.uid_map.empty()) {
+    clone_flags |= kCloneNewUser;
+  }
+  CNTR_RETURN_IF_ERROR(kernel_->Unshare(*proc, clone_flags));
+  if (!spec.uid_map.empty()) {
+    proc->user_ns->SetUidMap(spec.uid_map);
+    proc->user_ns->SetGidMap(spec.gid_map.empty() ? spec.uid_map : spec.gid_map);
+  }
+  proc->uts_ns->set_hostname(spec.hostname.empty() ? id.substr(0, 12) : spec.hostname);
+
+  // 3. cgroup: /<parent>/<id>.
+  auto cgroup = kernel_->cgroup_root();
+  for (const auto& comp : SplitPath(spec.cgroup_parent)) {
+    cgroup = cgroup->FindOrCreateChild(comp);
+  }
+  cgroup = cgroup->FindOrCreateChild(id);
+  CNTR_RETURN_IF_ERROR(kernel_->JoinCgroup(*proc, cgroup));
+
+  // 4. pivot_root: the container's mount namespace is rooted at its rootfs
+  //    (Docker semantics — joining this namespace later via setns lands in
+  //    the container root, which CNTR's attach step depends on).
+  CNTR_RETURN_IF_ERROR(kernel_->PivotToFs(*proc, rootfs));
+
+  // 5. Container /proc bound to its pid namespace, a minimal /dev, and all
+  //    mounts private by default (the behaviour CNTR relies on, §2.3).
+  auto proc_fs = kernel::MakeProcFsForNs(kernel_->AllocDevId(), kernel_, proc->pid_ns);
+  CNTR_RETURN_IF_ERROR(kernel_->MountFs(*proc, proc_fs, "/proc"));
+  (void)kernel_->Mknod(*proc, "/dev/null", kernel::kIfChr | 0666, (1ull << 8) | 3);
+  (void)kernel_->Mknod(*proc, "/dev/zero", kernel::kIfChr | 0666, (1ull << 8) | 5);
+  (void)kernel_->Mknod(*proc, "/dev/fuse", kernel::kIfChr | 0666, kernel::kFuseDevRdev);
+  CNTR_RETURN_IF_ERROR(kernel_->MakeAllPrivate(*proc));
+
+  // 6. Credentials, limits, environment, LSM.
+  proc->creds = kernel::Credentials::Root();
+  proc->creds.effective = spec.capabilities;
+  proc->creds.permitted = spec.capabilities;
+  proc->creds.bounding = spec.capabilities;
+  proc->lsm = spec.lsm;
+  proc->env = spec.image.env();
+  for (const auto& [k, v] : spec.env_overrides) {
+    proc->env[k] = v;
+  }
+  if (proc->env.count("PATH") == 0) {
+    proc->env["PATH"] = "/usr/local/bin:/usr/bin:/bin";
+  }
+
+  container->host_root_ = host_root;
+  container->init_proc_ = proc;
+  container->rootfs_ = rootfs;
+  container->cgroup_ = cgroup;
+  container->running_ = true;
+  CNTR_ILOG << "started container " << id << " (init pid " << proc->global_pid() << ")";
+  return container;
+}
+
+Status ContainerRuntime::Stop(const ContainerPtr& container) {
+  if (!container->running_) {
+    return Status::Ok();
+  }
+  kernel_->Exit(*container->init_proc_);
+  container->running_ = false;
+  return Status::Ok();
+}
+
+}  // namespace cntr::container

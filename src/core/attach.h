@@ -1,0 +1,126 @@
+// The CNTR attach workflow — the paper's primary contribution, end to end:
+//
+//   1. resolve the container name to a pid via the engine and gather the
+//      container context from /proc                      (src/core/context)
+//   2. launch the CntrFS server on the host or inside the fat container
+//                                                (src/core/cntrfs, src/fuse)
+//   3. join the container's namespaces/cgroup and build the nested mount
+//      namespace around CntrFS                        (src/core/nested_ns)
+//   4. hand the user an interactive shell over a pseudo-TTY, with Unix
+//      socket forwarding                      (src/core/shell, pty, proxy)
+#ifndef CNTR_SRC_CORE_ATTACH_H_
+#define CNTR_SRC_CORE_ATTACH_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/container/engine.h"
+#include "src/core/cntrfs.h"
+#include "src/core/context.h"
+#include "src/core/nested_ns.h"
+#include "src/core/pty.h"
+#include "src/core/shell.h"
+#include "src/core/socket_proxy.h"
+#include "src/fuse/fuse_mount.h"
+#include "src/fuse/fuse_server.h"
+#include "src/kernel/kernel.h"
+
+namespace cntr::core {
+
+struct AttachOptions {
+  fuse::FuseMountOptions fuse = fuse::FuseMountOptions::Optimized();
+  // Paper §3.3: CNTRFS reads /dev/fuse from multiple threads.
+  int server_threads = 4;
+  // Tools source: empty = the host; otherwise the named fat container
+  // (resolved through the same engine as the slim container unless
+  // fat_engine says otherwise).
+  std::string fat_container;
+  std::string fat_engine;
+  // Unix socket forwards: (path inside the app container, path on the
+  // tools side), e.g. {"/tmp/.X11-unix/X0", "/tmp/.X11-unix/X0"}.
+  std::vector<std::pair<std::string, std::string>> socket_forwards;
+};
+
+// A live attachment. Owns the CntrFS server threads, the nested-namespace
+// process, the shell, the pty and the socket proxy; Detach() (or
+// destruction) tears all of it down.
+class AttachedSession {
+ public:
+  ~AttachedSession();
+
+  AttachedSession(const AttachedSession&) = delete;
+  AttachedSession& operator=(const AttachedSession&) = delete;
+
+  // The process living inside the nested namespace.
+  const kernel::ProcessPtr& attach_proc() const { return attach_proc_; }
+  const ContainerContext& context() const { return context_; }
+
+  // Runs one shell command inside the nested namespace and returns output.
+  std::string Execute(const std::string& command_line) { return shell_->Execute(command_line); }
+
+  ToolboxShell& shell() { return *shell_; }
+  Pty& pty() { return *pty_; }
+  SocketProxy* socket_proxy() { return socket_proxy_.get(); }
+  CntrFsServer* cntrfs() { return cntrfs_.get(); }
+  const std::shared_ptr<fuse::FuseFs>& fuse_fs() const { return fuse_fs_; }
+
+  // Starts the interactive shell loop on a background thread, fed by the
+  // pty (use pty().WriteLineToShell / DrainShellOutput to converse).
+  void StartInteractiveShell();
+
+  Status Detach();
+
+ private:
+  friend class Cntr;
+  AttachedSession() = default;
+
+  kernel::Kernel* kernel_ = nullptr;
+  ContainerContext context_;
+  kernel::ProcessPtr cntr_proc_;
+  kernel::ProcessPtr server_proc_;
+  kernel::ProcessPtr attach_proc_;
+  std::shared_ptr<fuse::FuseConn> conn_;
+  std::shared_ptr<fuse::FuseFs> fuse_fs_;
+  std::unique_ptr<CntrFsServer> cntrfs_;
+  std::unique_ptr<fuse::FuseServer> fuse_server_;
+  std::unique_ptr<ToolboxShell> shell_;
+  std::unique_ptr<Pty> pty_;
+  std::unique_ptr<SocketProxy> socket_proxy_;
+  std::thread shell_thread_;
+  bool detached_ = false;
+};
+
+// The user-facing entry point ("the cntr binary").
+class Cntr {
+ public:
+  explicit Cntr(kernel::Kernel* kernel);
+
+  // Engines are pluggable, like the implementation-specific resolvers in
+  // the paper (§4): docker, lxc, rkt, systemd-nspawn.
+  void RegisterEngine(std::shared_ptr<container::ContainerEngine> engine);
+  container::ContainerEngine* engine(const std::string& name) const;
+
+  // cntr attach <container> [--fat-image ...]
+  StatusOr<std::unique_ptr<AttachedSession>> Attach(const std::string& engine_name,
+                                                    const std::string& container_name,
+                                                    AttachOptions opts);
+  StatusOr<std::unique_ptr<AttachedSession>> Attach(const std::string& engine_name,
+                                                    const std::string& container_name) {
+    return Attach(engine_name, container_name, AttachOptions{});
+  }
+  // Attach by raw pid (no engine involved).
+  StatusOr<std::unique_ptr<AttachedSession>> AttachPid(kernel::Pid pid, AttachOptions opts);
+
+  kernel::Kernel* kernel() const { return kernel_; }
+
+ private:
+  kernel::Kernel* kernel_;
+  std::map<std::string, std::shared_ptr<container::ContainerEngine>> engines_;
+};
+
+}  // namespace cntr::core
+
+#endif  // CNTR_SRC_CORE_ATTACH_H_

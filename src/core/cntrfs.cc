@@ -1,0 +1,672 @@
+#include "src/core/cntrfs.h"
+
+#include <algorithm>
+#include <cerrno>
+
+#include "src/util/logging.h"
+
+namespace cntr::core {
+
+using fuse::FuseEntryOut;
+using fuse::FuseOpcode;
+using fuse::FuseReply;
+using fuse::FuseRequest;
+using kernel::Credentials;
+using kernel::InodeAttr;
+using kernel::VfsPath;
+
+namespace {
+
+FuseReply ErrorReply(const Status& status) {
+  return FuseReply::Error(status.error() != 0 ? status.error() : EIO);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<CntrFsServer>> CntrFsServer::Create(kernel::Kernel* kernel,
+                                                             kernel::ProcessPtr server_proc,
+                                                             const std::string& source_root) {
+  CNTR_ASSIGN_OR_RETURN(VfsPath root, kernel->Resolve(*server_proc, source_root));
+  return std::unique_ptr<CntrFsServer>(
+      new CntrFsServer(kernel, std::move(server_proc), std::move(root)));
+}
+
+CntrFsServer::CntrFsServer(kernel::Kernel* kernel, kernel::ProcessPtr server_proc, VfsPath root)
+    : kernel_(kernel), server_proc_(std::move(server_proc)), root_(std::move(root)) {}
+
+StatusOr<VfsPath> CntrFsServer::NodePath(uint64_t nodeid) const {
+  if (nodeid == fuse::kFuseRootId) {
+    return root_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(nodeid);
+  if (it == nodes_.end()) {
+    return Status::Error(ESTALE, "unknown nodeid");
+  }
+  return it->second.path;
+}
+
+uint64_t CntrFsServer::InternNode(const VfsPath& path, const InodeAttr& attr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DevIno key{attr.dev, attr.ino};
+  auto it = by_dev_ino_.find(key);
+  if (it != by_dev_ino_.end()) {
+    auto nit = nodes_.find(it->second);
+    if (nit != nodes_.end()) {
+      ++nit->second.lookup_count;
+      return it->second;
+    }
+  }
+  uint64_t nodeid = next_nodeid_++;
+  nodes_[nodeid] = Node{path, 1};
+  by_dev_ino_[key] = nodeid;
+  return nodeid;
+}
+
+Credentials CntrFsServer::CallerCreds(const FuseRequest& req) const {
+  // setfsuid/setfsgid impersonation: DAC checks use the caller's ids, but
+  // root callers keep the server's capability set (DAC_OVERRIDE et al.).
+  // Supplementary groups deliberately do not travel (paper §5.1, #375).
+  if (req.uid == kernel::kRootUid) {
+    return server_proc_->creds;
+  }
+  return Credentials::User(req.uid, req.gid);
+}
+
+StatusOr<FuseEntryOut> CntrFsServer::MakeEntry(const VfsPath& child) {
+  // One stat() after the open(): attribute fetch plus the syscall crossing.
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  CNTR_ASSIGN_OR_RETURN(InodeAttr attr, child.inode->Getattr());
+  FuseEntryOut entry;
+  entry.nodeid = InternNode(child, attr);
+  entry.attr = attr;
+  entry.entry_ttl_ns = entry_ttl_ns_;
+  entry.attr_ttl_ns = attr_ttl_ns_;
+  return entry;
+}
+
+FuseReply CntrFsServer::Handle(const FuseRequest& req) {
+  switch (req.opcode) {
+    case FuseOpcode::kInit:
+      return DoInit(req);
+    case FuseOpcode::kLookup:
+      return DoLookup(req);
+    case FuseOpcode::kGetattr:
+      return DoGetattr(req);
+    case FuseOpcode::kSetattr:
+      return DoSetattr(req);
+    case FuseOpcode::kOpen:
+      return DoOpen(req, /*dir=*/false);
+    case FuseOpcode::kOpendir:
+      return DoOpen(req, /*dir=*/true);
+    case FuseOpcode::kRead:
+      return DoRead(req);
+    case FuseOpcode::kWrite:
+      return DoWrite(req);
+    case FuseOpcode::kRelease:
+    case FuseOpcode::kReleasedir:
+      return DoRelease(req);
+    case FuseOpcode::kFlush:
+      return FuseReply{};
+    case FuseOpcode::kFsync:
+      return DoFsync(req);
+    case FuseOpcode::kReaddir:
+      return DoReaddir(req);
+    case FuseOpcode::kMknod:
+      return DoMknod(req);
+    case FuseOpcode::kMkdir:
+      return DoMkdir(req);
+    case FuseOpcode::kUnlink:
+      return DoUnlink(req, /*dir=*/false);
+    case FuseOpcode::kRmdir:
+      return DoUnlink(req, /*dir=*/true);
+    case FuseOpcode::kSymlink:
+      return DoSymlink(req);
+    case FuseOpcode::kReadlink:
+      return DoReadlink(req);
+    case FuseOpcode::kLink:
+      return DoLink(req);
+    case FuseOpcode::kRename:
+      return DoRename(req);
+    case FuseOpcode::kStatfs:
+      return DoStatfs(req);
+    case FuseOpcode::kSetxattr:
+    case FuseOpcode::kGetxattr:
+    case FuseOpcode::kListxattr:
+    case FuseOpcode::kRemovexattr:
+      return DoXattr(req);
+    case FuseOpcode::kAccess:
+      return DoAccess(req);
+    case FuseOpcode::kForget:
+    case FuseOpcode::kBatchForget:
+      return DoForget(req);
+    case FuseOpcode::kDestroy:
+      return FuseReply{};
+    case FuseOpcode::kCreate:
+      // The kernel side issues MKNOD + OPEN instead of atomic CREATE.
+      return FuseReply::Error(ENOSYS);
+  }
+  return FuseReply::Error(ENOSYS);
+}
+
+FuseReply CntrFsServer::DoInit(const FuseRequest& req) {
+  FuseReply reply;
+  reply.init_flags = req.init_flags;  // accept everything the kernel offers
+  return reply;
+}
+
+FuseReply CntrFsServer::DoLookup(const FuseRequest& req) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lookups;
+  }
+  auto dir = NodePath(req.nodeid);
+  if (!dir.ok()) {
+    return ErrorReply(dir.status());
+  }
+  if (req.name == "..") {
+    return FuseReply::Error(ENOENT);
+  }
+  // open(O_PATH|O_NOFOLLOW) + fstat + inode-table bookkeeping: the per-
+  // lookup tax the paper blames for compilebench/postmark (§5.2.2).
+  kernel_->clock().Advance(kernel_->costs().cntrfs_lookup_ns);
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  auto child = kernel_->LookupChild(*server_proc_, dir.value(), req.name);
+  if (!child.ok()) {
+    return ErrorReply(child.status());
+  }
+  auto entry = MakeEntry(child.value());
+  if (!entry.ok()) {
+    return ErrorReply(entry.status());
+  }
+  FuseReply reply;
+  reply.entry = entry.value();
+  return reply;
+}
+
+FuseReply CntrFsServer::DoGetattr(const FuseRequest& req) {
+  auto path = NodePath(req.nodeid);
+  if (!path.ok()) {
+    return ErrorReply(path.status());
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  auto attr = path->inode->Getattr();
+  if (!attr.ok()) {
+    return ErrorReply(attr.status());
+  }
+  FuseReply reply;
+  reply.attr = attr.value();
+  reply.attr_ttl_ns = attr_ttl_ns_;
+  return reply;
+}
+
+FuseReply CntrFsServer::DoSetattr(const FuseRequest& req) {
+  auto path = NodePath(req.nodeid);
+  if (!path.ok()) {
+    return ErrorReply(path.status());
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  Status st = path->inode->Setattr(req.setattr, CallerCreds(req));
+  if (!st.ok()) {
+    return ErrorReply(st);
+  }
+  auto attr = path->inode->Getattr();
+  if (!attr.ok()) {
+    return ErrorReply(attr.status());
+  }
+  FuseReply reply;
+  reply.attr = attr.value();
+  reply.attr_ttl_ns = attr_ttl_ns_;
+  return reply;
+}
+
+FuseReply CntrFsServer::DoOpen(const FuseRequest& req, bool dir) {
+  auto path = NodePath(req.nodeid);
+  if (!path.ok()) {
+    return ErrorReply(path.status());
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  Credentials creds = CallerCreds(req);
+  auto attr = path->inode->Getattr();
+  if (!attr.ok()) {
+    return ErrorReply(attr.status());
+  }
+  int mask = 0;
+  if (kernel::WantsRead(req.flags)) {
+    mask |= kernel::kAccessRead;
+  }
+  if (kernel::WantsWrite(req.flags)) {
+    mask |= kernel::kAccessWrite;
+  }
+  if (dir) {
+    mask = kernel::kAccessRead;
+  }
+  Status perm = kernel::CheckAccess(attr.value(), creds, mask);
+  if (!perm.ok()) {
+    return ErrorReply(perm);
+  }
+  int flags = dir ? kernel::kORdOnly : req.flags;
+  auto file = path->inode->Open(flags & ~kernel::kODirect, creds);
+  if (!file.ok()) {
+    return ErrorReply(file.status());
+  }
+  FuseReply reply;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reply.fh = next_fh_++;
+    open_files_[reply.fh] = file.value();
+  }
+  reply.open_flags = fuse::kFOpenKeepCache;
+  return reply;
+}
+
+FuseReply CntrFsServer::DoRead(const FuseRequest& req) {
+  kernel::FilePtr file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.reads;
+    auto it = open_files_.find(req.fh);
+    if (it != open_files_.end()) {
+      file = it->second;
+    }
+  }
+  if (file == nullptr) {
+    return FuseReply::Error(EBADF);
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  FuseReply reply;
+  reply.data.resize(req.size);
+  auto n = file->Read(reply.data.data(), req.size, req.offset);
+  if (!n.ok() && n.error() == EBADF) {
+    // Writeback read-modify-write arrives against a write-only handle; the
+    // kernel reads pages by nodeid, so serve through a transient read
+    // handle (what the real server does with its O_PATH-derived fds).
+    auto path = NodePath(req.nodeid);
+    if (path.ok()) {
+      auto opened = path->inode->Open(kernel::kORdOnly, server_proc_->creds);
+      if (opened.ok()) {
+        n = opened.value()->Read(reply.data.data(), req.size, req.offset);
+      }
+    }
+  }
+  if (!n.ok()) {
+    return ErrorReply(n.status());
+  }
+  reply.data.resize(n.value());
+  return reply;
+}
+
+FuseReply CntrFsServer::DoWrite(const FuseRequest& req) {
+  kernel::FilePtr file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.writes;
+    auto it = open_files_.find(req.fh);
+    if (it != open_files_.end()) {
+      file = it->second;
+    }
+  }
+  if (file == nullptr && req.fh == UINT64_MAX) {
+    // Writeback flush without a live handle: open transiently by nodeid.
+    auto path = NodePath(req.nodeid);
+    if (!path.ok()) {
+      return ErrorReply(path.status());
+    }
+    auto opened = path->inode->Open(kernel::kOWrOnly, server_proc_->creds);
+    if (!opened.ok()) {
+      return ErrorReply(opened.status());
+    }
+    file = opened.value();
+  }
+  if (file == nullptr) {
+    return FuseReply::Error(EBADF);
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  auto n = file->Write(req.data.data(), req.data.size(), req.offset);
+  if (!n.ok()) {
+    return ErrorReply(n.status());
+  }
+  FuseReply reply;
+  reply.count = static_cast<uint32_t>(n.value());
+  return reply;
+}
+
+FuseReply CntrFsServer::DoRelease(const FuseRequest& req) {
+  kernel::FilePtr file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = open_files_.find(req.fh);
+    if (it != open_files_.end()) {
+      file = std::move(it->second);
+      open_files_.erase(it);
+    }
+  }
+  if (file != nullptr && file.use_count() == 1) {
+    (void)file->Release();
+  }
+  return FuseReply{};
+}
+
+FuseReply CntrFsServer::DoFsync(const FuseRequest& req) {
+  kernel::FilePtr file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = open_files_.find(req.fh);
+    if (it != open_files_.end()) {
+      file = it->second;
+    }
+  }
+  if (file == nullptr) {
+    // Flush-by-nodeid (writeback without an open handle): fsync the inode
+    // through a transient handle.
+    auto path = NodePath(req.nodeid);
+    if (!path.ok()) {
+      return ErrorReply(path.status());
+    }
+    auto opened = path->inode->Open(kernel::kORdWr, server_proc_->creds);
+    if (!opened.ok()) {
+      return ErrorReply(opened.status());
+    }
+    file = opened.value();
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  Status st = file->Fsync(req.datasync);
+  if (!st.ok()) {
+    return ErrorReply(st);
+  }
+  return FuseReply{};
+}
+
+FuseReply CntrFsServer::DoReaddir(const FuseRequest& req) {
+  kernel::FilePtr file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = open_files_.find(req.fh);
+    if (it != open_files_.end()) {
+      file = it->second;
+    }
+  }
+  if (file == nullptr) {
+    return FuseReply::Error(EBADF);
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  auto entries = file->Readdir();
+  if (!entries.ok()) {
+    return ErrorReply(entries.status());
+  }
+  FuseReply reply;
+  reply.entries = std::move(entries).value();
+  return reply;
+}
+
+FuseReply CntrFsServer::DoMknod(const FuseRequest& req) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.creates;
+  }
+  auto dir = NodePath(req.nodeid);
+  if (!dir.ok()) {
+    return ErrorReply(dir.status());
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  Credentials creds = CallerCreds(req);
+  auto dattr = dir->inode->Getattr();
+  if (!dattr.ok()) {
+    return ErrorReply(dattr.status());
+  }
+  Status perm = kernel::CheckAccess(dattr.value(), creds,
+                                    kernel::kAccessWrite | kernel::kAccessExec);
+  if (!perm.ok()) {
+    return ErrorReply(perm);
+  }
+  auto child = dir->inode->Create(req.name, req.mode, req.rdev, creds);
+  if (!child.ok()) {
+    return ErrorReply(child.status());
+  }
+  auto entry = MakeEntry(VfsPath{dir->mount, child.value()});
+  if (!entry.ok()) {
+    return ErrorReply(entry.status());
+  }
+  FuseReply reply;
+  reply.entry = entry.value();
+  return reply;
+}
+
+FuseReply CntrFsServer::DoMkdir(const FuseRequest& req) {
+  auto dir = NodePath(req.nodeid);
+  if (!dir.ok()) {
+    return ErrorReply(dir.status());
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  Credentials creds = CallerCreds(req);
+  auto dattr = dir->inode->Getattr();
+  if (!dattr.ok()) {
+    return ErrorReply(dattr.status());
+  }
+  Status perm = kernel::CheckAccess(dattr.value(), creds,
+                                    kernel::kAccessWrite | kernel::kAccessExec);
+  if (!perm.ok()) {
+    return ErrorReply(perm);
+  }
+  auto child = dir->inode->Mkdir(req.name, req.mode, creds);
+  if (!child.ok()) {
+    return ErrorReply(child.status());
+  }
+  auto entry = MakeEntry(VfsPath{dir->mount, child.value()});
+  if (!entry.ok()) {
+    return ErrorReply(entry.status());
+  }
+  FuseReply reply;
+  reply.entry = entry.value();
+  return reply;
+}
+
+FuseReply CntrFsServer::DoUnlink(const FuseRequest& req, bool dir) {
+  auto parent = NodePath(req.nodeid);
+  if (!parent.ok()) {
+    return ErrorReply(parent.status());
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  Credentials creds = CallerCreds(req);
+  auto dattr = parent->inode->Getattr();
+  if (!dattr.ok()) {
+    return ErrorReply(dattr.status());
+  }
+  Status perm = kernel::CheckAccess(dattr.value(), creds,
+                                    kernel::kAccessWrite | kernel::kAccessExec);
+  if (!perm.ok()) {
+    return ErrorReply(perm);
+  }
+  Status st = dir ? parent->inode->Rmdir(req.name) : parent->inode->Unlink(req.name);
+  if (!st.ok()) {
+    return ErrorReply(st);
+  }
+  kernel_->dcache().Invalidate(parent->inode.get(), req.name);
+  return FuseReply{};
+}
+
+FuseReply CntrFsServer::DoSymlink(const FuseRequest& req) {
+  auto dir = NodePath(req.nodeid);
+  if (!dir.ok()) {
+    return ErrorReply(dir.status());
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  auto child = dir->inode->Symlink(req.name, req.data, CallerCreds(req));
+  if (!child.ok()) {
+    return ErrorReply(child.status());
+  }
+  auto entry = MakeEntry(VfsPath{dir->mount, child.value()});
+  if (!entry.ok()) {
+    return ErrorReply(entry.status());
+  }
+  FuseReply reply;
+  reply.entry = entry.value();
+  return reply;
+}
+
+FuseReply CntrFsServer::DoReadlink(const FuseRequest& req) {
+  auto path = NodePath(req.nodeid);
+  if (!path.ok()) {
+    return ErrorReply(path.status());
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  auto target = path->inode->Readlink();
+  if (!target.ok()) {
+    return ErrorReply(target.status());
+  }
+  FuseReply reply;
+  reply.data = std::move(target).value();
+  return reply;
+}
+
+FuseReply CntrFsServer::DoLink(const FuseRequest& req) {
+  auto dir = NodePath(req.nodeid);
+  auto target = NodePath(req.nodeid2);
+  if (!dir.ok()) {
+    return ErrorReply(dir.status());
+  }
+  if (!target.ok()) {
+    return ErrorReply(target.status());
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  Status st = dir->inode->Link(req.name, target->inode);
+  if (!st.ok()) {
+    return ErrorReply(st);
+  }
+  auto entry = MakeEntry(VfsPath{dir->mount, target->inode});
+  if (!entry.ok()) {
+    return ErrorReply(entry.status());
+  }
+  FuseReply reply;
+  reply.entry = entry.value();
+  return reply;
+}
+
+FuseReply CntrFsServer::DoRename(const FuseRequest& req) {
+  auto src_dir = NodePath(req.nodeid);
+  auto dst_dir = NodePath(req.nodeid2);
+  if (!src_dir.ok()) {
+    return ErrorReply(src_dir.status());
+  }
+  if (!dst_dir.ok()) {
+    return ErrorReply(dst_dir.status());
+  }
+  if (src_dir->mount->fs() != dst_dir->mount->fs()) {
+    return FuseReply::Error(EXDEV);
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  Status st = src_dir->mount->fs()->Rename(src_dir->inode, req.name, dst_dir->inode, req.name2,
+                                           static_cast<uint32_t>(req.flags));
+  if (!st.ok()) {
+    return ErrorReply(st);
+  }
+  kernel_->dcache().Invalidate(src_dir->inode.get(), req.name);
+  kernel_->dcache().Invalidate(dst_dir->inode.get(), req.name2);
+  return FuseReply{};
+}
+
+FuseReply CntrFsServer::DoStatfs(const FuseRequest& req) {
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  auto statfs = root_.mount->fs()->Statfs();
+  if (!statfs.ok()) {
+    return ErrorReply(statfs.status());
+  }
+  FuseReply reply;
+  reply.statfs = statfs.value();
+  return reply;
+}
+
+FuseReply CntrFsServer::DoXattr(const FuseRequest& req) {
+  auto path = NodePath(req.nodeid);
+  if (!path.ok()) {
+    return ErrorReply(path.status());
+  }
+  kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  FuseReply reply;
+  switch (req.opcode) {
+    case FuseOpcode::kSetxattr: {
+      Status st = path->inode->SetXattr(req.name, req.data, req.flags);
+      if (!st.ok()) {
+        return ErrorReply(st);
+      }
+      return reply;
+    }
+    case FuseOpcode::kGetxattr: {
+      auto value = path->inode->GetXattr(req.name);
+      if (!value.ok()) {
+        return ErrorReply(value.status());
+      }
+      reply.data = std::move(value).value();
+      return reply;
+    }
+    case FuseOpcode::kListxattr: {
+      auto names = path->inode->ListXattr();
+      if (!names.ok()) {
+        return ErrorReply(names.status());
+      }
+      reply.names = std::move(names).value();
+      return reply;
+    }
+    case FuseOpcode::kRemovexattr: {
+      Status st = path->inode->RemoveXattr(req.name);
+      if (!st.ok()) {
+        return ErrorReply(st);
+      }
+      return reply;
+    }
+    default:
+      return FuseReply::Error(ENOSYS);
+  }
+}
+
+FuseReply CntrFsServer::DoAccess(const FuseRequest& req) {
+  auto path = NodePath(req.nodeid);
+  if (!path.ok()) {
+    return ErrorReply(path.status());
+  }
+  auto attr = path->inode->Getattr();
+  if (!attr.ok()) {
+    return ErrorReply(attr.status());
+  }
+  Status st = kernel::CheckAccess(attr.value(), CallerCreds(req),
+                                  static_cast<int>(req.size));
+  if (!st.ok()) {
+    return ErrorReply(st);
+  }
+  return FuseReply{};
+}
+
+FuseReply CntrFsServer::DoForget(const FuseRequest& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.forgets;
+  auto drop = [&](uint64_t nodeid) {
+    auto it = nodes_.find(nodeid);
+    if (it == nodes_.end()) {
+      return;
+    }
+    if (--it->second.lookup_count == 0) {
+      auto attr = it->second.path.inode->Getattr();
+      if (attr.ok()) {
+        by_dev_ino_.erase(DevIno{attr->dev, attr->ino});
+      }
+      nodes_.erase(it);
+    }
+  };
+  if (req.opcode == FuseOpcode::kForget) {
+    drop(req.nodeid);
+  } else {
+    for (uint64_t nodeid : req.forget_nodes) {
+      drop(nodeid);
+    }
+  }
+  return FuseReply{};
+}
+
+void CntrFsServer::OnDestroy() {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_files_.clear();
+  nodes_.clear();
+  by_dev_ino_.clear();
+}
+
+}  // namespace cntr::core

@@ -1,0 +1,114 @@
+// CNTRFS — the passthrough FUSE server at the heart of CNTR (paper §3, §4).
+//
+// The server runs as a process of the simulated kernel (on the host or
+// inside the "fat" container after setns) and serves that process's view of
+// the filesystem — mount crossings and all — to the slim container through
+// the FUSE protocol.
+//
+// Fidelity notes, matching the Rust implementation's behaviour:
+//  * Every LOOKUP costs one open() plus one stat() on the server side, and
+//    hardlinks are deduplicated through a (dev, ino) table — the exact
+//    mechanism the paper blames for the compilebench/postmark outliers
+//    (§5.2.2).
+//  * POSIX ACL decisions are delegated to the underlying filesystem by
+//    impersonating the caller's fsuid/fsgid per request (setfsuid-style);
+//    supplementary groups do not travel, which reproduces the xfstests #375
+//    failure (§5.1).
+//  * RLIMIT_FSIZE of the calling process is not enforced because operations
+//    replay as the server (§5.1, #228).
+#ifndef CNTR_SRC_CORE_CNTRFS_H_
+#define CNTR_SRC_CORE_CNTRFS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/fuse/fuse_proto.h"
+#include "src/fuse/fuse_server.h"
+#include "src/kernel/kernel.h"
+
+namespace cntr::core {
+
+class CntrFsServer : public fuse::FuseHandler {
+ public:
+  // Serves `source_root` (usually "/") as seen by `server_proc`.
+  static StatusOr<std::unique_ptr<CntrFsServer>> Create(kernel::Kernel* kernel,
+                                                        kernel::ProcessPtr server_proc,
+                                                        const std::string& source_root);
+
+  fuse::FuseReply Handle(const fuse::FuseRequest& request) override;
+  void OnDestroy() override;
+
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t creates = 0;
+    uint64_t forgets = 0;
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  CntrFsServer(kernel::Kernel* kernel, kernel::ProcessPtr server_proc, kernel::VfsPath root);
+
+  struct Node {
+    kernel::VfsPath path;     // server-side position (mount + inode)
+    uint64_t lookup_count = 0;
+  };
+
+  // (dev, ino) -> nodeid, so hardlinked paths resolve to one FUSE inode.
+  using DevIno = std::pair<uint64_t, uint64_t>;
+
+  StatusOr<kernel::VfsPath> NodePath(uint64_t nodeid) const;
+  uint64_t InternNode(const kernel::VfsPath& path, const kernel::InodeAttr& attr);
+  kernel::Credentials CallerCreds(const fuse::FuseRequest& req) const;
+
+  fuse::FuseReply DoLookup(const fuse::FuseRequest& req);
+  fuse::FuseReply DoGetattr(const fuse::FuseRequest& req);
+  fuse::FuseReply DoSetattr(const fuse::FuseRequest& req);
+  fuse::FuseReply DoOpen(const fuse::FuseRequest& req, bool dir);
+  fuse::FuseReply DoRead(const fuse::FuseRequest& req);
+  fuse::FuseReply DoWrite(const fuse::FuseRequest& req);
+  fuse::FuseReply DoRelease(const fuse::FuseRequest& req);
+  fuse::FuseReply DoFsync(const fuse::FuseRequest& req);
+  fuse::FuseReply DoReaddir(const fuse::FuseRequest& req);
+  fuse::FuseReply DoMknod(const fuse::FuseRequest& req);
+  fuse::FuseReply DoMkdir(const fuse::FuseRequest& req);
+  fuse::FuseReply DoUnlink(const fuse::FuseRequest& req, bool dir);
+  fuse::FuseReply DoSymlink(const fuse::FuseRequest& req);
+  fuse::FuseReply DoReadlink(const fuse::FuseRequest& req);
+  fuse::FuseReply DoLink(const fuse::FuseRequest& req);
+  fuse::FuseReply DoRename(const fuse::FuseRequest& req);
+  fuse::FuseReply DoStatfs(const fuse::FuseRequest& req);
+  fuse::FuseReply DoXattr(const fuse::FuseRequest& req);
+  fuse::FuseReply DoAccess(const fuse::FuseRequest& req);
+  fuse::FuseReply DoForget(const fuse::FuseRequest& req);
+  fuse::FuseReply DoInit(const fuse::FuseRequest& req);
+
+  // Builds the entry reply (nodeid + attr + TTLs) for a resolved child.
+  StatusOr<fuse::FuseEntryOut> MakeEntry(const kernel::VfsPath& child);
+
+  kernel::Kernel* kernel_;
+  kernel::ProcessPtr server_proc_;
+  kernel::VfsPath root_;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Node> nodes_;
+  std::map<DevIno, uint64_t> by_dev_ino_;
+  uint64_t next_nodeid_ = 2;  // 1 is the root
+  std::map<uint64_t, kernel::FilePtr> open_files_;
+  uint64_t next_fh_ = 1;
+  Stats stats_;
+
+  // TTLs handed to the kernel side; mirror rust-fuse defaults.
+  uint64_t entry_ttl_ns_ = 1'000'000'000;
+  uint64_t attr_ttl_ns_ = 1'000'000'000;
+};
+
+}  // namespace cntr::core
+
+#endif  // CNTR_SRC_CORE_CNTRFS_H_

@@ -1,0 +1,183 @@
+#include "src/core/context.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "src/util/strings.h"
+
+namespace cntr::core {
+
+namespace {
+
+StatusOr<std::string> ReadProcFile(kernel::Kernel* kernel, kernel::Process& caller,
+                                   const std::string& path) {
+  CNTR_ASSIGN_OR_RETURN(kernel::Fd fd, kernel->Open(caller, path, kernel::kORdOnly));
+  std::string out;
+  char buf[4096];
+  while (true) {
+    auto n = kernel->Read(caller, fd, buf, sizeof(buf));
+    if (!n.ok()) {
+      (void)kernel->Close(caller, fd);
+      return n.status();
+    }
+    if (n.value() == 0) {
+      break;
+    }
+    out.append(buf, n.value());
+  }
+  (void)kernel->Close(caller, fd);
+  return out;
+}
+
+uint64_t ParseHex(const std::string& s) { return std::strtoull(s.c_str(), nullptr, 16); }
+
+}  // namespace
+
+StatusOr<ParsedStatus> ParseProcStatus(const std::string& text) {
+  ParsedStatus out;
+  for (const auto& line : SplitString(text, '\n')) {
+    auto fields = SplitString(line, '\t');
+    if (fields.empty()) {
+      continue;
+    }
+    const std::string& key = fields[0];
+    if (key == "Name:" && fields.size() >= 2) {
+      out.name = fields[1];
+    } else if (key == "Uid:" && fields.size() >= 2) {
+      out.uid = static_cast<kernel::Uid>(std::strtoul(fields[1].c_str(), nullptr, 10));
+    } else if (key == "Gid:" && fields.size() >= 2) {
+      out.gid = static_cast<kernel::Gid>(std::strtoul(fields[1].c_str(), nullptr, 10));
+    } else if (key == "CapEff:" && fields.size() >= 2) {
+      out.cap_effective = ParseHex(fields[1]);
+    } else if (key == "CapPrm:" && fields.size() >= 2) {
+      out.cap_permitted = ParseHex(fields[1]);
+    } else if (key == "CapBnd:" && fields.size() >= 2) {
+      out.cap_bounding = ParseHex(fields[1]);
+    }
+  }
+  if (out.name.empty()) {
+    return Status::Error(EINVAL, "malformed /proc status");
+  }
+  return out;
+}
+
+std::vector<kernel::IdMapRange> ParseIdMap(const std::string& text) {
+  std::vector<kernel::IdMapRange> out;
+  for (const auto& line : SplitString(text, '\n')) {
+    if (line.empty()) {
+      continue;
+    }
+    // "inside outside count" with arbitrary spacing.
+    std::vector<uint32_t> nums;
+    const char* p = line.c_str();
+    char* end = nullptr;
+    while (*p != '\0' && nums.size() < 3) {
+      unsigned long v = std::strtoul(p, &end, 10);
+      if (end == p) {
+        break;
+      }
+      nums.push_back(static_cast<uint32_t>(v));
+      p = end;
+    }
+    if (nums.size() == 3) {
+      out.push_back(kernel::IdMapRange{nums[0], nums[1], nums[2]});
+    }
+  }
+  // The identity map renders as one full-range line; treat it as "no map".
+  if (out.size() == 1 && out[0].inside == 0 && out[0].outside == 0 &&
+      out[0].count == 4294967295u) {
+    out.clear();
+  }
+  return out;
+}
+
+std::map<std::string, std::string> ParseEnviron(const std::string& text) {
+  std::map<std::string, std::string> out;
+  for (const auto& entry : SplitString(text, '\0')) {
+    if (entry.empty()) {
+      continue;
+    }
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    out[entry.substr(0, eq)] = entry.substr(eq + 1);
+  }
+  return out;
+}
+
+StatusOr<ContainerContext> GatherContext(kernel::Kernel* kernel, kernel::Process& caller,
+                                         kernel::Pid pid) {
+  ContainerContext ctx;
+  ctx.pid = pid;
+  std::string base = "/proc/" + std::to_string(pid);
+
+  // status: credentials + capability sets.
+  CNTR_ASSIGN_OR_RETURN(std::string status_text, ReadProcFile(kernel, caller, base + "/status"));
+  CNTR_ASSIGN_OR_RETURN(ParsedStatus status, ParseProcStatus(status_text));
+  ctx.uid = status.uid;
+  ctx.gid = status.gid;
+  ctx.cap_effective = kernel::CapSet::FromRaw(status.cap_effective);
+  ctx.cap_permitted = kernel::CapSet::FromRaw(status.cap_permitted);
+  ctx.cap_bounding = kernel::CapSet::FromRaw(status.cap_bounding);
+
+  // environ: heavily used for configuration/service discovery (§3.2.1).
+  CNTR_ASSIGN_OR_RETURN(std::string environ_text, ReadProcFile(kernel, caller, base + "/environ"));
+  ctx.env = ParseEnviron(environ_text);
+
+  // uid/gid maps.
+  CNTR_ASSIGN_OR_RETURN(std::string uid_map_text, ReadProcFile(kernel, caller, base + "/uid_map"));
+  CNTR_ASSIGN_OR_RETURN(std::string gid_map_text, ReadProcFile(kernel, caller, base + "/gid_map"));
+  ctx.uid_map = ParseIdMap(uid_map_text);
+  ctx.gid_map = ParseIdMap(gid_map_text);
+
+  // cgroup path, resolved against the cgroup hierarchy.
+  CNTR_ASSIGN_OR_RETURN(std::string cgroup_text, ReadProcFile(kernel, caller, base + "/cgroup"));
+  for (const auto& line : SplitString(cgroup_text, '\n')) {
+    if (StartsWith(line, "0::")) {
+      ctx.cgroup_path = line.substr(3);
+      break;
+    }
+  }
+  if (!ctx.cgroup_path.empty()) {
+    auto node = kernel->cgroup_root();
+    for (const auto& comp : SplitPath(ctx.cgroup_path)) {
+      auto child = node->FindChild(comp);
+      if (child == nullptr) {
+        node = nullptr;
+        break;
+      }
+      node = child;
+    }
+    ctx.cgroup = node;
+  }
+
+  // LSM profile.
+  auto lsm_text = ReadProcFile(kernel, caller, base + "/attr_current");
+  if (lsm_text.ok()) {
+    std::string name = lsm_text.value();
+    while (!name.empty() && (name.back() == '\n' || name.back() == ' ')) {
+      name.pop_back();
+    }
+    ctx.lsm_profile = name;
+  }
+
+  // Namespace handles via /proc/<pid>/ns/*.
+  auto open_ns = [&](const char* name) -> StatusOr<std::shared_ptr<kernel::NamespaceBase>> {
+    CNTR_ASSIGN_OR_RETURN(kernel::Fd fd, kernel->Open(caller, base + "/ns/" + name,
+                                                      kernel::kORdOnly));
+    auto ns = kernel->NamespaceOfFd(caller, fd);
+    (void)kernel->Close(caller, fd);
+    return ns;
+  };
+  CNTR_ASSIGN_OR_RETURN(ctx.mnt_ns, open_ns("mnt"));
+  CNTR_ASSIGN_OR_RETURN(ctx.pid_ns, open_ns("pid"));
+  CNTR_ASSIGN_OR_RETURN(ctx.user_ns, open_ns("user"));
+  CNTR_ASSIGN_OR_RETURN(ctx.uts_ns, open_ns("uts"));
+  CNTR_ASSIGN_OR_RETURN(ctx.ipc_ns, open_ns("ipc"));
+  CNTR_ASSIGN_OR_RETURN(ctx.net_ns, open_ns("net"));
+  CNTR_ASSIGN_OR_RETURN(ctx.cgroup_ns, open_ns("cgroup"));
+  return ctx;
+}
+
+}  // namespace cntr::core

@@ -1,0 +1,72 @@
+// Step #1 of the CNTR attach workflow (paper §3.2.1): given the pid of a
+// process inside the target container, gather its complete execution
+// context from /proc — namespaces, environment, capabilities, uid/gid maps,
+// cgroup, and the LSM profile. Everything is parsed from procfs text, the
+// same way the Rust implementation reads the real /proc.
+#ifndef CNTR_SRC_CORE_CONTEXT_H_
+#define CNTR_SRC_CORE_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+
+namespace cntr::core {
+
+struct ContainerContext {
+  kernel::Pid pid = 0;
+
+  // Namespace handles (obtained by opening /proc/<pid>/ns/*).
+  std::shared_ptr<kernel::NamespaceBase> mnt_ns;
+  std::shared_ptr<kernel::NamespaceBase> pid_ns;
+  std::shared_ptr<kernel::NamespaceBase> user_ns;
+  std::shared_ptr<kernel::NamespaceBase> uts_ns;
+  std::shared_ptr<kernel::NamespaceBase> ipc_ns;
+  std::shared_ptr<kernel::NamespaceBase> net_ns;
+  std::shared_ptr<kernel::NamespaceBase> cgroup_ns;
+
+  // Credentials & capabilities (from /proc/<pid>/status).
+  kernel::Uid uid = 0;
+  kernel::Gid gid = 0;
+  kernel::CapSet cap_effective;
+  kernel::CapSet cap_permitted;
+  kernel::CapSet cap_bounding;
+
+  // uid/gid maps (from /proc/<pid>/uid_map, gid_map).
+  std::vector<kernel::IdMapRange> uid_map;
+  std::vector<kernel::IdMapRange> gid_map;
+
+  // Environment (from /proc/<pid>/environ).
+  std::map<std::string, std::string> env;
+
+  // cgroup (path from /proc/<pid>/cgroup, resolved to the node).
+  std::string cgroup_path;
+  std::shared_ptr<kernel::CgroupNode> cgroup;
+
+  // LSM profile name (from /proc/<pid>/attr_current).
+  std::string lsm_profile;
+};
+
+// Reads the full context of `pid` as seen by `caller` (which must be able
+// to read the pid's /proc entries, i.e. share or dominate its pid ns).
+StatusOr<ContainerContext> GatherContext(kernel::Kernel* kernel, kernel::Process& caller,
+                                         kernel::Pid pid);
+
+// Parsers, exposed for tests.
+struct ParsedStatus {
+  std::string name;
+  kernel::Uid uid = 0;
+  kernel::Gid gid = 0;
+  uint64_t cap_effective = 0;
+  uint64_t cap_permitted = 0;
+  uint64_t cap_bounding = 0;
+};
+StatusOr<ParsedStatus> ParseProcStatus(const std::string& text);
+std::vector<kernel::IdMapRange> ParseIdMap(const std::string& text);
+std::map<std::string, std::string> ParseEnviron(const std::string& text);
+
+}  // namespace cntr::core
+
+#endif  // CNTR_SRC_CORE_CONTEXT_H_

@@ -1,0 +1,90 @@
+#include "src/core/nested_ns.h"
+
+#include <cerrno>
+
+#include "src/fuse/fuse_mount.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace cntr::core {
+
+namespace {
+
+Status MkdirAll(kernel::Kernel* kernel, kernel::Process& proc, const std::string& path) {
+  std::string cur;
+  for (const auto& comp : SplitPath(path)) {
+    cur += "/" + comp;
+    Status st = kernel->Mkdir(proc, cur, 0755);
+    if (!st.ok() && st.error() != EEXIST) {
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+bool Exists(kernel::Kernel* kernel, kernel::Process& proc, const std::string& path) {
+  return kernel->Stat(proc, path).ok();
+}
+
+}  // namespace
+
+StatusOr<NestedNamespaceResult> SetupNestedNamespace(kernel::Kernel* kernel,
+                                                     kernel::Process& attach_proc,
+                                                     std::shared_ptr<fuse::FuseConn> conn,
+                                                     const fuse::FuseMountOptions& fuse_opts) {
+  NestedNamespaceResult result;
+
+  // 2. Nested mount namespace, all mounts private (further mount events must
+  //    not propagate back to the application container).
+  CNTR_RETURN_IF_ERROR(kernel->Unshare(attach_proc, kernel::kCloneNewNs));
+  CNTR_RETURN_IF_ERROR(kernel->MakeAllPrivate(attach_proc));
+
+  // 3. CntrFS at a temporary mountpoint inside the container.
+  const std::string tmp = "/tmp/.cntr-attach";
+  CNTR_RETURN_IF_ERROR(MkdirAll(kernel, attach_proc, tmp));
+  CNTR_ASSIGN_OR_RETURN(result.fuse_fs,
+                        fuse::MountFuse(kernel, attach_proc, tmp, std::move(conn), fuse_opts));
+
+  // 4. The application filesystem moves under TMP/var/lib/cntr. The mkdir
+  //    happens *through CntrFS*, i.e. on the tool filesystem's side.
+  CNTR_RETURN_IF_ERROR(MkdirAll(kernel, attach_proc, tmp + result.app_mount_point));
+  CNTR_RETURN_IF_ERROR(
+      kernel->BindMount(attach_proc, "/", tmp + result.app_mount_point, /*recursive=*/true));
+
+  // 5. The application's pseudo filesystems over the tools'.
+  if (Exists(kernel, attach_proc, "/proc")) {
+    CNTR_RETURN_IF_ERROR(MkdirAll(kernel, attach_proc, tmp + "/proc"));
+    CNTR_RETURN_IF_ERROR(kernel->BindMount(attach_proc, "/proc", tmp + "/proc"));
+  }
+  if (Exists(kernel, attach_proc, "/dev")) {
+    CNTR_RETURN_IF_ERROR(MkdirAll(kernel, attach_proc, tmp + "/dev"));
+    CNTR_RETURN_IF_ERROR(kernel->BindMount(attach_proc, "/dev", tmp + "/dev"));
+  }
+
+  // 6. Application config files over the tool filesystem's copies.
+  for (const char* cfg : {"/etc/passwd", "/etc/hostname", "/etc/resolv.conf", "/etc/hosts"}) {
+    if (!Exists(kernel, attach_proc, cfg)) {
+      continue;
+    }
+    // Target must exist on the CntrFS side for a file bind; create if absent.
+    std::string target = tmp + cfg;
+    if (!Exists(kernel, attach_proc, target)) {
+      CNTR_RETURN_IF_ERROR(MkdirAll(kernel, attach_proc, std::string(Dirname(target))));
+      auto fd = kernel->Open(attach_proc, target,
+                             kernel::kOWrOnly | kernel::kOCreat, 0644);
+      if (!fd.ok()) {
+        continue;  // read-only tools fs: skip this config bind
+      }
+      (void)kernel->Close(attach_proc, fd.value());
+    }
+    CNTR_RETURN_IF_ERROR(kernel->BindMount(attach_proc, cfg, target));
+  }
+
+  // 7. chroot TMP/ -> /.
+  CNTR_RETURN_IF_ERROR(kernel->PivotIntoTmp(attach_proc, tmp));
+  CNTR_ILOG << "nested namespace ready: tools at /, application at "
+            << result.app_mount_point;
+  return result;
+}
+
+}  // namespace cntr::core

@@ -1,0 +1,44 @@
+// Step #3 of the attach workflow (paper §3.2.3): build the nested mount
+// namespace that merges the slim container's filesystem with the fat
+// container's (or host's) through CntrFS.
+//
+// The sequence, faithful to the paper:
+//   1. the attach process has already joined the application container's
+//      namespaces and cgroup;
+//   2. unshare a nested mount namespace and mark every mount private so
+//      nothing propagates back;
+//   3. mount CntrFS at a temporary directory TMP/;
+//   4. re-expose the application's filesystem at TMP/var/lib/cntr via a
+//      recursive bind of the old root;
+//   5. bind the application's /proc and /dev over the tool filesystem's, so
+//      tools observe the application's processes and devices;
+//   6. bind application config files (/etc/passwd, /etc/hostname,
+//      /etc/resolv.conf) over the tool filesystem's copies;
+//   7. chroot to TMP/, turning it into /.
+#ifndef CNTR_SRC_CORE_NESTED_NS_H_
+#define CNTR_SRC_CORE_NESTED_NS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/fuse/fuse_fs.h"
+#include "src/kernel/kernel.h"
+
+namespace cntr::core {
+
+struct NestedNamespaceResult {
+  // Where the application filesystem is visible inside the nested ns.
+  std::string app_mount_point = "/var/lib/cntr";
+  std::shared_ptr<fuse::FuseFs> fuse_fs;
+};
+
+// `attach_proc` must already be inside the application container's
+// namespaces. `conn` is the /dev/fuse connection whose server is running.
+StatusOr<NestedNamespaceResult> SetupNestedNamespace(kernel::Kernel* kernel,
+                                                     kernel::Process& attach_proc,
+                                                     std::shared_ptr<fuse::FuseConn> conn,
+                                                     const fuse::FuseMountOptions& fuse_opts);
+
+}  // namespace cntr::core
+
+#endif  // CNTR_SRC_CORE_NESTED_NS_H_

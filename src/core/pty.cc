@@ -1,0 +1,73 @@
+#include "src/core/pty.h"
+
+#include <cerrno>
+
+namespace cntr::core {
+
+namespace {
+
+// One end of the pty: reads from one ring, writes to the other.
+class PtyEnd : public kernel::FileDescription {
+ public:
+  PtyEnd(std::shared_ptr<kernel::PipeBuffer> in, std::shared_ptr<kernel::PipeBuffer> out)
+      : kernel::FileDescription(nullptr, kernel::kORdWr), in_(std::move(in)),
+        out_(std::move(out)) {
+    in_->AddReader();
+    out_->AddWriter();
+  }
+  ~PtyEnd() override {
+    in_->DropReader();
+    out_->DropWriter();
+  }
+
+  StatusOr<size_t> Read(void* buf, size_t count, uint64_t offset) override {
+    return in_->Read(static_cast<char*>(buf), count, nonblocking());
+  }
+  StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset) override {
+    return out_->Write(static_cast<const char*>(buf), count, nonblocking());
+  }
+  uint32_t PollEvents() override {
+    uint32_t ev = 0;
+    if (in_->Available() > 0) {
+      ev |= kernel::kPollIn;
+    }
+    if (out_->SpaceLeft() > 0) {
+      ev |= kernel::kPollOut;
+    }
+    return ev;
+  }
+
+ private:
+  std::shared_ptr<kernel::PipeBuffer> in_;
+  std::shared_ptr<kernel::PipeBuffer> out_;
+};
+
+}  // namespace
+
+Pty::Pty(kernel::Kernel* kernel)
+    : to_shell_(std::make_shared<kernel::PipeBuffer>(&kernel->poll_hub())),
+      from_shell_(std::make_shared<kernel::PipeBuffer>(&kernel->poll_hub())) {
+  master_ = std::make_shared<PtyEnd>(from_shell_, to_shell_);
+  slave_ = std::make_shared<PtyEnd>(to_shell_, from_shell_);
+}
+
+Status Pty::WriteLineToShell(const std::string& line) {
+  std::string with_newline = line + "\n";
+  auto n = master_->Write(with_newline.data(), with_newline.size(), 0);
+  return n.status();
+}
+
+std::string Pty::DrainShellOutput() {
+  std::string out;
+  char buf[4096];
+  while (from_shell_->Available() > 0) {
+    auto n = from_shell_->Read(buf, sizeof(buf), /*nonblock=*/true);
+    if (!n.ok() || n.value() == 0) {
+      break;
+    }
+    out.append(buf, n.value());
+  }
+  return out;
+}
+
+}  // namespace cntr::core

@@ -1,0 +1,42 @@
+// Pseudo-TTY plumbing for the interactive shell (paper §3.2.4, 221 LoC in
+// the Rust implementation).
+//
+// CNTR never leaks the user's terminal file descriptors into the container:
+// the pty pair acts as a proxy, the master staying with the user on the
+// host, the slave becoming the shell's stdin/stdout inside the nested
+// namespace.
+#ifndef CNTR_SRC_CORE_PTY_H_
+#define CNTR_SRC_CORE_PTY_H_
+
+#include <memory>
+#include <string>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/pipe.h"
+
+namespace cntr::core {
+
+class Pty {
+ public:
+  explicit Pty(kernel::Kernel* kernel);
+
+  // Host side: what the user terminal reads/writes.
+  const kernel::FilePtr& master() const { return master_; }
+  // Container side: the shell's stdin/stdout.
+  const kernel::FilePtr& slave() const { return slave_; }
+
+  // Convenience line I/O on the master (what a human at the terminal does).
+  Status WriteLineToShell(const std::string& line);
+  // Reads everything currently buffered from the shell (non-blocking).
+  std::string DrainShellOutput();
+
+ private:
+  std::shared_ptr<kernel::PipeBuffer> to_shell_;
+  std::shared_ptr<kernel::PipeBuffer> from_shell_;
+  kernel::FilePtr master_;
+  kernel::FilePtr slave_;
+};
+
+}  // namespace cntr::core
+
+#endif  // CNTR_SRC_CORE_PTY_H_

@@ -1,0 +1,416 @@
+#include "src/core/shell.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+#include "src/util/strings.h"
+
+namespace cntr::core {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool quoted = false;
+  for (char c : line) {
+    if (c == '"') {
+      quoted = !quoted;
+      continue;
+    }
+    if (c == ' ' && !quoted) {
+      if (!cur.empty()) {
+        out.push_back(std::move(cur));
+        cur.clear();
+      }
+      continue;
+    }
+    cur.push_back(c);
+  }
+  if (!cur.empty()) {
+    out.push_back(std::move(cur));
+  }
+  return out;
+}
+
+char TypeChar(kernel::Mode mode) {
+  if (kernel::IsDir(mode)) {
+    return 'd';
+  }
+  if (kernel::IsLnk(mode)) {
+    return 'l';
+  }
+  if (kernel::IsChr(mode)) {
+    return 'c';
+  }
+  if (kernel::IsBlk(mode)) {
+    return 'b';
+  }
+  if (kernel::IsSock(mode)) {
+    return 's';
+  }
+  if (kernel::IsFifo(mode)) {
+    return 'p';
+  }
+  return '-';
+}
+
+}  // namespace
+
+std::string ToolboxShell::Execute(const std::string& command_line) {
+  auto args = Tokenize(command_line);
+  if (args.empty()) {
+    return "";
+  }
+  std::string cmd = args[0];
+  args.erase(args.begin());
+
+  // Output redirection: `echo hi > /file`.
+  std::string redirect;
+  for (size_t i = 0; i + 1 < args.size() + 1; ++i) {
+    if (i < args.size() && args[i] == ">") {
+      if (i + 1 < args.size()) {
+        redirect = args[i + 1];
+      }
+      args.resize(i);
+      break;
+    }
+  }
+
+  std::string out;
+  if (cmd == "ls") {
+    out = Ls(args);
+  } else if (cmd == "cat" || cmd == "head") {
+    out = Cat(args);
+  } else if (cmd == "echo") {
+    for (size_t i = 0; i < args.size(); ++i) {
+      out += (i > 0 ? " " : "") + args[i];
+    }
+    out += "\n";
+  } else if (cmd == "stat") {
+    out = Stat(args);
+  } else if (cmd == "ps") {
+    out = Ps();
+  } else if (cmd == "env") {
+    out = Env();
+  } else if (cmd == "hostname") {
+    out = proc_->uts_ns->hostname() + "\n";
+  } else if (cmd == "pwd") {
+    out = "(cwd)\n";
+  } else if (cmd == "cd") {
+    Status st = args.empty() ? Status::Ok() : kernel_->Chdir(*proc_, args[0]);
+    out = st.ok() ? "" : "cd: " + st.ToString() + "\n";
+  } else if (cmd == "mkdir") {
+    for (const auto& a : args) {
+      Status st = kernel_->Mkdir(*proc_, a);
+      if (!st.ok()) {
+        out += "mkdir: " + a + ": " + st.ToString() + "\n";
+      }
+    }
+  } else if (cmd == "rm") {
+    for (const auto& a : args) {
+      Status st = kernel_->Unlink(*proc_, a);
+      if (!st.ok()) {
+        out += "rm: " + a + ": " + st.ToString() + "\n";
+      }
+    }
+  } else if (cmd == "rmdir") {
+    for (const auto& a : args) {
+      Status st = kernel_->Rmdir(*proc_, a);
+      if (!st.ok()) {
+        out += "rmdir: " + a + ": " + st.ToString() + "\n";
+      }
+    }
+  } else if (cmd == "touch") {
+    for (const auto& a : args) {
+      auto fd = kernel_->Open(*proc_, a, kernel::kOWrOnly | kernel::kOCreat, 0644);
+      if (fd.ok()) {
+        (void)kernel_->Close(*proc_, fd.value());
+      } else {
+        out += "touch: " + a + ": " + fd.status().ToString() + "\n";
+      }
+    }
+  } else if (cmd == "mv") {
+    if (args.size() == 2) {
+      Status st = kernel_->Rename(*proc_, args[0], args[1]);
+      if (!st.ok()) {
+        out = "mv: " + st.ToString() + "\n";
+      }
+    } else {
+      out = "usage: mv <from> <to>\n";
+    }
+  } else if (cmd == "ln") {
+    if (args.size() == 3 && args[0] == "-s") {
+      Status st = kernel_->Symlink(*proc_, args[1], args[2]);
+      if (!st.ok()) {
+        out = "ln: " + st.ToString() + "\n";
+      }
+    } else if (args.size() == 2) {
+      Status st = kernel_->Link(*proc_, args[0], args[1]);
+      if (!st.ok()) {
+        out = "ln: " + st.ToString() + "\n";
+      }
+    } else {
+      out = "usage: ln [-s] <target> <link>\n";
+    }
+  } else if (cmd == "cp") {
+    if (args.size() == 2) {
+      auto content = Cat({args[0]});
+      auto fd = kernel_->Open(*proc_, args[1],
+                              kernel::kOWrOnly | kernel::kOCreat | kernel::kOTrunc, 0644);
+      if (fd.ok()) {
+        (void)kernel_->Write(*proc_, fd.value(), content.data(), content.size());
+        (void)kernel_->Close(*proc_, fd.value());
+      } else {
+        out = "cp: " + fd.status().ToString() + "\n";
+      }
+    } else {
+      out = "usage: cp <from> <to>\n";
+    }
+  } else if (cmd == "readlink") {
+    for (const auto& a : args) {
+      auto target = kernel_->Readlink(*proc_, a);
+      out += target.ok() ? target.value() + "\n" : "readlink: " + target.status().ToString() + "\n";
+    }
+  } else if (cmd == "which") {
+    out = Which(args);
+  } else if (cmd == "df") {
+    out = Df(args);
+  } else if (cmd == "mount") {
+    out = MountList();
+  } else if (cmd == "gdb") {
+    out = Gdb(args);
+  } else if (cmd == "write") {
+    if (args.size() >= 2) {
+      auto fd = kernel_->Open(*proc_, args[0],
+                              kernel::kOWrOnly | kernel::kOCreat | kernel::kOTrunc, 0644);
+      if (fd.ok()) {
+        (void)kernel_->Write(*proc_, fd.value(), args[1].data(), args[1].size());
+        (void)kernel_->Close(*proc_, fd.value());
+      } else {
+        out = "write: " + fd.status().ToString() + "\n";
+      }
+    } else {
+      out = "usage: write <path> <data>\n";
+    }
+  } else if (cmd == "true") {
+    out = "";
+  } else if (cmd == "false") {
+    out = "";
+  } else {
+    out = cmd + ": command not found\n";
+  }
+
+  if (!redirect.empty()) {
+    auto fd = kernel_->Open(*proc_, redirect,
+                            kernel::kOWrOnly | kernel::kOCreat | kernel::kOTrunc, 0644);
+    if (!fd.ok()) {
+      return cmd + ": cannot redirect to " + redirect + ": " + fd.status().ToString() + "\n";
+    }
+    (void)kernel_->Write(*proc_, fd.value(), out.data(), out.size());
+    (void)kernel_->Close(*proc_, fd.value());
+    return "";
+  }
+  return out;
+}
+
+std::string ToolboxShell::Ls(const std::vector<std::string>& args) {
+  std::string path = args.empty() ? "." : args.back();
+  bool long_format = !args.empty() && args[0] == "-l";
+  if (long_format && args.size() == 1) {
+    path = ".";
+  }
+  auto fd = kernel_->Open(*proc_, path, kernel::kORdOnly | kernel::kODirectory);
+  if (!fd.ok()) {
+    // Maybe a file.
+    auto attr = kernel_->Stat(*proc_, path);
+    if (attr.ok()) {
+      return path + "\n";
+    }
+    return "ls: " + path + ": " + fd.status().ToString() + "\n";
+  }
+  auto entries = kernel_->Getdents(*proc_, fd.value());
+  (void)kernel_->Close(*proc_, fd.value());
+  if (!entries.ok()) {
+    return "ls: " + entries.status().ToString() + "\n";
+  }
+  std::string out;
+  for (const auto& e : entries.value()) {
+    if (e.name == "." || e.name == "..") {
+      continue;
+    }
+    if (long_format) {
+      auto attr = kernel_->Stat(*proc_, path + "/" + e.name);
+      if (attr.ok()) {
+        char line[256];
+        std::snprintf(line, sizeof(line), "%c%03o %u:%u %10llu %s\n", TypeChar(attr->mode),
+                      attr->mode & 0777, attr->uid, attr->gid,
+                      static_cast<unsigned long long>(attr->size), e.name.c_str());
+        out += line;
+        continue;
+      }
+    }
+    out += e.name + "\n";
+  }
+  return out;
+}
+
+std::string ToolboxShell::Cat(const std::vector<std::string>& args) {
+  std::string out;
+  for (const auto& path : args) {
+    auto fd = kernel_->Open(*proc_, path, kernel::kORdOnly);
+    if (!fd.ok()) {
+      out += "cat: " + path + ": " + fd.status().ToString() + "\n";
+      continue;
+    }
+    char buf[4096];
+    while (true) {
+      auto n = kernel_->Read(*proc_, fd.value(), buf, sizeof(buf));
+      if (!n.ok() || n.value() == 0) {
+        break;
+      }
+      out.append(buf, n.value());
+    }
+    (void)kernel_->Close(*proc_, fd.value());
+  }
+  return out;
+}
+
+std::string ToolboxShell::Stat(const std::vector<std::string>& args) {
+  std::string out;
+  for (const auto& path : args) {
+    auto attr = kernel_->Stat(*proc_, path);
+    if (!attr.ok()) {
+      out += "stat: " + path + ": " + attr.status().ToString() + "\n";
+      continue;
+    }
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%s: ino=%llu mode=%c%03o nlink=%u uid=%u gid=%u size=%llu\n", path.c_str(),
+                  static_cast<unsigned long long>(attr->ino), TypeChar(attr->mode),
+                  attr->mode & 07777, attr->nlink, attr->uid, attr->gid,
+                  static_cast<unsigned long long>(attr->size));
+    out += line;
+  }
+  return out;
+}
+
+std::string ToolboxShell::Ps() {
+  // Reads the pid directories of /proc — through the container's procfs the
+  // shell sees exactly what the application sees (paper: "tools have the
+  // same view on system resources as the application").
+  auto fd = kernel_->Open(*proc_, "/proc", kernel::kORdOnly | kernel::kODirectory);
+  if (!fd.ok()) {
+    return "ps: /proc: " + fd.status().ToString() + "\n";
+  }
+  auto entries = kernel_->Getdents(*proc_, fd.value());
+  (void)kernel_->Close(*proc_, fd.value());
+  if (!entries.ok()) {
+    return "ps: " + entries.status().ToString() + "\n";
+  }
+  std::string out = "PID\tCMD\n";
+  for (const auto& e : entries.value()) {
+    if (e.name.empty() || e.name[0] < '0' || e.name[0] > '9') {
+      continue;
+    }
+    auto comm = Cat({"/proc/" + e.name + "/comm"});
+    if (!comm.empty() && comm.back() == '\n') {
+      comm.pop_back();
+    }
+    out += e.name + "\t" + comm + "\n";
+  }
+  return out;
+}
+
+std::string ToolboxShell::Env() {
+  std::string out;
+  for (const auto& [k, v] : proc_->env) {
+    out += k + "=" + v + "\n";
+  }
+  return out;
+}
+
+std::string ToolboxShell::Which(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return "usage: which <name>\n";
+  }
+  auto path_it = proc_->env.find("PATH");
+  std::string path_var = path_it != proc_->env.end() ? path_it->second : "/bin:/usr/bin";
+  for (const auto& dir : SplitString(path_var, ':')) {
+    std::string candidate = dir + "/" + args[0];
+    auto attr = kernel_->Stat(*proc_, candidate);
+    if (attr.ok() && (attr->mode & 0111) != 0) {
+      return candidate + "\n";
+    }
+  }
+  return args[0] + " not found\n";
+}
+
+std::string ToolboxShell::Df(const std::vector<std::string>& args) {
+  std::string path = args.empty() ? "/" : args[0];
+  auto statfs = kernel_->Statfs(*proc_, path);
+  if (!statfs.ok()) {
+    return "df: " + statfs.status().ToString() + "\n";
+  }
+  char line[256];
+  std::snprintf(line, sizeof(line), "%s on %s: %llu blocks, %llu free\n",
+                statfs->fs_type.c_str(), path.c_str(),
+                static_cast<unsigned long long>(statfs->total_blocks),
+                static_cast<unsigned long long>(statfs->free_blocks));
+  return line;
+}
+
+std::string ToolboxShell::MountList() {
+  std::string out;
+  for (const auto& m : proc_->mnt_ns->AllMounts()) {
+    out += m->fs()->Type() + " (" + (m->read_only() ? "ro" : "rw") + ")\n";
+  }
+  return out;
+}
+
+std::string ToolboxShell::Gdb(const std::vector<std::string>& args) {
+  // `gdb -p <pid>`: validates that the target is visible and traceable from
+  // this namespace — the paper's motivating debugging workflow.
+  if (args.size() != 2 || args[0] != "-p") {
+    return "usage: gdb -p <pid>\n";
+  }
+  std::string status = Cat({"/proc/" + args[1] + "/status"});
+  if (status.rfind("Name:", 0) != 0) {
+    return "gdb: cannot attach to " + args[1] + ": " + status;
+  }
+  if (!proc_->creds.HasCap(kernel::Capability::kSysPtrace) && proc_->creds.uid != 0) {
+    return "gdb: ptrace denied\n";
+  }
+  std::string name = SplitString(SplitString(status, '\n')[0], '\t')[1];
+  return "Attaching to process " + args[1] + " (" + name + ")... done\n(gdb) \n";
+}
+
+void ToolboxShell::RunInteractive(const kernel::FilePtr& in, const kernel::FilePtr& out) {
+  std::string pending;
+  char buf[1024];
+  while (true) {
+    size_t newline = pending.find('\n');
+    if (newline == std::string::npos) {
+      auto n = in->Read(buf, sizeof(buf), 0);
+      if (!n.ok() || n.value() == 0) {
+        return;  // EOF: terminal closed
+      }
+      pending.append(buf, n.value());
+      continue;
+    }
+    std::string line = pending.substr(0, newline);
+    pending.erase(0, newline + 1);
+    if (line == "exit") {
+      return;
+    }
+    std::string result = Execute(line);
+    if (!result.empty()) {
+      (void)out->Write(result.data(), result.size(), 0);
+    }
+    // Prompt marker so interactive callers can detect completion.
+    (void)out->Write("$ ", 2, 0);
+  }
+}
+
+}  // namespace cntr::core

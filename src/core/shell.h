@@ -1,0 +1,52 @@
+// The interactive toolbox shell CNTR drops the user into (paper step #4).
+//
+// Real CNTR executes whatever shell the debug container ships; here the
+// shell is a built-in command interpreter whose every command runs against
+// the simulated kernel as the attached process — which is exactly what
+// makes it useful as a test and demo vehicle: `ls /` lists the fat image's
+// tools through CntrFS, `ls /var/lib/cntr` the application's files, `ps`
+// reads the container's procfs, and `gdb -p 1` checks ptrace visibility.
+#ifndef CNTR_SRC_CORE_SHELL_H_
+#define CNTR_SRC_CORE_SHELL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+
+namespace cntr::core {
+
+class ToolboxShell {
+ public:
+  ToolboxShell(kernel::Kernel* kernel, kernel::ProcessPtr proc)
+      : kernel_(kernel), proc_(std::move(proc)) {}
+
+  // Executes one command line and returns its output (stdout+stderr mixed).
+  // Supported builtins: ls, cat, echo (with > redirection), stat, ps, env,
+  // hostname, pwd, cd, mkdir, rm, rmdir, cp, mv, ln, touch, which, head,
+  // df, mount, readlink, write (write <path> <data>), gdb, true/false.
+  std::string Execute(const std::string& command_line);
+
+  // Runs a read-eval loop over the given files until EOF or `exit`.
+  void RunInteractive(const kernel::FilePtr& in, const kernel::FilePtr& out);
+
+  const kernel::ProcessPtr& proc() const { return proc_; }
+
+ private:
+  std::string Ls(const std::vector<std::string>& args);
+  std::string Cat(const std::vector<std::string>& args);
+  std::string Stat(const std::vector<std::string>& args);
+  std::string Ps();
+  std::string Env();
+  std::string Which(const std::vector<std::string>& args);
+  std::string Df(const std::vector<std::string>& args);
+  std::string MountList();
+  std::string Gdb(const std::vector<std::string>& args);
+
+  kernel::Kernel* kernel_;
+  kernel::ProcessPtr proc_;
+};
+
+}  // namespace cntr::core
+
+#endif  // CNTR_SRC_CORE_SHELL_H_

@@ -1,0 +1,189 @@
+#include "src/core/socket_proxy.h"
+
+#include <cerrno>
+
+#include "src/util/logging.h"
+
+namespace cntr::core {
+
+using kernel::Fd;
+
+SocketProxy::SocketProxy(kernel::Kernel* kernel, kernel::ProcessPtr container_proc,
+                         kernel::ProcessPtr host_proc)
+    : kernel_(kernel), container_proc_(std::move(container_proc)),
+      host_proc_(std::move(host_proc)) {
+  auto ep = kernel_->EpollCreate(*container_proc_);
+  if (ep.ok()) {
+    epoll_fd_ = ep.value();
+  }
+}
+
+SocketProxy::~SocketProxy() { Stop(); }
+
+Status SocketProxy::Forward(const std::string& container_path, const std::string& host_path) {
+  CNTR_ASSIGN_OR_RETURN(Fd listen_fd, kernel_->SocketListen(*container_proc_, container_path));
+  CNTR_RETURN_IF_ERROR(kernel_->EpollCtl(*container_proc_, epoll_fd_, kernel::kEpollCtlAdd,
+                                         listen_fd, kernel::kPollIn,
+                                         static_cast<uint64_t>(listen_fd)));
+  rules_.push_back(Rule{listen_fd, host_path});
+  return Status::Ok();
+}
+
+void SocketProxy::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void SocketProxy::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  kernel_->poll_hub().Notify();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  for (auto& [src, flow] : flows_) {
+    (void)container_proc_->fds.Take(flow.src);
+    (void)container_proc_->fds.Take(flow.pipe_r);
+    (void)container_proc_->fds.Take(flow.pipe_w);
+  }
+  flows_.clear();
+  for (auto& rule : rules_) {
+    (void)container_proc_->fds.Take(rule.listen_fd);
+  }
+  rules_.clear();
+}
+
+void SocketProxy::Loop() {
+  while (running_.load()) {
+    auto events = kernel_->EpollWait(*container_proc_, epoll_fd_, 16, /*timeout_ms=*/20);
+    if (!events.ok()) {
+      return;
+    }
+    for (const auto& ev : events.value()) {
+      Fd fd = static_cast<Fd>(ev.data);
+      // Listener?
+      bool handled = false;
+      for (const auto& rule : rules_) {
+        if (rule.listen_fd == fd) {
+          AcceptOne(rule);
+          handled = true;
+          break;
+        }
+      }
+      if (handled) {
+        continue;
+      }
+      auto it = flows_.find(fd);
+      if (it != flows_.end()) {
+        if (!Pump(it->second)) {
+          CloseFlowPair(fd);
+        }
+      }
+    }
+  }
+}
+
+void SocketProxy::AcceptOne(const Rule& rule) {
+  auto conn = kernel_->SocketAccept(*container_proc_, rule.listen_fd, /*nonblock=*/true);
+  if (!conn.ok()) {
+    return;
+  }
+  auto upstream = kernel_->SocketConnect(*container_proc_, rule.host_path);
+  if (!upstream.ok()) {
+    // Try host-side resolution (target may only exist in the host ns).
+    upstream = kernel_->SocketConnect(*host_proc_, rule.host_path);
+    if (upstream.ok()) {
+      // Move the fd into the container proc's table for uniform handling.
+      auto file = kernel_->GetFile(*host_proc_, upstream.value());
+      (void)host_proc_->fds.Take(upstream.value());
+      if (file.ok()) {
+        upstream = kernel_->InstallFile(*container_proc_, file.value());
+      }
+    }
+  }
+  if (!upstream.ok()) {
+    CNTR_WLOG << "socket proxy: cannot reach " << rule.host_path << ": "
+              << upstream.status().ToString();
+    (void)container_proc_->fds.Take(conn.value());
+    return;
+  }
+  connections_.fetch_add(1);
+
+  // Nonblocking both ends; one pipe per direction for splice.
+  for (Fd fd : {conn.value(), upstream.value()}) {
+    auto file = kernel_->GetFile(*container_proc_, fd);
+    if (file.ok()) {
+      file.value()->set_flags(file.value()->flags() | kernel::kONonblock);
+    }
+  }
+  auto make_flow = [&](Fd src, Fd dst, Fd peer_src) -> bool {
+    auto pipe = kernel_->Pipe(*container_proc_);
+    if (!pipe.ok()) {
+      return false;
+    }
+    Flow flow{src, dst, pipe.value().first, pipe.value().second, peer_src};
+    flows_[src] = flow;
+    (void)kernel_->EpollCtl(*container_proc_, epoll_fd_, kernel::kEpollCtlAdd, src,
+                            kernel::kPollIn, static_cast<uint64_t>(src));
+    return true;
+  };
+  make_flow(conn.value(), upstream.value(), upstream.value());
+  make_flow(upstream.value(), conn.value(), conn.value());
+}
+
+bool SocketProxy::Pump(Flow& flow) {
+  // splice(src -> pipe), splice(pipe -> dst): the zero-copy relay the paper
+  // describes. Loop until the source drains.
+  while (true) {
+    auto moved = kernel_->Splice(*container_proc_, flow.src, flow.pipe_w, 65536);
+    if (!moved.ok()) {
+      if (moved.error() == EAGAIN) {
+        return true;  // drained for now
+      }
+      return false;  // peer gone
+    }
+    if (moved.value() == 0) {
+      return false;  // EOF
+    }
+    size_t pending = moved.value();
+    while (pending > 0) {
+      auto out = kernel_->Splice(*container_proc_, flow.pipe_r, flow.dst, pending);
+      if (!out.ok()) {
+        if (out.error() == EAGAIN) {
+          std::this_thread::yield();  // receiver backpressure; retry
+          continue;
+        }
+        return false;
+      }
+      if (out.value() == 0) {
+        return false;
+      }
+      pending -= out.value();
+      bytes_forwarded_.fetch_add(out.value());
+    }
+  }
+}
+
+void SocketProxy::CloseFlowPair(Fd src) {
+  auto it = flows_.find(src);
+  if (it == flows_.end()) {
+    return;
+  }
+  Fd peer = it->second.peer_src;
+  for (Fd fd : {src, peer}) {
+    auto fit = flows_.find(fd);
+    if (fit == flows_.end()) {
+      continue;
+    }
+    (void)kernel_->EpollCtl(*container_proc_, epoll_fd_, kernel::kEpollCtlDel, fd, 0, 0);
+    (void)container_proc_->fds.Take(fit->second.src);
+    (void)container_proc_->fds.Take(fit->second.pipe_r);
+    (void)container_proc_->fds.Take(fit->second.pipe_w);
+    flows_.erase(fit);
+  }
+}
+
+}  // namespace cntr::core

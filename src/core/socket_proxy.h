@@ -1,0 +1,86 @@
+// Unix socket forwarding (paper §3.2.4, 400 LoC in the Rust implementation).
+//
+// Sockets visible through CntrFS have FUSE inode numbers, so the kernel
+// cannot associate them with live sockets; CNTR therefore proxies
+// connections explicitly: an epoll event loop accepts connections on a
+// socket it binds inside the application container and splices bytes to the
+// real server socket in the debug container or on the host — X11 and D-Bus
+// being the motivating users.
+#ifndef CNTR_SRC_CORE_SOCKET_PROXY_H_
+#define CNTR_SRC_CORE_SOCKET_PROXY_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+
+namespace cntr::core {
+
+class SocketProxy {
+ public:
+  // `container_proc` is a process inside the application container (where
+  // listeners are bound); `host_proc` is where target servers live.
+  SocketProxy(kernel::Kernel* kernel, kernel::ProcessPtr container_proc,
+              kernel::ProcessPtr host_proc);
+  ~SocketProxy();
+
+  SocketProxy(const SocketProxy&) = delete;
+  SocketProxy& operator=(const SocketProxy&) = delete;
+
+  // Registers a forwarding rule: connections to `container_path` (inside
+  // the container) are spliced to `host_path` (on the host side). Must be
+  // called before Start().
+  Status Forward(const std::string& container_path, const std::string& host_path);
+
+  void Start();
+  void Stop();
+
+  struct Stats {
+    uint64_t connections = 0;
+    uint64_t bytes_forwarded = 0;
+  };
+  Stats stats() const {
+    return Stats{connections_.load(), bytes_forwarded_.load()};
+  }
+
+ private:
+  struct Rule {
+    kernel::Fd listen_fd;
+    std::string host_path;
+  };
+  // One direction of an established connection: src -> pipe -> dst.
+  struct Flow {
+    kernel::Fd src;
+    kernel::Fd dst;
+    kernel::Fd pipe_r;
+    kernel::Fd pipe_w;
+    kernel::Fd peer_src;  // the opposite flow's src, for teardown
+  };
+
+  void Loop();
+  void AcceptOne(const Rule& rule);
+  // Returns false when the flow hit EOF and was torn down.
+  bool Pump(Flow& flow);
+  void CloseFlowPair(kernel::Fd src);
+
+  kernel::Kernel* kernel_;
+  kernel::ProcessPtr container_proc_;
+  kernel::ProcessPtr host_proc_;
+
+  kernel::Fd epoll_fd_ = -1;
+  std::vector<Rule> rules_;
+  std::map<kernel::Fd, Flow> flows_;  // keyed by src fd
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> bytes_forwarded_{0};
+};
+
+}  // namespace cntr::core
+
+#endif  // CNTR_SRC_CORE_SOCKET_PROXY_H_

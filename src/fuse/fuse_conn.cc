@@ -1,0 +1,157 @@
+#include "src/fuse/fuse_conn.h"
+
+#include <cerrno>
+
+namespace cntr::fuse {
+
+const char* FuseOpcodeName(FuseOpcode op) {
+  switch (op) {
+    case FuseOpcode::kLookup:
+      return "LOOKUP";
+    case FuseOpcode::kForget:
+      return "FORGET";
+    case FuseOpcode::kGetattr:
+      return "GETATTR";
+    case FuseOpcode::kSetattr:
+      return "SETATTR";
+    case FuseOpcode::kReadlink:
+      return "READLINK";
+    case FuseOpcode::kSymlink:
+      return "SYMLINK";
+    case FuseOpcode::kMknod:
+      return "MKNOD";
+    case FuseOpcode::kMkdir:
+      return "MKDIR";
+    case FuseOpcode::kUnlink:
+      return "UNLINK";
+    case FuseOpcode::kRmdir:
+      return "RMDIR";
+    case FuseOpcode::kRename:
+      return "RENAME";
+    case FuseOpcode::kLink:
+      return "LINK";
+    case FuseOpcode::kOpen:
+      return "OPEN";
+    case FuseOpcode::kRead:
+      return "READ";
+    case FuseOpcode::kWrite:
+      return "WRITE";
+    case FuseOpcode::kStatfs:
+      return "STATFS";
+    case FuseOpcode::kRelease:
+      return "RELEASE";
+    case FuseOpcode::kFsync:
+      return "FSYNC";
+    case FuseOpcode::kSetxattr:
+      return "SETXATTR";
+    case FuseOpcode::kGetxattr:
+      return "GETXATTR";
+    case FuseOpcode::kListxattr:
+      return "LISTXATTR";
+    case FuseOpcode::kRemovexattr:
+      return "REMOVEXATTR";
+    case FuseOpcode::kFlush:
+      return "FLUSH";
+    case FuseOpcode::kInit:
+      return "INIT";
+    case FuseOpcode::kOpendir:
+      return "OPENDIR";
+    case FuseOpcode::kReaddir:
+      return "READDIR";
+    case FuseOpcode::kReleasedir:
+      return "RELEASEDIR";
+    case FuseOpcode::kAccess:
+      return "ACCESS";
+    case FuseOpcode::kCreate:
+      return "CREATE";
+    case FuseOpcode::kDestroy:
+      return "DESTROY";
+    case FuseOpcode::kBatchForget:
+      return "BATCH_FORGET";
+  }
+  return "?";
+}
+
+StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
+  uint64_t unique = NextUnique();
+  request.unique = unique;
+
+  // One round trip: enqueue + server wakeup + reply + caller wakeup. With
+  // more than one server thread on the queue, each dequeue pays a small
+  // contention premium (futex churn, cacheline bouncing).
+  uint64_t cost = costs_->fuse_round_trip_ns;
+  int readers = reader_threads_.load(std::memory_order_relaxed);
+  if (readers > 1) {
+    cost += static_cast<uint64_t>(readers - 1) * costs_->fuse_thread_contention_ns;
+  }
+  clock_->Advance(cost);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborted_) {
+    return Status::Error(ENOTCONN, "fuse connection aborted");
+  }
+  ++stats_.requests;
+  pending_.emplace(unique, PendingReply{});
+  queue_.push_back(std::move(request));
+  queue_cv_.notify_one();
+
+  auto it = pending_.find(unique);
+  reply_cv_.wait(lock, [&] { return it->second.done || aborted_; });
+  if (!it->second.done) {
+    pending_.erase(it);
+    return Status::Error(ENOTCONN, "fuse connection aborted");
+  }
+  FuseReply reply = std::move(it->second.reply);
+  pending_.erase(it);
+  if (reply.error != 0) {
+    return Status::Error(reply.error);
+  }
+  return reply;
+}
+
+void FuseConn::SendNoReply(FuseRequest request) {
+  request.unique = 0;  // no reply expected
+  clock_->Advance(costs_->fuse_round_trip_ns / 2);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (aborted_) {
+    return;
+  }
+  ++stats_.forgets;
+  queue_.push_back(std::move(request));
+  queue_cv_.notify_one();
+}
+
+std::optional<FuseRequest> FuseConn::ReadRequest() {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_cv_.wait(lock, [&] { return !queue_.empty() || aborted_; });
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  FuseRequest req = std::move(queue_.front());
+  queue_.pop_front();
+  return req;
+}
+
+void FuseConn::WriteReply(uint64_t unique, FuseReply reply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.replies;
+  auto it = pending_.find(unique);
+  if (it == pending_.end()) {
+    return;  // forget or aborted waiter
+  }
+  it->second.reply = std::move(reply);
+  it->second.done = true;
+  reply_cv_.notify_all();
+}
+
+void FuseConn::Abort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_ = true;
+  queue_cv_.notify_all();
+  reply_cv_.notify_all();
+}
+
+void FuseConn::AddReader() { reader_threads_.fetch_add(1); }
+void FuseConn::RemoveReader() { reader_threads_.fetch_sub(1); }
+
+}  // namespace cntr::fuse

@@ -1,0 +1,107 @@
+// The /dev/fuse connection: the request/response channel between the
+// kernel-side FUSE filesystem and the userspace server.
+//
+// The kernel side enqueues a request and blocks for the reply; server
+// threads dequeue, handle, and complete. Every round trip charges the
+// context-switch cost pair on the virtual clock, plus a small per-thread
+// contention cost when multiple server threads share the queue — the effect
+// Figure 4 of the paper measures.
+#ifndef CNTR_SRC_FUSE_FUSE_CONN_H_
+#define CNTR_SRC_FUSE_FUSE_CONN_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "src/fuse/fuse_proto.h"
+#include "src/kernel/file.h"
+#include "src/util/sim_clock.h"
+#include "src/util/status.h"
+
+namespace cntr::fuse {
+
+class FuseConn {
+ public:
+  FuseConn(SimClock* clock, const CostModel* costs) : clock_(clock), costs_(costs) {}
+
+  // --- kernel side ---
+  // Blocks until the server replies (or the connection aborts: ENOTCONN).
+  // Charges one FUSE round trip on the virtual clock.
+  StatusOr<FuseReply> SendAndWait(FuseRequest request);
+
+  // Fire-and-forget (FORGET/BATCH_FORGET have no reply). Charges one-way.
+  void SendNoReply(FuseRequest request);
+
+  // --- server side ---
+  // Blocks for the next request; returns nullopt when the connection aborts
+  // and the queue is drained (server threads exit).
+  std::optional<FuseRequest> ReadRequest();
+  void WriteReply(uint64_t unique, FuseReply reply);
+
+  // Tear down: wakes waiters with ENOTCONN and unblocks server readers.
+  void Abort();
+  bool aborted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return aborted_;
+  }
+
+  uint64_t NextUnique() { return next_unique_.fetch_add(1); }
+
+  // Number of server threads currently reading the queue; used to model
+  // queue contention (Figure 4).
+  void AddReader();
+  void RemoveReader();
+  int reader_threads() const { return reader_threads_.load(); }
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t replies = 0;
+    uint64_t forgets = 0;
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  struct PendingReply {
+    bool done = false;
+    FuseReply reply;
+  };
+
+  SimClock* clock_;
+  const CostModel* costs_;
+  std::atomic<uint64_t> next_unique_{2};
+  std::atomic<int> reader_threads_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;   // server waits for requests
+  std::condition_variable reply_cv_;   // kernel waits for replies
+  std::deque<FuseRequest> queue_;
+  std::map<uint64_t, PendingReply> pending_;
+  bool aborted_ = false;
+  Stats stats_;
+};
+
+// The open /dev/fuse descriptor, as held by the CNTR process. The fd itself
+// only carries the connection object — mounting consumes it, the server
+// loop reads from it.
+class FuseDevFile : public kernel::FileDescription {
+ public:
+  FuseDevFile(std::shared_ptr<FuseConn> conn, int flags)
+      : kernel::FileDescription(nullptr, flags), conn_(std::move(conn)) {}
+  ~FuseDevFile() override { conn_->Abort(); }
+
+  const std::shared_ptr<FuseConn>& conn() const { return conn_; }
+
+ private:
+  std::shared_ptr<FuseConn> conn_;
+};
+
+}  // namespace cntr::fuse
+
+#endif  // CNTR_SRC_FUSE_FUSE_CONN_H_

@@ -1,0 +1,776 @@
+#include "src/fuse/fuse_fs.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace cntr::fuse {
+
+using kernel::DirEntry;
+using kernel::FilePtr;
+using kernel::InodeAttr;
+using kernel::InodePtr;
+using kernel::kPageSize;
+
+namespace {
+
+// Open file over a FUSE inode; directories carry a dir handle.
+class FuseFile : public kernel::FileDescription {
+ public:
+  FuseFile(std::shared_ptr<FuseInode> inode, int flags, uint64_t fh, bool is_dir)
+      : kernel::FileDescription(inode, flags),
+        fuse_inode_(std::move(inode)),
+        fh_(fh),
+        is_dir_(is_dir) {}
+
+  ~FuseFile() override {
+    // RELEASE/RELEASEDIR on last close; flush dirty data first so the
+    // server observes the bytes (close-to-open consistency).
+    auto* fs = fuse_inode_->fuse_fs();
+    if (fs->conn().aborted()) {
+      return;
+    }
+    if (!is_dir_ && writable() && fs->options().writeback_cache) {
+      fuse_inode_->FlushDirtyPages(fh_);
+    }
+    FuseRequest req;
+    req.opcode = is_dir_ ? FuseOpcode::kReleasedir : FuseOpcode::kRelease;
+    req.nodeid = fuse_inode_->nodeid();
+    req.fh = fh_;
+    (void)fs->Call(std::move(req));
+  }
+
+  StatusOr<size_t> Read(void* buf, size_t count, uint64_t offset) override {
+    if (!readable()) {
+      return Status::Error(EBADF);
+    }
+    return fuse_inode_->ReadData(static_cast<char*>(buf), count, offset, fh_);
+  }
+
+  StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset) override {
+    if (!writable()) {
+      return Status::Error(EBADF);
+    }
+    return fuse_inode_->WriteData(static_cast<const char*>(buf), count, offset, fh_);
+  }
+
+  Status Fsync(bool datasync) override { return fuse_inode_->FsyncData(datasync, fh_); }
+
+  Status Release() override { return Status::Ok(); }
+
+  StatusOr<std::vector<DirEntry>> Readdir() override {
+    if (!is_dir_) {
+      return Status::Error(ENOTDIR);
+    }
+    FuseRequest req;
+    req.opcode = FuseOpcode::kReaddir;
+    req.nodeid = fuse_inode_->nodeid();
+    req.fh = fh_;
+    CNTR_ASSIGN_OR_RETURN(FuseReply reply, fuse_inode_->fuse_fs()->Call(std::move(req)));
+    return reply.entries;
+  }
+
+ private:
+  std::shared_ptr<FuseInode> fuse_inode_;
+  uint64_t fh_;
+  bool is_dir_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FuseFs
+// ---------------------------------------------------------------------------
+
+StatusOr<std::shared_ptr<FuseFs>> FuseFs::Create(kernel::Kernel* kernel,
+                                                 std::shared_ptr<FuseConn> conn,
+                                                 FuseMountOptions opts) {
+  auto fs = std::shared_ptr<FuseFs>(
+      new FuseFs(kernel, std::move(conn), opts));
+
+  // INIT negotiation.
+  FuseRequest init;
+  init.opcode = FuseOpcode::kInit;
+  init.init_flags = (opts.async_read ? kFuseAsyncRead : 0) |
+                    (opts.splice_read ? kFuseSpliceRead : 0) |
+                    (opts.parallel_dirops ? kFuseParallelDirops : 0) |
+                    (opts.writeback_cache ? kFuseWritebackCache : 0);
+  CNTR_ASSIGN_OR_RETURN(FuseReply init_reply, fs->conn_->SendAndWait(std::move(init)));
+
+  // GETATTR of the root to seed the root inode.
+  FuseRequest getattr;
+  getattr.opcode = FuseOpcode::kGetattr;
+  getattr.nodeid = kFuseRootId;
+  CNTR_ASSIGN_OR_RETURN(FuseReply root_reply, fs->conn_->SendAndWait(std::move(getattr)));
+
+  fs->root_ = std::make_shared<FuseInode>(fs.get(), kFuseRootId, root_reply.attr,
+                                          fs->kernel_->NowNs() + opts.attr_ttl_ns);
+  {
+    std::lock_guard<std::mutex> lock(fs->inodes_mu_);
+    fs->inodes_[kFuseRootId] = fs->root_;
+  }
+  return fs;
+}
+
+FuseFs::FuseFs(kernel::Kernel* kernel, std::shared_ptr<FuseConn> conn, FuseMountOptions opts)
+    : kernel::FileSystem(kernel->AllocDevId()), kernel_(kernel), conn_(std::move(conn)),
+      opts_(opts) {}
+
+FuseFs::~FuseFs() = default;
+
+InodePtr FuseFs::root() { return root_; }
+
+StatusOr<kernel::StatFs> FuseFs::Statfs() {
+  FuseRequest req;
+  req.opcode = FuseOpcode::kStatfs;
+  req.nodeid = kFuseRootId;
+  CNTR_ASSIGN_OR_RETURN(FuseReply reply, Call(std::move(req)));
+  return reply.statfs;
+}
+
+Status FuseFs::Rename(const InodePtr& old_dir, const std::string& old_name,
+                      const InodePtr& new_dir, const std::string& new_name, uint32_t flags) {
+  auto* od = dynamic_cast<FuseInode*>(old_dir.get());
+  auto* nd = dynamic_cast<FuseInode*>(new_dir.get());
+  if (od == nullptr || nd == nullptr) {
+    return Status::Error(EXDEV);
+  }
+  FuseRequest req;
+  req.opcode = FuseOpcode::kRename;
+  req.nodeid = od->nodeid();
+  req.nodeid2 = nd->nodeid();
+  req.name = old_name;
+  req.name2 = new_name;
+  req.flags = static_cast<int32_t>(flags);
+  return Call(std::move(req)).status();
+}
+
+StatusOr<FuseReply> FuseFs::Call(FuseRequest req) {
+  // Without FUSE_PARALLEL_DIROPS, directory operations serialize on the
+  // directory mutex: an extra queue round per op, and the server-side
+  // lookup work cannot overlap any other traffic (Figure 3c's "before").
+  if (!opts_.parallel_dirops &&
+      (req.opcode == FuseOpcode::kLookup || req.opcode == FuseOpcode::kReaddir ||
+       req.opcode == FuseOpcode::kOpendir)) {
+    kernel_->clock().Advance(kernel_->costs().fuse_round_trip_ns);
+    if (req.opcode == FuseOpcode::kLookup) {
+      kernel_->clock().Advance(kernel_->costs().cntrfs_lookup_ns);
+    }
+  }
+  // Splice write moves the whole request through a pipe before the header
+  // can be parsed, adding a context switch to *every* operation (§3.3 —
+  // the reason it defaults to off).
+  if (opts_.splice_write) {
+    kernel_->clock().Advance(kernel_->costs().fuse_round_trip_ns / 2);
+    if (req.opcode == FuseOpcode::kWrite) {
+      req.spliced = true;
+    }
+  }
+  return conn_->SendAndWait(std::move(req));
+}
+
+InodePtr FuseFs::GetOrCreateInode(const FuseEntryOut& entry) {
+  std::lock_guard<std::mutex> lock(inodes_mu_);
+  auto it = inodes_.find(entry.nodeid);
+  if (it != inodes_.end()) {
+    if (auto existing = it->second.lock()) {
+      return existing;
+    }
+  }
+  auto inode = std::make_shared<FuseInode>(this, entry.nodeid, entry.attr,
+                                           kernel_->NowNs() + entry.attr_ttl_ns);
+  inodes_[entry.nodeid] = inode;
+  return inode;
+}
+
+void FuseFs::QueueForget(uint64_t nodeid) {
+  if (conn_->aborted()) {
+    return;
+  }
+  if (!opts_.batch_forget) {
+    FuseRequest req;
+    req.opcode = FuseOpcode::kForget;
+    req.nodeid = nodeid;
+    conn_->SendNoReply(std::move(req));
+    return;
+  }
+  std::vector<uint64_t> batch;
+  {
+    std::lock_guard<std::mutex> lock(forget_mu_);
+    forget_queue_.push_back(nodeid);
+    if (forget_queue_.size() < 64) {
+      return;
+    }
+    batch.swap(forget_queue_);
+  }
+  FuseRequest req;
+  req.opcode = FuseOpcode::kBatchForget;
+  req.forget_nodes = std::move(batch);
+  conn_->SendNoReply(std::move(req));
+}
+
+void FuseFs::FlushForgets() {
+  std::vector<uint64_t> batch;
+  {
+    std::lock_guard<std::mutex> lock(forget_mu_);
+    batch.swap(forget_queue_);
+  }
+  if (batch.empty() || conn_->aborted()) {
+    return;
+  }
+  FuseRequest req;
+  req.opcode = FuseOpcode::kBatchForget;
+  req.forget_nodes = std::move(batch);
+  conn_->SendNoReply(std::move(req));
+}
+
+void FuseFs::NoteDirty(FuseInode* inode, uint64_t newly_dirty_bytes) {
+  dirty_bytes_.fetch_add(newly_dirty_bytes);
+  {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    if (!inode->dirty_registered_) {
+      inode->dirty_registered_ = true;
+      dirty_inodes_.push_back(inode);
+    }
+  }
+  if (dirty_bytes_.load() > opts_.writeback_threshold) {
+    FlushAllDirty();
+  }
+}
+
+void FuseFs::ForgetDirty(FuseInode* inode) {
+  std::lock_guard<std::mutex> lock(dirty_mu_);
+  std::erase(dirty_inodes_, inode);
+  inode->dirty_registered_ = false;
+}
+
+void FuseFs::FlushAllDirty() {
+  std::vector<FuseInode*> victims;
+  {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    victims.swap(dirty_inodes_);
+    for (FuseInode* inode : victims) {
+      inode->dirty_registered_ = false;
+    }
+  }
+  for (FuseInode* inode : victims) {
+    inode->FlushDirtyPages(UINT64_MAX);
+  }
+}
+
+void FuseFs::Shutdown() {
+  FlushAllDirty();
+  FlushForgets();
+  if (!conn_->aborted()) {
+    FuseRequest req;
+    req.opcode = FuseOpcode::kDestroy;
+    conn_->SendNoReply(std::move(req));
+  }
+  conn_->Abort();
+}
+
+// ---------------------------------------------------------------------------
+// FuseInode
+// ---------------------------------------------------------------------------
+
+FuseInode::FuseInode(FuseFs* fs, uint64_t nodeid, const InodeAttr& attr, uint64_t attr_expiry_ns)
+    : kernel::Inode(fs, nodeid), fs_(fs), nodeid_(nodeid), attr_(attr),
+      attr_expiry_ns_(attr_expiry_ns) {
+  attr_.ino = nodeid;
+  attr_.dev = fs->dev_id();
+}
+
+FuseInode::~FuseInode() {
+  fs_->kernel()->page_cache().DropAll(this);
+  fs_->ForgetDirty(this);
+  if (nodeid_ != kFuseRootId) {
+    fs_->QueueForget(nodeid_);
+  }
+}
+
+bool FuseInode::AttrFreshLocked() const {
+  return fs_->kernel()->NowNs() < attr_expiry_ns_;
+}
+
+void FuseInode::UpdateAttrLocked(const InodeAttr& attr, uint64_t ttl_ns) {
+  attr_ = attr;
+  attr_.ino = nodeid_;
+  attr_.dev = fs_->dev_id();
+  attr_expiry_ns_ = fs_->kernel()->NowNs() + ttl_ns;
+}
+
+StatusOr<InodeAttr> FuseInode::Getattr() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (AttrFreshLocked()) {
+      fs_->kernel()->clock().Advance(fs_->kernel()->costs().dcache_hit_ns);
+      return attr_;
+    }
+  }
+  FuseRequest req;
+  req.opcode = FuseOpcode::kGetattr;
+  req.nodeid = nodeid_;
+  CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+  std::lock_guard<std::mutex> lock(mu_);
+  UpdateAttrLocked(reply.attr, reply.attr_ttl_ns != 0 ? reply.attr_ttl_ns
+                                                      : fs_->options().attr_ttl_ns);
+  return attr_;
+}
+
+Status FuseInode::Setattr(const kernel::SetattrRequest& sreq, const kernel::Credentials& cred) {
+  FuseRequest req;
+  req.opcode = FuseOpcode::kSetattr;
+  req.nodeid = nodeid_;
+  req.setattr = sreq;
+  req.uid = cred.fsuid;
+  req.gid = cred.fsgid;
+  CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+  if (sreq.size.has_value()) {
+    fs_->kernel()->page_cache().TruncatePages(this, *sreq.size);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  UpdateAttrLocked(reply.attr, fs_->options().attr_ttl_ns);
+  return Status::Ok();
+}
+
+StatusOr<InodePtr> FuseInode::Lookup(const std::string& name) {
+  FuseRequest req;
+  req.opcode = FuseOpcode::kLookup;
+  req.nodeid = nodeid_;
+  req.name = name;
+  CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+  InodePtr child = fs_->GetOrCreateInode(reply.entry);
+  if (auto* fchild = dynamic_cast<FuseInode*>(child.get())) {
+    fchild->SetParentHint(std::static_pointer_cast<FuseInode>(shared_from_this()));
+  }
+  return child;
+}
+
+StatusOr<InodePtr> FuseInode::Create(const std::string& name, kernel::Mode mode,
+                                     kernel::Dev rdev, const kernel::Credentials& cred) {
+  FuseRequest req;
+  req.opcode = FuseOpcode::kMknod;
+  req.nodeid = nodeid_;
+  req.name = name;
+  req.mode = mode;
+  req.rdev = rdev;
+  req.uid = cred.fsuid;
+  req.gid = cred.fsgid;
+  CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+  InodePtr child = fs_->GetOrCreateInode(reply.entry);
+  if (auto* fchild = dynamic_cast<FuseInode*>(child.get())) {
+    fchild->SetParentHint(std::static_pointer_cast<FuseInode>(shared_from_this()));
+  }
+  return child;
+}
+
+StatusOr<InodePtr> FuseInode::Mkdir(const std::string& name, kernel::Mode mode,
+                                    const kernel::Credentials& cred) {
+  FuseRequest req;
+  req.opcode = FuseOpcode::kMkdir;
+  req.nodeid = nodeid_;
+  req.name = name;
+  req.mode = mode;
+  req.uid = cred.fsuid;
+  req.gid = cred.fsgid;
+  CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+  InodePtr child = fs_->GetOrCreateInode(reply.entry);
+  if (auto* fchild = dynamic_cast<FuseInode*>(child.get())) {
+    fchild->SetParentHint(std::static_pointer_cast<FuseInode>(shared_from_this()));
+  }
+  return child;
+}
+
+Status FuseInode::Unlink(const std::string& name) {
+  FuseRequest req;
+  req.opcode = FuseOpcode::kUnlink;
+  req.nodeid = nodeid_;
+  req.name = name;
+  return fs_->Call(std::move(req)).status();
+}
+
+Status FuseInode::Rmdir(const std::string& name) {
+  FuseRequest req;
+  req.opcode = FuseOpcode::kRmdir;
+  req.nodeid = nodeid_;
+  req.name = name;
+  return fs_->Call(std::move(req)).status();
+}
+
+Status FuseInode::Link(const std::string& name, const InodePtr& target) {
+  auto* ftarget = dynamic_cast<FuseInode*>(target.get());
+  if (ftarget == nullptr) {
+    return Status::Error(EXDEV);
+  }
+  FuseRequest req;
+  req.opcode = FuseOpcode::kLink;
+  req.nodeid = nodeid_;
+  req.name = name;
+  req.nodeid2 = ftarget->nodeid();
+  return fs_->Call(std::move(req)).status();
+}
+
+StatusOr<InodePtr> FuseInode::Symlink(const std::string& name, const std::string& target,
+                                      const kernel::Credentials& cred) {
+  FuseRequest req;
+  req.opcode = FuseOpcode::kSymlink;
+  req.nodeid = nodeid_;
+  req.name = name;
+  req.data = target;
+  req.uid = cred.fsuid;
+  req.gid = cred.fsgid;
+  CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+  return fs_->GetOrCreateInode(reply.entry);
+}
+
+StatusOr<std::vector<DirEntry>> FuseInode::Readdir() {
+  // OPENDIR + READDIR + RELEASEDIR, as the kernel does for getdents on a
+  // freshly opened directory.
+  FuseRequest open_req;
+  open_req.opcode = FuseOpcode::kOpendir;
+  open_req.nodeid = nodeid_;
+  CNTR_ASSIGN_OR_RETURN(FuseReply open_reply, fs_->Call(std::move(open_req)));
+  FuseRequest read_req;
+  read_req.opcode = FuseOpcode::kReaddir;
+  read_req.nodeid = nodeid_;
+  read_req.fh = open_reply.fh;
+  auto entries = fs_->Call(std::move(read_req));
+  FuseRequest rel_req;
+  rel_req.opcode = FuseOpcode::kReleasedir;
+  rel_req.nodeid = nodeid_;
+  rel_req.fh = open_reply.fh;
+  (void)fs_->Call(std::move(rel_req));
+  if (!entries.ok()) {
+    return entries.status();
+  }
+  return entries.value().entries;
+}
+
+StatusOr<std::string> FuseInode::Readlink() {
+  FuseRequest req;
+  req.opcode = FuseOpcode::kReadlink;
+  req.nodeid = nodeid_;
+  CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+  return reply.data;
+}
+
+StatusOr<FilePtr> FuseInode::Open(int flags, const kernel::Credentials& cred) {
+  // The paper chose mmap support over direct I/O: they are mutually
+  // exclusive in FUSE and executables need mmap (§5.1, xfstests #391).
+  if (flags & kernel::kODirect) {
+    return Status::Error(EINVAL, "CntrFS: direct I/O unsupported (mmap chosen instead)");
+  }
+  bool is_dir;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    is_dir = kernel::IsDir(attr_.mode);
+  }
+  FuseRequest req;
+  req.opcode = is_dir ? FuseOpcode::kOpendir : FuseOpcode::kOpen;
+  req.nodeid = nodeid_;
+  req.flags = flags;
+  req.uid = cred.fsuid;
+  req.gid = cred.fsgid;
+  CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+
+  // Without FOPEN_KEEP_CACHE the kernel invalidates cached pages at every
+  // open, so nothing survives across opens/processes (Figure 3a "before").
+  bool keep = fs_->options().keep_cache && (reply.open_flags & kFOpenKeepCache);
+  if (!is_dir && !keep) {
+    fs_->kernel()->page_cache().DropAll(this);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_known_fh_ = reply.fh;
+  }
+  return FilePtr(std::make_shared<FuseFile>(std::static_pointer_cast<FuseInode>(shared_from_this()),
+                                            flags, reply.fh, is_dir));
+}
+
+Status FuseInode::SetXattr(const std::string& name, const std::string& value, int flags) {
+  FuseRequest req;
+  req.opcode = FuseOpcode::kSetxattr;
+  req.nodeid = nodeid_;
+  req.name = name;
+  req.data = value;
+  req.flags = flags;
+  return fs_->Call(std::move(req)).status();
+}
+
+StatusOr<std::string> FuseInode::GetXattr(const std::string& name) {
+  FuseRequest req;
+  req.opcode = FuseOpcode::kGetxattr;
+  req.nodeid = nodeid_;
+  req.name = name;
+  CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+  return reply.data;
+}
+
+StatusOr<std::vector<std::string>> FuseInode::ListXattr() {
+  FuseRequest req;
+  req.opcode = FuseOpcode::kListxattr;
+  req.nodeid = nodeid_;
+  CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+  return reply.names;
+}
+
+Status FuseInode::RemoveXattr(const std::string& name) {
+  FuseRequest req;
+  req.opcode = FuseOpcode::kRemovexattr;
+  req.nodeid = nodeid_;
+  req.name = name;
+  return fs_->Call(std::move(req)).status();
+}
+
+StatusOr<InodePtr> FuseInode::Parent() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!kernel::IsDir(attr_.mode)) {
+      return Status::Error(ENOTDIR);
+    }
+  }
+  if (auto parent = parent_hint_.lock()) {
+    return InodePtr(parent);
+  }
+  if (nodeid_ == kFuseRootId) {
+    return InodePtr(shared_from_this());
+  }
+  // Fall back to a server-side "..", which CntrFS resolves by handle.
+  FuseRequest req;
+  req.opcode = FuseOpcode::kLookup;
+  req.nodeid = nodeid_;
+  req.name = "..";
+  CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+  return fs_->GetOrCreateInode(reply.entry);
+}
+
+uint64_t FuseInode::CachedSize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attr_.size;
+}
+
+// --- data plane ---
+
+StatusOr<size_t> FuseInode::ReadData(char* buf, size_t count, uint64_t off, uint64_t fh) {
+  CNTR_ASSIGN_OR_RETURN(InodeAttr attr, Getattr());  // attr-cache hit in steady state
+  if (off >= attr.size || count == 0) {
+    return size_t{0};
+  }
+  count = std::min<uint64_t>(count, attr.size - off);
+
+  auto& pool = fs_->kernel()->page_cache();
+  const CostModel& costs = fs_->kernel()->costs();
+  const FuseMountOptions& opts = fs_->options();
+  uint64_t per_page_hop = opts.splice_read ? costs.splice_page_ns : costs.copy_page_ns;
+
+  uint64_t first = off / kPageSize;
+  uint64_t last = (off + count - 1) / kPageSize;
+  uint64_t eof_page = (attr.size - 1) / kPageSize;
+  char page[kPageSize];
+
+  for (uint64_t idx = first; idx <= last; ++idx) {
+    if (!pool.ReadPage(this, idx, page)) {
+      // Miss: issue one READ covering a readahead window. FUSE_ASYNC_READ
+      // lets the kernel batch the full window into one request; without it
+      // each page is its own round trip.
+      uint32_t window = opts.async_read ? opts.readahead_pages : 1;
+      uint32_t run = static_cast<uint32_t>(std::min<uint64_t>(window, eof_page - idx + 1));
+      FuseRequest req;
+      req.opcode = FuseOpcode::kRead;
+      req.nodeid = nodeid_;
+      req.fh = fh;
+      req.offset = idx * kPageSize;
+      req.size = run * kPageSize;
+      CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+      // Store returned pages; the transfer out of the server costs one hop
+      // per page (copied, or spliced through a pipe).
+      for (uint32_t i = 0; i * kPageSize < reply.data.size(); ++i) {
+        size_t n = std::min<size_t>(kPageSize, reply.data.size() - i * kPageSize);
+        std::memset(page, 0, kPageSize);
+        std::memcpy(page, reply.data.data() + i * kPageSize, n);
+        if (!pool.HasPage(this, idx + i)) {
+          pool.StorePage(this, idx + i, page, /*dirty=*/false);
+        }
+        fs_->kernel()->clock().Advance(per_page_hop);
+      }
+      if (!pool.ReadPage(this, idx, page)) {
+        return Status::Error(EIO, "fuse read did not return requested page");
+      }
+    }
+    uint64_t page_start = idx * kPageSize;
+    uint64_t copy_from = std::max(off, page_start);
+    uint64_t copy_to = std::min(off + count, page_start + kPageSize);
+    std::memcpy(buf + (copy_from - off), page + (copy_from - page_start), copy_to - copy_from);
+    fs_->kernel()->clock().Advance(costs.copy_page_ns);
+  }
+  return count;
+}
+
+StatusOr<size_t> FuseInode::WriteData(const char* buf, size_t count, uint64_t off, uint64_t fh) {
+  if (count == 0) {
+    return size_t{0};
+  }
+  auto& pool = fs_->kernel()->page_cache();
+  const CostModel& costs = fs_->kernel()->costs();
+  const FuseMountOptions& opts = fs_->options();
+
+  if (!opts.writeback_cache) {
+    // Synchronous write-through: one WRITE request per max_write chunk.
+    size_t written = 0;
+    while (written < count) {
+      size_t n = std::min<size_t>(count - written, opts.max_write);
+      FuseRequest req;
+      req.opcode = FuseOpcode::kWrite;
+      req.nodeid = nodeid_;
+      req.fh = fh;
+      req.offset = off + written;
+      req.data.assign(buf + written, n);
+      CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+      fs_->kernel()->clock().Advance(((n + kPageSize - 1) / kPageSize) * costs.copy_page_ns);
+      written += reply.count;
+      if (reply.count < n) {
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    attr_.size = std::max<uint64_t>(attr_.size, off + written);
+    attr_.mtime = kernel::Timespec::FromNs(fs_->kernel()->NowNs());
+    return written;
+  }
+
+  // Writeback: dirty the kernel page cache; the flush happens on fsync,
+  // release, or when the dirty threshold trips.
+  uint64_t first = off / kPageSize;
+  uint64_t last = (off + count - 1) / kPageSize;
+  uint64_t newly_dirty = 0;
+  char page[kPageSize];
+  uint64_t size_now = CachedSize();
+  for (uint64_t idx = first; idx <= last; ++idx) {
+    uint64_t page_start = idx * kPageSize;
+    uint32_t in_off = static_cast<uint32_t>(std::max(off, page_start) - page_start);
+    uint32_t in_end =
+        static_cast<uint32_t>(std::min(off + count, page_start + kPageSize) - page_start);
+    const char* src = buf + (std::max(off, page_start) - off);
+    if (in_off == 0 && in_end == kPageSize) {
+      if (pool.StorePage(this, idx, src, /*dirty=*/true)) {
+        newly_dirty += kPageSize;
+      }
+    } else {
+      auto res = pool.UpdatePage(this, idx, in_off, in_end - in_off, src, true);
+      if (res == kernel::PageCachePool::UpdateResult::kNotResident) {
+        if (page_start < size_now) {
+          // Read-modify-write: fetch the page from the server first.
+          FuseRequest req;
+          req.opcode = FuseOpcode::kRead;
+          req.nodeid = nodeid_;
+          req.fh = fh;
+          req.offset = page_start;
+          req.size = kPageSize;
+          auto reply = fs_->Call(std::move(req));
+          std::memset(page, 0, kPageSize);
+          if (reply.ok()) {
+            std::memcpy(page, reply.value().data.data(),
+                        std::min<size_t>(kPageSize, reply.value().data.size()));
+          }
+        } else {
+          std::memset(page, 0, kPageSize);
+        }
+        std::memcpy(page + in_off, src, in_end - in_off);
+        if (pool.StorePage(this, idx, page, /*dirty=*/true)) {
+          newly_dirty += kPageSize;
+        }
+      } else if (res == kernel::PageCachePool::UpdateResult::kNewlyDirty) {
+        newly_dirty += kPageSize;
+      }
+    }
+    fs_->kernel()->clock().Advance(costs.copy_page_ns);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attr_.size = std::max<uint64_t>(attr_.size, off + count);
+    attr_.mtime = kernel::Timespec::FromNs(fs_->kernel()->NowNs());
+    last_known_fh_ = fh;
+  }
+  if (newly_dirty > 0) {
+    fs_->NoteDirty(this, newly_dirty);
+  }
+  return count;
+}
+
+uint32_t FuseInode::FlushDirtyPages(uint64_t fh) {
+  auto& pool = fs_->kernel()->page_cache();
+  const FuseMountOptions& opts = fs_->options();
+  std::vector<uint64_t> dirty = pool.DirtyPages(this);
+  if (dirty.empty()) {
+    return 0;
+  }
+  if (fh == UINT64_MAX) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fh = last_known_fh_;
+  }
+  uint64_t size_now = CachedSize();
+  uint32_t requests = 0;
+  const uint32_t pages_per_write = std::max<uint32_t>(1, opts.max_write / kPageSize);
+  char page[kPageSize];
+
+  size_t i = 0;
+  uint64_t flushed_bytes = 0;
+  while (i < dirty.size()) {
+    // Collect one contiguous run, capped at max_write.
+    size_t j = i + 1;
+    while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1 && (j - i) < pages_per_write) {
+      ++j;
+    }
+    FuseRequest req;
+    req.opcode = FuseOpcode::kWrite;
+    req.nodeid = nodeid_;
+    req.fh = fh;
+    req.offset = dirty[i] * kPageSize;
+    for (size_t k = i; k < j; ++k) {
+      if (!pool.PeekPage(this, dirty[k], page)) {
+        std::memset(page, 0, kPageSize);
+      }
+      uint64_t page_start = dirty[k] * kPageSize;
+      size_t len = static_cast<size_t>(
+          std::min<uint64_t>(kPageSize, size_now > page_start ? size_now - page_start : 0));
+      req.data.append(page, len);
+    }
+    flushed_bytes += req.data.size();
+    (void)fs_->Call(std::move(req));
+    ++requests;
+    for (size_t k = i; k < j; ++k) {
+      pool.MarkClean(this, dirty[k]);
+    }
+    i = j;
+  }
+  fs_->dirty_bytes_.fetch_sub(std::min<uint64_t>(fs_->dirty_bytes_.load(),
+                                                 dirty.size() * kPageSize));
+  fs_->ForgetDirty(this);
+  return requests;
+}
+
+Status FuseInode::FsyncData(bool datasync, uint64_t fh) {
+  uint32_t flushed = FlushDirtyPages(fh);
+  // With the writeback cache the kernel owns mtime while pages are dirty;
+  // fsync writes it back with a SETATTR before FSYNC (fuse_flush_times()).
+  if (flushed > 0 && fs_->options().writeback_cache && !datasync) {
+    FuseRequest st;
+    st.opcode = FuseOpcode::kSetattr;
+    st.nodeid = nodeid_;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      st.setattr.mtime = attr_.mtime;
+    }
+    (void)fs_->Call(std::move(st));
+  }
+  FuseRequest req;
+  req.opcode = FuseOpcode::kFsync;
+  req.nodeid = nodeid_;
+  req.fh = fh;
+  req.datasync = datasync;
+  return fs_->Call(std::move(req)).status();
+}
+
+}  // namespace cntr::fuse

@@ -1,0 +1,36 @@
+#include "src/fuse/fuse_mount.h"
+
+#include <cerrno>
+
+namespace cntr::fuse {
+
+void RegisterFuseDevice(kernel::Kernel* kernel) {
+  kernel->RegisterCharDevice(
+      kernel::kFuseDevRdev,
+      [kernel](kernel::Process& proc, int flags) -> StatusOr<kernel::FilePtr> {
+        auto conn = std::make_shared<FuseConn>(&kernel->clock(), &kernel->costs());
+        return kernel::FilePtr(std::make_shared<FuseDevFile>(std::move(conn), flags));
+      });
+}
+
+StatusOr<std::pair<kernel::Fd, std::shared_ptr<FuseConn>>> OpenFuseDevice(
+    kernel::Kernel* kernel, kernel::Process& proc) {
+  CNTR_ASSIGN_OR_RETURN(kernel::Fd fd, kernel->Open(proc, "/dev/fuse", kernel::kORdWr));
+  CNTR_ASSIGN_OR_RETURN(kernel::FilePtr file, kernel->GetFile(proc, fd));
+  auto* dev = dynamic_cast<FuseDevFile*>(file.get());
+  if (dev == nullptr) {
+    return Status::Error(EINVAL, "/dev/fuse did not yield a FUSE device (driver registered?)");
+  }
+  return std::make_pair(fd, dev->conn());
+}
+
+StatusOr<std::shared_ptr<FuseFs>> MountFuse(kernel::Kernel* kernel, kernel::Process& proc,
+                                            const std::string& target,
+                                            std::shared_ptr<FuseConn> conn,
+                                            FuseMountOptions opts) {
+  CNTR_ASSIGN_OR_RETURN(std::shared_ptr<FuseFs> fs, FuseFs::Create(kernel, std::move(conn), opts));
+  CNTR_RETURN_IF_ERROR(kernel->MountFs(proc, fs, target));
+  return fs;
+}
+
+}  // namespace cntr::fuse

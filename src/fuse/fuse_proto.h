@@ -1,0 +1,136 @@
+// The FUSE wire protocol of the simulated kernel.
+//
+// Requests and replies mirror <linux/fuse.h> opcodes and message layouts,
+// carried as typed structs instead of packed bytes (both ends live in one
+// process; serialization would only obscure the protocol). Everything the
+// paper's optimizations switch on exists here: FOPEN_KEEP_CACHE,
+// FUSE_WRITEBACK_CACHE, FUSE_PARALLEL_DIROPS, FUSE_ASYNC_READ, splice
+// transport, and FUSE_BATCH_FORGET.
+#ifndef CNTR_SRC_FUSE_FUSE_PROTO_H_
+#define CNTR_SRC_FUSE_FUSE_PROTO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kernel/cred.h"
+#include "src/kernel/file.h"
+#include "src/kernel/inode.h"
+
+namespace cntr::fuse {
+
+enum class FuseOpcode : uint32_t {
+  kLookup = 1,
+  kForget = 2,
+  kGetattr = 3,
+  kSetattr = 4,
+  kReadlink = 5,
+  kSymlink = 6,
+  kMknod = 8,
+  kMkdir = 9,
+  kUnlink = 10,
+  kRmdir = 11,
+  kRename = 12,
+  kLink = 13,
+  kOpen = 14,
+  kRead = 15,
+  kWrite = 16,
+  kStatfs = 17,
+  kRelease = 18,
+  kFsync = 20,
+  kSetxattr = 21,
+  kGetxattr = 22,
+  kListxattr = 23,
+  kRemovexattr = 24,
+  kFlush = 25,
+  kInit = 26,
+  kOpendir = 27,
+  kReaddir = 28,
+  kReleasedir = 29,
+  kAccess = 34,
+  kCreate = 35,
+  kDestroy = 38,
+  kBatchForget = 42,
+};
+
+const char* FuseOpcodeName(FuseOpcode op);
+
+// The root of a FUSE mount always has nodeid 1 (FUSE_ROOT_ID).
+inline constexpr uint64_t kFuseRootId = 1;
+
+// INIT negotiation flags (subset of FUSE_*).
+inline constexpr uint32_t kFuseAsyncRead = 1 << 0;
+inline constexpr uint32_t kFuseSpliceRead = 1 << 9;
+inline constexpr uint32_t kFuseParallelDirops = 1 << 18;
+inline constexpr uint32_t kFuseWritebackCache = 1 << 16;
+
+// OPEN reply flags.
+inline constexpr uint32_t kFOpenKeepCache = 1 << 1;
+
+// One FUSE request as read from /dev/fuse. Fields beyond the header are
+// meaningful per opcode, as in the kernel's packed layout.
+struct FuseRequest {
+  uint64_t unique = 0;
+  FuseOpcode opcode = FuseOpcode::kInit;
+  uint64_t nodeid = 0;
+
+  // Caller context (fsuid/fsgid travel with every request, like the real
+  // fuse_in_header's uid/gid/pid).
+  kernel::Uid uid = 0;
+  kernel::Gid gid = 0;
+  kernel::Pid pid = 0;
+
+  // Payload (per opcode).
+  std::string name;          // lookup/create/unlink/... the child name
+  std::string name2;         // rename target name / link name
+  uint64_t nodeid2 = 0;      // rename target dir / link target node
+  std::string data;          // write payload, symlink target, xattr value
+  uint64_t fh = 0;           // read/write/release/fsync file handle
+  uint64_t offset = 0;       // read/write offset
+  uint32_t size = 0;         // read size / xattr buffer size
+  int32_t flags = 0;         // open flags
+  kernel::Mode mode = 0;     // create/mkdir mode
+  kernel::Dev rdev = 0;      // mknod device
+  bool datasync = false;     // fsync
+  kernel::SetattrRequest setattr;
+  std::vector<uint64_t> forget_nodes;  // batch forget
+  uint32_t init_flags = 0;   // INIT negotiation
+
+  // True when the payload of a write travels through a kernel pipe (splice)
+  // instead of being copied through userspace.
+  bool spliced = false;
+};
+
+// Reply payloads (fuse_entry_out / fuse_attr_out / fuse_open_out / ...).
+struct FuseEntryOut {
+  uint64_t nodeid = 0;
+  kernel::InodeAttr attr;
+  uint64_t entry_ttl_ns = 0;
+  uint64_t attr_ttl_ns = 0;
+};
+
+struct FuseReply {
+  int error = 0;
+
+  FuseEntryOut entry;                    // lookup/create/mkdir/symlink/link
+  kernel::InodeAttr attr;                // getattr/setattr
+  uint64_t attr_ttl_ns = 0;
+  std::string data;                      // read/readlink/getxattr
+  std::vector<std::string> names;        // listxattr
+  std::vector<kernel::DirEntry> entries; // readdir
+  uint64_t fh = 0;                       // open/opendir/create
+  uint32_t open_flags = 0;               // FOPEN_* bits
+  uint32_t count = 0;                    // write result
+  kernel::StatFs statfs;
+  uint32_t init_flags = 0;               // INIT result
+
+  static FuseReply Error(int err) {
+    FuseReply r;
+    r.error = err;
+    return r;
+  }
+};
+
+}  // namespace cntr::fuse
+
+#endif  // CNTR_SRC_FUSE_FUSE_PROTO_H_

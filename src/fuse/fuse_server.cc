@@ -1,0 +1,52 @@
+#include "src/fuse/fuse_server.h"
+
+#include "src/util/logging.h"
+
+namespace cntr::fuse {
+
+void FuseServer::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  threads_.reserve(num_threads_);
+  for (int i = 0; i < num_threads_; ++i) {
+    conn_->AddReader();
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void FuseServer::Stop() {
+  if (!started_) {
+    return;
+  }
+  conn_->Abort();
+  for (auto& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  threads_.clear();
+  started_ = false;
+  handler_->OnDestroy();
+}
+
+void FuseServer::WorkerLoop() {
+  while (true) {
+    auto request = conn_->ReadRequest();
+    if (!request.has_value()) {
+      break;  // connection aborted and queue drained
+    }
+    if (request->opcode == FuseOpcode::kDestroy) {
+      handler_->OnDestroy();
+      continue;
+    }
+    FuseReply reply = handler_->Handle(*request);
+    if (request->unique != 0) {
+      conn_->WriteReply(request->unique, std::move(reply));
+    }
+  }
+  conn_->RemoveReader();
+}
+
+}  // namespace cntr::fuse

@@ -1,0 +1,58 @@
+// The userspace side of FUSE: a handler interface plus a multithreaded
+// request loop.
+//
+// The paper's CNTRFS spawns independent threads reading /dev/fuse so that
+// blocking filesystem operations do not stall the whole server (§3.3
+// "Multithreading"); FuseServer reproduces that loop with std::threads, each
+// acting as the server process on the simulated kernel.
+#ifndef CNTR_SRC_FUSE_FUSE_SERVER_H_
+#define CNTR_SRC_FUSE_FUSE_SERVER_H_
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/fuse/fuse_conn.h"
+#include "src/fuse/fuse_proto.h"
+
+namespace cntr::fuse {
+
+class FuseHandler {
+ public:
+  virtual ~FuseHandler() = default;
+  // Handles one request and returns the reply. Runs on server threads;
+  // implementations must be thread-safe.
+  virtual FuseReply Handle(const FuseRequest& request) = 0;
+  // Called once when the connection shuts down.
+  virtual void OnDestroy() {}
+};
+
+class FuseServer {
+ public:
+  FuseServer(std::shared_ptr<FuseConn> conn, FuseHandler* handler, int num_threads = 4)
+      : conn_(std::move(conn)), handler_(handler), num_threads_(num_threads) {}
+  ~FuseServer() { Stop(); }
+
+  FuseServer(const FuseServer&) = delete;
+  FuseServer& operator=(const FuseServer&) = delete;
+
+  // Starts the worker threads; requests are answered from then on.
+  void Start();
+  // Aborts the connection and joins the workers. Idempotent.
+  void Stop();
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  void WorkerLoop();
+
+  std::shared_ptr<FuseConn> conn_;
+  FuseHandler* handler_;
+  int num_threads_;
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+};
+
+}  // namespace cntr::fuse
+
+#endif  // CNTR_SRC_FUSE_FUSE_SERVER_H_

@@ -1,0 +1,141 @@
+// Process credentials: uids/gids, supplementary groups and capabilities.
+//
+// CNTR's attach step must replicate the target container's credentials
+// (paper §3.2.1/§3.2.3): it reads uid/gid maps and the capability sets from
+// /proc and applies them to the process it injects, so the injected shell has
+// exactly the privileges of the container.
+#ifndef CNTR_SRC_KERNEL_CRED_H_
+#define CNTR_SRC_KERNEL_CRED_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/kernel/types.h"
+
+namespace cntr::kernel {
+
+// Subset of Linux capabilities that the simulated kernel checks.
+enum class Capability : uint32_t {
+  kChown = 0,
+  kDacOverride = 1,
+  kDacReadSearch = 2,
+  kFowner = 3,
+  kFsetid = 4,
+  kKill = 5,
+  kSetgid = 6,
+  kSetuid = 7,
+  kNetBindService = 10,
+  kNetAdmin = 12,
+  kSysChroot = 18,
+  kSysPtrace = 19,
+  kSysAdmin = 21,
+  kMknod = 27,
+  kAuditWrite = 29,
+  kSetfcap = 31,
+};
+
+inline constexpr uint32_t kNumCapabilities = 38;
+
+// A set of capabilities as a bitmask, with Linux-style full/empty helpers.
+class CapSet {
+ public:
+  CapSet() = default;
+  CapSet(std::initializer_list<Capability> caps) {
+    for (Capability c : caps) {
+      Add(c);
+    }
+  }
+
+  static CapSet Full() {
+    CapSet s;
+    s.bits_ = (1ULL << kNumCapabilities) - 1;
+    return s;
+  }
+  static CapSet Empty() { return CapSet(); }
+
+  void Add(Capability c) { bits_ |= Bit(c); }
+  void Remove(Capability c) { bits_ &= ~Bit(c); }
+  bool Has(Capability c) const { return (bits_ & Bit(c)) != 0; }
+  bool empty() const { return bits_ == 0; }
+
+  CapSet Intersect(const CapSet& other) const {
+    CapSet s;
+    s.bits_ = bits_ & other.bits_;
+    return s;
+  }
+
+  uint64_t raw() const { return bits_; }
+  static CapSet FromRaw(uint64_t bits) {
+    CapSet s;
+    s.bits_ = bits;
+    return s;
+  }
+
+  bool operator==(const CapSet&) const = default;
+
+ private:
+  static uint64_t Bit(Capability c) { return 1ULL << static_cast<uint32_t>(c); }
+  uint64_t bits_ = 0;
+};
+
+// Credentials of a process. fsuid/fsgid are what filesystem permission
+// checks use; CntrFS sets them per-request to impersonate the caller
+// (the paper delegates POSIX ACLs via setfsuid/setfsgid on inode creation).
+struct Credentials {
+  Uid uid = kRootUid;
+  Uid euid = kRootUid;
+  Uid fsuid = kRootUid;
+  Gid gid = kRootGid;
+  Gid egid = kRootGid;
+  Gid fsgid = kRootGid;
+  std::vector<Gid> groups;
+
+  CapSet effective = CapSet::Full();
+  CapSet permitted = CapSet::Full();
+  CapSet inheritable = CapSet::Empty();
+  CapSet bounding = CapSet::Full();
+
+  static Credentials Root() { return Credentials{}; }
+
+  static Credentials User(Uid uid, Gid gid) {
+    Credentials c;
+    c.uid = c.euid = c.fsuid = uid;
+    c.gid = c.egid = c.fsgid = gid;
+    c.effective = CapSet::Empty();
+    c.permitted = CapSet::Empty();
+    return c;
+  }
+
+  bool HasCap(Capability cap) const { return effective.Has(cap); }
+
+  bool InGroup(Gid g) const {
+    if (fsgid == g) {
+      return true;
+    }
+    for (Gid sg : groups) {
+      if (sg == g) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Mandatory access control label (AppArmor/SELinux stand-in). The simulated
+// kernel only records and propagates it; enforcement is a named profile that
+// can deny filesystem subtrees (enough to test CNTR's profile application).
+struct LsmProfile {
+  std::string name = "unconfined";
+  // Path prefixes this profile denies write access to.
+  std::vector<std::string> deny_write_prefixes;
+  // Path prefixes this profile denies all access to.
+  std::vector<std::string> deny_all_prefixes;
+
+  bool unconfined() const { return name == "unconfined"; }
+};
+
+}  // namespace cntr::kernel
+
+#endif  // CNTR_SRC_KERNEL_CRED_H_

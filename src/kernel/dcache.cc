@@ -1,0 +1,60 @@
+#include "src/kernel/dcache.h"
+
+namespace cntr::kernel {
+
+InodePtr DentryCache::Lookup(const Inode* dir, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(Key{dir, name});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.expiry_ns != UINT64_MAX && clock_->NowNs() >= it->second.expiry_ns) {
+    entries_.erase(it);
+    ++stats_.expiries;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  clock_->Advance(costs_->dcache_hit_ns);
+  return it->second.child;
+}
+
+void DentryCache::Insert(const Inode* dir, const std::string& name, InodePtr child,
+                         uint64_t ttl_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= max_entries_) {
+    // Wholesale prune of half the cache. Linux uses LRU shrinking; uniform
+    // pruning keeps the structure simple and has the same effect on the
+    // workloads we model (steady-state hit rates re-establish quickly).
+    size_t target = max_entries_ / 2;
+    for (auto it = entries_.begin(); it != entries_.end() && entries_.size() > target;) {
+      it = entries_.erase(it);
+    }
+  }
+  uint64_t expiry = ttl_ns == UINT64_MAX ? UINT64_MAX : clock_->NowNs() + ttl_ns;
+  entries_[Key{dir, name}] = Entry{std::move(child), expiry};
+}
+
+void DentryCache::Invalidate(const Inode* dir, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(Key{dir, name});
+}
+
+void DentryCache::InvalidateDir(const Inode* dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.dir == dir) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DentryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace cntr::kernel

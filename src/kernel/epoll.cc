@@ -1,0 +1,71 @@
+#include "src/kernel/epoll.h"
+
+#include <cerrno>
+
+namespace cntr::kernel {
+
+Status EpollFile::Ctl(int op, Fd fd, const FilePtr& file, uint32_t events, uint64_t data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (op) {
+    case kEpollCtlAdd: {
+      if (watches_.count(fd) != 0) {
+        return Status::Error(EEXIST);
+      }
+      watches_[fd] = Watch{file, events, data};
+      return Status::Ok();
+    }
+    case kEpollCtlMod: {
+      auto it = watches_.find(fd);
+      if (it == watches_.end()) {
+        return Status::Error(ENOENT);
+      }
+      it->second.events = events;
+      it->second.data = data;
+      return Status::Ok();
+    }
+    case kEpollCtlDel: {
+      if (watches_.erase(fd) == 0) {
+        return Status::Error(ENOENT);
+      }
+      return Status::Ok();
+    }
+    default:
+      return Status::Error(EINVAL);
+  }
+}
+
+std::vector<EpollEvent> EpollFile::CollectReady(int max_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EpollEvent> out;
+  for (auto& [fd, watch] : watches_) {
+    uint32_t ready = watch.file->PollEvents();
+    // Error/hangup conditions are always reported, like Linux.
+    uint32_t interested = watch.events | kPollErr | kPollHup;
+    uint32_t hit = ready & interested;
+    if (hit != 0) {
+      out.push_back(EpollEvent{hit, watch.data});
+      if (static_cast<int>(out.size()) >= max_events) {
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<EpollEvent>> EpollFile::Wait(int max_events, int timeout_ms) {
+  if (max_events <= 0) {
+    return Status::Error(EINVAL);
+  }
+  std::vector<EpollEvent> ready = CollectReady(max_events);
+  if (!ready.empty() || timeout_ms == 0) {
+    return ready;
+  }
+  // Re-check on every hub notification until something is ready or timeout.
+  hub_->WaitFor([&] {
+    ready = CollectReady(max_events);
+    return !ready.empty();
+  }, timeout_ms);
+  return ready;
+}
+
+}  // namespace cntr::kernel

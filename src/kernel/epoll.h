@@ -1,0 +1,52 @@
+// epoll(7) for the simulated kernel. Level-triggered only — that is all the
+// socket proxy needs, and level semantics keep the readiness model simple.
+#ifndef CNTR_SRC_KERNEL_EPOLL_H_
+#define CNTR_SRC_KERNEL_EPOLL_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/kernel/file.h"
+#include "src/kernel/poll_hub.h"
+#include "src/util/status.h"
+
+namespace cntr::kernel {
+
+inline constexpr int kEpollCtlAdd = 1;
+inline constexpr int kEpollCtlDel = 2;
+inline constexpr int kEpollCtlMod = 3;
+
+struct EpollEvent {
+  uint32_t events = 0;
+  uint64_t data = 0;
+};
+
+class EpollFile : public FileDescription {
+ public:
+  explicit EpollFile(PollHub* hub) : FileDescription(nullptr, kORdWr), hub_(hub) {}
+
+  Status Ctl(int op, Fd fd, const FilePtr& file, uint32_t events, uint64_t data);
+
+  // Blocks until at least one watched file is ready or timeout_ms passes
+  // (timeout 0 = poll, < 0 = wait forever).
+  StatusOr<std::vector<EpollEvent>> Wait(int max_events, int timeout_ms);
+
+ private:
+  struct Watch {
+    FilePtr file;
+    uint32_t events;
+    uint64_t data;
+  };
+
+  std::vector<EpollEvent> CollectReady(int max_events);
+
+  PollHub* hub_;
+  std::mutex mu_;
+  std::map<Fd, Watch> watches_;
+};
+
+}  // namespace cntr::kernel
+
+#endif  // CNTR_SRC_KERNEL_EPOLL_H_

@@ -1,0 +1,19 @@
+#include "src/kernel/file.h"
+
+#include <cerrno>
+
+namespace cntr::kernel {
+
+StatusOr<size_t> FileDescription::Read(void* buf, size_t count, uint64_t offset) {
+  return Status::Error(EINVAL, "read not supported on this file");
+}
+
+StatusOr<size_t> FileDescription::Write(const void* buf, size_t count, uint64_t offset) {
+  return Status::Error(EINVAL, "write not supported on this file");
+}
+
+StatusOr<std::vector<DirEntry>> FileDescription::Readdir() {
+  return Status::Error(ENOTDIR);
+}
+
+}  // namespace cntr::kernel

@@ -1,0 +1,96 @@
+// Open file descriptions (struct file in Linux terms).
+//
+// A FileDescription is created by Inode::Open and shared by all fds that
+// dup() to it. Read/Write take explicit offsets (pread/pwrite shape); the
+// cursor for plain read/write lives here and is advanced by the Kernel
+// facade. Pipes, sockets, devices and ptys subclass this and ignore offsets.
+#ifndef CNTR_SRC_KERNEL_FILE_H_
+#define CNTR_SRC_KERNEL_FILE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/kernel/inode.h"
+#include "src/kernel/types.h"
+#include "src/util/status.h"
+
+namespace cntr::kernel {
+
+// poll(2)-style readiness bits.
+inline constexpr uint32_t kPollIn = 0x001;
+inline constexpr uint32_t kPollOut = 0x004;
+inline constexpr uint32_t kPollErr = 0x008;
+inline constexpr uint32_t kPollHup = 0x010;
+
+class FileDescription {
+ public:
+  FileDescription(InodePtr inode, int flags) : inode_(std::move(inode)), flags_(flags) {}
+  virtual ~FileDescription() = default;
+
+  FileDescription(const FileDescription&) = delete;
+  FileDescription& operator=(const FileDescription&) = delete;
+
+  const InodePtr& inode() const { return inode_; }
+  int flags() const { return flags_; }
+  void set_flags(int flags) { flags_ = flags; }
+  bool readable() const { return WantsRead(flags_); }
+  bool writable() const { return WantsWrite(flags_); }
+  bool append() const { return (flags_ & kOAppend) != 0; }
+  bool nonblocking() const { return (flags_ & kONonblock) != 0; }
+
+  // --- positional I/O ---
+  virtual StatusOr<size_t> Read(void* buf, size_t count, uint64_t offset);
+  virtual StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset);
+
+  // --- durability ---
+  virtual Status Fsync(bool datasync) { return Status::Ok(); }
+  // Called when the last reference to the description is closed.
+  virtual Status Release() { return Status::Ok(); }
+
+  // --- directories ---
+  virtual StatusOr<std::vector<DirEntry>> Readdir();
+
+  // --- readiness (pipes/sockets/devices) ---
+  virtual uint32_t PollEvents() { return kPollIn | kPollOut; }
+
+  // --- ioctl-ish extension point for devices ---
+  virtual StatusOr<uint64_t> Ioctl(uint64_t cmd, uint64_t arg) { return Status::Error(ENOTTY); }
+
+  // Cursor management (used by read/write/lseek, guarded for dup'd fds).
+  uint64_t offset() const {
+    std::lock_guard<std::mutex> lock(offset_mu_);
+    return offset_;
+  }
+  void set_offset(uint64_t off) {
+    std::lock_guard<std::mutex> lock(offset_mu_);
+    offset_ = off;
+  }
+  uint64_t AdvanceOffset(uint64_t delta) {
+    std::lock_guard<std::mutex> lock(offset_mu_);
+    offset_ += delta;
+    return offset_;
+  }
+
+ private:
+  InodePtr inode_;
+  int flags_;
+  mutable std::mutex offset_mu_;
+  uint64_t offset_ = 0;
+};
+
+// Filesystem statistics (statfs(2) shape).
+struct StatFs {
+  std::string fs_type;
+  uint64_t block_size = kPageSize;
+  uint64_t total_blocks = 0;
+  uint64_t free_blocks = 0;
+  uint64_t total_inodes = 0;
+  uint64_t free_inodes = 0;
+  uint32_t name_max = 255;
+};
+
+}  // namespace cntr::kernel
+
+#endif  // CNTR_SRC_KERNEL_FILE_H_

@@ -1,0 +1,64 @@
+// The filesystem (superblock) interface of the simulated kernel.
+#ifndef CNTR_SRC_KERNEL_FILESYSTEM_H_
+#define CNTR_SRC_KERNEL_FILESYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/kernel/file.h"
+#include "src/kernel/inode.h"
+#include "src/kernel/types.h"
+#include "src/util/status.h"
+
+namespace cntr::kernel {
+
+class FileSystem {
+ public:
+  explicit FileSystem(Dev dev_id) : dev_id_(dev_id) {}
+  virtual ~FileSystem() = default;
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  // st_dev of every inode in this filesystem.
+  Dev dev_id() const { return dev_id_; }
+
+  virtual InodePtr root() = 0;
+  virtual std::string Type() const = 0;
+  virtual StatusOr<StatFs> Statfs() = 0;
+
+  // rename(2) needs both parents, so it is a filesystem-level op.
+  // `flags` accepts kRenameNoreplace / kRenameExchange below.
+  virtual Status Rename(const InodePtr& old_dir, const std::string& old_name,
+                        const InodePtr& new_dir, const std::string& new_name, uint32_t flags) = 0;
+
+  // sync(2): flush everything dirty to the backing store.
+  virtual Status Sync() { return Status::Ok(); }
+
+  // Entry-cache validity for dentries of this filesystem, in virtual ns.
+  // UINT64_MAX = trust until invalidated (local filesystems); FUSE mounts
+  // return a finite TTL, which is why cold lookups dominate CntrFS costs.
+  virtual uint64_t DentryTtlNs() const { return UINT64_MAX; }
+
+  // Whether writes through this filesystem enforce the caller's
+  // RLIMIT_FSIZE. FUSE filesystems replay operations as the server process
+  // and return false (paper §5.1, xfstests #228).
+  virtual bool EnforcesFsizeLimit() const { return true; }
+
+  // Whether the VFS applies the chmod setgid-clearing policy (clear the
+  // setgid bit when the caller is not in the owning group). FUSE passes the
+  // mode through and delegates the decision to the server, where the check
+  // is made with setfsuid/setfsgid context only — the paper's xfstests #375
+  // deviation (§5.1).
+  virtual bool VfsAppliesSetgidPolicy() const { return true; }
+
+ private:
+  Dev dev_id_;
+};
+
+inline constexpr uint32_t kRenameNoreplace = 1;
+inline constexpr uint32_t kRenameExchange = 2;
+
+}  // namespace cntr::kernel
+
+#endif  // CNTR_SRC_KERNEL_FILESYSTEM_H_

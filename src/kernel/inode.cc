@@ -1,0 +1,126 @@
+#include "src/kernel/inode.h"
+
+#include <cerrno>
+
+namespace cntr::kernel {
+
+Status Inode::Setattr(const SetattrRequest& req, const Credentials& cred) {
+  return Status::Error(ENOSYS, "setattr not supported");
+}
+
+StatusOr<InodePtr> Inode::Lookup(const std::string& name) {
+  return Status::Error(ENOTDIR);
+}
+
+StatusOr<InodePtr> Inode::Create(const std::string& name, Mode mode, Dev rdev,
+                                 const Credentials& cred) {
+  return Status::Error(ENOTDIR);
+}
+
+StatusOr<InodePtr> Inode::Mkdir(const std::string& name, Mode mode, const Credentials& cred) {
+  return Status::Error(ENOTDIR);
+}
+
+Status Inode::Unlink(const std::string& name) { return Status::Error(ENOTDIR); }
+
+Status Inode::Rmdir(const std::string& name) { return Status::Error(ENOTDIR); }
+
+Status Inode::Link(const std::string& name, const InodePtr& target) {
+  return Status::Error(ENOTDIR);
+}
+
+StatusOr<InodePtr> Inode::Symlink(const std::string& name, const std::string& target,
+                                  const Credentials& cred) {
+  return Status::Error(ENOTDIR);
+}
+
+StatusOr<std::vector<DirEntry>> Inode::Readdir() { return Status::Error(ENOTDIR); }
+
+StatusOr<std::string> Inode::Readlink() { return Status::Error(EINVAL); }
+
+StatusOr<FilePtr> Inode::Open(int flags, const Credentials& cred) {
+  return Status::Error(ENOSYS, "open not supported");
+}
+
+Status Inode::SetXattr(const std::string& name, const std::string& value, int flags) {
+  return Status::Error(ENOTSUP);
+}
+
+StatusOr<std::string> Inode::GetXattr(const std::string& name) {
+  return Status::Error(ENOTSUP);
+}
+
+StatusOr<std::vector<std::string>> Inode::ListXattr() { return Status::Error(ENOTSUP); }
+
+Status Inode::RemoveXattr(const std::string& name) { return Status::Error(ENOTSUP); }
+
+StatusOr<uint64_t> Inode::ExportHandle() { return Status::Error(EOPNOTSUPP); }
+
+StatusOr<InodePtr> Inode::Parent() { return Status::Error(ENOTDIR); }
+
+Status CheckAccess(const InodeAttr& attr, const Credentials& cred, int mask) {
+  if (mask == kAccessExists) {
+    return Status::Ok();
+  }
+  Mode perm;
+  if (cred.fsuid == attr.uid) {
+    perm = (attr.mode >> 6) & 7;
+  } else if (cred.InGroup(attr.gid)) {
+    perm = (attr.mode >> 3) & 7;
+  } else {
+    perm = attr.mode & 7;
+  }
+
+  int want = 0;
+  if (mask & kAccessRead) {
+    want |= 4;
+  }
+  if (mask & kAccessWrite) {
+    want |= 2;
+  }
+  if (mask & kAccessExec) {
+    want |= 1;
+  }
+  if ((perm & want) == static_cast<Mode>(want)) {
+    return Status::Ok();
+  }
+
+  // CAP_DAC_OVERRIDE bypasses rwx checks, except exec on files with no exec
+  // bit anywhere (matching Linux).
+  if (cred.HasCap(Capability::kDacOverride)) {
+    if ((mask & kAccessExec) && !IsDir(attr.mode) && (attr.mode & 0111) == 0) {
+      return Status::Error(EACCES);
+    }
+    return Status::Ok();
+  }
+  // CAP_DAC_READ_SEARCH allows read and directory search.
+  if (cred.HasCap(Capability::kDacReadSearch)) {
+    bool only_read_search =
+        (mask & kAccessWrite) == 0 && (!(mask & kAccessExec) || IsDir(attr.mode));
+    if (only_read_search) {
+      return Status::Ok();
+    }
+  }
+  return Status::Error(EACCES);
+}
+
+bool MayChown(const InodeAttr& attr, const Credentials& cred, Uid new_uid, Gid new_gid) {
+  if (cred.HasCap(Capability::kChown)) {
+    return true;
+  }
+  // Without CAP_CHOWN: uid must stay, and gid may only move to a group the
+  // caller belongs to, and only by the owner.
+  if (cred.fsuid != attr.uid) {
+    return false;
+  }
+  if (new_uid != attr.uid) {
+    return false;
+  }
+  return new_gid == attr.gid || cred.InGroup(new_gid);
+}
+
+bool MayChmod(const InodeAttr& attr, const Credentials& cred) {
+  return cred.fsuid == attr.uid || cred.HasCap(Capability::kFowner);
+}
+
+}  // namespace cntr::kernel

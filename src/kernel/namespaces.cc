@@ -1,0 +1,57 @@
+#include "src/kernel/namespaces.h"
+
+#include <cerrno>
+
+namespace cntr::kernel {
+
+std::atomic<uint64_t> NamespaceBase::next_id_{4026531840ULL};
+
+Status NetNamespace::BindAbstract(const std::string& name, std::shared_ptr<void> socket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = abstract_sockets_.emplace(name, std::move(socket));
+  if (!inserted) {
+    return Status::Error(EADDRINUSE, "abstract socket name in use");
+  }
+  return Status::Ok();
+}
+
+std::shared_ptr<void> NetNamespace::LookupAbstract(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = abstract_sockets_.find(name);
+  return it == abstract_sockets_.end() ? nullptr : it->second;
+}
+
+void NetNamespace::UnbindAbstract(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  abstract_sockets_.erase(name);
+}
+
+std::shared_ptr<CgroupNode> CgroupNode::FindOrCreateChild(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = children_.find(name);
+  if (it != children_.end()) {
+    return it->second;
+  }
+  auto child = std::shared_ptr<CgroupNode>(new CgroupNode(name, shared_from_this()));
+  children_[name] = child;
+  return child;
+}
+
+std::shared_ptr<CgroupNode> CgroupNode::FindChild(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = children_.find(name);
+  return it == children_.end() ? nullptr : it->second;
+}
+
+std::string CgroupNode::Path() const {
+  if (parent_ == nullptr) {
+    return "/";
+  }
+  std::string parent_path = parent_->Path();
+  if (parent_path == "/") {
+    return "/" + name_;
+  }
+  return parent_path + "/" + name_;
+}
+
+}  // namespace cntr::kernel

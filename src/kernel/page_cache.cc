@@ -1,0 +1,246 @@
+#include "src/kernel/page_cache.h"
+
+#include <algorithm>
+
+namespace cntr::kernel {
+
+bool PageCachePool::ReadPage(CacheOwner owner, uint64_t idx, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(Key{owner, idx});
+  if (it == pages_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  clock_->Advance(costs_->page_cache_hit_ns);
+  std::memcpy(out, it->second.data.get(), kPageSize);
+  TouchLocked(it->second, it->first);
+  return true;
+}
+
+bool PageCachePool::HasPage(CacheOwner owner, uint64_t idx) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.count(Key{owner, idx}) != 0;
+}
+
+bool PageCachePool::StorePage(CacheOwner owner, uint64_t idx, const char* data, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Key key{owner, idx};
+  auto it = pages_.find(key);
+  if (it == pages_.end()) {
+    Page page;
+    page.data = std::make_unique<char[]>(kPageSize);
+    std::memcpy(page.data.get(), data, kPageSize);
+    lru_.push_front(key);
+    page.lru_it = lru_.begin();
+    page.dirty = dirty;
+    pages_.emplace(key, std::move(page));
+  } else {
+    std::memcpy(it->second.data.get(), data, kPageSize);
+    bool was_dirty = it->second.dirty;
+    it->second.dirty = it->second.dirty || dirty;
+    TouchLocked(it->second, key);
+    if (was_dirty) {
+      dirty = false;  // already accounted
+    }
+  }
+  if (dirty) {
+    dirty_[owner][idx] = true;
+    dirty_bytes_total_ += kPageSize;
+  }
+  EvictIfNeededLocked();
+  return dirty;
+}
+
+PageCachePool::UpdateResult PageCachePool::UpdatePage(CacheOwner owner, uint64_t idx,
+                                                      uint32_t off, uint32_t len,
+                                                      const char* src, bool mark_dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(Key{owner, idx});
+  if (it == pages_.end()) {
+    return UpdateResult::kNotResident;
+  }
+  std::memcpy(it->second.data.get() + off, src, len);
+  TouchLocked(it->second, it->first);
+  if (mark_dirty && !it->second.dirty) {
+    it->second.dirty = true;
+    dirty_[owner][idx] = true;
+    dirty_bytes_total_ += kPageSize;
+    return UpdateResult::kNewlyDirty;
+  }
+  return UpdateResult::kUpdated;
+}
+
+void PageCachePool::TruncatePages(CacheOwner owner, uint64_t new_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t first_dropped = (new_size + kPageSize - 1) / kPageSize;
+  // Zero the partial tail of the boundary page.
+  if (new_size % kPageSize != 0) {
+    auto it = pages_.find(Key{owner, new_size / kPageSize});
+    if (it != pages_.end()) {
+      uint32_t keep = static_cast<uint32_t>(new_size % kPageSize);
+      std::memset(it->second.data.get() + keep, 0, kPageSize - keep);
+    }
+  }
+  // Drop whole pages past the new end.
+  auto dit = dirty_.find(owner);
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if (it->first.owner == owner && it->first.idx >= first_dropped) {
+      if (it->second.dirty) {
+        dirty_bytes_total_ -= kPageSize;
+        if (dit != dirty_.end()) {
+          dit->second.erase(it->first.idx);
+        }
+      }
+      lru_.erase(it->second.lru_it);
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageCachePool::MarkClean(CacheOwner owner, uint64_t idx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(Key{owner, idx});
+  if (it != pages_.end() && it->second.dirty) {
+    it->second.dirty = false;
+    dirty_bytes_total_ -= kPageSize;
+    auto dit = dirty_.find(owner);
+    if (dit != dirty_.end()) {
+      dit->second.erase(idx);
+    }
+  }
+}
+
+void PageCachePool::Drop(CacheOwner owner, uint64_t idx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(Key{owner, idx});
+  if (it == pages_.end()) {
+    return;
+  }
+  if (it->second.dirty) {
+    dirty_bytes_total_ -= kPageSize;
+    auto dit = dirty_.find(owner);
+    if (dit != dirty_.end()) {
+      dit->second.erase(idx);
+    }
+  }
+  lru_.erase(it->second.lru_it);
+  pages_.erase(it);
+}
+
+void PageCachePool::DropAll(CacheOwner owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if (it->first.owner == owner) {
+      if (it->second.dirty) {
+        dirty_bytes_total_ -= kPageSize;
+      }
+      lru_.erase(it->second.lru_it);
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  dirty_.erase(owner);
+}
+
+void PageCachePool::DropAllClean() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if (!it->second.dirty) {
+      lru_.erase(it->second.lru_it);
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<uint64_t> PageCachePool::DirtyPages(CacheOwner owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  auto dit = dirty_.find(owner);
+  if (dit == dirty_.end()) {
+    return out;
+  }
+  out.reserve(dit->second.size());
+  for (const auto& [idx, _] : dit->second) {
+    out.push_back(idx);
+  }
+  return out;
+}
+
+bool PageCachePool::PeekPage(CacheOwner owner, uint64_t idx, char* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(Key{owner, idx});
+  if (it == pages_.end()) {
+    return false;
+  }
+  std::memcpy(out, it->second.data.get(), kPageSize);
+  return true;
+}
+
+uint64_t PageCachePool::DirtyBytes(CacheOwner owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto dit = dirty_.find(owner);
+  return dit == dirty_.end() ? 0 : dit->second.size() * kPageSize;
+}
+
+uint64_t PageCachePool::TotalDirtyBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirty_bytes_total_;
+}
+
+uint64_t PageCachePool::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size() * kPageSize;
+}
+
+void PageCachePool::TouchLocked(Page& page, const Key& key) {
+  lru_.erase(page.lru_it);
+  lru_.push_front(key);
+  page.lru_it = lru_.begin();
+}
+
+void PageCachePool::EvictIfNeededLocked() {
+  while (pages_.size() * kPageSize > capacity_bytes_ && !lru_.empty()) {
+    // Scan from the cold end for a clean victim; dirty pages are pinned.
+    auto victim = lru_.end();
+    bool found = false;
+    size_t scanned = 0;
+    for (auto it = std::prev(lru_.end());; --it) {
+      auto pit = pages_.find(*it);
+      if (pit != pages_.end() && !pit->second.dirty) {
+        victim = it;
+        found = true;
+        break;
+      }
+      if (++scanned > 128 || it == lru_.begin()) {
+        break;  // all-cold pages dirty: allow transient overshoot
+      }
+    }
+    if (!found) {
+      return;
+    }
+    pages_.erase(*victim);
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+uint32_t CountExtents(const std::vector<uint64_t>& sorted_pages) {
+  if (sorted_pages.empty()) {
+    return 0;
+  }
+  uint32_t extents = 1;
+  for (size_t i = 1; i < sorted_pages.size(); ++i) {
+    if (sorted_pages[i] != sorted_pages[i - 1] + 1) {
+      ++extents;
+    }
+  }
+  return extents;
+}
+
+}  // namespace cntr::kernel

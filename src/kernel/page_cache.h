@@ -1,0 +1,134 @@
+// A capacity-limited, LRU page cache shared by every filesystem in one
+// simulated kernel.
+//
+// Both the native path (ExtFs over the disk model) and the FUSE path cache
+// pages here, so the paper's double-buffering effect — CntrFS keeps one copy
+// in the FUSE mount's cache and a second in the server's filesystem cache,
+// halving effective cache capacity (§5.2.2, IOzone) — emerges naturally from
+// the shared capacity.
+//
+// Eviction policy: clean pages are evicted LRU; dirty pages are pinned until
+// their owner flushes them (owners flush on fsync, on dirty thresholds, and
+// on release), at which point they become clean and evictable. The pool may
+// transiently exceed capacity if everything is dirty, exactly like a kernel
+// under writeback pressure.
+#ifndef CNTR_SRC_KERNEL_PAGE_CACHE_H_
+#define CNTR_SRC_KERNEL_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kernel/types.h"
+#include "src/util/sim_clock.h"
+
+namespace cntr::kernel {
+
+// Identifies the cache space of one file: owners are file objects (MemFs
+// inodes, FUSE inodes); any stable pointer works.
+using CacheOwner = const void*;
+
+class PageCachePool {
+ public:
+  PageCachePool(SimClock* clock, const CostModel* costs, uint64_t capacity_bytes)
+      : clock_(clock), costs_(costs), capacity_bytes_(capacity_bytes) {}
+
+  // Copies a cached page into `out` (kPageSize bytes). Returns false on miss.
+  // Charges the page-cache-hit cost on hit.
+  bool ReadPage(CacheOwner owner, uint64_t idx, char* out);
+
+  // True if the page is resident (no cost charged, no LRU touch).
+  bool HasPage(CacheOwner owner, uint64_t idx) const;
+
+  // Inserts or overwrites a whole page. May evict clean LRU pages.
+  // Returns true if the page transitioned clean->dirty (or was inserted
+  // dirty), so owners can keep exact dirty-byte accounting.
+  bool StorePage(CacheOwner owner, uint64_t idx, const char* data, bool dirty);
+
+  enum class UpdateResult { kNotResident, kUpdated, kNewlyDirty };
+  // Updates [off, off+len) of a page if resident; marks dirty when asked.
+  UpdateResult UpdatePage(CacheOwner owner, uint64_t idx, uint32_t off, uint32_t len,
+                          const char* src, bool mark_dirty);
+
+  // Zeroes the tail of the file's last page beyond `size` and drops whole
+  // pages past it (truncate support).
+  void TruncatePages(CacheOwner owner, uint64_t new_size);
+
+  void MarkClean(CacheOwner owner, uint64_t idx);
+  void Drop(CacheOwner owner, uint64_t idx);
+  void DropAll(CacheOwner owner);
+  // Drops every clean page of every owner (echo 3 > drop_caches); dirty
+  // pages stay pinned.
+  void DropAllClean();
+
+  // Dirty page indexes of one owner, sorted ascending (for extent-coalesced
+  // writeback). Page content is copied into `pages` if non-null.
+  std::vector<uint64_t> DirtyPages(CacheOwner owner) const;
+
+  // Copies page content (must be resident) without LRU/cost effects; used by
+  // writeback to read dirty data.
+  bool PeekPage(CacheOwner owner, uint64_t idx, char* out) const;
+
+  uint64_t DirtyBytes(CacheOwner owner) const;
+  uint64_t TotalDirtyBytes() const;
+  uint64_t ResidentBytes() const;
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  struct Key {
+    CacheOwner owner;
+    uint64_t idx;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<const void*>()(k.owner) * 1000003 ^ std::hash<uint64_t>()(k.idx);
+    }
+  };
+  struct Page {
+    std::unique_ptr<char[]> data;
+    bool dirty = false;
+    std::list<Key>::iterator lru_it;
+  };
+
+  void TouchLocked(Page& page, const Key& key);
+  void EvictIfNeededLocked();
+
+  SimClock* clock_;
+  const CostModel* costs_;
+  uint64_t capacity_bytes_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Page, KeyHash> pages_;
+  std::list<Key> lru_;  // front = most recent
+  // Per-owner dirty page sets, kept sorted for extent coalescing.
+  std::unordered_map<CacheOwner, std::map<uint64_t, bool>> dirty_;
+  uint64_t dirty_bytes_total_ = 0;
+  Stats stats_;
+};
+
+// Coalesces a sorted list of page indexes into contiguous extents; returns
+// the number of extents. Disk and FUSE writeback cost one operation per
+// extent, which is what makes batched writeback cheaper than scattered
+// synchronous writes.
+uint32_t CountExtents(const std::vector<uint64_t>& sorted_pages);
+
+}  // namespace cntr::kernel
+
+#endif  // CNTR_SRC_KERNEL_PAGE_CACHE_H_

@@ -1,0 +1,112 @@
+#include "src/kernel/pipe.h"
+
+#include <algorithm>
+#include <cerrno>
+
+namespace cntr::kernel {
+
+StatusOr<size_t> PipeBuffer::Read(char* buf, size_t count, bool nonblock) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (data_.empty()) {
+    if (writers_ == 0) {
+      return size_t{0};  // EOF
+    }
+    if (nonblock) {
+      return Status::Error(EAGAIN);
+    }
+    cv_.wait(lock);
+  }
+  size_t n = std::min(count, data_.size());
+  std::copy_n(data_.begin(), n, buf);
+  data_.erase(data_.begin(), data_.begin() + static_cast<long>(n));
+  lock.unlock();
+  cv_.notify_all();
+  hub_->Notify();
+  return n;
+}
+
+StatusOr<size_t> PipeBuffer::Write(const char* buf, size_t count, bool nonblock) {
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t written = 0;
+  while (written < count) {
+    if (readers_ == 0) {
+      if (written > 0) {
+        break;
+      }
+      return Status::Error(EPIPE);
+    }
+    if (data_.size() >= capacity_) {
+      if (nonblock) {
+        if (written > 0) {
+          break;
+        }
+        return Status::Error(EAGAIN);
+      }
+      cv_.wait(lock);
+      continue;
+    }
+    size_t n = std::min(count - written, capacity_ - data_.size());
+    data_.insert(data_.end(), buf + written, buf + written + n);
+    written += n;
+    cv_.notify_all();
+    hub_->Notify();
+  }
+  return written;
+}
+
+void PipeBuffer::AddReader() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++readers_;
+}
+
+void PipeBuffer::DropReader() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --readers_;
+  }
+  cv_.notify_all();
+  hub_->Notify();
+}
+
+void PipeBuffer::AddWriter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++writers_;
+}
+
+void PipeBuffer::DropWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --writers_;
+  }
+  cv_.notify_all();
+  hub_->Notify();
+}
+
+uint32_t PipeBuffer::ReadEndPollEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t ev = 0;
+  if (!data_.empty()) {
+    ev |= kPollIn;
+  }
+  if (writers_ == 0) {
+    ev |= kPollHup;
+    if (data_.empty()) {
+      ev |= kPollIn;  // readable-with-EOF, like Linux
+    }
+  }
+  return ev;
+}
+
+uint32_t PipeBuffer::WriteEndPollEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t ev = 0;
+  if (data_.size() < capacity_) {
+    ev |= kPollOut;
+  }
+  if (readers_ == 0) {
+    ev |= kPollErr;
+  }
+  return ev;
+}
+
+}  // namespace cntr::kernel

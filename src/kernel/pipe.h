@@ -1,0 +1,102 @@
+// Kernel pipes: pipe(2) and the buffer underlying splice().
+#ifndef CNTR_SRC_KERNEL_PIPE_H_
+#define CNTR_SRC_KERNEL_PIPE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "src/kernel/file.h"
+#include "src/kernel/poll_hub.h"
+#include "src/kernel/types.h"
+#include "src/util/status.h"
+
+namespace cntr::kernel {
+
+// The shared ring between a pipe's read and write ends. Blocking semantics
+// match Linux: read blocks until data or writer-EOF, write blocks until
+// space or fails with EPIPE when no readers remain.
+class PipeBuffer {
+ public:
+  explicit PipeBuffer(PollHub* hub, size_t capacity = 65536) : hub_(hub), capacity_(capacity) {}
+
+  StatusOr<size_t> Read(char* buf, size_t count, bool nonblock);
+  StatusOr<size_t> Write(const char* buf, size_t count, bool nonblock);
+
+  void AddReader();
+  void DropReader();
+  void AddWriter();
+  void DropWriter();
+
+  size_t Available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_.size();
+  }
+  size_t SpaceLeft() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_ - data_.size();
+  }
+  bool WriterClosed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writers_ == 0;
+  }
+  bool ReaderClosed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return readers_ == 0;
+  }
+
+  uint32_t ReadEndPollEvents() const;
+  uint32_t WriteEndPollEvents() const;
+
+ private:
+  PollHub* hub_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<char> data_;
+  int readers_ = 0;
+  int writers_ = 0;
+};
+
+class PipeReadEnd : public FileDescription {
+ public:
+  explicit PipeReadEnd(std::shared_ptr<PipeBuffer> buf, int flags)
+      : FileDescription(nullptr, flags), buf_(std::move(buf)) {
+    buf_->AddReader();
+  }
+  ~PipeReadEnd() override { buf_->DropReader(); }
+
+  StatusOr<size_t> Read(void* buf, size_t count, uint64_t offset) override {
+    return buf_->Read(static_cast<char*>(buf), count, nonblocking());
+  }
+  uint32_t PollEvents() override { return buf_->ReadEndPollEvents(); }
+
+  const std::shared_ptr<PipeBuffer>& pipe_buffer() const { return buf_; }
+
+ private:
+  std::shared_ptr<PipeBuffer> buf_;
+};
+
+class PipeWriteEnd : public FileDescription {
+ public:
+  explicit PipeWriteEnd(std::shared_ptr<PipeBuffer> buf, int flags)
+      : FileDescription(nullptr, flags), buf_(std::move(buf)) {
+    buf_->AddWriter();
+  }
+  ~PipeWriteEnd() override { buf_->DropWriter(); }
+
+  StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset) override {
+    return buf_->Write(static_cast<const char*>(buf), count, nonblocking());
+  }
+  uint32_t PollEvents() override { return buf_->WriteEndPollEvents(); }
+
+  const std::shared_ptr<PipeBuffer>& pipe_buffer() const { return buf_; }
+
+ private:
+  std::shared_ptr<PipeBuffer> buf_;
+};
+
+}  // namespace cntr::kernel
+
+#endif  // CNTR_SRC_KERNEL_PIPE_H_

@@ -1,0 +1,48 @@
+// A single wakeup hub for everything pollable in one simulated kernel.
+//
+// Pipes and sockets notify the hub on every state change; epoll waiters
+// re-check readiness on each wakeup. One condition variable for the whole
+// kernel is deliberately simple — the socket proxy and FUSE queues are the
+// only blockers, and correctness (no lost wakeups) matters more here than
+// wakeup precision.
+#ifndef CNTR_SRC_KERNEL_POLL_HUB_H_
+#define CNTR_SRC_KERNEL_POLL_HUB_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace cntr::kernel {
+
+class PollHub {
+ public:
+  void Notify() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++generation_;
+    }
+    cv_.notify_all();
+  }
+
+  // Waits until `pred()` is true or `timeout_ms` elapses (timeout < 0 waits
+  // forever). Returns pred() at exit.
+  template <typename Pred>
+  bool WaitFor(Pred pred, int timeout_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (timeout_ms < 0) {
+      cv_.wait(lock, [&] { return pred(); });
+      return true;
+    }
+    return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] { return pred(); });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace cntr::kernel
+
+#endif  // CNTR_SRC_KERNEL_POLL_HUB_H_

@@ -1,0 +1,44 @@
+// procfs: the kernel introspection filesystem.
+//
+// CNTR's first step (paper §3.2.1) reads everything it needs to attach from
+// /proc/<pid>/: namespaces (ns/*), environment (environ), credentials and
+// capabilities (status), uid/gid maps, the cgroup path, and the LSM profile
+// (attr/current). This implementation renders the same text formats from the
+// simulated kernel's tables, per pid namespace, exactly like a per-container
+// procfs mount.
+#ifndef CNTR_SRC_KERNEL_PROCFS_H_
+#define CNTR_SRC_KERNEL_PROCFS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/kernel/file.h"
+#include "src/kernel/filesystem.h"
+#include "src/kernel/namespaces.h"
+
+namespace cntr::kernel {
+
+class Kernel;
+
+// An open /proc/<pid>/ns/<type> file: the handle setns() consumes.
+class NsFile : public FileDescription {
+ public:
+  NsFile(std::shared_ptr<NamespaceBase> ns, int flags)
+      : FileDescription(nullptr, flags), ns_(std::move(ns)) {}
+
+  const std::shared_ptr<NamespaceBase>& ns() const { return ns_; }
+
+  StatusOr<size_t> Read(void* buf, size_t count, uint64_t offset) override;
+
+ private:
+  std::shared_ptr<NamespaceBase> ns_;
+};
+
+// Creates a procfs instance bound to the mounting process's pid namespace.
+std::shared_ptr<FileSystem> MakeProcFs(Dev dev_id, Kernel* kernel);
+std::shared_ptr<FileSystem> MakeProcFsForNs(Dev dev_id, Kernel* kernel,
+                                            std::shared_ptr<PidNamespace> pid_ns);
+
+}  // namespace cntr::kernel
+
+#endif  // CNTR_SRC_KERNEL_PROCFS_H_

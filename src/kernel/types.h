@@ -1,0 +1,166 @@
+// Core numeric types and constants of the simulated kernel. Values mirror
+// Linux (x86-64) so the code reads like kernel code and so that container
+// metadata (mode bits, open flags) round-trips with familiar octal values.
+//
+// Names carry a trailing role prefix (kIf*, kO*, ...) instead of the libc
+// macro names to avoid colliding with <sys/stat.h> / <fcntl.h> macros that
+// other translation units may pull in.
+#ifndef CNTR_SRC_KERNEL_TYPES_H_
+#define CNTR_SRC_KERNEL_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cntr::kernel {
+
+using Ino = uint64_t;
+using Uid = uint32_t;
+using Gid = uint32_t;
+using Pid = int32_t;
+using Mode = uint32_t;
+using Dev = uint64_t;
+using Fd = int32_t;
+
+inline constexpr Uid kRootUid = 0;
+inline constexpr Gid kRootGid = 0;
+inline constexpr Uid kOverflowUid = 65534;  // "nobody" for unmapped ids
+inline constexpr Gid kOverflowGid = 65534;
+
+inline constexpr uint32_t kPageSize = 4096;
+
+// --- File type bits (mode & kIfMt) ---
+inline constexpr Mode kIfMt = 0170000;
+inline constexpr Mode kIfSock = 0140000;
+inline constexpr Mode kIfLnk = 0120000;
+inline constexpr Mode kIfReg = 0100000;
+inline constexpr Mode kIfBlk = 0060000;
+inline constexpr Mode kIfDir = 0040000;
+inline constexpr Mode kIfChr = 0020000;
+inline constexpr Mode kIfFifo = 0010000;
+
+inline constexpr Mode kModeSetUid = 04000;
+inline constexpr Mode kModeSetGid = 02000;
+inline constexpr Mode kModeSticky = 01000;
+inline constexpr Mode kPermMask = 07777;
+
+inline bool IsDir(Mode m) { return (m & kIfMt) == kIfDir; }
+inline bool IsReg(Mode m) { return (m & kIfMt) == kIfReg; }
+inline bool IsLnk(Mode m) { return (m & kIfMt) == kIfLnk; }
+inline bool IsChr(Mode m) { return (m & kIfMt) == kIfChr; }
+inline bool IsBlk(Mode m) { return (m & kIfMt) == kIfBlk; }
+inline bool IsFifo(Mode m) { return (m & kIfMt) == kIfFifo; }
+inline bool IsSock(Mode m) { return (m & kIfMt) == kIfSock; }
+
+// --- open(2) flags (Linux x86-64 values) ---
+inline constexpr int kORdOnly = 0;
+inline constexpr int kOWrOnly = 01;
+inline constexpr int kORdWr = 02;
+inline constexpr int kOAccMode = 03;
+inline constexpr int kOCreat = 0100;
+inline constexpr int kOExcl = 0200;
+inline constexpr int kONoctty = 0400;
+inline constexpr int kOTrunc = 01000;
+inline constexpr int kOAppend = 02000;
+inline constexpr int kONonblock = 04000;
+inline constexpr int kODsync = 010000;
+inline constexpr int kODirect = 040000;
+inline constexpr int kODirectory = 0200000;
+inline constexpr int kONofollow = 0400000;
+inline constexpr int kOCloexec = 02000000;
+inline constexpr int kOPath = 010000000;
+
+inline bool WantsRead(int flags) {
+  return (flags & kOAccMode) == kORdOnly || (flags & kOAccMode) == kORdWr;
+}
+inline bool WantsWrite(int flags) {
+  return (flags & kOAccMode) == kOWrOnly || (flags & kOAccMode) == kORdWr;
+}
+
+// --- lseek whence ---
+inline constexpr int kSeekSet = 0;
+inline constexpr int kSeekCur = 1;
+inline constexpr int kSeekEnd = 2;
+
+// --- directory entry types (d_type) ---
+enum class DType : uint8_t {
+  kUnknown = 0,
+  kFifo = 1,
+  kChr = 2,
+  kDir = 4,
+  kBlk = 6,
+  kReg = 8,
+  kLnk = 10,
+  kSock = 12,
+};
+
+inline DType ModeToDType(Mode m) {
+  switch (m & kIfMt) {
+    case kIfFifo:
+      return DType::kFifo;
+    case kIfChr:
+      return DType::kChr;
+    case kIfDir:
+      return DType::kDir;
+    case kIfBlk:
+      return DType::kBlk;
+    case kIfReg:
+      return DType::kReg;
+    case kIfLnk:
+      return DType::kLnk;
+    case kIfSock:
+      return DType::kSock;
+    default:
+      return DType::kUnknown;
+  }
+}
+
+// --- access(2) modes ---
+inline constexpr int kAccessExists = 0;
+inline constexpr int kAccessExec = 1;
+inline constexpr int kAccessWrite = 2;
+inline constexpr int kAccessRead = 4;
+
+// --- setxattr flags ---
+inline constexpr int kXattrCreate = 1;
+inline constexpr int kXattrReplace = 2;
+
+// --- mount flags (subset) ---
+inline constexpr uint64_t kMsRdonly = 1;
+inline constexpr uint64_t kMsNosuid = 2;
+inline constexpr uint64_t kMsNodev = 4;
+inline constexpr uint64_t kMsNoexec = 8;
+inline constexpr uint64_t kMsBind = 4096;
+inline constexpr uint64_t kMsMove = 8192;
+inline constexpr uint64_t kMsRec = 16384;
+inline constexpr uint64_t kMsPrivate = 1 << 18;
+inline constexpr uint64_t kMsShared = 1 << 20;
+
+// Simulated time with nanosecond precision (derived from SimClock).
+struct Timespec {
+  uint64_t sec = 0;
+  uint32_t nsec = 0;
+
+  static Timespec FromNs(uint64_t ns) {
+    return Timespec{ns / 1000000000ULL, static_cast<uint32_t>(ns % 1000000000ULL)};
+  }
+  uint64_t ToNs() const { return sec * 1000000000ULL + nsec; }
+
+  bool operator==(const Timespec&) const = default;
+};
+
+// One readdir entry.
+struct DirEntry {
+  std::string name;
+  Ino ino = 0;
+  DType type = DType::kUnknown;
+};
+
+// RLIMIT-style resource limits the simulated kernel understands.
+struct ResourceLimits {
+  uint64_t fsize = UINT64_MAX;  // RLIMIT_FSIZE: max file size a process may create
+  uint64_t nofile = 1024;      // RLIMIT_NOFILE: max open file descriptors
+};
+
+}  // namespace cntr::kernel
+
+#endif  // CNTR_SRC_KERNEL_TYPES_H_

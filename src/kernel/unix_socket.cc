@@ -1,0 +1,66 @@
+#include "src/kernel/unix_socket.h"
+
+#include <cerrno>
+
+namespace cntr::kernel {
+
+StatusOr<FilePtr> ListeningSocket::Connect(int flags) {
+  std::shared_ptr<SocketConnection> conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return Status::Error(ECONNREFUSED);
+    }
+    if (pending_.size() >= static_cast<size_t>(backlog_)) {
+      return Status::Error(ECONNREFUSED, "backlog full");
+    }
+    conn = std::make_shared<SocketConnection>(hub_);
+    pending_.push_back(conn);
+  }
+  cv_.notify_all();
+  hub_->Notify();
+  return FilePtr(std::make_shared<ConnectedSocketFile>(conn, ConnectedSocketFile::Side::kClient,
+                                                       flags));
+}
+
+StatusOr<FilePtr> ListeningSocket::Accept(int flags, bool nonblock) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (pending_.empty()) {
+    if (closed_) {
+      return Status::Error(EINVAL, "socket shut down");
+    }
+    if (nonblock) {
+      return Status::Error(EAGAIN);
+    }
+    cv_.wait(lock);
+  }
+  auto conn = pending_.front();
+  pending_.pop_front();
+  lock.unlock();
+  hub_->Notify();
+  return FilePtr(std::make_shared<ConnectedSocketFile>(std::move(conn),
+                                                       ConnectedSocketFile::Side::kServer, flags));
+}
+
+void ListeningSocket::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+  hub_->Notify();
+}
+
+uint32_t ListeningSocket::PollEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t ev = 0;
+  if (!pending_.empty()) {
+    ev |= kPollIn;
+  }
+  if (closed_) {
+    ev |= kPollHup;
+  }
+  return ev;
+}
+
+}  // namespace cntr::kernel

@@ -1,0 +1,127 @@
+// Unix domain stream sockets.
+//
+// CNTR's socket proxy (paper §3.2.4) forwards X11/D-Bus connections between
+// the application container and the debug container/host with an epoll loop
+// and splice. These sockets provide the substrate: filesystem-bound or
+// abstract addresses, listen/accept/connect, and bidirectional stream
+// transfer built from two PipeBuffers.
+#ifndef CNTR_SRC_KERNEL_UNIX_SOCKET_H_
+#define CNTR_SRC_KERNEL_UNIX_SOCKET_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/kernel/file.h"
+#include "src/kernel/pipe.h"
+#include "src/kernel/poll_hub.h"
+#include "src/util/status.h"
+
+namespace cntr::kernel {
+
+// An established connection: two unidirectional byte streams.
+struct SocketConnection {
+  SocketConnection(PollHub* hub)
+      : client_to_server(hub, 262144), server_to_client(hub, 262144) {}
+  PipeBuffer client_to_server;
+  PipeBuffer server_to_client;
+};
+
+// One endpoint of an established connection.
+class ConnectedSocketFile : public FileDescription {
+ public:
+  enum class Side { kClient, kServer };
+
+  ConnectedSocketFile(std::shared_ptr<SocketConnection> conn, Side side, int flags)
+      : FileDescription(nullptr, flags), conn_(std::move(conn)), side_(side) {
+    out().AddWriter();
+    in().AddReader();
+  }
+  ~ConnectedSocketFile() override {
+    out().DropWriter();
+    in().DropReader();
+  }
+
+  StatusOr<size_t> Read(void* buf, size_t count, uint64_t offset) override {
+    return in().Read(static_cast<char*>(buf), count, nonblocking());
+  }
+  StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset) override {
+    return out().Write(static_cast<const char*>(buf), count, nonblocking());
+  }
+  uint32_t PollEvents() override {
+    uint32_t ev = 0;
+    uint32_t rd = in().ReadEndPollEvents();
+    uint32_t wr = out().WriteEndPollEvents();
+    if (rd & kPollIn) {
+      ev |= kPollIn;
+    }
+    if (rd & kPollHup) {
+      ev |= kPollHup | kPollIn;
+    }
+    if (wr & kPollOut) {
+      ev |= kPollOut;
+    }
+    return ev;
+  }
+
+ private:
+  PipeBuffer& in() {
+    return side_ == Side::kClient ? conn_->server_to_client : conn_->client_to_server;
+  }
+  PipeBuffer& out() {
+    return side_ == Side::kClient ? conn_->client_to_server : conn_->server_to_client;
+  }
+
+  std::shared_ptr<SocketConnection> conn_;
+  Side side_;
+};
+
+// A listening socket: connect() enqueues a fresh connection, accept()
+// dequeues it. Bound either to a filesystem inode or an abstract name.
+class ListeningSocket {
+ public:
+  explicit ListeningSocket(PollHub* hub, int backlog = 64) : hub_(hub), backlog_(backlog) {}
+
+  // Called by connect(): returns the client-side file, parks the server side
+  // in the accept queue.
+  StatusOr<FilePtr> Connect(int flags);
+
+  // Called by accept(): blocks until a pending connection exists (or EAGAIN
+  // when nonblocking). Returns the server-side file.
+  StatusOr<FilePtr> Accept(int flags, bool nonblock);
+
+  void Shutdown();
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  uint32_t PollEvents() const;
+
+ private:
+  PollHub* hub_;
+  int backlog_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<SocketConnection>> pending_;
+  bool closed_ = false;
+};
+
+// The fd wrapper for a listening socket.
+class ListeningSocketFile : public FileDescription {
+ public:
+  ListeningSocketFile(std::shared_ptr<ListeningSocket> sock, InodePtr inode, int flags)
+      : FileDescription(std::move(inode), flags), sock_(std::move(sock)) {}
+  ~ListeningSocketFile() override { sock_->Shutdown(); }
+
+  const std::shared_ptr<ListeningSocket>& socket() const { return sock_; }
+  uint32_t PollEvents() override { return sock_->PollEvents(); }
+
+ private:
+  std::shared_ptr<ListeningSocket> sock_;
+};
+
+}  // namespace cntr::kernel
+
+#endif  // CNTR_SRC_KERNEL_UNIX_SOCKET_H_

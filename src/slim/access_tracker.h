@@ -1,0 +1,61 @@
+// fanotify-style file access tracking.
+//
+// Docker Slim "records all files that have been accessed during a container
+// run in an efficient way using the fanotify kernel module" (paper §5.3).
+// The simulated kernel exposes the same capability through its
+// AccessListener hook: while attached, every successful open/stat lands
+// here, keyed by the accessing process.
+#ifndef CNTR_SRC_SLIM_ACCESS_TRACKER_H_
+#define CNTR_SRC_SLIM_ACCESS_TRACKER_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "src/kernel/kernel.h"
+
+namespace cntr::slim {
+
+class AccessTracker : public kernel::AccessListener {
+ public:
+  // Attaches to the kernel's access hook; detaches on destruction.
+  explicit AccessTracker(kernel::Kernel* kernel) : kernel_(kernel) {
+    kernel_->SetAccessListener(this);
+  }
+  ~AccessTracker() override { kernel_->SetAccessListener(nullptr); }
+
+  AccessTracker(const AccessTracker&) = delete;
+  AccessTracker& operator=(const AccessTracker&) = delete;
+
+  void OnAccess(const kernel::Process& proc, const std::string& path,
+                const kernel::InodeAttr& attr) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    accessed_[proc.global_pid()].insert(path);
+  }
+
+  // Paths accessed by one process (container-relative, as resolved).
+  std::set<std::string> AccessedBy(kernel::Pid pid) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = accessed_.find(pid);
+    return it == accessed_.end() ? std::set<std::string>{} : it->second;
+  }
+
+  uint64_t total_events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t n = 0;
+    for (const auto& [pid, paths] : accessed_) {
+      n += paths.size();
+    }
+    return n;
+  }
+
+ private:
+  kernel::Kernel* kernel_;
+  mutable std::mutex mu_;
+  std::map<kernel::Pid, std::set<std::string>> accessed_;
+};
+
+}  // namespace cntr::slim
+
+#endif  // CNTR_SRC_SLIM_ACCESS_TRACKER_H_

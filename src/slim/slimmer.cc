@@ -1,0 +1,91 @@
+#include "src/slim/slimmer.h"
+
+#include <cerrno>
+
+#include "src/util/logging.h"
+
+namespace cntr::slim {
+
+using container::ContainerPtr;
+using container::Image;
+using container::ImageFile;
+using container::Layer;
+
+Status DockerSlim::Exercise(kernel::Process& proc, const std::vector<std::string>& paths) {
+  for (const auto& path : paths) {
+    // stat() then open(): both are what fanotify observes from a real run.
+    auto attr = kernel_->Stat(proc, path);
+    if (!attr.ok()) {
+      return Status::Error(attr.error(), "exercise failed on " + path);
+    }
+    if (kernel::IsReg(attr->mode)) {
+      CNTR_ASSIGN_OR_RETURN(kernel::Fd fd, kernel_->Open(proc, path, kernel::kORdOnly));
+      char buf[4096];
+      (void)kernel_->Read(proc, fd, buf, sizeof(buf));
+      CNTR_RETURN_IF_ERROR(kernel_->Close(proc, fd));
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<DockerSlim::Result> DockerSlim::Analyze(const Image& image,
+                                                 const std::vector<std::string>& runtime_paths) {
+  Result result;
+  result.original_bytes = image.TotalBytes();
+
+  // --- dynamic analysis: run + trace ---
+  std::string run_name = "slim-probe-" + std::to_string(run_counter_++);
+  CNTR_ASSIGN_OR_RETURN(ContainerPtr probe, engine_->Run(run_name, image));
+  kernel::Pid pid = probe->init_proc()->global_pid();
+  std::set<std::string> accessed;
+  {
+    AccessTracker tracker(kernel_);
+    CNTR_RETURN_IF_ERROR(Exercise(*probe->init_proc(), runtime_paths));
+    accessed = tracker.AccessedBy(pid);
+  }
+  CNTR_RETURN_IF_ERROR(engine_->Stop(run_name));
+
+  // --- static analysis: entrypoint + config files always survive ---
+  accessed.insert(image.entrypoint());
+
+  // --- build the reduced image ---
+  Layer slim_layer;
+  slim_layer.id = "slim-" + image.name();
+  slim_layer.description = "docker-slim reduced layer";
+  for (const auto& file : image.Flatten()) {
+    bool keep = accessed.count(file.path) != 0 ||
+                file.file_class == container::FileClass::kConfig;
+    if (keep) {
+      slim_layer.files.push_back(file);
+      ++result.files_kept;
+    } else {
+      ++result.files_dropped;
+    }
+  }
+  Image slim_image(image.name(), image.tag() + "-slim");
+  slim_image.env() = image.env();
+  slim_image.entrypoint() = image.entrypoint();
+  slim_image.AddLayer(std::move(slim_layer));
+
+  result.slim_bytes = slim_image.TotalBytes();
+  result.reduction_pct =
+      result.original_bytes == 0
+          ? 0.0
+          : 100.0 * (1.0 - static_cast<double>(result.slim_bytes) /
+                               static_cast<double>(result.original_bytes));
+
+  // --- validation: the reduced image still serves the same accesses ---
+  std::string validate_name = "slim-validate-" + std::to_string(run_counter_++);
+  CNTR_ASSIGN_OR_RETURN(ContainerPtr check, engine_->Run(validate_name, slim_image));
+  Status validation = Exercise(*check->init_proc(), runtime_paths);
+  CNTR_RETURN_IF_ERROR(engine_->Stop(validate_name));
+  if (!validation.ok()) {
+    return Status::Error(validation.error(),
+                         "slimmed image lost required files: " + validation.message());
+  }
+  result.validated = true;
+  result.slim_image = std::move(slim_image);
+  return result;
+}
+
+}  // namespace cntr::slim

@@ -1,0 +1,54 @@
+// The Docker Slim analogue (paper §5.3): static + dynamic analysis that
+// rebuilds an image with only the files the application actually needs.
+//
+//  * dynamic analysis — run the container, exercise the application, record
+//    every accessed file via the fanotify-style AccessTracker;
+//  * static analysis — always keep the entrypoint and declared config
+//    files, whether or not the exercise touched them;
+//  * validation — boot a container from the reduced image and re-run the
+//    exercise: every access must still succeed.
+#ifndef CNTR_SRC_SLIM_SLIMMER_H_
+#define CNTR_SRC_SLIM_SLIMMER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/container/engine.h"
+#include "src/slim/access_tracker.h"
+
+namespace cntr::slim {
+
+class DockerSlim {
+ public:
+  DockerSlim(kernel::Kernel* kernel, container::ContainerEngine* engine)
+      : kernel_(kernel), engine_(engine) {}
+
+  struct Result {
+    container::Image slim_image;
+    uint64_t original_bytes = 0;
+    uint64_t slim_bytes = 0;
+    // Percentage of bytes removed, the quantity Figure 5 histograms.
+    double reduction_pct = 0.0;
+    size_t files_kept = 0;
+    size_t files_dropped = 0;
+    bool validated = false;
+  };
+
+  // Runs the full pipeline for `image`. `runtime_paths` is the exercise
+  // script: the files the application touches when driven through its
+  // workload (what the paper did manually per image).
+  StatusOr<Result> Analyze(const container::Image& image,
+                           const std::vector<std::string>& runtime_paths);
+
+ private:
+  // Opens/stats each path inside the container, firing the tracker.
+  Status Exercise(kernel::Process& proc, const std::vector<std::string>& runtime_paths);
+
+  kernel::Kernel* kernel_;
+  container::ContainerEngine* engine_;
+  int run_counter_ = 0;
+};
+
+}  // namespace cntr::slim
+
+#endif  // CNTR_SRC_SLIM_SLIMMER_H_

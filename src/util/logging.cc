@@ -1,0 +1,65 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace cntr {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::once_flag g_env_once;
+
+void InitFromEnv() {
+  const char* env = std::getenv("CNTR_LOG");
+  if (env == nullptr) {
+    return;
+  }
+  if (std::strcmp(env, "debug") == 0) {
+    g_level = LogLevel::kDebug;
+  } else if (std::strcmp(env, "info") == 0) {
+    g_level = LogLevel::kInfo;
+  } else if (std::strcmp(env, "warn") == 0) {
+    g_level = LogLevel::kWarn;
+  } else if (std::strcmp(env, "error") == 0) {
+    g_level = LogLevel::kError;
+  } else if (std::strcmp(env, "off") == 0) {
+    g_level = LogLevel::kOff;
+  }
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GlobalLogLevel() {
+  std::call_once(g_env_once, InitFromEnv);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void SetGlobalLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
+  // Strip directories from the file path for readability.
+  const char* base = std::strrchr(file, '/');
+  base = (base != nullptr) ? base + 1 : file;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
+}
+
+}  // namespace cntr

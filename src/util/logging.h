@@ -1,0 +1,50 @@
+// Minimal leveled logging. Off by default at DEBUG level so tests stay quiet;
+// set CNTR_LOG=debug (or info/warn/error) in the environment to raise it.
+#ifndef CNTR_SRC_UTIL_LOGGING_H_
+#define CNTR_SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cntr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+namespace log_detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, out_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream out_;
+};
+
+}  // namespace log_detail
+
+#define CNTR_LOG(level)                                             \
+  if (::cntr::LogLevel::level >= ::cntr::GlobalLogLevel())          \
+  ::cntr::log_detail::LogLine(::cntr::LogLevel::level, __FILE__, __LINE__)
+
+#define CNTR_DLOG CNTR_LOG(kDebug)
+#define CNTR_ILOG CNTR_LOG(kInfo)
+#define CNTR_WLOG CNTR_LOG(kWarn)
+#define CNTR_ELOG CNTR_LOG(kError)
+
+}  // namespace cntr
+
+#endif  // CNTR_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,54 @@
+// Deterministic PRNG for workload generators. Workloads must never call
+// std::random_device or seed from the wall clock: every benchmark run has to
+// replay the exact same request stream so native-vs-CntrFS ratios compare
+// identical work.
+#ifndef CNTR_SRC_UTIL_RNG_H_
+#define CNTR_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace cntr {
+
+// xorshift128+ — fast, small-state, and plenty good for workload shaping.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 expansion of the seed into two non-zero words.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Bernoulli with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / (1ULL << 53)); }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace cntr
+
+#endif  // CNTR_SRC_UTIL_RNG_H_

@@ -1,0 +1,4 @@
+#include "src/util/sim_clock.h"
+
+// SimClock is header-only today; this TU anchors the library target and keeps
+// a home for future out-of-line additions (e.g. trace hooks).

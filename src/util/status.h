@@ -1,0 +1,120 @@
+// Error handling for the cntr libraries.
+//
+// All fallible kernel-facing operations return Status or StatusOr<T>. A
+// Status carries a Linux-style errno value (0 == OK) plus an optional
+// human-readable message. This mirrors how the simulated kernel reports
+// errors to callers: syscalls fail with errno, not exceptions.
+#ifndef CNTR_SRC_UTIL_STATUS_H_
+#define CNTR_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cntr {
+
+class Status {
+ public:
+  // OK status.
+  Status() : err_(0) {}
+
+  // Error status from an errno value; `msg` is optional context.
+  explicit Status(int err, std::string msg = "") : err_(err), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Error(int err, std::string msg = "") { return Status(err, std::move(msg)); }
+
+  bool ok() const { return err_ == 0; }
+  int error() const { return err_; }
+  const std::string& message() const { return msg_; }
+
+  // Renders e.g. "ENOENT: no such container". Falls back to strerror.
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    std::string s = std::strerror(err_);
+    if (!msg_.empty()) {
+      s += ": " + msg_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const { return err_ == other.err_; }
+
+ private:
+  int err_;
+  std::string msg_;
+};
+
+// Value-or-error result. Access to value() on an error result asserts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : v_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(v_).ok() && "OK Status without a value");
+  }
+  StatusOr(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  int error() const { return ok() ? 0 : std::get<Status>(v_).error(); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(v_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> v_;
+};
+
+// Propagates errors out of the current function.
+#define CNTR_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::cntr::Status _st = (expr);            \
+    if (!_st.ok()) {                        \
+      return _st;                           \
+    }                                       \
+  } while (0)
+
+// Assigns the value of a StatusOr expression or propagates its error.
+#define CNTR_ASSIGN_OR_RETURN(lhs, expr)    \
+  CNTR_ASSIGN_OR_RETURN_IMPL_(              \
+      CNTR_STATUS_CONCAT_(_statusor, __LINE__), lhs, expr)
+
+#define CNTR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+#define CNTR_STATUS_CONCAT_INNER_(a, b) a##b
+#define CNTR_STATUS_CONCAT_(a, b) CNTR_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace cntr
+
+#endif  // CNTR_SRC_UTIL_STATUS_H_

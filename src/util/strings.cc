@@ -1,0 +1,132 @@
+#include "src/util/strings.h"
+
+#include <cstdio>
+
+namespace cntr {
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (i > start) {
+      out.emplace_back(path.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitString(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string JoinPath(const std::vector<std::string>& components, bool absolute) {
+  std::string out = absolute ? "/" : "";
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (i > 0) {
+      out += '/';
+    }
+    out += components[i];
+  }
+  if (out.empty()) {
+    out = absolute ? "/" : ".";
+  }
+  return out;
+}
+
+std::string NormalizePath(std::string_view path) {
+  bool absolute = !path.empty() && path[0] == '/';
+  std::vector<std::string> stack;
+  for (auto& comp : SplitPath(path)) {
+    if (comp == ".") {
+      continue;
+    }
+    if (comp == "..") {
+      if (!stack.empty() && stack.back() != "..") {
+        stack.pop_back();
+      } else if (!absolute) {
+        stack.push_back("..");
+      }
+      // ".." at the root of an absolute path stays at the root.
+      continue;
+    }
+    stack.push_back(std::move(comp));
+  }
+  return JoinPath(stack, absolute);
+}
+
+std::string_view Basename(std::string_view path) {
+  while (path.size() > 1 && path.back() == '/') {
+    path.remove_suffix(1);
+  }
+  size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos) {
+    return path;
+  }
+  return path.substr(pos + 1);
+}
+
+std::string_view Dirname(std::string_view path) {
+  while (path.size() > 1 && path.back() == '/') {
+    path.remove_suffix(1);
+  }
+  size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos) {
+    return ".";
+  }
+  if (pos == 0) {
+    return "/";
+  }
+  return path.substr(0, pos);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool PathHasPrefix(std::string_view path, std::string_view prefix) {
+  if (prefix == "/") {
+    return !path.empty() && path[0] == '/';
+  }
+  if (!StartsWith(path, prefix)) {
+    return false;
+  }
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[unit]);
+  }
+  return buf;
+}
+
+}  // namespace cntr

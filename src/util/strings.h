@@ -1,0 +1,42 @@
+// Small string and path helpers shared across the tree. Paths in the
+// simulated kernel are plain UTF-8 strings with '/' separators, like Linux.
+#ifndef CNTR_SRC_UTIL_STRINGS_H_
+#define CNTR_SRC_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cntr {
+
+// Splits "a/b//c/" into {"a","b","c"}. Empty components are dropped.
+std::vector<std::string> SplitPath(std::string_view path);
+
+// Splits on an arbitrary delimiter; keeps empty fields.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+// Joins components with '/'; absolute if `absolute`.
+std::string JoinPath(const std::vector<std::string>& components, bool absolute);
+
+// Lexically normalizes a path: resolves "." and ".." without touching the
+// filesystem; keeps leading '/' if present. "" normalizes to ".".
+std::string NormalizePath(std::string_view path);
+
+// Returns the final component ("" for "/").
+std::string_view Basename(std::string_view path);
+
+// Returns everything before the final component ("/" for top-level entries).
+std::string_view Dirname(std::string_view path);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// True if `path` equals `prefix` or is beneath it (e.g. "/usr/bin" under "/usr").
+bool PathHasPrefix(std::string_view path, std::string_view prefix);
+
+// Human-readable byte size, e.g. "1.2 MB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace cntr
+
+#endif  // CNTR_SRC_UTIL_STRINGS_H_

@@ -1,0 +1,78 @@
+#include "src/workloads/workload.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/strings.h"
+
+namespace cntr::workloads {
+
+StatusOr<kernel::Fd> WorkloadEnv::Open(const std::string& rel, int flags, kernel::Mode mode) {
+  return kernel_->Open(*proc_, Path(rel), flags, mode);
+}
+
+Status WorkloadEnv::Close(kernel::Fd fd) { return kernel_->Close(*proc_, fd); }
+
+Status WorkloadEnv::MkdirAll(const std::string& rel) {
+  std::string cur = workdir_;
+  for (const auto& comp : SplitPath(rel)) {
+    cur += "/" + comp;
+    Status st = kernel_->Mkdir(*proc_, cur, 0755);
+    if (!st.ok() && st.error() != EEXIST) {
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+Status WorkloadEnv::WriteOut(kernel::Fd fd, uint64_t size, uint32_t chunk) {
+  std::vector<char> buf(chunk, 'w');
+  uint64_t written = 0;
+  while (written < size) {
+    size_t n = static_cast<size_t>(std::min<uint64_t>(chunk, size - written));
+    CNTR_ASSIGN_OR_RETURN(size_t got, kernel_->Write(*proc_, fd, buf.data(), n));
+    written += got;
+    if (got == 0) {
+      return Status::Error(EIO, "short write");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> WorkloadEnv::ReadBack(kernel::Fd fd, uint64_t size, uint32_t chunk) {
+  std::vector<char> buf(chunk);
+  uint64_t total = 0;
+  while (total < size) {
+    size_t n = static_cast<size_t>(std::min<uint64_t>(chunk, size - total));
+    CNTR_ASSIGN_OR_RETURN(size_t got, kernel_->Read(*proc_, fd, buf.data(), n));
+    if (got == 0) {
+      break;
+    }
+    total += got;
+  }
+  return total;
+}
+
+Status WorkloadEnv::WriteFileAt(const std::string& rel, uint64_t size, uint32_t chunk) {
+  CNTR_ASSIGN_OR_RETURN(kernel::Fd fd,
+                        Open(rel, kernel::kOWrOnly | kernel::kOCreat | kernel::kOTrunc));
+  Status st = WriteOut(fd, size, chunk);
+  Status closed = Close(fd);
+  if (!st.ok()) {
+    return st;
+  }
+  return closed;
+}
+
+Status WorkloadEnv::Unlink(const std::string& rel) { return kernel_->Unlink(*proc_, Path(rel)); }
+
+Status WorkloadEnv::Fsync(kernel::Fd fd) { return kernel_->Fsync(*proc_, fd); }
+
+void WorkloadEnv::DropCaches() {
+  kernel_->dcache().Clear();
+  kernel_->page_cache().DropAllClean();
+}
+
+void WorkloadEnv::DropDentries() { kernel_->dcache().Clear(); }
+
+}  // namespace cntr::workloads

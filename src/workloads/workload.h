@@ -1,0 +1,117 @@
+// The Phoronix-style disk workload suite (paper §5.2): twenty workloads,
+// each reproducing the access pattern its original exhibits — request
+// sizes, fsync cadence, file counts, lookup behaviour and app-side compute —
+// so that the native-vs-CntrFS ratios land in the paper's bands.
+//
+// All sizes are scaled down from the paper's (GB-class) runs; the shapes
+// depend on ratios (cache capacity vs working set, round-trip cost vs
+// device cost), which the scaling preserves. EXPERIMENTS.md records the
+// mapping.
+#ifndef CNTR_SRC_WORKLOADS_WORKLOAD_H_
+#define CNTR_SRC_WORKLOADS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/util/rng.h"
+
+namespace cntr::workloads {
+
+struct WorkloadResult {
+  double value = 0.0;        // primary metric
+  std::string unit;          // "MB/s" or "s"
+  bool higher_is_better = true;
+  uint64_t elapsed_ns = 0;   // virtual time of the measured phase
+};
+
+// Execution context handed to every workload: which kernel, which process,
+// and where (the native ExtFs directory or the CntrFS-mounted equivalent).
+class WorkloadEnv {
+ public:
+  WorkloadEnv(kernel::Kernel* kernel, kernel::ProcessPtr proc, std::string workdir)
+      : kernel_(kernel), proc_(std::move(proc)), workdir_(std::move(workdir)), rng_(0xBEEF) {}
+
+  kernel::Kernel& kernel() { return *kernel_; }
+  kernel::Process& proc() { return *proc_; }
+  const std::string& workdir() const { return workdir_; }
+  Rng& rng() { return rng_; }
+
+  std::string Path(const std::string& rel) const { return workdir_ + "/" + rel; }
+
+  // --- conveniences (all run as proc(), so they charge virtual time) ---
+  StatusOr<kernel::Fd> Open(const std::string& rel, int flags, kernel::Mode mode = 0644);
+  Status Close(kernel::Fd fd);
+  Status MkdirAll(const std::string& rel);
+  // Writes `size` bytes of pattern data in `chunk`-sized calls.
+  Status WriteOut(kernel::Fd fd, uint64_t size, uint32_t chunk);
+  // Reads until EOF (or `size` bytes) in `chunk`-sized calls.
+  StatusOr<uint64_t> ReadBack(kernel::Fd fd, uint64_t size, uint32_t chunk);
+  Status WriteFileAt(const std::string& rel, uint64_t size, uint32_t chunk);
+  Status Unlink(const std::string& rel);
+  Status Fsync(kernel::Fd fd);
+
+  // Application-side CPU work (compression, request handling, SQL parsing).
+  void Compute(uint64_t ns) { kernel_->clock().Advance(ns); }
+
+  // echo 3 > /proc/sys/vm/drop_caches: clean pages + dentries.
+  void DropCaches();
+  // echo 2 > /proc/sys/vm/drop_caches: dentries/inodes only, data stays hot
+  // (compilebench's "different source tree each run" effect).
+  void DropDentries();
+
+ private:
+  kernel::Kernel* kernel_;
+  kernel::ProcessPtr proc_;
+  std::string workdir_;
+  Rng rng_;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string Name() const = 0;
+  // Unmeasured preparation (building source trees, seeding files).
+  virtual Status Setup(WorkloadEnv& env) { return Status::Ok(); }
+  // The measured phase.
+  virtual StatusOr<WorkloadResult> Run(WorkloadEnv& env) = 0;
+};
+
+// One suite entry with the paper's Figure 2 expectation attached.
+struct PhoronixEntry {
+  std::unique_ptr<Workload> workload;
+  double paper_overhead;  // relative overhead from Figure 2 (lower = faster CntrFS)
+};
+
+// The full Figure 2 suite, in the paper's bar order.
+std::vector<PhoronixEntry> MakePhoronixSuite();
+
+// --- individual workload factories (used by Figure 3/4 benches too) ---
+std::unique_ptr<Workload> MakeAioStress();
+std::unique_ptr<Workload> MakeApacheBench();
+std::unique_ptr<Workload> MakeCompileBench(const std::string& stage);  // compile|create|read
+std::unique_ptr<Workload> MakeDbench(int clients);
+std::unique_ptr<Workload> MakeFsMark();
+std::unique_ptr<Workload> MakeFio();
+std::unique_ptr<Workload> MakeGzip();
+std::unique_ptr<Workload> MakeIoZone(bool write_test, uint64_t file_mb);
+// iozone-style per-op timing: the final close/flush is excluded, matching
+// how iozone reports write throughput (Figure 3b).
+std::unique_ptr<Workload> MakeIoZoneWriteNoClose(uint64_t file_mb);
+// Sequential re-reads of a server-warm file with cache-dropping reopens:
+// every pass rides the request path, which is what queue contention and
+// splice affect (Figures 3d alternative and 4).
+std::unique_ptr<Workload> MakeIoZoneWarmRead(uint64_t file_mb, int passes);
+std::unique_ptr<Workload> MakePostMark();
+std::unique_ptr<Workload> MakePgBench();
+std::unique_ptr<Workload> MakeSqlite();
+std::unique_ptr<Workload> MakeThreadedIo(bool write_test, int threads);
+// Variant where every round reopens the file per thread — the access
+// pattern that makes FOPEN_KEEP_CACHE matter (Figure 3a).
+std::unique_ptr<Workload> MakeThreadedIoReopen(int threads);
+std::unique_ptr<Workload> MakeTarballUnpack();
+
+}  // namespace cntr::workloads
+
+#endif  // CNTR_SRC_WORKLOADS_WORKLOAD_H_

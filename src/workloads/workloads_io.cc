@@ -1,0 +1,419 @@
+// Workloads dominated by data-plane I/O: AIO-Stress, FS-Mark, FIO, Gzip,
+// IOzone, Threaded I/O, and the Linux tarball unpack (paper §5.2.2).
+#include <cerrno>
+#include <cstdio>
+
+#include "src/workloads/workload.h"
+
+namespace cntr::workloads {
+
+namespace {
+
+constexpr uint64_t kMB = 1024 * 1024;
+
+double MBps(uint64_t bytes, uint64_t elapsed_ns) {
+  if (elapsed_ns == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / kMB / (static_cast<double>(elapsed_ns) * 1e-9);
+}
+
+// --- AIO-Stress: 32MB of asynchronous 64KB write requests. Native uses
+// O_DIRECT + io_submit (overlapped); CntrFS cannot (direct I/O unsupported,
+// §5.1 #391), so requests degrade to synchronous buffered writes with
+// periodic flushes — the paper's "all requests processed synchronously".
+class AioStress : public Workload {
+ public:
+  std::string Name() const override { return "AIO-Stress"; }
+
+  StatusOr<WorkloadResult> Run(WorkloadEnv& env) override {
+    constexpr uint64_t kSize = 32 * kMB;
+    constexpr uint32_t kRequest = 64 * 1024;
+    SimTimer timer(env.kernel().clock());
+
+    auto direct = env.Open("aio.dat", kernel::kORdWr | kernel::kOCreat | kernel::kODirect);
+    if (direct.ok()) {
+      CNTR_RETURN_IF_ERROR(env.WriteOut(direct.value(), kSize, kRequest));
+      CNTR_RETURN_IF_ERROR(env.Close(direct.value()));
+    } else {
+      // FUSE path: buffered, flushed every 8MB to honor AIO completion
+      // semantics.
+      CNTR_ASSIGN_OR_RETURN(kernel::Fd fd,
+                            env.Open("aio.dat", kernel::kORdWr | kernel::kOCreat));
+      uint64_t written = 0;
+      while (written < kSize) {
+        CNTR_RETURN_IF_ERROR(env.WriteOut(fd, 8 * kMB, kRequest));
+        CNTR_RETURN_IF_ERROR(env.Fsync(fd));
+        written += 8 * kMB;
+      }
+      CNTR_RETURN_IF_ERROR(env.Close(fd));
+    }
+    return WorkloadResult{MBps(kSize, timer.ElapsedNs()), "MB/s", true, timer.ElapsedNs()};
+  }
+};
+
+// --- FS-Mark: sequential creation of 1MB files in 16KB writes, fsync each
+// (disk bound; §5.2.2 reports parity with native).
+class FsMark : public Workload {
+ public:
+  std::string Name() const override { return "FS-Mark"; }
+
+  StatusOr<WorkloadResult> Run(WorkloadEnv& env) override {
+    constexpr int kFiles = 48;
+    constexpr uint64_t kFileSize = 1 * kMB;
+    SimTimer timer(env.kernel().clock());
+    for (int i = 0; i < kFiles; ++i) {
+      CNTR_ASSIGN_OR_RETURN(kernel::Fd fd,
+                            env.Open("fsmark-" + std::to_string(i),
+                                     kernel::kOWrOnly | kernel::kOCreat | kernel::kOTrunc));
+      CNTR_RETURN_IF_ERROR(env.WriteOut(fd, kFileSize, 16 * 1024));
+      CNTR_RETURN_IF_ERROR(env.Fsync(fd));
+      CNTR_RETURN_IF_ERROR(env.Close(fd));
+    }
+    uint64_t ns = timer.ElapsedNs();
+    double files_per_sec = kFiles / (static_cast<double>(ns) * 1e-9);
+    return WorkloadResult{files_per_sec, "files/s", true, ns};
+  }
+};
+
+// --- FIO "fileserver": 80% random reads / 20% random writes with ~140KB
+// blocks over a hot file. The write set is rewritten many times: the native
+// dirty threshold flushes the same pages over and over while the FUSE
+// writeback cache absorbs the churn — CntrFS comes out ahead (§5.2.2).
+class Fio : public Workload {
+ public:
+  std::string Name() const override { return "FIO"; }
+
+  Status Setup(WorkloadEnv& env) override {
+    CNTR_RETURN_IF_ERROR(env.WriteFileAt("fio.dat", kFileSize, 128 * 1024));
+    env.DropCaches();
+    return Status::Ok();
+  }
+
+  StatusOr<WorkloadResult> Run(WorkloadEnv& env) override {
+    constexpr int kOps = 3000;
+    constexpr uint32_t kBlock = 140 * 1024;
+    CNTR_ASSIGN_OR_RETURN(kernel::Fd fd, env.Open("fio.dat", kernel::kORdWr));
+    SimTimer timer(env.kernel().clock());
+    std::vector<char> buf(kBlock, 'f');
+    uint64_t bytes = 0;
+    for (int i = 0; i < kOps; ++i) {
+      uint64_t offset = env.rng().Below(kFileSize - kBlock);
+      if (env.rng().Chance(1, 5)) {
+        CNTR_ASSIGN_OR_RETURN(size_t n, env.kernel().Pwrite(env.proc(), fd, buf.data(),
+                                                            kBlock, offset));
+        bytes += n;
+      } else {
+        CNTR_ASSIGN_OR_RETURN(size_t n, env.kernel().Pread(env.proc(), fd, buf.data(),
+                                                           kBlock, offset));
+        bytes += n;
+      }
+    }
+    CNTR_RETURN_IF_ERROR(env.Close(fd));
+    uint64_t ns = timer.ElapsedNs();
+    return WorkloadResult{MBps(bytes, ns), "MB/s", true, ns};
+  }
+
+ private:
+  static constexpr uint64_t kFileSize = 16 * kMB;
+};
+
+// --- Gzip: read a highly compressible file, write the compressed output.
+// Compression CPU dominates; filesystem choice is irrelevant (§5.2.2).
+class Gzip : public Workload {
+ public:
+  std::string Name() const override { return "Gzip"; }
+
+  Status Setup(WorkloadEnv& env) override {
+    return env.WriteFileAt("zeros.dat", kSize, 1 * kMB);
+  }
+
+  StatusOr<WorkloadResult> Run(WorkloadEnv& env) override {
+    SimTimer timer(env.kernel().clock());
+    CNTR_ASSIGN_OR_RETURN(kernel::Fd in, env.Open("zeros.dat", kernel::kORdOnly));
+    CNTR_ASSIGN_OR_RETURN(kernel::Fd out, env.Open("zeros.gz",
+                                                   kernel::kOWrOnly | kernel::kOCreat));
+    std::vector<char> buf(256 * 1024);
+    while (true) {
+      auto n = env.kernel().Read(env.proc(), in, buf.data(), buf.size());
+      if (!n.ok() || n.value() == 0) {
+        break;
+      }
+      // DEFLATE on zeros: ~25ns/byte of CPU, ~200:1 ratio.
+      env.Compute(n.value() * 25);
+      size_t out_n = n.value() / 200;
+      CNTR_RETURN_IF_ERROR(env.kernel().Write(env.proc(), out, buf.data(), out_n).status());
+    }
+    CNTR_RETURN_IF_ERROR(env.Close(in));
+    CNTR_RETURN_IF_ERROR(env.Close(out));
+    uint64_t ns = timer.ElapsedNs();
+    return WorkloadResult{static_cast<double>(ns) * 1e-9, "s", false, ns};
+  }
+
+ private:
+  static constexpr uint64_t kSize = 24 * kMB;
+};
+
+// --- IOzone: sequential write then sequential read with 4KB records.
+// Writes pay the per-call security.capability probe on FUSE (§5.2.2
+// "extended attributes" remark); reads expose the double-buffering capacity
+// loss when the file no longer fits twice in the page cache.
+class IoZone : public Workload {
+ public:
+  IoZone(bool write_test, uint64_t file_mb) : write_(write_test), file_mb_(file_mb) {}
+
+  std::string Name() const override {
+    return std::string("IOzone: ") + (write_ ? "Write" : "Read");
+  }
+
+  Status Setup(WorkloadEnv& env) override {
+    if (!write_) {
+      CNTR_RETURN_IF_ERROR(env.WriteFileAt("iozone.dat", file_mb_ * kMB, 128 * 1024));
+      env.DropCaches();
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<WorkloadResult> Run(WorkloadEnv& env) override {
+    const uint64_t size = file_mb_ * kMB;
+    SimTimer timer(env.kernel().clock());
+    uint64_t bytes = 0;
+    if (write_) {
+      CNTR_ASSIGN_OR_RETURN(kernel::Fd fd, env.Open("iozone.dat",
+                                                    kernel::kOWrOnly | kernel::kOCreat |
+                                                        kernel::kOTrunc));
+      CNTR_RETURN_IF_ERROR(env.WriteOut(fd, size, 4096));
+      CNTR_RETURN_IF_ERROR(env.Close(fd));
+      bytes = size;
+    } else {
+      // Two sequential passes (initial read + re-read), like iozone -i 1.
+      for (int pass = 0; pass < 2; ++pass) {
+        CNTR_ASSIGN_OR_RETURN(kernel::Fd fd, env.Open("iozone.dat", kernel::kORdOnly));
+        CNTR_ASSIGN_OR_RETURN(uint64_t n, env.ReadBack(fd, size, 4096));
+        bytes += n;
+        CNTR_RETURN_IF_ERROR(env.Close(fd));
+      }
+    }
+    uint64_t ns = timer.ElapsedNs();
+    return WorkloadResult{MBps(bytes, ns), "MB/s", true, ns};
+  }
+
+ private:
+  bool write_;
+  uint64_t file_mb_;
+};
+
+// --- IOzone write with per-op timing (close excluded), as iozone reports
+// throughput. With the writeback cache, dirty data stays in the kernel and
+// the writer never stalls on the device — the Figure 3b "after" bar that
+// exceeds native, whose own dirty threshold keeps throttling the writer.
+class IoZoneWriteNoClose : public Workload {
+ public:
+  explicit IoZoneWriteNoClose(uint64_t file_mb) : file_mb_(file_mb) {}
+
+  std::string Name() const override { return "IOzone: Write (per-op)"; }
+
+  StatusOr<WorkloadResult> Run(WorkloadEnv& env) override {
+    const uint64_t size = file_mb_ * kMB;
+    CNTR_ASSIGN_OR_RETURN(kernel::Fd fd,
+                          env.Open("iozone-noclose.dat",
+                                   kernel::kOWrOnly | kernel::kOCreat | kernel::kOTrunc));
+    SimTimer timer(env.kernel().clock());
+    CNTR_RETURN_IF_ERROR(env.WriteOut(fd, size, 4096));
+    uint64_t ns = timer.ElapsedNs();  // stop before close: per-op time only
+    CNTR_RETURN_IF_ERROR(env.Close(fd));
+    return WorkloadResult{MBps(size, ns), "MB/s", true, ns};
+  }
+
+ private:
+  uint64_t file_mb_;
+};
+
+// --- Sequential re-reads of a warm file through reopening descriptors.
+class IoZoneWarmRead : public Workload {
+ public:
+  IoZoneWarmRead(uint64_t file_mb, int passes) : file_mb_(file_mb), passes_(passes) {}
+
+  std::string Name() const override { return "IOzone: Warm read"; }
+
+  Status Setup(WorkloadEnv& env) override {
+    CNTR_RETURN_IF_ERROR(env.WriteFileAt("iozone-warm.dat", file_mb_ * kMB, 128 * 1024));
+    // One warm-up pass so the server side is cached.
+    CNTR_ASSIGN_OR_RETURN(kernel::Fd fd, env.Open("iozone-warm.dat", kernel::kORdOnly));
+    CNTR_RETURN_IF_ERROR(env.ReadBack(fd, file_mb_ * kMB, 4096).status());
+    return env.Close(fd);
+  }
+
+  StatusOr<WorkloadResult> Run(WorkloadEnv& env) override {
+    const uint64_t size = file_mb_ * kMB;
+    SimTimer timer(env.kernel().clock());
+    uint64_t bytes = 0;
+    for (int pass = 0; pass < passes_; ++pass) {
+      CNTR_ASSIGN_OR_RETURN(kernel::Fd fd, env.Open("iozone-warm.dat", kernel::kORdOnly));
+      CNTR_ASSIGN_OR_RETURN(uint64_t n, env.ReadBack(fd, size, 4096));
+      bytes += n;
+      CNTR_RETURN_IF_ERROR(env.Close(fd));
+    }
+    uint64_t ns = timer.ElapsedNs();
+    return WorkloadResult{MBps(bytes, ns), "MB/s", true, ns};
+  }
+
+ private:
+  uint64_t file_mb_;
+  int passes_;
+};
+
+// --- Threaded I/O: concurrent readers or writers over one file. Reads are
+// served from the shared page cache (FOPEN_KEEP_CACHE's whole point,
+// Figure 3a); writers rewrite hot regions that the FUSE writeback cache
+// absorbs (§5.2.2 reports 0.3x for writes).
+class ThreadedIo : public Workload {
+ public:
+  ThreadedIo(bool write_test, int threads, bool reopen_per_round = false)
+      : write_(write_test), threads_(threads), reopen_(reopen_per_round) {}
+
+  std::string Name() const override {
+    return std::string("Threaded I/O: ") + (write_ ? "Write" : "Read");
+  }
+
+  Status Setup(WorkloadEnv& env) override {
+    CNTR_RETURN_IF_ERROR(env.WriteFileAt("tio.dat", kFileSize, 128 * 1024));
+    env.DropCaches();
+    return Status::Ok();
+  }
+
+  StatusOr<WorkloadResult> Run(WorkloadEnv& env) override {
+    // Threads interleave round-robin; virtual time accumulates all work, so
+    // the interleaving order is what matters for cache behaviour.
+    SimTimer timer(env.kernel().clock());
+    std::vector<kernel::Fd> fds;
+    auto open_all = [&]() -> Status {
+      for (int t = 0; t < threads_; ++t) {
+        CNTR_ASSIGN_OR_RETURN(kernel::Fd fd,
+                              env.Open("tio.dat", write_ ? kernel::kORdWr : kernel::kORdOnly));
+        fds.push_back(fd);
+      }
+      return Status::Ok();
+    };
+    auto close_all = [&]() -> Status {
+      for (kernel::Fd fd : fds) {
+        CNTR_RETURN_IF_ERROR(env.Close(fd));
+      }
+      fds.clear();
+      return Status::Ok();
+    };
+    CNTR_RETURN_IF_ERROR(open_all());
+    constexpr uint32_t kChunk = 64 * 1024;
+    std::vector<char> buf(kChunk, 't');
+    uint64_t bytes = 0;
+    constexpr int kRounds = 3;
+    const uint64_t chunks_per_pass = kFileSize / kChunk;
+    uint64_t chunk_counter = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      if (reopen_ && round > 0) {
+        // New round, new open: without FOPEN_KEEP_CACHE this invalidates
+        // everything the previous round cached.
+        CNTR_RETURN_IF_ERROR(close_all());
+        CNTR_RETURN_IF_ERROR(open_all());
+      }
+      for (uint64_t off = 0; off + kChunk <= kFileSize; off += kChunk) {
+        // Staggered reopens: threads drop in and out mid-pass, repeatedly
+        // invalidating the shared cache when FOPEN_KEEP_CACHE is off.
+        if (reopen_ && (++chunk_counter % (chunks_per_pass / 4) == 0)) {
+          int t = static_cast<int>((chunk_counter / (chunks_per_pass / 4)) % threads_);
+          CNTR_RETURN_IF_ERROR(env.Close(fds[t]));
+          CNTR_ASSIGN_OR_RETURN(fds[t], env.Open("tio.dat", kernel::kORdOnly));
+        }
+        for (int t = 0; t < threads_; ++t) {
+          // Each thread walks the file at its own phase shift.
+          uint64_t toff = (off + t * (kFileSize / threads_)) % (kFileSize - kChunk + 1);
+          if (write_) {
+            CNTR_ASSIGN_OR_RETURN(size_t n, env.kernel().Pwrite(env.proc(), fds[t], buf.data(),
+                                                                kChunk, toff));
+            bytes += n;
+          } else {
+            CNTR_ASSIGN_OR_RETURN(size_t n, env.kernel().Pread(env.proc(), fds[t], buf.data(),
+                                                               kChunk, toff));
+            bytes += n;
+          }
+        }
+      }
+    }
+    if (write_ && !fds.empty()) {
+      // Writers end with one fsync, making the benchmark's data durable.
+      CNTR_RETURN_IF_ERROR(env.Fsync(fds[0]));
+    }
+    CNTR_RETURN_IF_ERROR(close_all());
+    uint64_t ns = timer.ElapsedNs();
+    return WorkloadResult{MBps(bytes, ns), "MB/s", true, ns};
+  }
+
+ private:
+  static constexpr uint64_t kFileSize = 16 * kMB;
+  bool write_;
+  int threads_;
+  bool reopen_;
+};
+
+// --- Linux tarball unpack: stream one archive into many small files.
+// Fewer lookups than compilebench-create (fresh directories, warm parents),
+// larger writes — modest overhead (§5.2.2).
+class TarballUnpack : public Workload {
+ public:
+  std::string Name() const override { return "Unpack tarball"; }
+
+  Status Setup(WorkloadEnv& env) override {
+    return env.WriteFileAt("linux.tar", 24 * kMB, 1 * kMB);
+  }
+
+  StatusOr<WorkloadResult> Run(WorkloadEnv& env) override {
+    SimTimer timer(env.kernel().clock());
+    CNTR_ASSIGN_OR_RETURN(kernel::Fd tar, env.Open("linux.tar", kernel::kORdOnly));
+    CNTR_RETURN_IF_ERROR(env.MkdirAll("linux-src"));
+    std::vector<char> buf(64 * 1024);
+    int file_index = 0;
+    for (int dir = 0; dir < 12; ++dir) {
+      std::string dir_rel = "linux-src/dir-" + std::to_string(dir);
+      CNTR_RETURN_IF_ERROR(env.MkdirAll(dir_rel));
+      for (int i = 0; i < 40; ++i) {
+        uint64_t file_size = 4096 + env.rng().Below(48 * 1024);
+        // Read the next archive span, then write the member file.
+        CNTR_ASSIGN_OR_RETURN(size_t got,
+                              env.kernel().Read(env.proc(), tar, buf.data(),
+                                                std::min<uint64_t>(file_size, buf.size())));
+        (void)got;
+        CNTR_RETURN_IF_ERROR(
+            env.WriteFileAt(dir_rel + "/file-" + std::to_string(file_index++), file_size,
+                            64 * 1024));
+      }
+    }
+    CNTR_RETURN_IF_ERROR(env.Close(tar));
+    uint64_t ns = timer.ElapsedNs();
+    return WorkloadResult{static_cast<double>(ns) * 1e-9, "s", false, ns};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeAioStress() { return std::make_unique<AioStress>(); }
+std::unique_ptr<Workload> MakeFsMark() { return std::make_unique<FsMark>(); }
+std::unique_ptr<Workload> MakeFio() { return std::make_unique<Fio>(); }
+std::unique_ptr<Workload> MakeGzip() { return std::make_unique<Gzip>(); }
+std::unique_ptr<Workload> MakeIoZone(bool write_test, uint64_t file_mb) {
+  return std::make_unique<IoZone>(write_test, file_mb);
+}
+std::unique_ptr<Workload> MakeIoZoneWriteNoClose(uint64_t file_mb) {
+  return std::make_unique<IoZoneWriteNoClose>(file_mb);
+}
+std::unique_ptr<Workload> MakeIoZoneWarmRead(uint64_t file_mb, int passes) {
+  return std::make_unique<IoZoneWarmRead>(file_mb, passes);
+}
+std::unique_ptr<Workload> MakeThreadedIo(bool write_test, int threads) {
+  return std::make_unique<ThreadedIo>(write_test, threads);
+}
+std::unique_ptr<Workload> MakeThreadedIoReopen(int threads) {
+  return std::make_unique<ThreadedIo>(false, threads, /*reopen_per_round=*/true);
+}
+std::unique_ptr<Workload> MakeTarballUnpack() { return std::make_unique<TarballUnpack>(); }
+
+}  // namespace cntr::workloads

@@ -1,0 +1,133 @@
+// Tests for the lambda extension (paper §6 future work): deploy/invoke
+// lifecycle, cold/warm behaviour, and the headline feature — attaching CNTR
+// with a fat tools image to a live lambda invocation.
+#include <gtest/gtest.h>
+
+#include "src/container/lambda.h"
+#include "src/core/attach.h"
+
+namespace cntr::container {
+namespace {
+
+FunctionSpec Thumbnailer() {
+  FunctionSpec spec;
+  spec.name = "thumbnailer";
+  spec.runtime = "python3.9";
+  spec.handler = [](kernel::Kernel* kernel, kernel::Process& proc,
+                    const std::string& payload) -> StatusOr<std::string> {
+    // Reads its manifest, writes a scratch result — real filesystem work
+    // inside the invocation container.
+    CNTR_ASSIGN_OR_RETURN(kernel::Fd in, kernel->Open(proc, "/var/task/manifest.json",
+                                                      kernel::kORdOnly));
+    char buf[256] = {};
+    CNTR_RETURN_IF_ERROR(kernel->Read(proc, in, buf, sizeof(buf)).status());
+    CNTR_RETURN_IF_ERROR(kernel->Close(proc, in));
+    CNTR_ASSIGN_OR_RETURN(kernel::Fd out,
+                          kernel->Open(proc, "/tmp/last-payload",
+                                       kernel::kOWrOnly | kernel::kOCreat | kernel::kOTrunc));
+    CNTR_RETURN_IF_ERROR(kernel->Write(proc, out, payload.data(), payload.size()).status());
+    CNTR_RETURN_IF_ERROR(kernel->Close(proc, out));
+    kernel->clock().Advance(5'000'000);  // 5ms of "image processing"
+    return std::string("thumb(") + payload + ")";
+  };
+  return spec;
+}
+
+class LambdaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = kernel::Kernel::Create();
+    runtime_ = std::make_unique<ContainerRuntime>(kernel_.get());
+    platform_ = std::make_unique<LambdaPlatform>(kernel_.get(), runtime_.get());
+  }
+
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::unique_ptr<ContainerRuntime> runtime_;
+  std::unique_ptr<LambdaPlatform> platform_;
+};
+
+TEST_F(LambdaTest, DeployRequiresHandler) {
+  FunctionSpec broken;
+  broken.name = "no-handler";
+  EXPECT_EQ(platform_->Deploy(std::move(broken)).error(), EINVAL);
+}
+
+TEST_F(LambdaTest, InvokeMissingFunctionFails) {
+  EXPECT_EQ(platform_->Invoke("ghost", "{}").error(), ENOENT);
+}
+
+TEST_F(LambdaTest, ColdThenWarmInvocations) {
+  ASSERT_TRUE(platform_->Deploy(Thumbnailer()).ok());
+  auto first = platform_->Invoke("thumbnailer", "img-1");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->cold_start);
+  EXPECT_EQ(first->response, "thumb(img-1)");
+
+  auto second = platform_->Invoke("thumbnailer", "img-2");
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->cold_start) << "warm instance must be reused";
+  EXPECT_LT(second->duration_ms, first->duration_ms) << "warm must be faster than cold";
+  EXPECT_EQ(platform_->stats().invocations, 2u);
+  EXPECT_EQ(platform_->stats().cold_starts, 1u);
+}
+
+TEST_F(LambdaTest, WarmInstanceIsAMicroContainer) {
+  ASSERT_TRUE(platform_->Deploy(Thumbnailer()).ok());
+  ASSERT_TRUE(platform_->Invoke("thumbnailer", "x").ok());
+  auto pid = platform_->WarmInstancePid("thumbnailer");
+  ASSERT_TRUE(pid.ok());
+  auto proc = kernel_->procs().Get(pid.value());
+  ASSERT_NE(proc, nullptr);
+  // Isolated namespaces, lambda cgroup, and a runtime-only filesystem:
+  EXPECT_NE(proc->mnt_ns, kernel_->init()->mnt_ns);
+  EXPECT_NE(proc->cgroup->Path().find("lambda.slice"), std::string::npos);
+  EXPECT_TRUE(kernel_->Stat(*proc, "/var/task/handler.bin").ok());
+  EXPECT_EQ(kernel_->Stat(*proc, "/usr/bin/gdb").error(), ENOENT) << "no tools in the lambda";
+}
+
+TEST_F(LambdaTest, CntrAttachesToWarmInvocationWithFatTools) {
+  // The §6 scenario end to end: lambda platform + CNTR + fat debug image.
+  Registry registry(&kernel_->clock());
+  auto docker = std::make_shared<DockerEngine>(runtime_.get(), &registry);
+  auto tools = docker->Run("lambda-debug", MakeFatToolsImage());
+  ASSERT_TRUE(tools.ok());
+
+  ASSERT_TRUE(platform_->Deploy(Thumbnailer()).ok());
+  ASSERT_TRUE(platform_->Invoke("thumbnailer", "debug-me").ok());
+
+  core::Cntr cntr(kernel_.get());
+  cntr.RegisterEngine(std::make_shared<LambdaEngine>(platform_.get()));
+  cntr.RegisterEngine(docker);
+
+  core::AttachOptions opts;
+  opts.fat_container = "lambda-debug";
+  opts.fat_engine = "docker";
+  auto session = cntr.Attach("lambda", "thumbnailer", opts);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  // Tools from the debug image, the function's world at /var/lib/cntr.
+  EXPECT_EQ(session.value()->Execute("which gdb"), "/usr/bin/gdb\n");
+  std::string manifest = session.value()->Execute("cat /var/lib/cntr/var/task/manifest.json");
+  EXPECT_NE(manifest.find("thumbnailer"), std::string::npos) << manifest;
+  std::string payload = session.value()->Execute("cat /var/lib/cntr/tmp/last-payload");
+  EXPECT_EQ(payload, "debug-me");
+  std::string gdb = session.value()->Execute("gdb -p 1");
+  EXPECT_NE(gdb.find("Attaching to process 1"), std::string::npos);
+
+  // The function keeps serving while the session is attached.
+  auto during = platform_->Invoke("thumbnailer", "img-3");
+  ASSERT_TRUE(during.ok());
+  EXPECT_FALSE(during->cold_start);
+  EXPECT_TRUE(session.value()->Detach().ok());
+}
+
+TEST_F(LambdaTest, AttachBeforeAnyInvocationFailsCleanly) {
+  ASSERT_TRUE(platform_->Deploy(Thumbnailer()).ok());
+  core::Cntr cntr(kernel_.get());
+  cntr.RegisterEngine(std::make_shared<LambdaEngine>(platform_.get()));
+  auto session = cntr.Attach("lambda", "thumbnailer");
+  EXPECT_EQ(session.error(), ESRCH) << "no warm instance to attach to";
+}
+
+}  // namespace
+}  // namespace cntr::container

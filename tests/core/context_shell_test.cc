@@ -1,0 +1,181 @@
+// Unit tests for CNTR's step-1 context gathering (procfs text parsers and
+// the full GatherContext flow) and the toolbox shell.
+#include <gtest/gtest.h>
+
+#include "src/container/engine.h"
+#include "src/core/context.h"
+#include "src/core/pty.h"
+#include "src/core/shell.h"
+
+namespace cntr::core {
+namespace {
+
+TEST(ProcParserTest, ParsesStatus) {
+  std::string text =
+      "Name:\tmysqld\nPid:\t1\nPPid:\t0\nUid:\t999\t999\t999\t999\n"
+      "Gid:\t999\t999\t999\t999\nGroups:\t999\n"
+      "CapInh:\t0000000000000000\nCapPrm:\t00000000a80425fb\n"
+      "CapEff:\t00000000a80425fb\nCapBnd:\t00000000a80425fb\n";
+  auto parsed = ParseProcStatus(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->name, "mysqld");
+  EXPECT_EQ(parsed->uid, 999u);
+  EXPECT_EQ(parsed->gid, 999u);
+  EXPECT_EQ(parsed->cap_effective, 0xa80425fbull);
+}
+
+TEST(ProcParserTest, MalformedStatusFails) {
+  EXPECT_FALSE(ParseProcStatus("garbage\n").ok());
+}
+
+TEST(ProcParserTest, ParsesIdMap) {
+  auto map = ParseIdMap("         0     100000      65536\n     70000     200000       1000\n");
+  ASSERT_EQ(map.size(), 2u);
+  EXPECT_EQ(map[0].inside, 0u);
+  EXPECT_EQ(map[0].outside, 100000u);
+  EXPECT_EQ(map[0].count, 65536u);
+  EXPECT_EQ(map[1].inside, 70000u);
+}
+
+TEST(ProcParserTest, IdentityMapParsesAsEmpty) {
+  auto map = ParseIdMap("         0          0 4294967295\n");
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(ProcParserTest, ParsesEnviron) {
+  std::string text = std::string("PATH=/usr/bin") + '\0' + "HOME=/root" + '\0' + "EMPTY=" + '\0';
+  auto env = ParseEnviron(text);
+  EXPECT_EQ(env.at("PATH"), "/usr/bin");
+  EXPECT_EQ(env.at("HOME"), "/root");
+  EXPECT_EQ(env.at("EMPTY"), "");
+}
+
+class ContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = kernel::Kernel::Create();
+    runtime_ = std::make_unique<container::ContainerRuntime>(kernel_.get());
+    registry_ = std::make_unique<container::Registry>(&kernel_->clock());
+    docker_ = std::make_unique<container::DockerEngine>(runtime_.get(), registry_.get());
+  }
+
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::unique_ptr<container::ContainerRuntime> runtime_;
+  std::unique_ptr<container::Registry> registry_;
+  std::unique_ptr<container::DockerEngine> docker_;
+};
+
+TEST_F(ContextTest, GatherContextReadsEverythingFromProc) {
+  container::Image image("acme/ctx", "latest");
+  container::Layer layer;
+  layer.id = "app";
+  layer.files.push_back({"/usr/bin/ctx", 1024, 0755, container::FileClass::kAppBinary, ""});
+  image.AddLayer(std::move(layer));
+  image.env()["SERVICE_URL"] = "http://db:5432";
+  image.entrypoint() = "/usr/bin/ctx";
+  container::ContainerSpec spec;
+  spec.uid_map = {{0, 100000, 65536}};
+  auto c = docker_->Run("ctx", image, spec);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+
+  auto cntr_proc = kernel_->Fork(*kernel_->init(), "cntr");
+  auto ctx = GatherContext(kernel_.get(), *cntr_proc, c.value()->init_proc()->global_pid());
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+
+  // Namespaces match the container's actual namespace objects.
+  EXPECT_EQ(ctx->mnt_ns.get(), c.value()->init_proc()->mnt_ns.get());
+  EXPECT_EQ(ctx->pid_ns.get(), c.value()->init_proc()->pid_ns.get());
+  EXPECT_EQ(ctx->net_ns.get(), c.value()->init_proc()->net_ns.get());
+  // Capabilities round-trip through the hex rendering.
+  EXPECT_EQ(ctx->cap_effective.raw(), c.value()->init_proc()->creds.effective.raw());
+  EXPECT_FALSE(ctx->cap_effective.Has(kernel::Capability::kSysAdmin));
+  // Environment parsed from NUL-separated environ.
+  EXPECT_EQ(ctx->env.at("SERVICE_URL"), "http://db:5432");
+  // cgroup resolved to the live node.
+  EXPECT_EQ(ctx->cgroup.get(), c.value()->cgroup().get());
+  EXPECT_NE(ctx->cgroup_path.find("docker"), std::string::npos);
+  // uid map.
+  ASSERT_EQ(ctx->uid_map.size(), 1u);
+  EXPECT_EQ(ctx->uid_map[0].outside, 100000u);
+  // LSM profile name.
+  EXPECT_EQ(ctx->lsm_profile, "docker-default");
+}
+
+TEST_F(ContextTest, GatherContextFailsForDeadPid) {
+  auto cntr_proc = kernel_->Fork(*kernel_->init(), "cntr");
+  EXPECT_FALSE(GatherContext(kernel_.get(), *cntr_proc, 9999).ok());
+}
+
+class ShellTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = kernel::Kernel::Create();
+    proc_ = kernel_->Fork(*kernel_->init(), "sh");
+    shell_ = std::make_unique<ToolboxShell>(kernel_.get(), proc_);
+  }
+
+  std::unique_ptr<kernel::Kernel> kernel_;
+  kernel::ProcessPtr proc_;
+  std::unique_ptr<ToolboxShell> shell_;
+};
+
+TEST_F(ShellTest, EchoAndRedirection) {
+  EXPECT_EQ(shell_->Execute("echo hello world"), "hello world\n");
+  EXPECT_EQ(shell_->Execute("echo content > /tmp/out"), "");
+  EXPECT_EQ(shell_->Execute("cat /tmp/out"), "content\n");
+}
+
+TEST_F(ShellTest, FileManipulationBuiltins) {
+  shell_->Execute("mkdir /tmp/d");
+  shell_->Execute("write /tmp/d/f data123");
+  EXPECT_EQ(shell_->Execute("cat /tmp/d/f"), "data123");
+  shell_->Execute("cp /tmp/d/f /tmp/d/g");
+  EXPECT_EQ(shell_->Execute("cat /tmp/d/g"), "data123");
+  shell_->Execute("mv /tmp/d/g /tmp/d/h");
+  EXPECT_NE(shell_->Execute("ls /tmp/d").find("h"), std::string::npos);
+  shell_->Execute("rm /tmp/d/f /tmp/d/h");
+  EXPECT_EQ(shell_->Execute("ls /tmp/d"), "");
+}
+
+TEST_F(ShellTest, LsLongFormatShowsModeAndSize) {
+  shell_->Execute("write /tmp/file abc");
+  std::string out = shell_->Execute("ls -l /tmp");
+  EXPECT_NE(out.find("file"), std::string::npos);
+  EXPECT_NE(out.find("-644"), std::string::npos);
+}
+
+TEST_F(ShellTest, WhichSearchesPath) {
+  proc_->env["PATH"] = "/usr/local/bin:/usr/bin";
+  shell_->Execute("mkdir /usr/local");
+  shell_->Execute("mkdir /usr/local/bin");
+  shell_->Execute("write /usr/local/bin/tool bin");
+  ASSERT_TRUE(kernel_->Chmod(*proc_, "/usr/local/bin/tool", 0755).ok());
+  EXPECT_EQ(shell_->Execute("which tool"), "/usr/local/bin/tool\n");
+  EXPECT_EQ(shell_->Execute("which missing"), "missing not found\n");
+}
+
+TEST_F(ShellTest, UnknownCommandReports) {
+  EXPECT_EQ(shell_->Execute("frobnicate"), "frobnicate: command not found\n");
+}
+
+TEST_F(ShellTest, PsReadsProc) {
+  std::string out = shell_->Execute("ps");
+  EXPECT_NE(out.find("init"), std::string::npos);
+}
+
+TEST_F(ShellTest, InteractiveLoopOverPty) {
+  Pty pty(kernel_.get());
+  std::thread loop([&] { shell_->RunInteractive(pty.slave(), pty.slave()); });
+  ASSERT_TRUE(pty.WriteLineToShell("echo ping").ok());
+  std::string out;
+  for (int i = 0; i < 200 && out.find("ping") == std::string::npos; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    out += pty.DrainShellOutput();
+  }
+  EXPECT_NE(out.find("ping"), std::string::npos);
+  ASSERT_TRUE(pty.WriteLineToShell("exit").ok());
+  loop.join();
+}
+
+}  // namespace
+}  // namespace cntr::core

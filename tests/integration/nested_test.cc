@@ -1,0 +1,113 @@
+// Nested container design (paper §7's planned evaluation extension):
+// containers inside containers, with CNTR attaching at every depth.
+#include <gtest/gtest.h>
+
+#include "src/container/engine.h"
+#include "src/core/attach.h"
+
+namespace cntr::core {
+namespace {
+
+using container::ContainerRuntime;
+using container::ContainerSpec;
+using container::DockerEngine;
+using container::Image;
+using container::Registry;
+
+Image AppImage(const std::string& name, const std::string& marker) {
+  Image image("acme/" + name, "latest");
+  container::Layer layer;
+  layer.id = name;
+  layer.files.push_back({"/usr/bin/" + name, 1 << 20, 0755,
+                         container::FileClass::kAppBinary, ""});
+  layer.files.push_back({"/etc/marker", 0, 0644, container::FileClass::kConfig, marker});
+  image.AddLayer(std::move(layer));
+  image.entrypoint() = "/usr/bin/" + name;
+  return image;
+}
+
+class NestedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = kernel::Kernel::Create();
+    runtime_ = std::make_unique<ContainerRuntime>(kernel_.get());
+    registry_ = std::make_unique<Registry>(&kernel_->clock());
+    docker_ = std::make_shared<DockerEngine>(runtime_.get(), registry_.get());
+    cntr_ = std::make_unique<Cntr>(kernel_.get());
+    cntr_->RegisterEngine(docker_);
+  }
+
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::unique_ptr<ContainerRuntime> runtime_;
+  std::unique_ptr<Registry> registry_;
+  std::shared_ptr<DockerEngine> docker_;
+  std::unique_ptr<Cntr> cntr_;
+};
+
+TEST_F(NestedTest, NestedPidNamespacesStack) {
+  auto outer = docker_->Run("outer", AppImage("outer", "outer\n"));
+  ASSERT_TRUE(outer.ok()) << outer.status().ToString();
+  ContainerSpec spec;
+  spec.name = "inner";
+  spec.image = AppImage("inner", "inner\n");
+  auto inner = runtime_->StartNested(outer.value(), std::move(spec));
+  ASSERT_TRUE(inner.ok()) << inner.status().ToString();
+
+  auto& inner_proc = *inner.value()->init_proc();
+  // Three pid-namespace levels: host, outer, inner — pid 1 at each nested
+  // level, and the inner pid ns is a child of the outer's.
+  ASSERT_EQ(inner_proc.ns_pids.size(), 3u);
+  EXPECT_EQ(inner_proc.ns_pids[1], 2);  // second process in outer's ns
+  EXPECT_EQ(inner_proc.ns_pids[2], 1);  // init of its own ns
+  EXPECT_EQ(inner_proc.pid_ns->parent().get(), outer.value()->init_proc()->pid_ns.get());
+  // The nested cgroup hangs under the parent container's group.
+  EXPECT_NE(inner_proc.cgroup->Path().find("/docker/"), std::string::npos);
+  EXPECT_NE(inner_proc.cgroup->Path().find("/nested/"), std::string::npos);
+}
+
+TEST_F(NestedTest, AttachToNestedContainerSeesOnlyItsWorld) {
+  auto outer = docker_->Run("outer", AppImage("outer", "outer\n"));
+  ASSERT_TRUE(outer.ok());
+  ContainerSpec spec;
+  spec.name = "inner";
+  spec.image = AppImage("inner", "inner\n");
+  auto inner = runtime_->StartNested(outer.value(), std::move(spec));
+  ASSERT_TRUE(inner.ok());
+
+  auto session = cntr_->AttachPid(inner.value()->init_proc()->global_pid(), AttachOptions{});
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  // The app view is the inner container's, not the outer's.
+  EXPECT_EQ(session.value()->Execute("cat /var/lib/cntr/etc/marker"), "inner\n");
+  // /proc shows exactly the inner world: one init.
+  std::string ps = session.value()->Execute("ps");
+  EXPECT_NE(ps.find("/usr/bin/inner"), std::string::npos) << ps;
+  EXPECT_EQ(ps.find("/usr/bin/outer"), std::string::npos) << ps;
+  EXPECT_TRUE(session.value()->Detach().ok());
+}
+
+TEST_F(NestedTest, AttachToOuterDoesNotSeeInnerFiles) {
+  auto outer = docker_->Run("outer", AppImage("outer", "outer\n"));
+  ASSERT_TRUE(outer.ok());
+  ContainerSpec spec;
+  spec.name = "inner";
+  spec.image = AppImage("inner", "inner\n");
+  ASSERT_TRUE(runtime_->StartNested(outer.value(), std::move(spec)).ok());
+
+  auto session = cntr_->Attach("docker", "outer");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session.value()->Execute("cat /var/lib/cntr/etc/marker"), "outer\n");
+  EXPECT_TRUE(session.value()->Detach().ok());
+}
+
+TEST_F(NestedTest, NestedStartRequiresRunningParent) {
+  auto outer = docker_->Run("outer", AppImage("outer", "outer\n"));
+  ASSERT_TRUE(outer.ok());
+  ASSERT_TRUE(runtime_->Stop(outer.value()).ok());
+  ContainerSpec spec;
+  spec.name = "inner";
+  spec.image = AppImage("inner", "inner\n");
+  EXPECT_EQ(runtime_->StartNested(outer.value(), std::move(spec)).error(), ESRCH);
+}
+
+}  // namespace
+}  // namespace cntr::core

@@ -1,0 +1,232 @@
+// Tests for the kernel's IPC data plane: pipes, Unix sockets, epoll and
+// splice — the substrate under CNTR's pty and socket proxy.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/kernel/kernel.h"
+
+namespace cntr::kernel {
+namespace {
+
+class IpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = Kernel::Create();
+    proc_ = kernel_->Fork(*kernel_->init(), "ipc");
+  }
+
+  std::unique_ptr<Kernel> kernel_;
+  ProcessPtr proc_;
+};
+
+TEST_F(IpcTest, PipeRoundTrip) {
+  auto pipe = kernel_->Pipe(*proc_);
+  ASSERT_TRUE(pipe.ok());
+  auto [rfd, wfd] = pipe.value();
+  ASSERT_TRUE(kernel_->Write(*proc_, wfd, "through the pipe", 16).ok());
+  char buf[32];
+  auto n = kernel_->Read(*proc_, rfd, buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, n.value()), "through the pipe");
+}
+
+TEST_F(IpcTest, PipeEofAfterWriterCloses) {
+  auto pipe = kernel_->Pipe(*proc_);
+  ASSERT_TRUE(pipe.ok());
+  auto [rfd, wfd] = pipe.value();
+  ASSERT_TRUE(kernel_->Write(*proc_, wfd, "last", 4).ok());
+  ASSERT_TRUE(kernel_->Close(*proc_, wfd).ok());
+  char buf[8];
+  auto n = kernel_->Read(*proc_, rfd, buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 4u);
+  n = kernel_->Read(*proc_, rfd, buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u) << "EOF after the writer closed";
+}
+
+TEST_F(IpcTest, PipeWriteToClosedReaderFailsEpipe) {
+  auto pipe = kernel_->Pipe(*proc_);
+  ASSERT_TRUE(pipe.ok());
+  auto [rfd, wfd] = pipe.value();
+  ASSERT_TRUE(kernel_->Close(*proc_, rfd).ok());
+  EXPECT_EQ(kernel_->Write(*proc_, wfd, "x", 1).error(), EPIPE);
+}
+
+TEST_F(IpcTest, PipeBlockingReadWokenByWriter) {
+  auto pipe = kernel_->Pipe(*proc_);
+  ASSERT_TRUE(pipe.ok());
+  auto [rfd, wfd] = pipe.value();
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(kernel_->Write(*proc_, wfd, "wake", 4).ok());
+  });
+  char buf[8];
+  auto n = kernel_->Read(*proc_, rfd, buf, sizeof(buf));  // blocks until data
+  writer.join();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, n.value()), "wake");
+}
+
+TEST_F(IpcTest, UnixSocketListenConnectAccept) {
+  auto listen = kernel_->SocketListen(*proc_, "/tmp/svc.sock");
+  ASSERT_TRUE(listen.ok());
+  auto attr = kernel_->Stat(*proc_, "/tmp/svc.sock");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_TRUE(IsSock(attr->mode));
+
+  auto client = kernel_->SocketConnect(*proc_, "/tmp/svc.sock");
+  ASSERT_TRUE(client.ok());
+  auto server = kernel_->SocketAccept(*proc_, listen.value());
+  ASSERT_TRUE(server.ok());
+
+  ASSERT_TRUE(kernel_->Write(*proc_, client.value(), "ping", 4).ok());
+  char buf[8];
+  auto n = kernel_->Read(*proc_, server.value(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, n.value()), "ping");
+  ASSERT_TRUE(kernel_->Write(*proc_, server.value(), "pong", 4).ok());
+  n = kernel_->Read(*proc_, client.value(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, n.value()), "pong");
+}
+
+TEST_F(IpcTest, ConnectWithoutListenerFailsEconnrefused) {
+  EXPECT_EQ(kernel_->SocketConnect(*proc_, "/tmp/nobody").error(), ENOENT);
+  ASSERT_TRUE(kernel_->Open(*proc_, "/tmp/notsock", kOWrOnly | kOCreat, 0644).ok());
+  EXPECT_EQ(kernel_->SocketConnect(*proc_, "/tmp/notsock").error(), ECONNREFUSED);
+}
+
+TEST_F(IpcTest, AbstractSocketsArePerNetNamespace) {
+  auto listen = kernel_->SocketListenAbstract(*proc_, "x11-display");
+  ASSERT_TRUE(listen.ok());
+  EXPECT_TRUE(kernel_->SocketConnectAbstract(*proc_, "x11-display").ok());
+
+  // A process in a fresh network namespace cannot see the abstract name.
+  auto isolated = kernel_->Fork(*proc_, "isolated");
+  ASSERT_TRUE(kernel_->Unshare(*isolated, kCloneNewNet).ok());
+  EXPECT_EQ(kernel_->SocketConnectAbstract(*isolated, "x11-display").error(), ECONNREFUSED);
+}
+
+TEST_F(IpcTest, SocketPairBidirectional) {
+  auto pair = kernel_->SocketPair(*proc_);
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(kernel_->Write(*proc_, pair->first, "ab", 2).ok());
+  char buf[4];
+  auto n = kernel_->Read(*proc_, pair->second, buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, n.value()), "ab");
+}
+
+TEST_F(IpcTest, EpollReportsReadiness) {
+  auto pipe = kernel_->Pipe(*proc_);
+  ASSERT_TRUE(pipe.ok());
+  auto [rfd, wfd] = pipe.value();
+  auto epfd = kernel_->EpollCreate(*proc_);
+  ASSERT_TRUE(epfd.ok());
+  ASSERT_TRUE(kernel_->EpollCtl(*proc_, epfd.value(), kEpollCtlAdd, rfd, kPollIn, 7).ok());
+
+  // Nothing readable yet: timeout path.
+  auto events = kernel_->EpollWait(*proc_, epfd.value(), 4, 0);
+  ASSERT_TRUE(events.ok());
+  EXPECT_TRUE(events->empty());
+
+  ASSERT_TRUE(kernel_->Write(*proc_, wfd, "x", 1).ok());
+  events = kernel_->EpollWait(*proc_, epfd.value(), 4, 100);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_EQ(events->at(0).data, 7u);
+  EXPECT_TRUE(events->at(0).events & kPollIn);
+}
+
+TEST_F(IpcTest, EpollWakesBlockedWaiter) {
+  auto pipe = kernel_->Pipe(*proc_);
+  ASSERT_TRUE(pipe.ok());
+  auto [rfd, wfd] = pipe.value();
+  auto epfd = kernel_->EpollCreate(*proc_);
+  ASSERT_TRUE(epfd.ok());
+  ASSERT_TRUE(kernel_->EpollCtl(*proc_, epfd.value(), kEpollCtlAdd, rfd, kPollIn, 1).ok());
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(kernel_->Write(*proc_, wfd, "x", 1).ok());
+  });
+  auto events = kernel_->EpollWait(*proc_, epfd.value(), 4, -1);
+  writer.join();
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 1u);
+}
+
+TEST_F(IpcTest, EpollCtlModAndDel) {
+  auto pipe = kernel_->Pipe(*proc_);
+  ASSERT_TRUE(pipe.ok());
+  auto epfd = kernel_->EpollCreate(*proc_);
+  ASSERT_TRUE(epfd.ok());
+  ASSERT_TRUE(kernel_->EpollCtl(*proc_, epfd.value(), kEpollCtlAdd, pipe->first, kPollIn, 1).ok());
+  EXPECT_EQ(kernel_->EpollCtl(*proc_, epfd.value(), kEpollCtlAdd, pipe->first, kPollIn, 1)
+                .error(),
+            EEXIST);
+  ASSERT_TRUE(kernel_->EpollCtl(*proc_, epfd.value(), kEpollCtlMod, pipe->first, kPollIn, 2).ok());
+  ASSERT_TRUE(kernel_->EpollCtl(*proc_, epfd.value(), kEpollCtlDel, pipe->first, 0, 0).ok());
+  EXPECT_EQ(kernel_->EpollCtl(*proc_, epfd.value(), kEpollCtlDel, pipe->first, 0, 0).error(),
+            ENOENT);
+}
+
+TEST_F(IpcTest, SpliceFileToPipeToFile) {
+  // The socket proxy's relay shape: source -> pipe -> sink.
+  ASSERT_TRUE(kernel_->Mkdir(*proc_, "/tmp/spl").ok());
+  auto src = kernel_->Open(*proc_, "/tmp/spl/src", kOWrOnly | kOCreat, 0644);
+  ASSERT_TRUE(src.ok());
+  std::string payload(10000, 's');
+  ASSERT_TRUE(kernel_->Write(*proc_, src.value(), payload.data(), payload.size()).ok());
+  ASSERT_TRUE(kernel_->Close(*proc_, src.value()).ok());
+
+  auto in = kernel_->Open(*proc_, "/tmp/spl/src", kORdOnly);
+  auto out = kernel_->Open(*proc_, "/tmp/spl/dst", kOWrOnly | kOCreat, 0644);
+  auto pipe = kernel_->Pipe(*proc_);
+  ASSERT_TRUE(in.ok() && out.ok() && pipe.ok());
+  size_t moved_total = 0;
+  while (true) {
+    auto moved = kernel_->Splice(*proc_, in.value(), pipe->second, 4096);
+    ASSERT_TRUE(moved.ok());
+    if (moved.value() == 0) {
+      break;
+    }
+    auto drained = kernel_->Splice(*proc_, pipe->first, out.value(), moved.value());
+    ASSERT_TRUE(drained.ok());
+    moved_total += drained.value();
+  }
+  EXPECT_EQ(moved_total, payload.size());
+  auto dst_attr = kernel_->Stat(*proc_, "/tmp/spl/dst");
+  ASSERT_TRUE(dst_attr.ok());
+  EXPECT_EQ(dst_attr->size, payload.size());
+}
+
+TEST_F(IpcTest, SpliceRequiresAPipe) {
+  auto a = kernel_->Open(*proc_, "/tmp/a", kOWrOnly | kOCreat, 0644);
+  auto b = kernel_->Open(*proc_, "/tmp/b", kOWrOnly | kOCreat, 0644);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(kernel_->Splice(*proc_, a.value(), b.value(), 100).error(), EINVAL);
+}
+
+TEST_F(IpcTest, SpliceChargesLessThanCopy) {
+  // The zero-copy claim, as virtual time: splicing N pages must cost less
+  // than the copy-rate for the same payload.
+  auto pipe = kernel_->Pipe(*proc_);
+  ASSERT_TRUE(pipe.ok());
+  auto listen = kernel_->SocketListen(*proc_, "/tmp/z.sock");
+  ASSERT_TRUE(listen.ok());
+  auto client = kernel_->SocketConnect(*proc_, "/tmp/z.sock");
+  auto server = kernel_->SocketAccept(*proc_, listen.value());
+  ASSERT_TRUE(client.ok() && server.ok());
+  std::string payload(16 * 4096, 'z');
+  ASSERT_TRUE(kernel_->Write(*proc_, client.value(), payload.data(), 65536).ok());
+  uint64_t before = kernel_->clock().NowNs();
+  ASSERT_TRUE(kernel_->Splice(*proc_, server.value(), pipe->second, 65536).ok());
+  uint64_t splice_cost = kernel_->clock().NowNs() - before;
+  EXPECT_LT(splice_cost, 16 * kernel_->costs().copy_page_ns + kernel_->costs().syscall_entry_ns +
+                             16 * kernel_->costs().splice_page_ns);
+}
+
+}  // namespace
+}  // namespace cntr::kernel

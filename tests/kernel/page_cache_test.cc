@@ -1,0 +1,186 @@
+// Unit tests for the shared page-cache pool: LRU eviction, dirty pinning,
+// per-owner accounting, and extent coalescing — the machinery behind the
+// paper's caching results.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <map>
+
+#include "src/kernel/page_cache.h"
+#include "src/util/rng.h"
+
+namespace cntr::kernel {
+namespace {
+
+class PageCacheTest : public ::testing::Test {
+ protected:
+  SimClock clock_;
+  CostModel costs_;
+};
+
+TEST_F(PageCacheTest, StoreAndReadBack) {
+  PageCachePool pool(&clock_, &costs_, 1 << 20);
+  char page[kPageSize];
+  std::memset(page, 'x', sizeof(page));
+  pool.StorePage(this, 0, page, false);
+  char out[kPageSize] = {};
+  ASSERT_TRUE(pool.ReadPage(this, 0, out));
+  EXPECT_EQ(out[100], 'x');
+  EXPECT_FALSE(pool.ReadPage(this, 1, out));
+}
+
+TEST_F(PageCacheTest, OwnersAreIsolated) {
+  PageCachePool pool(&clock_, &costs_, 1 << 20);
+  char page[kPageSize] = {};
+  int owner_a = 0;
+  int owner_b = 0;
+  pool.StorePage(&owner_a, 0, page, false);
+  char out[kPageSize];
+  EXPECT_TRUE(pool.ReadPage(&owner_a, 0, out));
+  EXPECT_FALSE(pool.ReadPage(&owner_b, 0, out));
+}
+
+TEST_F(PageCacheTest, CapacityEvictsCleanLru) {
+  PageCachePool pool(&clock_, &costs_, 4 * kPageSize);
+  char page[kPageSize] = {};
+  for (uint64_t i = 0; i < 8; ++i) {
+    pool.StorePage(this, i, page, false);
+  }
+  EXPECT_LE(pool.ResidentBytes(), 4 * kPageSize);
+  char out[kPageSize];
+  // The most recent pages survive; the oldest were evicted.
+  EXPECT_TRUE(pool.ReadPage(this, 7, out));
+  EXPECT_FALSE(pool.ReadPage(this, 0, out));
+  EXPECT_GT(pool.stats().evictions, 0u);
+}
+
+TEST_F(PageCacheTest, DirtyPagesArePinned) {
+  PageCachePool pool(&clock_, &costs_, 4 * kPageSize);
+  char page[kPageSize] = {};
+  for (uint64_t i = 0; i < 3; ++i) {
+    pool.StorePage(this, i, page, /*dirty=*/true);
+  }
+  for (uint64_t i = 3; i < 10; ++i) {
+    pool.StorePage(this, i, page, /*dirty=*/false);
+  }
+  char out[kPageSize];
+  // All dirty pages must still be resident despite the capacity pressure.
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(pool.ReadPage(this, i, out)) << i;
+  }
+  EXPECT_EQ(pool.DirtyBytes(this), 3 * kPageSize);
+}
+
+TEST_F(PageCacheTest, MarkCleanAllowsEviction) {
+  PageCachePool pool(&clock_, &costs_, 2 * kPageSize);
+  char page[kPageSize] = {};
+  pool.StorePage(this, 0, page, true);
+  EXPECT_EQ(pool.TotalDirtyBytes(), kPageSize);
+  pool.MarkClean(this, 0);
+  EXPECT_EQ(pool.TotalDirtyBytes(), 0u);
+  pool.StorePage(this, 1, page, false);
+  pool.StorePage(this, 2, page, false);
+  char out[kPageSize];
+  EXPECT_FALSE(pool.ReadPage(this, 0, out));  // evicted after cleaning
+}
+
+TEST_F(PageCacheTest, UpdatePageReportsDirtyTransition) {
+  PageCachePool pool(&clock_, &costs_, 1 << 20);
+  char page[kPageSize] = {};
+  EXPECT_EQ(pool.UpdatePage(this, 0, 0, 4, "abcd", true),
+            PageCachePool::UpdateResult::kNotResident);
+  pool.StorePage(this, 0, page, false);
+  EXPECT_EQ(pool.UpdatePage(this, 0, 0, 4, "abcd", true),
+            PageCachePool::UpdateResult::kNewlyDirty);
+  EXPECT_EQ(pool.UpdatePage(this, 0, 4, 4, "efgh", true),
+            PageCachePool::UpdateResult::kUpdated);
+  char out[kPageSize];
+  ASSERT_TRUE(pool.ReadPage(this, 0, out));
+  EXPECT_EQ(std::string(out, 8), "abcdefgh");
+}
+
+TEST_F(PageCacheTest, TruncateDropsTailAndZeroesBoundary) {
+  PageCachePool pool(&clock_, &costs_, 1 << 20);
+  char page[kPageSize];
+  std::memset(page, 'z', sizeof(page));
+  pool.StorePage(this, 0, page, true);
+  pool.StorePage(this, 1, page, true);
+  pool.TruncatePages(this, kPageSize / 2);
+  char out[kPageSize];
+  EXPECT_FALSE(pool.PeekPage(this, 1, out));  // dropped
+  ASSERT_TRUE(pool.PeekPage(this, 0, out));
+  EXPECT_EQ(out[kPageSize / 2 - 1], 'z');
+  EXPECT_EQ(out[kPageSize / 2], '\0');  // zeroed past the new size
+}
+
+TEST_F(PageCacheTest, DirtyPagesSortedForWriteback) {
+  PageCachePool pool(&clock_, &costs_, 1 << 20);
+  char page[kPageSize] = {};
+  for (uint64_t idx : {7u, 2u, 9u, 3u}) {
+    pool.StorePage(this, idx, page, true);
+  }
+  auto dirty = pool.DirtyPages(this);
+  EXPECT_EQ(dirty, (std::vector<uint64_t>{2, 3, 7, 9}));
+}
+
+TEST_F(PageCacheTest, DropAllCleanKeepsDirty) {
+  PageCachePool pool(&clock_, &costs_, 1 << 20);
+  char page[kPageSize] = {};
+  pool.StorePage(this, 0, page, true);
+  pool.StorePage(this, 1, page, false);
+  pool.DropAllClean();
+  char out[kPageSize];
+  EXPECT_TRUE(pool.PeekPage(this, 0, out));
+  EXPECT_FALSE(pool.PeekPage(this, 1, out));
+}
+
+TEST(CountExtentsTest, CoalescesRuns) {
+  EXPECT_EQ(CountExtents({}), 0u);
+  EXPECT_EQ(CountExtents({5}), 1u);
+  EXPECT_EQ(CountExtents({1, 2, 3}), 1u);
+  EXPECT_EQ(CountExtents({1, 2, 4, 5, 9}), 3u);
+}
+
+// Property sweep: after any interleaving of stores and updates, a read
+// always returns the most recent content.
+class PageCachePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageCachePropertyTest, LastWriteWins) {
+  SimClock clock;
+  CostModel costs;
+  PageCachePool pool(&clock, &costs, 1 << 22);
+  Rng rng(GetParam());
+  // Shadow model: expected content per page.
+  std::map<uint64_t, std::array<char, kPageSize>> shadow;
+  int owner = 0;
+  for (int step = 0; step < 500; ++step) {
+    uint64_t idx = rng.Below(16);
+    char fill = static_cast<char>('a' + rng.Below(26));
+    if (rng.Chance(1, 2) || shadow.count(idx) == 0) {
+      std::array<char, kPageSize> page;
+      page.fill(fill);
+      pool.StorePage(&owner, idx, page.data(), rng.Chance(1, 3));
+      shadow[idx] = page;
+    } else {
+      uint32_t off = static_cast<uint32_t>(rng.Below(kPageSize - 16));
+      char patch[16];
+      std::memset(patch, fill, sizeof(patch));
+      if (pool.UpdatePage(&owner, idx, off, 16, patch, true) !=
+          PageCachePool::UpdateResult::kNotResident) {
+        std::memcpy(shadow[idx].data() + off, patch, 16);
+      }
+    }
+  }
+  for (const auto& [idx, expected] : shadow) {
+    char out[kPageSize];
+    if (pool.PeekPage(&owner, idx, out)) {
+      EXPECT_EQ(std::memcmp(out, expected.data(), kPageSize), 0) << "page " << idx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageCachePropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cntr::kernel

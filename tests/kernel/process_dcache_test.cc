@@ -1,0 +1,136 @@
+// Unit tests for the process/fd-table layer and the dentry cache — the
+// pieces whose behaviour drives CNTR's lookup-cost story.
+#include <gtest/gtest.h>
+
+#include "src/kernel/dcache.h"
+#include "src/kernel/kernel.h"
+
+namespace cntr::kernel {
+namespace {
+
+TEST(FdTableTest, InstallAllocatesLowestFreeFd) {
+  FdTable table;
+  auto file = std::make_shared<FileDescription>(nullptr, kORdOnly);
+  auto a = table.Install(file, false);
+  auto b = table.Install(file, false);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), 0);
+  EXPECT_EQ(b.value(), 1);
+  ASSERT_TRUE(table.Take(a.value()).ok());
+  auto c = table.Install(file, false);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value(), 0) << "freed fd must be reused first";
+}
+
+TEST(FdTableTest, EnforcesNofileLimit) {
+  FdTable table(/*max_fds=*/4);
+  auto file = std::make_shared<FileDescription>(nullptr, kORdOnly);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(table.Install(file, false).ok());
+  }
+  EXPECT_EQ(table.Install(file, false).error(), EMFILE);
+}
+
+TEST(FdTableTest, CopyFromSharesDescriptions) {
+  FdTable parent;
+  auto file = std::make_shared<FileDescription>(nullptr, kORdOnly);
+  auto fd = parent.Install(file, false);
+  ASSERT_TRUE(fd.ok());
+  FdTable child;
+  child.CopyFrom(parent);
+  auto got = child.Get(fd.value());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().get(), file.get()) << "fork shares open file descriptions";
+}
+
+TEST(ProcessTest, PidVisibilityAcrossNamespaces) {
+  auto kernel = Kernel::Create();
+  auto outer = kernel->Fork(*kernel->init(), "outer");
+  ASSERT_TRUE(kernel->Unshare(*outer, kCloneNewPid).ok());
+  auto inner = kernel->Fork(*outer, "inner");
+
+  // From the root namespace both processes are visible with global pids.
+  EXPECT_EQ(inner->PidInNs(*kernel->init()->pid_ns), inner->global_pid());
+  // From the nested namespace, inner has a small pid and init is invisible.
+  EXPECT_EQ(inner->PidInNs(*outer->pid_ns), 2);
+  EXPECT_EQ(kernel->init()->PidInNs(*outer->pid_ns), 0);
+}
+
+TEST(DentryCacheTest, HitReturnsInsertedChild) {
+  SimClock clock;
+  CostModel costs;
+  DentryCache dcache(&clock, &costs);
+  auto kernel = Kernel::Create();
+  auto root = kernel->root_fs()->root();
+  auto etc = root->Lookup("etc");
+  ASSERT_TRUE(etc.ok());
+  dcache.Insert(root.get(), "etc", etc.value(), UINT64_MAX);
+  EXPECT_EQ(dcache.Lookup(root.get(), "etc").get(), etc.value().get());
+  EXPECT_EQ(dcache.Lookup(root.get(), "usr"), nullptr);
+  EXPECT_GT(dcache.stats().hits, 0u);
+}
+
+TEST(DentryCacheTest, FiniteTtlExpires) {
+  SimClock clock;
+  CostModel costs;
+  DentryCache dcache(&clock, &costs);
+  auto kernel = Kernel::Create();
+  auto root = kernel->root_fs()->root();
+  auto etc = root->Lookup("etc");
+  ASSERT_TRUE(etc.ok());
+  dcache.Insert(root.get(), "etc", etc.value(), /*ttl=*/1000);
+  EXPECT_NE(dcache.Lookup(root.get(), "etc"), nullptr);
+  clock.Advance(2000);
+  EXPECT_EQ(dcache.Lookup(root.get(), "etc"), nullptr) << "FUSE-style TTL must expire";
+  EXPECT_GT(dcache.stats().expiries, 0u);
+}
+
+TEST(DentryCacheTest, InvalidationRemovesEntries) {
+  SimClock clock;
+  CostModel costs;
+  DentryCache dcache(&clock, &costs);
+  auto kernel = Kernel::Create();
+  auto root = kernel->root_fs()->root();
+  auto etc = root->Lookup("etc");
+  ASSERT_TRUE(etc.ok());
+  dcache.Insert(root.get(), "etc", etc.value(), UINT64_MAX);
+  dcache.Invalidate(root.get(), "etc");
+  EXPECT_EQ(dcache.Lookup(root.get(), "etc"), nullptr);
+}
+
+TEST(DentryCacheTest, NativeLookupsAreCachedAcrossCalls) {
+  // End to end: the second resolution of the same path must not call into
+  // the filesystem again (dcache hit), which is why native lookups are
+  // cheap and FUSE's finite TTL is the paper's bottleneck.
+  auto kernel = Kernel::Create();
+  auto proc = kernel->init();
+  ASSERT_TRUE(kernel->Mkdir(*proc, "/tmp/cached").ok());
+  ASSERT_TRUE(kernel->Stat(*proc, "/tmp/cached").ok());
+  auto before = kernel->dcache().stats();
+  ASSERT_TRUE(kernel->Stat(*proc, "/tmp/cached").ok());
+  auto after = kernel->dcache().stats();
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(CapSetTest, RoundTripsThroughRaw) {
+  CapSet caps{Capability::kChown, Capability::kSysAdmin};
+  CapSet restored = CapSet::FromRaw(caps.raw());
+  EXPECT_TRUE(restored.Has(Capability::kChown));
+  EXPECT_TRUE(restored.Has(Capability::kSysAdmin));
+  EXPECT_FALSE(restored.Has(Capability::kSysPtrace));
+  restored.Remove(Capability::kSysAdmin);
+  EXPECT_FALSE(restored.Has(Capability::kSysAdmin));
+  EXPECT_EQ(CapSet::Full().Intersect(CapSet::Empty()).raw(), 0u);
+}
+
+TEST(UserNamespaceTest, NestedMapsCompose) {
+  UserNamespace outer;
+  outer.SetUidMap({{0, 100000, 1000}});
+  EXPECT_EQ(outer.MapUidToHost(5), 100005u);
+  EXPECT_EQ(outer.MapUidFromHost(100005), 5u);
+  EXPECT_EQ(outer.MapUidToHost(5000), kOverflowUid) << "outside every range";
+}
+
+}  // namespace
+}  // namespace cntr::kernel

@@ -1,0 +1,150 @@
+// Unit tests for the docker-slim analogue: access tracking, the analyze
+// pipeline, validation, and the Top-50 dataset's calibration properties.
+#include <gtest/gtest.h>
+
+#include "src/container/engine.h"
+#include "src/slim/access_tracker.h"
+#include "src/slim/dataset.h"
+#include "src/slim/slimmer.h"
+
+namespace cntr::slim {
+namespace {
+
+using container::FileClass;
+using container::Image;
+using container::ImageFile;
+using container::Layer;
+
+class SlimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = kernel::Kernel::Create();
+    runtime_ = std::make_unique<container::ContainerRuntime>(kernel_.get());
+    registry_ = std::make_unique<container::Registry>(&kernel_->clock());
+    docker_ = std::make_unique<container::DockerEngine>(runtime_.get(), registry_.get());
+  }
+
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::unique_ptr<container::ContainerRuntime> runtime_;
+  std::unique_ptr<container::Registry> registry_;
+  std::unique_ptr<container::DockerEngine> docker_;
+};
+
+TEST_F(SlimTest, AccessTrackerRecordsOpensAndStats) {
+  AccessTracker tracker(kernel_.get());
+  auto proc = kernel_->Fork(*kernel_->init(), "probe");
+  auto fd = kernel_->Open(*proc, "/etc", kernel::kORdOnly | kernel::kODirectory);
+  ASSERT_TRUE(fd.ok());
+  (void)kernel_->Stat(*proc, "/dev/null");
+  auto accessed = tracker.AccessedBy(proc->global_pid());
+  EXPECT_TRUE(accessed.count("/etc") != 0);
+  EXPECT_TRUE(accessed.count("/dev/null") != 0);
+  // Other processes' accesses are attributed separately.
+  EXPECT_TRUE(tracker.AccessedBy(kernel_->init()->global_pid()).count("/etc") == 0);
+}
+
+TEST_F(SlimTest, AnalyzeDropsUntouchedBulk) {
+  Image image("acme/svc", "latest");
+  Layer layer;
+  layer.id = "all";
+  layer.files.push_back({"/usr/bin/svc", 10 << 20, 0755, FileClass::kAppBinary, ""});
+  layer.files.push_back({"/etc/svc.conf", 0, 0644, FileClass::kConfig, "a=1\n"});
+  layer.files.push_back({"/usr/share/doc/big", 40 << 20, 0644, FileClass::kDocs, ""});
+  layer.files.push_back({"/usr/bin/gdb", 8 << 20, 0755, FileClass::kDebugTool, ""});
+  image.AddLayer(std::move(layer));
+  image.entrypoint() = "/usr/bin/svc";
+
+  DockerSlim slimmer(kernel_.get(), docker_.get());
+  auto result = slimmer.Analyze(image, {"/usr/bin/svc", "/etc/svc.conf"});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->validated);
+  EXPECT_EQ(result->files_kept, 2u);
+  EXPECT_EQ(result->files_dropped, 2u);
+  // 48MB of docs+gdb dropped from 58MB total ≈ 82%.
+  EXPECT_GT(result->reduction_pct, 75.0);
+  EXPECT_LT(result->reduction_pct, 90.0);
+}
+
+TEST_F(SlimTest, ConfigFilesSurviveStaticAnalysis) {
+  Image image("acme/cfg", "latest");
+  Layer layer;
+  layer.id = "all";
+  layer.files.push_back({"/usr/bin/app", 1 << 20, 0755, FileClass::kAppBinary, ""});
+  layer.files.push_back({"/etc/untouched.conf", 0, 0644, FileClass::kConfig, "keep=me\n"});
+  image.AddLayer(std::move(layer));
+  image.entrypoint() = "/usr/bin/app";
+
+  DockerSlim slimmer(kernel_.get(), docker_.get());
+  auto result = slimmer.Analyze(image, {"/usr/bin/app"});
+  ASSERT_TRUE(result.ok());
+  bool kept = false;
+  for (const auto& f : result->slim_image.Flatten()) {
+    if (f.path == "/etc/untouched.conf") {
+      kept = true;
+    }
+  }
+  EXPECT_TRUE(kept) << "static analysis must keep config files";
+}
+
+TEST_F(SlimTest, AnalyzeFailsWhenExercisePathMissing) {
+  Image image("acme/broken", "latest");
+  Layer layer;
+  layer.id = "all";
+  layer.files.push_back({"/usr/bin/app", 1 << 20, 0755, FileClass::kAppBinary, ""});
+  image.AddLayer(std::move(layer));
+  image.entrypoint() = "/usr/bin/app";
+  DockerSlim slimmer(kernel_.get(), docker_.get());
+  auto result = slimmer.Analyze(image, {"/usr/bin/app", "/does/not/exist"});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DatasetTest, Has50DeterministicImages) {
+  auto a = Top50Images();
+  auto b = Top50Images();
+  ASSERT_EQ(a.size(), 50u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].image.Ref(), b[i].image.Ref());
+    EXPECT_EQ(a[i].image.TotalBytes(), b[i].image.TotalBytes());
+  }
+}
+
+TEST(DatasetTest, SixGoBinaryImages) {
+  int go = 0;
+  for (const auto& entry : Top50Images()) {
+    if (entry.family == "go-binary") {
+      ++go;
+      // Single binary + config + a sliver of docs.
+      EXPECT_GT(entry.image.BytesOfClass(FileClass::kAppBinary), 10u << 20);
+      EXPECT_EQ(entry.image.BytesOfClass(FileClass::kPackageManager), 0u);
+    }
+  }
+  EXPECT_EQ(go, 6);
+}
+
+TEST(DatasetTest, RuntimePathsExistInEachImage) {
+  for (const auto& entry : Top50Images()) {
+    std::set<std::string> paths;
+    for (const auto& f : entry.image.Flatten()) {
+      paths.insert(f.path);
+    }
+    for (const auto& needed : entry.runtime_paths) {
+      EXPECT_TRUE(paths.count(needed) != 0)
+          << entry.image.name() << " exercise path missing: " << needed;
+    }
+  }
+}
+
+TEST(DatasetTest, EntrypointIsARuntimePath) {
+  for (const auto& entry : Top50Images()) {
+    bool found = false;
+    for (const auto& p : entry.runtime_paths) {
+      if (p == entry.image.entrypoint()) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << entry.image.name();
+  }
+}
+
+}  // namespace
+}  // namespace cntr::slim

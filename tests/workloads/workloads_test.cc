@@ -1,0 +1,97 @@
+// Tests for the benchmark layer itself: every workload must run to
+// completion on both sides with sane metrics, and the harness must compute
+// overheads by the paper's methodology.
+#include <gtest/gtest.h>
+
+#include "src/workloads/harness.h"
+
+namespace cntr::workloads {
+namespace {
+
+// Every Figure 2 workload completes natively with a positive metric.
+class WorkloadRunTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WorkloadRunTest, RunsNativelyWithPositiveMetric) {
+  auto suite = MakePhoronixSuite();
+  ASSERT_LT(GetParam(), suite.size());
+  auto& entry = suite[GetParam()];
+  HarnessOptions opts;
+  auto side = BenchSide::MakeNative(opts);
+  ASSERT_TRUE(side.ok()) << side.status().ToString();
+  auto result = (*side)->Run(*entry.workload);
+  ASSERT_TRUE(result.ok()) << entry.workload->Name() << ": " << result.status().ToString();
+  EXPECT_GT(result->value, 0.0) << entry.workload->Name();
+  EXPECT_GT(result->elapsed_ns, 0u) << entry.workload->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwenty, WorkloadRunTest, ::testing::Range<size_t>(0, 20),
+                         [](const auto& info) {
+                           auto suite = MakePhoronixSuite();
+                           std::string name = suite[info.param].workload->Name();
+                           std::string out;
+                           for (char c : name) {
+                             if (std::isalnum(static_cast<unsigned char>(c))) {
+                               out += c;
+                             }
+                           }
+                           return out + "_" + std::to_string(info.param);
+                         });
+
+TEST(SuiteTest, HasTwentyEntriesMatchingFigure2) {
+  auto suite = MakePhoronixSuite();
+  EXPECT_EQ(suite.size(), 20u);
+  // The paper's three CntrFS-wins carry sub-1.0 expectations.
+  int faster = 0;
+  for (const auto& entry : suite) {
+    if (entry.paper_overhead < 1.0) {
+      ++faster;
+    }
+  }
+  EXPECT_EQ(faster, 4) << "FIO, Pgbench, TIO-write, Dbench-12 are the paper's sub-1.0 bars";
+}
+
+TEST(HarnessTest, CompareComputesRatioPerPaperMethodology) {
+  HarnessOptions opts;
+  auto workload = MakePostMark();
+  auto row = CompareWorkload(*workload, 7.1, opts);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  // PostMark metric is tx/s (higher better): overhead = native/cntr > 1.
+  EXPECT_GT(row->native.value, row->cntr.value);
+  EXPECT_NEAR(row->overhead, row->native.value / row->cntr.value, 1e-9);
+  EXPECT_GT(row->overhead, 2.0) << "postmark must be a clear CntrFS outlier";
+}
+
+TEST(HarnessTest, CntrSideIsDeterministic) {
+  HarnessOptions opts;
+  auto run_once = [&] {
+    auto workload = MakeSqlite();
+    auto side = BenchSide::MakeCntrFs(opts);
+    EXPECT_TRUE(side.ok());
+    auto result = (*side)->Run(*workload);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? result->elapsed_ns : 0;
+  };
+  uint64_t a = run_once();
+  uint64_t b = run_once();
+  // Virtual time: identical inputs, identical costs (server threads add no
+  // wall-clock jitter to the virtual clock).
+  EXPECT_EQ(a, b);
+}
+
+TEST(HarnessTest, OptimizedBeatsBaselineMountOptions) {
+  auto workload = MakeCompileBench("read");
+  HarnessOptions optimized;
+  HarnessOptions baseline;
+  baseline.fuse = fuse::FuseMountOptions::Baseline();
+  auto fast = BenchSide::MakeCntrFs(optimized);
+  auto slow = BenchSide::MakeCntrFs(baseline);
+  ASSERT_TRUE(fast.ok() && slow.ok());
+  auto fast_result = (*fast)->Run(*workload);
+  auto slow_result = (*slow)->Run(*workload);
+  ASSERT_TRUE(fast_result.ok() && slow_result.ok());
+  EXPECT_GT(fast_result->value, slow_result->value)
+      << "the full optimization set must outperform the baseline (paper 5.2.3)";
+}
+
+}  // namespace
+}  // namespace cntr::workloads

@@ -1,0 +1,459 @@
+// xfstests generic group, part 2: directories, links, renames, xattrs,
+// permissions, statfs — plus the four documented failures the paper reports
+// (#228, #375, #391, #426), asserted as deviations.
+#include "tests/xfstests/xfs_fixture.h"
+
+namespace cntr::xfstests {
+namespace {
+
+using kernel::Fd;
+
+// --- directories ---
+
+TEST_F(XfsTest, G047_MkdirCreatesEmptyDirectory) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d"), 0750).ok());
+  auto attr = StatP(P("d"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_TRUE(kernel::IsDir(attr->mode));
+  EXPECT_EQ(attr->mode & kernel::kPermMask, 0750u);
+}
+
+TEST_F(XfsTest, G048_MkdirExistingFailsEexist) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  EXPECT_EQ(k().Mkdir(proc(), P("d")).error(), EEXIST);
+}
+
+TEST_F(XfsTest, G049_MkdirUnderFileFailsEnotdir) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  EXPECT_EQ(k().Mkdir(proc(), P("f/sub")).error(), ENOTDIR);
+}
+
+TEST_F(XfsTest, G050_RmdirRemovesEmptyDirectory) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  ASSERT_TRUE(k().Rmdir(proc(), P("d")).ok());
+  EXPECT_EQ(StatP(P("d")).error(), ENOENT);
+}
+
+TEST_F(XfsTest, G051_RmdirNonEmptyFailsEnotempty) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  ASSERT_TRUE(WriteFile(P("d/f"), "x").ok());
+  EXPECT_EQ(k().Rmdir(proc(), P("d")).error(), ENOTEMPTY);
+}
+
+TEST_F(XfsTest, G052_RmdirOnFileFailsEnotdir) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  EXPECT_EQ(k().Rmdir(proc(), P("f")).error(), ENOTDIR);
+}
+
+TEST_F(XfsTest, G053_UnlinkOnDirectoryFailsEisdir) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  EXPECT_EQ(k().Unlink(proc(), P("d")).error(), EISDIR);
+}
+
+TEST_F(XfsTest, G054_GetdentsListsAllEntriesWithTypes) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  ASSERT_TRUE(WriteFile(P("d/file"), "x").ok());
+  ASSERT_TRUE(k().Mkdir(proc(), P("d/sub")).ok());
+  ASSERT_TRUE(k().Symlink(proc(), "file", P("d/link")).ok());
+  auto fd = k().Open(proc(), P("d"), kernel::kORdOnly | kernel::kODirectory);
+  ASSERT_TRUE(fd.ok());
+  auto entries = k().Getdents(proc(), fd.value());
+  ASSERT_TRUE(entries.ok());
+  bool saw_file = false;
+  bool saw_sub = false;
+  bool saw_link = false;
+  for (const auto& e : entries.value()) {
+    if (e.name == "file") {
+      saw_file = true;
+      EXPECT_EQ(e.type, kernel::DType::kReg);
+    } else if (e.name == "sub") {
+      saw_sub = true;
+      EXPECT_EQ(e.type, kernel::DType::kDir);
+    } else if (e.name == "link") {
+      saw_link = true;
+      EXPECT_EQ(e.type, kernel::DType::kLnk);
+    }
+  }
+  EXPECT_TRUE(saw_file && saw_sub && saw_link);
+}
+
+TEST_F(XfsTest, G055_DeepDirectoryHierarchy) {
+  std::string path = P("a");
+  for (int depth = 0; depth < 12; ++depth) {
+    ASSERT_TRUE(k().Mkdir(proc(), path).ok()) << path;
+    path += "/a";
+  }
+  ASSERT_TRUE(WriteFile(path, "deep").ok());
+  EXPECT_EQ(ReadFile(path), "deep");
+}
+
+TEST_F(XfsTest, G056_DotAndDotDotResolve) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  ASSERT_TRUE(WriteFile(P("d/f"), "dot").ok());
+  EXPECT_EQ(ReadFile(P("d/./f")), "dot");
+  EXPECT_EQ(ReadFile(P("d/../d/f")), "dot");
+}
+
+TEST_F(XfsTest, G057_ManyEntriesInOneDirectory) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("big")).ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(WriteFile(P("big/f" + std::to_string(i)), "x").ok());
+  }
+  auto fd = k().Open(proc(), P("big"), kernel::kORdOnly | kernel::kODirectory);
+  ASSERT_TRUE(fd.ok());
+  auto entries = k().Getdents(proc(), fd.value());
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 202u);  // 200 + . + ..
+}
+
+TEST_F(XfsTest, G058_DirNlinkCountsSubdirs) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  ASSERT_TRUE(k().Mkdir(proc(), P("d/s1")).ok());
+  ASSERT_TRUE(k().Mkdir(proc(), P("d/s2")).ok());
+  k().clock().Advance(2'000'000'000);  // expire the attr cache
+  auto attr = StatP(P("d"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->nlink, 4u);  // ., .., s1, s2
+  ASSERT_TRUE(k().Rmdir(proc(), P("d/s1")).ok());
+  k().clock().Advance(2'000'000'000);  // expire the attr cache
+  attr = StatP(P("d"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->nlink, 3u);
+}
+
+// --- hard links ---
+
+TEST_F(XfsTest, G059_HardlinkSharesInode) {
+  ASSERT_TRUE(WriteFile(P("f"), "data").ok());
+  ASSERT_TRUE(k().Link(proc(), P("f"), P("l")).ok());
+  k().clock().Advance(2'000'000'000);  // expire the attr cache
+  auto a = StatP(P("f"));
+  auto b = StatP(P("l"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->ino, b->ino);
+  EXPECT_EQ(b->nlink, 2u);
+}
+
+TEST_F(XfsTest, G060_HardlinkWritesVisibleThroughBothNames) {
+  ASSERT_TRUE(WriteFile(P("f"), "old").ok());
+  ASSERT_TRUE(k().Link(proc(), P("f"), P("l")).ok());
+  ASSERT_TRUE(WriteFile(P("l"), "new").ok());
+  EXPECT_EQ(ReadFile(P("f")), "new");
+}
+
+TEST_F(XfsTest, G061_UnlinkOneNameKeepsData) {
+  ASSERT_TRUE(WriteFile(P("f"), "kept").ok());
+  ASSERT_TRUE(k().Link(proc(), P("f"), P("l")).ok());
+  ASSERT_TRUE(k().Unlink(proc(), P("f")).ok());
+  k().clock().Advance(2'000'000'000);
+  EXPECT_EQ(ReadFile(P("l")), "kept");
+  auto attr = StatP(P("l"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->nlink, 1u);
+}
+
+TEST_F(XfsTest, G062_HardlinkToDirectoryFailsEperm) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  EXPECT_EQ(k().Link(proc(), P("d"), P("dl")).error(), EPERM);
+}
+
+TEST_F(XfsTest, G063_HardlinkDedupAcrossLookups) {
+  // The CntrFS (dev, ino) table must map both names to one FUSE inode.
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  ASSERT_TRUE(k().Link(proc(), P("f"), P("l")).ok());
+  k().dcache().Clear();
+  auto a = k().Resolve(proc(), P("f"));
+  auto b = k().Resolve(proc(), P("l"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->inode.get(), b->inode.get()) << "hardlinks must share the kernel inode object";
+}
+
+// --- symlinks ---
+
+TEST_F(XfsTest, G064_SymlinkReadlinkRoundTrip) {
+  ASSERT_TRUE(k().Symlink(proc(), "/mnt/scratch/target", P("ln")).ok());
+  auto target = k().Readlink(proc(), P("ln"));
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(target.value(), "/mnt/scratch/target");
+}
+
+TEST_F(XfsTest, G065_SymlinkFollowedOnOpen) {
+  ASSERT_TRUE(WriteFile(P("target"), "via link").ok());
+  ASSERT_TRUE(k().Symlink(proc(), "target", P("ln")).ok());
+  EXPECT_EQ(ReadFile(P("ln")), "via link");
+}
+
+TEST_F(XfsTest, G066_DanglingSymlinkOpenFailsEnoent) {
+  ASSERT_TRUE(k().Symlink(proc(), "nowhere", P("ln")).ok());
+  EXPECT_EQ(k().Open(proc(), P("ln"), kernel::kORdOnly).error(), ENOENT);
+}
+
+TEST_F(XfsTest, G067_NofollowOnSymlinkFailsEloop) {
+  ASSERT_TRUE(WriteFile(P("target"), "x").ok());
+  ASSERT_TRUE(k().Symlink(proc(), "target", P("ln")).ok());
+  EXPECT_EQ(k().Open(proc(), P("ln"), kernel::kORdOnly | kernel::kONofollow).error(), ELOOP);
+}
+
+TEST_F(XfsTest, G068_LstatShowsLinkItself) {
+  ASSERT_TRUE(WriteFile(P("target"), "x").ok());
+  ASSERT_TRUE(k().Symlink(proc(), "target", P("ln")).ok());
+  auto lst = k().Lstat(proc(), P("ln"));
+  ASSERT_TRUE(lst.ok());
+  EXPECT_TRUE(kernel::IsLnk(lst->mode));
+  auto st = StatP(P("ln"));
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(kernel::IsReg(st->mode));
+}
+
+TEST_F(XfsTest, G069_SymlinkChainsResolve) {
+  ASSERT_TRUE(WriteFile(P("real"), "end").ok());
+  ASSERT_TRUE(k().Symlink(proc(), "real", P("l1")).ok());
+  ASSERT_TRUE(k().Symlink(proc(), "l1", P("l2")).ok());
+  ASSERT_TRUE(k().Symlink(proc(), "l2", P("l3")).ok());
+  EXPECT_EQ(ReadFile(P("l3")), "end");
+}
+
+TEST_F(XfsTest, G070_SymlinkLoopFailsEloop) {
+  ASSERT_TRUE(k().Symlink(proc(), P("b"), P("a")).ok());
+  ASSERT_TRUE(k().Symlink(proc(), P("a"), P("b")).ok());
+  EXPECT_EQ(k().Open(proc(), P("a"), kernel::kORdOnly).error(), ELOOP);
+}
+
+TEST_F(XfsTest, G071_SymlinkIntoSubdirWithRelativeTarget) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  ASSERT_TRUE(WriteFile(P("d/real"), "rel").ok());
+  ASSERT_TRUE(k().Symlink(proc(), "d/real", P("ln")).ok());
+  EXPECT_EQ(ReadFile(P("ln")), "rel");
+}
+
+// --- rename ---
+
+TEST_F(XfsTest, G072_RenameBasic) {
+  ASSERT_TRUE(WriteFile(P("a"), "move").ok());
+  ASSERT_TRUE(k().Rename(proc(), P("a"), P("b")).ok());
+  EXPECT_EQ(StatP(P("a")).error(), ENOENT);
+  EXPECT_EQ(ReadFile(P("b")), "move");
+}
+
+TEST_F(XfsTest, G073_RenameReplacesExistingFile) {
+  ASSERT_TRUE(WriteFile(P("a"), "new").ok());
+  ASSERT_TRUE(WriteFile(P("b"), "old").ok());
+  ASSERT_TRUE(k().Rename(proc(), P("a"), P("b")).ok());
+  EXPECT_EQ(ReadFile(P("b")), "new");
+}
+
+TEST_F(XfsTest, G074_RenameAcrossDirectories) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d1")).ok());
+  ASSERT_TRUE(k().Mkdir(proc(), P("d2")).ok());
+  ASSERT_TRUE(WriteFile(P("d1/f"), "hop").ok());
+  ASSERT_TRUE(k().Rename(proc(), P("d1/f"), P("d2/f")).ok());
+  EXPECT_EQ(ReadFile(P("d2/f")), "hop");
+}
+
+TEST_F(XfsTest, G075_RenameDirectoryUpdatesTree) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  ASSERT_TRUE(WriteFile(P("d/f"), "inside").ok());
+  ASSERT_TRUE(k().Rename(proc(), P("d"), P("e")).ok());
+  EXPECT_EQ(ReadFile(P("e/f")), "inside");
+}
+
+TEST_F(XfsTest, G076_RenameDirOverNonEmptyDirFailsEnotempty) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("src")).ok());
+  ASSERT_TRUE(k().Mkdir(proc(), P("dst")).ok());
+  ASSERT_TRUE(WriteFile(P("dst/blocker"), "x").ok());
+  EXPECT_EQ(k().Rename(proc(), P("src"), P("dst")).error(), ENOTEMPTY);
+}
+
+TEST_F(XfsTest, G077_RenameFileOverDirFailsEisdir) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  EXPECT_EQ(k().Rename(proc(), P("f"), P("d")).error(), EISDIR);
+}
+
+TEST_F(XfsTest, G078_RenameDirOverFileFailsEnotdir) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  EXPECT_EQ(k().Rename(proc(), P("d"), P("f")).error(), ENOTDIR);
+}
+
+TEST_F(XfsTest, G079_RenameMissingSourceFailsEnoent) {
+  EXPECT_EQ(k().Rename(proc(), P("ghost"), P("b")).error(), ENOENT);
+}
+
+TEST_F(XfsTest, G080_RenameKeepsInodeNumber) {
+  ASSERT_TRUE(WriteFile(P("a"), "x").ok());
+  auto before = StatP(P("a"));
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(k().Rename(proc(), P("a"), P("b")).ok());
+  auto after = StatP(P("b"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->ino, after->ino);
+}
+
+TEST_F(XfsTest, G081_OpenFdSurvivesRename) {
+  ASSERT_TRUE(WriteFile(P("a"), "before").ok());
+  auto fd = k().Open(proc(), P("a"), kernel::kORdWr);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Rename(proc(), P("a"), P("b")).ok());
+  ASSERT_TRUE(k().Pwrite(proc(), fd.value(), "after.", 6, 0).ok());
+  ASSERT_TRUE(k().Close(proc(), fd.value()).ok());
+  EXPECT_EQ(ReadFile(P("b")), "after.");
+}
+
+TEST_F(XfsTest, G082_OpenFdSurvivesUnlink) {
+  // Orphaned-inode semantics: data reachable through the fd after unlink.
+  ASSERT_TRUE(WriteFile(P("f"), "orphan").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Unlink(proc(), P("f")).ok());
+  char buf[16];
+  auto n = k().Read(proc(), fd.value(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, n.value()), "orphan");
+}
+
+// --- xattrs ---
+
+TEST_F(XfsTest, G083_XattrSetGetRemove) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  ASSERT_TRUE(k().SetXattr(proc(), P("f"), "user.tag", "v1").ok());
+  auto v = k().GetXattr(proc(), P("f"), "user.tag");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), "v1");
+  ASSERT_TRUE(k().RemoveXattr(proc(), P("f"), "user.tag").ok());
+  EXPECT_EQ(k().GetXattr(proc(), P("f"), "user.tag").error(), ENODATA);
+}
+
+TEST_F(XfsTest, G084_XattrListEnumerates) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  ASSERT_TRUE(k().SetXattr(proc(), P("f"), "user.a", "1").ok());
+  ASSERT_TRUE(k().SetXattr(proc(), P("f"), "user.b", "2").ok());
+  auto list = k().ListXattr(proc(), P("f"));
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 2u);
+}
+
+TEST_F(XfsTest, G085_XattrCreateFlagRejectsExisting) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  ASSERT_TRUE(k().SetXattr(proc(), P("f"), "user.k", "v", kernel::kXattrCreate).ok());
+  EXPECT_EQ(k().SetXattr(proc(), P("f"), "user.k", "v2", kernel::kXattrCreate).error(), EEXIST);
+  EXPECT_EQ(k().SetXattr(proc(), P("f"), "user.none", "v", kernel::kXattrReplace).error(),
+            ENODATA);
+}
+
+TEST_F(XfsTest, G086_XattrSurvivesRename) {
+  ASSERT_TRUE(WriteFile(P("a"), "x").ok());
+  ASSERT_TRUE(k().SetXattr(proc(), P("a"), "user.k", "v").ok());
+  ASSERT_TRUE(k().Rename(proc(), P("a"), P("b")).ok());
+  auto v = k().GetXattr(proc(), P("b"), "user.k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), "v");
+}
+
+// --- permissions ---
+
+TEST_F(XfsTest, G087_ChmodChangesPermissions) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  ASSERT_TRUE(k().Chmod(proc(), P("f"), 0400).ok());
+  k().clock().Advance(2'000'000'000);
+  auto attr = StatP(P("f"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->mode & kernel::kPermMask, 0400u);
+}
+
+TEST_F(XfsTest, G088_UnreadableFileDeniedToOtherUser) {
+  ASSERT_TRUE(WriteFile(P("f"), "secret").ok());
+  ASSERT_TRUE(k().Chmod(proc(), P("f"), 0600).ok());
+  auto user = k().Fork(proc(), "user");
+  user->creds = kernel::Credentials::User(1000, 1000);
+  EXPECT_EQ(k().Open(*user, P("f"), kernel::kORdOnly).error(), EACCES);
+}
+
+TEST_F(XfsTest, G089_DirWithoutExecDeniesTraversal) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d"), 0755).ok());
+  ASSERT_TRUE(WriteFile(P("d/f"), "x", 0644).ok());
+  ASSERT_TRUE(k().Chmod(proc(), P("d"), 0600).ok());
+  auto user = k().Fork(proc(), "user");
+  user->creds = kernel::Credentials::User(1000, 1000);
+  EXPECT_EQ(k().Open(*user, P("d/f"), kernel::kORdOnly).error(), EACCES);
+}
+
+TEST_F(XfsTest, G090_ChownByNonOwnerFailsEperm) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  auto user = k().Fork(proc(), "user");
+  user->creds = kernel::Credentials::User(1000, 1000);
+  EXPECT_EQ(k().Chown(*user, P("f"), 1000, 1000).error(), EPERM);
+}
+
+// --- statfs ---
+
+TEST_F(XfsTest, G091_StatfsReportsFuseFilesystem) {
+  auto statfs = k().Statfs(proc(), P(""));
+  ASSERT_TRUE(statfs.ok());
+  // statfs through the mount reports the *served* filesystem's numbers
+  // (CntrFS forwards STATFS to the server, which answers for its root).
+  EXPECT_FALSE(statfs->fs_type.empty());
+  EXPECT_GT(statfs->total_blocks, 0u);
+}
+
+// =====================================================================
+// The four documented failures (paper §5.1). Each asserts the deviation.
+// =====================================================================
+
+// xfstests #228: RLIMIT_FSIZE is not enforced through CNTRFS because file
+// operations replay as the server process, which has no such limit.
+TEST_F(XfsTest, G228_RlimitFsizeNotEnforced_KnownFailure) {
+  proc().rlimits.fsize = 1024;
+  auto fd = k().Open(proc(), P("limited"), kernel::kOWrOnly | kernel::kOCreat);
+  ASSERT_TRUE(fd.ok());
+  std::string big(4096, 'x');
+  auto n = k().Write(proc(), fd.value(), big.data(), big.size());
+  // POSIX wants EFBIG here; CNTRFS lets the write through (the deviation
+  // the paper documents). Native filesystems in this kernel do enforce it.
+  EXPECT_TRUE(n.ok()) << "expected the documented deviation, got " << n.status().ToString();
+  EXPECT_EQ(n.value(), big.size());
+  proc().rlimits.fsize = UINT64_MAX;
+}
+
+// xfstests #375: the SETGID bit is not cleared on chmod when the owner is
+// not in the owning group, because CNTRFS delegates ACL decisions to the
+// underlying filesystem via setfsuid/setfsgid and supplementary groups do
+// not travel with the request.
+TEST_F(XfsTest, G375_SetgidNotCleared_KnownFailure) {
+  ASSERT_TRUE(WriteFile(P("sg"), "x").ok());
+  ASSERT_TRUE(k().Chown(proc(), P("sg"), 1000, 2000).ok());
+  // Owner (uid 1000) chmods 02755 while not in group 2000. Through CntrFS
+  // the request arrives at the server with fsuid/fsgid only; the root
+  // server keeps the bit.
+  auto user = k().Fork(proc(), "user");
+  user->creds = kernel::Credentials::User(1000, 1000);
+  ASSERT_TRUE(k().Chmod(*user, P("sg"), 02755).ok());
+  k().clock().Advance(2'000'000'000);
+  auto attr = StatP(P("sg"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_NE(attr->mode & kernel::kModeSetGid, 0u)
+      << "expected the documented deviation: setgid remains set through CNTRFS";
+}
+
+// xfstests #391: O_DIRECT is unsupported — FUSE makes direct I/O and mmap
+// mutually exclusive and CNTRFS chose mmap (needed to execute binaries).
+TEST_F(XfsTest, G391_DirectIoUnsupported_KnownFailure) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdOnly | kernel::kODirect);
+  EXPECT_EQ(fd.error(), EINVAL) << "expected the documented deviation: O_DIRECT -> EINVAL";
+}
+
+// xfstests #426: name_to_handle_at fails — CNTRFS inodes are not
+// persistent, so they cannot be exported as handles.
+TEST_F(XfsTest, G426_ExportHandleUnsupported_KnownFailure) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  auto handle = k().NameToHandle(proc(), P("f"));
+  EXPECT_EQ(handle.error(), EOPNOTSUPP)
+      << "expected the documented deviation: inodes are not exportable";
+  // The same call against the native tmpfs succeeds.
+  auto native = k().NameToHandle(*kernel_->init(), "/scratch/f");
+  EXPECT_TRUE(native.ok());
+}
+
+}  // namespace
+}  // namespace cntr::xfstests

@@ -1,0 +1,454 @@
+// xfstests generic group, part 1: file creation, I/O semantics, offsets,
+// truncation, holes, append — all through CntrFS over tmpfs.
+#include "tests/xfstests/xfs_fixture.h"
+
+namespace cntr::xfstests {
+namespace {
+
+using kernel::Fd;
+using kernel::InodeAttr;
+
+// --- creation & open semantics ---
+
+TEST_F(XfsTest, G001_CreateWriteReadBack) {
+  ASSERT_TRUE(WriteFile(P("f"), "hello").ok());
+  EXPECT_EQ(ReadFile(P("f")), "hello");
+}
+
+TEST_F(XfsTest, G002_CreateSetsRequestedMode) {
+  ASSERT_TRUE(WriteFile(P("f"), "x", 0640).ok());
+  auto attr = StatP(P("f"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->mode & kernel::kPermMask, 0640u);
+}
+
+TEST_F(XfsTest, G003_OpenMissingFileFailsEnoent) {
+  EXPECT_EQ(k().Open(proc(), P("missing"), kernel::kORdOnly).error(), ENOENT);
+}
+
+TEST_F(XfsTest, G004_OpenCreatExclOnExistingFailsEexist) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  EXPECT_EQ(k().Open(proc(), P("f"), kernel::kOWrOnly | kernel::kOCreat | kernel::kOExcl)
+                .error(),
+            EEXIST);
+}
+
+TEST_F(XfsTest, G005_OpenTruncEmptiesFile) {
+  ASSERT_TRUE(WriteFile(P("f"), "content").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kOWrOnly | kernel::kOTrunc);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Close(proc(), fd.value()).ok());
+  auto attr = StatP(P("f"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 0u);
+}
+
+TEST_F(XfsTest, G006_OpenDirectoryForWriteFailsEisdir) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  EXPECT_EQ(k().Open(proc(), P("d"), kernel::kOWrOnly).error(), EISDIR);
+}
+
+TEST_F(XfsTest, G007_ODirectoryOnFileFailsEnotdir) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  EXPECT_EQ(k().Open(proc(), P("f"), kernel::kORdOnly | kernel::kODirectory).error(), ENOTDIR);
+}
+
+TEST_F(XfsTest, G008_ReadFromWriteOnlyFdFailsEbadf) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  char buf[8];
+  EXPECT_EQ(k().Read(proc(), fd.value(), buf, sizeof(buf)).error(), EBADF);
+}
+
+TEST_F(XfsTest, G009_WriteToReadOnlyFdFailsEbadf) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(k().Write(proc(), fd.value(), "y", 1).error(), EBADF);
+}
+
+TEST_F(XfsTest, G010_PathWithTrailingComponentsOnFileFailsEnotdir) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  EXPECT_EQ(k().Open(proc(), P("f/sub"), kernel::kORdOnly).error(), ENOTDIR);
+}
+
+// --- read/write semantics ---
+
+TEST_F(XfsTest, G011_ShortReadAtEof) {
+  ASSERT_TRUE(WriteFile(P("f"), "12345").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  char buf[100];
+  auto n = k().Read(proc(), fd.value(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 5u);
+  n = k().Read(proc(), fd.value(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);  // EOF
+}
+
+TEST_F(XfsTest, G012_SequentialWritesAdvanceOffset) {
+  auto fd = k().Open(proc(), P("f"), kernel::kOWrOnly | kernel::kOCreat);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Write(proc(), fd.value(), "abc", 3).ok());
+  ASSERT_TRUE(k().Write(proc(), fd.value(), "def", 3).ok());
+  ASSERT_TRUE(k().Close(proc(), fd.value()).ok());
+  EXPECT_EQ(ReadFile(P("f")), "abcdef");
+}
+
+TEST_F(XfsTest, G013_PreadDoesNotMoveOffset) {
+  ASSERT_TRUE(WriteFile(P("f"), "abcdef").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  char buf[3];
+  ASSERT_TRUE(k().Pread(proc(), fd.value(), buf, 3, 3).ok());
+  EXPECT_EQ(std::string(buf, 3), "def");
+  auto n = k().Read(proc(), fd.value(), buf, 3);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, 3), "abc");  // cursor still at 0
+}
+
+TEST_F(XfsTest, G014_PwriteAtOffsetLeavesPrefix) {
+  ASSERT_TRUE(WriteFile(P("f"), "aaaaaa").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdWr);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Pwrite(proc(), fd.value(), "ZZ", 2, 2).ok());
+  ASSERT_TRUE(k().Close(proc(), fd.value()).ok());
+  EXPECT_EQ(ReadFile(P("f")), "aaZZaa");
+}
+
+TEST_F(XfsTest, G015_OverwriteMiddleOfMultiPageFile) {
+  std::string big(3 * 4096, 'a');
+  ASSERT_TRUE(WriteFile(P("f"), big).ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdWr);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Pwrite(proc(), fd.value(), "MID", 3, 4096 + 100).ok());
+  ASSERT_TRUE(k().Close(proc(), fd.value()).ok());
+  std::string content = ReadFile(P("f"));
+  EXPECT_EQ(content.substr(4096 + 100, 3), "MID");
+  EXPECT_EQ(content[4096 + 99], 'a');
+  EXPECT_EQ(content[4096 + 103], 'a');
+}
+
+TEST_F(XfsTest, G016_WriteAcrossPageBoundary) {
+  std::string data(4090, 'x');
+  ASSERT_TRUE(WriteFile(P("f"), data).ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdWr);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Pwrite(proc(), fd.value(), "0123456789", 10, 4090).ok());
+  ASSERT_TRUE(k().Close(proc(), fd.value()).ok());
+  std::string content = ReadFile(P("f"));
+  ASSERT_EQ(content.size(), 4100u);
+  EXPECT_EQ(content.substr(4090), "0123456789");
+}
+
+TEST_F(XfsTest, G017_ZeroLengthWriteIsNoop) {
+  ASSERT_TRUE(WriteFile(P("f"), "abc").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdWr);
+  ASSERT_TRUE(fd.ok());
+  auto n = k().Write(proc(), fd.value(), "", 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+  EXPECT_EQ(ReadFile(P("f")), "abc");
+}
+
+TEST_F(XfsTest, G018_LargeFileRoundTrip) {
+  std::string big(256 * 1024, '\0');
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('a' + (i % 23));
+  }
+  ASSERT_TRUE(WriteFile(P("big"), big).ok());
+  EXPECT_EQ(ReadFile(P("big")), big);
+}
+
+TEST_F(XfsTest, G020_SizeTracksLargestWrite) {
+  auto fd = k().Open(proc(), P("f"), kernel::kOWrOnly | kernel::kOCreat);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Pwrite(proc(), fd.value(), "x", 1, 9999).ok());
+  ASSERT_TRUE(k().Close(proc(), fd.value()).ok());
+  auto attr = StatP(P("f"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 10000u);
+}
+
+// --- lseek ---
+
+TEST_F(XfsTest, G021_LseekSetCurEnd) {
+  ASSERT_TRUE(WriteFile(P("f"), "0123456789").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  auto pos = k().Lseek(proc(), fd.value(), 4, kernel::kSeekSet);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(pos.value(), 4u);
+  pos = k().Lseek(proc(), fd.value(), 2, kernel::kSeekCur);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(pos.value(), 6u);
+  pos = k().Lseek(proc(), fd.value(), -1, kernel::kSeekEnd);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(pos.value(), 9u);
+}
+
+TEST_F(XfsTest, G022_LseekBeforeStartFailsEinval) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(k().Lseek(proc(), fd.value(), -5, kernel::kSeekSet).error(), EINVAL);
+}
+
+TEST_F(XfsTest, G023_LseekPastEofThenWriteCreatesHole) {
+  auto fd = k().Open(proc(), P("f"), kernel::kOWrOnly | kernel::kOCreat);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Lseek(proc(), fd.value(), 8192, kernel::kSeekSet).ok());
+  ASSERT_TRUE(k().Write(proc(), fd.value(), "tail", 4).ok());
+  ASSERT_TRUE(k().Close(proc(), fd.value()).ok());
+  std::string content = ReadFile(P("f"));
+  ASSERT_EQ(content.size(), 8196u);
+  EXPECT_EQ(content[0], '\0');
+  EXPECT_EQ(content[8191], '\0');
+  EXPECT_EQ(content.substr(8192), "tail");
+}
+
+// --- append mode ---
+
+TEST_F(XfsTest, G024_AppendAlwaysWritesAtEof) {
+  ASSERT_TRUE(WriteFile(P("f"), "base").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kOWrOnly | kernel::kOAppend);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Write(proc(), fd.value(), "+1", 2).ok());
+  ASSERT_TRUE(k().Write(proc(), fd.value(), "+2", 2).ok());
+  ASSERT_TRUE(k().Close(proc(), fd.value()).ok());
+  EXPECT_EQ(ReadFile(P("f")), "base+1+2");
+}
+
+TEST_F(XfsTest, G025_AppendIgnoresSeeks) {
+  ASSERT_TRUE(WriteFile(P("f"), "base").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kOWrOnly | kernel::kOAppend);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Lseek(proc(), fd.value(), 0, kernel::kSeekSet).ok());
+  ASSERT_TRUE(k().Write(proc(), fd.value(), "X", 1).ok());
+  ASSERT_TRUE(k().Close(proc(), fd.value()).ok());
+  EXPECT_EQ(ReadFile(P("f")), "baseX");
+}
+
+TEST_F(XfsTest, G026_TwoAppendersInterleaveWithoutClobbering) {
+  ASSERT_TRUE(WriteFile(P("log"), "").ok());
+  auto a = k().Open(proc(), P("log"), kernel::kOWrOnly | kernel::kOAppend);
+  auto b = k().Open(proc(), P("log"), kernel::kOWrOnly | kernel::kOAppend);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(k().Write(proc(), a.value(), "A1;", 3).ok());
+  ASSERT_TRUE(k().Write(proc(), b.value(), "B1;", 3).ok());
+  ASSERT_TRUE(k().Write(proc(), a.value(), "A2;", 3).ok());
+  EXPECT_EQ(ReadFile(P("log")), "A1;B1;A2;");
+}
+
+// --- truncate & holes ---
+
+TEST_F(XfsTest, G027_TruncateShrinks) {
+  ASSERT_TRUE(WriteFile(P("f"), "0123456789").ok());
+  ASSERT_TRUE(k().Truncate(proc(), P("f"), 4).ok());
+  EXPECT_EQ(ReadFile(P("f")), "0123");
+}
+
+TEST_F(XfsTest, G028_TruncateExtendsWithZeros) {
+  ASSERT_TRUE(WriteFile(P("f"), "ab").ok());
+  ASSERT_TRUE(k().Truncate(proc(), P("f"), 6).ok());
+  std::string content = ReadFile(P("f"));
+  ASSERT_EQ(content.size(), 6u);
+  EXPECT_EQ(content.substr(0, 2), "ab");
+  EXPECT_EQ(content[5], '\0');
+}
+
+TEST_F(XfsTest, G029_TruncateShrinkThenExtendZeroesOldData) {
+  ASSERT_TRUE(WriteFile(P("f"), "XXXXXXXX").ok());
+  ASSERT_TRUE(k().Truncate(proc(), P("f"), 2).ok());
+  ASSERT_TRUE(k().Truncate(proc(), P("f"), 8).ok());
+  std::string content = ReadFile(P("f"));
+  ASSERT_EQ(content.size(), 8u);
+  EXPECT_EQ(content.substr(0, 2), "XX");
+  for (size_t i = 2; i < 8; ++i) {
+    EXPECT_EQ(content[i], '\0') << i;
+  }
+}
+
+TEST_F(XfsTest, G030_TruncateAcrossPageBoundaryZeroesTail) {
+  std::string data(8192, 'y');
+  ASSERT_TRUE(WriteFile(P("f"), data).ok());
+  ASSERT_TRUE(k().Truncate(proc(), P("f"), 4096 + 10).ok());
+  ASSERT_TRUE(k().Truncate(proc(), P("f"), 8192).ok());
+  std::string content = ReadFile(P("f"));
+  EXPECT_EQ(content[4096 + 9], 'y');
+  EXPECT_EQ(content[4096 + 10], '\0');
+  EXPECT_EQ(content[8191], '\0');
+}
+
+TEST_F(XfsTest, G031_FtruncateRequiresWritableFd) {
+  ASSERT_TRUE(WriteFile(P("f"), "data").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(k().Ftruncate(proc(), fd.value(), 0).error(), EINVAL);
+}
+
+TEST_F(XfsTest, G032_TruncateDirectoryFailsEisdir) {
+  ASSERT_TRUE(k().Mkdir(proc(), P("d")).ok());
+  EXPECT_EQ(k().Truncate(proc(), P("d"), 0).error(), EISDIR);
+}
+
+TEST_F(XfsTest, G033_HoleReadsAsZeros) {
+  auto fd = k().Open(proc(), P("f"), kernel::kOWrOnly | kernel::kOCreat);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Pwrite(proc(), fd.value(), "end", 3, 100000).ok());
+  ASSERT_TRUE(k().Close(proc(), fd.value()).ok());
+  std::string content = ReadFile(P("f"));
+  ASSERT_EQ(content.size(), 100003u);
+  EXPECT_EQ(content[0], '\0');
+  EXPECT_EQ(content[50000], '\0');
+  EXPECT_EQ(content.substr(100000), "end");
+}
+
+// --- fsync & durability ---
+
+TEST_F(XfsTest, G034_FsyncSucceedsOnRegularFile) {
+  ASSERT_TRUE(WriteFile(P("f"), "durable").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdWr);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Write(proc(), fd.value(), "!", 1).ok());
+  EXPECT_TRUE(k().Fsync(proc(), fd.value()).ok());
+  EXPECT_TRUE(k().Fsync(proc(), fd.value(), /*datasync=*/true).ok());
+}
+
+TEST_F(XfsTest, G035_DataVisibleAfterFsyncAndCacheDrop) {
+  auto fd = k().Open(proc(), P("f"), kernel::kOWrOnly | kernel::kOCreat);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Write(proc(), fd.value(), "synced", 6).ok());
+  ASSERT_TRUE(k().Fsync(proc(), fd.value()).ok());
+  ASSERT_TRUE(k().Close(proc(), fd.value()).ok());
+  k().dcache().Clear();
+  k().page_cache().DropAllClean();
+  EXPECT_EQ(ReadFile(P("f")), "synced");
+}
+
+// --- stat coherence ---
+
+TEST_F(XfsTest, G036_StatReportsTypeAndSize) {
+  ASSERT_TRUE(WriteFile(P("f"), "12345").ok());
+  auto attr = StatP(P("f"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_TRUE(kernel::IsReg(attr->mode));
+  EXPECT_EQ(attr->size, 5u);
+  EXPECT_EQ(attr->nlink, 1u);
+}
+
+TEST_F(XfsTest, G037_FstatMatchesStat) {
+  ASSERT_TRUE(WriteFile(P("f"), "12345").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  auto fstat = k().Fstat(proc(), fd.value());
+  auto stat = StatP(P("f"));
+  ASSERT_TRUE(fstat.ok() && stat.ok());
+  EXPECT_EQ(fstat->ino, stat->ino);
+  EXPECT_EQ(fstat->size, stat->size);
+}
+
+TEST_F(XfsTest, G038_MtimeAdvancesOnWrite) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  auto before = StatP(P("f"));
+  ASSERT_TRUE(before.ok());
+  k().clock().Advance(2'000'000'000);  // 2 virtual seconds
+  auto fd = k().Open(proc(), P("f"), kernel::kORdWr);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Pwrite(proc(), fd.value(), "y", 1, 0).ok());
+  ASSERT_TRUE(k().Fsync(proc(), fd.value()).ok());
+  ASSERT_TRUE(k().Close(proc(), fd.value()).ok());
+  k().clock().Advance(2'000'000'000);  // let the attr cache expire
+  auto after = StatP(P("f"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->mtime.ToNs(), before->mtime.ToNs());
+}
+
+TEST_F(XfsTest, G039_InoStableAcrossLookups) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  auto a = StatP(P("f"));
+  k().dcache().Clear();
+  auto b = StatP(P("f"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->ino, b->ino);
+}
+
+TEST_F(XfsTest, G040_UtimensSetsTimes) {
+  ASSERT_TRUE(WriteFile(P("f"), "x").ok());
+  kernel::Timespec atime{1000, 0};
+  kernel::Timespec mtime{2000, 0};
+  ASSERT_TRUE(k().Utimens(proc(), P("f"), atime, mtime).ok());
+  k().clock().Advance(2'000'000'000);
+  auto attr = StatP(P("f"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->atime.sec, 1000u);
+  EXPECT_EQ(attr->mtime.sec, 2000u);
+}
+
+// --- dup & offsets shared ---
+
+TEST_F(XfsTest, G041_DupSharesFileOffset) {
+  ASSERT_TRUE(WriteFile(P("f"), "abcdef").ok());
+  auto fd = k().Open(proc(), P("f"), kernel::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  auto dup = k().Dup(proc(), fd.value());
+  ASSERT_TRUE(dup.ok());
+  char buf[2];
+  ASSERT_TRUE(k().Read(proc(), fd.value(), buf, 2).ok());
+  ASSERT_TRUE(k().Read(proc(), dup.value(), buf, 2).ok());
+  EXPECT_EQ(std::string(buf, 2), "cd");
+}
+
+TEST_F(XfsTest, G042_CloseInvalidFdFailsEbadf) {
+  EXPECT_EQ(k().Close(proc(), 12345).error(), EBADF);
+}
+
+TEST_F(XfsTest, G043_IndependentOpensHaveIndependentOffsets) {
+  ASSERT_TRUE(WriteFile(P("f"), "abcdef").ok());
+  auto a = k().Open(proc(), P("f"), kernel::kORdOnly);
+  auto b = k().Open(proc(), P("f"), kernel::kORdOnly);
+  ASSERT_TRUE(a.ok() && b.ok());
+  char buf[3];
+  ASSERT_TRUE(k().Read(proc(), a.value(), buf, 3).ok());
+  auto n = k().Read(proc(), b.value(), buf, 3);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, 3), "abc");
+}
+
+// --- cross-process visibility (the nested-namespace use case) ---
+
+TEST_F(XfsTest, G044_WritesVisibleToOtherProcesses) {
+  ASSERT_TRUE(WriteFile(P("f"), "shared").ok());
+  auto other = k().Fork(proc(), "other");
+  auto fd = k().Open(*other, P("f"), kernel::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  char buf[16];
+  auto n = k().Read(*other, fd.value(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, n.value()), "shared");
+}
+
+TEST_F(XfsTest, G045_UnderlyingTmpfsSeesFuseWrites) {
+  // What lands through the mount must exist on the backing tmpfs.
+  ASSERT_TRUE(WriteFile(P("f"), "through-fuse").ok());
+  auto fd = k().Open(*kernel_->init(), "/scratch/f", kernel::kORdOnly);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  char buf[32];
+  auto n = k().Read(*kernel_->init(), fd.value(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, n.value()), "through-fuse");
+}
+
+TEST_F(XfsTest, G046_FuseSeesUnderlyingTmpfsWrites) {
+  auto fd = k().Open(*kernel_->init(), "/scratch/native",
+                     kernel::kOWrOnly | kernel::kOCreat, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k().Write(*kernel_->init(), fd.value(), "from-below", 10).ok());
+  ASSERT_TRUE(k().Close(*kernel_->init(), fd.value()).ok());
+  EXPECT_EQ(ReadFile(P("native")), "from-below");
+}
+
+}  // namespace
+}  // namespace cntr::xfstests
