@@ -112,6 +112,8 @@ FuseReply CntrFsServer::Handle(const FuseRequest& req) {
       return DoFsync(req);
     case FuseOpcode::kReaddir:
       return DoReaddir(req);
+    case FuseOpcode::kReaddirPlus:
+      return DoReaddirPlus(req);
     case FuseOpcode::kMknod:
       return DoMknod(req);
     case FuseOpcode::kMkdir:
@@ -399,6 +401,90 @@ FuseReply CntrFsServer::DoReaddir(const FuseRequest& req) {
   return reply;
 }
 
+FuseReply CntrFsServer::DoReaddirPlus(const FuseRequest& req) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.readdirplus;
+  }
+  auto dir = NodePath(req.nodeid);
+  if (!dir.ok()) {
+    return ErrorReply(dir.status());
+  }
+  // First batch (fh == 0): list the directory once through a transient
+  // server-side handle (the real server reads via its O_PATH-derived fd, no
+  // kernel OPENDIR needed) and snapshot it. Later batches serve windows of
+  // the snapshot named by the continuation token, so a concurrent
+  // create/unlink cannot shift the entry cursor mid-walk. A stale/evicted
+  // token re-snapshots under the same token — one generation switch, then
+  // consistent again.
+  std::shared_ptr<const std::vector<kernel::DirEntry>> listing;
+  if (req.fh != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = dir_streams_.find(req.fh);
+    if (it != dir_streams_.end()) {
+      listing = it->second;
+    }
+  }
+  if (listing == nullptr) {
+    auto opened = dir->inode->Open(kernel::kORdOnly, server_proc_->creds);
+    if (!opened.ok()) {
+      return ErrorReply(opened.status());
+    }
+    kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+    auto entries = opened.value()->Readdir();
+    if (!entries.ok()) {
+      return ErrorReply(entries.status());
+    }
+    listing = std::make_shared<const std::vector<kernel::DirEntry>>(
+        std::move(entries).value());
+  }
+  // One getdents64 window of `req.size` entries starting at the cursor.
+  size_t begin = std::min<size_t>(req.offset, listing->size());
+  size_t end = req.size > 0 ? std::min<size_t>(begin + req.size, listing->size())
+                            : listing->size();
+  FuseReply reply;
+  reply.entries_plus.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    fuse::FuseDirentPlus dent;
+    dent.dirent = (*listing)[i];
+    // Each child is stat'ed through the open directory handle — one
+    // fstatat(dirfd, name) instead of the open(O_PATH)+fstat pair a LOOKUP
+    // costs (no cntrfs_lookup_ns tax). Batching the attrs into this single
+    // reply is what collapses the cold-walk round-trip storm (§5.2.2).
+    if (dent.dirent.name != "." && dent.dirent.name != "..") {
+      auto child = kernel_->LookupChild(*server_proc_, dir.value(), dent.dirent.name);
+      if (child.ok()) {
+        auto entry = MakeEntry(child.value());
+        if (entry.ok()) {
+          dent.entry = entry.value();  // nodeid stays 0 on failure
+        }
+      }
+    }
+    reply.entries_plus.push_back(std::move(dent));
+  }
+  // Keep (or retire) the stream. The client stops after any short window
+  // (getdents semantics), so a full window means it will come back — keep
+  // the snapshot even when the cursor sits exactly at the end, or the final
+  // empty probe of an exact-multiple listing would re-list the directory.
+  bool full_window = req.size > 0 && (end - begin) == req.size;
+  if (full_window) {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t token = req.fh != 0 ? req.fh : next_fh_++;
+    // Bound abandoned streams (a client that errors mid-walk never sends
+    // the final short-window request); evicting the oldest is safe — a
+    // stale token just re-snapshots once.
+    if (dir_streams_.count(token) == 0 && dir_streams_.size() >= 256) {
+      dir_streams_.erase(dir_streams_.begin());
+    }
+    dir_streams_[token] = std::move(listing);
+    reply.fh = token;
+  } else if (req.fh != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    dir_streams_.erase(req.fh);
+  }
+  return reply;
+}
+
 FuseReply CntrFsServer::DoMknod(const FuseRequest& req) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -639,12 +725,17 @@ FuseReply CntrFsServer::DoAccess(const FuseRequest& req) {
 FuseReply CntrFsServer::DoForget(const FuseRequest& req) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.forgets;
-  auto drop = [&](uint64_t nodeid) {
-    auto it = nodes_.find(nodeid);
+  // Each forget returns `nlookup` lookups at once (fuse_forget_one): LOOKUP
+  // and READDIRPLUS both raise lookup_count, and the kernel sends one FORGET
+  // per inode lifetime carrying the full balance.
+  auto drop = [&](const fuse::FuseRequest::Forget& forget) {
+    auto it = nodes_.find(forget.nodeid);
     if (it == nodes_.end()) {
       return;
     }
-    if (--it->second.lookup_count == 0) {
+    uint64_t returned = std::min(forget.nlookup, it->second.lookup_count);
+    it->second.lookup_count -= returned;
+    if (it->second.lookup_count == 0) {
       auto attr = it->second.path.inode->Getattr();
       if (attr.ok()) {
         by_dev_ino_.erase(DevIno{attr->dev, attr->ino});
@@ -652,12 +743,8 @@ FuseReply CntrFsServer::DoForget(const FuseRequest& req) {
       nodes_.erase(it);
     }
   };
-  if (req.opcode == FuseOpcode::kForget) {
-    drop(req.nodeid);
-  } else {
-    for (uint64_t nodeid : req.forget_nodes) {
-      drop(nodeid);
-    }
+  for (const auto& forget : req.forgets) {
+    drop(forget);
   }
   return FuseReply{};
 }
@@ -665,6 +752,7 @@ FuseReply CntrFsServer::DoForget(const FuseRequest& req) {
 void CntrFsServer::OnDestroy() {
   std::lock_guard<std::mutex> lock(mu_);
   open_files_.clear();
+  dir_streams_.clear();
   nodes_.clear();
   by_dev_ino_.clear();
 }

@@ -46,10 +46,18 @@ class CntrFsServer : public fuse::FuseHandler {
     uint64_t writes = 0;
     uint64_t creates = 0;
     uint64_t forgets = 0;
+    uint64_t readdirplus = 0;  // READDIRPLUS batches served
   };
   Stats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;
+  }
+
+  // Live nodeid-table size: lookups (LOOKUP and READDIRPLUS entries alike)
+  // must be balanced by FORGET nlookup counts or this grows without bound.
+  size_t NodeTableSize() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return nodes_.size();
   }
 
  private:
@@ -76,6 +84,7 @@ class CntrFsServer : public fuse::FuseHandler {
   fuse::FuseReply DoRelease(const fuse::FuseRequest& req);
   fuse::FuseReply DoFsync(const fuse::FuseRequest& req);
   fuse::FuseReply DoReaddir(const fuse::FuseRequest& req);
+  fuse::FuseReply DoReaddirPlus(const fuse::FuseRequest& req);
   fuse::FuseReply DoMknod(const fuse::FuseRequest& req);
   fuse::FuseReply DoMkdir(const fuse::FuseRequest& req);
   fuse::FuseReply DoUnlink(const fuse::FuseRequest& req, bool dir);
@@ -102,6 +111,11 @@ class CntrFsServer : public fuse::FuseHandler {
   uint64_t next_nodeid_ = 2;  // 1 is the root
   std::map<uint64_t, kernel::FilePtr> open_files_;
   uint64_t next_fh_ = 1;
+  // In-flight READDIRPLUS listings, keyed by continuation token: the first
+  // batch snapshots the directory and later batches serve windows of the
+  // (immutable, shared) snapshot, so concurrent create/unlink cannot skip
+  // or duplicate entries mid-walk.
+  std::map<uint64_t, std::shared_ptr<const std::vector<kernel::DirEntry>>> dir_streams_;
   Stats stats_;
 
   // TTLs handed to the kernel side; mirror rust-fuse defaults.

@@ -68,6 +68,8 @@ const char* FuseOpcodeName(FuseOpcode op) {
       return "DESTROY";
     case FuseOpcode::kBatchForget:
       return "BATCH_FORGET";
+    case FuseOpcode::kReaddirPlus:
+      return "READDIRPLUS";
   }
   return "?";
 }
@@ -90,7 +92,7 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   if (aborted_) {
     return Status::Error(ENOTCONN, "fuse connection aborted");
   }
-  ++stats_.requests;
+  requests_.fetch_add(1, std::memory_order_relaxed);
   pending_.emplace(unique, PendingReply{});
   queue_.push_back(std::move(request));
   queue_cv_.notify_one();
@@ -116,7 +118,7 @@ void FuseConn::SendNoReply(FuseRequest request) {
   if (aborted_) {
     return;
   }
-  ++stats_.forgets;
+  forgets_.fetch_add(1, std::memory_order_relaxed);
   queue_.push_back(std::move(request));
   queue_cv_.notify_one();
 }
@@ -133,8 +135,8 @@ std::optional<FuseRequest> FuseConn::ReadRequest() {
 }
 
 void FuseConn::WriteReply(uint64_t unique, FuseReply reply) {
+  replies_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.replies;
   auto it = pending_.find(unique);
   if (it == pending_.end()) {
     return;  // forget or aborted waiter

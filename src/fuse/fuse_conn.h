@@ -57,14 +57,19 @@ class FuseConn {
   void RemoveReader();
   int reader_threads() const { return reader_threads_.load(); }
 
+  // Counters are atomics internally so reading statistics never contends
+  // with the request hot path; stats() returns a consistent-enough snapshot.
   struct Stats {
     uint64_t requests = 0;
     uint64_t replies = 0;
     uint64_t forgets = 0;
   };
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    Stats s;
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.replies = replies_.load(std::memory_order_relaxed);
+    s.forgets = forgets_.load(std::memory_order_relaxed);
+    return s;
   }
 
  private:
@@ -84,7 +89,9 @@ class FuseConn {
   std::deque<FuseRequest> queue_;
   std::map<uint64_t, PendingReply> pending_;
   bool aborted_ = false;
-  Stats stats_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> replies_{0};
+  std::atomic<uint64_t> forgets_{0};
 };
 
 // The open /dev/fuse descriptor, as held by the CNTR process. The fd itself

@@ -64,6 +64,9 @@ class FuseFile : public kernel::FileDescription {
     if (!is_dir_) {
       return Status::Error(ENOTDIR);
     }
+    if (fuse_inode_->fuse_fs()->readdirplus_enabled()) {
+      return fuse_inode_->ReaddirPlus();
+    }
     FuseRequest req;
     req.opcode = FuseOpcode::kReaddir;
     req.nodeid = fuse_inode_->nodeid();
@@ -96,8 +99,11 @@ StatusOr<std::shared_ptr<FuseFs>> FuseFs::Create(kernel::Kernel* kernel,
   init.init_flags = (opts.async_read ? kFuseAsyncRead : 0) |
                     (opts.splice_read ? kFuseSpliceRead : 0) |
                     (opts.parallel_dirops ? kFuseParallelDirops : 0) |
-                    (opts.writeback_cache ? kFuseWritebackCache : 0);
+                    (opts.writeback_cache ? kFuseWritebackCache : 0) |
+                    (opts.readdirplus ? kFuseDoReaddirplus : 0);
   CNTR_ASSIGN_OR_RETURN(FuseReply init_reply, fs->conn_->SendAndWait(std::move(init)));
+  fs->readdirplus_enabled_ =
+      opts.readdirplus && (init_reply.init_flags & kFuseDoReaddirplus) != 0;
 
   // GETATTR of the root to seed the root inode.
   FuseRequest getattr;
@@ -153,7 +159,7 @@ StatusOr<FuseReply> FuseFs::Call(FuseRequest req) {
   // lookup work cannot overlap any other traffic (Figure 3c's "before").
   if (!opts_.parallel_dirops &&
       (req.opcode == FuseOpcode::kLookup || req.opcode == FuseOpcode::kReaddir ||
-       req.opcode == FuseOpcode::kOpendir)) {
+       req.opcode == FuseOpcode::kReaddirPlus || req.opcode == FuseOpcode::kOpendir)) {
     kernel_->clock().Advance(kernel_->costs().fuse_round_trip_ns);
     if (req.opcode == FuseOpcode::kLookup) {
       kernel_->clock().Advance(kernel_->costs().cntrfs_lookup_ns);
@@ -172,20 +178,38 @@ StatusOr<FuseReply> FuseFs::Call(FuseRequest req) {
 }
 
 InodePtr FuseFs::GetOrCreateInode(const FuseEntryOut& entry) {
-  std::lock_guard<std::mutex> lock(inodes_mu_);
-  auto it = inodes_.find(entry.nodeid);
-  if (it != inodes_.end()) {
-    if (auto existing = it->second.lock()) {
-      return existing;
+  std::shared_ptr<FuseInode> existing;
+  {
+    std::lock_guard<std::mutex> lock(inodes_mu_);
+    auto it = inodes_.find(entry.nodeid);
+    if (it != inodes_.end()) {
+      existing = it->second.lock();
     }
+    if (existing == nullptr) {
+      auto inode = std::make_shared<FuseInode>(this, entry.nodeid, entry.attr,
+                                               kernel_->NowNs() + entry.attr_ttl_ns);
+      inodes_[entry.nodeid] = inode;
+      return inode;
+    }
+    // The server interned another lookup for this nodeid; remember it so
+    // the eventual FORGET returns the full balance.
+    existing->nlookup_.fetch_add(1, std::memory_order_relaxed);
   }
-  auto inode = std::make_shared<FuseInode>(this, entry.nodeid, entry.attr,
-                                           kernel_->NowNs() + entry.attr_ttl_ns);
-  inodes_[entry.nodeid] = inode;
-  return inode;
+  // The server's reply carries fresher attributes than the cached inode.
+  existing->PrimeAttr(entry.attr, entry.attr_ttl_ns);
+  return existing;
 }
 
-void FuseFs::QueueForget(uint64_t nodeid) {
+InodePtr FuseFs::PrimeChild(FuseInode* dir, const std::string& name, const FuseEntryOut& entry) {
+  InodePtr child = GetOrCreateInode(entry);
+  if (auto* fchild = dynamic_cast<FuseInode*>(child.get())) {
+    fchild->SetParentHint(std::static_pointer_cast<FuseInode>(dir->shared_from_this()));
+  }
+  kernel_->dcache().Insert(dir, name, child, entry.entry_ttl_ns);
+  return child;
+}
+
+void FuseFs::QueueForget(uint64_t nodeid, uint64_t nlookup) {
   if (conn_->aborted()) {
     return;
   }
@@ -193,13 +217,14 @@ void FuseFs::QueueForget(uint64_t nodeid) {
     FuseRequest req;
     req.opcode = FuseOpcode::kForget;
     req.nodeid = nodeid;
+    req.forgets.push_back(FuseRequest::Forget{nodeid, nlookup});
     conn_->SendNoReply(std::move(req));
     return;
   }
-  std::vector<uint64_t> batch;
+  std::vector<FuseRequest::Forget> batch;
   {
     std::lock_guard<std::mutex> lock(forget_mu_);
-    forget_queue_.push_back(nodeid);
+    forget_queue_.push_back(FuseRequest::Forget{nodeid, nlookup});
     if (forget_queue_.size() < 64) {
       return;
     }
@@ -207,12 +232,12 @@ void FuseFs::QueueForget(uint64_t nodeid) {
   }
   FuseRequest req;
   req.opcode = FuseOpcode::kBatchForget;
-  req.forget_nodes = std::move(batch);
+  req.forgets = std::move(batch);
   conn_->SendNoReply(std::move(req));
 }
 
 void FuseFs::FlushForgets() {
-  std::vector<uint64_t> batch;
+  std::vector<FuseRequest::Forget> batch;
   {
     std::lock_guard<std::mutex> lock(forget_mu_);
     batch.swap(forget_queue_);
@@ -222,7 +247,7 @@ void FuseFs::FlushForgets() {
   }
   FuseRequest req;
   req.opcode = FuseOpcode::kBatchForget;
-  req.forget_nodes = std::move(batch);
+  req.forgets = std::move(batch);
   conn_->SendNoReply(std::move(req));
 }
 
@@ -286,7 +311,7 @@ FuseInode::~FuseInode() {
   fs_->kernel()->page_cache().DropAll(this);
   fs_->ForgetDirty(this);
   if (nodeid_ != kFuseRootId) {
-    fs_->QueueForget(nodeid_);
+    fs_->QueueForget(nodeid_, nlookup_.load(std::memory_order_relaxed));
   }
 }
 
@@ -314,8 +339,8 @@ StatusOr<InodeAttr> FuseInode::Getattr() {
   req.nodeid = nodeid_;
   CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
   std::lock_guard<std::mutex> lock(mu_);
-  UpdateAttrLocked(reply.attr, reply.attr_ttl_ns != 0 ? reply.attr_ttl_ns
-                                                      : fs_->options().attr_ttl_ns);
+  UpdateServerAttrLocked(reply.attr, reply.attr_ttl_ns != 0 ? reply.attr_ttl_ns
+                                                            : fs_->options().attr_ttl_ns);
   return attr_;
 }
 
@@ -426,6 +451,11 @@ StatusOr<InodePtr> FuseInode::Symlink(const std::string& name, const std::string
 }
 
 StatusOr<std::vector<DirEntry>> FuseInode::Readdir() {
+  if (fs_->readdirplus_enabled()) {
+    // READDIRPLUS resolves by nodeid: the server serves the batches through
+    // its own handle, so no OPENDIR/RELEASEDIR round trips.
+    return ReaddirPlus();
+  }
   // OPENDIR + READDIR + RELEASEDIR, as the kernel does for getdents on a
   // freshly opened directory.
   FuseRequest open_req;
@@ -446,6 +476,57 @@ StatusOr<std::vector<DirEntry>> FuseInode::Readdir() {
     return entries.status();
   }
   return entries.value().entries;
+}
+
+void FuseInode::PrimeAttr(const InodeAttr& attr, uint64_t ttl_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  UpdateServerAttrLocked(attr, ttl_ns != 0 ? ttl_ns : fs_->options().attr_ttl_ns);
+}
+
+void FuseInode::UpdateServerAttrLocked(const InodeAttr& attr, uint64_t ttl_ns) {
+  // With the writeback cache the kernel owns size and mtime while dirty
+  // pages are unflushed (fuse_write_update_attr): the server's values are
+  // stale until writeback, and letting them through would clamp reads and
+  // trim flushes of the not-yet-flushed tail.
+  if (fs_->options().writeback_cache &&
+      fs_->kernel()->page_cache().DirtyBytes(this) > 0) {
+    InodeAttr merged = attr;
+    merged.size = std::max(attr.size, attr_.size);
+    merged.mtime = attr_.mtime;
+    UpdateAttrLocked(merged, ttl_ns);
+    return;
+  }
+  UpdateAttrLocked(attr, ttl_ns);
+}
+
+StatusOr<std::vector<DirEntry>> FuseInode::ReaddirPlus() {
+  const uint32_t batch = std::max<uint32_t>(1, fs_->options().readdirplus_batch);
+  std::vector<DirEntry> entries;
+  uint64_t cursor = 0;
+  uint64_t stream = 0;  // server continuation token, 0 on the first batch
+  while (true) {
+    FuseRequest req;
+    req.opcode = FuseOpcode::kReaddirPlus;
+    req.nodeid = nodeid_;
+    req.fh = stream;
+    req.offset = cursor;
+    req.size = batch;
+    CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+    for (const FuseDirentPlus& dent : reply.entries_plus) {
+      entries.push_back(dent.dirent);
+      // nodeid == 0: "." / ".." or a child the server could not stat — the
+      // entry is listed but nothing is primed.
+      if (dent.entry.nodeid != 0) {
+        (void)fs_->PrimeChild(this, dent.dirent.name, dent.entry);
+      }
+    }
+    cursor += reply.entries_plus.size();
+    stream = reply.fh;
+    if (reply.entries_plus.size() < batch) {
+      break;
+    }
+  }
+  return entries;
 }
 
 StatusOr<std::string> FuseInode::Readlink() {

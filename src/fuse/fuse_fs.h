@@ -16,6 +16,12 @@
 //                      separately costs an extra hop on every request.
 //  * batch_forget    — FUSE_BATCH_FORGET: dropped inodes are reclaimed in
 //                      batches of 64 instead of one FORGET per inode.
+//  * readdirplus     — FUSE_READDIRPLUS: READDIR returns each entry together
+//                      with its full attributes, priming the dentry and attr
+//                      caches so a cold readdir-then-stat-every-child walk of
+//                      a K-entry directory costs ~⌈K/readdirplus_batch⌉ round
+//                      trips instead of 2K+1 (the compilebench-read/postmark
+//                      metadata storm, §5.2.2).
 #ifndef CNTR_SRC_FUSE_FUSE_FS_H_
 #define CNTR_SRC_FUSE_FUSE_FS_H_
 
@@ -41,11 +47,13 @@ struct FuseMountOptions {
   bool splice_read = true;
   bool splice_write = false;  // paper §3.3: slows every op, default off
   bool batch_forget = true;
+  bool readdirplus = true;
 
   uint64_t entry_ttl_ns = 1'000'000'000;  // dentry validity
   uint64_t attr_ttl_ns = 1'000'000'000;   // attribute cache validity
   uint32_t max_write = 128 * 1024;        // bytes per WRITE request
   uint32_t readahead_pages = 32;          // pages per READ when async_read
+  uint32_t readdirplus_batch = 128;       // entries per READDIRPLUS request
   uint64_t writeback_threshold = 256ull << 20;  // dirty bytes before flush
 
   // Everything on (the paper's tuned configuration).
@@ -59,6 +67,7 @@ struct FuseMountOptions {
     o.async_read = false;
     o.splice_read = false;
     o.batch_forget = false;
+    o.readdirplus = false;
     return o;
   }
 };
@@ -86,17 +95,29 @@ class FuseFs : public kernel::FileSystem, public std::enable_shared_from_this<Fu
   const FuseMountOptions& options() const { return opts_; }
   kernel::Kernel* kernel() const { return kernel_; }
   FuseConn& conn() { return *conn_; }
+  // True when the mount asked for READDIRPLUS and the server granted it at
+  // INIT time (FUSE_DO_READDIRPLUS).
+  bool readdirplus_enabled() const { return readdirplus_enabled_; }
 
   // Issues a request; adds the serialized-dirop penalty for LOOKUP/READDIR
   // when parallel_dirops is off and the splice-write header hop when
   // splice_write is on.
   StatusOr<FuseReply> Call(FuseRequest req);
 
-  // nodeid -> inode identity map (hardlinks resolve to one inode).
+  // nodeid -> inode identity map (hardlinks resolve to one inode). Always
+  // refreshes the inode's cached attributes from `entry` (the server's reply
+  // is newer than whatever the inode held).
   kernel::InodePtr GetOrCreateInode(const FuseEntryOut& entry);
 
-  // FORGET path: called from ~FuseInode.
-  void QueueForget(uint64_t nodeid);
+  // Materializes one READDIRPLUS entry: resolves the inode, refreshes its
+  // attr cache, and primes the kernel dentry cache under (dir, name) with
+  // the server-granted entry TTL. Returns the child inode.
+  kernel::InodePtr PrimeChild(FuseInode* dir, const std::string& name,
+                              const FuseEntryOut& entry);
+
+  // FORGET path: called from ~FuseInode. `nlookup` is the number of
+  // server-granted lookups being returned (LOOKUP + READDIRPLUS entries).
+  void QueueForget(uint64_t nodeid, uint64_t nlookup);
   void FlushForgets();
 
   // Writeback bookkeeping.
@@ -116,13 +137,14 @@ class FuseFs : public kernel::FileSystem, public std::enable_shared_from_this<Fu
   kernel::Kernel* kernel_;
   std::shared_ptr<FuseConn> conn_;
   FuseMountOptions opts_;
+  bool readdirplus_enabled_ = false;
   std::shared_ptr<FuseInode> root_;
 
   std::mutex inodes_mu_;
   std::map<uint64_t, std::weak_ptr<FuseInode>> inodes_;
 
   std::mutex forget_mu_;
-  std::vector<uint64_t> forget_queue_;
+  std::vector<FuseRequest::Forget> forget_queue_;
 
   std::atomic<uint64_t> dirty_bytes_{0};
   std::mutex dirty_mu_;
@@ -172,15 +194,33 @@ class FuseInode : public kernel::Inode {
   uint64_t CachedSize();
   void SetParentHint(std::shared_ptr<FuseInode> parent) { parent_hint_ = std::move(parent); }
 
+  // Installs server-granted attributes into the attr cache (READDIRPLUS /
+  // LOOKUP reply priming): a subsequent Getattr within `ttl_ns` is a pure
+  // cache hit, no round trip.
+  void PrimeAttr(const kernel::InodeAttr& attr, uint64_t ttl_ns);
+
+  // The READDIRPLUS loop: fetches the directory in readdirplus_batch-sized
+  // requests (the server snapshots the listing on the first batch and hands
+  // back a continuation token), materializing and priming every returned
+  // child along the way.
+  StatusOr<std::vector<kernel::DirEntry>> ReaddirPlus();
+
  private:
   friend class FuseFs;
 
   // Attr cache helpers (mu_ held).
   bool AttrFreshLocked() const;
   void UpdateAttrLocked(const kernel::InodeAttr& attr, uint64_t ttl_ns);
+  // Installs a server-granted attr, preserving the kernel-owned size/mtime
+  // while writeback-dirty pages are unflushed.
+  void UpdateServerAttrLocked(const kernel::InodeAttr& attr, uint64_t ttl_ns);
 
   FuseFs* fs_;
   uint64_t nodeid_;
+  // Server-granted lookups against this inode (one per LOOKUP-shaped reply
+  // materialized through GetOrCreateInode); returned in the FORGET so the
+  // server's lookup_count balances to zero.
+  std::atomic<uint64_t> nlookup_{1};
   std::mutex mu_;
   kernel::InodeAttr attr_;
   uint64_t attr_expiry_ns_;

@@ -5,7 +5,8 @@
 // process; serialization would only obscure the protocol). Everything the
 // paper's optimizations switch on exists here: FOPEN_KEEP_CACHE,
 // FUSE_WRITEBACK_CACHE, FUSE_PARALLEL_DIROPS, FUSE_ASYNC_READ, splice
-// transport, and FUSE_BATCH_FORGET.
+// transport, FUSE_BATCH_FORGET, and FUSE_READDIRPLUS (the batched-metadata
+// path that collapses the per-child LOOKUP storm of cold tree walks).
 #ifndef CNTR_SRC_FUSE_FUSE_PROTO_H_
 #define CNTR_SRC_FUSE_FUSE_PROTO_H_
 
@@ -51,6 +52,7 @@ enum class FuseOpcode : uint32_t {
   kCreate = 35,
   kDestroy = 38,
   kBatchForget = 42,
+  kReaddirPlus = 44,
 };
 
 const char* FuseOpcodeName(FuseOpcode op);
@@ -61,6 +63,7 @@ inline constexpr uint64_t kFuseRootId = 1;
 // INIT negotiation flags (subset of FUSE_*).
 inline constexpr uint32_t kFuseAsyncRead = 1 << 0;
 inline constexpr uint32_t kFuseSpliceRead = 1 << 9;
+inline constexpr uint32_t kFuseDoReaddirplus = 1 << 13;
 inline constexpr uint32_t kFuseParallelDirops = 1 << 18;
 inline constexpr uint32_t kFuseWritebackCache = 1 << 16;
 
@@ -85,15 +88,24 @@ struct FuseRequest {
   std::string name2;         // rename target name / link name
   uint64_t nodeid2 = 0;      // rename target dir / link target node
   std::string data;          // write payload, symlink target, xattr value
-  uint64_t fh = 0;           // read/write/release/fsync file handle
-  uint64_t offset = 0;       // read/write offset
-  uint32_t size = 0;         // read size / xattr buffer size
+  uint64_t fh = 0;           // read/write/release/fsync file handle (0: none)
+  uint64_t offset = 0;       // read/write offset; readdirplus entry cursor
+  uint32_t size = 0;         // read size / xattr buffer size / readdirplus batch
   int32_t flags = 0;         // open flags
   kernel::Mode mode = 0;     // create/mkdir mode
   kernel::Dev rdev = 0;      // mknod device
   bool datasync = false;     // fsync
   kernel::SetattrRequest setattr;
-  std::vector<uint64_t> forget_nodes;  // batch forget
+  // FORGET / BATCH_FORGET payload. Like fuse_forget_one, each entry carries
+  // the number of lookups being returned: the server's per-node lookup
+  // count rises once per LOOKUP-shaped reply (including every READDIRPLUS
+  // entry), so the kernel must return the exact balance or node-table
+  // entries leak.
+  struct Forget {
+    uint64_t nodeid = 0;
+    uint64_t nlookup = 1;
+  };
+  std::vector<Forget> forgets;
   uint32_t init_flags = 0;   // INIT negotiation
 
   // True when the payload of a write travels through a kernel pipe (splice)
@@ -109,6 +121,15 @@ struct FuseEntryOut {
   uint64_t attr_ttl_ns = 0;
 };
 
+// One READDIRPLUS entry (fuse_direntplus): the directory entry together with
+// the full lookup result. `entry.nodeid == 0` means the server granted no
+// lookup for this name ("." / ".." or a transient per-child failure) and the
+// kernel must not prime its caches from it.
+struct FuseDirentPlus {
+  kernel::DirEntry dirent;
+  FuseEntryOut entry;
+};
+
 struct FuseReply {
   int error = 0;
 
@@ -118,6 +139,7 @@ struct FuseReply {
   std::string data;                      // read/readlink/getxattr
   std::vector<std::string> names;        // listxattr
   std::vector<kernel::DirEntry> entries; // readdir
+  std::vector<FuseDirentPlus> entries_plus;  // readdirplus
   uint64_t fh = 0;                       // open/opendir/create
   uint32_t open_flags = 0;               // FOPEN_* bits
   uint32_t count = 0;                    // write result

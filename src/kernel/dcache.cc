@@ -1,60 +1,104 @@
 #include "src/kernel/dcache.h"
 
+#include <algorithm>
+
 namespace cntr::kernel {
 
+DentryCache::DentryCache(SimClock* clock, const CostModel* costs, size_t max_entries,
+                         size_t num_shards)
+    : clock_(clock),
+      costs_(costs),
+      shards_(ClampShardCount(num_shards, max_entries)) {
+  max_per_shard_ = std::max<size_t>(1, max_entries / shards_.size());
+}
+
 InodePtr DentryCache::Lookup(const Inode* dir, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(Key{dir, name});
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  Key key{dir, name};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   if (it->second.expiry_ns != UINT64_MAX && clock_->NowNs() >= it->second.expiry_ns) {
-    entries_.erase(it);
-    ++stats_.expiries;
-    ++stats_.misses;
+    shard.lru.erase(it->second.lru_it);
+    shard.entries.erase(it);
+    expiries_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++stats_.hits;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   clock_->Advance(costs_->dcache_hit_ns);
+  // LRU touch.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
   return it->second.child;
 }
 
 void DentryCache::Insert(const Inode* dir, const std::string& name, InodePtr child,
                          uint64_t ttl_ns) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (entries_.size() >= max_entries_) {
-    // Wholesale prune of half the cache. Linux uses LRU shrinking; uniform
-    // pruning keeps the structure simple and has the same effect on the
-    // workloads we model (steady-state hit rates re-establish quickly).
-    size_t target = max_entries_ / 2;
-    for (auto it = entries_.begin(); it != entries_.end() && entries_.size() > target;) {
-      it = entries_.erase(it);
-    }
-  }
+  Key key{dir, name};
+  Shard& shard = ShardFor(key);
   uint64_t expiry = ttl_ns == UINT64_MAX ? UINT64_MAX : clock_->NowNs() + ttl_ns;
-  entries_[Key{dir, name}] = Entry{std::move(child), expiry};
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    it->second.child = std::move(child);
+    it->second.expiry_ns = expiry;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return;
+  }
+  if (shard.entries.size() >= max_per_shard_ && !shard.lru.empty()) {
+    // Evict the shard's least-recently-used entry, like Linux's LRU dentry
+    // shrinker (scoped to the stripe, so eviction never takes other locks).
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(key);
+  shard.entries.emplace(std::move(key), Entry{std::move(child), expiry, shard.lru.begin()});
 }
 
 void DentryCache::Invalidate(const Inode* dir, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.erase(Key{dir, name});
+  Key key{dir, name};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    shard.lru.erase(it->second.lru_it);
+    shard.entries.erase(it);
+  }
 }
 
 void DentryCache::InvalidateDir(const Inode* dir) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->first.dir == dir) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->first.dir == dir) {
+        shard.lru.erase(it->second.lru_it);
+        it = shard.entries.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 void DentryCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    shard.lru.clear();
+  }
+}
+
+size_t DentryCache::size() const {
+  size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
 }
 
 }  // namespace cntr::kernel

@@ -5,44 +5,61 @@
 // finite TTL. CntrFS lookups therefore go to the userspace server again and
 // again on cold trees — one open() + one stat() on the server side per
 // lookup — which is exactly the bottleneck the paper measures in
-// compilebench-read (13.3x) and postmark (7.1x).
+// compilebench-read (13.3x) and postmark (7.1x). READDIRPLUS (fuse_fs.h)
+// attacks the round trips; this cache is also lock-striped into shards with
+// per-shard LRU so concurrent lookups from many server/client threads do
+// not serialize on one mutex (the Figure 4 scaling path).
 #ifndef CNTR_SRC_KERNEL_DCACHE_H_
 #define CNTR_SRC_KERNEL_DCACHE_H_
 
+#include <atomic>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/kernel/inode.h"
+#include "src/util/hash.h"
 #include "src/util/sim_clock.h"
 
 namespace cntr::kernel {
 
 class DentryCache {
  public:
-  DentryCache(SimClock* clock, const CostModel* costs, size_t max_entries = 1 << 16)
-      : clock_(clock), costs_(costs), max_entries_(max_entries) {}
+  DentryCache(SimClock* clock, const CostModel* costs, size_t max_entries = 1 << 16,
+              size_t num_shards = 16);
 
   // Returns the cached child and charges the dcache-hit cost; null on miss
   // or expiry.
   InodePtr Lookup(const Inode* dir, const std::string& name);
 
-  // `ttl_ns` == UINT64_MAX means valid until invalidated.
+  // `ttl_ns` == UINT64_MAX means valid until invalidated. At capacity the
+  // shard evicts its least-recently-used entry.
   void Insert(const Inode* dir, const std::string& name, InodePtr child, uint64_t ttl_ns);
 
   void Invalidate(const Inode* dir, const std::string& name);
   void InvalidateDir(const Inode* dir);
   void Clear();
 
+  size_t size() const;
+  size_t num_shards() const { return shards_.size(); }
+
+  // Counters are atomics so reading statistics never contends with lookups.
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t expiries = 0;
+    uint64_t evictions = 0;
   };
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.expiries = expiries_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    return s;
   }
 
  private:
@@ -53,20 +70,37 @@ class DentryCache {
   };
   struct KeyHash {
     size_t operator()(const Key& k) const {
-      return std::hash<const void*>()(k.dir) * 1000003 ^ std::hash<std::string>()(k.name);
+      return HashCombine(HashMix64(reinterpret_cast<uintptr_t>(k.dir)),
+                         std::hash<std::string>()(k.name));
     }
   };
   struct Entry {
     InodePtr child;
     uint64_t expiry_ns;  // UINT64_MAX = no expiry
+    std::list<Key>::iterator lru_it;
   };
+
+  // One lock stripe: its own map and LRU list, padded to a cache line so
+  // neighbouring shard locks do not false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> entries;
+    std::list<Key> lru;  // front = most recent
+  };
+
+  Shard& ShardFor(const Key& key) const {
+    return shards_[KeyHash()(key) % shards_.size()];
+  }
 
   SimClock* clock_;
   const CostModel* costs_;
-  size_t max_entries_;
-  mutable std::mutex mu_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
-  Stats stats_;
+  size_t max_per_shard_;
+  mutable std::vector<Shard> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> expiries_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace cntr::kernel

@@ -4,178 +4,213 @@
 
 namespace cntr::kernel {
 
+PageCachePool::PageCachePool(SimClock* clock, const CostModel* costs, uint64_t capacity_bytes,
+                             size_t num_shards)
+    : clock_(clock),
+      costs_(costs),
+      capacity_bytes_(capacity_bytes),
+      shards_(ClampShardCount(num_shards, capacity_bytes / kPageSize)) {
+  capacity_per_shard_ = std::max<uint64_t>(kPageSize, capacity_bytes_ / shards_.size());
+}
+
 bool PageCachePool::ReadPage(CacheOwner owner, uint64_t idx, char* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = pages_.find(Key{owner, idx});
-  if (it == pages_.end()) {
-    ++stats_.misses;
+  Key key{owner, idx};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.pages.find(key);
+  if (it == shard.pages.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  ++stats_.hits;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   clock_->Advance(costs_->page_cache_hit_ns);
   std::memcpy(out, it->second.data.get(), kPageSize);
-  TouchLocked(it->second, it->first);
+  TouchLocked(shard, it->second, it->first);
   return true;
 }
 
 bool PageCachePool::HasPage(CacheOwner owner, uint64_t idx) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pages_.count(Key{owner, idx}) != 0;
+  Key key{owner, idx};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.pages.count(key) != 0;
 }
 
 bool PageCachePool::StorePage(CacheOwner owner, uint64_t idx, const char* data, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
   Key key{owner, idx};
-  auto it = pages_.find(key);
-  if (it == pages_.end()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.pages.find(key);
+  if (it == shard.pages.end()) {
     Page page;
     page.data = std::make_unique<char[]>(kPageSize);
     std::memcpy(page.data.get(), data, kPageSize);
-    lru_.push_front(key);
-    page.lru_it = lru_.begin();
+    shard.lru.push_front(key);
+    page.lru_it = shard.lru.begin();
     page.dirty = dirty;
-    pages_.emplace(key, std::move(page));
+    shard.pages.emplace(key, std::move(page));
   } else {
     std::memcpy(it->second.data.get(), data, kPageSize);
     bool was_dirty = it->second.dirty;
     it->second.dirty = it->second.dirty || dirty;
-    TouchLocked(it->second, key);
+    TouchLocked(shard, it->second, key);
     if (was_dirty) {
       dirty = false;  // already accounted
     }
   }
   if (dirty) {
-    dirty_[owner][idx] = true;
-    dirty_bytes_total_ += kPageSize;
+    shard.dirty[owner][idx] = true;
+    dirty_bytes_total_.fetch_add(kPageSize, std::memory_order_relaxed);
   }
-  EvictIfNeededLocked();
+  EvictIfNeededLocked(shard);
   return dirty;
 }
 
 PageCachePool::UpdateResult PageCachePool::UpdatePage(CacheOwner owner, uint64_t idx,
                                                       uint32_t off, uint32_t len,
                                                       const char* src, bool mark_dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = pages_.find(Key{owner, idx});
-  if (it == pages_.end()) {
+  Key key{owner, idx};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.pages.find(key);
+  if (it == shard.pages.end()) {
     return UpdateResult::kNotResident;
   }
   std::memcpy(it->second.data.get() + off, src, len);
-  TouchLocked(it->second, it->first);
+  TouchLocked(shard, it->second, it->first);
   if (mark_dirty && !it->second.dirty) {
     it->second.dirty = true;
-    dirty_[owner][idx] = true;
-    dirty_bytes_total_ += kPageSize;
+    shard.dirty[owner][idx] = true;
+    dirty_bytes_total_.fetch_add(kPageSize, std::memory_order_relaxed);
     return UpdateResult::kNewlyDirty;
   }
   return UpdateResult::kUpdated;
 }
 
 void PageCachePool::TruncatePages(CacheOwner owner, uint64_t new_size) {
-  std::lock_guard<std::mutex> lock(mu_);
   uint64_t first_dropped = (new_size + kPageSize - 1) / kPageSize;
   // Zero the partial tail of the boundary page.
   if (new_size % kPageSize != 0) {
-    auto it = pages_.find(Key{owner, new_size / kPageSize});
-    if (it != pages_.end()) {
+    Key key{owner, new_size / kPageSize};
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.pages.find(key);
+    if (it != shard.pages.end()) {
       uint32_t keep = static_cast<uint32_t>(new_size % kPageSize);
       std::memset(it->second.data.get() + keep, 0, kPageSize - keep);
     }
   }
-  // Drop whole pages past the new end.
-  auto dit = dirty_.find(owner);
-  for (auto it = pages_.begin(); it != pages_.end();) {
-    if (it->first.owner == owner && it->first.idx >= first_dropped) {
-      if (it->second.dirty) {
-        dirty_bytes_total_ -= kPageSize;
-        if (dit != dirty_.end()) {
-          dit->second.erase(it->first.idx);
+  // Drop whole pages past the new end (the owner's pages are spread over
+  // every shard, so all stripes are visited).
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto dit = shard.dirty.find(owner);
+    for (auto it = shard.pages.begin(); it != shard.pages.end();) {
+      if (it->first.owner == owner && it->first.idx >= first_dropped) {
+        if (it->second.dirty) {
+          dirty_bytes_total_.fetch_sub(kPageSize, std::memory_order_relaxed);
+          if (dit != shard.dirty.end()) {
+            dit->second.erase(it->first.idx);
+          }
         }
+        shard.lru.erase(it->second.lru_it);
+        it = shard.pages.erase(it);
+      } else {
+        ++it;
       }
-      lru_.erase(it->second.lru_it);
-      it = pages_.erase(it);
-    } else {
-      ++it;
     }
   }
 }
 
 void PageCachePool::MarkClean(CacheOwner owner, uint64_t idx) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = pages_.find(Key{owner, idx});
-  if (it != pages_.end() && it->second.dirty) {
+  Key key{owner, idx};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.pages.find(key);
+  if (it != shard.pages.end() && it->second.dirty) {
     it->second.dirty = false;
-    dirty_bytes_total_ -= kPageSize;
-    auto dit = dirty_.find(owner);
-    if (dit != dirty_.end()) {
+    dirty_bytes_total_.fetch_sub(kPageSize, std::memory_order_relaxed);
+    auto dit = shard.dirty.find(owner);
+    if (dit != shard.dirty.end()) {
       dit->second.erase(idx);
     }
   }
 }
 
 void PageCachePool::Drop(CacheOwner owner, uint64_t idx) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = pages_.find(Key{owner, idx});
-  if (it == pages_.end()) {
+  Key key{owner, idx};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.pages.find(key);
+  if (it == shard.pages.end()) {
     return;
   }
   if (it->second.dirty) {
-    dirty_bytes_total_ -= kPageSize;
-    auto dit = dirty_.find(owner);
-    if (dit != dirty_.end()) {
+    dirty_bytes_total_.fetch_sub(kPageSize, std::memory_order_relaxed);
+    auto dit = shard.dirty.find(owner);
+    if (dit != shard.dirty.end()) {
       dit->second.erase(idx);
     }
   }
-  lru_.erase(it->second.lru_it);
-  pages_.erase(it);
+  shard.lru.erase(it->second.lru_it);
+  shard.pages.erase(it);
 }
 
 void PageCachePool::DropAll(CacheOwner owner) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = pages_.begin(); it != pages_.end();) {
-    if (it->first.owner == owner) {
-      if (it->second.dirty) {
-        dirty_bytes_total_ -= kPageSize;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.pages.begin(); it != shard.pages.end();) {
+      if (it->first.owner == owner) {
+        if (it->second.dirty) {
+          dirty_bytes_total_.fetch_sub(kPageSize, std::memory_order_relaxed);
+        }
+        shard.lru.erase(it->second.lru_it);
+        it = shard.pages.erase(it);
+      } else {
+        ++it;
       }
-      lru_.erase(it->second.lru_it);
-      it = pages_.erase(it);
-    } else {
-      ++it;
     }
+    shard.dirty.erase(owner);
   }
-  dirty_.erase(owner);
 }
 
 void PageCachePool::DropAllClean() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = pages_.begin(); it != pages_.end();) {
-    if (!it->second.dirty) {
-      lru_.erase(it->second.lru_it);
-      it = pages_.erase(it);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.pages.begin(); it != shard.pages.end();) {
+      if (!it->second.dirty) {
+        shard.lru.erase(it->second.lru_it);
+        it = shard.pages.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 std::vector<uint64_t> PageCachePool::DirtyPages(CacheOwner owner) const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<uint64_t> out;
-  auto dit = dirty_.find(owner);
-  if (dit == dirty_.end()) {
-    return out;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto dit = shard.dirty.find(owner);
+    if (dit == shard.dirty.end()) {
+      continue;
+    }
+    out.reserve(out.size() + dit->second.size());
+    for (const auto& [idx, _] : dit->second) {
+      out.push_back(idx);
+    }
   }
-  out.reserve(dit->second.size());
-  for (const auto& [idx, _] : dit->second) {
-    out.push_back(idx);
-  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 bool PageCachePool::PeekPage(CacheOwner owner, uint64_t idx, char* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = pages_.find(Key{owner, idx});
-  if (it == pages_.end()) {
+  Key key{owner, idx};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.pages.find(key);
+  if (it == shard.pages.end()) {
     return false;
   }
   std::memcpy(out, it->second.data.get(), kPageSize);
@@ -183,50 +218,58 @@ bool PageCachePool::PeekPage(CacheOwner owner, uint64_t idx, char* out) const {
 }
 
 uint64_t PageCachePool::DirtyBytes(CacheOwner owner) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto dit = dirty_.find(owner);
-  return dit == dirty_.end() ? 0 : dit->second.size() * kPageSize;
+  uint64_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto dit = shard.dirty.find(owner);
+    if (dit != shard.dirty.end()) {
+      total += dit->second.size() * kPageSize;
+    }
+  }
+  return total;
 }
 
 uint64_t PageCachePool::TotalDirtyBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return dirty_bytes_total_;
+  return dirty_bytes_total_.load(std::memory_order_relaxed);
 }
 
 uint64_t PageCachePool::ResidentBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pages_.size() * kPageSize;
+  uint64_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.pages.size() * kPageSize;
+  }
+  return total;
 }
 
-void PageCachePool::TouchLocked(Page& page, const Key& key) {
-  lru_.erase(page.lru_it);
-  lru_.push_front(key);
-  page.lru_it = lru_.begin();
+void PageCachePool::TouchLocked(Shard& shard, Page& page, const Key& key) {
+  shard.lru.splice(shard.lru.begin(), shard.lru, page.lru_it);
+  page.lru_it = shard.lru.begin();
 }
 
-void PageCachePool::EvictIfNeededLocked() {
-  while (pages_.size() * kPageSize > capacity_bytes_ && !lru_.empty()) {
+void PageCachePool::EvictIfNeededLocked(Shard& shard) {
+  while (shard.pages.size() * kPageSize > capacity_per_shard_ && !shard.lru.empty()) {
     // Scan from the cold end for a clean victim; dirty pages are pinned.
-    auto victim = lru_.end();
+    auto victim = shard.lru.end();
     bool found = false;
     size_t scanned = 0;
-    for (auto it = std::prev(lru_.end());; --it) {
-      auto pit = pages_.find(*it);
-      if (pit != pages_.end() && !pit->second.dirty) {
+    for (auto it = std::prev(shard.lru.end());; --it) {
+      auto pit = shard.pages.find(*it);
+      if (pit != shard.pages.end() && !pit->second.dirty) {
         victim = it;
         found = true;
         break;
       }
-      if (++scanned > 128 || it == lru_.begin()) {
+      if (++scanned > 128 || it == shard.lru.begin()) {
         break;  // all-cold pages dirty: allow transient overshoot
       }
     }
     if (!found) {
       return;
     }
-    pages_.erase(*victim);
-    lru_.erase(victim);
-    ++stats_.evictions;
+    shard.pages.erase(*victim);
+    shard.lru.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -7,6 +7,11 @@
 // halving effective cache capacity (§5.2.2, IOzone) — emerges naturally from
 // the shared capacity.
 //
+// Concurrency: the pool is lock-striped into shards keyed by (owner, page
+// index) hash, each with its own mutex, page map and LRU list, so parallel
+// readers/writers (the Figure 4 multithreading path) do not serialize on a
+// single pool mutex. Capacity and eviction are likewise per shard.
+//
 // Eviction policy: clean pages are evicted LRU; dirty pages are pinned until
 // their owner flushes them (owners flush on fsync, on dirty thresholds, and
 // on release), at which point they become clean and evictable. The pool may
@@ -15,6 +20,7 @@
 #ifndef CNTR_SRC_KERNEL_PAGE_CACHE_H_
 #define CNTR_SRC_KERNEL_PAGE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "src/kernel/types.h"
+#include "src/util/hash.h"
 #include "src/util/sim_clock.h"
 
 namespace cntr::kernel {
@@ -36,8 +43,8 @@ using CacheOwner = const void*;
 
 class PageCachePool {
  public:
-  PageCachePool(SimClock* clock, const CostModel* costs, uint64_t capacity_bytes)
-      : clock_(clock), costs_(costs), capacity_bytes_(capacity_bytes) {}
+  PageCachePool(SimClock* clock, const CostModel* costs, uint64_t capacity_bytes,
+                size_t num_shards = 16);
 
   // Copies a cached page into `out` (kPageSize bytes). Returns false on miss.
   // Charges the page-cache-hit cost on hit.
@@ -68,7 +75,7 @@ class PageCachePool {
   void DropAllClean();
 
   // Dirty page indexes of one owner, sorted ascending (for extent-coalesced
-  // writeback). Page content is copied into `pages` if non-null.
+  // writeback).
   std::vector<uint64_t> DirtyPages(CacheOwner owner) const;
 
   // Copies page content (must be resident) without LRU/cost effects; used by
@@ -79,15 +86,21 @@ class PageCachePool {
   uint64_t TotalDirtyBytes() const;
   uint64_t ResidentBytes() const;
   uint64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t num_shards() const { return shards_.size(); }
 
+  // Counters are atomics so reading statistics never contends with the I/O
+  // hot path.
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
   };
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    return s;
   }
 
  private:
@@ -98,7 +111,8 @@ class PageCachePool {
   };
   struct KeyHash {
     size_t operator()(const Key& k) const {
-      return std::hash<const void*>()(k.owner) * 1000003 ^ std::hash<uint64_t>()(k.idx);
+      return HashCombine(HashMix64(reinterpret_cast<uintptr_t>(k.owner)),
+                         static_cast<size_t>(k.idx));
     }
   };
   struct Page {
@@ -107,20 +121,36 @@ class PageCachePool {
     std::list<Key>::iterator lru_it;
   };
 
-  void TouchLocked(Page& page, const Key& key);
-  void EvictIfNeededLocked();
+  // One lock stripe with its own map, LRU list, capacity slice and dirty
+  // bookkeeping; padded so neighbouring shard locks do not false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Page, KeyHash> pages;
+    std::list<Key> lru;  // front = most recent
+    // Per-owner dirty page sets, kept sorted for extent coalescing.
+    std::unordered_map<CacheOwner, std::map<uint64_t, bool>> dirty;
+  };
+
+  Shard& ShardFor(const Key& key) const {
+    return shards_[KeyHash()(key) % shards_.size()];
+  }
+
+  void TouchLocked(Shard& shard, Page& page, const Key& key);
+  void EvictIfNeededLocked(Shard& shard);
 
   SimClock* clock_;
   const CostModel* costs_;
   uint64_t capacity_bytes_;
+  uint64_t capacity_per_shard_;
+  mutable std::vector<Shard> shards_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<Key, Page, KeyHash> pages_;
-  std::list<Key> lru_;  // front = most recent
-  // Per-owner dirty page sets, kept sorted for extent coalescing.
-  std::unordered_map<CacheOwner, std::map<uint64_t, bool>> dirty_;
-  uint64_t dirty_bytes_total_ = 0;
-  Stats stats_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  // Pool-wide dirty total kept as one atomic so TotalDirtyBytes() — polled
+  // on the write hot path by writeback-threshold checks — is a single load
+  // instead of a sweep over every shard lock.
+  std::atomic<uint64_t> dirty_bytes_total_{0};
 };
 
 // Coalesces a sorted list of page indexes into contiguous extents; returns

@@ -1,0 +1,52 @@
+// Hash mixing helpers shared by the lock-striped kernel caches.
+//
+// The caches shard by key hash, so the hash must diffuse both key fields
+// into the shard-selection bits. A multiply-then-xor of two std::hash values
+// (the old scheme) clusters badly: pointer hashes are identity on most
+// implementations and page indexes are small sequential integers, so entire
+// files or directories landed on one shard.
+#ifndef CNTR_SRC_UTIL_HASH_H_
+#define CNTR_SRC_UTIL_HASH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace cntr {
+
+// Finalizer from splitmix64 / MurmurHash3: full avalanche, so low bits (used
+// for shard and bucket selection) depend on every input bit.
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// boost::hash_combine-style fold with a 64-bit golden-ratio constant.
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (HashMix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+template <typename T>
+inline size_t HashCombine(size_t seed, const T& value) {
+  return HashCombine(seed, static_cast<size_t>(std::hash<T>()(value)));
+}
+
+// Shared shard-count policy for the lock-striped caches: striping only
+// helps when each shard holds enough units (entries, pages) for its slice
+// of the capacity to behave like an LRU. Tiny caches — unit tests,
+// constrained configs — collapse to one shard and keep exact single-LRU
+// semantics.
+inline size_t ClampShardCount(size_t requested, uint64_t capacity_units,
+                              uint64_t min_units_per_shard = 64) {
+  size_t usable = static_cast<size_t>(capacity_units / min_units_per_shard);
+  return std::max<size_t>(1, std::min(requested, usable));
+}
+
+}  // namespace cntr
+
+#endif  // CNTR_SRC_UTIL_HASH_H_

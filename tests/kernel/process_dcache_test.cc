@@ -113,6 +113,52 @@ TEST(DentryCacheTest, NativeLookupsAreCachedAcrossCalls) {
   EXPECT_EQ(after.misses, before.misses);
 }
 
+TEST(DentryCacheTest, ShardedLruEvictsAtMaxEntries) {
+  SimClock clock;
+  CostModel costs;
+  // Two lock stripes of 64 entries each; the cache must stay bounded and
+  // evict least-recently-used entries per shard once it fills.
+  DentryCache dcache(&clock, &costs, /*max_entries=*/128, /*num_shards=*/2);
+  ASSERT_EQ(dcache.num_shards(), 2u);
+  auto kernel = Kernel::Create();
+  auto root = kernel->root_fs()->root();
+  auto etc = root->Lookup("etc");
+  ASSERT_TRUE(etc.ok());
+  for (int i = 0; i < 300; ++i) {
+    dcache.Insert(root.get(), "entry-" + std::to_string(i), etc.value(), UINT64_MAX);
+  }
+  EXPECT_LE(dcache.size(), 128u) << "cache must stay bounded at max_entries";
+  EXPECT_GT(dcache.stats().evictions, 0u);
+  // The most recent insert sits at its shard's LRU front and must survive.
+  EXPECT_NE(dcache.Lookup(root.get(), "entry-299"), nullptr);
+  // The LRU touch on lookup keeps hot entries alive: re-look-up a survivor,
+  // then insert more; the touched entry must outlive untouched neighbours.
+  InodePtr hot = dcache.Lookup(root.get(), "entry-298");
+  if (hot != nullptr) {
+    for (int i = 300; i < 330; ++i) {
+      dcache.Insert(root.get(), "entry-" + std::to_string(i), etc.value(), UINT64_MAX);
+      (void)dcache.Lookup(root.get(), "entry-298");
+    }
+    EXPECT_NE(dcache.Lookup(root.get(), "entry-298"), nullptr);
+  }
+}
+
+TEST(DentryCacheTest, InvalidateDirSweepsEveryShard) {
+  SimClock clock;
+  CostModel costs;
+  DentryCache dcache(&clock, &costs, /*max_entries=*/1024, /*num_shards=*/4);
+  auto kernel = Kernel::Create();
+  auto root = kernel->root_fs()->root();
+  auto etc = root->Lookup("etc");
+  ASSERT_TRUE(etc.ok());
+  for (int i = 0; i < 64; ++i) {
+    dcache.Insert(root.get(), "sweep-" + std::to_string(i), etc.value(), UINT64_MAX);
+  }
+  dcache.InvalidateDir(root.get());
+  EXPECT_EQ(dcache.size(), 0u);
+  EXPECT_EQ(dcache.Lookup(root.get(), "sweep-0"), nullptr);
+}
+
 TEST(CapSetTest, RoundTripsThroughRaw) {
   CapSet caps{Capability::kChown, Capability::kSysAdmin};
   CapSet restored = CapSet::FromRaw(caps.raw());
