@@ -38,28 +38,31 @@ StatusOr<VfsPath> CntrFsServer::NodePath(uint64_t nodeid) const {
   if (nodeid == fuse::kFuseRootId) {
     return root_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = nodes_.find(nodeid);
-  if (it == nodes_.end()) {
+  NodeShard& shard = ShardOfNode(nodeid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.nodes.find(nodeid);
+  if (it == shard.nodes.end()) {
     return Status::Error(ESTALE, "unknown nodeid");
   }
   return it->second.path;
 }
 
 uint64_t CntrFsServer::InternNode(const VfsPath& path, const InodeAttr& attr) {
-  std::lock_guard<std::mutex> lock(mu_);
+  size_t shard_idx = ShardIndexOf(attr);
+  NodeShard& shard = node_shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mu);
   DevIno key{attr.dev, attr.ino};
-  auto it = by_dev_ino_.find(key);
-  if (it != by_dev_ino_.end()) {
-    auto nit = nodes_.find(it->second);
-    if (nit != nodes_.end()) {
+  auto it = shard.by_dev_ino.find(key);
+  if (it != shard.by_dev_ino.end()) {
+    auto nit = shard.nodes.find(it->second);
+    if (nit != shard.nodes.end()) {
       ++nit->second.lookup_count;
       return it->second;
     }
   }
-  uint64_t nodeid = next_nodeid_++;
-  nodes_[nodeid] = Node{path, 1};
-  by_dev_ino_[key] = nodeid;
+  uint64_t nodeid = (shard.next_seq++ << kNodeShardBits) | shard_idx;
+  shard.nodes[nodeid] = Node{path, 1};
+  shard.by_dev_ino[key] = nodeid;
   return nodeid;
 }
 
@@ -158,10 +161,7 @@ FuseReply CntrFsServer::DoInit(const FuseRequest& req) {
 }
 
 FuseReply CntrFsServer::DoLookup(const FuseRequest& req) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.lookups;
-  }
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   auto dir = NodePath(req.nodeid);
   if (!dir.ok()) {
     return ErrorReply(dir.status());
@@ -253,9 +253,9 @@ FuseReply CntrFsServer::DoOpen(const FuseRequest& req, bool dir) {
     return ErrorReply(file.status());
   }
   FuseReply reply;
+  reply.fh = next_fh_.fetch_add(1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    reply.fh = next_fh_++;
+    std::lock_guard<std::mutex> lock(files_mu_);
     open_files_[reply.fh] = file.value();
   }
   reply.open_flags = fuse::kFOpenKeepCache;
@@ -263,10 +263,10 @@ FuseReply CntrFsServer::DoOpen(const FuseRequest& req, bool dir) {
 }
 
 FuseReply CntrFsServer::DoRead(const FuseRequest& req) {
+  reads_.fetch_add(1, std::memory_order_relaxed);
   kernel::FilePtr file;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.reads;
+    std::lock_guard<std::mutex> lock(files_mu_);
     auto it = open_files_.find(req.fh);
     if (it != open_files_.end()) {
       file = it->second;
@@ -299,10 +299,10 @@ FuseReply CntrFsServer::DoRead(const FuseRequest& req) {
 }
 
 FuseReply CntrFsServer::DoWrite(const FuseRequest& req) {
+  writes_.fetch_add(1, std::memory_order_relaxed);
   kernel::FilePtr file;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.writes;
+    std::lock_guard<std::mutex> lock(files_mu_);
     auto it = open_files_.find(req.fh);
     if (it != open_files_.end()) {
       file = it->second;
@@ -336,7 +336,7 @@ FuseReply CntrFsServer::DoWrite(const FuseRequest& req) {
 FuseReply CntrFsServer::DoRelease(const FuseRequest& req) {
   kernel::FilePtr file;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(files_mu_);
     auto it = open_files_.find(req.fh);
     if (it != open_files_.end()) {
       file = std::move(it->second);
@@ -352,7 +352,7 @@ FuseReply CntrFsServer::DoRelease(const FuseRequest& req) {
 FuseReply CntrFsServer::DoFsync(const FuseRequest& req) {
   kernel::FilePtr file;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(files_mu_);
     auto it = open_files_.find(req.fh);
     if (it != open_files_.end()) {
       file = it->second;
@@ -382,7 +382,7 @@ FuseReply CntrFsServer::DoFsync(const FuseRequest& req) {
 FuseReply CntrFsServer::DoReaddir(const FuseRequest& req) {
   kernel::FilePtr file;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(files_mu_);
     auto it = open_files_.find(req.fh);
     if (it != open_files_.end()) {
       file = it->second;
@@ -402,10 +402,7 @@ FuseReply CntrFsServer::DoReaddir(const FuseRequest& req) {
 }
 
 FuseReply CntrFsServer::DoReaddirPlus(const FuseRequest& req) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.readdirplus;
-  }
+  readdirplus_.fetch_add(1, std::memory_order_relaxed);
   auto dir = NodePath(req.nodeid);
   if (!dir.ok()) {
     return ErrorReply(dir.status());
@@ -419,7 +416,7 @@ FuseReply CntrFsServer::DoReaddirPlus(const FuseRequest& req) {
   // consistent again.
   std::shared_ptr<const std::vector<kernel::DirEntry>> listing;
   if (req.fh != 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(streams_mu_);
     auto it = dir_streams_.find(req.fh);
     if (it != dir_streams_.end()) {
       listing = it->second;
@@ -468,8 +465,8 @@ FuseReply CntrFsServer::DoReaddirPlus(const FuseRequest& req) {
   // empty probe of an exact-multiple listing would re-list the directory.
   bool full_window = req.size > 0 && (end - begin) == req.size;
   if (full_window) {
-    std::lock_guard<std::mutex> lock(mu_);
-    uint64_t token = req.fh != 0 ? req.fh : next_fh_++;
+    uint64_t token = req.fh != 0 ? req.fh : next_fh_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(streams_mu_);
     // Bound abandoned streams (a client that errors mid-walk never sends
     // the final short-window request); evicting the oldest is safe — a
     // stale token just re-snapshots once.
@@ -479,17 +476,14 @@ FuseReply CntrFsServer::DoReaddirPlus(const FuseRequest& req) {
     dir_streams_[token] = std::move(listing);
     reply.fh = token;
   } else if (req.fh != 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(streams_mu_);
     dir_streams_.erase(req.fh);
   }
   return reply;
 }
 
 FuseReply CntrFsServer::DoMknod(const FuseRequest& req) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.creates;
-  }
+  creates_.fetch_add(1, std::memory_order_relaxed);
   auto dir = NodePath(req.nodeid);
   if (!dir.ok()) {
     return ErrorReply(dir.status());
@@ -723,14 +717,17 @@ FuseReply CntrFsServer::DoAccess(const FuseRequest& req) {
 }
 
 FuseReply CntrFsServer::DoForget(const FuseRequest& req) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.forgets;
+  forgets_.fetch_add(1, std::memory_order_relaxed);
   // Each forget returns `nlookup` lookups at once (fuse_forget_one): LOOKUP
   // and READDIRPLUS both raise lookup_count, and the kernel sends one FORGET
-  // per inode lifetime carrying the full balance.
+  // per inode lifetime carrying the full balance. The node's shard owns the
+  // (dev, ino) mapping too (shard index is baked into the nodeid), so the
+  // whole drop stays under one stripe lock.
   auto drop = [&](const fuse::FuseRequest::Forget& forget) {
-    auto it = nodes_.find(forget.nodeid);
-    if (it == nodes_.end()) {
+    NodeShard& shard = ShardOfNode(forget.nodeid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.nodes.find(forget.nodeid);
+    if (it == shard.nodes.end()) {
       return;
     }
     uint64_t returned = std::min(forget.nlookup, it->second.lookup_count);
@@ -738,9 +735,9 @@ FuseReply CntrFsServer::DoForget(const FuseRequest& req) {
     if (it->second.lookup_count == 0) {
       auto attr = it->second.path.inode->Getattr();
       if (attr.ok()) {
-        by_dev_ino_.erase(DevIno{attr->dev, attr->ino});
+        shard.by_dev_ino.erase(DevIno{attr->dev, attr->ino});
       }
-      nodes_.erase(it);
+      shard.nodes.erase(it);
     }
   };
   for (const auto& forget : req.forgets) {
@@ -749,12 +746,29 @@ FuseReply CntrFsServer::DoForget(const FuseRequest& req) {
   return FuseReply{};
 }
 
+size_t CntrFsServer::NodeTableSize() const {
+  size_t total = 0;
+  for (const NodeShard& shard : node_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.nodes.size();
+  }
+  return total;
+}
+
 void CntrFsServer::OnDestroy() {
-  std::lock_guard<std::mutex> lock(mu_);
-  open_files_.clear();
-  dir_streams_.clear();
-  nodes_.clear();
-  by_dev_ino_.clear();
+  {
+    std::lock_guard<std::mutex> lock(files_mu_);
+    open_files_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    dir_streams_.clear();
+  }
+  for (NodeShard& shard : node_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.nodes.clear();
+    shard.by_dev_ino.clear();
+  }
 }
 
 }  // namespace cntr::core

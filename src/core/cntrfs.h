@@ -19,6 +19,8 @@
 #ifndef CNTR_SRC_CORE_CNTRFS_H_
 #define CNTR_SRC_CORE_CNTRFS_H_
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,6 +29,7 @@
 #include "src/fuse/fuse_proto.h"
 #include "src/fuse/fuse_server.h"
 #include "src/kernel/kernel.h"
+#include "src/util/hash.h"
 
 namespace cntr::core {
 
@@ -40,6 +43,8 @@ class CntrFsServer : public fuse::FuseHandler {
   fuse::FuseReply Handle(const fuse::FuseRequest& request) override;
   void OnDestroy() override;
 
+  // Counters are atomics so the handlers never serialize on a stats lock
+  // (the Figure 4 scaling path goes through every one of them).
   struct Stats {
     uint64_t lookups = 0;
     uint64_t reads = 0;
@@ -49,16 +54,20 @@ class CntrFsServer : public fuse::FuseHandler {
     uint64_t readdirplus = 0;  // READDIRPLUS batches served
   };
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    Stats s;
+    s.lookups = lookups_.load(std::memory_order_relaxed);
+    s.reads = reads_.load(std::memory_order_relaxed);
+    s.writes = writes_.load(std::memory_order_relaxed);
+    s.creates = creates_.load(std::memory_order_relaxed);
+    s.forgets = forgets_.load(std::memory_order_relaxed);
+    s.readdirplus = readdirplus_.load(std::memory_order_relaxed);
+    return s;
   }
 
   // Live nodeid-table size: lookups (LOOKUP and READDIRPLUS entries alike)
   // must be balanced by FORGET nlookup counts or this grows without bound.
-  size_t NodeTableSize() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return nodes_.size();
-  }
+  size_t NodeTableSize() const;
+  size_t node_table_shards() const { return kNodeShards; }
 
  private:
   CntrFsServer(kernel::Kernel* kernel, kernel::ProcessPtr server_proc, kernel::VfsPath root);
@@ -70,6 +79,27 @@ class CntrFsServer : public fuse::FuseHandler {
 
   // (dev, ino) -> nodeid, so hardlinked paths resolve to one FUSE inode.
   using DevIno = std::pair<uint64_t, uint64_t>;
+
+  // The node table is lock-striped so concurrent channels do not
+  // re-serialize on one table mutex. A shard owns both directions of the
+  // mapping for its nodes — nodeid -> Node and (dev, ino) -> nodeid — which
+  // works because the shard index is derived from the (dev, ino) hash and
+  // then baked into the nodeid's low bits: InternNode and DoForget always
+  // agree on the shard, and no operation ever holds two shard locks.
+  static constexpr size_t kNodeShardBits = 4;
+  static constexpr size_t kNodeShards = size_t{1} << kNodeShardBits;
+  struct alignas(64) NodeShard {
+    mutable std::mutex mu;
+    std::map<uint64_t, Node> nodes;
+    std::map<DevIno, uint64_t> by_dev_ino;
+    uint64_t next_seq = 1;  // nodeid = (seq << kNodeShardBits) | shard index
+  };
+  static size_t ShardIndexOf(const kernel::InodeAttr& attr) {
+    return HashCombine(HashMix64(attr.dev), attr.ino) & (kNodeShards - 1);
+  }
+  NodeShard& ShardOfNode(uint64_t nodeid) const {
+    return node_shards_[nodeid & (kNodeShards - 1)];
+  }
 
   StatusOr<kernel::VfsPath> NodePath(uint64_t nodeid) const;
   uint64_t InternNode(const kernel::VfsPath& path, const kernel::InodeAttr& attr);
@@ -105,18 +135,27 @@ class CntrFsServer : public fuse::FuseHandler {
   kernel::ProcessPtr server_proc_;
   kernel::VfsPath root_;
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, Node> nodes_;
-  std::map<DevIno, uint64_t> by_dev_ino_;
-  uint64_t next_nodeid_ = 2;  // 1 is the root
+  mutable std::array<NodeShard, kNodeShards> node_shards_;
+
+  // Open handles and directory streams each take their own lock: the data
+  // plane (READ/WRITE fh resolution) never contends with the metadata plane
+  // (node interning), and neither blocks the other's channels.
+  mutable std::mutex files_mu_;
   std::map<uint64_t, kernel::FilePtr> open_files_;
-  uint64_t next_fh_ = 1;
+  std::atomic<uint64_t> next_fh_{1};
   // In-flight READDIRPLUS listings, keyed by continuation token: the first
   // batch snapshots the directory and later batches serve windows of the
   // (immutable, shared) snapshot, so concurrent create/unlink cannot skip
   // or duplicate entries mid-walk.
+  mutable std::mutex streams_mu_;
   std::map<uint64_t, std::shared_ptr<const std::vector<kernel::DirEntry>>> dir_streams_;
-  Stats stats_;
+
+  std::atomic<uint64_t> lookups_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> creates_{0};
+  std::atomic<uint64_t> forgets_{0};
+  std::atomic<uint64_t> readdirplus_{0};
 
   // TTLs handed to the kernel side; mirror rust-fuse defaults.
   uint64_t entry_ttl_ns_ = 1'000'000'000;

@@ -1,6 +1,9 @@
 #include "src/fuse/fuse_conn.h"
 
+#include <algorithm>
 #include <cerrno>
+
+#include "src/util/hash.h"
 
 namespace cntr::fuse {
 
@@ -74,37 +77,115 @@ const char* FuseOpcodeName(FuseOpcode op) {
   return "?";
 }
 
+FuseConn::FuseConn(SimClock* clock, const CostModel* costs, size_t num_channels)
+    : clock_(clock), costs_(costs) {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  InstallChannels(std::clamp<size_t>(num_channels, 1, kMaxChannels));
+}
+
+void FuseConn::InstallChannels(size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    owned_channels_.push_back(std::make_unique<FuseChannel>());
+    channel_table_[i].store(owned_channels_.back().get(), std::memory_order_release);
+  }
+  num_channels_.store(n, std::memory_order_release);
+}
+
+size_t FuseConn::ConfigureChannels(size_t requested) {
+  size_t n = std::clamp<size_t>(requested, 1, kMaxChannels);
+  std::lock_guard<std::mutex> config(config_mu_);
+  // Reshaping with traffic in flight would orphan queued uniques (their
+  // channel index is baked into the id), so only honour the request on a
+  // quiet connection. Old channels stay in owned_channels_, so even a
+  // sender racing this (a protocol violation — the server reshapes before
+  // it starts answering) only ever sees valid memory.
+  if (n != num_channels() && reader_threads_.load() == 0 &&
+      queued_total_.load() == 0 && !aborted()) {
+    bool busy = false;
+    for (const auto& ch : owned_channels_) {
+      std::lock_guard<std::mutex> lock(ch->mu);
+      busy |= !ch->pending.empty() || !ch->queue.empty();
+    }
+    if (!busy) {
+      InstallChannels(n);
+    }
+  }
+  return num_channels();
+}
+
+size_t FuseConn::RouteChannel(kernel::Pid pid) const {
+  return HashMix64(static_cast<uint64_t>(pid)) % num_channels();
+}
+
+void FuseConn::NotifyWork() {
+  // Busy-server fast path: no parked worker, no global lock — the enqueue
+  // touched only its channel's mutex. The seq_cst pairing with ReadRequest
+  // (queued_total_ store before idle_workers_ load here; idle_workers_
+  // increment before queued_total_ re-check there) guarantees that either
+  // we see the parked worker or it sees our request.
+  if (idle_workers_.load() == 0) {
+    return;
+  }
+  // Empty critical section: a worker that evaluated "no work" under idle_mu_
+  // is already parked in wait() by the time we acquire, so the notify below
+  // cannot be lost.
+  { std::lock_guard<std::mutex> lock(idle_mu_); }
+  work_cv_.notify_one();
+}
+
 StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
-  uint64_t unique = NextUnique();
+  size_t ch_idx = RouteChannel(request.pid);
+  FuseChannel& ch = Channel(ch_idx);
+  uint64_t unique = MakeUnique(ch_idx);
   request.unique = unique;
+  request.channel = static_cast<uint32_t>(ch_idx);
+  request.lane = SimClock::current_lane();
 
   // One round trip: enqueue + server wakeup + reply + caller wakeup. With
-  // more than one server thread on the queue, each dequeue pays a small
-  // contention premium (futex churn, cacheline bouncing).
+  // more than one server thread homed on this channel, each dequeue pays a
+  // small contention premium (futex churn, cacheline bouncing) — per
+  // channel, which is the whole point of cloning the queue.
   uint64_t cost = costs_->fuse_round_trip_ns;
-  int readers = reader_threads_.load(std::memory_order_relaxed);
+  int readers = ch.readers.load(std::memory_order_relaxed);
   if (readers > 1) {
     cost += static_cast<uint64_t>(readers - 1) * costs_->fuse_thread_contention_ns;
   }
-  clock_->Advance(cost);
 
-  std::unique_lock<std::mutex> lock(mu_);
-  if (aborted_) {
+  std::unique_lock<std::mutex> lock(ch.mu);
+  if (aborted()) {
+    clock_->Advance(cost);
     return Status::Error(ENOTCONN, "fuse connection aborted");
   }
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  pending_.emplace(unique, PendingReply{});
-  queue_.push_back(std::move(request));
-  queue_cv_.notify_one();
+  // Channel occupancy: on parallel lanes, arriving at a busy channel means
+  // waiting out its backlog first (the single-queue plateau). On the shared
+  // timeline every thread's advances already sum, so the backlog wait is
+  // implicit and charging it again would double-count.
+  if (request.lane != nullptr) {
+    uint64_t now = clock_->NowNs();
+    if (ch.busy_until_ns > now) {
+      clock_->Advance(ch.busy_until_ns - now);
+    }
+  }
+  clock_->Advance(cost);
+  ch.busy_until_ns = std::max(ch.busy_until_ns, clock_->NowNs());
 
-  auto it = pending_.find(unique);
-  reply_cv_.wait(lock, [&] { return it->second.done || aborted_; });
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  ch.enqueued.fetch_add(1, std::memory_order_relaxed);
+  ch.pending.emplace(unique, FuseChannel::PendingReply{});
+  ch.queue.push_back(std::move(request));
+  queued_total_.fetch_add(1);  // seq_cst: pairs with NotifyWork fast path
+  lock.unlock();
+  NotifyWork();
+
+  lock.lock();
+  auto it = ch.pending.find(unique);
+  ch.reply_cv.wait(lock, [&] { return it->second.done || aborted(); });
   if (!it->second.done) {
-    pending_.erase(it);
+    ch.pending.erase(it);
     return Status::Error(ENOTCONN, "fuse connection aborted");
   }
   FuseReply reply = std::move(it->second.reply);
-  pending_.erase(it);
+  ch.pending.erase(it);
   if (reply.error != 0) {
     return Status::Error(reply.error);
   }
@@ -112,48 +193,110 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
 }
 
 void FuseConn::SendNoReply(FuseRequest request) {
+  size_t ch_idx = RouteChannel(request.pid);
+  FuseChannel& ch = Channel(ch_idx);
   request.unique = 0;  // no reply expected
+  request.channel = static_cast<uint32_t>(ch_idx);
+  // No lane: nothing blocks on a forget, so the submitting thread's lane may
+  // be torn down long before the queue drains — a reply-carrying request is
+  // different, because its caller sleeps until the worker is done with the
+  // lane.
+  request.lane = nullptr;
   clock_->Advance(costs_->fuse_round_trip_ns / 2);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (aborted_) {
-    return;
+  {
+    std::lock_guard<std::mutex> lock(ch.mu);
+    if (aborted()) {
+      return;
+    }
+    forgets_.fetch_add(1, std::memory_order_relaxed);
+    ch.enqueued.fetch_add(1, std::memory_order_relaxed);
+    ch.queue.push_back(std::move(request));
+    queued_total_.fetch_add(1);  // seq_cst: pairs with NotifyWork fast path
   }
-  forgets_.fetch_add(1, std::memory_order_relaxed);
-  queue_.push_back(std::move(request));
-  queue_cv_.notify_one();
+  NotifyWork();
 }
 
-std::optional<FuseRequest> FuseConn::ReadRequest() {
-  std::unique_lock<std::mutex> lock(mu_);
-  queue_cv_.wait(lock, [&] { return !queue_.empty() || aborted_; });
-  if (queue_.empty()) {
+std::optional<FuseRequest> FuseConn::TryPop(FuseChannel& ch) {
+  std::lock_guard<std::mutex> lock(ch.mu);
+  if (ch.queue.empty()) {
     return std::nullopt;
   }
-  FuseRequest req = std::move(queue_.front());
-  queue_.pop_front();
+  FuseRequest req = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  queued_total_.fetch_sub(1);
   return req;
 }
 
-void FuseConn::WriteReply(uint64_t unique, FuseReply reply) {
-  replies_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = pending_.find(unique);
-  if (it == pending_.end()) {
-    return;  // forget or aborted waiter
+std::optional<FuseRequest> FuseConn::ReadRequest(size_t home_channel) {
+  const size_t n = num_channels();
+  const size_t home = home_channel % n;
+  while (true) {
+    // Home channel first, then steal from siblings in ring order so a
+    // single hot channel still drains through every idle worker.
+    for (size_t i = 0; i < n; ++i) {
+      if (auto req = TryPop(Channel((home + i) % n))) {
+        return req;
+      }
+    }
+    std::unique_lock<std::mutex> idle(idle_mu_);
+    idle_workers_.fetch_add(1);  // seq_cst: pairs with NotifyWork's fast path
+    if (queued_total_.load() > 0) {
+      idle_workers_.fetch_sub(1);
+      continue;  // raced with an enqueue; rescan
+    }
+    if (aborted()) {
+      idle_workers_.fetch_sub(1);
+      return std::nullopt;
+    }
+    work_cv_.wait(idle, [&] { return queued_total_.load() > 0 || aborted(); });
+    idle_workers_.fetch_sub(1);
+    if (queued_total_.load() == 0 && aborted()) {
+      return std::nullopt;
+    }
   }
+}
+
+void FuseConn::WriteReply(uint64_t unique, FuseReply reply) {
+  FuseChannel& ch = ChannelOfUnique(unique);
+  std::lock_guard<std::mutex> lock(ch.mu);
+  // The channel stays occupied through the server-side handling (the worker
+  // runs on the caller's lane, so NowNs here includes the service time).
+  ch.busy_until_ns = std::max(ch.busy_until_ns, clock_->NowNs());
+  auto it = ch.pending.find(unique);
+  if (it == ch.pending.end()) {
+    return;  // forget or aborted waiter: nothing was delivered
+  }
+  replies_.fetch_add(1, std::memory_order_relaxed);
   it->second.reply = std::move(reply);
   it->second.done = true;
-  reply_cv_.notify_all();
+  ch.reply_cv.notify_all();
 }
 
 void FuseConn::Abort() {
-  std::lock_guard<std::mutex> lock(mu_);
-  aborted_ = true;
-  queue_cv_.notify_all();
-  reply_cv_.notify_all();
+  aborted_.store(true, std::memory_order_release);
+  // Sweep every channel ever created (including any retired by a reshape):
+  // a waiter parked on a stale channel must still wake with ENOTCONN.
+  std::lock_guard<std::mutex> config(config_mu_);
+  for (auto& ch : owned_channels_) {
+    {
+      std::lock_guard<std::mutex> lock(ch->mu);
+    }
+    ch->reply_cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+  }
+  work_cv_.notify_all();
 }
 
-void FuseConn::AddReader() { reader_threads_.fetch_add(1); }
-void FuseConn::RemoveReader() { reader_threads_.fetch_sub(1); }
+void FuseConn::AddReader(size_t channel) {
+  Channel(channel).readers.fetch_add(1);
+  reader_threads_.fetch_add(1);
+}
+
+void FuseConn::RemoveReader(size_t channel) {
+  Channel(channel).readers.fetch_sub(1);
+  reader_threads_.fetch_sub(1);
+}
 
 }  // namespace cntr::fuse

@@ -1,14 +1,43 @@
 // The /dev/fuse connection: the request/response channel between the
 // kernel-side FUSE filesystem and the userspace server.
 //
-// The kernel side enqueues a request and blocks for the reply; server
-// threads dequeue, handle, and complete. Every round trip charges the
-// context-switch cost pair on the virtual clock, plus a small per-thread
-// contention cost when multiple server threads share the queue — the effect
-// Figure 4 of the paper measures.
+// Architecture note — multi-queue channels vs. the paper's single queue.
+//
+// The paper's CNTRFS (§3.3) has every server thread read one shared
+// /dev/fuse queue; Figure 4 measures the price: each extra reader adds a
+// flat contention premium (futex churn, cacheline bouncing) to every
+// request, so throughput *declines* as threads are added. Linux grew out of
+// this with cloned device channels (FUSE_DEV_IOC_CLONE): each clone is an
+// independent queue with its own lock.
+//
+// FuseConn reproduces both designs. It owns N FuseChannels, each with its
+// own mutex, request deque, pending-reply map, and condition variables:
+//
+//   * Routing: the kernel side picks a channel by hashing the calling
+//     process (sticky — one process's requests, including its FORGETs,
+//     stay FIFO on one channel, so a FORGET is never *dequeued* ahead of
+//     the LOOKUP traffic it balances; with multiple workers the handlers
+//     may still overlap, which is safe because a FORGET carries the full
+//     nlookup balance and the node table clamps at zero).
+//   * Contention: the Figure 4 premium is charged per channel — it scales
+//     with the readers of *that* channel, not the whole server. One channel
+//     with N workers reproduces the paper's numbers exactly; N channels
+//     with one worker each make the premium vanish.
+//   * Occupancy: each channel is a serial resource in virtual time. When
+//     callers run on parallel SimClock lanes (bench_multithreading's
+//     independent client processes), a request arriving at a busy channel
+//     first waits out the channel's backlog on the caller's lane — which is
+//     what makes the single-queue configuration plateau and the multi-queue
+//     configuration scale near-linearly.
+//   * Work conservation: an idle server worker steals from non-empty
+//     sibling channels (FuseServer), so a single hot process still gets the
+//     whole thread pool.
+//
+// The default is one channel — the paper's configuration.
 #ifndef CNTR_SRC_FUSE_FUSE_CONN_H_
 #define CNTR_SRC_FUSE_FUSE_CONN_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -16,6 +45,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "src/fuse/fuse_proto.h"
 #include "src/kernel/file.h"
@@ -24,44 +54,91 @@
 
 namespace cntr::fuse {
 
+// One cloned /dev/fuse queue: private lock, request deque, pending-reply
+// map, and reply condvar. Padded so neighbouring channel locks do not
+// false-share.
+struct alignas(64) FuseChannel {
+  mutable std::mutex mu;
+  std::condition_variable reply_cv;  // kernel waits for replies
+  std::deque<FuseRequest> queue;
+  struct PendingReply {
+    bool done = false;
+    FuseReply reply;
+  };
+  std::map<uint64_t, PendingReply> pending;
+  // Virtual-time occupancy: the instant this channel finishes its current
+  // backlog. Only observable across parallel SimClock lanes (mu held).
+  uint64_t busy_until_ns = 0;
+  // Server threads whose home queue this is (Figure 4 premium scales with
+  // the readers of this channel only).
+  std::atomic<int> readers{0};
+  // Requests ever enqueued here (routing visibility for tests/stats).
+  std::atomic<uint64_t> enqueued{0};
+};
+
 class FuseConn {
  public:
-  FuseConn(SimClock* clock, const CostModel* costs) : clock_(clock), costs_(costs) {}
+  // Up to kMaxChannels cloned queues; channel indices ride in the low bits
+  // of the request unique so replies find their pending map without a
+  // global table.
+  static constexpr size_t kChannelBits = 6;
+  static constexpr size_t kMaxChannels = size_t{1} << kChannelBits;
+
+  FuseConn(SimClock* clock, const CostModel* costs, size_t num_channels = 1);
+
+  // Reshapes the channel set (FUSE_DEV_IOC_CLONE analogue). Only honoured
+  // before traffic: no readers registered, nothing queued, not aborted.
+  // Returns the resulting channel count.
+  size_t ConfigureChannels(size_t requested);
+  size_t num_channels() const { return num_channels_.load(std::memory_order_acquire); }
+
+  // Sticky routing: which channel requests from `pid` land on.
+  size_t RouteChannel(kernel::Pid pid) const;
 
   // --- kernel side ---
   // Blocks until the server replies (or the connection aborts: ENOTCONN).
-  // Charges one FUSE round trip on the virtual clock.
+  // Charges one FUSE round trip on the virtual clock, the per-channel
+  // contention premium, and — across parallel lanes — the channel's backlog.
   StatusOr<FuseReply> SendAndWait(FuseRequest request);
 
   // Fire-and-forget (FORGET/BATCH_FORGET have no reply). Charges one-way.
+  // Routed by pid like SendAndWait, so forgets stay ordered behind the
+  // caller's lookups on the same channel.
   void SendNoReply(FuseRequest request);
 
   // --- server side ---
-  // Blocks for the next request; returns nullopt when the connection aborts
-  // and the queue is drained (server threads exit).
-  std::optional<FuseRequest> ReadRequest();
+  // Blocks for the next request, preferring the worker's home channel and
+  // stealing from non-empty siblings when it is dry; returns nullopt when
+  // the connection aborts and all queues are drained (server threads exit).
+  std::optional<FuseRequest> ReadRequest(size_t home_channel = 0);
   void WriteReply(uint64_t unique, FuseReply reply);
 
   // Tear down: wakes waiters with ENOTCONN and unblocks server readers.
   void Abort();
-  bool aborted() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return aborted_;
-  }
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
-  uint64_t NextUnique() { return next_unique_.fetch_add(1); }
-
-  // Number of server threads currently reading the queue; used to model
+  // Number of server threads homed on `channel`; used to model per-channel
   // queue contention (Figure 4).
-  void AddReader();
-  void RemoveReader();
+  void AddReader(size_t channel = 0);
+  void RemoveReader(size_t channel = 0);
   int reader_threads() const { return reader_threads_.load(); }
+
+  // Requests ever routed to channel `i`.
+  uint64_t channel_requests(size_t i) const {
+    return Channel(i).enqueued.load(std::memory_order_relaxed);
+  }
+  // Current depth of channel `i`'s queue.
+  size_t channel_queue_depth(size_t i) const {
+    FuseChannel& ch = Channel(i);
+    std::lock_guard<std::mutex> lock(ch.mu);
+    return ch.queue.size();
+  }
 
   // Counters are atomics internally so reading statistics never contends
   // with the request hot path; stats() returns a consistent-enough snapshot.
   struct Stats {
     uint64_t requests = 0;
-    uint64_t replies = 0;
+    uint64_t replies = 0;  // delivered to a live waiter only
     uint64_t forgets = 0;
   };
   Stats stats() const {
@@ -73,22 +150,49 @@ class FuseConn {
   }
 
  private:
-  struct PendingReply {
-    bool done = false;
-    FuseReply reply;
-  };
+  FuseChannel& Channel(size_t i) const {
+    return *channel_table_[i % num_channels()].load(std::memory_order_acquire);
+  }
+  FuseChannel& ChannelOfUnique(uint64_t unique) const {
+    return Channel(unique & (kMaxChannels - 1));
+  }
+  uint64_t MakeUnique(size_t channel) {
+    return (next_unique_.fetch_add(1) << kChannelBits) | channel;
+  }
+  // Pops the front of `ch` if non-empty (ch.mu must not be held).
+  std::optional<FuseRequest> TryPop(FuseChannel& ch);
+  // Post-enqueue wakeup handshake with idle workers.
+  void NotifyWork();
+  // Appends `n` fresh channels to owned_channels_ and publishes them through
+  // the table (config_mu_ held).
+  void InstallChannels(size_t n);
 
   SimClock* clock_;
   const CostModel* costs_;
   std::atomic<uint64_t> next_unique_{2};
   std::atomic<int> reader_threads_{0};
+  std::atomic<bool> aborted_{false};
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;   // server waits for requests
-  std::condition_variable reply_cv_;   // kernel waits for replies
-  std::deque<FuseRequest> queue_;
-  std::map<uint64_t, PendingReply> pending_;
-  bool aborted_ = false;
+  // Channel publication: readers (routing, enqueue, dequeue, reply) index
+  // the fixed-size atomic pointer table lock-free; ConfigureChannels
+  // installs new pointers and only then publishes the count. Every channel
+  // ever created stays in owned_channels_ until the connection dies, so a
+  // sender racing a (guarded, protocol-violating) reshape reads a stale but
+  // valid channel — never freed memory; at worst its request sits unserved
+  // until Abort sweeps every owned channel.
+  std::array<std::atomic<FuseChannel*>, kMaxChannels> channel_table_{};
+  std::atomic<size_t> num_channels_{1};
+  std::mutex config_mu_;  // serializes reshape and Abort's owned sweep
+  std::vector<std::unique_ptr<FuseChannel>> owned_channels_;
+
+  // Idle workers park here; any enqueue (to any channel) wakes one. The
+  // per-channel locks stay out of this handshake so enqueue/dequeue on
+  // different channels never touch the same contended line for long.
+  std::mutex idle_mu_;
+  std::condition_variable work_cv_;
+  std::atomic<int> idle_workers_{0};
+  std::atomic<uint64_t> queued_total_{0};
+
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> replies_{0};
   std::atomic<uint64_t> forgets_{0};

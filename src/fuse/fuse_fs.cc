@@ -154,6 +154,11 @@ Status FuseFs::Rename(const InodePtr& old_dir, const std::string& old_name,
 }
 
 StatusOr<FuseReply> FuseFs::Call(FuseRequest req) {
+  // Stamp the caller's identity (fuse_in_header.pid): the transport routes
+  // requests to their sticky per-process channel with it.
+  if (req.pid == 0) {
+    req.pid = kernel::Kernel::CurrentPid();
+  }
   // Without FUSE_PARALLEL_DIROPS, directory operations serialize on the
   // directory mutex: an extra queue round per op, and the server-side
   // lookup work cannot overlap any other traffic (Figure 3c's "before").
@@ -217,6 +222,9 @@ void FuseFs::QueueForget(uint64_t nodeid, uint64_t nlookup) {
     FuseRequest req;
     req.opcode = FuseOpcode::kForget;
     req.nodeid = nodeid;
+    // The forget rides the dropping caller's sticky channel, behind the
+    // LOOKUP replies whose balance it returns — never reordered ahead.
+    req.pid = kernel::Kernel::CurrentPid();
     req.forgets.push_back(FuseRequest::Forget{nodeid, nlookup});
     conn_->SendNoReply(std::move(req));
     return;
@@ -232,6 +240,7 @@ void FuseFs::QueueForget(uint64_t nodeid, uint64_t nlookup) {
   }
   FuseRequest req;
   req.opcode = FuseOpcode::kBatchForget;
+  req.pid = kernel::Kernel::CurrentPid();
   req.forgets = std::move(batch);
   conn_->SendNoReply(std::move(req));
 }
@@ -247,6 +256,7 @@ void FuseFs::FlushForgets() {
   }
   FuseRequest req;
   req.opcode = FuseOpcode::kBatchForget;
+  req.pid = kernel::Kernel::CurrentPid();
   req.forgets = std::move(batch);
   conn_->SendNoReply(std::move(req));
 }
@@ -294,6 +304,10 @@ void FuseFs::Shutdown() {
     conn_->SendNoReply(std::move(req));
   }
   conn_->Abort();
+  // Break the root's fs_ref_ cycle. The mount (and any live dcache entry or
+  // open file) still holds its own inode references, and each of those pins
+  // the fs until released.
+  root_.reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -301,8 +315,8 @@ void FuseFs::Shutdown() {
 // ---------------------------------------------------------------------------
 
 FuseInode::FuseInode(FuseFs* fs, uint64_t nodeid, const InodeAttr& attr, uint64_t attr_expiry_ns)
-    : kernel::Inode(fs, nodeid), fs_(fs), nodeid_(nodeid), attr_(attr),
-      attr_expiry_ns_(attr_expiry_ns) {
+    : kernel::Inode(fs, nodeid), fs_(fs), fs_ref_(fs->shared_from_this()), nodeid_(nodeid),
+      attr_(attr), attr_expiry_ns_(attr_expiry_ns) {
   attr_.ino = nodeid;
   attr_.dev = fs->dev_id();
 }

@@ -55,6 +55,11 @@ struct FuseMountOptions {
   uint32_t readahead_pages = 32;          // pages per READ when async_read
   uint32_t readdirplus_batch = 128;       // entries per READDIRPLUS request
   uint64_t writeback_threshold = 256ull << 20;  // dirty bytes before flush
+  // Cloned /dev/fuse request queues (FUSE_DEV_IOC_CLONE analogue). Requests
+  // route to a channel by caller pid, sticky, so independent processes stop
+  // contending on one queue lock (see fuse_conn.h). 1 = the paper's
+  // single-queue design; 0 = one channel per server thread.
+  uint32_t num_channels = 1;
 
   // Everything on (the paper's tuned configuration).
   static FuseMountOptions Optimized() { return FuseMountOptions{}; }
@@ -216,6 +221,11 @@ class FuseInode : public kernel::Inode {
   void UpdateServerAttrLocked(const kernel::InodeAttr& attr, uint64_t ttl_ns);
 
   FuseFs* fs_;
+  // Inodes pin the filesystem (Linux's s_active): a dcache entry or open
+  // file can hold a FuseInode past unmount, and its destructor still needs
+  // the fs for FORGET/writeback bookkeeping. The root inode's copy of this
+  // reference forms a cycle with FuseFs::root_, broken in Shutdown().
+  std::shared_ptr<FuseFs> fs_ref_;
   uint64_t nodeid_;
   // Server-granted lookups against this inode (one per LOOKUP-shaped reply
   // materialized through GetOrCreateInode); returned in the FORGET so the

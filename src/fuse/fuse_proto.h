@@ -17,6 +17,7 @@
 #include "src/kernel/cred.h"
 #include "src/kernel/file.h"
 #include "src/kernel/inode.h"
+#include "src/util/sim_clock.h"
 
 namespace cntr::fuse {
 
@@ -111,6 +112,13 @@ struct FuseRequest {
   // True when the payload of a write travels through a kernel pipe (splice)
   // instead of being copied through userspace.
   bool spliced = false;
+
+  // --- transport metadata (set by FuseConn at submission, not on the wire) ---
+  // Channel the request was routed to (sticky per caller pid).
+  uint32_t channel = 0;
+  // Virtual timeline of the submitting thread; the server worker adopts it
+  // while handling so server-side costs charge the caller that incurred them.
+  SimClock::LanePtr lane;
 };
 
 // Reply payloads (fuse_entry_out / fuse_attr_out / fuse_open_out / ...).

@@ -9,10 +9,13 @@ void FuseServer::Start() {
     return;
   }
   started_ = true;
+  size_t want = num_channels_ == 0 ? static_cast<size_t>(num_threads_) : num_channels_;
+  size_t channels = conn_->ConfigureChannels(want);
   threads_.reserve(num_threads_);
   for (int i = 0; i < num_threads_; ++i) {
-    conn_->AddReader();
-    threads_.emplace_back([this] { WorkerLoop(); });
+    size_t home = static_cast<size_t>(i) % channels;
+    conn_->AddReader(home);
+    threads_.emplace_back([this, home] { WorkerLoop(home); });
   }
 }
 
@@ -31,22 +34,26 @@ void FuseServer::Stop() {
   handler_->OnDestroy();
 }
 
-void FuseServer::WorkerLoop() {
+void FuseServer::WorkerLoop(size_t home_channel) {
   while (true) {
-    auto request = conn_->ReadRequest();
+    auto request = conn_->ReadRequest(home_channel);
     if (!request.has_value()) {
-      break;  // connection aborted and queue drained
+      break;  // connection aborted and queues drained
     }
     if (request->opcode == FuseOpcode::kDestroy) {
       handler_->OnDestroy();
       continue;
     }
+    // Handle on the caller's virtual timeline: the server-side costs belong
+    // to the request that incurred them, and channels stay independent when
+    // callers run on parallel lanes.
+    SimClock::LaneScope lane(request->lane);
     FuseReply reply = handler_->Handle(*request);
     if (request->unique != 0) {
       conn_->WriteReply(request->unique, std::move(reply));
     }
   }
-  conn_->RemoveReader();
+  conn_->RemoveReader(home_channel);
 }
 
 }  // namespace cntr::fuse

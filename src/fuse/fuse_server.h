@@ -4,7 +4,11 @@
 // The paper's CNTRFS spawns independent threads reading /dev/fuse so that
 // blocking filesystem operations do not stall the whole server (§3.3
 // "Multithreading"); FuseServer reproduces that loop with std::threads, each
-// acting as the server process on the simulated kernel.
+// acting as the server process on the simulated kernel. Beyond the paper,
+// the loop is channel-aware: the connection's cloned queues (see
+// fuse_conn.h) are distributed round-robin as worker home channels, and an
+// idle worker steals from non-empty siblings so a single hot process still
+// uses the whole pool.
 #ifndef CNTR_SRC_FUSE_FUSE_SERVER_H_
 #define CNTR_SRC_FUSE_FUSE_SERVER_H_
 
@@ -29,8 +33,12 @@ class FuseHandler {
 
 class FuseServer {
  public:
-  FuseServer(std::shared_ptr<FuseConn> conn, FuseHandler* handler, int num_threads = 4)
-      : conn_(std::move(conn)), handler_(handler), num_threads_(num_threads) {}
+  // `num_channels` clones the connection's request queue before the workers
+  // start (FUSE_DEV_IOC_CLONE analogue); 0 means one channel per worker.
+  FuseServer(std::shared_ptr<FuseConn> conn, FuseHandler* handler, int num_threads = 4,
+             size_t num_channels = 1)
+      : conn_(std::move(conn)), handler_(handler), num_threads_(num_threads),
+        num_channels_(num_channels) {}
   ~FuseServer() { Stop(); }
 
   FuseServer(const FuseServer&) = delete;
@@ -44,11 +52,12 @@ class FuseServer {
   int num_threads() const { return num_threads_; }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t home_channel);
 
   std::shared_ptr<FuseConn> conn_;
   FuseHandler* handler_;
   int num_threads_;
+  size_t num_channels_;
   std::vector<std::thread> threads_;
   bool started_ = false;
 };

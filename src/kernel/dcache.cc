@@ -12,23 +12,27 @@ DentryCache::DentryCache(SimClock* clock, const CostModel* costs, size_t max_ent
   max_per_shard_ = std::max<size_t>(1, max_entries / shards_.size());
 }
 
-InodePtr DentryCache::Lookup(const Inode* dir, const std::string& name) {
+std::optional<InodePtr> DentryCache::LookupEntry(const Inode* dir, const std::string& name) {
   Key key{dir, name};
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
+    return std::nullopt;
   }
   if (it->second.expiry_ns != UINT64_MAX && clock_->NowNs() >= it->second.expiry_ns) {
     shard.lru.erase(it->second.lru_it);
     shard.entries.erase(it);
     expiries_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
+    return std::nullopt;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (it->second.child == nullptr) {
+    negative_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
   clock_->Advance(costs_->dcache_hit_ns);
   // LRU touch.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);

@@ -16,6 +16,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,13 +32,30 @@ class DentryCache {
   DentryCache(SimClock* clock, const CostModel* costs, size_t max_entries = 1 << 16,
               size_t num_shards = 16);
 
-  // Returns the cached child and charges the dcache-hit cost; null on miss
-  // or expiry.
-  InodePtr Lookup(const Inode* dir, const std::string& name);
+  // Returns the cached child and charges the dcache-hit cost; null on miss,
+  // expiry, or a cached-negative entry (use LookupEntry to tell the last
+  // two apart).
+  InodePtr Lookup(const Inode* dir, const std::string& name) {
+    return LookupEntry(dir, name).value_or(nullptr);
+  }
+
+  // Tri-state lookup: nullopt = nothing cached (go ask the filesystem);
+  // a null InodePtr = cached negative (the name is known absent — answer
+  // ENOENT without a round trip); non-null = positive hit. Hits of either
+  // polarity charge the dcache-hit cost and touch the LRU.
+  std::optional<InodePtr> LookupEntry(const Inode* dir, const std::string& name);
 
   // `ttl_ns` == UINT64_MAX means valid until invalidated. At capacity the
   // shard evicts its least-recently-used entry.
   void Insert(const Inode* dir, const std::string& name, InodePtr child, uint64_t ttl_ns);
+
+  // Caches "this name does not exist" (a FUSE negative dentry: the paper's
+  // rust-fuse server cannot grant these, so CntrFS re-round-tripped every
+  // repeated miss). Overwritten by any positive Insert and removed by
+  // Invalidate, so local create/rename/unlink restore coherence.
+  void InsertNegative(const Inode* dir, const std::string& name, uint64_t ttl_ns) {
+    Insert(dir, name, nullptr, ttl_ns);
+  }
 
   void Invalidate(const Inode* dir, const std::string& name);
   void InvalidateDir(const Inode* dir);
@@ -52,6 +70,7 @@ class DentryCache {
     uint64_t misses = 0;
     uint64_t expiries = 0;
     uint64_t evictions = 0;
+    uint64_t negative_hits = 0;  // ENOENT answered from the cache
   };
   Stats stats() const {
     Stats s;
@@ -59,6 +78,7 @@ class DentryCache {
     s.misses = misses_.load(std::memory_order_relaxed);
     s.expiries = expiries_.load(std::memory_order_relaxed);
     s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.negative_hits = negative_hits_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -101,6 +121,7 @@ class DentryCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> expiries_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> negative_hits_{0};
 };
 
 }  // namespace cntr::kernel

@@ -32,6 +32,18 @@ class NullFile : public FileDescription {
 
 }  // namespace
 
+namespace {
+thread_local Pid tls_current_pid = 0;
+}  // namespace
+
+Pid Kernel::CurrentPid() { return tls_current_pid; }
+
+Kernel::CurrentScope::CurrentScope(const Process& proc) : prev_(tls_current_pid) {
+  tls_current_pid = proc.global_pid();
+}
+
+Kernel::CurrentScope::~CurrentScope() { tls_current_pid = prev_; }
+
 std::unique_ptr<Kernel> Kernel::Create(Config config) {
   auto kernel = std::unique_ptr<Kernel>(new Kernel(std::move(config)));
   kernel->Boot();
@@ -45,7 +57,14 @@ Kernel::Kernel(Config config) : config_(std::move(config)) {
   dcache_ = std::make_unique<DentryCache>(&clock_, &config_.costs);
 }
 
-Kernel::~Kernel() = default;
+Kernel::~Kernel() {
+  // Drop cached dentries while the mounts (and thus the filesystems their
+  // inodes point back into) are still alive: the member order destroys
+  // processes — and with them the last filesystem references — before the
+  // dcache, and a cached inode released after its filesystem would tear
+  // down against a dangling fs pointer.
+  dcache_->Clear();
+}
 
 void Kernel::Boot() {
   root_fs_ = MakeTmpFs(AllocDevId(), &clock_, &config_.costs);
@@ -281,6 +300,7 @@ StatusOr<std::shared_ptr<NamespaceBase>> Kernel::NamespaceOfFd(Process& proc, Fd
 // ---------------------------------------------------------------------------
 
 StatusOr<VfsPath> Kernel::Resolve(Process& proc, std::string_view path, ResolveOpts opts) {
+  CurrentScope current(proc);
   if (opts.check_lsm) {
     CNTR_RETURN_IF_ERROR(CheckLsm(proc, path, /*write_access=*/false));
   }
@@ -289,6 +309,7 @@ StatusOr<VfsPath> Kernel::Resolve(Process& proc, std::string_view path, ResolveO
 
 StatusOr<std::pair<VfsPath, std::string>> Kernel::ResolveParent(Process& proc,
                                                                 std::string_view path) {
+  CurrentScope current(proc);
   std::string final_name;
   CNTR_ASSIGN_OR_RETURN(VfsPath parent,
                         WalkPath(proc, path, /*follow_final=*/true, /*want_parent=*/true,
@@ -303,14 +324,31 @@ StatusOr<VfsPath> Kernel::StepInto(Process& proc, const VfsPath& at, const std::
   }
   CNTR_RETURN_IF_ERROR(CheckAccess(dir_attr, proc.creds, kAccessExec));
 
-  InodePtr child = dcache_->Lookup(at.inode.get(), comp);
-  if (child == nullptr) {
+  InodePtr child;
+  if (auto cached = dcache_->LookupEntry(at.inode.get(), comp)) {
+    if (*cached == nullptr) {
+      // Cached negative dentry: the name is known absent for the entry TTL.
+      return Status::Error(ENOENT);
+    }
+    child = std::move(*cached);
+  } else {
+    uint64_t ttl_ns = at.inode->fs()->DentryTtlNs();
     auto looked_up = at.inode->Lookup(comp);
     if (!looked_up.ok()) {
+      // Negative dentry caching, finite-TTL (FUSE) filesystems only: native
+      // entries live until invalidated, and an until-invalidated negative
+      // would outlive creations that bypass this kernel's dcache hooks. For
+      // CntrFS this is the win the paper's rust-fuse server could not get:
+      // repeated ENOENT lookups stop round-tripping (they cost one open()
+      // + stat() server-side each). Local create/rename/unlink overwrite or
+      // invalidate the entry through the existing dcache maintenance.
+      if (looked_up.error() == ENOENT && ttl_ns != UINT64_MAX) {
+        dcache_->InsertNegative(at.inode.get(), comp, ttl_ns);
+      }
       return looked_up.status();
     }
     child = std::move(looked_up).value();
-    dcache_->Insert(at.inode.get(), comp, child, at.inode->fs()->DentryTtlNs());
+    dcache_->Insert(at.inode.get(), comp, child, ttl_ns);
   }
 
   VfsPath next{at.mount, child};
@@ -550,6 +588,7 @@ Status Kernel::MakeAllPrivate(Process& proc) {
 }
 
 Status Kernel::Chdir(Process& proc, const std::string& path) {
+  CurrentScope current(proc);
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   CNTR_ASSIGN_OR_RETURN(InodeAttr attr, at.inode->Getattr());
   if (!IsDir(attr.mode)) {
@@ -561,6 +600,7 @@ Status Kernel::Chdir(Process& proc, const std::string& path) {
 }
 
 Status Kernel::Chroot(Process& proc, const std::string& path) {
+  CurrentScope current(proc);
   if (!proc.creds.HasCap(Capability::kSysChroot)) {
     return Status::Error(EPERM, "chroot requires CAP_SYS_CHROOT");
   }

@@ -85,6 +85,27 @@ class Kernel {
   Dev AllocDevId() { return next_dev_id_++; }
   uint64_t NowNs() const { return clock_.NowNs(); }
 
+  // Linux's `current`, reduced to what the VFS needs: the pid of the
+  // process whose syscall is executing on this thread (0 when none). Every
+  // facade entry point installs it; FUSE reads it to stamp the caller pid
+  // into fuse_in_header so the transport can route requests per process
+  // (sticky multi-queue channels, see src/fuse/fuse_conn.h).
+  static Pid CurrentPid();
+
+  // RAII installed at syscall entry; nests (an inner syscall made on behalf
+  // of another process, e.g. the CNTRFS server resolving as itself inside a
+  // handler, shadows and restores the outer caller).
+  class CurrentScope {
+   public:
+    explicit CurrentScope(const Process& proc);
+    ~CurrentScope();
+    CurrentScope(const CurrentScope&) = delete;
+    CurrentScope& operator=(const CurrentScope&) = delete;
+
+   private:
+    Pid prev_;
+  };
+
   // ------------------------------------------------------------------
   // Process lifecycle
   // ------------------------------------------------------------------

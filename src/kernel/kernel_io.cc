@@ -21,6 +21,7 @@ bool IsValidName(const std::string& name) {
 // ---------------------------------------------------------------------------
 
 StatusOr<Fd> Kernel::Open(Process& proc, const std::string& path, int flags, Mode mode) {
+  CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
   CNTR_RETURN_IF_ERROR(CheckLsm(proc, path, WantsWrite(flags)));
 
@@ -45,12 +46,22 @@ StatusOr<Fd> Kernel::Open(Process& proc, const std::string& path, int flags, Mod
       return Status::Error(EROFS);
     }
     auto made = dir.inode->Create(name, kIfReg | (mode & kPermMask), 0, proc.creds);
-    if (!made.ok()) {
+    if (made.ok()) {
+      target = std::move(made).value();
+      dcache_->Insert(dir.inode.get(), name, target, dir.inode->fs()->DentryTtlNs());
+      created = true;
+    } else if (made.error() == EEXIST && !(flags & kOExcl)) {
+      // The name exists after all — typically a stale negative dentry for a
+      // file that appeared underneath a FUSE mount within its entry TTL.
+      // POSIX requires O_CREAT without O_EXCL to open the existing file, so
+      // drop the stale entry and re-walk.
+      dcache_->Invalidate(dir.inode.get(), name);
+      CNTR_ASSIGN_OR_RETURN(auto rewalked,
+                            WalkPath(proc, path, !(flags & kONofollow), false, nullptr));
+      target = rewalked.inode;
+    } else {
       return made.status();
     }
-    target = std::move(made).value();
-    dcache_->Insert(dir.inode.get(), name, target, dir.inode->fs()->DentryTtlNs());
-    created = true;
   } else {
     return resolved.status();
   }
@@ -122,6 +133,7 @@ StatusOr<Fd> Kernel::Open(Process& proc, const std::string& path, int flags, Mod
 }
 
 Status Kernel::Close(Process& proc, Fd fd) {
+  CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
   CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Take(fd));
   if (file.use_count() == 1) {
@@ -146,6 +158,7 @@ StatusOr<Fd> Kernel::InstallFile(Process& proc, FilePtr file, bool cloexec) {
 // ---------------------------------------------------------------------------
 
 StatusOr<size_t> Kernel::Read(Process& proc, Fd fd, void* buf, size_t count) {
+  CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
   CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
   CNTR_ASSIGN_OR_RETURN(size_t n, file->Read(buf, count, file->offset()));
@@ -154,6 +167,7 @@ StatusOr<size_t> Kernel::Read(Process& proc, Fd fd, void* buf, size_t count) {
 }
 
 StatusOr<size_t> Kernel::Write(Process& proc, Fd fd, const void* buf, size_t count) {
+  CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
   CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
   uint64_t off = file->offset();
@@ -177,6 +191,7 @@ StatusOr<size_t> Kernel::Write(Process& proc, Fd fd, const void* buf, size_t cou
 }
 
 StatusOr<size_t> Kernel::Pread(Process& proc, Fd fd, void* buf, size_t count, uint64_t offset) {
+  CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
   CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
   return file->Read(buf, count, offset);
@@ -184,6 +199,7 @@ StatusOr<size_t> Kernel::Pread(Process& proc, Fd fd, void* buf, size_t count, ui
 
 StatusOr<size_t> Kernel::Pwrite(Process& proc, Fd fd, const void* buf, size_t count,
                                 uint64_t offset) {
+  CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
   CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
   if (file->inode() != nullptr) {
@@ -197,6 +213,7 @@ StatusOr<size_t> Kernel::Pwrite(Process& proc, Fd fd, const void* buf, size_t co
 }
 
 StatusOr<uint64_t> Kernel::Lseek(Process& proc, Fd fd, int64_t offset, int whence) {
+  CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
   CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
   int64_t base;
@@ -227,12 +244,14 @@ StatusOr<uint64_t> Kernel::Lseek(Process& proc, Fd fd, int64_t offset, int whenc
 }
 
 Status Kernel::Fsync(Process& proc, Fd fd, bool datasync) {
+  CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
   CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
   return file->Fsync(datasync);
 }
 
 Status Kernel::Ftruncate(Process& proc, Fd fd, uint64_t size) {
+  CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
   CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
   if (!file->writable() || file->inode() == nullptr) {
@@ -244,6 +263,7 @@ Status Kernel::Ftruncate(Process& proc, Fd fd, uint64_t size) {
 }
 
 StatusOr<InodeAttr> Kernel::Fstat(Process& proc, Fd fd) {
+  CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
   CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
   if (file->inode() == nullptr) {
@@ -256,6 +276,7 @@ StatusOr<InodeAttr> Kernel::Fstat(Process& proc, Fd fd) {
 }
 
 StatusOr<std::vector<DirEntry>> Kernel::Getdents(Process& proc, Fd fd) {
+  CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
   CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
   return file->Readdir();
@@ -266,6 +287,7 @@ StatusOr<std::vector<DirEntry>> Kernel::Getdents(Process& proc, Fd fd) {
 // ---------------------------------------------------------------------------
 
 StatusOr<InodeAttr> Kernel::Stat(Process& proc, const std::string& path) {
+  CurrentScope current(proc);
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   if (access_listener_ != nullptr) {
     auto attr = at.inode->Getattr();
@@ -278,18 +300,21 @@ StatusOr<InodeAttr> Kernel::Stat(Process& proc, const std::string& path) {
 }
 
 StatusOr<InodeAttr> Kernel::Lstat(Process& proc, const std::string& path) {
+  CurrentScope current(proc);
   CNTR_ASSIGN_OR_RETURN(VfsPath at,
                         Resolve(proc, path, ResolveOpts{.follow_final_symlink = false}));
   return at.inode->Getattr();
 }
 
 Status Kernel::Access(Process& proc, const std::string& path, int mask) {
+  CurrentScope current(proc);
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   CNTR_ASSIGN_OR_RETURN(InodeAttr attr, at.inode->Getattr());
   return CheckAccess(attr, proc.creds, mask);
 }
 
 Status Kernel::Mkdir(Process& proc, const std::string& path, Mode mode) {
+  CurrentScope current(proc);
   CNTR_RETURN_IF_ERROR(CheckLsm(proc, path, /*write_access=*/true));
   CNTR_ASSIGN_OR_RETURN(auto parent, ResolveParent(proc, path));
   auto& [dir, name] = parent;
@@ -319,6 +344,7 @@ Status Kernel::CheckSticky(Process& proc, const InodeAttr& dir_attr, const Inode
 }
 
 Status Kernel::Rmdir(Process& proc, const std::string& path) {
+  CurrentScope current(proc);
   CNTR_RETURN_IF_ERROR(CheckLsm(proc, path, /*write_access=*/true));
   CNTR_ASSIGN_OR_RETURN(auto parent, ResolveParent(proc, path));
   auto& [dir, name] = parent;
@@ -347,6 +373,7 @@ Status Kernel::Rmdir(Process& proc, const std::string& path) {
 }
 
 Status Kernel::Unlink(Process& proc, const std::string& path) {
+  CurrentScope current(proc);
   CNTR_RETURN_IF_ERROR(CheckLsm(proc, path, /*write_access=*/true));
   CNTR_ASSIGN_OR_RETURN(auto parent, ResolveParent(proc, path));
   auto& [dir, name] = parent;
@@ -366,6 +393,7 @@ Status Kernel::Unlink(Process& proc, const std::string& path) {
 
 Status Kernel::Rename(Process& proc, const std::string& from, const std::string& to,
                       uint32_t flags) {
+  CurrentScope current(proc);
   CNTR_RETURN_IF_ERROR(CheckLsm(proc, from, /*write_access=*/true));
   CNTR_RETURN_IF_ERROR(CheckLsm(proc, to, /*write_access=*/true));
   CNTR_ASSIGN_OR_RETURN(auto src, ResolveParent(proc, from));
@@ -397,6 +425,7 @@ Status Kernel::Rename(Process& proc, const std::string& from, const std::string&
 }
 
 Status Kernel::Link(Process& proc, const std::string& target, const std::string& link_path) {
+  CurrentScope current(proc);
   CNTR_RETURN_IF_ERROR(CheckLsm(proc, link_path, /*write_access=*/true));
   CNTR_ASSIGN_OR_RETURN(VfsPath src, Resolve(proc, target));
   CNTR_ASSIGN_OR_RETURN(auto dst, ResolveParent(proc, link_path));
@@ -418,6 +447,7 @@ Status Kernel::Link(Process& proc, const std::string& target, const std::string&
 }
 
 Status Kernel::Symlink(Process& proc, const std::string& target, const std::string& link_path) {
+  CurrentScope current(proc);
   CNTR_RETURN_IF_ERROR(CheckLsm(proc, link_path, /*write_access=*/true));
   CNTR_ASSIGN_OR_RETURN(auto dst, ResolveParent(proc, link_path));
   auto& [dir, name] = dst;
@@ -435,12 +465,14 @@ Status Kernel::Symlink(Process& proc, const std::string& target, const std::stri
 }
 
 StatusOr<std::string> Kernel::Readlink(Process& proc, const std::string& path) {
+  CurrentScope current(proc);
   CNTR_ASSIGN_OR_RETURN(VfsPath at,
                         Resolve(proc, path, ResolveOpts{.follow_final_symlink = false}));
   return at.inode->Readlink();
 }
 
 Status Kernel::Mknod(Process& proc, const std::string& path, Mode mode, Dev rdev) {
+  CurrentScope current(proc);
   Mode type = mode & kIfMt;
   if ((type == kIfChr || type == kIfBlk) && !proc.creds.HasCap(Capability::kMknod)) {
     return Status::Error(EPERM, "mknod of device nodes requires CAP_MKNOD");
@@ -462,6 +494,7 @@ Status Kernel::Mknod(Process& proc, const std::string& path, Mode mode, Dev rdev
 }
 
 Status Kernel::Chmod(Process& proc, const std::string& path, Mode mode) {
+  CurrentScope current(proc);
   CNTR_RETURN_IF_ERROR(CheckLsm(proc, path, /*write_access=*/true));
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   CNTR_ASSIGN_OR_RETURN(InodeAttr attr, at.inode->Getattr());
@@ -483,6 +516,7 @@ Status Kernel::Chmod(Process& proc, const std::string& path, Mode mode) {
 }
 
 Status Kernel::Chown(Process& proc, const std::string& path, Uid uid, Gid gid) {
+  CurrentScope current(proc);
   CNTR_RETURN_IF_ERROR(CheckLsm(proc, path, /*write_access=*/true));
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   CNTR_ASSIGN_OR_RETURN(InodeAttr attr, at.inode->Getattr());
@@ -501,6 +535,7 @@ Status Kernel::Chown(Process& proc, const std::string& path, Uid uid, Gid gid) {
 }
 
 Status Kernel::Truncate(Process& proc, const std::string& path, uint64_t size) {
+  CurrentScope current(proc);
   CNTR_RETURN_IF_ERROR(CheckLsm(proc, path, /*write_access=*/true));
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   CNTR_ASSIGN_OR_RETURN(InodeAttr attr, at.inode->Getattr());
@@ -514,6 +549,7 @@ Status Kernel::Truncate(Process& proc, const std::string& path, uint64_t size) {
 }
 
 Status Kernel::Utimens(Process& proc, const std::string& path, Timespec atime, Timespec mtime) {
+  CurrentScope current(proc);
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   CNTR_ASSIGN_OR_RETURN(InodeAttr attr, at.inode->Getattr());
   if (proc.creds.fsuid != attr.uid && !proc.creds.HasCap(Capability::kFowner)) {
@@ -526,17 +562,20 @@ Status Kernel::Utimens(Process& proc, const std::string& path, Timespec atime, T
 }
 
 StatusOr<StatFs> Kernel::Statfs(Process& proc, const std::string& path) {
+  CurrentScope current(proc);
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   return at.mount->fs()->Statfs();
 }
 
 StatusOr<uint64_t> Kernel::NameToHandle(Process& proc, const std::string& path) {
+  CurrentScope current(proc);
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   return at.inode->ExportHandle();
 }
 
 Status Kernel::SetXattr(Process& proc, const std::string& path, const std::string& name,
                         const std::string& value, int flags) {
+  CurrentScope current(proc);
   CNTR_RETURN_IF_ERROR(CheckLsm(proc, path, /*write_access=*/true));
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   CNTR_ASSIGN_OR_RETURN(InodeAttr attr, at.inode->Getattr());
@@ -556,16 +595,19 @@ Status Kernel::SetXattr(Process& proc, const std::string& path, const std::strin
 
 StatusOr<std::string> Kernel::GetXattr(Process& proc, const std::string& path,
                                        const std::string& name) {
+  CurrentScope current(proc);
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   return at.inode->GetXattr(name);
 }
 
 StatusOr<std::vector<std::string>> Kernel::ListXattr(Process& proc, const std::string& path) {
+  CurrentScope current(proc);
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   return at.inode->ListXattr();
 }
 
 Status Kernel::RemoveXattr(Process& proc, const std::string& path, const std::string& name) {
+  CurrentScope current(proc);
   CNTR_RETURN_IF_ERROR(CheckLsm(proc, path, /*write_access=*/true));
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   return at.inode->RemoveXattr(name);
@@ -725,6 +767,7 @@ StatusOr<std::vector<EpollEvent>> Kernel::EpollWait(Process& proc, Fd epfd, int 
 }
 
 StatusOr<size_t> Kernel::Splice(Process& proc, Fd fd_in, Fd fd_out, size_t len) {
+  CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
   CNTR_ASSIGN_OR_RETURN(FilePtr in, proc.fds.Get(fd_in));
   CNTR_ASSIGN_OR_RETURN(FilePtr out, proc.fds.Get(fd_out));

@@ -61,7 +61,13 @@ std::shared_ptr<MemFs> MemFs::Create(Dev dev_id, Options opts) {
 
 MemFs::MemFs(Dev dev_id, Options opts) : FileSystem(dev_id), opts_(std::move(opts)) {}
 
-MemFs::~MemFs() = default;
+MemFs::~MemFs() {
+  // Mark the superblock dead before any inode teardown: the root cascade
+  // below — and any externally-held inode released later — must not call
+  // back into the accounting members this destructor is about to free.
+  alive_->store(false, std::memory_order_release);
+  root_.reset();
+}
 
 InodePtr MemFs::root() { return root_; }
 
@@ -264,7 +270,8 @@ Status MemFs::Rename(const InodePtr& old_dir, const std::string& old_name,
 // ---------------------------------------------------------------------------
 
 MemInode::MemInode(MemFs* fs, Ino ino, Mode mode, Uid uid, Gid gid, Dev rdev)
-    : Inode(fs, ino), fs_(fs) {
+    : Inode(fs, ino), fs_(fs), fs_alive_(fs->alive_), page_cache_(fs->options().page_cache),
+      disk_(fs->options().disk) {
   attr_.ino = ino;
   attr_.mode = mode;
   attr_.uid = uid;
@@ -276,10 +283,18 @@ MemInode::MemInode(MemFs* fs, Ino ino, Mode mode, Uid uid, Gid gid, Dev rdev)
 }
 
 MemInode::~MemInode() {
+  // The page cache and disk are kernel-owned and outlive every filesystem:
+  // release this inode's pages and extents unconditionally, or a later
+  // inode allocated at the same address would alias them.
+  if (IsReg(attr_.mode) && disk_ != nullptr) {
+    page_cache_->DropAll(this);
+    disk_->FreeData(ino());
+  }
+  if (!fs_alive_->load(std::memory_order_acquire)) {
+    return;  // the filesystem is gone; nothing left to balance
+  }
   if (IsReg(attr_.mode)) {
-    if (fs_->options().disk != nullptr) {
-      fs_->options().page_cache->DropAll(this);
-      fs_->options().disk->FreeData(ino());
+    if (disk_ != nullptr) {
       fs_->ForgetDirty(this);
     }
     fs_->AccountData(-static_cast<int64_t>(attr_.size));

@@ -85,9 +85,16 @@ class MemFs : public FileSystem, public std::enable_shared_from_this<MemFs> {
   void MaybeBackgroundWriteback();
 
  private:
+  friend class MemInode;
+
   explicit MemFs(Dev dev_id, Options opts);
 
   Options opts_;
+  // "Superblock alive" flag shared with every inode: a dcache entry, fd
+  // table, or bound socket can keep an inode alive past the filesystem (the
+  // kernel model has no s_active pinning), and its destructor must then
+  // skip the accounting callbacks into freed fs memory.
+  std::shared_ptr<std::atomic<bool>> alive_ = std::make_shared<std::atomic<bool>>(true);
   std::shared_ptr<MemInode> root_;
   std::atomic<Ino> next_ino_{2};  // root is ino 1
   std::atomic<int64_t> used_bytes_{0};
@@ -155,6 +162,9 @@ class MemInode : public Inode {
   void FillFromDiskLocked(uint64_t page_idx, uint32_t pages);
 
   MemFs* fs_;
+  std::shared_ptr<std::atomic<bool>> fs_alive_;  // MemFs::alive_
+  PageCachePool* page_cache_;  // kernel-owned; outlives any filesystem
+  DiskModel* disk_;            // kernel-owned; null for pure tmpfs
   mutable std::mutex mu_;
   InodeAttr attr_;
   std::map<std::string, std::shared_ptr<MemInode>> entries_;  // directories

@@ -48,8 +48,14 @@ StatusOr<size_t> PipeBuffer::Write(const char* buf, size_t count, bool nonblock)
     size_t n = std::min(count - written, capacity_ - data_.size());
     data_.insert(data_.end(), buf + written, buf + written + n);
     written += n;
+    // Wake readers and pollers with the buffer lock dropped: PollHub's
+    // notify takes the hub mutex, which the epoll path holds while polling
+    // this buffer's state — notifying under mu_ inverts that order and can
+    // deadlock against a concurrent EpollWait.
+    lock.unlock();
     cv_.notify_all();
     hub_->Notify();
+    lock.lock();
   }
   return written;
 }

@@ -4,6 +4,25 @@
 
 namespace cntr::kernel {
 
+namespace {
+
+// The backlog holds the server half of a not-yet-accepted connection. Like
+// Linux, the connection is fully established at connect() time, so the
+// backlog must keep the server end's pipe references alive: otherwise a
+// client that writes before the server accepts sees zero readers and gets
+// EPIPE instead of buffering.
+void ParkServerEnd(SocketConnection& conn) {
+  conn.client_to_server.AddReader();
+  conn.server_to_client.AddWriter();
+}
+
+void UnparkServerEnd(SocketConnection& conn) {
+  conn.client_to_server.DropReader();
+  conn.server_to_client.DropWriter();
+}
+
+}  // namespace
+
 StatusOr<FilePtr> ListeningSocket::Connect(int flags) {
   std::shared_ptr<SocketConnection> conn;
   {
@@ -15,6 +34,7 @@ StatusOr<FilePtr> ListeningSocket::Connect(int flags) {
       return Status::Error(ECONNREFUSED, "backlog full");
     }
     conn = std::make_shared<SocketConnection>(hub_);
+    ParkServerEnd(*conn);
     pending_.push_back(conn);
   }
   cv_.notify_all();
@@ -38,14 +58,25 @@ StatusOr<FilePtr> ListeningSocket::Accept(int flags, bool nonblock) {
   pending_.pop_front();
   lock.unlock();
   hub_->Notify();
-  return FilePtr(std::make_shared<ConnectedSocketFile>(std::move(conn),
-                                                       ConnectedSocketFile::Side::kServer, flags));
+  // Construct the server file first (it takes its own references), then
+  // release the backlog's, so the counts never dip to zero in between.
+  auto file = std::make_shared<ConnectedSocketFile>(conn, ConnectedSocketFile::Side::kServer,
+                                                    flags);
+  UnparkServerEnd(*conn);
+  return FilePtr(std::move(file));
 }
 
 void ListeningSocket::Shutdown() {
+  std::deque<std::shared_ptr<SocketConnection>> orphans;
   {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
+    orphans.swap(pending_);
+  }
+  // Connections nobody will ever accept: drop the parked server end so the
+  // client observes EOF/EPIPE rather than hanging on a phantom peer.
+  for (auto& conn : orphans) {
+    UnparkServerEnd(*conn);
   }
   cv_.notify_all();
   hub_->Notify();

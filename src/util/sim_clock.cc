@@ -1,4 +1,7 @@
 #include "src/util/sim_clock.h"
 
-// SimClock is header-only today; this TU anchors the library target and keeps
-// a home for future out-of-line additions (e.g. trace hooks).
+namespace cntr {
+
+thread_local SimClock::LanePtr SimClock::tls_lane_;
+
+}  // namespace cntr

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 namespace cntr {
 
@@ -66,16 +67,69 @@ struct CostModel {
 };
 
 // Monotonic virtual clock. Thread-safe: concurrent advances accumulate.
+//
+// Parallel lanes: by default every Advance lands on the one shared timeline,
+// so work done by concurrent real threads *sums* — correct for modeling a
+// serialized resource, wrong for modeling truly independent processes. A
+// benchmark that wants N clients to progress in parallel gives each client
+// thread a Lane (via LaneScope): advances made while a lane is attached
+// accrue to that lane's private timeline, NowNs() reads base + lane, and the
+// region's virtual duration is the slowest lane (the makespan), which the
+// benchmark folds back with Advance(max_lane_ns). Serialization points
+// (e.g. a single /dev/fuse queue) are then modeled explicitly — see
+// FuseChannel's virtual occupancy in src/fuse/fuse_conn.h.
 class SimClock {
  public:
+  // One private virtual timeline. A Lane may be attached to at most one
+  // thread at a time, but may be handed between threads (the FUSE server
+  // worker adopts the requesting client's lane while handling its request,
+  // so server-side costs charge the client that incurred them). Lanes are
+  // shared-owned: a request queued with a lane keeps it alive even if the
+  // submitting thread abandons the wait (connection abort) and tears its
+  // region down before the queue drains.
+  struct Lane {
+    std::atomic<uint64_t> local_ns{0};
+  };
+  using LanePtr = std::shared_ptr<Lane>;
+
+  // RAII: attaches `lane` to the calling thread (null keeps the previous
+  // attachment — convenient for request paths where a lane is optional).
+  class LaneScope {
+   public:
+    explicit LaneScope(LanePtr lane) : prev_(tls_lane_) {
+      if (lane != nullptr) {
+        tls_lane_ = std::move(lane);
+      }
+    }
+    ~LaneScope() { tls_lane_ = std::move(prev_); }
+    LaneScope(const LaneScope&) = delete;
+    LaneScope& operator=(const LaneScope&) = delete;
+
+   private:
+    LanePtr prev_;
+  };
+
+  static const LanePtr& current_lane() { return tls_lane_; }
+
   SimClock() = default;
   SimClock(const SimClock&) = delete;
   SimClock& operator=(const SimClock&) = delete;
 
-  uint64_t NowNs() const { return now_ns_.load(std::memory_order_relaxed); }
+  uint64_t NowNs() const {
+    uint64_t base = now_ns_.load(std::memory_order_relaxed);
+    if (const Lane* lane = tls_lane_.get()) {
+      return base + lane->local_ns.load(std::memory_order_relaxed);
+    }
+    return base;
+  }
 
-  // Advances virtual time by `ns` and returns the new now.
+  // Advances virtual time by `ns` and returns the new now. With a lane
+  // attached, the advance is private to the lane.
   uint64_t Advance(uint64_t ns) {
+    if (Lane* lane = tls_lane_.get()) {
+      return now_ns_.load(std::memory_order_relaxed) +
+             lane->local_ns.fetch_add(ns, std::memory_order_relaxed) + ns;
+    }
     return now_ns_.fetch_add(ns, std::memory_order_relaxed) + ns;
   }
 
@@ -84,6 +138,8 @@ class SimClock {
   double NowSeconds() const { return static_cast<double>(NowNs()) * 1e-9; }
 
  private:
+  static thread_local LanePtr tls_lane_;
+
   std::atomic<uint64_t> now_ns_{0};
 };
 

@@ -43,7 +43,8 @@ StatusOr<std::unique_ptr<BenchSide>> BenchSide::MakeCntrFs(const HarnessOptions&
 
   CNTR_ASSIGN_OR_RETURN(auto fuse_dev, fuse::OpenFuseDevice(kernel, *kernel->init()));
   side->fuse_server_ = std::make_unique<fuse::FuseServer>(fuse_dev.second, side->cntrfs_.get(),
-                                                          opts.server_threads);
+                                                          opts.server_threads,
+                                                          opts.fuse.num_channels);
   side->fuse_server_->Start();
 
   CNTR_RETURN_IF_ERROR(kernel->Mkdir(*kernel->init(), "/cntrmnt", 0755));

@@ -43,6 +43,7 @@ class BenchSide {
 
   kernel::Kernel& kernel() { return *kernel_; }
   core::CntrFsServer* cntrfs() { return cntrfs_.get(); }
+  fuse::FuseFs* fuse_fs() { return fuse_fs_.get(); }  // null on the native side
 
  private:
   BenchSide() = default;

@@ -249,6 +249,65 @@ TEST_F(FuseFsTest, AbortedConnectionFailsOperationsCleanly) {
   EXPECT_EQ(fd.error(), ENOTCONN);
 }
 
+TEST_F(FuseFsTest, RepeatedEnoentLookupsServeFromNegativeDentries) {
+  Mount(FuseMountOptions::Optimized());
+  ASSERT_EQ(kernel_->Stat(*proc_, "/m/tmp/nope").error(), ENOENT);
+  uint64_t after_first = cntrfs_->stats().lookups;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(kernel_->Stat(*proc_, "/m/tmp/nope").error(), ENOENT);
+  }
+  EXPECT_EQ(cntrfs_->stats().lookups, after_first)
+      << "repeated misses within the entry TTL must not round-trip";
+  EXPECT_GT(kernel_->dcache().stats().negative_hits, 0u);
+}
+
+TEST_F(FuseFsTest, LocalCreateBuriesNegativeDentry) {
+  Mount(FuseMountOptions::Optimized());
+  ASSERT_EQ(kernel_->Stat(*proc_, "/m/tmp/soon").error(), ENOENT);
+  auto fd = kernel_->Open(*proc_, "/m/tmp/soon", kernel::kOWrOnly | kernel::kOCreat, 0644);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  ASSERT_TRUE(kernel_->Close(*proc_, fd.value()).ok());
+  EXPECT_TRUE(kernel_->Stat(*proc_, "/m/tmp/soon").ok())
+      << "a local create must overwrite the cached ENOENT immediately";
+}
+
+TEST_F(FuseFsTest, OCreatOpensServerSideFileDespiteStaleNegativeDentry) {
+  Mount(FuseMountOptions::Optimized());
+  ASSERT_EQ(kernel_->Stat(*proc_, "/m/tmp/raced").error(), ENOENT);  // caches negative
+  // Created underneath the mount within the negative entry's TTL.
+  auto seed = kernel_->Open(*kernel_->init(), "/tmp/raced", kernel::kOWrOnly | kernel::kOCreat,
+                            0644);
+  ASSERT_TRUE(seed.ok());
+  ASSERT_TRUE(kernel_->Write(*kernel_->init(), seed.value(), "body", 4).ok());
+  ASSERT_TRUE(kernel_->Close(*kernel_->init(), seed.value()).ok());
+  // POSIX: O_CREAT without O_EXCL must open the existing file, not EEXIST.
+  auto fd = kernel_->Open(*proc_, "/m/tmp/raced", kernel::kORdWr | kernel::kOCreat, 0644);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  char buf[8] = {};
+  auto n = kernel_->Read(*proc_, fd.value(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, n.value()), "body");
+  // O_EXCL still reports the (real) existence.
+  EXPECT_EQ(kernel_->Open(*proc_, "/m/tmp/raced",
+                          kernel::kOWrOnly | kernel::kOCreat | kernel::kOExcl, 0644)
+                .error(),
+            EEXIST);
+}
+
+TEST_F(FuseFsTest, NegativeDentryExpiresSoServerSideCreatesAppear) {
+  Mount(FuseMountOptions::Optimized());
+  ASSERT_EQ(kernel_->Stat(*proc_, "/m/tmp/later").error(), ENOENT);
+  // Created underneath the mount (the server's view), bypassing the kernel
+  // dcache hooks: visible only after the negative entry's TTL runs out —
+  // exactly Linux's FUSE entry_timeout semantics.
+  auto fd = kernel_->Open(*kernel_->init(), "/tmp/later", kernel::kOWrOnly | kernel::kOCreat,
+                          0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_->Close(*kernel_->init(), fd.value()).ok());
+  kernel_->clock().Advance(2'000'000'000);  // outlive the 1s entry TTL
+  EXPECT_TRUE(kernel_->Stat(*proc_, "/m/tmp/later").ok());
+}
+
 TEST_F(FuseFsTest, StatfsForwardsToServer) {
   Mount(FuseMountOptions::Optimized());
   auto statfs = kernel_->Statfs(*proc_, "/m");

@@ -59,8 +59,8 @@ TEST(ProcessTest, PidVisibilityAcrossNamespaces) {
 TEST(DentryCacheTest, HitReturnsInsertedChild) {
   SimClock clock;
   CostModel costs;
+  auto kernel = Kernel::Create();  // outlives the cache: entries pin inodes
   DentryCache dcache(&clock, &costs);
-  auto kernel = Kernel::Create();
   auto root = kernel->root_fs()->root();
   auto etc = root->Lookup("etc");
   ASSERT_TRUE(etc.ok());
@@ -73,8 +73,8 @@ TEST(DentryCacheTest, HitReturnsInsertedChild) {
 TEST(DentryCacheTest, FiniteTtlExpires) {
   SimClock clock;
   CostModel costs;
+  auto kernel = Kernel::Create();  // outlives the cache: entries pin inodes
   DentryCache dcache(&clock, &costs);
-  auto kernel = Kernel::Create();
   auto root = kernel->root_fs()->root();
   auto etc = root->Lookup("etc");
   ASSERT_TRUE(etc.ok());
@@ -85,11 +85,49 @@ TEST(DentryCacheTest, FiniteTtlExpires) {
   EXPECT_GT(dcache.stats().expiries, 0u);
 }
 
+TEST(DentryCacheTest, NegativeEntriesAnswerEnoentUntilTtl) {
+  SimClock clock;
+  CostModel costs;
+  auto kernel = Kernel::Create();  // outlives the cache: entries pin inodes
+  DentryCache dcache(&clock, &costs);
+  auto root = kernel->root_fs()->root();
+
+  EXPECT_FALSE(dcache.LookupEntry(root.get(), "ghost").has_value()) << "cold: a true miss";
+  dcache.InsertNegative(root.get(), "ghost", /*ttl=*/1000);
+  auto cached = dcache.LookupEntry(root.get(), "ghost");
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*cached, nullptr) << "negative hit: known absent, no round trip";
+  EXPECT_EQ(dcache.stats().negative_hits, 1u);
+  clock.Advance(2000);
+  EXPECT_FALSE(dcache.LookupEntry(root.get(), "ghost").has_value())
+      << "negative entries expire with the entry TTL like positive ones";
+}
+
+TEST(DentryCacheTest, PositiveInsertOverwritesNegative) {
+  SimClock clock;
+  CostModel costs;
+  auto kernel = Kernel::Create();  // outlives the cache: entries pin inodes
+  DentryCache dcache(&clock, &costs);
+  auto root = kernel->root_fs()->root();
+  auto etc = root->Lookup("etc");
+  ASSERT_TRUE(etc.ok());
+
+  dcache.InsertNegative(root.get(), "etc", /*ttl=*/1'000'000'000);
+  dcache.Insert(root.get(), "etc", etc.value(), UINT64_MAX);
+  auto cached = dcache.LookupEntry(root.get(), "etc");
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(cached->get(), etc.value().get()) << "a local create must bury the negative";
+
+  dcache.InsertNegative(root.get(), "gone", /*ttl=*/1'000'000'000);
+  dcache.Invalidate(root.get(), "gone");
+  EXPECT_FALSE(dcache.LookupEntry(root.get(), "gone").has_value());
+}
+
 TEST(DentryCacheTest, InvalidationRemovesEntries) {
   SimClock clock;
   CostModel costs;
+  auto kernel = Kernel::Create();  // outlives the cache: entries pin inodes
   DentryCache dcache(&clock, &costs);
-  auto kernel = Kernel::Create();
   auto root = kernel->root_fs()->root();
   auto etc = root->Lookup("etc");
   ASSERT_TRUE(etc.ok());
@@ -116,11 +154,11 @@ TEST(DentryCacheTest, NativeLookupsAreCachedAcrossCalls) {
 TEST(DentryCacheTest, ShardedLruEvictsAtMaxEntries) {
   SimClock clock;
   CostModel costs;
+  auto kernel = Kernel::Create();  // outlives the cache: entries pin inodes
   // Two lock stripes of 64 entries each; the cache must stay bounded and
   // evict least-recently-used entries per shard once it fills.
   DentryCache dcache(&clock, &costs, /*max_entries=*/128, /*num_shards=*/2);
   ASSERT_EQ(dcache.num_shards(), 2u);
-  auto kernel = Kernel::Create();
   auto root = kernel->root_fs()->root();
   auto etc = root->Lookup("etc");
   ASSERT_TRUE(etc.ok());
@@ -146,8 +184,8 @@ TEST(DentryCacheTest, ShardedLruEvictsAtMaxEntries) {
 TEST(DentryCacheTest, InvalidateDirSweepsEveryShard) {
   SimClock clock;
   CostModel costs;
+  auto kernel = Kernel::Create();  // outlives the cache: entries pin inodes
   DentryCache dcache(&clock, &costs, /*max_entries=*/1024, /*num_shards=*/4);
-  auto kernel = Kernel::Create();
   auto root = kernel->root_fs()->root();
   auto etc = root->Lookup("etc");
   ASSERT_TRUE(etc.ok());
