@@ -276,6 +276,21 @@ FuseReply CntrFsServer::DoRead(const FuseRequest& req) {
     return FuseReply::Error(EBADF);
   }
   kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  if (req.splice_ok && req.size > 0 && req.offset % kernel::kPageSize == 0) {
+    // Zero-copy serving: splice(backing file -> lane). The refs alias the
+    // server's page cache — no byte of payload is copied on this side; the
+    // kernel end steals or aliases them into its own cache (SPLICE_MOVE).
+    auto pages = file->ReadPageRefs(req.size, req.offset);
+    if (pages.ok()) {
+      FuseReply reply;
+      reply.pages = std::move(pages).value();
+      spliced_reads_.fetch_add(1, std::memory_order_relaxed);
+      return reply;
+    }
+    // EOPNOTSUPP (no page cache behind this file), EBADF (write-only
+    // handle), unaligned EINVAL: fall through to the byte path below,
+    // which also handles the transient-handle retry.
+  }
   FuseReply reply;
   reply.data.resize(req.size);
   auto n = file->Read(reply.data.data(), req.size, req.offset);
@@ -324,6 +339,36 @@ FuseReply CntrFsServer::DoWrite(const FuseRequest& req) {
     return FuseReply::Error(EBADF);
   }
   kernel_->clock().Advance(kernel_->costs().syscall_entry_ns);
+  if (req.spliced && !req.payload_pages.empty()) {
+    // Spliced WRITE: adopt the payload pages straight into the backing
+    // filesystem's cache (steal when unique, alias + COW when the kernel's
+    // writeback cache still shares them).
+    auto n = file->WritePageRefs(req.payload_pages, req.offset);
+    if (n.ok()) {
+      spliced_writes_.fetch_add(1, std::memory_order_relaxed);
+      FuseReply reply;
+      reply.count = static_cast<uint32_t>(n.value());
+      return reply;
+    }
+    int err = n.error();
+    if (err != EOPNOTSUPP && err != EINVAL && err != EBADF) {
+      return ErrorReply(n.status());
+    }
+    // Copy fallback: flatten the refs and write them as bytes, paying the
+    // copy the splice path avoided.
+    std::string flat;
+    for (const auto& ref : req.payload_pages) {
+      flat.append(ref.data(), ref.len);
+      kernel_->clock().Advance(kernel_->costs().copy_page_ns);
+    }
+    auto w = file->Write(flat.data(), flat.size(), req.offset);
+    if (!w.ok()) {
+      return ErrorReply(w.status());
+    }
+    FuseReply reply;
+    reply.count = static_cast<uint32_t>(w.value());
+    return reply;
+  }
   auto n = file->Write(req.data.data(), req.data.size(), req.offset);
   if (!n.ok()) {
     return ErrorReply(n.status());
@@ -380,6 +425,7 @@ FuseReply CntrFsServer::DoFsync(const FuseRequest& req) {
 }
 
 FuseReply CntrFsServer::DoReaddir(const FuseRequest& req) {
+  readdirs_.fetch_add(1, std::memory_order_relaxed);
   kernel::FilePtr file;
   {
     std::lock_guard<std::mutex> lock(files_mu_);
@@ -478,6 +524,17 @@ FuseReply CntrFsServer::DoReaddirPlus(const FuseRequest& req) {
   } else if (req.fh != 0) {
     std::lock_guard<std::mutex> lock(streams_mu_);
     dir_streams_.erase(req.fh);
+  }
+  // Spliced payload stream: pack the direntplus records into pages so the
+  // batch rides the channel lane like READ data (vmsplice of the server's
+  // reply buffer). The kernel unpacks from pages — or from `data` if the
+  // lane was full and the transport flattened the payload. No pack cost is
+  // charged: the typed copy path ships the same records for free, and the
+  // lane's copy fallback already bills the flatten — charging here too
+  // would double-bill exactly the contended case.
+  if (req.splice_ok && !reply.entries_plus.empty()) {
+    reply.pages = PackDirentsPlus(reply.entries_plus);
+    reply.entries_plus.clear();
   }
   return reply;
 }

@@ -51,7 +51,10 @@ class CntrFsServer : public fuse::FuseHandler {
     uint64_t writes = 0;
     uint64_t creates = 0;
     uint64_t forgets = 0;
-    uint64_t readdirplus = 0;  // READDIRPLUS batches served
+    uint64_t readdirplus = 0;     // READDIRPLUS batches served
+    uint64_t readdirs = 0;        // plain READDIR listings served
+    uint64_t spliced_reads = 0;   // READ replies served as page refs
+    uint64_t spliced_writes = 0;  // WRITE payloads adopted as page refs
   };
   Stats stats() const {
     Stats s;
@@ -61,6 +64,9 @@ class CntrFsServer : public fuse::FuseHandler {
     s.creates = creates_.load(std::memory_order_relaxed);
     s.forgets = forgets_.load(std::memory_order_relaxed);
     s.readdirplus = readdirplus_.load(std::memory_order_relaxed);
+    s.readdirs = readdirs_.load(std::memory_order_relaxed);
+    s.spliced_reads = spliced_reads_.load(std::memory_order_relaxed);
+    s.spliced_writes = spliced_writes_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -156,6 +162,9 @@ class CntrFsServer : public fuse::FuseHandler {
   std::atomic<uint64_t> creates_{0};
   std::atomic<uint64_t> forgets_{0};
   std::atomic<uint64_t> readdirplus_{0};
+  std::atomic<uint64_t> readdirs_{0};
+  std::atomic<uint64_t> spliced_reads_{0};
+  std::atomic<uint64_t> spliced_writes_{0};
 
   // TTLs handed to the kernel side; mirror rust-fuse defaults.
   uint64_t entry_ttl_ns_ = 1'000'000'000;

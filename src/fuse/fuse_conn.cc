@@ -2,10 +2,99 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstring>
+#include <type_traits>
 
 #include "src/util/hash.h"
 
 namespace cntr::fuse {
+
+namespace {
+
+// Fixed-size head of one packed direntplus record; the name bytes follow.
+struct PackedDirentPlus {
+  uint64_t ino = 0;
+  uint8_t type = 0;
+  uint16_t name_len = 0;
+  uint64_t nodeid = 0;
+  uint64_t entry_ttl_ns = 0;
+  uint64_t attr_ttl_ns = 0;
+  kernel::InodeAttr attr;
+};
+static_assert(std::is_trivially_copyable_v<PackedDirentPlus>);
+
+std::vector<kernel::PipeSegment> SegmentsOf(const std::vector<splice::PageRef>& pages) {
+  std::vector<kernel::PipeSegment> segs;
+  segs.reserve(pages.size());
+  for (const splice::PageRef& ref : pages) {
+    segs.push_back(kernel::PipeSegment::Of(ref));
+  }
+  return segs;
+}
+
+}  // namespace
+
+std::vector<splice::PageRef> PackDirentsPlus(const std::vector<FuseDirentPlus>& entries) {
+  std::string bytes;
+  uint32_t count = static_cast<uint32_t>(entries.size());
+  bytes.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const FuseDirentPlus& dent : entries) {
+    PackedDirentPlus rec;
+    rec.ino = dent.dirent.ino;
+    rec.type = static_cast<uint8_t>(dent.dirent.type);
+    rec.name_len = static_cast<uint16_t>(dent.dirent.name.size());
+    rec.nodeid = dent.entry.nodeid;
+    rec.entry_ttl_ns = dent.entry.entry_ttl_ns;
+    rec.attr_ttl_ns = dent.entry.attr_ttl_ns;
+    rec.attr = dent.entry.attr;
+    bytes.append(reinterpret_cast<const char*>(&rec), sizeof(rec));
+    bytes.append(dent.dirent.name);
+  }
+  return splice::ChopIntoPages(bytes.data(), bytes.size());
+}
+
+std::vector<FuseDirentPlus> UnpackDirentsPlus(const std::vector<splice::PageRef>& pages,
+                                              const std::string& flat) {
+  std::string bytes;
+  if (!pages.empty()) {
+    for (const splice::PageRef& ref : pages) {
+      bytes.append(ref.data(), ref.len);
+    }
+  } else {
+    bytes = flat;
+  }
+  std::vector<FuseDirentPlus> out;
+  size_t pos = 0;
+  if (bytes.size() < sizeof(uint32_t)) {
+    return out;
+  }
+  uint32_t count = 0;
+  std::memcpy(&count, bytes.data(), sizeof(count));
+  pos += sizeof(count);
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos + sizeof(PackedDirentPlus) > bytes.size()) {
+      break;  // truncated stream: serve what parsed cleanly
+    }
+    PackedDirentPlus rec;
+    std::memcpy(&rec, bytes.data() + pos, sizeof(rec));
+    pos += sizeof(rec);
+    if (pos + rec.name_len > bytes.size()) {
+      break;
+    }
+    FuseDirentPlus dent;
+    dent.dirent.name.assign(bytes.data() + pos, rec.name_len);
+    pos += rec.name_len;
+    dent.dirent.ino = rec.ino;
+    dent.dirent.type = static_cast<kernel::DType>(rec.type);
+    dent.entry.nodeid = rec.nodeid;
+    dent.entry.entry_ttl_ns = rec.entry_ttl_ns;
+    dent.entry.attr_ttl_ns = rec.attr_ttl_ns;
+    dent.entry.attr = rec.attr;
+    out.push_back(std::move(dent));
+  }
+  return out;
+}
 
 const char* FuseOpcodeName(FuseOpcode op) {
   switch (op) {
@@ -133,6 +222,99 @@ void FuseConn::NotifyWork() {
   work_cv_.notify_one();
 }
 
+namespace {
+
+// Copy fallback shared by both gate directions: flattens page refs into a
+// byte buffer, charging one copy per page.
+uint64_t FlattenPages(std::vector<splice::PageRef>& pages, std::string& data, SimClock* clock,
+                      const CostModel* costs) {
+  uint64_t bytes = 0;
+  for (const splice::PageRef& ref : pages) {
+    data.append(ref.data(), ref.len);
+    bytes += ref.len;
+    clock->Advance(costs->copy_page_ns);
+  }
+  pages.clear();
+  return bytes;
+}
+
+}  // namespace
+
+void FuseConn::GateRequestPayload(FuseChannel& ch, FuseRequest& request) {
+  bool splice_on = ch.splice_enabled.load(std::memory_order_acquire);
+  if (!splice_on) {
+    // Per-channel opt-out covers both directions: no spliced reply either.
+    request.splice_ok = false;
+  }
+  if (!request.spliced || request.payload_pages.empty()) {
+    return;
+  }
+  uint64_t bytes = 0;
+  for (const splice::PageRef& ref : request.payload_pages) {
+    bytes += ref.len;
+  }
+  if (splice_on) {
+    // All-or-nothing: the payload occupies lane capacity until the server
+    // consumes the request (TryPop drains it), which is the backpressure a
+    // real pipe applies to concurrent spliced writers.
+    auto pushed = ch.lane_in->PushSegments(SegmentsOf(request.payload_pages),
+                                           /*nonblock=*/true, /*require_all=*/true);
+    if (pushed.ok()) {
+      spliced_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // Lane full or channel opted out: flatten to the copy path — the payload
+  // is copied through userspace buffers again, one page at a time.
+  FlattenPages(request.payload_pages, request.data, clock_, costs_);
+  request.spliced = false;
+  copied_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  splice_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FuseConn::GateReplyPayload(FuseChannel& ch, FuseReply& reply) {
+  if (reply.pages.empty()) {
+    return;
+  }
+  uint64_t bytes = reply.payload_bytes();
+  if (ch.splice_enabled.load(std::memory_order_acquire)) {
+    auto pushed = ch.lane_out->PushSegments(SegmentsOf(reply.pages),
+                                            /*nonblock=*/true, /*require_all=*/true);
+    if (pushed.ok()) {
+      reply.spliced = true;
+      spliced_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // Copy fallback: the server write()s the payload into the reply buffer.
+  FlattenPages(reply.pages, reply.data, clock_, costs_);
+  reply.spliced = false;
+  copied_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  splice_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+StatusOr<size_t> FuseConn::SetLaneCapacity(size_t bytes) {
+  std::lock_guard<std::mutex> config(config_mu_);
+  // Best effort across the whole channel set: a failure on one lane (EBUSY
+  // with payload in flight) must not strand the rest at a different size.
+  StatusOr<size_t> result = Status::Error(EINVAL);
+  std::optional<Status> first_error;
+  for (const auto& ch : owned_channels_) {
+    for (auto* lane : {ch->lane_in.get(), ch->lane_out.get()}) {
+      auto cap = lane->SetCapacity(bytes);
+      if (cap.ok()) {
+        result = cap.value();
+      } else if (!first_error.has_value()) {
+        first_error = cap.status();
+      }
+    }
+  }
+  if (first_error.has_value()) {
+    return *first_error;
+  }
+  return result;
+}
+
 StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   size_t ch_idx = RouteChannel(request.pid);
   FuseChannel& ch = Channel(ch_idx);
@@ -140,6 +322,7 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   request.unique = unique;
   request.channel = static_cast<uint32_t>(ch_idx);
   request.lane = SimClock::current_lane();
+  GateRequestPayload(ch, request);
 
   // One round trip: enqueue + server wakeup + reply + caller wakeup. With
   // more than one server thread homed on this channel, each dequeue pays a
@@ -186,6 +369,12 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   }
   FuseReply reply = std::move(it->second.reply);
   ch.pending.erase(it);
+  lock.unlock();
+  if (reply.spliced) {
+    // Consume the lane bytes this reply occupied since WriteReply; the page
+    // identity arrived with the reply itself.
+    ch.lane_out->DrainBytes(reply.payload_bytes());
+  }
   if (reply.error != 0) {
     return Status::Error(reply.error);
   }
@@ -217,13 +406,25 @@ void FuseConn::SendNoReply(FuseRequest request) {
 }
 
 std::optional<FuseRequest> FuseConn::TryPop(FuseChannel& ch) {
-  std::lock_guard<std::mutex> lock(ch.mu);
-  if (ch.queue.empty()) {
-    return std::nullopt;
+  std::optional<FuseRequest> req;
+  {
+    std::lock_guard<std::mutex> lock(ch.mu);
+    if (ch.queue.empty()) {
+      return std::nullopt;
+    }
+    req = std::move(ch.queue.front());
+    ch.queue.pop_front();
+    queued_total_.fetch_sub(1);
   }
-  FuseRequest req = std::move(ch.queue.front());
-  ch.queue.pop_front();
-  queued_total_.fetch_sub(1);
+  if (req->spliced && !req->payload_pages.empty()) {
+    // One /dev/fuse read consumes header + spliced payload together: free
+    // the lane capacity this request held since submission.
+    uint64_t bytes = 0;
+    for (const splice::PageRef& ref : req->payload_pages) {
+      bytes += ref.len;
+    }
+    ch.lane_in->DrainBytes(bytes);
+  }
   return req;
 }
 
@@ -266,6 +467,9 @@ void FuseConn::WriteReply(uint64_t unique, FuseReply reply) {
   if (it == ch.pending.end()) {
     return;  // forget or aborted waiter: nothing was delivered
   }
+  // Payload onto the lane (or flattened) only for a live waiter — a dead
+  // waiter's pages are simply dropped with the reply.
+  GateReplyPayload(ch, reply);
   replies_.fetch_add(1, std::memory_order_relaxed);
   it->second.reply = std::move(reply);
   it->second.done = true;
@@ -282,6 +486,10 @@ void FuseConn::Abort() {
       std::lock_guard<std::mutex> lock(ch->mu);
     }
     ch->reply_cv.notify_all();
+    // Waiters that died mid-transit leave payload parked on the lanes; a
+    // dead connection must not strand that capacity.
+    ch->lane_in->Clear();
+    ch->lane_out->Clear();
   }
   {
     std::lock_guard<std::mutex> lock(idle_mu_);

@@ -49,15 +49,42 @@
 
 #include "src/fuse/fuse_proto.h"
 #include "src/kernel/file.h"
+#include "src/kernel/pipe.h"
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
 
 namespace cntr::fuse {
 
+// Default capacity of a channel's splice lanes: matches the readahead
+// window and max_write (32 pages = 128 KiB), so a full READ or WRITE batch
+// rides one lane without falling back to the copy path.
+inline constexpr size_t kDefaultLanePages = 32;
+
 // One cloned /dev/fuse queue: private lock, request deque, pending-reply
 // map, and reply condvar. Padded so neighbouring channel locks do not
 // false-share.
+//
+// Each channel also owns a pipe pair — its zero-copy data lanes. Spliced
+// WRITE payloads ride `lane_in` (kernel -> server) and spliced READ /
+// READDIRPLUS payloads ride `lane_out` (server -> kernel): page references
+// transit the ring, occupying lane capacity from submission until the
+// receiving side consumes the message, while page identity travels with the
+// typed request/reply (the analogue of /dev/fuse consuming header + spliced
+// payload in one read). A payload that does not fit the lane falls back to
+// the copy path whole.
 struct alignas(64) FuseChannel {
+  FuseChannel()
+      : lane_in(std::make_shared<kernel::PipeBuffer>(
+            /*hub=*/nullptr, kDefaultLanePages * kernel::kPageSize)),
+        lane_out(std::make_shared<kernel::PipeBuffer>(
+            /*hub=*/nullptr, kDefaultLanePages * kernel::kPageSize)) {
+    // The connection's two sides hold the lanes for the channel's lifetime.
+    lane_in->AddReader();
+    lane_in->AddWriter();
+    lane_out->AddReader();
+    lane_out->AddWriter();
+  }
+
   mutable std::mutex mu;
   std::condition_variable reply_cv;  // kernel waits for replies
   std::deque<FuseRequest> queue;
@@ -74,6 +101,14 @@ struct alignas(64) FuseChannel {
   std::atomic<int> readers{0};
   // Requests ever enqueued here (routing visibility for tests/stats).
   std::atomic<uint64_t> enqueued{0};
+
+  // Zero-copy data lanes (see above) and the per-channel splice opt-out: a
+  // channel with splice disabled strips splice_ok / flattens payloads, so
+  // one misbehaving client process can be pinned to the copy path without
+  // renegotiating the whole connection.
+  std::shared_ptr<kernel::PipeBuffer> lane_in;
+  std::shared_ptr<kernel::PipeBuffer> lane_out;
+  std::atomic<bool> splice_enabled{true};
 };
 
 class FuseConn {
@@ -123,6 +158,20 @@ class FuseConn {
   void RemoveReader(size_t channel = 0);
   int reader_threads() const { return reader_threads_.load(); }
 
+  // --- splice lanes ---
+  // Resizes every channel's lanes (the fcntl(F_SETPIPE_SZ) analogue applied
+  // at mount time from FuseMountOptions::pipe_pages). Returns the resulting
+  // per-lane capacity in bytes.
+  StatusOr<size_t> SetLaneCapacity(size_t bytes);
+  // Per-channel splice opt-out: a disabled channel carries every payload on
+  // the copy path (splice_ok stripped, spliced writes flattened).
+  void SetChannelSplice(size_t i, bool enabled) {
+    Channel(i).splice_enabled.store(enabled, std::memory_order_release);
+  }
+  bool channel_splice(size_t i) const {
+    return Channel(i).splice_enabled.load(std::memory_order_acquire);
+  }
+
   // Requests ever routed to channel `i`.
   uint64_t channel_requests(size_t i) const {
     return Channel(i).enqueued.load(std::memory_order_relaxed);
@@ -140,12 +189,21 @@ class FuseConn {
     uint64_t requests = 0;
     uint64_t replies = 0;  // delivered to a live waiter only
     uint64_t forgets = 0;
+    // Data-lane accounting: payload bytes that rode a pipe lane as page
+    // references vs. bytes that fell back to the copy path (lane full,
+    // channel opted out, or splice not negotiated).
+    uint64_t spliced_bytes = 0;
+    uint64_t copied_bytes = 0;
+    uint64_t splice_fallbacks = 0;  // payloads that wanted the lane but copied
   };
   Stats stats() const {
     Stats s;
     s.requests = requests_.load(std::memory_order_relaxed);
     s.replies = replies_.load(std::memory_order_relaxed);
     s.forgets = forgets_.load(std::memory_order_relaxed);
+    s.spliced_bytes = spliced_bytes_.load(std::memory_order_relaxed);
+    s.copied_bytes = copied_bytes_.load(std::memory_order_relaxed);
+    s.splice_fallbacks = splice_fallbacks_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -159,8 +217,15 @@ class FuseConn {
   uint64_t MakeUnique(size_t channel) {
     return (next_unique_.fetch_add(1) << kChannelBits) | channel;
   }
-  // Pops the front of `ch` if non-empty (ch.mu must not be held).
+  // Pops the front of `ch` if non-empty (ch.mu must not be held). Consumes
+  // the lane bytes of a spliced request's payload.
   std::optional<FuseRequest> TryPop(FuseChannel& ch);
+  // Request-direction gate: lets a spliced WRITE payload onto lane_in, or
+  // flattens it to the copy path (lane full / channel opted out).
+  void GateRequestPayload(FuseChannel& ch, FuseRequest& request);
+  // Reply-direction gate: lets a spliced payload onto lane_out, or flattens
+  // reply.pages into reply.data (charging the copy).
+  void GateReplyPayload(FuseChannel& ch, FuseReply& reply);
   // Post-enqueue wakeup handshake with idle workers.
   void NotifyWork();
   // Appends `n` fresh channels to owned_channels_ and publishes them through
@@ -196,6 +261,9 @@ class FuseConn {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> replies_{0};
   std::atomic<uint64_t> forgets_{0};
+  std::atomic<uint64_t> spliced_bytes_{0};
+  std::atomic<uint64_t> copied_bytes_{0};
+  std::atomic<uint64_t> splice_fallbacks_{0};
 };
 
 // The open /dev/fuse descriptor, as held by the CNTR process. The fd itself

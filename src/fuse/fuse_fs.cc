@@ -64,7 +64,14 @@ class FuseFile : public kernel::FileDescription {
     if (!is_dir_) {
       return Status::Error(ENOTDIR);
     }
-    if (fuse_inode_->fuse_fs()->readdirplus_enabled()) {
+    // Seekdir detection (Linux: fuse_use_readdirplus refuses mid-stream
+    // reads): a consumer that repositions the directory cursor re-lists
+    // windows it already has, and priming the same children again is pure
+    // tax — once seen, this handle stays on plain READDIR.
+    if (offset() != 0) {
+      seekdir_observed_ = true;
+    }
+    if (!seekdir_observed_ && fuse_inode_->DecideReaddirPlus()) {
       return fuse_inode_->ReaddirPlus();
     }
     FuseRequest req;
@@ -79,6 +86,7 @@ class FuseFile : public kernel::FileDescription {
   std::shared_ptr<FuseInode> fuse_inode_;
   uint64_t fh_;
   bool is_dir_;
+  bool seekdir_observed_ = false;
 };
 
 }  // namespace
@@ -98,12 +106,30 @@ StatusOr<std::shared_ptr<FuseFs>> FuseFs::Create(kernel::Kernel* kernel,
   init.opcode = FuseOpcode::kInit;
   init.init_flags = (opts.async_read ? kFuseAsyncRead : 0) |
                     (opts.splice_read ? kFuseSpliceRead : 0) |
+                    (opts.splice_write ? kFuseSpliceWrite : 0) |
+                    (opts.splice_move ? kFuseSpliceMove : 0) |
                     (opts.parallel_dirops ? kFuseParallelDirops : 0) |
                     (opts.writeback_cache ? kFuseWritebackCache : 0) |
                     (opts.readdirplus ? kFuseDoReaddirplus : 0);
   CNTR_ASSIGN_OR_RETURN(FuseReply init_reply, fs->conn_->SendAndWait(std::move(init)));
   fs->readdirplus_enabled_ =
       opts.readdirplus && (init_reply.init_flags & kFuseDoReaddirplus) != 0;
+  fs->splice_read_enabled_ =
+      opts.splice_read && (init_reply.init_flags & kFuseSpliceRead) != 0;
+  fs->splice_write_enabled_ =
+      opts.splice_write && (init_reply.init_flags & kFuseSpliceWrite) != 0;
+  fs->splice_move_enabled_ =
+      opts.splice_move && (init_reply.init_flags & kFuseSpliceMove) != 0;
+  if (fs->splice_read_enabled_ || fs->splice_write_enabled_) {
+    // Size the channel data lanes (fcntl(F_SETPIPE_SZ) at mount time),
+    // clamped to the pipe limits so an oversized pipe_pages degrades to the
+    // largest legal lane instead of silently keeping the default (which
+    // would bounce every large payload to the copy path).
+    size_t lane_bytes =
+        std::min<size_t>(static_cast<size_t>(std::max<uint32_t>(1, opts.pipe_pages)) * kPageSize,
+                         kernel::kPipeMaxCapacity);
+    CNTR_RETURN_IF_ERROR(fs->conn_->SetLaneCapacity(lane_bytes).status());
+  }
 
   // GETATTR of the root to seed the root inode.
   FuseRequest getattr;
@@ -172,12 +198,11 @@ StatusOr<FuseReply> FuseFs::Call(FuseRequest req) {
   }
   // Splice write moves the whole request through a pipe before the header
   // can be parsed, adding a context switch to *every* operation (§3.3 —
-  // the reason it defaults to off).
+  // the reason it defaults to off). The payload-side win (page refs riding
+  // the channel lane instead of being copied) is what buys that hop back on
+  // large writes; the producers attach payload_pages and set `spliced`.
   if (opts_.splice_write) {
     kernel_->clock().Advance(kernel_->costs().fuse_round_trip_ns / 2);
-    if (req.opcode == FuseOpcode::kWrite) {
-      req.spliced = true;
-    }
   }
   return conn_->SendAndWait(std::move(req));
 }
@@ -209,6 +234,9 @@ InodePtr FuseFs::PrimeChild(FuseInode* dir, const std::string& name, const FuseE
   InodePtr child = GetOrCreateInode(entry);
   if (auto* fchild = dynamic_cast<FuseInode*>(child.get())) {
     fchild->SetParentHint(std::static_pointer_cast<FuseInode>(dir->shared_from_this()));
+    // Adaptivity sample: the first cache-hit Getattr on this child claims
+    // the flag and credits `dir` with a consumed priming.
+    fchild->attr_primed_unclaimed_.store(true, std::memory_order_relaxed);
   }
   kernel_->dcache().Insert(dir, name, child, entry.entry_ttl_ns);
   return child;
@@ -345,6 +373,13 @@ StatusOr<InodeAttr> FuseInode::Getattr() {
     std::lock_guard<std::mutex> lock(mu_);
     if (AttrFreshLocked()) {
       fs_->kernel()->clock().Advance(fs_->kernel()->costs().dcache_hit_ns);
+      // First read of a READDIRPLUS-primed attribute: credit the directory
+      // — its per-child stat batching just saved a round trip.
+      if (attr_primed_unclaimed_.exchange(false, std::memory_order_relaxed)) {
+        if (auto parent = parent_hint_.lock()) {
+          parent->NoteChildAttrConsumed();
+        }
+      }
       return attr_;
     }
   }
@@ -352,6 +387,11 @@ StatusOr<InodeAttr> FuseInode::Getattr() {
   req.opcode = FuseOpcode::kGetattr;
   req.nodeid = nodeid_;
   CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+  // A stat round trip on a child is the signal Linux feeds back as
+  // FUSE_I_ADVISE_RDPLUS: stats are happening here, batching them pays.
+  if (auto parent = parent_hint_.lock()) {
+    parent->AdviseReaddirPlus();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   UpdateServerAttrLocked(reply.attr, reply.attr_ttl_ns != 0 ? reply.attr_ttl_ns
                                                             : fs_->options().attr_ttl_ns);
@@ -375,6 +415,10 @@ Status FuseInode::Setattr(const kernel::SetattrRequest& sreq, const kernel::Cred
 }
 
 StatusOr<InodePtr> FuseInode::Lookup(const std::string& name) {
+  // fuse_advise_use_readdirplus: a LOOKUP round trip in this directory
+  // means names (and their attrs) are being resolved one by one — batching
+  // them pays, so lift any `ls`-style suppression.
+  AdviseReaddirPlus();
   FuseRequest req;
   req.opcode = FuseOpcode::kLookup;
   req.nodeid = nodeid_;
@@ -465,7 +509,7 @@ StatusOr<InodePtr> FuseInode::Symlink(const std::string& name, const std::string
 }
 
 StatusOr<std::vector<DirEntry>> FuseInode::Readdir() {
-  if (fs_->readdirplus_enabled()) {
+  if (DecideReaddirPlus()) {
     // READDIRPLUS resolves by nodeid: the server serves the batches through
     // its own handle, so no OPENDIR/RELEASEDIR round trips.
     return ReaddirPlus();
@@ -513,6 +557,23 @@ void FuseInode::UpdateServerAttrLocked(const InodeAttr& attr, uint64_t ttl_ns) {
   UpdateAttrLocked(attr, ttl_ns);
 }
 
+bool FuseInode::DecideReaddirPlus() {
+  // Roll the sample window: what did the last plus walk prime, and did
+  // anyone read it?
+  uint32_t primed = rdplus_primed_.exchange(0, std::memory_order_relaxed);
+  uint32_t consumed = rdplus_consumed_.exchange(0, std::memory_order_relaxed);
+  if (!fs_->readdirplus_enabled()) {
+    return false;
+  }
+  if (primed >= kRdplusMinSample && consumed == 0) {
+    // A full sample walk and not one primed attribute was touched: this
+    // directory is being `ls`'d, not stat-walked. (A consumer that only
+    // path-walks also lands here — its next LOOKUP miss re-advises.)
+    rdplus_suppressed_.store(true, std::memory_order_relaxed);
+  }
+  return !rdplus_suppressed_.load(std::memory_order_relaxed);
+}
+
 StatusOr<std::vector<DirEntry>> FuseInode::ReaddirPlus() {
   const uint32_t batch = std::max<uint32_t>(1, fs_->options().readdirplus_batch);
   std::vector<DirEntry> entries;
@@ -525,13 +586,20 @@ StatusOr<std::vector<DirEntry>> FuseInode::ReaddirPlus() {
     req.fh = stream;
     req.offset = cursor;
     req.size = batch;
+    req.splice_ok = fs_->splice_read_enabled();
     CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+    // A spliced reply carries the direntplus stream packed into pages (or
+    // flattened into `data` by the lane's copy fallback): unpack either.
+    if (reply.entries_plus.empty() && (!reply.pages.empty() || !reply.data.empty())) {
+      reply.entries_plus = UnpackDirentsPlus(reply.pages, reply.data);
+    }
     for (const FuseDirentPlus& dent : reply.entries_plus) {
       entries.push_back(dent.dirent);
       // nodeid == 0: "." / ".." or a child the server could not stat — the
       // entry is listed but nothing is primed.
       if (dent.entry.nodeid != 0) {
         (void)fs_->PrimeChild(this, dent.dirent.name, dent.entry);
+        rdplus_primed_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     cursor += reply.entries_plus.size();
@@ -665,40 +733,100 @@ StatusOr<size_t> FuseInode::ReadData(char* buf, size_t count, uint64_t off, uint
   uint64_t eof_page = (attr.size - 1) / kPageSize;
   char page[kPageSize];
 
-  for (uint64_t idx = first; idx <= last; ++idx) {
-    if (!pool.ReadPage(this, idx, page)) {
-      // Miss: issue one READ covering a readahead window. FUSE_ASYNC_READ
-      // lets the kernel batch the full window into one request; without it
-      // each page is its own round trip.
-      uint32_t window = opts.async_read ? opts.readahead_pages : 1;
-      uint32_t run = static_cast<uint32_t>(std::min<uint64_t>(window, eof_page - idx + 1));
-      FuseRequest req;
-      req.opcode = FuseOpcode::kRead;
-      req.nodeid = nodeid_;
-      req.fh = fh;
-      req.offset = idx * kPageSize;
-      req.size = run * kPageSize;
-      CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
-      // Store returned pages; the transfer out of the server costs one hop
-      // per page (copied, or spliced through a pipe).
-      for (uint32_t i = 0; i * kPageSize < reply.data.size(); ++i) {
-        size_t n = std::min<size_t>(kPageSize, reply.data.size() - i * kPageSize);
-        std::memset(page, 0, kPageSize);
-        std::memcpy(page, reply.data.data() + i * kPageSize, n);
-        if (!pool.HasPage(this, idx + i)) {
-          pool.StorePage(this, idx + i, page, /*dirty=*/false);
-        }
-        fs_->kernel()->clock().Advance(per_page_hop);
-      }
-      if (!pool.ReadPage(this, idx, page)) {
-        return Status::Error(EIO, "fuse read did not return requested page");
-      }
-    }
+  // Copies the user-visible slice of page `idx` out of `src`.
+  auto copy_out = [&](uint64_t idx, const char* src, size_t src_len) {
     uint64_t page_start = idx * kPageSize;
     uint64_t copy_from = std::max(off, page_start);
-    uint64_t copy_to = std::min(off + count, page_start + kPageSize);
-    std::memcpy(buf + (copy_from - off), page + (copy_from - page_start), copy_to - copy_from);
-    fs_->kernel()->clock().Advance(costs.copy_page_ns);
+    uint64_t copy_to = std::min(off + count, page_start + src_len);
+    if (copy_to > copy_from) {
+      std::memcpy(buf + (copy_from - off), src + (copy_from - page_start),
+                  copy_to - copy_from);
+      fs_->kernel()->clock().Advance(costs.copy_page_ns);
+    }
+  };
+
+  uint64_t idx = first;
+  while (idx <= last) {
+    if (pool.ReadPage(this, idx, page)) {
+      copy_out(idx, page, kPageSize);
+      ++idx;
+      continue;
+    }
+    // Miss: issue one READ covering a readahead window. FUSE_ASYNC_READ
+    // lets the kernel batch the full window into one request; without it
+    // each page is its own round trip.
+    uint32_t window = opts.async_read ? opts.readahead_pages : 1;
+    uint32_t run = static_cast<uint32_t>(std::min<uint64_t>(window, eof_page - idx + 1));
+    FuseRequest req;
+    req.opcode = FuseOpcode::kRead;
+    req.nodeid = nodeid_;
+    req.fh = fh;
+    req.offset = idx * kPageSize;
+    req.size = run * kPageSize;
+    req.splice_ok = fs_->splice_read_enabled();
+    CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
+    if (reply.spliced && !reply.pages.empty()) {
+      // Spliced reply: the payload arrived as page references off the
+      // channel lane. Full pages install by reference — stolen when the
+      // ref is unique, aliased (COW-protected) when the server cache still
+      // shares the page and FUSE_SPLICE_MOVE allows it, copied otherwise —
+      // and the user copy reads straight from the ref, skipping the
+      // store-then-reload round through the cache.
+      for (size_t i = 0; i < reply.pages.size(); ++i) {
+        const splice::PageRef& ref = reply.pages[i];
+        uint64_t at = idx + i;
+        if (!pool.HasPage(this, at)) {
+          if (ref.len == kPageSize) {
+            auto res = pool.StorePageRef(this, at, ref, /*dirty=*/false,
+                                         /*allow_alias=*/fs_->splice_move_enabled());
+            fs_->kernel()->clock().Advance(
+                res.mode == kernel::PageCachePool::StoreRefMode::kCopied
+                    ? costs.copy_page_ns
+                    : costs.splice_page_ns);
+          } else {
+            // EOF tail: short refs pad into a private page.
+            std::memset(page, 0, kPageSize);
+            std::memcpy(page, ref.data(), ref.len);
+            pool.StorePage(this, at, page, /*dirty=*/false);
+            fs_->kernel()->clock().Advance(costs.copy_page_ns);
+          }
+          if (at <= last) {
+            copy_out(at, ref.data(), ref.len);
+          }
+        } else {
+          // Already resident — and possibly newer: a writeback-dirty page
+          // holds bytes the server has not seen yet, so the cached copy
+          // wins over the reply's ref (the copy path gets this for free by
+          // re-reading the pool).
+          fs_->kernel()->clock().Advance(costs.splice_page_ns);
+          if (at <= last) {
+            if (pool.ReadPage(this, at, page)) {
+              copy_out(at, page, kPageSize);
+            } else {
+              copy_out(at, ref.data(), ref.len);  // evicted in between
+            }
+          }
+        }
+      }
+      idx += reply.pages.size();
+      continue;
+    }
+    // Copy path: store returned pages; the transfer out of the server costs
+    // one hop per page.
+    for (uint32_t i = 0; i * kPageSize < reply.data.size(); ++i) {
+      size_t n = std::min<size_t>(kPageSize, reply.data.size() - i * kPageSize);
+      std::memset(page, 0, kPageSize);
+      std::memcpy(page, reply.data.data() + i * kPageSize, n);
+      if (!pool.HasPage(this, idx + i)) {
+        pool.StorePage(this, idx + i, page, /*dirty=*/false);
+      }
+      fs_->kernel()->clock().Advance(per_page_hop);
+    }
+    if (!pool.ReadPage(this, idx, page)) {
+      return Status::Error(EIO, "fuse read did not return requested page");
+    }
+    copy_out(idx, page, kPageSize);
+    ++idx;
   }
   return count;
 }
@@ -716,14 +844,34 @@ StatusOr<size_t> FuseInode::WriteData(const char* buf, size_t count, uint64_t of
     size_t written = 0;
     while (written < count) {
       size_t n = std::min<size_t>(count - written, opts.max_write);
+      uint64_t cur = off + written;
       FuseRequest req;
       req.opcode = FuseOpcode::kWrite;
       req.nodeid = nodeid_;
       req.fh = fh;
-      req.offset = off + written;
-      req.data.assign(buf + written, n);
+      req.offset = cur;
+      // Page-aligned full pages travel as gifted refs on the channel lane
+      // (vmsplice + SPLICE_F_GIFT: the pages move, they are not copied
+      // user->kernel). Unaligned heads and sub-page tails stay on the copy
+      // path — a partial page can never be gifted whole.
+      bool spliced = fs_->splice_write_enabled() && cur % kPageSize == 0 && n >= kPageSize;
+      if (spliced) {
+        n -= n % kPageSize;
+        req.payload_pages.reserve(n / kPageSize);
+        for (size_t p = 0; p < n / kPageSize; ++p) {
+          req.payload_pages.push_back(
+              splice::PageRef::Copy(buf + written + p * kPageSize, kPageSize));
+          fs_->kernel()->clock().Advance(costs.splice_page_ns);
+        }
+        req.spliced = true;
+        req.size = static_cast<uint32_t>(n);
+      } else {
+        req.data.assign(buf + written, n);
+      }
       CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
-      fs_->kernel()->clock().Advance(((n + kPageSize - 1) / kPageSize) * costs.copy_page_ns);
+      if (!spliced) {
+        fs_->kernel()->clock().Advance(((n + kPageSize - 1) / kPageSize) * costs.copy_page_ns);
+      }
       written += reply.count;
       if (reply.count < n) {
         break;
@@ -812,6 +960,7 @@ uint32_t FuseInode::FlushDirtyPages(uint64_t fh) {
 
   size_t i = 0;
   uint64_t flushed_bytes = 0;
+  const bool spliced_flush = fs_->splice_write_enabled();
   while (i < dirty.size()) {
     // Collect one contiguous run, capped at max_write.
     size_t j = i + 1;
@@ -824,15 +973,37 @@ uint32_t FuseInode::FlushDirtyPages(uint64_t fh) {
     req.fh = fh;
     req.offset = dirty[i] * kPageSize;
     for (size_t k = i; k < j; ++k) {
-      if (!pool.PeekPage(this, dirty[k], page)) {
-        std::memset(page, 0, kPageSize);
-      }
       uint64_t page_start = dirty[k] * kPageSize;
       size_t len = static_cast<size_t>(
           std::min<uint64_t>(kPageSize, size_now > page_start ? size_now - page_start : 0));
-      req.data.append(page, len);
+      if (len == 0) {
+        continue;  // dirty page entirely beyond EOF: nothing to flush
+      }
+      if (spliced_flush) {
+        // The dirty cache pages themselves ride the lane as shared refs
+        // (splice cache->pipe); the server adopts or aliases them, and a
+        // racing write to the kernel copy COWs instead of corrupting the
+        // in-flight payload.
+        auto ref = pool.GetPageRef(this, dirty[k]);
+        if (!ref.has_value()) {
+          ref = splice::PageRef::Alloc(static_cast<uint32_t>(len));
+        }
+        req.payload_pages.push_back(len == kPageSize
+                                        ? *ref
+                                        : ref->WithLen(static_cast<uint32_t>(len)));
+        flushed_bytes += len;
+      } else {
+        if (!pool.PeekPage(this, dirty[k], page)) {
+          std::memset(page, 0, kPageSize);
+        }
+        req.data.append(page, len);
+      }
     }
-    flushed_bytes += req.data.size();
+    if (spliced_flush) {
+      req.spliced = !req.payload_pages.empty();
+    } else {
+      flushed_bytes += req.data.size();
+    }
     (void)fs_->Call(std::move(req));
     ++requests;
     for (size_t k = i; k < j; ++k) {

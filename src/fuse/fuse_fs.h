@@ -46,6 +46,11 @@ struct FuseMountOptions {
   bool async_read = true;
   bool splice_read = true;
   bool splice_write = false;  // paper §3.3: slows every op, default off
+  // FUSE_SPLICE_MOVE: spliced pages may be stolen (unique refs) or aliased
+  // (shared refs, COW-protected) into the receiving cache instead of
+  // copied. Off, every spliced page still pays a copy at the cache
+  // boundary.
+  bool splice_move = true;
   bool batch_forget = true;
   bool readdirplus = true;
 
@@ -60,6 +65,10 @@ struct FuseMountOptions {
   // contending on one queue lock (see fuse_conn.h). 1 = the paper's
   // single-queue design; 0 = one channel per server thread.
   uint32_t num_channels = 1;
+  // Per-channel splice-lane capacity in pages (the F_SETPIPE_SZ analogue).
+  // A READ/WRITE payload larger than the lane falls back to the copy path
+  // whole, so this should cover readahead_pages / max_write.
+  uint32_t pipe_pages = 32;
 
   // Everything on (the paper's tuned configuration).
   static FuseMountOptions Optimized() { return FuseMountOptions{}; }
@@ -71,6 +80,7 @@ struct FuseMountOptions {
     o.parallel_dirops = false;
     o.async_read = false;
     o.splice_read = false;
+    o.splice_move = false;
     o.batch_forget = false;
     o.readdirplus = false;
     return o;
@@ -103,6 +113,10 @@ class FuseFs : public kernel::FileSystem, public std::enable_shared_from_this<Fu
   // True when the mount asked for READDIRPLUS and the server granted it at
   // INIT time (FUSE_DO_READDIRPLUS).
   bool readdirplus_enabled() const { return readdirplus_enabled_; }
+  // Splice capabilities as negotiated at INIT time.
+  bool splice_read_enabled() const { return splice_read_enabled_; }
+  bool splice_write_enabled() const { return splice_write_enabled_; }
+  bool splice_move_enabled() const { return splice_move_enabled_; }
 
   // Issues a request; adds the serialized-dirop penalty for LOOKUP/READDIR
   // when parallel_dirops is off and the splice-write header hop when
@@ -143,6 +157,9 @@ class FuseFs : public kernel::FileSystem, public std::enable_shared_from_this<Fu
   std::shared_ptr<FuseConn> conn_;
   FuseMountOptions opts_;
   bool readdirplus_enabled_ = false;
+  bool splice_read_enabled_ = false;
+  bool splice_write_enabled_ = false;
+  bool splice_move_enabled_ = false;
   std::shared_ptr<FuseInode> root_;
 
   std::mutex inodes_mu_;
@@ -210,6 +227,25 @@ class FuseInode : public kernel::Inode {
   // child along the way.
   StatusOr<std::vector<kernel::DirEntry>> ReaddirPlus();
 
+  // --- READDIRPLUS adaptivity (Linux's readdirplus_auto heuristic) ---
+  // A pure `ls`-style consumer lists a directory but never reads the
+  // primed attributes; for it READDIRPLUS is all tax, no benefit, so after
+  // one unconsumed sample walk the directory falls back to plain READDIR.
+  // Any sign that stats are happening again — a child attribute miss, a
+  // LOOKUP round trip on this directory (FUSE_I_ADVISE_RDPLUS analogue) —
+  // re-enables it.
+
+  // Decides plus-vs-plain for the next listing of this directory and rolls
+  // the sample window (call once per listing).
+  bool DecideReaddirPlus();
+  // A primed child attribute was served from cache: the plus data paid off.
+  void NoteChildAttrConsumed() { rdplus_consumed_.fetch_add(1, std::memory_order_relaxed); }
+  // Stat-shaped traffic observed: lift the suppression.
+  void AdviseReaddirPlus() { rdplus_suppressed_.store(false, std::memory_order_relaxed); }
+  bool readdirplus_suppressed() const {
+    return rdplus_suppressed_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class FuseFs;
 
@@ -237,6 +273,17 @@ class FuseInode : public kernel::Inode {
   uint64_t last_known_fh_ = UINT64_MAX;  // for flush without an open file
   std::weak_ptr<FuseInode> parent_hint_;
   bool dirty_registered_ = false;
+
+  // Adaptivity sample for directories: children primed by the last
+  // READDIRPLUS walk vs. primed attrs consumed since (see DecideReaddirPlus).
+  static constexpr uint32_t kRdplusMinSample = 16;
+  std::atomic<uint32_t> rdplus_primed_{0};
+  std::atomic<uint32_t> rdplus_consumed_{0};
+  std::atomic<bool> rdplus_suppressed_{false};
+  // On children: set when READDIRPLUS primed this inode's attributes and no
+  // one has read them yet; the first cache-hit Getattr claims it and
+  // credits the parent directory.
+  std::atomic<bool> attr_primed_unclaimed_{false};
 };
 
 }  // namespace cntr::fuse

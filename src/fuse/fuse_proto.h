@@ -17,6 +17,7 @@
 #include "src/kernel/cred.h"
 #include "src/kernel/file.h"
 #include "src/kernel/inode.h"
+#include "src/splice/page_ref.h"
 #include "src/util/sim_clock.h"
 
 namespace cntr::fuse {
@@ -61,9 +62,11 @@ const char* FuseOpcodeName(FuseOpcode op);
 // The root of a FUSE mount always has nodeid 1 (FUSE_ROOT_ID).
 inline constexpr uint64_t kFuseRootId = 1;
 
-// INIT negotiation flags (subset of FUSE_*).
+// INIT negotiation flags (subset of FUSE_*, same bit positions).
 inline constexpr uint32_t kFuseAsyncRead = 1 << 0;
-inline constexpr uint32_t kFuseSpliceRead = 1 << 9;
+inline constexpr uint32_t kFuseSpliceWrite = 1 << 7;  // WRITE payloads ride the pipe lanes
+inline constexpr uint32_t kFuseSpliceMove = 1 << 8;   // pages may be stolen/aliased, not copied
+inline constexpr uint32_t kFuseSpliceRead = 1 << 9;   // READ replies ride the pipe lanes
 inline constexpr uint32_t kFuseDoReaddirplus = 1 << 13;
 inline constexpr uint32_t kFuseParallelDirops = 1 << 18;
 inline constexpr uint32_t kFuseWritebackCache = 1 << 16;
@@ -110,8 +113,15 @@ struct FuseRequest {
   uint32_t init_flags = 0;   // INIT negotiation
 
   // True when the payload of a write travels through a kernel pipe (splice)
-  // instead of being copied through userspace.
+  // instead of being copied through userspace. The pages then ride in
+  // `payload_pages` (the typed analogue of the single /dev/fuse read that
+  // consumes header + spliced payload together); `data` stays empty.
   bool spliced = false;
+  std::vector<splice::PageRef> payload_pages;
+  // True when the kernel accepts a spliced reply payload for this request
+  // (READ / READDIRPLUS with the splice lanes negotiated and this request's
+  // channel opted in). Cleared by the transport on opted-out channels.
+  bool splice_ok = false;
 
   // --- transport metadata (set by FuseConn at submission, not on the wire) ---
   // Channel the request was routed to (sticky per caller pid).
@@ -154,12 +164,35 @@ struct FuseReply {
   kernel::StatFs statfs;
   uint32_t init_flags = 0;               // INIT result
 
+  // Spliced payload: READ data (or a packed READDIRPLUS stream) as page
+  // references instead of bytes in `data`. `spliced` is set by the
+  // transport once the pages have actually ridden the channel's pipe lane;
+  // a reply whose payload had to fall back to the copy path arrives with
+  // the bytes flattened into `data` and `spliced == false`.
+  std::vector<splice::PageRef> pages;
+  bool spliced = false;
+
+  uint32_t payload_bytes() const {
+    uint32_t total = 0;
+    for (const splice::PageRef& ref : pages) {
+      total += ref.len;
+    }
+    return total;
+  }
+
   static FuseReply Error(int err) {
     FuseReply r;
     r.error = err;
     return r;
   }
 };
+
+// READDIRPLUS payload serialization: the direntplus stream is packed into
+// pages so it can travel the splice lane like READ data (and be flattened
+// into `data` on copy fallback). Unpack accepts either representation.
+std::vector<splice::PageRef> PackDirentsPlus(const std::vector<FuseDirentPlus>& entries);
+std::vector<FuseDirentPlus> UnpackDirentsPlus(const std::vector<splice::PageRef>& pages,
+                                              const std::string& flat);
 
 }  // namespace cntr::fuse
 

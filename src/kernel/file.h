@@ -14,6 +14,7 @@
 
 #include "src/kernel/inode.h"
 #include "src/kernel/types.h"
+#include "src/splice/page_ref.h"
 #include "src/util/status.h"
 
 namespace cntr::kernel {
@@ -43,6 +44,19 @@ class FileDescription {
   // --- positional I/O ---
   virtual StatusOr<size_t> Read(void* buf, size_t count, uint64_t offset);
   virtual StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset);
+
+  // --- splice I/O (page references instead of byte copies) ---
+  // Filesystems whose data lives in the shared page cache can serve and
+  // accept payload as page references: a splice() against this file moves
+  // pages instead of copying them. `offset` must be page-aligned. Default:
+  // unsupported — callers fall back to the byte path.
+  virtual StatusOr<std::vector<splice::PageRef>> ReadPageRefs(size_t count, uint64_t offset) {
+    return Status::Error(EOPNOTSUPP);
+  }
+  virtual StatusOr<size_t> WritePageRefs(const std::vector<splice::PageRef>& pages,
+                                         uint64_t offset) {
+    return Status::Error(EOPNOTSUPP);
+  }
 
   // --- durability ---
   virtual Status Fsync(bool datasync) { return Status::Ok(); }

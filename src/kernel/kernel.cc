@@ -55,6 +55,7 @@ Kernel::Kernel(Config config) : config_(std::move(config)) {
                                                 config_.page_cache_capacity);
   disk_ = std::make_unique<DiskModel>(&clock_, &config_.costs, config_.disk_capacity);
   dcache_ = std::make_unique<DentryCache>(&clock_, &config_.costs);
+  splice_engine_ = std::make_unique<splice::SpliceEngine>(&clock_, &config_.costs);
 }
 
 Kernel::~Kernel() {

@@ -31,6 +31,7 @@
 #include "src/kernel/process.h"
 #include "src/kernel/types.h"
 #include "src/kernel/unix_socket.h"
+#include "src/splice/splice.h"
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
 
@@ -73,6 +74,7 @@ class Kernel {
   ProcessTable& procs() { return procs_; }
   PollHub& poll_hub() { return poll_hub_; }
   DentryCache& dcache() { return *dcache_; }
+  splice::SpliceEngine& splice_engine() { return *splice_engine_; }
   std::shared_ptr<CgroupNode> cgroup_root() { return cgroup_root_; }
 
   // init (pid 1): root tmpfs with /proc, /dev (null, zero, fuse), /tmp,
@@ -218,8 +220,19 @@ class Kernel {
   StatusOr<std::vector<EpollEvent>> EpollWait(Process& proc, Fd epfd, int max_events,
                                               int timeout_ms);
   // splice(2): at least one side must be a pipe; moves up to `len` bytes
-  // without a userspace copy (charged at splice cost).
+  // without a userspace copy. Pipe-to-pipe moves segments by reference;
+  // socket endpoints fall back to a kernel-internal copy at splice cost.
   StatusOr<size_t> Splice(Process& proc, Fd fd_in, Fd fd_out, size_t len);
+  // vmsplice(2): maps `len` bytes of user memory into the pipe. `gift`
+  // models SPLICE_F_GIFT (pages move instead of copying).
+  StatusOr<size_t> Vmsplice(Process& proc, Fd fd, const void* buf, size_t len, bool gift = false);
+  // tee(2): duplicates up to `len` bytes between two pipes without
+  // consuming the source.
+  StatusOr<size_t> Tee(Process& proc, Fd fd_in, Fd fd_out, size_t len);
+  // fcntl(F_SETPIPE_SZ / F_GETPIPE_SZ): resizes / reads a pipe's ring
+  // capacity. Accepts either end of the pipe; returns the resulting size.
+  StatusOr<size_t> SetPipeSize(Process& proc, Fd fd, size_t bytes);
+  StatusOr<size_t> GetPipeSize(Process& proc, Fd fd);
 
   // ------------------------------------------------------------------
   // Devices & hooks
@@ -251,6 +264,7 @@ class Kernel {
   std::unique_ptr<PageCachePool> page_cache_;
   std::unique_ptr<DiskModel> disk_;
   std::unique_ptr<DentryCache> dcache_;
+  std::unique_ptr<splice::SpliceEngine> splice_engine_;
   PollHub poll_hub_;
   ProcessTable procs_;
 

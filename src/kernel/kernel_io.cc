@@ -771,14 +771,23 @@ StatusOr<size_t> Kernel::Splice(Process& proc, Fd fd_in, Fd fd_out, size_t len) 
   clock_.Advance(config_.costs.syscall_entry_ns);
   CNTR_ASSIGN_OR_RETURN(FilePtr in, proc.fds.Get(fd_in));
   CNTR_ASSIGN_OR_RETURN(FilePtr out, proc.fds.Get(fd_out));
-  bool in_pipe = dynamic_cast<PipeReadEnd*>(in.get()) != nullptr ||
+  auto* in_pipe_end = dynamic_cast<PipeReadEnd*>(in.get());
+  auto* out_pipe_end = dynamic_cast<PipeWriteEnd*>(out.get());
+  bool in_pipe = in_pipe_end != nullptr ||
                  dynamic_cast<ConnectedSocketFile*>(in.get()) != nullptr;
-  bool out_pipe = dynamic_cast<PipeWriteEnd*>(out.get()) != nullptr ||
+  bool out_pipe = out_pipe_end != nullptr ||
                   dynamic_cast<ConnectedSocketFile*>(out.get()) != nullptr;
   if (!in_pipe && !out_pipe) {
     return Status::Error(EINVAL, "splice needs a pipe");
   }
   len = std::min<size_t>(len, 1 << 20);
+  if (in_pipe_end != nullptr && out_pipe_end != nullptr) {
+    // Pipe-to-pipe: move the segment references themselves — no bytes are
+    // touched, and a tee'd/shared page stays shared across the move.
+    return splice_engine_->MovePipeToPipe(*in_pipe_end->pipe_buffer(),
+                                          *out_pipe_end->pipe_buffer(), len,
+                                          in->nonblocking() || out->nonblocking());
+  }
   std::vector<char> chunk(len);
   CNTR_ASSIGN_OR_RETURN(size_t n, in->Read(chunk.data(), len, in->offset()));
   if (n == 0) {
@@ -794,6 +803,72 @@ StatusOr<size_t> Kernel::Splice(Process& proc, Fd fd_in, Fd fd_out, size_t len) 
   // Pages are remapped, not copied: charge the splice rate.
   clock_.Advance(((written + kPageSize - 1) / kPageSize) * config_.costs.splice_page_ns);
   return written;
+}
+
+namespace {
+
+// Either end of a pipe names the same ring (fcntl works on both).
+std::shared_ptr<PipeBuffer> PipeOfFile(const FilePtr& file) {
+  if (auto* r = dynamic_cast<PipeReadEnd*>(file.get())) {
+    return r->pipe_buffer();
+  }
+  if (auto* w = dynamic_cast<PipeWriteEnd*>(file.get())) {
+    return w->pipe_buffer();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+StatusOr<size_t> Kernel::Vmsplice(Process& proc, Fd fd, const void* buf, size_t len, bool gift) {
+  CurrentScope current(proc);
+  clock_.Advance(config_.costs.syscall_entry_ns);
+  CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
+  auto* w = dynamic_cast<PipeWriteEnd*>(file.get());
+  if (w == nullptr) {
+    return Status::Error(EBADF, "vmsplice needs a pipe write end");
+  }
+  return splice_engine_->VmspliceIn(*w->pipe_buffer(), static_cast<const char*>(buf), len, gift,
+                                    file->nonblocking());
+}
+
+StatusOr<size_t> Kernel::Tee(Process& proc, Fd fd_in, Fd fd_out, size_t len) {
+  CurrentScope current(proc);
+  clock_.Advance(config_.costs.syscall_entry_ns);
+  CNTR_ASSIGN_OR_RETURN(FilePtr in, proc.fds.Get(fd_in));
+  CNTR_ASSIGN_OR_RETURN(FilePtr out, proc.fds.Get(fd_out));
+  auto* r = dynamic_cast<PipeReadEnd*>(in.get());
+  auto* w = dynamic_cast<PipeWriteEnd*>(out.get());
+  if (r == nullptr || w == nullptr) {
+    return Status::Error(EINVAL, "tee needs two pipes");
+  }
+  if (r->pipe_buffer() == w->pipe_buffer()) {
+    return Status::Error(EINVAL, "tee on the same pipe");
+  }
+  return splice_engine_->Tee(*r->pipe_buffer(), *w->pipe_buffer(), len,
+                             in->nonblocking() || out->nonblocking());
+}
+
+StatusOr<size_t> Kernel::SetPipeSize(Process& proc, Fd fd, size_t bytes) {
+  CurrentScope current(proc);
+  clock_.Advance(config_.costs.syscall_entry_ns);
+  CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
+  auto pipe = PipeOfFile(file);
+  if (pipe == nullptr) {
+    return Status::Error(EBADF, "F_SETPIPE_SZ on a non-pipe");
+  }
+  return pipe->SetCapacity(bytes);
+}
+
+StatusOr<size_t> Kernel::GetPipeSize(Process& proc, Fd fd) {
+  CurrentScope current(proc);
+  clock_.Advance(config_.costs.syscall_entry_ns);
+  CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
+  auto pipe = PipeOfFile(file);
+  if (pipe == nullptr) {
+    return Status::Error(EBADF, "F_GETPIPE_SZ on a non-pipe");
+  }
+  return pipe->capacity();
 }
 
 }  // namespace cntr::kernel

@@ -33,6 +33,27 @@ class MemFile : public FileDescription {
                                  (flags() & kODirect) != 0);
   }
 
+  StatusOr<std::vector<splice::PageRef>> ReadPageRefs(size_t count, uint64_t offset) override {
+    if (!readable()) {
+      return Status::Error(EBADF);
+    }
+    if ((flags() & kODirect) != 0) {
+      return Status::Error(EOPNOTSUPP);  // O_DIRECT bypasses the page cache
+    }
+    return mem_inode_->ReadPageRefs(count, offset);
+  }
+
+  StatusOr<size_t> WritePageRefs(const std::vector<splice::PageRef>& pages,
+                                 uint64_t offset) override {
+    if (!writable()) {
+      return Status::Error(EBADF);
+    }
+    if ((flags() & kODirect) != 0) {
+      return Status::Error(EOPNOTSUPP);
+    }
+    return mem_inode_->WritePageRefs(pages, offset);
+  }
+
   Status Fsync(bool datasync) override { return mem_inode_->FsyncData(datasync); }
 
   StatusOr<std::vector<DirEntry>> Readdir() override { return mem_inode_->Readdir(); }
@@ -743,6 +764,161 @@ StatusOr<size_t> MemInode::WriteData(const char* buf, size_t count, uint64_t off
           }
         }
         fs_->clock()->Advance(fs_->costs()->copy_page_ns);
+      }
+      if (newly_dirty_pages > 0 && !dirty_registered_) {
+        dirty_registered_ = true;
+        fs_->NoteDirty(this);
+      }
+      maybe_writeback = true;
+    }
+
+    if (new_size != attr_.size) {
+      fs_->AccountData(static_cast<int64_t>(new_size) - static_cast<int64_t>(attr_.size));
+      attr_.size = new_size;
+    }
+    attr_.mtime = attr_.ctime = fs_->Now();
+  }
+  if (maybe_writeback) {
+    fs_->MaybeBackgroundWriteback();
+  }
+  return count;
+}
+
+StatusOr<std::vector<splice::PageRef>> MemInode::ReadPageRefs(size_t count, uint64_t off) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IsReg(attr_.mode)) {
+    return Status::Error(EINVAL);
+  }
+  if (off % kPageSize != 0) {
+    return Status::Error(EINVAL, "splice read offset must be page-aligned");
+  }
+  std::vector<splice::PageRef> out;
+  if (off >= attr_.size || count == 0) {
+    return out;
+  }
+  count = std::min<uint64_t>(count, attr_.size - off);
+  attr_.atime = fs_->Now();
+
+  const MemFs::Options& opts = fs_->options();
+  uint64_t first = off / kPageSize;
+  uint64_t last = (off + count - 1) / kPageSize;
+  out.reserve(last - first + 1);
+
+  if (opts.disk == nullptr) {
+    // tmpfs: the payload is anonymous inline memory, not cached pages — the
+    // refs are private copies, which leave here unique (stealable).
+    for (uint64_t idx = first; idx <= last; ++idx) {
+      uint64_t page_start = idx * kPageSize;
+      uint32_t len = static_cast<uint32_t>(
+          std::min<uint64_t>(kPageSize, off + count - page_start));
+      out.push_back(splice::PageRef::Copy(inline_data_.data() + page_start, len));
+      fs_->clock()->Advance(fs_->costs()->copy_page_ns);
+    }
+    return out;
+  }
+
+  for (uint64_t idx = first; idx <= last; ++idx) {
+    auto ref = opts.page_cache->GetPageRef(this, idx);  // splice rate on hit
+    if (!ref.has_value()) {
+      uint64_t eof_page = attr_.size == 0 ? 0 : (attr_.size - 1) / kPageSize;
+      uint32_t run = static_cast<uint32_t>(
+          std::min<uint64_t>(opts.readahead_pages, eof_page - idx + 1));
+      FillFromDiskLocked(idx, run);
+      ref = opts.page_cache->GetPageRef(this, idx);
+      if (!ref.has_value()) {
+        return Status::Error(EIO, "page fill failed");
+      }
+    }
+    uint64_t page_start = idx * kPageSize;
+    uint32_t len = static_cast<uint32_t>(
+        std::min<uint64_t>(kPageSize, off + count - page_start));
+    out.push_back(len == kPageSize ? *ref : ref->WithLen(len));
+  }
+  return out;
+}
+
+StatusOr<size_t> MemInode::WritePageRefs(const std::vector<splice::PageRef>& pages,
+                                         uint64_t off) {
+  size_t count = 0;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    // Only the tail may be short: refs land on consecutive page slots.
+    if (pages[i].len < kPageSize && i + 1 != pages.size()) {
+      return Status::Error(EINVAL, "short page ref before the tail");
+    }
+    count += pages[i].len;
+  }
+  if (count == 0) {
+    return size_t{0};
+  }
+  bool maybe_writeback = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!IsReg(attr_.mode)) {
+      return Status::Error(EINVAL);
+    }
+    if (off % kPageSize != 0) {
+      return Status::Error(EINVAL, "splice write offset must be page-aligned");
+    }
+    const MemFs::Options& opts = fs_->options();
+    uint64_t new_size = std::max<uint64_t>(attr_.size, off + count);
+    if (opts.capacity_bytes != UINT64_MAX && new_size > attr_.size) {
+      int64_t projected = fs_->used_bytes() + static_cast<int64_t>(new_size - attr_.size);
+      if (static_cast<uint64_t>(projected) > opts.capacity_bytes) {
+        return Status::Error(ENOSPC);
+      }
+    }
+
+    if (opts.disk == nullptr) {
+      // tmpfs: no page cache to adopt into — copy fallback per page.
+      if (inline_data_.size() < off + count) {
+        inline_data_.resize(off + count, 0);
+      }
+      uint64_t pos = off;
+      for (const splice::PageRef& ref : pages) {
+        std::memcpy(inline_data_.data() + pos, ref.data(), ref.len);
+        pos += ref.len;
+        fs_->clock()->Advance(fs_->costs()->copy_page_ns);
+      }
+    } else {
+      uint64_t idx = off / kPageSize;
+      uint64_t newly_dirty_pages = 0;
+      for (const splice::PageRef& ref : pages) {
+        if (ref.len == kPageSize) {
+          auto res = opts.page_cache->StorePageRef(this, idx, ref, /*dirty=*/true,
+                                                   /*allow_alias=*/true);
+          if (res.newly_dirty) {
+            ++newly_dirty_pages;
+          }
+          fs_->clock()->Advance(res.mode == PageCachePool::StoreRefMode::kCopied
+                                    ? fs_->costs()->copy_page_ns
+                                    : fs_->costs()->splice_page_ns);
+        } else {
+          // Short tail: read-modify-write through the byte path (a partial
+          // page can never be adopted whole).
+          uint64_t page_start = idx * kPageSize;
+          auto res = opts.page_cache->UpdatePage(this, idx, 0, ref.len, ref.data(),
+                                                 /*mark_dirty=*/true);
+          if (res == PageCachePool::UpdateResult::kNotResident) {
+            if (page_start < attr_.size) {
+              FillFromDiskLocked(idx, 1);
+              res = opts.page_cache->UpdatePage(this, idx, 0, ref.len, ref.data(), true);
+              if (res == PageCachePool::UpdateResult::kNewlyDirty) {
+                ++newly_dirty_pages;
+              }
+            } else {
+              char page[kPageSize];
+              std::memset(page, 0, kPageSize);
+              std::memcpy(page, ref.data(), ref.len);
+              if (opts.page_cache->StorePage(this, idx, page, /*dirty=*/true)) {
+                ++newly_dirty_pages;
+              }
+            }
+          } else if (res == PageCachePool::UpdateResult::kNewlyDirty) {
+            ++newly_dirty_pages;
+          }
+          fs_->clock()->Advance(fs_->costs()->copy_page_ns);
+        }
+        ++idx;
       }
       if (newly_dirty_pages > 0 && !dirty_registered_) {
         dirty_registered_ = true;

@@ -139,6 +139,13 @@ class MemInode : public Inode {
   // --- data plane (called from MemFile) ---
   StatusOr<size_t> ReadData(char* buf, size_t count, uint64_t off, bool direct);
   StatusOr<size_t> WriteData(const char* buf, size_t count, uint64_t off, bool direct);
+  // Splice data plane: serves/accepts payload as page references. On the
+  // disk-backed role these alias (or adopt) pages of the shared cache, so a
+  // CNTRFS READ reply can travel without a single byte copy; on the tmpfs
+  // role they degrade to copies of the inline payload. `off` must be
+  // page-aligned.
+  StatusOr<std::vector<splice::PageRef>> ReadPageRefs(size_t count, uint64_t off);
+  StatusOr<size_t> WritePageRefs(const std::vector<splice::PageRef>& pages, uint64_t off);
   Status TruncateData(uint64_t new_size);
   Status FsyncData(bool datasync);
   uint64_t size() const;

@@ -1,6 +1,7 @@
 #include "src/kernel/page_cache.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace cntr::kernel {
 
@@ -43,13 +44,14 @@ bool PageCachePool::StorePage(CacheOwner owner, uint64_t idx, const char* data, 
   auto it = shard.pages.find(key);
   if (it == shard.pages.end()) {
     Page page;
-    page.data = std::make_unique<char[]>(kPageSize);
+    page.data = std::make_shared<char[]>(kPageSize);
     std::memcpy(page.data.get(), data, kPageSize);
     shard.lru.push_front(key);
     page.lru_it = shard.lru.begin();
     page.dirty = dirty;
     shard.pages.emplace(key, std::move(page));
   } else {
+    EnsureExclusiveLocked(it->second, /*preserve_content=*/false);
     std::memcpy(it->second.data.get(), data, kPageSize);
     bool was_dirty = it->second.dirty;
     it->second.dirty = it->second.dirty || dirty;
@@ -76,6 +78,7 @@ PageCachePool::UpdateResult PageCachePool::UpdatePage(CacheOwner owner, uint64_t
   if (it == shard.pages.end()) {
     return UpdateResult::kNotResident;
   }
+  EnsureExclusiveLocked(it->second, /*preserve_content=*/true);
   std::memcpy(it->second.data.get() + off, src, len);
   TouchLocked(shard, it->second, it->first);
   if (mark_dirty && !it->second.dirty) {
@@ -97,6 +100,7 @@ void PageCachePool::TruncatePages(CacheOwner owner, uint64_t new_size) {
     auto it = shard.pages.find(key);
     if (it != shard.pages.end()) {
       uint32_t keep = static_cast<uint32_t>(new_size % kPageSize);
+      EnsureExclusiveLocked(it->second, /*preserve_content=*/true);
       std::memset(it->second.data.get() + keep, 0, kPageSize - keep);
     }
   }
@@ -240,6 +244,112 @@ uint64_t PageCachePool::ResidentBytes() const {
     total += shard.pages.size() * kPageSize;
   }
   return total;
+}
+
+std::optional<splice::PageRef> PageCachePool::GetPageRef(CacheOwner owner, uint64_t idx) {
+  Key key{owner, idx};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.pages.find(key);
+  if (it == shard.pages.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  // The remap out of the cache, not a copy: splice rate, not hit+copy.
+  clock_->Advance(costs_->splice_page_ns);
+  TouchLocked(shard, it->second, it->first);
+  splice::PageRef ref;
+  ref.page = it->second.data;
+  ref.len = kPageSize;
+  return ref;
+}
+
+PageCachePool::StoreRefResult PageCachePool::StorePageRef(CacheOwner owner, uint64_t idx,
+                                                          const splice::PageRef& ref, bool dirty,
+                                                          bool allow_alias) {
+  StoreRefResult result;
+  std::shared_ptr<char[]> install;
+  if (ref.valid() && ref.len == kPageSize && ref.unique()) {
+    install = ref.page;
+    result.mode = StoreRefMode::kStolen;
+    ref_steals_.fetch_add(1, std::memory_order_relaxed);
+  } else if (ref.valid() && ref.len == kPageSize && allow_alias) {
+    install = ref.page;
+    result.mode = StoreRefMode::kAliased;
+    ref_aliases_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Copy fallback: short page, or shared without alias permission.
+    install = std::make_shared<char[]>(kPageSize);
+    if (ref.valid()) {
+      std::memcpy(install.get(), ref.data(), ref.len);
+    }
+    result.mode = StoreRefMode::kCopied;
+    ref_copies_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Key key{owner, idx};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.pages.find(key);
+  bool count_dirty = dirty;
+  if (it == shard.pages.end()) {
+    Page page;
+    page.data = std::move(install);
+    shard.lru.push_front(key);
+    page.lru_it = shard.lru.begin();
+    page.dirty = dirty;
+    shard.pages.emplace(key, std::move(page));
+  } else {
+    it->second.data = std::move(install);
+    bool was_dirty = it->second.dirty;
+    it->second.dirty = it->second.dirty || dirty;
+    TouchLocked(shard, it->second, key);
+    if (was_dirty) {
+      count_dirty = false;  // already accounted
+    }
+  }
+  if (count_dirty) {
+    shard.dirty[owner][idx] = true;
+    dirty_bytes_total_.fetch_add(kPageSize, std::memory_order_relaxed);
+  }
+  EvictIfNeededLocked(shard);
+  result.newly_dirty = count_dirty;
+  return result;
+}
+
+std::optional<splice::PageRef> PageCachePool::StealPage(CacheOwner owner, uint64_t idx) {
+  Key key{owner, idx};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.pages.find(key);
+  if (it == shard.pages.end() || it->second.dirty) {
+    return std::nullopt;  // absent, or pinned by writeback
+  }
+  splice::PageRef ref;
+  ref.page = std::move(it->second.data);
+  ref.len = kPageSize;
+  shard.lru.erase(it->second.lru_it);
+  shard.pages.erase(it);
+  ref_steals_.fetch_add(1, std::memory_order_relaxed);
+  clock_->Advance(costs_->splice_page_ns);
+  return ref;
+}
+
+void PageCachePool::EnsureExclusiveLocked(Page& page, bool preserve_content) {
+  if (page.data.use_count() <= 1) {
+    return;
+  }
+  // An outside splice reference holds this buffer: writing in place would
+  // mutate payload already handed out. Break the sharing with a private
+  // copy — the real cost of a failed page reuse.
+  auto fresh = std::make_shared<char[]>(kPageSize);
+  if (preserve_content) {
+    std::memcpy(fresh.get(), page.data.get(), kPageSize);
+  }
+  page.data = std::move(fresh);
+  cow_breaks_.fetch_add(1, std::memory_order_relaxed);
+  clock_->Advance(costs_->copy_page_ns);
 }
 
 void PageCachePool::TouchLocked(Shard& shard, Page& page, const Key& key) {

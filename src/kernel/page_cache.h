@@ -28,10 +28,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "src/kernel/types.h"
+#include "src/splice/page_ref.h"
 #include "src/util/hash.h"
 #include "src/util/sim_clock.h"
 
@@ -82,6 +84,44 @@ class PageCachePool {
   // writeback to read dirty data.
   bool PeekPage(CacheOwner owner, uint64_t idx, char* out) const;
 
+  // --- splice surface: zero-copy page references ---
+  //
+  // Cached pages are shared-owned, so a resident page can leave the cache as
+  // a reference (splice file->pipe) and a pipe page can enter it as one
+  // (splice pipe->cache). Any holder outside the cache makes the page
+  // read-only for the cache too: the mutating paths (StorePage, UpdatePage,
+  // TruncatePages) break the sharing with a copy first (COW), so a spliced
+  // reference never observes later writes.
+
+  // Returns a shared reference to a resident page (LRU touch, hit/miss
+  // accounting, splice cost — the remap is what a splice() out of the cache
+  // pays instead of page_cache_hit + copy). nullopt on miss.
+  std::optional<splice::PageRef> GetPageRef(CacheOwner owner, uint64_t idx);
+
+  // Installs a full-page reference. No cost is charged here — the caller
+  // charges per the returned mode (steal/alias at splice rate, copy
+  // fallback at copy rate).
+  //  * kStolen:  the reference was the sole owner — the page is adopted
+  //              outright (the page-steal move of SPLICE_F_MOVE).
+  //  * kAliased: the reference is shared and `allow_alias` was set — the
+  //              cache installs the shared page read-only; a later write
+  //              through either owner copies first (COW).
+  //  * kCopied:  shared without `allow_alias`, or a short page: fallback to
+  //              a private copy.
+  enum class StoreRefMode { kStolen, kAliased, kCopied };
+  struct StoreRefResult {
+    StoreRefMode mode = StoreRefMode::kCopied;
+    bool newly_dirty = false;  // same meaning as StorePage's return
+  };
+  StoreRefResult StorePageRef(CacheOwner owner, uint64_t idx, const splice::PageRef& ref,
+                              bool dirty, bool allow_alias);
+
+  // Removes a resident page from the cache and hands it out as a reference
+  // (the donor half of a page-steal: the source cache entry is gone, like
+  // page_cache_pipe_buf_try_steal). Dirty pages refuse (writeback owns
+  // them). nullopt on miss or dirty.
+  std::optional<splice::PageRef> StealPage(CacheOwner owner, uint64_t idx);
+
   uint64_t DirtyBytes(CacheOwner owner) const;
   uint64_t TotalDirtyBytes() const;
   uint64_t ResidentBytes() const;
@@ -94,12 +134,21 @@ class PageCachePool {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    // Splice-surface traffic: how pages moved across the cache boundary.
+    uint64_t ref_steals = 0;    // unique refs adopted without copy
+    uint64_t ref_aliases = 0;   // shared refs installed read-only
+    uint64_t ref_copies = 0;    // copy fallbacks (shared or short page)
+    uint64_t cow_breaks = 0;    // writes that had to un-share a page first
   };
   Stats stats() const {
     Stats s;
     s.hits = hits_.load(std::memory_order_relaxed);
     s.misses = misses_.load(std::memory_order_relaxed);
     s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.ref_steals = ref_steals_.load(std::memory_order_relaxed);
+    s.ref_aliases = ref_aliases_.load(std::memory_order_relaxed);
+    s.ref_copies = ref_copies_.load(std::memory_order_relaxed);
+    s.cow_breaks = cow_breaks_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -116,7 +165,9 @@ class PageCachePool {
     }
   };
   struct Page {
-    std::unique_ptr<char[]> data;
+    // Shared so splice references can alias the cached buffer; mutators
+    // must go through EnsureExclusiveLocked (COW) first.
+    std::shared_ptr<char[]> data;
     bool dirty = false;
     std::list<Key>::iterator lru_it;
   };
@@ -137,6 +188,10 @@ class PageCachePool {
 
   void TouchLocked(Shard& shard, Page& page, const Key& key);
   void EvictIfNeededLocked(Shard& shard);
+  // Un-shares a page before mutation (COW break); charges a page copy when
+  // outside references exist. `preserve_content` copies the old bytes into
+  // the fresh page (partial updates need them; full overwrites do not).
+  void EnsureExclusiveLocked(Page& page, bool preserve_content);
 
   SimClock* clock_;
   const CostModel* costs_;
@@ -147,6 +202,10 @@ class PageCachePool {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> ref_steals_{0};
+  std::atomic<uint64_t> ref_aliases_{0};
+  std::atomic<uint64_t> ref_copies_{0};
+  std::atomic<uint64_t> cow_breaks_{0};
   // Pool-wide dirty total kept as one atomic so TotalDirtyBytes() — polled
   // on the write hot path by writeback-threshold checks — is a single load
   // instead of a sweep over every shard lock.

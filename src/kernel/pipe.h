@@ -1,4 +1,11 @@
 // Kernel pipes: pipe(2) and the buffer underlying splice().
+//
+// The ring is a deque of PipeSegments — windows onto ref-counted pages —
+// rather than raw bytes, so splice()/vmsplice()/tee() analogues can move or
+// duplicate page references through a pipe without copying payload. The
+// byte-level Read/Write API is unchanged: readers and writers that treat the
+// pipe as a byte stream (sockets, ptys, the socket proxy) see exactly the
+// blocking semantics they always did.
 #ifndef CNTR_SRC_KERNEL_PIPE_H_
 #define CNTR_SRC_KERNEL_PIPE_H_
 
@@ -6,23 +13,102 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <vector>
 
 #include "src/kernel/file.h"
 #include "src/kernel/poll_hub.h"
 #include "src/kernel/types.h"
+#include "src/splice/page_ref.h"
 #include "src/util/status.h"
 
 namespace cntr::kernel {
 
+// One entry of a pipe's ring: the payload is bytes [begin, end) of `ref`'s
+// page. Splitting a segment (a partial splice) duplicates the reference and
+// narrows the windows; the physical page is never copied.
+struct PipeSegment {
+  splice::PageRef ref;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  uint32_t size() const { return end - begin; }
+  const char* data() const { return ref.data() + begin; }
+
+  static PipeSegment Of(splice::PageRef ref) {
+    PipeSegment seg;
+    seg.begin = 0;
+    seg.end = ref.len;
+    seg.ref = std::move(ref);
+    return seg;
+  }
+};
+
+// F_SETPIPE_SZ bounds, mirroring Linux: one page minimum, and an
+// unprivileged cap of /proc/sys/fs/pipe-max-size (1 MiB default).
+inline constexpr size_t kPipeMinCapacity = kPageSize;
+inline constexpr size_t kPipeMaxCapacity = 1 << 20;
+
 // The shared ring between a pipe's read and write ends. Blocking semantics
 // match Linux: read blocks until data or writer-EOF, write blocks until
-// space or fails with EPIPE when no readers remain.
+// space or fails with EPIPE when no readers remain. A write that queued >0
+// bytes before hitting backpressure or a vanished reader reports the short
+// count, never EAGAIN/EPIPE.
 class PipeBuffer {
  public:
+  // `hub` may be null for anonymous rings (FUSE channel lanes) that no
+  // epoll instance ever watches.
   explicit PipeBuffer(PollHub* hub, size_t capacity = 65536) : hub_(hub), capacity_(capacity) {}
 
   StatusOr<size_t> Read(char* buf, size_t count, bool nonblock);
   StatusOr<size_t> Write(const char* buf, size_t count, bool nonblock);
+
+  // --- splice surface (page granularity) ---
+
+  // Appends whole segments while capacity allows; returns bytes pushed.
+  // Blocking behaviour mirrors Write: EPIPE with no readers and nothing
+  // pushed, EAGAIN when nonblocking and nothing fits, short count once >0
+  // bytes are queued. `require_all` refuses a partial push (nothing is
+  // queued unless every segment fits) — the all-or-nothing mode the FUSE
+  // transit gate uses, so a payload either rides the lane whole or falls
+  // back to the copy path whole.
+  StatusOr<size_t> PushSegments(std::vector<PipeSegment> segs, bool nonblock,
+                                bool require_all = false);
+
+  // Pops whole segments up to `max_bytes` (the front segment is split if it
+  // straddles the budget). Returns an empty vector on writer-EOF, EAGAIN
+  // when nonblocking and empty; blocks otherwise.
+  StatusOr<std::vector<PipeSegment>> PopSegments(size_t max_bytes, bool nonblock);
+
+  // Drops up to `n` queued bytes (the consume half of a transit whose page
+  // identity travelled out of band). Never blocks; returns bytes dropped.
+  size_t DrainBytes(size_t n);
+
+  // Puts segments back at the FRONT of the ring, first element first — the
+  // undo of a PopSegments whose downstream push failed (splice(2) leaves
+  // unmoved bytes in the source pipe). Ignores capacity: the bytes were
+  // accounted here before the pop, so restoring them never exceeds the
+  // pre-pop level from this caller's perspective.
+  void RequeueFront(std::vector<PipeSegment> segs);
+
+  // tee(2): duplicates up to `max_bytes` of this ring's front into `dst`
+  // without consuming; the duplicated segments share pages (refcounts rise,
+  // nothing is copied). EAGAIN when nonblocking and either side is not
+  // ready; 0 on writer-EOF with an empty ring.
+  StatusOr<size_t> TeeTo(PipeBuffer& dst, size_t max_bytes, bool nonblock);
+
+  // fcntl(F_SETPIPE_SZ): rounds up to the next power of two within
+  // [kPipeMinCapacity, kPipeMaxCapacity]; EBUSY when the ring currently
+  // holds more than the requested size, EPERM beyond the unprivileged cap.
+  // Returns the resulting capacity.
+  StatusOr<size_t> SetCapacity(size_t bytes);
+  size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
+
+  // Drops everything queued (connection teardown).
+  void Clear();
 
   void AddReader();
   void DropReader();
@@ -31,11 +117,11 @@ class PipeBuffer {
 
   size_t Available() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return data_.size();
+    return bytes_;
   }
   size_t SpaceLeft() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return capacity_ - data_.size();
+    return capacity_ - bytes_;
   }
   bool WriterClosed() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -50,11 +136,22 @@ class PipeBuffer {
   uint32_t WriteEndPollEvents() const;
 
  private:
+  // Wakes readers/writers and pollers. Must be called with mu_ NOT held:
+  // PollHub's notify takes the hub mutex, which the epoll path holds while
+  // polling this buffer's state — notifying under mu_ inverts that order
+  // and can deadlock against a concurrent EpollWait.
+  void NotifyUnlocked();
+
+  // Appends bytes, reusing the tail segment's page when it is exclusively
+  // ours (a tee'd or spliced-out page is never written in place).
+  void AppendBytesLocked(const char* buf, size_t n);
+
   PollHub* hub_;
   size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<char> data_;
+  std::deque<PipeSegment> segs_;
+  size_t bytes_ = 0;
   int readers_ = 0;
   int writers_ = 0;
 };

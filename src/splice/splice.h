@@ -1,0 +1,80 @@
+// The splice subsystem: zero-copy page movement between pipes, user
+// buffers and the page cache.
+//
+// Three syscall analogues operate on PipeBuffer segment rings:
+//  * vmsplice(2) — wraps user memory into pipe segments. With SPLICE_F_GIFT
+//    the pages move at the splice (remap) rate; without it the kernel must
+//    copy, because the caller keeps the buffer.
+//  * splice(2)   — moves segments pipe-to-pipe by reference (the Kernel
+//    facade routes pipe<->file through the page cache's reference surface,
+//    see PageCachePool::GetPageRef/StorePageRef).
+//  * tee(2)      — duplicates segments without consuming; the duplicate
+//    shares pages, so refcounts rise and any later write copies first.
+//
+// Cost model: moving a page reference costs splice_page_ns; every fallback
+// to a byte copy costs copy_page_ns. The engine charges the calling
+// thread's virtual timeline and keeps aggregate counters so benches and
+// tests can see how much traffic really avoided the copy.
+#ifndef CNTR_SRC_SPLICE_SPLICE_H_
+#define CNTR_SRC_SPLICE_SPLICE_H_
+
+#include <atomic>
+#include <vector>
+
+#include "src/kernel/pipe.h"
+#include "src/splice/page_ref.h"
+#include "src/util/sim_clock.h"
+#include "src/util/status.h"
+
+namespace cntr::splice {
+
+class SpliceEngine {
+ public:
+  SpliceEngine(SimClock* clock, const CostModel* costs) : clock_(clock), costs_(costs) {}
+
+  SpliceEngine(const SpliceEngine&) = delete;
+  SpliceEngine& operator=(const SpliceEngine&) = delete;
+
+  // Chops `buf[0, len)` into pipe segments. `gift` models SPLICE_F_GIFT:
+  // the pages are charged at the splice rate (the caller cedes them);
+  // without gift each page is charged as a copy.
+  std::vector<kernel::PipeSegment> WrapBuffer(const char* buf, size_t len, bool gift);
+
+  // vmsplice(2): user memory into `pipe`.
+  StatusOr<size_t> VmspliceIn(kernel::PipeBuffer& pipe, const char* buf, size_t len, bool gift,
+                              bool nonblock);
+
+  // splice(2) pipe->pipe: pops segments from `in` and pushes them into
+  // `out` by reference; pages never copy.
+  StatusOr<size_t> MovePipeToPipe(kernel::PipeBuffer& in, kernel::PipeBuffer& out, size_t len,
+                                  bool nonblock);
+
+  // tee(2): duplicates up to `len` bytes from `in` into `out` without
+  // consuming `in`.
+  StatusOr<size_t> Tee(kernel::PipeBuffer& in, kernel::PipeBuffer& out, size_t len,
+                       bool nonblock);
+
+  struct Stats {
+    uint64_t spliced_pages = 0;  // page references moved without copy
+    uint64_t copied_pages = 0;   // copy fallbacks through the engine
+    uint64_t teed_pages = 0;     // duplicates created by tee
+  };
+  Stats stats() const {
+    Stats s;
+    s.spliced_pages = spliced_pages_.load(std::memory_order_relaxed);
+    s.copied_pages = copied_pages_.load(std::memory_order_relaxed);
+    s.teed_pages = teed_pages_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  SimClock* clock_;
+  const CostModel* costs_;
+  std::atomic<uint64_t> spliced_pages_{0};
+  std::atomic<uint64_t> copied_pages_{0};
+  std::atomic<uint64_t> teed_pages_{0};
+};
+
+}  // namespace cntr::splice
+
+#endif  // CNTR_SRC_SPLICE_SPLICE_H_

@@ -287,5 +287,88 @@ TEST_F(ReaddirPlusTest, PrimedChildrenResolveToSameInodeAsLookup) {
   EXPECT_EQ(a->inode.get(), b->inode.get());
 }
 
+// --- READDIRPLUS adaptivity: plus is batched-stat machinery, and a
+// consumer that never stats should not pay for it (ROADMAP; Linux's
+// readdirplus_auto heuristic).
+
+TEST_F(ReaddirPlusTest, LsStyleConsumerFallsBackToPlainReaddir) {
+  Mount(FuseMountOptions::Optimized());
+  SeedBigDir();
+  auto List = [&]() {
+    auto dfd = kernel_->Open(*proc_, "/m/tmp/bigdir", kernel::kORdOnly | kernel::kODirectory);
+    ASSERT_TRUE(dfd.ok());
+    auto entries = kernel_->Getdents(*proc_, dfd.value());
+    ASSERT_TRUE(entries.ok());
+    EXPECT_EQ(entries->size(), static_cast<size_t>(kFiles) + 2);
+    ASSERT_TRUE(kernel_->Close(*proc_, dfd.value()).ok());
+  };
+  // First listing: no history, the sample walk uses READDIRPLUS.
+  List();
+  uint64_t plus_after_sample = cntrfs_->stats().readdirplus;
+  EXPECT_GT(plus_after_sample, 0u);
+  EXPECT_EQ(cntrfs_->stats().readdirs, 0u);
+  // Nothing statted any primed child: the directory is being `ls`'d. The
+  // second and third listings must ride plain READDIR — no per-child stat
+  // tax on the server.
+  List();
+  List();
+  EXPECT_EQ(cntrfs_->stats().readdirplus, plus_after_sample)
+      << "pure listings must stop issuing READDIRPLUS after the unconsumed sample";
+  EXPECT_GE(cntrfs_->stats().readdirs, 2u);
+}
+
+TEST_F(ReaddirPlusTest, StatConsumerKeepsReaddirPlus) {
+  Mount(FuseMountOptions::Optimized());
+  SeedBigDir();
+  // A readdir-then-stat walk consumes the primed attrs each round: the
+  // heuristic must keep READDIRPLUS on.
+  for (int walk = 0; walk < 3; ++walk) {
+    (void)ColdWalkRequests();
+  }
+  EXPECT_EQ(cntrfs_->stats().readdirs, 0u)
+      << "stat-heavy walks must stay on the batched-metadata path";
+  EXPECT_GT(cntrfs_->stats().readdirplus, 0u);
+}
+
+TEST_F(ReaddirPlusTest, StatTrafficReenablesSuppressedDirectory) {
+  FuseMountOptions opts = FuseMountOptions::Optimized();
+  Mount(opts);
+  SeedBigDir();
+  auto List = [&]() {
+    auto dfd = kernel_->Open(*proc_, "/m/tmp/bigdir", kernel::kORdOnly | kernel::kODirectory);
+    ASSERT_TRUE(dfd.ok());
+    ASSERT_TRUE(kernel_->Getdents(*proc_, dfd.value()).ok());
+    ASSERT_TRUE(kernel_->Close(*proc_, dfd.value()).ok());
+  };
+  List();  // sample walk (plus)
+  List();  // unconsumed -> suppressed, plain readdir
+  uint64_t plus_before = cntrfs_->stats().readdirplus;
+  // Let the primed entry/attr TTLs lapse, then stat a child: the LOOKUP
+  // round trip is the FUSE_I_ADVISE_RDPLUS signal — stats are happening
+  // here again, so the next listing must return to READDIRPLUS.
+  kernel_->clock().Advance(2 * opts.entry_ttl_ns);
+  ASSERT_TRUE(kernel_->Stat(*proc_, "/m/tmp/bigdir/f0").ok());
+  List();
+  EXPECT_GT(cntrfs_->stats().readdirplus, plus_before)
+      << "stat-shaped traffic must lift the ls-style suppression";
+}
+
+TEST_F(ReaddirPlusTest, SeekdirHandleUsesPlainReaddir) {
+  Mount(FuseMountOptions::Optimized());
+  SeedBigDir();
+  auto dfd = kernel_->Open(*proc_, "/m/tmp/bigdir", kernel::kORdOnly | kernel::kODirectory);
+  ASSERT_TRUE(dfd.ok());
+  // seekdir(): repositioning the directory cursor marks this handle as a
+  // seek-heavy consumer — its listings must not re-prime the whole tree.
+  ASSERT_TRUE(kernel_->Lseek(*proc_, dfd.value(), 1, kernel::kSeekSet).ok());
+  uint64_t plus_before = cntrfs_->stats().readdirplus;
+  auto entries = kernel_->Getdents(*proc_, dfd.value());
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(cntrfs_->stats().readdirplus, plus_before)
+      << "a seeked handle must fall back to plain READDIR";
+  EXPECT_GT(cntrfs_->stats().readdirs, 0u);
+  ASSERT_TRUE(kernel_->Close(*proc_, dfd.value()).ok());
+}
+
 }  // namespace
 }  // namespace cntr::fuse
