@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Bench regression guard: compare a bench_optimizations --json artifact
+against recorded baselines and fail the build when an optimized-config panel
+drops more than the tolerance below its baseline.
+
+Usage: check_regression.py <baselines.json> <artifact.json>
+
+Baseline entry forms (bench/baselines.json):
+  "key": {"value": V}                 -- higher is better; fail when the
+                                         measured value < V * (1 - tolerance)
+  "key": {"ceiling": C}               -- smaller is better with an absolute
+                                         bound; fail when measured > C
+  "_tolerance": 0.15                  -- optional, default 15%
+
+The benchmarks report virtual (simulated) time, so the numbers are stable
+across machines; keys with real-thread jitter (multi-client lanes) are
+simply not listed in the baselines.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        baselines = json.load(f)
+    with open(sys.argv[2]) as f:
+        measured = json.load(f)
+
+    tolerance = baselines.pop("_tolerance", 0.15)
+    failures = []
+    for key, spec in baselines.items():
+        if key not in measured:
+            failures.append(f"{key}: missing from artifact")
+            continue
+        got = measured[key]
+        if "ceiling" in spec:
+            if got > spec["ceiling"]:
+                failures.append(
+                    f"{key}: {got:.3f} exceeds ceiling {spec['ceiling']:.3f}")
+            else:
+                print(f"ok   {key}: {got:.3f} <= ceiling {spec['ceiling']:.3f}")
+        else:
+            floor = spec["value"] * (1 - tolerance)
+            if got < floor:
+                failures.append(
+                    f"{key}: {got:.3f} dropped >{tolerance:.0%} below "
+                    f"baseline {spec['value']:.3f} (floor {floor:.3f})")
+            else:
+                print(f"ok   {key}: {got:.3f} vs baseline {spec['value']:.3f}")
+
+    if failures:
+        print("\nBENCH REGRESSIONS:")
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    print("\nall panels within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -157,6 +157,13 @@ FuseReply CntrFsServer::Handle(const FuseRequest& req) {
 FuseReply CntrFsServer::DoInit(const FuseRequest& req) {
   FuseReply reply;
   reply.init_flags = req.init_flags;  // accept everything the kernel offers
+  if ((req.init_flags & fuse::kFuseMaxPages) != 0) {
+    // FUSE_MAX_PAGES: grant the requested payload window up to the protocol
+    // ceiling (256 pages = 1MiB). Raising max_write/readahead this way is
+    // pure win for the passthrough server — bigger windows amortize the
+    // per-request round trip the paper's §3.3 optimizations all attack.
+    reply.max_pages = std::min(req.max_pages, fuse::kFuseMaxMaxPages);
+  }
   return reply;
 }
 

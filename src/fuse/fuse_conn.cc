@@ -240,6 +240,64 @@ uint64_t FlattenPages(std::vector<splice::PageRef>& pages, std::string& data, Si
 
 }  // namespace
 
+// Fallback pressure needed before the autosizer doubles a lane that the
+// payload *would* fit: repeated lane-full bounces mean in-flight payloads
+// keep the lane saturated, so more headroom pays.
+inline constexpr uint32_t kLaneGrowPressure = 4;
+
+bool FuseConn::MaybeGrowLanes(FuseChannel& ch, uint64_t wanted_bytes) {
+  if (!lane_autosize()) {
+    return false;
+  }
+  size_t cap = ch.lane_out[0]->capacity();
+  size_t target = cap;
+  if (wanted_bytes > cap) {
+    // The payload can never fit a lane at this size: grow straight to
+    // cover it.
+    target = wanted_bytes;
+  } else if (ch.fallback_pressure.fetch_add(1, std::memory_order_relaxed) + 1 >=
+             kLaneGrowPressure) {
+    target = cap * 2;
+  }
+  target = std::min<size_t>(target, kernel::kPipeMaxCapacity);
+  if (target <= cap) {
+    return false;
+  }
+  // The whole pool stays symmetric. EBUSY (in-flight payload above the
+  // target on a shrinking ring) cannot happen on growth; a failure here is
+  // only the 1MiB ceiling, which the min above already respects.
+  bool grew = false;
+  for (size_t i = 0; i < kLanePoolSize; ++i) {
+    for (auto* lane : {ch.lane_in[i].get(), ch.lane_out[i].get()}) {
+      grew |= lane->SetCapacity(target).ok();
+    }
+  }
+  if (grew) {
+    ch.fallback_pressure.store(0, std::memory_order_relaxed);
+    lane_growths_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return grew;
+}
+
+namespace {
+
+// Pushes `pages` onto the first lane of `pool` with room (all-or-nothing
+// per lane). Returns the lane index, or nullopt when every lane is full.
+std::optional<uint32_t> PushToPool(
+    const std::array<std::shared_ptr<kernel::PipeBuffer>, kLanePoolSize>& pool,
+    const std::vector<splice::PageRef>& pages) {
+  for (size_t i = 0; i < kLanePoolSize; ++i) {
+    auto pushed = pool[i]->PushSegments(SegmentsOf(pages),
+                                        /*nonblock=*/true, /*require_all=*/true);
+    if (pushed.ok()) {
+      return static_cast<uint32_t>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 void FuseConn::GateRequestPayload(FuseChannel& ch, FuseRequest& request) {
   bool splice_on = ch.splice_enabled.load(std::memory_order_acquire);
   if (!splice_on) {
@@ -254,12 +312,15 @@ void FuseConn::GateRequestPayload(FuseChannel& ch, FuseRequest& request) {
     bytes += ref.len;
   }
   if (splice_on) {
-    // All-or-nothing: the payload occupies lane capacity until the server
-    // consumes the request (TryPop drains it), which is the backpressure a
-    // real pipe applies to concurrent spliced writers.
-    auto pushed = ch.lane_in->PushSegments(SegmentsOf(request.payload_pages),
-                                           /*nonblock=*/true, /*require_all=*/true);
-    if (pushed.ok()) {
+    // All-or-nothing per lane: the payload occupies lane capacity until the
+    // server consumes the request (TryPop drains it), which is the
+    // backpressure a real pipe applies to concurrent spliced writers.
+    auto lane = PushToPool(ch.lane_in, request.payload_pages);
+    if (!lane.has_value() && MaybeGrowLanes(ch, bytes)) {
+      lane = PushToPool(ch.lane_in, request.payload_pages);
+    }
+    if (lane.has_value()) {
+      request.lane_idx = *lane;
       spliced_bytes_.fetch_add(bytes, std::memory_order_relaxed);
       return;
     }
@@ -278,10 +339,13 @@ void FuseConn::GateReplyPayload(FuseChannel& ch, FuseReply& reply) {
   }
   uint64_t bytes = reply.payload_bytes();
   if (ch.splice_enabled.load(std::memory_order_acquire)) {
-    auto pushed = ch.lane_out->PushSegments(SegmentsOf(reply.pages),
-                                            /*nonblock=*/true, /*require_all=*/true);
-    if (pushed.ok()) {
+    auto lane = PushToPool(ch.lane_out, reply.pages);
+    if (!lane.has_value() && MaybeGrowLanes(ch, bytes)) {
+      lane = PushToPool(ch.lane_out, reply.pages);
+    }
+    if (lane.has_value()) {
       reply.spliced = true;
+      reply.lane_idx = *lane;
       spliced_bytes_.fetch_add(bytes, std::memory_order_relaxed);
       return;
     }
@@ -300,12 +364,14 @@ StatusOr<size_t> FuseConn::SetLaneCapacity(size_t bytes) {
   StatusOr<size_t> result = Status::Error(EINVAL);
   std::optional<Status> first_error;
   for (const auto& ch : owned_channels_) {
-    for (auto* lane : {ch->lane_in.get(), ch->lane_out.get()}) {
-      auto cap = lane->SetCapacity(bytes);
-      if (cap.ok()) {
-        result = cap.value();
-      } else if (!first_error.has_value()) {
-        first_error = cap.status();
+    for (size_t i = 0; i < kLanePoolSize; ++i) {
+      for (auto* lane : {ch->lane_in[i].get(), ch->lane_out[i].get()}) {
+        auto cap = lane->SetCapacity(bytes);
+        if (cap.ok()) {
+          result = cap.value();
+        } else if (!first_error.has_value()) {
+          first_error = cap.status();
+        }
       }
     }
   }
@@ -356,6 +422,9 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   ch.enqueued.fetch_add(1, std::memory_order_relaxed);
   ch.pending.emplace(unique, FuseChannel::PendingReply{});
   ch.queue.push_back(std::move(request));
+  if (ch.queue.size() > ch.max_depth.load(std::memory_order_relaxed)) {
+    ch.max_depth.store(ch.queue.size(), std::memory_order_relaxed);  // ch.mu held
+  }
   queued_total_.fetch_add(1);  // seq_cst: pairs with NotifyWork fast path
   lock.unlock();
   NotifyWork();
@@ -373,7 +442,7 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   if (reply.spliced) {
     // Consume the lane bytes this reply occupied since WriteReply; the page
     // identity arrived with the reply itself.
-    ch.lane_out->DrainBytes(reply.payload_bytes());
+    ch.lane_out[reply.lane_idx % kLanePoolSize]->DrainBytes(reply.payload_bytes());
   }
   if (reply.error != 0) {
     return Status::Error(reply.error);
@@ -400,6 +469,9 @@ void FuseConn::SendNoReply(FuseRequest request) {
     forgets_.fetch_add(1, std::memory_order_relaxed);
     ch.enqueued.fetch_add(1, std::memory_order_relaxed);
     ch.queue.push_back(std::move(request));
+    if (ch.queue.size() > ch.max_depth.load(std::memory_order_relaxed)) {
+      ch.max_depth.store(ch.queue.size(), std::memory_order_relaxed);  // ch.mu held
+    }
     queued_total_.fetch_add(1);  // seq_cst: pairs with NotifyWork fast path
   }
   NotifyWork();
@@ -423,7 +495,7 @@ std::optional<FuseRequest> FuseConn::TryPop(FuseChannel& ch) {
     for (const splice::PageRef& ref : req->payload_pages) {
       bytes += ref.len;
     }
-    ch.lane_in->DrainBytes(bytes);
+    ch.lane_in[req->lane_idx % kLanePoolSize]->DrainBytes(bytes);
   }
   return req;
 }
@@ -488,8 +560,10 @@ void FuseConn::Abort() {
     ch->reply_cv.notify_all();
     // Waiters that died mid-transit leave payload parked on the lanes; a
     // dead connection must not strand that capacity.
-    ch->lane_in->Clear();
-    ch->lane_out->Clear();
+    for (size_t i = 0; i < kLanePoolSize; ++i) {
+      ch->lane_in[i]->Clear();
+      ch->lane_out[i]->Clear();
+    }
   }
   {
     std::lock_guard<std::mutex> lock(idle_mu_);

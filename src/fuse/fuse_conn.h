@@ -37,6 +37,7 @@
 #ifndef CNTR_SRC_FUSE_FUSE_CONN_H_
 #define CNTR_SRC_FUSE_FUSE_CONN_H_
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <condition_variable>
@@ -55,34 +56,49 @@
 
 namespace cntr::fuse {
 
-// Default capacity of a channel's splice lanes: matches the readahead
-// window and max_write (32 pages = 128 KiB), so a full READ or WRITE batch
-// rides one lane without falling back to the copy path.
+// Starting capacity of a channel's splice lanes (32 pages = 128 KiB, the
+// legacy window size). This is only the construction-time default: the
+// mount resizes the lanes to cover whatever payload window FUSE_MAX_PAGES
+// negotiation settles on (up to 256 pages = 1 MiB), and with lane
+// autosizing enabled the lanes keep growing at runtime when
+// splice_fallbacks shows payloads bouncing to the copy path.
 inline constexpr size_t kDefaultLanePages = 32;
+
+// Lanes per channel and direction — the libfuse pipe-pool analogue: the
+// real server keeps a pipe pair per worker thread, so spliced payloads of
+// concurrent requests never contend on one ring. Matches the default
+// worker count; a payload only falls back to the copy path when every lane
+// of its direction is occupied.
+inline constexpr size_t kLanePoolSize = 8;
 
 // One cloned /dev/fuse queue: private lock, request deque, pending-reply
 // map, and reply condvar. Padded so neighbouring channel locks do not
 // false-share.
 //
-// Each channel also owns a pipe pair — its zero-copy data lanes. Spliced
-// WRITE payloads ride `lane_in` (kernel -> server) and spliced READ /
-// READDIRPLUS payloads ride `lane_out` (server -> kernel): page references
-// transit the ring, occupying lane capacity from submission until the
-// receiving side consumes the message, while page identity travels with the
-// typed request/reply (the analogue of /dev/fuse consuming header + spliced
-// payload in one read). A payload that does not fit the lane falls back to
+// Each channel also owns a pool of pipe pairs — its zero-copy data lanes
+// (kLanePoolSize per direction, the libfuse pipe-pool analogue). Spliced
+// WRITE payloads ride a `lane_in` ring (kernel -> server) and spliced READ
+// / READDIRPLUS payloads ride a `lane_out` ring (server -> kernel): page
+// references transit the ring, occupying lane capacity from submission
+// until the receiving side consumes the message — which lane a message
+// took travels with it (`lane_idx`) — while page identity travels with the
+// typed request/reply (the analogue of /dev/fuse consuming header +
+// spliced payload in one read). A payload that fits no lane falls back to
 // the copy path whole.
 struct alignas(64) FuseChannel {
-  FuseChannel()
-      : lane_in(std::make_shared<kernel::PipeBuffer>(
-            /*hub=*/nullptr, kDefaultLanePages * kernel::kPageSize)),
-        lane_out(std::make_shared<kernel::PipeBuffer>(
-            /*hub=*/nullptr, kDefaultLanePages * kernel::kPageSize)) {
-    // The connection's two sides hold the lanes for the channel's lifetime.
-    lane_in->AddReader();
-    lane_in->AddWriter();
-    lane_out->AddReader();
-    lane_out->AddWriter();
+  FuseChannel() {
+    for (size_t i = 0; i < kLanePoolSize; ++i) {
+      lane_in[i] = std::make_shared<kernel::PipeBuffer>(
+          /*hub=*/nullptr, kDefaultLanePages * kernel::kPageSize);
+      lane_out[i] = std::make_shared<kernel::PipeBuffer>(
+          /*hub=*/nullptr, kDefaultLanePages * kernel::kPageSize);
+      // The connection's two sides hold the lanes for the channel's
+      // lifetime.
+      for (auto* lane : {lane_in[i].get(), lane_out[i].get()}) {
+        lane->AddReader();
+        lane->AddWriter();
+      }
+    }
   }
 
   mutable std::mutex mu;
@@ -101,13 +117,18 @@ struct alignas(64) FuseChannel {
   std::atomic<int> readers{0};
   // Requests ever enqueued here (routing visibility for tests/stats).
   std::atomic<uint64_t> enqueued{0};
+  // Deepest the queue has ever been (observability groundwork for
+  // channel-count autotuning: a persistently deep channel wants a clone).
+  std::atomic<uint64_t> max_depth{0};
+  // Copy-path fallbacks since the lanes last grew (autosizing pressure).
+  std::atomic<uint32_t> fallback_pressure{0};
 
   // Zero-copy data lanes (see above) and the per-channel splice opt-out: a
   // channel with splice disabled strips splice_ok / flattens payloads, so
   // one misbehaving client process can be pinned to the copy path without
   // renegotiating the whole connection.
-  std::shared_ptr<kernel::PipeBuffer> lane_in;
-  std::shared_ptr<kernel::PipeBuffer> lane_out;
+  std::array<std::shared_ptr<kernel::PipeBuffer>, kLanePoolSize> lane_in;
+  std::array<std::shared_ptr<kernel::PipeBuffer>, kLanePoolSize> lane_out;
   std::atomic<bool> splice_enabled{true};
 };
 
@@ -159,10 +180,24 @@ class FuseConn {
   int reader_threads() const { return reader_threads_.load(); }
 
   // --- splice lanes ---
-  // Resizes every channel's lanes (the fcntl(F_SETPIPE_SZ) analogue applied
-  // at mount time from FuseMountOptions::pipe_pages). Returns the resulting
-  // per-lane capacity in bytes.
+  // Resizes every channel's lanes (the fcntl(F_SETPIPE_SZ) analogue). The
+  // mount applies it with the capacity the negotiated payload window needs
+  // (pipe_pages is only the floor). Returns the resulting per-lane capacity
+  // in bytes. Reshape-safe on quiet lanes; a lane holding in-flight payload
+  // larger than the target reports EBUSY.
   StatusOr<size_t> SetLaneCapacity(size_t bytes);
+  // Lane autosizing: when on, a payload that bounces to the copy path grows
+  // the affected channel's lanes — immediately to fit a payload larger than
+  // the lane, and by doubling under repeated lane-full pressure — up to the
+  // 1MiB pipe ceiling. Growth is per channel, so one congested channel does
+  // not resize its siblings.
+  void SetLaneAutosize(bool enabled) {
+    lane_autosize_.store(enabled, std::memory_order_release);
+  }
+  bool lane_autosize() const { return lane_autosize_.load(std::memory_order_acquire); }
+  // Current capacity of channel `i`'s lanes in bytes (every lane of the
+  // pool, both directions, is kept at the same size).
+  size_t lane_capacity(size_t i) const { return Channel(i).lane_out[0]->capacity(); }
   // Per-channel splice opt-out: a disabled channel carries every payload on
   // the copy path (splice_ok stripped, spliced writes flattened).
   void SetChannelSplice(size_t i, bool enabled) {
@@ -182,6 +217,10 @@ class FuseConn {
     std::lock_guard<std::mutex> lock(ch.mu);
     return ch.queue.size();
   }
+  // Deepest channel `i`'s queue has ever been.
+  uint64_t channel_max_queue_depth(size_t i) const {
+    return Channel(i).max_depth.load(std::memory_order_relaxed);
+  }
 
   // Counters are atomics internally so reading statistics never contends
   // with the request hot path; stats() returns a consistent-enough snapshot.
@@ -195,6 +234,10 @@ class FuseConn {
     uint64_t spliced_bytes = 0;
     uint64_t copied_bytes = 0;
     uint64_t splice_fallbacks = 0;  // payloads that wanted the lane but copied
+    uint64_t lane_growths = 0;      // autosizing grow operations that succeeded
+    // Queue-depth observability (channel-count autotuning groundwork):
+    // deepest any channel's queue has ever been.
+    uint64_t max_queue_depth = 0;
   };
   Stats stats() const {
     Stats s;
@@ -204,6 +247,10 @@ class FuseConn {
     s.spliced_bytes = spliced_bytes_.load(std::memory_order_relaxed);
     s.copied_bytes = copied_bytes_.load(std::memory_order_relaxed);
     s.splice_fallbacks = splice_fallbacks_.load(std::memory_order_relaxed);
+    s.lane_growths = lane_growths_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < num_channels(); ++i) {
+      s.max_queue_depth = std::max(s.max_queue_depth, channel_max_queue_depth(i));
+    }
     return s;
   }
 
@@ -226,6 +273,10 @@ class FuseConn {
   // Reply-direction gate: lets a spliced payload onto lane_out, or flattens
   // reply.pages into reply.data (charging the copy).
   void GateReplyPayload(FuseChannel& ch, FuseReply& reply);
+  // Autosizing on fallback pressure: grows `ch`'s lanes (a payload of
+  // `wanted_bytes` just bounced to the copy path). Returns true if the
+  // lanes grew, meaning a retry of the push may now succeed.
+  bool MaybeGrowLanes(FuseChannel& ch, uint64_t wanted_bytes);
   // Post-enqueue wakeup handshake with idle workers.
   void NotifyWork();
   // Appends `n` fresh channels to owned_channels_ and publishes them through
@@ -264,6 +315,8 @@ class FuseConn {
   std::atomic<uint64_t> spliced_bytes_{0};
   std::atomic<uint64_t> copied_bytes_{0};
   std::atomic<uint64_t> splice_fallbacks_{0};
+  std::atomic<uint64_t> lane_growths_{0};
+  std::atomic<bool> lane_autosize_{false};
 };
 
 // The open /dev/fuse descriptor, as held by the CNTR process. The fd itself

@@ -46,7 +46,7 @@ class FuseFile : public kernel::FileDescription {
     if (!readable()) {
       return Status::Error(EBADF);
     }
-    return fuse_inode_->ReadData(static_cast<char*>(buf), count, offset, fh_);
+    return fuse_inode_->ReadData(static_cast<char*>(buf), count, offset, fh_, &readahead_);
   }
 
   StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset) override {
@@ -87,6 +87,9 @@ class FuseFile : public kernel::FileDescription {
   uint64_t fh_;
   bool is_dir_;
   bool seekdir_observed_ = false;
+  // Per-open-file readahead ramp: sequential streams grow toward the
+  // negotiated ceiling, random access collapses (see kernel/readahead.h).
+  kernel::FileReadahead readahead_;
 };
 
 }  // namespace
@@ -110,7 +113,9 @@ StatusOr<std::shared_ptr<FuseFs>> FuseFs::Create(kernel::Kernel* kernel,
                     (opts.splice_move ? kFuseSpliceMove : 0) |
                     (opts.parallel_dirops ? kFuseParallelDirops : 0) |
                     (opts.writeback_cache ? kFuseWritebackCache : 0) |
-                    (opts.readdirplus ? kFuseDoReaddirplus : 0);
+                    (opts.readdirplus ? kFuseDoReaddirplus : 0) |
+                    (opts.max_pages > 0 ? kFuseMaxPages : 0);
+  init.max_pages = std::min(opts.max_pages, kFuseMaxMaxPages);
   CNTR_ASSIGN_OR_RETURN(FuseReply init_reply, fs->conn_->SendAndWait(std::move(init)));
   fs->readdirplus_enabled_ =
       opts.readdirplus && (init_reply.init_flags & kFuseDoReaddirplus) != 0;
@@ -120,16 +125,46 @@ StatusOr<std::shared_ptr<FuseFs>> FuseFs::Create(kernel::Kernel* kernel,
       opts.splice_write && (init_reply.init_flags & kFuseSpliceWrite) != 0;
   fs->splice_move_enabled_ =
       opts.splice_move && (init_reply.init_flags & kFuseSpliceMove) != 0;
+
+  // FUSE_MAX_PAGES: an old server echoes the flags without the bit (or
+  // grants 0 pages) — fall back to the legacy 32-page / 128KiB windows.
+  if (opts.max_pages > 0 && (init_reply.init_flags & kFuseMaxPages) != 0 &&
+      init_reply.max_pages > 0) {
+    fs->negotiated_max_pages_ =
+        std::min({init_reply.max_pages, opts.max_pages, kFuseMaxMaxPages});
+  }
+  fs->effective_max_write_ = opts.max_write;
+  fs->readahead_ceiling_pages_ = std::max<uint32_t>(1, opts.readahead_pages);
+  if (fs->negotiated_max_pages_ > 0) {
+    fs->effective_max_write_ = std::max<uint32_t>(
+        opts.max_write, fs->negotiated_max_pages_ * static_cast<uint32_t>(kPageSize));
+    fs->readahead_ceiling_pages_ =
+        std::max(fs->readahead_ceiling_pages_, fs->negotiated_max_pages_);
+  }
+
   if (fs->splice_read_enabled_ || fs->splice_write_enabled_) {
     // Size the channel data lanes (fcntl(F_SETPIPE_SZ) at mount time),
     // clamped to the pipe limits so an oversized pipe_pages degrades to the
     // largest legal lane instead of silently keeping the default (which
     // would bounce every large payload to the copy path).
     size_t lane_bytes =
-        std::min<size_t>(static_cast<size_t>(std::max<uint32_t>(1, opts.pipe_pages)) * kPageSize,
-                         kernel::kPipeMaxCapacity);
+        static_cast<size_t>(std::max<uint32_t>(1, opts.pipe_pages)) * kPageSize;
+    if (opts.lane_autosize) {
+      // Lane follow-through: a negotiation that raised the payload window
+      // past pipe_pages must grow the lanes with it, or every big window
+      // would silently bounce to the copy path.
+      if (fs->splice_read_enabled_) {
+        lane_bytes = std::max<size_t>(
+            lane_bytes, static_cast<size_t>(fs->readahead_ceiling_pages_) * kPageSize);
+      }
+      if (fs->splice_write_enabled_) {
+        lane_bytes = std::max<size_t>(lane_bytes, fs->effective_max_write_);
+      }
+    }
+    lane_bytes = std::min<size_t>(lane_bytes, kernel::kPipeMaxCapacity);
     CNTR_RETURN_IF_ERROR(fs->conn_->SetLaneCapacity(lane_bytes).status());
   }
+  fs->conn_->SetLaneAutosize(opts.lane_autosize);
 
   // GETATTR of the root to seed the root inode.
   FuseRequest getattr;
@@ -143,6 +178,9 @@ StatusOr<std::shared_ptr<FuseFs>> FuseFs::Create(kernel::Kernel* kernel,
     std::lock_guard<std::mutex> lock(fs->inodes_mu_);
     fs->inodes_[kFuseRootId] = fs->root_;
   }
+  if (opts.writeback_cache && opts.flusher_threads > 0) {
+    fs->StartFlushers();
+  }
   return fs;
 }
 
@@ -150,7 +188,7 @@ FuseFs::FuseFs(kernel::Kernel* kernel, std::shared_ptr<FuseConn> conn, FuseMount
     : kernel::FileSystem(kernel->AllocDevId()), kernel_(kernel), conn_(std::move(conn)),
       opts_(opts) {}
 
-FuseFs::~FuseFs() = default;
+FuseFs::~FuseFs() { StopFlushers(); }
 
 InodePtr FuseFs::root() { return root_; }
 
@@ -295,35 +333,148 @@ void FuseFs::NoteDirty(FuseInode* inode, uint64_t newly_dirty_bytes) {
     std::lock_guard<std::mutex> lock(dirty_mu_);
     if (!inode->dirty_registered_) {
       inode->dirty_registered_ = true;
-      dirty_inodes_.push_back(inode);
+      dirty_inodes_.push_back(DirtyRef{
+          inode, std::static_pointer_cast<FuseInode>(inode->weak_from_this().lock())});
     }
   }
-  if (dirty_bytes_.load() > opts_.writeback_threshold) {
+  uint64_t total = dirty_bytes_.load();
+  bool have_flushers = flusher_count_.load(std::memory_order_acquire) > 0;
+  if (have_flushers) {
+    // Background draining: one file past its per-inode limit is handed to
+    // the flushers; past the soft watermark the whole registered dirty set
+    // is (an idle inode's dirty tail must not be able to pin the pool above
+    // the watermark). The writer continues immediately either way.
+    if (total >= opts_.dirty_soft_bytes) {
+      std::vector<DirtyRef> all;
+      {
+        std::lock_guard<std::mutex> lock(dirty_mu_);
+        all = dirty_inodes_;
+      }
+      for (const DirtyRef& r : all) {
+        if (auto pinned = r.ref.lock()) {
+          QueueFlush(pinned.get());
+        }
+      }
+    } else if (kernel_->page_cache().DirtyBytes(inode) >= opts_.per_inode_dirty_bytes) {
+      QueueFlush(inode);
+    }
+    // Hard watermark: dirty production is outrunning the flushers. Throttle
+    // the writer with bounded work — it cleans its *own* inode, never the
+    // whole dirty set (balance_dirty_pages-style write-behind).
+    if (total >= opts_.dirty_hard_bytes) {
+      foreground_throttles_.fetch_add(1, std::memory_order_relaxed);
+      inode->FlushDirtyPages(UINT64_MAX);
+    }
+  } else if (total >= opts_.dirty_hard_bytes) {
+    // Legacy behaviour (flushers disabled): the writer synchronously drains
+    // everything at the hard watermark — the flush storm the adaptive path
+    // exists to avoid.
+    foreground_throttles_.fetch_add(1, std::memory_order_relaxed);
     FlushAllDirty();
+  }
+}
+
+void FuseFs::SubDirty(uint64_t bytes) {
+  uint64_t cur = dirty_bytes_.load();
+  while (!dirty_bytes_.compare_exchange_weak(cur, cur - std::min(cur, bytes))) {
   }
 }
 
 void FuseFs::ForgetDirty(FuseInode* inode) {
   std::lock_guard<std::mutex> lock(dirty_mu_);
-  std::erase(dirty_inodes_, inode);
+  std::erase_if(dirty_inodes_, [&](const DirtyRef& r) { return r.key == inode; });
   inode->dirty_registered_ = false;
 }
 
 void FuseFs::FlushAllDirty() {
-  std::vector<FuseInode*> victims;
+  std::vector<DirtyRef> victims;
   {
     std::lock_guard<std::mutex> lock(dirty_mu_);
     victims.swap(dirty_inodes_);
-    for (FuseInode* inode : victims) {
-      inode->dirty_registered_ = false;
+    for (const DirtyRef& r : victims) {
+      r.key->dirty_registered_ = false;
     }
   }
-  for (FuseInode* inode : victims) {
-    inode->FlushDirtyPages(UINT64_MAX);
+  for (const DirtyRef& r : victims) {
+    // Pin the inode across the flush; one that died already dropped (and
+    // de-accounted) its dirty pages in ~FuseInode.
+    if (auto inode = r.ref.lock()) {
+      inode->FlushDirtyPages(UINT64_MAX);
+    }
+  }
+}
+
+void FuseFs::StartFlushers() {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  flushers_stop_ = false;
+  flushers_.reserve(opts_.flusher_threads);
+  for (uint32_t i = 0; i < opts_.flusher_threads; ++i) {
+    flushers_.emplace_back([this] { FlusherLoop(); });
+  }
+  flusher_count_.store(static_cast<uint32_t>(flushers_.size()), std::memory_order_release);
+}
+
+void FuseFs::StopFlushers() {
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    if (flushers_.empty()) {
+      return;
+    }
+    flushers_stop_ = true;
+    // Writers fall back to the synchronous path from here on; the vector
+    // itself is only mutated below, after the join.
+    flusher_count_.store(0, std::memory_order_release);
+  }
+  flush_cv_.notify_all();
+  for (std::thread& t : flushers_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  flushers_.clear();
+}
+
+void FuseFs::QueueFlush(FuseInode* inode) {
+  if (inode->flush_queued_.exchange(true, std::memory_order_acq_rel)) {
+    return;  // already queued
+  }
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_queue_.push_back(DirtyRef{
+        inode, std::static_pointer_cast<FuseInode>(inode->weak_from_this().lock())});
+  }
+  flush_cv_.notify_one();
+}
+
+void FuseFs::FlusherLoop() {
+  // Each flusher runs on its own SimClock lane: its round trips and the
+  // server work they trigger accrue to a parallel virtual timeline, so
+  // background writeback genuinely overlaps foreground progress instead of
+  // inflating it (the whole point over the old synchronous drain).
+  SimClock::LaneScope lane(std::make_shared<SimClock::Lane>());
+  while (true) {
+    DirtyRef work;
+    {
+      std::unique_lock<std::mutex> lock(flush_mu_);
+      flush_cv_.wait(lock, [&] { return flushers_stop_ || !flush_queue_.empty(); });
+      if (flushers_stop_ && flush_queue_.empty()) {
+        return;
+      }
+      work = std::move(flush_queue_.front());
+      flush_queue_.pop_front();
+    }
+    if (auto inode = work.ref.lock()) {
+      inode->flush_queued_.store(false, std::memory_order_release);
+      inode->FlushDirtyPages(UINT64_MAX);
+      background_flushes_.fetch_add(1, std::memory_order_relaxed);
+    } else if (work.key != nullptr) {
+      // Died in the queue: nothing to flush (the destructor de-accounted).
+    }
   }
 }
 
 void FuseFs::Shutdown() {
+  StopFlushers();
   FlushAllDirty();
   FlushForgets();
   if (!conn_->aborted()) {
@@ -350,6 +501,9 @@ FuseInode::FuseInode(FuseFs* fs, uint64_t nodeid, const InodeAttr& attr, uint64_
 }
 
 FuseInode::~FuseInode() {
+  // Dirty pages dropped with the inode leave the writeback set for good:
+  // return their bytes or the watermarks drift permanently upward.
+  fs_->SubDirty(fs_->kernel()->page_cache().DirtyBytes(this));
   fs_->kernel()->page_cache().DropAll(this);
   fs_->ForgetDirty(this);
   if (nodeid_ != kFuseRootId) {
@@ -407,7 +561,12 @@ Status FuseInode::Setattr(const kernel::SetattrRequest& sreq, const kernel::Cred
   req.gid = cred.fsgid;
   CNTR_ASSIGN_OR_RETURN(FuseReply reply, fs_->Call(std::move(req)));
   if (sreq.size.has_value()) {
-    fs_->kernel()->page_cache().TruncatePages(this, *sreq.size);
+    auto& pool = fs_->kernel()->page_cache();
+    // Truncate drops dirty pages without a flush: return their bytes to the
+    // writeback accounting or the watermarks drift permanently upward.
+    uint64_t dirty_before = pool.DirtyBytes(this);
+    pool.TruncatePages(this, *sreq.size);
+    fs_->SubDirty(dirty_before - pool.DirtyBytes(this));
   }
   std::lock_guard<std::mutex> lock(mu_);
   UpdateAttrLocked(reply.attr, fs_->options().attr_ttl_ns);
@@ -642,6 +801,8 @@ StatusOr<FilePtr> FuseInode::Open(int flags, const kernel::Credentials& cred) {
   // open, so nothing survives across opens/processes (Figure 3a "before").
   bool keep = fs_->options().keep_cache && (reply.open_flags & kFOpenKeepCache);
   if (!is_dir && !keep) {
+    // Dropped dirty pages leave the writeback set for good (see Setattr).
+    fs_->SubDirty(fs_->kernel()->page_cache().DirtyBytes(this));
     fs_->kernel()->page_cache().DropAll(this);
   }
   {
@@ -716,7 +877,8 @@ uint64_t FuseInode::CachedSize() {
 
 // --- data plane ---
 
-StatusOr<size_t> FuseInode::ReadData(char* buf, size_t count, uint64_t off, uint64_t fh) {
+StatusOr<size_t> FuseInode::ReadData(char* buf, size_t count, uint64_t off, uint64_t fh,
+                                     kernel::FileReadahead* ra) {
   CNTR_ASSIGN_OR_RETURN(InodeAttr attr, Getattr());  // attr-cache hit in steady state
   if (off >= attr.size || count == 0) {
     return size_t{0};
@@ -753,10 +915,22 @@ StatusOr<size_t> FuseInode::ReadData(char* buf, size_t count, uint64_t off, uint
       continue;
     }
     // Miss: issue one READ covering a readahead window. FUSE_ASYNC_READ
-    // lets the kernel batch the full window into one request; without it
-    // each page is its own round trip.
-    uint32_t window = opts.async_read ? opts.readahead_pages : 1;
-    uint32_t run = static_cast<uint32_t>(std::min<uint64_t>(window, eof_page - idx + 1));
+    // lets the kernel batch a window into one request; without it each page
+    // is its own round trip. The window itself is adaptive: this open
+    // file's ramp state doubles it per sequential miss up to the
+    // FUSE_MAX_PAGES-negotiated ceiling and collapses it on random access
+    // (internal callers without ramp state keep the fixed mount window).
+    uint32_t run = 1;
+    if (opts.async_read) {
+      if (ra != nullptr) {
+        run = ra->OnMiss(idx, fs_->readahead_ceiling_pages());  // window-grid aligned
+      } else {
+        uint32_t window = std::max<uint32_t>(
+            1, std::min(opts.readahead_pages, fs_->readahead_ceiling_pages()));
+        run = window - static_cast<uint32_t>(idx % window);
+      }
+    }
+    run = static_cast<uint32_t>(std::min<uint64_t>(run, eof_page - idx + 1));
     FuseRequest req;
     req.opcode = FuseOpcode::kRead;
     req.nodeid = nodeid_;
@@ -840,10 +1014,11 @@ StatusOr<size_t> FuseInode::WriteData(const char* buf, size_t count, uint64_t of
   const FuseMountOptions& opts = fs_->options();
 
   if (!opts.writeback_cache) {
-    // Synchronous write-through: one WRITE request per max_write chunk.
+    // Synchronous write-through: one WRITE request per (negotiated)
+    // max_write chunk.
     size_t written = 0;
     while (written < count) {
-      size_t n = std::min<size_t>(count - written, opts.max_write);
+      size_t n = std::min<size_t>(count - written, fs_->effective_max_write());
       uint64_t cur = off + written;
       FuseRequest req;
       req.opcode = FuseOpcode::kWrite;
@@ -943,8 +1118,11 @@ StatusOr<size_t> FuseInode::WriteData(const char* buf, size_t count, uint64_t of
 }
 
 uint32_t FuseInode::FlushDirtyPages(uint64_t fh) {
+  // One whole-inode flush at a time: a background flusher and a throttled
+  // foreground writer (or close/fsync) must not issue duplicate WRITEs for
+  // the same extents.
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
   auto& pool = fs_->kernel()->page_cache();
-  const FuseMountOptions& opts = fs_->options();
   std::vector<uint64_t> dirty = pool.DirtyPages(this);
   if (dirty.empty()) {
     return 0;
@@ -955,14 +1133,18 @@ uint32_t FuseInode::FlushDirtyPages(uint64_t fh) {
   }
   uint64_t size_now = CachedSize();
   uint32_t requests = 0;
-  const uint32_t pages_per_write = std::max<uint32_t>(1, opts.max_write / kPageSize);
+  const uint32_t pages_per_write =
+      std::max<uint32_t>(1, fs_->effective_max_write() / kPageSize);
   char page[kPageSize];
 
   size_t i = 0;
-  uint64_t flushed_bytes = 0;
+  uint64_t cleaned_bytes = 0;
   const bool spliced_flush = fs_->splice_write_enabled();
+  // Dirty generation per flushed page: a write that re-dirties a page while
+  // its old bytes are in flight must leave it dirty for the next flush.
+  std::vector<uint64_t> gens(dirty.size(), 0);
   while (i < dirty.size()) {
-    // Collect one contiguous run, capped at max_write.
+    // Collect one contiguous run, capped at the negotiated max_write.
     size_t j = i + 1;
     while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1 && (j - i) < pages_per_write) {
       ++j;
@@ -977,43 +1159,61 @@ uint32_t FuseInode::FlushDirtyPages(uint64_t fh) {
       size_t len = static_cast<size_t>(
           std::min<uint64_t>(kPageSize, size_now > page_start ? size_now - page_start : 0));
       if (len == 0) {
-        continue;  // dirty page entirely beyond EOF: nothing to flush
+        // Beyond the size this flush observed. With a concurrent writer the
+        // page may simply be ahead of the size update (pages are dirtied
+        // before attr_.size moves), so it must STAY dirty — the next flush
+        // sees the grown size and writes it. Cleaning here would silently
+        // drop the extension's data.
+        gens[k] = 0;  // sentinel: skip the MarkClean below
+        continue;
       }
       if (spliced_flush) {
         // The dirty cache pages themselves ride the lane as shared refs
         // (splice cache->pipe); the server adopts or aliases them, and a
         // racing write to the kernel copy COWs instead of corrupting the
         // in-flight payload.
-        auto ref = pool.GetPageRef(this, dirty[k]);
+        auto ref = pool.GetPageRef(this, dirty[k], &gens[k]);
         if (!ref.has_value()) {
+          // Dropped between snapshot and read (truncate/invalidation race).
+          // Pad the run with zeros, but never clean the slot: if a writer
+          // re-created the page dirty meanwhile, its bytes must survive
+          // this flush (gen 0 = skip sentinel, see below).
           ref = splice::PageRef::Alloc(static_cast<uint32_t>(len));
+          gens[k] = 0;
         }
         req.payload_pages.push_back(len == kPageSize
                                         ? *ref
                                         : ref->WithLen(static_cast<uint32_t>(len)));
-        flushed_bytes += len;
       } else {
-        if (!pool.PeekPage(this, dirty[k], page)) {
+        if (!pool.PeekPage(this, dirty[k], page, &gens[k])) {
           std::memset(page, 0, kPageSize);
+          gens[k] = 0;  // dropped mid-flight: skip sentinel (see above)
         }
         req.data.append(page, len);
       }
     }
     if (spliced_flush) {
       req.spliced = !req.payload_pages.empty();
-    } else {
-      flushed_bytes += req.data.size();
+    }
+    if (req.data.empty() && req.payload_pages.empty()) {
+      i = j;  // every page of the run was skipped: nothing to send
+      continue;
     }
     (void)fs_->Call(std::move(req));
     ++requests;
     for (size_t k = i; k < j; ++k) {
-      pool.MarkClean(this, dirty[k]);
+      // gen 0 never names a dirty page (dirtying bumps it to >= 1): it is
+      // the skip sentinel for pages this flush did not write.
+      if (gens[k] != 0 && pool.MarkCleanIfGen(this, dirty[k], gens[k])) {
+        cleaned_bytes += kPageSize;
+      }
     }
     i = j;
   }
-  fs_->dirty_bytes_.fetch_sub(std::min<uint64_t>(fs_->dirty_bytes_.load(),
-                                                 dirty.size() * kPageSize));
-  fs_->ForgetDirty(this);
+  fs_->SubDirty(cleaned_bytes);
+  if (pool.DirtyBytes(this) == 0) {
+    fs_->ForgetDirty(this);
+  }
   return requests;
 }
 

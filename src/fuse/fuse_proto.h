@@ -70,6 +70,13 @@ inline constexpr uint32_t kFuseSpliceRead = 1 << 9;   // READ replies ride the p
 inline constexpr uint32_t kFuseDoReaddirplus = 1 << 13;
 inline constexpr uint32_t kFuseParallelDirops = 1 << 18;
 inline constexpr uint32_t kFuseWritebackCache = 1 << 16;
+inline constexpr uint32_t kFuseMaxPages = 1 << 22;  // max_pages field is valid
+
+// Hard protocol ceiling on a negotiated request/reply payload
+// (FUSE_MAX_MAX_PAGES): 256 pages = 1 MiB. The kernel clamps whatever the
+// server grants to this, so a buggy server cannot inflate windows past what
+// a splice lane can ever carry (kPipeMaxCapacity is the same 1 MiB).
+inline constexpr uint32_t kFuseMaxMaxPages = 256;
 
 // OPEN reply flags.
 inline constexpr uint32_t kFOpenKeepCache = 1 << 1;
@@ -111,6 +118,9 @@ struct FuseRequest {
   };
   std::vector<Forget> forgets;
   uint32_t init_flags = 0;   // INIT negotiation
+  // INIT only (kFuseMaxPages set): the largest payload window, in pages,
+  // the kernel wants to use for READ/WRITE requests. 0 = legacy 32 pages.
+  uint32_t max_pages = 0;
 
   // True when the payload of a write travels through a kernel pipe (splice)
   // instead of being copied through userspace. The pages then ride in
@@ -126,6 +136,9 @@ struct FuseRequest {
   // --- transport metadata (set by FuseConn at submission, not on the wire) ---
   // Channel the request was routed to (sticky per caller pid).
   uint32_t channel = 0;
+  // Which lane of the channel's pool a spliced payload rode (the consumer
+  // drains exactly that ring).
+  uint32_t lane_idx = 0;
   // Virtual timeline of the submitting thread; the server worker adopts it
   // while handling so server-side costs charge the caller that incurred them.
   SimClock::LanePtr lane;
@@ -163,6 +176,10 @@ struct FuseReply {
   uint32_t count = 0;                    // write result
   kernel::StatFs statfs;
   uint32_t init_flags = 0;               // INIT result
+  // INIT only: the payload window the server granted (kFuseMaxPages acked).
+  // A server that does not speak the extension echoes flags without the bit
+  // and leaves this 0; the kernel then falls back to 32-page windows.
+  uint32_t max_pages = 0;
 
   // Spliced payload: READ data (or a packed READDIRPLUS stream) as page
   // references instead of bytes in `data`. `spliced` is set by the
@@ -171,6 +188,8 @@ struct FuseReply {
   // the bytes flattened into `data` and `spliced == false`.
   std::vector<splice::PageRef> pages;
   bool spliced = false;
+  // Which lane of the channel's pool the spliced payload rode.
+  uint32_t lane_idx = 0;
 
   uint32_t payload_bytes() const {
     uint32_t total = 0;

@@ -22,7 +22,7 @@ class MemFile : public FileDescription {
       return Status::Error(EBADF);
     }
     return mem_inode_->ReadData(static_cast<char*>(buf), count, offset,
-                                (flags() & kODirect) != 0);
+                                (flags() & kODirect) != 0, &readahead_);
   }
 
   StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset) override {
@@ -40,7 +40,7 @@ class MemFile : public FileDescription {
     if ((flags() & kODirect) != 0) {
       return Status::Error(EOPNOTSUPP);  // O_DIRECT bypasses the page cache
     }
-    return mem_inode_->ReadPageRefs(count, offset);
+    return mem_inode_->ReadPageRefs(count, offset, &readahead_);
   }
 
   StatusOr<size_t> WritePageRefs(const std::vector<splice::PageRef>& pages,
@@ -60,6 +60,8 @@ class MemFile : public FileDescription {
 
  private:
   std::shared_ptr<MemInode> mem_inode_;
+  // Per-open-file readahead ramp for the disk-backed miss fill.
+  FileReadahead readahead_;
 };
 
 }  // namespace
@@ -649,7 +651,8 @@ uint64_t MemInode::size() const {
 
 // --- data plane ---
 
-StatusOr<size_t> MemInode::ReadData(char* buf, size_t count, uint64_t off, bool direct) {
+StatusOr<size_t> MemInode::ReadData(char* buf, size_t count, uint64_t off, bool direct,
+                                    FileReadahead* ra) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!IsReg(attr_.mode)) {
     return Status::Error(EINVAL);
@@ -679,10 +682,16 @@ StatusOr<size_t> MemInode::ReadData(char* buf, size_t count, uint64_t off, bool 
   char page[kPageSize];
   for (uint64_t idx = first; idx <= last; ++idx) {
     if (!opts.page_cache->ReadPage(this, idx, page)) {
-      // Miss: fill a readahead window in one device op.
+      // Miss: fill a readahead window in one device op. The window ramps
+      // with this open file's access pattern (sequential doubles toward the
+      // readahead_pages ceiling, random collapses).
       uint64_t eof_page = attr_.size == 0 ? 0 : (attr_.size - 1) / kPageSize;
-      uint32_t run = static_cast<uint32_t>(
-          std::min<uint64_t>(opts.readahead_pages, eof_page - idx + 1));
+      // Window-grid-aligned fill; the ramp state sizes it per access
+      // pattern (see kernel/readahead.h), fixed window otherwise.
+      uint32_t window = std::max<uint32_t>(1, opts.readahead_pages);
+      uint32_t run = ra != nullptr ? ra->OnMiss(idx, window)
+                                   : window - static_cast<uint32_t>(idx % window);
+      run = static_cast<uint32_t>(std::min<uint64_t>(run, eof_page - idx + 1));
       FillFromDiskLocked(idx, run);
       if (!opts.page_cache->ReadPage(this, idx, page)) {
         return Status::Error(EIO, "page fill failed");
@@ -784,7 +793,8 @@ StatusOr<size_t> MemInode::WriteData(const char* buf, size_t count, uint64_t off
   return count;
 }
 
-StatusOr<std::vector<splice::PageRef>> MemInode::ReadPageRefs(size_t count, uint64_t off) {
+StatusOr<std::vector<splice::PageRef>> MemInode::ReadPageRefs(size_t count, uint64_t off,
+                                                              FileReadahead* ra) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!IsReg(attr_.mode)) {
     return Status::Error(EINVAL);
@@ -821,8 +831,10 @@ StatusOr<std::vector<splice::PageRef>> MemInode::ReadPageRefs(size_t count, uint
     auto ref = opts.page_cache->GetPageRef(this, idx);  // splice rate on hit
     if (!ref.has_value()) {
       uint64_t eof_page = attr_.size == 0 ? 0 : (attr_.size - 1) / kPageSize;
-      uint32_t run = static_cast<uint32_t>(
-          std::min<uint64_t>(opts.readahead_pages, eof_page - idx + 1));
+      uint32_t window = std::max<uint32_t>(1, opts.readahead_pages);
+      uint32_t run = ra != nullptr ? ra->OnMiss(idx, window)
+                                   : window - static_cast<uint32_t>(idx % window);
+      run = static_cast<uint32_t>(std::min<uint64_t>(run, eof_page - idx + 1));
       FillFromDiskLocked(idx, run);
       ref = opts.page_cache->GetPageRef(this, idx);
       if (!ref.has_value()) {

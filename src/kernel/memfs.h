@@ -23,6 +23,7 @@
 #include "src/kernel/filesystem.h"
 #include "src/kernel/inode.h"
 #include "src/kernel/page_cache.h"
+#include "src/kernel/readahead.h"
 #include "src/kernel/types.h"
 #include "src/util/sim_clock.h"
 
@@ -50,7 +51,10 @@ class MemFs : public FileSystem, public std::enable_shared_from_this<MemFs> {
     uint64_t capacity_bytes = UINT64_MAX;
     uint64_t max_inodes = 1ull << 20;
     bool support_odirect = true;
-    // Pages read per miss (readahead window).
+    // Readahead ceiling in pages. The per-open-file ramp (FileReadahead)
+    // sizes the actual miss-fill window below this: sequential streams
+    // double toward it, random access collapses to a page or two. Internal
+    // fills without ramp state use it as a fixed window, as before.
     uint32_t readahead_pages = 32;
   };
 
@@ -137,14 +141,18 @@ class MemInode : public Inode {
   StatusOr<InodePtr> Parent() override;
 
   // --- data plane (called from MemFile) ---
-  StatusOr<size_t> ReadData(char* buf, size_t count, uint64_t off, bool direct);
+  // `ra` is the calling open file's readahead ramp state; null keeps the
+  // fixed readahead_pages window (internal fills).
+  StatusOr<size_t> ReadData(char* buf, size_t count, uint64_t off, bool direct,
+                            FileReadahead* ra = nullptr);
   StatusOr<size_t> WriteData(const char* buf, size_t count, uint64_t off, bool direct);
   // Splice data plane: serves/accepts payload as page references. On the
   // disk-backed role these alias (or adopt) pages of the shared cache, so a
   // CNTRFS READ reply can travel without a single byte copy; on the tmpfs
   // role they degrade to copies of the inline payload. `off` must be
   // page-aligned.
-  StatusOr<std::vector<splice::PageRef>> ReadPageRefs(size_t count, uint64_t off);
+  StatusOr<std::vector<splice::PageRef>> ReadPageRefs(size_t count, uint64_t off,
+                                                      FileReadahead* ra = nullptr);
   StatusOr<size_t> WritePageRefs(const std::vector<splice::PageRef>& pages, uint64_t off);
   Status TruncateData(uint64_t new_size);
   Status FsyncData(bool datasync);

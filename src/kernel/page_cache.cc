@@ -49,12 +49,16 @@ bool PageCachePool::StorePage(CacheOwner owner, uint64_t idx, const char* data, 
     shard.lru.push_front(key);
     page.lru_it = shard.lru.begin();
     page.dirty = dirty;
+    page.gen = dirty ? 1 : 0;
     shard.pages.emplace(key, std::move(page));
   } else {
     EnsureExclusiveLocked(it->second, /*preserve_content=*/false);
     std::memcpy(it->second.data.get(), data, kPageSize);
     bool was_dirty = it->second.dirty;
     it->second.dirty = it->second.dirty || dirty;
+    if (dirty) {
+      ++it->second.gen;
+    }
     TouchLocked(shard, it->second, key);
     if (was_dirty) {
       dirty = false;  // already accounted
@@ -81,6 +85,9 @@ PageCachePool::UpdateResult PageCachePool::UpdatePage(CacheOwner owner, uint64_t
   EnsureExclusiveLocked(it->second, /*preserve_content=*/true);
   std::memcpy(it->second.data.get() + off, src, len);
   TouchLocked(shard, it->second, it->first);
+  if (mark_dirty) {
+    ++it->second.gen;
+  }
   if (mark_dirty && !it->second.dirty) {
     it->second.dirty = true;
     shard.dirty[owner][idx] = true;
@@ -126,19 +133,28 @@ void PageCachePool::TruncatePages(CacheOwner owner, uint64_t new_size) {
   }
 }
 
-void PageCachePool::MarkClean(CacheOwner owner, uint64_t idx) {
+bool PageCachePool::MarkClean(CacheOwner owner, uint64_t idx) {
+  return MarkCleanIfGen(owner, idx, UINT64_MAX);
+}
+
+bool PageCachePool::MarkCleanIfGen(CacheOwner owner, uint64_t idx, uint64_t gen) {
   Key key{owner, idx};
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.pages.find(key);
-  if (it != shard.pages.end() && it->second.dirty) {
-    it->second.dirty = false;
-    dirty_bytes_total_.fetch_sub(kPageSize, std::memory_order_relaxed);
-    auto dit = shard.dirty.find(owner);
-    if (dit != shard.dirty.end()) {
-      dit->second.erase(idx);
-    }
+  if (it == shard.pages.end() || !it->second.dirty) {
+    return false;
   }
+  if (gen != UINT64_MAX && it->second.gen != gen) {
+    return false;  // re-dirtied since the flusher's snapshot: stays dirty
+  }
+  it->second.dirty = false;
+  dirty_bytes_total_.fetch_sub(kPageSize, std::memory_order_relaxed);
+  auto dit = shard.dirty.find(owner);
+  if (dit != shard.dirty.end()) {
+    dit->second.erase(idx);
+  }
+  return true;
 }
 
 void PageCachePool::Drop(CacheOwner owner, uint64_t idx) {
@@ -209,7 +225,8 @@ std::vector<uint64_t> PageCachePool::DirtyPages(CacheOwner owner) const {
   return out;
 }
 
-bool PageCachePool::PeekPage(CacheOwner owner, uint64_t idx, char* out) const {
+bool PageCachePool::PeekPage(CacheOwner owner, uint64_t idx, char* out,
+                             uint64_t* gen_out) const {
   Key key{owner, idx};
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -218,6 +235,9 @@ bool PageCachePool::PeekPage(CacheOwner owner, uint64_t idx, char* out) const {
     return false;
   }
   std::memcpy(out, it->second.data.get(), kPageSize);
+  if (gen_out != nullptr) {
+    *gen_out = it->second.gen;
+  }
   return true;
 }
 
@@ -246,7 +266,8 @@ uint64_t PageCachePool::ResidentBytes() const {
   return total;
 }
 
-std::optional<splice::PageRef> PageCachePool::GetPageRef(CacheOwner owner, uint64_t idx) {
+std::optional<splice::PageRef> PageCachePool::GetPageRef(CacheOwner owner, uint64_t idx,
+                                                         uint64_t* gen_out) {
   Key key{owner, idx};
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -262,6 +283,9 @@ std::optional<splice::PageRef> PageCachePool::GetPageRef(CacheOwner owner, uint6
   splice::PageRef ref;
   ref.page = it->second.data;
   ref.len = kPageSize;
+  if (gen_out != nullptr) {
+    *gen_out = it->second.gen;
+  }
   return ref;
 }
 
@@ -299,11 +323,15 @@ PageCachePool::StoreRefResult PageCachePool::StorePageRef(CacheOwner owner, uint
     shard.lru.push_front(key);
     page.lru_it = shard.lru.begin();
     page.dirty = dirty;
+    page.gen = dirty ? 1 : 0;
     shard.pages.emplace(key, std::move(page));
   } else {
     it->second.data = std::move(install);
     bool was_dirty = it->second.dirty;
     it->second.dirty = it->second.dirty || dirty;
+    if (dirty) {
+      ++it->second.gen;
+    }
     TouchLocked(shard, it->second, key);
     if (was_dirty) {
       count_dirty = false;  // already accounted

@@ -69,7 +69,14 @@ class PageCachePool {
   // pages past it (truncate support).
   void TruncatePages(CacheOwner owner, uint64_t new_size);
 
-  void MarkClean(CacheOwner owner, uint64_t idx);
+  // Clears the dirty bit; returns true if the page was dirty (so owners can
+  // keep exact dirty-byte accounting even when two flushers race).
+  bool MarkClean(CacheOwner owner, uint64_t idx);
+  // Generation-checked variant for concurrent writeback: clears the dirty
+  // bit only if the page has not been re-dirtied since the snapshot whose
+  // generation the flusher carries — a write that lands between PeekPage and
+  // MarkClean keeps the page dirty instead of being silently lost.
+  bool MarkCleanIfGen(CacheOwner owner, uint64_t idx, uint64_t gen);
   void Drop(CacheOwner owner, uint64_t idx);
   void DropAll(CacheOwner owner);
   // Drops every clean page of every owner (echo 3 > drop_caches); dirty
@@ -81,8 +88,9 @@ class PageCachePool {
   std::vector<uint64_t> DirtyPages(CacheOwner owner) const;
 
   // Copies page content (must be resident) without LRU/cost effects; used by
-  // writeback to read dirty data.
-  bool PeekPage(CacheOwner owner, uint64_t idx, char* out) const;
+  // writeback to read dirty data. `gen_out`, when non-null, receives the
+  // page's dirty generation for a later MarkCleanIfGen.
+  bool PeekPage(CacheOwner owner, uint64_t idx, char* out, uint64_t* gen_out = nullptr) const;
 
   // --- splice surface: zero-copy page references ---
   //
@@ -96,7 +104,9 @@ class PageCachePool {
   // Returns a shared reference to a resident page (LRU touch, hit/miss
   // accounting, splice cost — the remap is what a splice() out of the cache
   // pays instead of page_cache_hit + copy). nullopt on miss.
-  std::optional<splice::PageRef> GetPageRef(CacheOwner owner, uint64_t idx);
+  // `gen_out` as in PeekPage (for generation-checked writeback).
+  std::optional<splice::PageRef> GetPageRef(CacheOwner owner, uint64_t idx,
+                                            uint64_t* gen_out = nullptr);
 
   // Installs a full-page reference. No cost is charged here — the caller
   // charges per the returned mode (steal/alias at splice rate, copy
@@ -169,6 +179,9 @@ class PageCachePool {
     // must go through EnsureExclusiveLocked (COW) first.
     std::shared_ptr<char[]> data;
     bool dirty = false;
+    // Bumped every time dirty content lands on the page; lets concurrent
+    // writeback detect re-dirtying between snapshot and MarkCleanIfGen.
+    uint64_t gen = 0;
     std::list<Key>::iterator lru_it;
   };
 

@@ -1,0 +1,86 @@
+// Per-open-file readahead state, modeled on Linux's ondemand_readahead.
+//
+// Every reader that misses the page cache fills a *window* of pages in one
+// backing operation (a FUSE READ request, a disk op). A fixed window is
+// wrong at both ends: big windows waste fill work on random readers, small
+// windows cap sequential streams at many round trips. FileReadahead tracks
+// one open file's access pattern and sizes the window adaptively:
+//
+//   * Sequential streams (each miss lands exactly where the previous window
+//     ended, or the file is read from page 0) double the window per miss,
+//     from kInitWindowPages up to the caller-supplied ceiling — for a FUSE
+//     mount that ceiling is the FUSE_MAX_PAGES-negotiated limit, so a
+//     sequential consumer ramps to 1MiB requests without a custom mount.
+//   * Random access (a miss anywhere else) collapses the window to
+//     kMinWindowPages, so scattered 4KiB reads stop paying for pages nobody
+//     will touch. A later re-seek into a new sequential run ramps back up
+//     from the initial window.
+//
+// The async-ahead marker (`async_mark_`) records where the current window
+// ends — the page whose miss proves the stream is still sequential and
+// triggers the next ramp, the analogue of Linux's PG_readahead marker page.
+#ifndef CNTR_SRC_KERNEL_READAHEAD_H_
+#define CNTR_SRC_KERNEL_READAHEAD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+
+namespace cntr::kernel {
+
+class FileReadahead {
+ public:
+  // Window a random access collapses to ("a page or two").
+  static constexpr uint32_t kMinWindowPages = 2;
+  // Window a fresh sequential stream starts from before ramping.
+  static constexpr uint32_t kInitWindowPages = 8;
+
+  // Called on a page-cache miss at `page`; returns the number of pages the
+  // caller should fill in one backing operation, never more than `ceiling`.
+  // The fill is aligned to the current window grid (Linux rounds readahead
+  // chunks the same way): each fill ends on a window boundary, so a
+  // steady-state sequential stream issues window-aligned requests that line
+  // up with the consumer's reads instead of straddling them — a straddled
+  // page is served out of the page cache on the *next* read and pays an
+  // extra cache hop. Thread-safe (two threads sharing one fd serialize
+  // here, nowhere else).
+  uint32_t OnMiss(uint64_t page, uint32_t ceiling) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ceiling = std::max<uint32_t>(1, ceiling);
+    bool sequential =
+        has_history_ ? page == async_mark_ : page == 0;
+    if (sequential) {
+      // A fresh run (first access, or the first sequential hit after a
+      // random collapse) restarts from the initial window, then doubles.
+      window_ = window_ < kInitWindowPages ? std::min(kInitWindowPages, ceiling)
+                                           : std::min(window_ * 2, ceiling);
+    } else {
+      window_ = std::min(kMinWindowPages, ceiling);
+    }
+    has_history_ = true;
+    uint32_t run = window_ - static_cast<uint32_t>(page % window_);
+    async_mark_ = page + run;
+    return run;
+  }
+
+  // Current window in pages (0 before the first miss). For tests/stats.
+  uint32_t window_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return window_;
+  }
+  // Page whose miss continues the sequential ramp.
+  uint64_t async_mark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return async_mark_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  bool has_history_ = false;   // prev_pos validity
+  uint64_t async_mark_ = 0;    // prev_pos: page after the last window
+  uint32_t window_ = 0;        // current window, pages
+};
+
+}  // namespace cntr::kernel
+
+#endif  // CNTR_SRC_KERNEL_READAHEAD_H_

@@ -189,11 +189,14 @@ TEST_F(SpliceTransportTest, RereadAfterSplicedInstallServesCachedPages) {
 }
 
 TEST_F(SpliceTransportTest, LaneTooSmallFallsBackToCopyAndStaysCorrect) {
-  // Page-aligned size: every READ payload is a full 128KB readahead window
-  // (the sub-page EOF tail of an unaligned file would fit even a tiny lane).
+  // Page-aligned size: every READ payload is a full multi-page readahead
+  // window (the sub-page EOF tail of an unaligned file would fit even a
+  // tiny lane). Autosizing is pinned off — this test exercises the copy
+  // fallback itself; the growth path is covered in adaptive_io_test.
   const std::string want = Pattern(512 * 1024);
   FuseMountOptions opts = FuseMountOptions::Optimized();
-  opts.pipe_pages = 1;  // 4KB lane vs. 128KB readahead payloads: never fits
+  opts.pipe_pages = 1;  // 4KB lane vs. multi-page readahead payloads: never fits
+  opts.lane_autosize = false;
   Mount(opts);
   SeedFile("/data/tiny-lane.dat", want);
   EXPECT_EQ(ReadThroughMount("/m/data/tiny-lane.dat", want.size()), want);

@@ -1,0 +1,109 @@
+// Unit tests for the per-open-file readahead ramp (kernel/readahead.h):
+// sequential streams double the miss-fill window up to the ceiling, random
+// access collapses it to a page or two, a re-seek into a new sequential run
+// ramps back up, and every returned fill is aligned to the window grid so
+// steady-state requests end on window boundaries.
+#include <gtest/gtest.h>
+
+#include "src/kernel/readahead.h"
+
+namespace cntr::kernel {
+namespace {
+
+TEST(FileReadaheadTest, SequentialStreamDoublesUpToCeiling) {
+  FileReadahead ra;
+  const uint32_t ceiling = 256;
+  // Miss at the start of the file, then exactly where each fill ended. The
+  // grid alignment makes the first doubled window fill only up to its own
+  // boundary (8, then 16-8=8, 32-16=16, ...), after which runs double
+  // cleanly until the ceiling pins them.
+  uint64_t page = 0;
+  const uint32_t want_runs[] = {8, 8, 16, 32, 64, 128, 256, 256, 256};
+  const uint32_t want_windows[] = {8, 16, 32, 64, 128, 256, 256, 256, 256};
+  for (size_t i = 0; i < std::size(want_runs); ++i) {
+    uint32_t run = ra.OnMiss(page, ceiling);
+    EXPECT_EQ(run, want_runs[i]) << "miss " << i << " at page " << page;
+    EXPECT_EQ(ra.window_pages(), want_windows[i]) << "miss " << i;
+    page += run;
+  }
+  // Steady state: window-aligned full-ceiling fills.
+  EXPECT_EQ(page % ceiling, 0u);
+  EXPECT_EQ(ra.OnMiss(page, ceiling), ceiling);
+}
+
+TEST(FileReadaheadTest, CeilingCapsTheVeryFirstWindow) {
+  FileReadahead ra;
+  EXPECT_EQ(ra.OnMiss(0, 4), 4u);  // init window is 8, ceiling is tighter
+  EXPECT_EQ(ra.OnMiss(4, 4), 4u);
+}
+
+TEST(FileReadaheadTest, RandomAccessCollapsesToMinWindow) {
+  FileReadahead ra;
+  // Ramp a sequential stream first.
+  uint64_t page = 0;
+  for (int i = 0; i < 6; ++i) {
+    page += ra.OnMiss(page, 256);
+  }
+  EXPECT_GT(ra.window_pages(), FileReadahead::kMinWindowPages);
+  // A miss anywhere else is random: the window collapses.
+  EXPECT_LE(ra.OnMiss(10'000, 256), FileReadahead::kMinWindowPages);
+  EXPECT_EQ(ra.window_pages(), FileReadahead::kMinWindowPages);
+  EXPECT_LE(ra.OnMiss(5'000, 256), FileReadahead::kMinWindowPages);
+  EXPECT_EQ(ra.window_pages(), FileReadahead::kMinWindowPages);
+}
+
+TEST(FileReadaheadTest, FirstAccessMidFileIsRandom) {
+  FileReadahead ra;
+  // Only an access at page 0 counts as a fresh sequential start.
+  EXPECT_LE(ra.OnMiss(123, 256), FileReadahead::kMinWindowPages);
+  EXPECT_EQ(ra.window_pages(), FileReadahead::kMinWindowPages);
+}
+
+TEST(FileReadaheadTest, ReseekCollapsesThenRampsAgain) {
+  FileReadahead ra;
+  uint64_t page = 0;
+  for (int i = 0; i < 7; ++i) {
+    page += ra.OnMiss(page, 256);
+  }
+  EXPECT_GE(ra.window_pages(), 64u);
+  // Seek to a new region: collapse...
+  uint64_t seek = 50'000;
+  uint32_t run = ra.OnMiss(seek, 256);
+  EXPECT_LE(run, FileReadahead::kMinWindowPages);
+  EXPECT_EQ(ra.window_pages(), FileReadahead::kMinWindowPages);
+  // ...then the new run is sequential from there and ramps back up from the
+  // initial window.
+  seek += run;
+  run = ra.OnMiss(seek, 256);
+  EXPECT_EQ(ra.window_pages(), FileReadahead::kInitWindowPages);
+  seek += run;
+  run = ra.OnMiss(seek, 256);
+  EXPECT_EQ(ra.window_pages(), 2 * FileReadahead::kInitWindowPages);
+}
+
+TEST(FileReadaheadTest, AsyncMarkTracksFillEnd) {
+  FileReadahead ra;
+  uint32_t run = ra.OnMiss(0, 256);
+  EXPECT_EQ(ra.async_mark(), run);
+  uint32_t run2 = ra.OnMiss(run, 256);
+  EXPECT_EQ(ra.async_mark(), run + run2);
+}
+
+TEST(FileReadaheadTest, FillsEndOnWindowBoundaries) {
+  FileReadahead ra;
+  uint64_t page = 0;
+  for (int i = 0; i < 12; ++i) {
+    uint32_t run = ra.OnMiss(page, 64);
+    page += run;
+    EXPECT_EQ(page % ra.window_pages(), 0u)
+        << "every fill must end on the current window grid";
+  }
+}
+
+TEST(FileReadaheadTest, CeilingOfZeroStillReturnsOnePage) {
+  FileReadahead ra;
+  EXPECT_EQ(ra.OnMiss(0, 0), 1u);
+}
+
+}  // namespace
+}  // namespace cntr::kernel
