@@ -1,5 +1,6 @@
 #include "src/core/socket_proxy.h"
 
+#include <algorithm>
 #include <cerrno>
 
 #include "src/util/logging.h"
@@ -8,6 +9,25 @@ namespace cntr::core {
 
 using kernel::Fd;
 
+namespace {
+
+// In-flight window per flow pipe (F_SETPIPE_SZ at accept): matched to the
+// socket rings so a burst can park a full ring without stalling the source.
+constexpr size_t kFlowPipeBytes = 262144;
+// Per-hop transfer size on the segment path.
+constexpr size_t kSpliceChunk = 65536;
+// Copy-relay read size (the pre-splice proxy's user-space buffer).
+constexpr size_t kCopyChunk = 65536;
+// Per-PumpFlow byte budget: an endlessly-ready source yields the loop back
+// to epoll after this much, so other flows get serviced (fairness).
+constexpr size_t kPumpBudget = 262144;
+
+size_t PagesOf(size_t bytes) {
+  return (bytes + kernel::kPageSize - 1) / kernel::kPageSize;
+}
+
+}  // namespace
+
 SocketProxy::SocketProxy(kernel::Kernel* kernel, kernel::ProcessPtr container_proc,
                          kernel::ProcessPtr host_proc)
     : kernel_(kernel), container_proc_(std::move(container_proc)),
@@ -15,21 +35,36 @@ SocketProxy::SocketProxy(kernel::Kernel* kernel, kernel::ProcessPtr container_pr
   auto ep = kernel_->EpollCreate(*container_proc_);
   if (ep.ok()) {
     epoll_fd_ = ep.value();
+  } else {
+    // Surfaced by Forward(): a proxy that cannot poll must not pretend to
+    // forward (the old behaviour proxied into EBADF).
+    init_status_ = ep.status();
   }
 }
 
 SocketProxy::~SocketProxy() { Stop(); }
 
 Status SocketProxy::Forward(const std::string& container_path, const std::string& host_path) {
+  CNTR_RETURN_IF_ERROR(init_status_);
+  if (epoll_fd_ < 0) {
+    return Status::Error(EINVAL, "socket proxy already stopped");
+  }
   CNTR_ASSIGN_OR_RETURN(Fd listen_fd, kernel_->SocketListen(*container_proc_, container_path));
-  CNTR_RETURN_IF_ERROR(kernel_->EpollCtl(*container_proc_, epoll_fd_, kernel::kEpollCtlAdd,
-                                         listen_fd, kernel::kPollIn,
-                                         static_cast<uint64_t>(listen_fd)));
+  Status watched = kernel_->EpollCtl(*container_proc_, epoll_fd_, kernel::kEpollCtlAdd,
+                                     listen_fd, kernel::kPollIn,
+                                     static_cast<uint64_t>(listen_fd));
+  if (!watched.ok()) {
+    (void)container_proc_->fds.Take(listen_fd);
+    return watched;
+  }
   rules_.push_back(Rule{listen_fd, host_path});
   return Status::Ok();
 }
 
 void SocketProxy::Start() {
+  if (!init_status_.ok() || epoll_fd_ < 0) {
+    return;
+  }
   if (running_.exchange(true)) {
     return;
   }
@@ -37,60 +72,115 @@ void SocketProxy::Start() {
 }
 
 void SocketProxy::Stop() {
-  if (!running_.exchange(false)) {
-    return;
+  if (running_.exchange(false)) {
+    kernel_->poll_hub().Notify();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
   }
-  kernel_->poll_hub().Notify();
-  if (thread_.joinable()) {
-    thread_.join();
+  while (!flows_.empty()) {
+    CloseFlowPair(flows_.begin()->first);
   }
-  for (auto& [src, flow] : flows_) {
-    (void)container_proc_->fds.Take(flow.src);
-    (void)container_proc_->fds.Take(flow.pipe_r);
-    (void)container_proc_->fds.Take(flow.pipe_w);
-  }
-  flows_.clear();
   for (auto& rule : rules_) {
     (void)container_proc_->fds.Take(rule.listen_fd);
   }
   rules_.clear();
+  if (epoll_fd_ >= 0) {
+    (void)container_proc_->fds.Take(epoll_fd_);
+    epoll_fd_ = -1;
+  }
 }
 
 void SocketProxy::Loop() {
   while (running_.load()) {
-    auto events = kernel_->EpollWait(*container_proc_, epoll_fd_, 16, /*timeout_ms=*/20);
-    if (!events.ok()) {
-      return;
+    RunOnce(/*timeout_ms=*/20);
+  }
+}
+
+void SocketProxy::RunOnce(int timeout_ms) {
+  if (epoll_fd_ < 0) {
+    return;
+  }
+  auto events = kernel_->EpollWait(*container_proc_, epoll_fd_, 64, timeout_ms);
+  if (!events.ok()) {
+    return;
+  }
+  for (const auto& ev : events.value()) {
+    Fd fd = static_cast<Fd>(ev.data);
+    bool is_listener = false;
+    for (const auto& rule : rules_) {
+      if (rule.listen_fd == fd) {
+        while (AcceptOne(rule)) {
+        }
+        is_listener = true;
+        break;
+      }
     }
-    for (const auto& ev : events.value()) {
-      Fd fd = static_cast<Fd>(ev.data);
-      // Listener?
-      bool handled = false;
-      for (const auto& rule : rules_) {
-        if (rule.listen_fd == fd) {
-          AcceptOne(rule);
-          handled = true;
-          break;
-        }
+    if (is_listener) {
+      continue;
+    }
+    // A flow fd carries two interests: POLLIN for the flow reading from it,
+    // and POLLOUT (or a hangup that will fail deliveries) for the peer flow
+    // writing into it.
+    auto it = flows_.find(fd);
+    if (it == flows_.end()) {
+      continue;
+    }
+    Fd peer = it->second.peer_src;
+    if (ev.events & (kernel::kPollOut | kernel::kPollErr | kernel::kPollHup)) {
+      auto pit = flows_.find(peer);
+      if (pit != flows_.end() && (pit->second.want_out || pit->second.residue > 0)) {
+        PumpFlow(peer);
       }
-      if (handled) {
-        continue;
-      }
-      auto it = flows_.find(fd);
-      if (it != flows_.end()) {
-        if (!Pump(it->second)) {
-          CloseFlowPair(fd);
-        }
-      }
+    }
+    if (ev.events & (kernel::kPollIn | kernel::kPollRdHup | kernel::kPollHup)) {
+      PumpFlow(fd);
     }
   }
 }
 
-void SocketProxy::AcceptOne(const Rule& rule) {
+bool SocketProxy::AcceptOne(const Rule& rule) {
   auto conn = kernel_->SocketAccept(*container_proc_, rule.listen_fd, /*nonblock=*/true);
   if (!conn.ok()) {
-    return;
+    return false;
   }
+  // Both directions or neither: a connection with one silently-missing
+  // direction would black-hole half the traffic and leak the rest. Every
+  // installed fd and epoll registration is collected as it is made, so any
+  // partial failure unwinds the lot through one path. Local resources (the
+  // two flow pipes) come first and the upstream connect last, so a local
+  // failure unwinds without ever showing the target server a phantom
+  // connect/disconnect — and never parks a dead connection in its accept
+  // queue.
+  std::vector<Fd> installed{conn.value()};
+  std::vector<Fd> watched;
+  auto unwind = [&](const Status& why) {
+    CNTR_WLOG << "socket proxy: dropping connection to " << rule.host_path << ": "
+              << why.ToString();
+    for (Fd fd : watched) {
+      (void)kernel_->EpollCtl(*container_proc_, epoll_fd_, kernel::kEpollCtlDel, fd, 0, 0);
+      flows_.erase(fd);
+    }
+    for (Fd fd : installed) {
+      (void)container_proc_->fds.Take(fd);
+    }
+    accept_failures_.fetch_add(1);
+    return true;  // the listener may hold more pending connections
+  };
+
+  auto pipe_a = kernel_->Pipe(*container_proc_);  // conn -> upstream
+  if (!pipe_a.ok()) {
+    return unwind(pipe_a.status());
+  }
+  installed.push_back(pipe_a.value().first);
+  installed.push_back(pipe_a.value().second);
+  auto pipe_b = kernel_->Pipe(*container_proc_);  // upstream -> conn
+  if (!pipe_b.ok()) {
+    return unwind(pipe_b.status());
+  }
+  installed.push_back(pipe_b.value().first);
+  installed.push_back(pipe_b.value().second);
+
   auto upstream = kernel_->SocketConnect(*container_proc_, rule.host_path);
   if (!upstream.ok()) {
     // Try host-side resolution (target may only exist in the host ns).
@@ -105,66 +195,186 @@ void SocketProxy::AcceptOne(const Rule& rule) {
     }
   }
   if (!upstream.ok()) {
-    CNTR_WLOG << "socket proxy: cannot reach " << rule.host_path << ": "
-              << upstream.status().ToString();
-    (void)container_proc_->fds.Take(conn.value());
-    return;
+    return unwind(upstream.status());
   }
-  connections_.fetch_add(1);
+  installed.push_back(upstream.value());
 
-  // Nonblocking both ends; one pipe per direction for splice.
+  // Nonblocking both ends; pipes sized to a full in-flight window.
   for (Fd fd : {conn.value(), upstream.value()}) {
     auto file = kernel_->GetFile(*container_proc_, fd);
     if (file.ok()) {
       file.value()->set_flags(file.value()->flags() | kernel::kONonblock);
     }
   }
-  auto make_flow = [&](Fd src, Fd dst, Fd peer_src) -> bool {
-    auto pipe = kernel_->Pipe(*container_proc_);
-    if (!pipe.ok()) {
-      return false;
+  (void)kernel_->SetPipeSize(*container_proc_, pipe_a.value().second, kFlowPipeBytes);
+  (void)kernel_->SetPipeSize(*container_proc_, pipe_b.value().second, kFlowPipeBytes);
+
+  auto make_flow = [&](Fd src, Fd dst, std::pair<Fd, Fd> pipe, Fd peer_src) {
+    Status added = kernel_->EpollCtl(*container_proc_, epoll_fd_, kernel::kEpollCtlAdd, src,
+                                     kernel::kPollIn, static_cast<uint64_t>(src));
+    if (!added.ok()) {
+      return added;
     }
-    Flow flow{src, dst, pipe.value().first, pipe.value().second, peer_src};
-    flows_[src] = flow;
-    (void)kernel_->EpollCtl(*container_proc_, epoll_fd_, kernel::kEpollCtlAdd, src,
-                            kernel::kPollIn, static_cast<uint64_t>(src));
-    return true;
+    watched.push_back(src);
+    Flow flow{src, dst, pipe.first, pipe.second, peer_src};
+    flow.splice_mode = use_splice_.load();  // latched for the flow's lifetime
+    flow.watch_mask = kernel::kPollIn;
+    flows_[src] = std::move(flow);
+    return Status::Ok();
   };
-  make_flow(conn.value(), upstream.value(), upstream.value());
-  make_flow(upstream.value(), conn.value(), conn.value());
+  Status flow_a = make_flow(conn.value(), upstream.value(), pipe_a.value(), upstream.value());
+  if (!flow_a.ok()) {
+    return unwind(flow_a);
+  }
+  Status flow_b = make_flow(upstream.value(), conn.value(), pipe_b.value(), conn.value());
+  if (!flow_b.ok()) {
+    return unwind(flow_b);
+  }
+  connections_.fetch_add(1);
+  return true;
 }
 
-bool SocketProxy::Pump(Flow& flow) {
-  // splice(src -> pipe), splice(pipe -> dst): the zero-copy relay the paper
-  // describes. Loop until the source drains.
-  while (true) {
-    auto moved = kernel_->Splice(*container_proc_, flow.src, flow.pipe_w, 65536);
-    if (!moved.ok()) {
-      if (moved.error() == EAGAIN) {
-        return true;  // drained for now
+void SocketProxy::PumpFlow(Fd src_fd) {
+  auto it = flows_.find(src_fd);
+  if (it == flows_.end()) {
+    return;
+  }
+  Flow& flow = it->second;
+  Fd dst_fd = flow.dst;
+  if (!flow.done) {
+    // Deliver parked bytes first: frees pipe window and preserves ordering.
+    DrainFlow(flow);
+    size_t budget = kPumpBudget;
+    while (!flow.done && !flow.src_eof && budget > 0) {
+      // Under destination backpressure keep pulling from the source into
+      // the pipe's in-flight window (splice path); the copy relay has only
+      // its carry buffer, so it must flush before reading again.
+      if (!flow.CanFill(kFlowPipeBytes)) {
+        break;
       }
-      return false;  // peer gone
-    }
-    if (moved.value() == 0) {
-      return false;  // EOF
-    }
-    size_t pending = moved.value();
-    while (pending > 0) {
-      auto out = kernel_->Splice(*container_proc_, flow.pipe_r, flow.dst, pending);
-      if (!out.ok()) {
-        if (out.error() == EAGAIN) {
-          std::this_thread::yield();  // receiver backpressure; retry
-          continue;
+      size_t filled = 0;
+      if (flow.splice_mode) {
+        auto moved = kernel_->Splice(*container_proc_, flow.src, flow.pipe_w,
+                                     std::min(budget, kSpliceChunk));
+        if (!moved.ok()) {
+          if (moved.error() != EAGAIN) {
+            AbortFlow(flow);
+          }
+          break;  // source drained (or the pipe window is full)
         }
-        return false;
+        if (moved.value() == 0) {
+          flow.src_eof = true;
+          break;
+        }
+        filled = moved.value();
+      } else {
+        // Byte-copy relay: read(2) into the proxy's buffer. Each hop copies
+        // every page between a ring and user memory; charge it.
+        flow.carry.resize(std::min(budget, kCopyChunk));
+        auto n = kernel_->Read(*container_proc_, flow.src, flow.carry.data(),
+                               flow.carry.size());
+        if (!n.ok()) {
+          flow.carry.clear();
+          if (n.error() != EAGAIN) {
+            AbortFlow(flow);
+          }
+          break;
+        }
+        if (n.value() == 0) {
+          flow.carry.clear();
+          flow.src_eof = true;
+          break;
+        }
+        flow.carry.resize(n.value());
+        flow.carry_off = 0;
+        kernel_->clock().Advance(PagesOf(n.value()) * kernel_->costs().copy_page_ns);
+        filled = n.value();
       }
-      if (out.value() == 0) {
-        return false;
+      flow.residue += filled;
+      budget -= std::min(budget, filled);
+      if (!flow.want_out) {
+        DrainFlow(flow);
       }
-      pending -= out.value();
-      bytes_forwarded_.fetch_add(out.value());
+    }
+    if (!flow.done && flow.src_eof && flow.residue == 0) {
+      FinishFlow(flow);
     }
   }
+  bool pair_done = false;
+  if (flow.done) {
+    auto pit = flows_.find(flow.peer_src);
+    pair_done = pit == flows_.end() || pit->second.done;
+  }
+  if (pair_done) {
+    CloseFlowPair(src_fd);  // invalidates `flow`
+  } else {
+    SyncWatch(src_fd);
+    SyncWatch(dst_fd);
+  }
+}
+
+void SocketProxy::DrainFlow(Flow& flow) {
+  flow.want_out = false;
+  while (flow.residue > 0) {
+    if (flow.splice_mode) {
+      auto out = kernel_->Splice(*container_proc_, flow.pipe_r, flow.dst, flow.residue);
+      if (!out.ok()) {
+        if (out.error() == EAGAIN) {
+          flow.want_out = true;  // destination backpressure: re-arm EPOLLOUT
+        } else {
+          AbortFlow(flow);
+        }
+        return;
+      }
+      if (out.value() == 0) {
+        AbortFlow(flow);
+        return;
+      }
+      flow.residue -= out.value();
+      spliced_bytes_.fetch_add(out.value());
+      bytes_forwarded_.fetch_add(out.value());
+    } else {
+      auto n = kernel_->Write(*container_proc_, flow.dst, flow.carry.data() + flow.carry_off,
+                              flow.carry.size() - flow.carry_off);
+      if (!n.ok()) {
+        if (n.error() == EAGAIN) {
+          flow.want_out = true;
+        } else {
+          AbortFlow(flow);
+        }
+        return;
+      }
+      kernel_->clock().Advance(PagesOf(n.value()) * kernel_->costs().copy_page_ns);
+      flow.carry_off += n.value();
+      flow.residue -= n.value();
+      copied_bytes_.fetch_add(n.value());
+      bytes_forwarded_.fetch_add(n.value());
+      if (flow.carry_off == flow.carry.size()) {
+        flow.carry.clear();
+        flow.carry_off = 0;
+      }
+    }
+  }
+}
+
+void SocketProxy::FinishFlow(Flow& flow) {
+  // All of src's bytes are delivered; pass its EOF on as a half-close so
+  // the destination can still send its remaining response the other way.
+  (void)kernel_->SocketShutdown(*container_proc_, flow.dst, kernel::kShutWr);
+  flow.done = true;
+  half_closes_.fetch_add(1);
+}
+
+void SocketProxy::AbortFlow(Flow& flow) {
+  // The destination can no longer accept delivery; parked bytes have
+  // nowhere to go. Stop reading and propagate the break upstream so the
+  // origin sees EPIPE instead of writing into a black hole.
+  (void)kernel_->SocketShutdown(*container_proc_, flow.src, kernel::kShutRd);
+  flow.src_eof = true;
+  flow.residue = 0;
+  flow.carry.clear();
+  flow.carry_off = 0;
+  flow.done = true;
 }
 
 void SocketProxy::CloseFlowPair(Fd src) {
@@ -178,12 +388,47 @@ void SocketProxy::CloseFlowPair(Fd src) {
     if (fit == flows_.end()) {
       continue;
     }
-    (void)kernel_->EpollCtl(*container_proc_, epoll_fd_, kernel::kEpollCtlDel, fd, 0, 0);
+    if (fit->second.watch_mask != 0) {
+      (void)kernel_->EpollCtl(*container_proc_, epoll_fd_, kernel::kEpollCtlDel, fd, 0, 0);
+    }
     (void)container_proc_->fds.Take(fit->second.src);
     (void)container_proc_->fds.Take(fit->second.pipe_r);
     (void)container_proc_->fds.Take(fit->second.pipe_w);
     flows_.erase(fit);
   }
+}
+
+void SocketProxy::SyncWatch(Fd fd) {
+  auto it = flows_.find(fd);
+  if (it == flows_.end()) {
+    return;
+  }
+  Flow& flow = it->second;
+  uint32_t mask = 0;
+  // POLLIN only while the flow can absorb more: a level-triggered readable
+  // source with nowhere to put the bytes would otherwise spin the loop.
+  if (!flow.done && !flow.src_eof && flow.CanFill(kFlowPipeBytes)) {
+    mask |= kernel::kPollIn;
+  }
+  // The peer flow writes into this fd: watch for writability while it is
+  // backpressured (the EPOLLOUT re-arm that replaces the yield spin).
+  auto pit = flows_.find(flow.peer_src);
+  if (pit != flows_.end() && !pit->second.done && pit->second.want_out) {
+    mask |= kernel::kPollOut;
+  }
+  if (mask == flow.watch_mask) {
+    return;
+  }
+  if (mask == 0) {
+    (void)kernel_->EpollCtl(*container_proc_, epoll_fd_, kernel::kEpollCtlDel, fd, 0, 0);
+  } else if (flow.watch_mask == 0) {
+    (void)kernel_->EpollCtl(*container_proc_, epoll_fd_, kernel::kEpollCtlAdd, fd, mask,
+                            static_cast<uint64_t>(fd));
+  } else {
+    (void)kernel_->EpollCtl(*container_proc_, epoll_fd_, kernel::kEpollCtlMod, fd, mask,
+                            static_cast<uint64_t>(fd));
+  }
+  flow.watch_mask = mask;
 }
 
 }  // namespace cntr::core

@@ -3,9 +3,21 @@
 // Sockets visible through CntrFS have FUSE inode numbers, so the kernel
 // cannot associate them with live sockets; CNTR therefore proxies
 // connections explicitly: an epoll event loop accepts connections on a
-// socket it binds inside the application container and splices bytes to the
-// real server socket in the debug container or on the host — X11 and D-Bus
-// being the motivating users.
+// socket it binds inside the application container and splices traffic to
+// the real server socket in the debug container or on the host — X11 and
+// D-Bus being the motivating users.
+//
+// Data path: each direction of a connection is a Flow, src -> pipe -> dst,
+// driven as an event-driven state machine. On the (default) segment path
+// both hops are splice(2) analogues, so payload moves as ref-counted
+// PipeSegments end to end — the same zero-copy surface the FUSE channel
+// lanes ride — and never touches a proxy-owned byte buffer. Destination
+// backpressure parks the flow's bytes in its pipe and re-arms the
+// destination for EPOLLOUT instead of spinning, so one slow consumer never
+// head-of-line-blocks the other flows. EOF on a source propagates as
+// shutdown(dst, SHUT_WR) only after the pipe residue drains, keeping
+// half-open connections (shutdown-request/drain-response patterns) alive
+// until both directions finish.
 #ifndef CNTR_SRC_CORE_SOCKET_PROXY_H_
 #define CNTR_SRC_CORE_SOCKET_PROXY_H_
 
@@ -33,18 +45,44 @@ class SocketProxy {
 
   // Registers a forwarding rule: connections to `container_path` (inside
   // the container) are spliced to `host_path` (on the host side). Must be
-  // called before Start().
+  // called before Start(). Surfaces any constructor-time epoll failure, so
+  // a proxy that could never poll reports it here instead of forwarding
+  // into EBADF.
   Status Forward(const std::string& container_path, const std::string& host_path);
 
   void Start();
   void Stop();
 
+  // Runs one bounded iteration of the event loop on the caller's thread:
+  // wait up to `timeout_ms` for events, service them, return. The
+  // deterministic driver for tests and benches (Start()'s loop is just
+  // RunOnce in a thread); do not mix with a running Start() thread.
+  void RunOnce(int timeout_ms);
+
+  // Routes flows through the byte-copy relay instead of the segment
+  // surface (the pre-splice proxy: read(2) into a proxy buffer, write(2)
+  // out — two page copies per hop). Each connection latches the mode at
+  // accept, so toggling never mixes modes within a live flow; the bench
+  // uses it as the "before" side.
+  void SetSegmentSplice(bool on) { use_splice_.store(on); }
+
   struct Stats {
-    uint64_t connections = 0;
-    uint64_t bytes_forwarded = 0;
+    uint64_t connections = 0;     // fully established proxied connections
+    uint64_t bytes_forwarded = 0; // bytes delivered to destinations
+    uint64_t spliced_bytes = 0;   // delivered as segment references
+    uint64_t copied_bytes = 0;    // delivered through the byte-copy relay
+    uint64_t half_closes = 0;     // EOFs propagated as shutdown(SHUT_WR)
+    uint64_t accept_failures = 0; // connections unwound on partial setup
   };
   Stats stats() const {
-    return Stats{connections_.load(), bytes_forwarded_.load()};
+    Stats s;
+    s.connections = connections_.load();
+    s.bytes_forwarded = bytes_forwarded_.load();
+    s.spliced_bytes = spliced_bytes_.load();
+    s.copied_bytes = copied_bytes_.load();
+    s.half_closes = half_closes_.load();
+    s.accept_failures = accept_failures_.load();
+    return s;
   }
 
  private:
@@ -52,33 +90,68 @@ class SocketProxy {
     kernel::Fd listen_fd;
     std::string host_path;
   };
-  // One direction of an established connection: src -> pipe -> dst.
+  // One direction of an established connection: src -> pipe -> dst. The
+  // entry lives until BOTH directions of the connection finish (half-open
+  // support); `done` marks this direction finished.
   struct Flow {
     kernel::Fd src;
     kernel::Fd dst;
     kernel::Fd pipe_r;
     kernel::Fd pipe_w;
-    kernel::Fd peer_src;  // the opposite flow's src, for teardown
+    kernel::Fd peer_src;     // the opposite flow's src, for pairing
+    size_t residue = 0;      // bytes parked between src and dst
+    bool splice_mode = true; // latched from use_splice_ at accept
+    bool src_eof = false;    // src delivered EOF; stop filling
+    bool want_out = false;   // dst backpressured; re-arm EPOLLOUT on dst
+    bool done = false;       // EOF/abort fully propagated downstream
+    uint32_t watch_mask = 0; // current epoll interest on src
+    std::vector<char> carry; // copy-relay buffer (splice_mode off)
+    size_t carry_off = 0;
+
+    // Whether the flow can absorb another source segment: the in-flight
+    // pipe window keeps a page of headroom (socket segments are at most
+    // one page and PushSegments never splits), the copy relay needs its
+    // carry buffer flushed. Guarantees every POLLIN-armed pump makes
+    // progress, so the level-triggered loop cannot spin.
+    bool CanFill(size_t window) const {
+      return splice_mode ? residue + kernel::kPageSize <= window : carry.empty();
+    }
   };
 
   void Loop();
-  void AcceptOne(const Rule& rule);
-  // Returns false when the flow hit EOF and was torn down.
-  bool Pump(Flow& flow);
+  // Accepts one pending connection on `rule`; false when none remained.
+  // Allocates both flow pipes before connecting upstream and unwinds the
+  // whole connection on any partial failure.
+  bool AcceptOne(const Rule& rule);
+  // Services the flow keyed by `src_fd`: drain residue, fill from src,
+  // propagate EOF, tear down when both directions finished.
+  void PumpFlow(kernel::Fd src_fd);
+  void DrainFlow(Flow& flow);             // pipe/carry -> dst
+  void FinishFlow(Flow& flow);            // EOF drained: shutdown(dst, WR)
+  void AbortFlow(Flow& flow);             // undeliverable: drop + SHUT_RD src
   void CloseFlowPair(kernel::Fd src);
+  // Reconciles the epoll interest mask on `fd` (POLLIN while its flow still
+  // reads, POLLOUT while the peer flow is backpressured writing into it).
+  void SyncWatch(kernel::Fd fd);
 
   kernel::Kernel* kernel_;
   kernel::ProcessPtr container_proc_;
   kernel::ProcessPtr host_proc_;
 
+  Status init_status_;
   kernel::Fd epoll_fd_ = -1;
   std::vector<Rule> rules_;
   std::map<kernel::Fd, Flow> flows_;  // keyed by src fd
 
   std::thread thread_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> use_splice_{true};
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> bytes_forwarded_{0};
+  std::atomic<uint64_t> spliced_bytes_{0};
+  std::atomic<uint64_t> copied_bytes_{0};
+  std::atomic<uint64_t> half_closes_{0};
+  std::atomic<uint64_t> accept_failures_{0};
 };
 
 }  // namespace cntr::core

@@ -24,6 +24,9 @@ inline constexpr uint32_t kPollIn = 0x001;
 inline constexpr uint32_t kPollOut = 0x004;
 inline constexpr uint32_t kPollErr = 0x008;
 inline constexpr uint32_t kPollHup = 0x010;
+// EPOLLRDHUP: stream peer shut down its write half. Unlike Err/Hup this is
+// only reported to epoll watchers that asked for it, matching Linux.
+inline constexpr uint32_t kPollRdHup = 0x2000;
 
 class FileDescription {
  public:

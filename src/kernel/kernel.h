@@ -215,13 +215,17 @@ class Kernel {
   StatusOr<Fd> SocketConnectAbstract(Process& proc, const std::string& name);
   StatusOr<Fd> SocketAccept(Process& proc, Fd listen_fd, bool nonblock = false);
   StatusOr<std::pair<Fd, Fd>> SocketPair(Process& proc);
+  // shutdown(2) on a connected stream socket: kShutRd / kShutWr / kShutRdWr.
+  Status SocketShutdown(Process& proc, Fd fd, int how);
   StatusOr<Fd> EpollCreate(Process& proc);
   Status EpollCtl(Process& proc, Fd epfd, int op, Fd fd, uint32_t events, uint64_t data);
   StatusOr<std::vector<EpollEvent>> EpollWait(Process& proc, Fd epfd, int max_events,
                                               int timeout_ms);
   // splice(2): at least one side must be a pipe; moves up to `len` bytes
-  // without a userspace copy. Pipe-to-pipe moves segments by reference;
-  // socket endpoints fall back to a kernel-internal copy at splice cost.
+  // without a userspace copy. Pipe and connected-socket endpoints resolve
+  // to segment rings, so pipe<->pipe, socket<->pipe and socket<->socket all
+  // move PipeSegment references — no intermediate byte copy. File-backed
+  // ends keep the byte path through the page cache.
   StatusOr<size_t> Splice(Process& proc, Fd fd_in, Fd fd_out, size_t len);
   // vmsplice(2): maps `len` bytes of user memory into the pipe. `gift`
   // models SPLICE_F_GIFT (pages move instead of copying).

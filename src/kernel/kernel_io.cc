@@ -724,6 +724,17 @@ StatusOr<Fd> Kernel::SocketAccept(Process& proc, Fd listen_fd, bool nonblock) {
   return proc.fds.Install(std::move(conn), false);
 }
 
+Status Kernel::SocketShutdown(Process& proc, Fd fd, int how) {
+  CurrentScope current(proc);
+  clock_.Advance(config_.costs.syscall_entry_ns);
+  CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
+  auto* sock = dynamic_cast<ConnectedSocketFile*>(file.get());
+  if (sock == nullptr) {
+    return Status::Error(ENOTSOCK, "shutdown on a non-socket");
+  }
+  return sock->Shutdown(how);
+}
+
 StatusOr<std::pair<Fd, Fd>> Kernel::SocketPair(Process& proc) {
   clock_.Advance(config_.costs.syscall_entry_ns);
   auto conn = std::make_shared<SocketConnection>(&poll_hub_);
@@ -773,19 +784,29 @@ StatusOr<size_t> Kernel::Splice(Process& proc, Fd fd_in, Fd fd_out, size_t len) 
   CNTR_ASSIGN_OR_RETURN(FilePtr out, proc.fds.Get(fd_out));
   auto* in_pipe_end = dynamic_cast<PipeReadEnd*>(in.get());
   auto* out_pipe_end = dynamic_cast<PipeWriteEnd*>(out.get());
-  bool in_pipe = in_pipe_end != nullptr ||
-                 dynamic_cast<ConnectedSocketFile*>(in.get()) != nullptr;
-  bool out_pipe = out_pipe_end != nullptr ||
-                  dynamic_cast<ConnectedSocketFile*>(out.get()) != nullptr;
+  auto* in_sock = dynamic_cast<ConnectedSocketFile*>(in.get());
+  auto* out_sock = dynamic_cast<ConnectedSocketFile*>(out.get());
+  bool in_pipe = in_pipe_end != nullptr || in_sock != nullptr;
+  bool out_pipe = out_pipe_end != nullptr || out_sock != nullptr;
   if (!in_pipe && !out_pipe) {
     return Status::Error(EINVAL, "splice needs a pipe");
   }
   len = std::min<size_t>(len, 1 << 20);
-  if (in_pipe_end != nullptr && out_pipe_end != nullptr) {
-    // Pipe-to-pipe: move the segment references themselves — no bytes are
-    // touched, and a tee'd/shared page stays shared across the move.
-    return splice_engine_->MovePipeToPipe(*in_pipe_end->pipe_buffer(),
-                                          *out_pipe_end->pipe_buffer(), len,
+  if (in_pipe && out_pipe) {
+    // Both ends resolve to segment rings (pipe<->pipe, socket<->pipe,
+    // socket<->socket): move the segment references themselves — no bytes
+    // are touched, and a tee'd/shared page stays shared across the move.
+    if (in_sock != nullptr && in_sock->read_shutdown()) {
+      return size_t{0};  // EOF
+    }
+    if (out_sock != nullptr && out_sock->write_shutdown()) {
+      return Status::Error(EPIPE);
+    }
+    PipeBuffer& src =
+        in_pipe_end != nullptr ? *in_pipe_end->pipe_buffer() : in_sock->recv_ring();
+    PipeBuffer& dst =
+        out_pipe_end != nullptr ? *out_pipe_end->pipe_buffer() : out_sock->send_ring();
+    return splice_engine_->MovePipeToPipe(src, dst, len,
                                           in->nonblocking() || out->nonblocking());
   }
   std::vector<char> chunk(len);

@@ -23,8 +23,112 @@ void UnparkServerEnd(SocketConnection& conn) {
 
 }  // namespace
 
+ConnectedSocketFile::~ConnectedSocketFile() {
+  // Shutdown already released the corresponding ring reference; only the
+  // halves still open release theirs here.
+  if (!write_shutdown()) {
+    out().DropWriter();
+  }
+  if (!read_shutdown()) {
+    in().DropReader();
+  }
+}
+
+StatusOr<size_t> ConnectedSocketFile::Read(void* buf, size_t count, uint64_t offset) {
+  if (read_shutdown()) {
+    return size_t{0};  // EOF after shutdown(SHUT_RD), pending data discarded
+  }
+  return in().Read(static_cast<char*>(buf), count, nonblocking());
+}
+
+StatusOr<size_t> ConnectedSocketFile::Write(const void* buf, size_t count, uint64_t offset) {
+  if (write_shutdown()) {
+    return Status::Error(EPIPE, "write after shutdown");
+  }
+  return out().Write(static_cast<const char*>(buf), count, nonblocking());
+}
+
+StatusOr<std::vector<PipeSegment>> ConnectedSocketFile::PopSegments(size_t max_bytes,
+                                                                    bool nonblock) {
+  if (read_shutdown()) {
+    return std::vector<PipeSegment>{};  // EOF
+  }
+  return in().PopSegments(max_bytes, nonblock);
+}
+
+StatusOr<size_t> ConnectedSocketFile::PushSegments(std::vector<PipeSegment> segs,
+                                                   bool nonblock) {
+  if (write_shutdown()) {
+    return Status::Error(EPIPE, "push after shutdown");
+  }
+  return out().PushSegments(std::move(segs), nonblock);
+}
+
+Status ConnectedSocketFile::Shutdown(int how) {
+  if (how != kShutRd && how != kShutWr && how != kShutRdWr) {
+    return Status::Error(EINVAL);
+  }
+  bool drop_rd = false;
+  bool drop_wr = false;
+  {
+    std::lock_guard<std::mutex> lock(shut_mu_);
+    if ((how == kShutRd || how == kShutRdWr) && !shut_rd_) {
+      shut_rd_ = true;
+      drop_rd = true;
+    }
+    if ((how == kShutWr || how == kShutRdWr) && !shut_wr_) {
+      shut_wr_ = true;
+      drop_wr = true;
+    }
+  }
+  if (drop_rd) {
+    in().DropReader();
+  }
+  if (drop_wr) {
+    out().DropWriter();
+  }
+  return Status::Ok();
+}
+
+bool ConnectedSocketFile::read_shutdown() const {
+  std::lock_guard<std::mutex> lock(shut_mu_);
+  return shut_rd_;
+}
+
+bool ConnectedSocketFile::write_shutdown() const {
+  std::lock_guard<std::mutex> lock(shut_mu_);
+  return shut_wr_;
+}
+
+uint32_t ConnectedSocketFile::PollEvents() {
+  uint32_t ev = 0;
+  uint32_t rd = in().ReadEndPollEvents();
+  uint32_t wr = out().WriteEndPollEvents();
+  if ((rd & kPollIn) || read_shutdown()) {
+    ev |= kPollIn;
+  }
+  if (rd & kPollHup) {
+    // Peer write half gone: readable (EOF after drain) + RDHUP. Full HUP is
+    // reserved for a peer that dropped both halves — a half-open connection
+    // must not look hung up, or level-triggered watchers spin on it.
+    ev |= kPollIn | kPollRdHup;
+    if (wr & kPollErr) {
+      ev |= kPollHup;
+    }
+  }
+  // A send side whose reader is gone reports writable even when the ring
+  // is full, like poll(2) on a broken stream: a writer parked on POLLOUT
+  // must wake and collect its EPIPE, not hang forever. (Reported through
+  // POLLOUT rather than POLLERR so only watchers that asked are woken.)
+  if ((wr & (kPollOut | kPollErr)) && !write_shutdown()) {
+    ev |= kPollOut;
+  }
+  return ev;
+}
+
 StatusOr<FilePtr> ListeningSocket::Connect(int flags) {
   std::shared_ptr<SocketConnection> conn;
+  FilePtr client;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) {
@@ -34,13 +138,18 @@ StatusOr<FilePtr> ListeningSocket::Connect(int flags) {
       return Status::Error(ECONNREFUSED, "backlog full");
     }
     conn = std::make_shared<SocketConnection>(hub_);
+    // Construct the client end BEFORE the connection is published: its ring
+    // references must exist the moment an accepter can see the connection,
+    // or a fast accept-and-read observes zero writers on the
+    // client-to-server ring and misreads a live socket as EOF.
+    client = std::make_shared<ConnectedSocketFile>(conn, ConnectedSocketFile::Side::kClient,
+                                                   flags);
     ParkServerEnd(*conn);
     pending_.push_back(conn);
   }
   cv_.notify_all();
   hub_->Notify();
-  return FilePtr(std::make_shared<ConnectedSocketFile>(conn, ConnectedSocketFile::Side::kClient,
-                                                       flags));
+  return client;
 }
 
 StatusOr<FilePtr> ListeningSocket::Accept(int flags, bool nonblock) {

@@ -21,6 +21,11 @@
 
 namespace cntr::kernel {
 
+// shutdown(2) directions (Linux numeric values).
+inline constexpr int kShutRd = 0;
+inline constexpr int kShutWr = 1;
+inline constexpr int kShutRdWr = 2;
+
 // An established connection: two unidirectional byte streams.
 struct SocketConnection {
   SocketConnection(PollHub* hub)
@@ -30,6 +35,13 @@ struct SocketConnection {
 };
 
 // One endpoint of an established connection.
+//
+// Besides the byte-stream Read/Write, the endpoint exposes the segment
+// surface of its underlying rings (PushSegments/PopSegments), so a splice()
+// against a socket moves page references end to end — the proxy data path —
+// and shutdown(2) half-close: SHUT_WR drops this end's writer (the peer
+// reads EOF after draining), SHUT_RD drops this end's reader (the peer's
+// writes fail EPIPE).
 class ConnectedSocketFile : public FileDescription {
  public:
   enum class Side { kClient, kServer };
@@ -39,32 +51,30 @@ class ConnectedSocketFile : public FileDescription {
     out().AddWriter();
     in().AddReader();
   }
-  ~ConnectedSocketFile() override {
-    out().DropWriter();
-    in().DropReader();
-  }
+  ~ConnectedSocketFile() override;
 
-  StatusOr<size_t> Read(void* buf, size_t count, uint64_t offset) override {
-    return in().Read(static_cast<char*>(buf), count, nonblocking());
-  }
-  StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset) override {
-    return out().Write(static_cast<const char*>(buf), count, nonblocking());
-  }
-  uint32_t PollEvents() override {
-    uint32_t ev = 0;
-    uint32_t rd = in().ReadEndPollEvents();
-    uint32_t wr = out().WriteEndPollEvents();
-    if (rd & kPollIn) {
-      ev |= kPollIn;
-    }
-    if (rd & kPollHup) {
-      ev |= kPollHup | kPollIn;
-    }
-    if (wr & kPollOut) {
-      ev |= kPollOut;
-    }
-    return ev;
-  }
+  StatusOr<size_t> Read(void* buf, size_t count, uint64_t offset) override;
+  StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset) override;
+  uint32_t PollEvents() override;
+
+  // --- segment I/O (the socket half of the splice surface) ---
+  // Pops queued receive segments by reference; empty vector = EOF (peer
+  // writer gone, or this end SHUT_RD).
+  StatusOr<std::vector<PipeSegment>> PopSegments(size_t max_bytes, bool nonblock);
+  // Pushes segments into the send ring by reference; EPIPE after SHUT_WR or
+  // when the peer's reader is gone.
+  StatusOr<size_t> PushSegments(std::vector<PipeSegment> segs, bool nonblock);
+
+  // shutdown(2). Idempotent per direction; EINVAL on a bad `how`.
+  Status Shutdown(int how);
+  bool read_shutdown() const;
+  bool write_shutdown() const;
+
+  // The rings a splice() endpoint resolves to (see Kernel::Splice). The
+  // receive ring is the direction the peer writes into; the send ring is
+  // the direction this end writes into.
+  PipeBuffer& recv_ring() { return in(); }
+  PipeBuffer& send_ring() { return out(); }
 
  private:
   PipeBuffer& in() {
@@ -76,6 +86,9 @@ class ConnectedSocketFile : public FileDescription {
 
   std::shared_ptr<SocketConnection> conn_;
   Side side_;
+  mutable std::mutex shut_mu_;
+  bool shut_rd_ = false;
+  bool shut_wr_ = false;
 };
 
 // A listening socket: connect() enqueues a fresh connection, accept()

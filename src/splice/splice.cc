@@ -41,6 +41,11 @@ StatusOr<size_t> SpliceEngine::VmspliceIn(PipeBuffer& pipe, const char* buf, siz
 
 StatusOr<size_t> SpliceEngine::MovePipeToPipe(PipeBuffer& in, PipeBuffer& out, size_t len,
                                               bool nonblock) {
+  if (&in == &out) {
+    // splice(2) refuses the same ring on both sides; popping and re-pushing
+    // would silently rotate the queue instead of moving data anywhere.
+    return Status::Error(EINVAL, "splice within one ring");
+  }
   CNTR_ASSIGN_OR_RETURN(std::vector<PipeSegment> segs, in.PopSegments(len, nonblock));
   if (segs.empty()) {
     return size_t{0};  // writer-EOF on `in`

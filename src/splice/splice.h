@@ -44,8 +44,11 @@ class SpliceEngine {
   StatusOr<size_t> VmspliceIn(kernel::PipeBuffer& pipe, const char* buf, size_t len, bool gift,
                               bool nonblock);
 
-  // splice(2) pipe->pipe: pops segments from `in` and pushes them into
-  // `out` by reference; pages never copy.
+  // splice(2) between two segment rings: pops segments from `in` and pushes
+  // them into `out` by reference; pages never copy. The rings may belong to
+  // pipes or to connected-socket streams (the Kernel facade resolves socket
+  // endpoints to their SocketConnection rings); `in` and `out` must be
+  // distinct (EINVAL, like splice(2) on one pipe).
   StatusOr<size_t> MovePipeToPipe(kernel::PipeBuffer& in, kernel::PipeBuffer& out, size_t len,
                                   bool nonblock);
 

@@ -1,0 +1,395 @@
+// SocketProxy behaviour (paper §3.2.4): the segment-spliced data path,
+// spliced-vs-copied stats, half-close propagation with residue draining,
+// multi-flow fairness under destination backpressure (the EPOLLOUT re-arm
+// that replaced the yield spin), partial-accept unwinding, Stop-with-live-
+// flows fd accounting, and epoll-failure surfacing.
+#include "src/core/socket_proxy.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+
+namespace cntr::core {
+namespace {
+
+using kernel::Fd;
+
+class SocketProxyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = kernel::Kernel::Create();
+    container_ = kernel_->Fork(*kernel_->init(), "app-container");
+    client_ = kernel_->Fork(*kernel_->init(), "app-client");
+    host_ = kernel_->Fork(*kernel_->init(), "x11-host");
+    auto listen = kernel_->SocketListen(*host_, kHostPath);
+    ASSERT_TRUE(listen.ok()) << listen.status().ToString();
+    host_listen_ = listen.value();
+  }
+
+  static constexpr const char* kAppPath = "/tmp/proxy-app.sock";
+  static constexpr const char* kHostPath = "/tmp/proxy-host.sock";
+
+  std::unique_ptr<SocketProxy> MakeProxy() {
+    auto proxy = std::make_unique<SocketProxy>(kernel_.get(), container_, host_);
+    auto fwd = proxy->Forward(kAppPath, kHostPath);
+    EXPECT_TRUE(fwd.ok()) << fwd.ToString();
+    return proxy;
+  }
+
+  // Connects a client and, driving the proxy with RunOnce, accepts the
+  // forwarded connection on the host listener. Returns (client, server).
+  std::pair<Fd, Fd> ConnectThrough(SocketProxy& proxy) {
+    auto client = kernel_->SocketConnect(*client_, kAppPath);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    Fd server = -1;
+    for (int i = 0; i < 50 && server < 0; ++i) {
+      proxy.RunOnce(0);
+      auto conn = kernel_->SocketAccept(*host_, host_listen_, /*nonblock=*/true);
+      if (conn.ok()) {
+        server = conn.value();
+      }
+    }
+    EXPECT_GE(server, 0) << "proxy never forwarded the connection";
+    return {client.ok() ? client.value() : -1, server};
+  }
+
+  // Reads until `want` bytes arrived (RunOnce-driven), or gives up.
+  std::string PumpedRead(SocketProxy& proxy, kernel::Process& proc, Fd fd, size_t want) {
+    std::string got;
+    char buf[65536];
+    for (int i = 0; i < 500 && got.size() < want; ++i) {
+      proxy.RunOnce(0);
+      auto n = kernel_->Read(proc, fd, buf, std::min(sizeof(buf), want - got.size()));
+      if (n.ok()) {
+        if (n.value() == 0) {
+          break;  // EOF
+        }
+        got.append(buf, n.value());
+      }
+    }
+    return got;
+  }
+
+  // Polls for EOF on `fd` while driving the proxy.
+  bool PumpedEof(SocketProxy& proxy, kernel::Process& proc, Fd fd) {
+    char buf[256];
+    for (int i = 0; i < 500; ++i) {
+      proxy.RunOnce(0);
+      auto n = kernel_->Read(proc, fd, buf, sizeof(buf));
+      if (n.ok() && n.value() == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t ContainerFdCount() { return container_->fds.AllFds().size(); }
+
+  // Opens /dev/null in the container until only `leave_free` slots remain
+  // in its fd table (max 1024). Returns the filler fds.
+  std::vector<Fd> FillContainerFds(size_t leave_free) {
+    std::vector<Fd> fillers;
+    while (true) {
+      auto probe = kernel_->Open(*container_, "/dev/null", kernel::kORdOnly);
+      if (!probe.ok()) {
+        break;
+      }
+      fillers.push_back(probe.value());
+    }
+    // Everything is full now; free exactly `leave_free`.
+    for (size_t i = 0; i < leave_free && !fillers.empty(); ++i) {
+      (void)kernel_->Close(*container_, fillers.back());
+      fillers.pop_back();
+    }
+    return fillers;
+  }
+
+  std::unique_ptr<kernel::Kernel> kernel_;
+  kernel::ProcessPtr container_;
+  kernel::ProcessPtr client_;
+  kernel::ProcessPtr host_;
+  Fd host_listen_ = -1;
+};
+
+// --- data path + stats ---
+
+TEST_F(SocketProxyTest, RoundTripIsFullySplicedWithLiveEventLoop) {
+  auto proxy = MakeProxy();
+  proxy->Start();  // real event-loop thread (also the TSan surface)
+
+  auto client = kernel_->SocketConnect(*client_, kAppPath);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Fd server = -1;
+  for (int i = 0; i < 500 && server < 0; ++i) {
+    auto conn = kernel_->SocketAccept(*host_, host_listen_, /*nonblock=*/true);
+    if (conn.ok()) {
+      server = conn.value();
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_GE(server, 0);
+
+  ASSERT_TRUE(kernel_->Write(*client_, client.value(), "hello x11", 9).ok());
+  std::string got;
+  char buf[64];
+  for (int i = 0; i < 500 && got.size() < 9; ++i) {
+    auto n = kernel_->Read(*host_, server, buf, sizeof(buf));
+    if (n.ok() && n.value() > 0) {
+      got.append(buf, n.value());
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(got, "hello x11");
+
+  ASSERT_TRUE(kernel_->Write(*host_, server, "ack", 3).ok());
+  got.clear();
+  for (int i = 0; i < 500 && got.size() < 3; ++i) {
+    auto n = kernel_->Read(*client_, client.value(), buf, sizeof(buf));
+    if (n.ok() && n.value() > 0) {
+      got.append(buf, n.value());
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(got, "ack");
+
+  proxy->Stop();
+  auto stats = proxy->stats();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(stats.bytes_forwarded, 12u);
+  EXPECT_EQ(stats.spliced_bytes, 12u) << "proxy data path must ride segments";
+  EXPECT_EQ(stats.copied_bytes, 0u) << "no byte-copy fallback on the splice path";
+}
+
+TEST_F(SocketProxyTest, CopyModeRelayCountsCopiedBytes) {
+  auto proxy = MakeProxy();
+  proxy->SetSegmentSplice(false);
+  auto [client, server] = ConnectThrough(*proxy);
+
+  ASSERT_TRUE(kernel_->Write(*client_, client, "plain bytes", 11).ok());
+  EXPECT_EQ(PumpedRead(*proxy, *host_, server, 11), "plain bytes");
+
+  auto stats = proxy->stats();
+  EXPECT_EQ(stats.copied_bytes, 11u);
+  EXPECT_EQ(stats.spliced_bytes, 0u);
+  EXPECT_EQ(stats.bytes_forwarded, 11u);
+}
+
+// --- half-close semantics ---
+
+TEST_F(SocketProxyTest, ShutdownWrPropagatesWithoutKillingResponseDirection) {
+  auto proxy = MakeProxy();
+  auto [client, server] = ConnectThrough(*proxy);
+
+  // Request, then half-close: shutdown(SHUT_WR) + drain-response, the
+  // pattern CloseFlowPair used to break by tearing down both directions.
+  ASSERT_TRUE(kernel_->Write(*client_, client, "GET /", 5).ok());
+  ASSERT_TRUE(kernel_->SocketShutdown(*client_, client, kernel::kShutWr).ok());
+
+  EXPECT_EQ(PumpedRead(*proxy, *host_, server, 5), "GET /");
+  EXPECT_TRUE(PumpedEof(*proxy, *host_, server)) << "EOF must reach the server";
+
+  // The response direction is still alive after the client's half-close.
+  ASSERT_TRUE(kernel_->Write(*host_, server, "200 OK", 6).ok());
+  EXPECT_EQ(PumpedRead(*proxy, *client_, client, 6), "200 OK");
+
+  // Server finishes; client sees EOF and the proxy retires the pair.
+  ASSERT_TRUE(kernel_->Close(*host_, server).ok());
+  EXPECT_TRUE(PumpedEof(*proxy, *client_, client));
+  EXPECT_EQ(proxy->stats().half_closes, 2u);
+  EXPECT_EQ(proxy->stats().bytes_forwarded, 11u);
+}
+
+TEST_F(SocketProxyTest, ParkedBytesDrainBeforeEofPropagates) {
+  auto proxy = MakeProxy();
+  auto [client, server] = ConnectThrough(*proxy);
+
+  // Fill well past one pump chunk, then close the client entirely before
+  // the server reads a byte: everything parked in the proxy's pipe and
+  // rings must still arrive, EOF only after.
+  const size_t kPayload = 150000;
+  std::string sent(kPayload, '\0');
+  for (size_t i = 0; i < kPayload; ++i) {
+    sent[i] = static_cast<char>('a' + i % 23);
+  }
+  size_t off = 0;
+  // Interleave writes with proxy turns: the client ring only holds 256KB.
+  while (off < kPayload) {
+    auto n = kernel_->Write(*client_, client, sent.data() + off, kPayload - off);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    off += n.value();
+    proxy->RunOnce(0);
+  }
+  ASSERT_TRUE(kernel_->Close(*client_, client).ok());
+
+  std::string got = PumpedRead(*proxy, *host_, server, kPayload);
+  EXPECT_EQ(got.size(), kPayload);
+  EXPECT_EQ(got, sent) << "parked residue must be delivered in order";
+  EXPECT_TRUE(PumpedEof(*proxy, *host_, server));
+}
+
+// --- fairness under backpressure ---
+
+TEST_F(SocketProxyTest, BackpressuredFlowDoesNotHeadOfLineBlockOthers) {
+  auto proxy = MakeProxy();
+  auto [c1, s1] = ConnectThrough(*proxy);
+  auto [c2, s2] = ConnectThrough(*proxy);
+
+  // Make client 1 nonblocking and flood until the whole path (its socket
+  // ring, the flow pipe, the destination ring) is saturated; the server
+  // never reads s1, so flow 1 is permanently backpressured.
+  {
+    auto file = kernel_->GetFile(*client_, c1);
+    ASSERT_TRUE(file.ok());
+    file.value()->set_flags(file.value()->flags() | kernel::kONonblock);
+  }
+  // Non-page-multiple writes: the flow pipe fills with odd-size segments,
+  // pinning the one-page headroom rule that keeps the loop progress-bound.
+  std::vector<char> chunk(60000, 'x');
+  size_t flooded = 0;
+  int idle_rounds = 0;
+  while (idle_rounds < 3) {
+    auto n = kernel_->Write(*client_, c1, chunk.data(), chunk.size());
+    if (n.ok() && n.value() > 0) {
+      flooded += n.value();
+      idle_rounds = 0;
+    } else {
+      ++idle_rounds;
+    }
+    proxy->RunOnce(0);
+  }
+  ASSERT_GT(flooded, 500000u) << "flood should fill ring + pipe + dst ring";
+
+  // Flow 2 must still deliver promptly. Before the event-driven rewrite the
+  // pump's yield-spin on flow 1 starved every other flow forever.
+  const size_t kMsg = 65536;
+  std::string msg(kMsg, 'y');
+  size_t off = 0;
+  while (off < kMsg) {
+    auto n = kernel_->Write(*client_, c2, msg.data() + off, kMsg - off);
+    ASSERT_TRUE(n.ok());
+    off += n.value();
+    proxy->RunOnce(0);
+  }
+  EXPECT_EQ(PumpedRead(*proxy, *host_, s2, kMsg), msg);
+
+  // Once the server drains s1, the EPOLLOUT re-arm resumes flow 1 and every
+  // flooded byte arrives.
+  std::string drained = PumpedRead(*proxy, *host_, s1, flooded);
+  EXPECT_EQ(drained.size(), flooded) << "no bytes lost across backpressure";
+  EXPECT_EQ(proxy->stats().bytes_forwarded, flooded + kMsg);
+}
+
+TEST_F(SocketProxyTest, DestinationShutRdUnderBackpressureAbortsFlow) {
+  auto proxy = MakeProxy();
+  auto [client, server] = ConnectThrough(*proxy);
+  {
+    auto file = kernel_->GetFile(*client_, client);
+    ASSERT_TRUE(file.ok());
+    file.value()->set_flags(file.value()->flags() | kernel::kONonblock);
+  }
+  // Saturate the path so the flow parks on EPOLLOUT...
+  std::vector<char> chunk(65536, 'b');
+  int idle_rounds = 0;
+  while (idle_rounds < 3) {
+    auto n = kernel_->Write(*client_, client, chunk.data(), chunk.size());
+    idle_rounds = n.ok() && n.value() > 0 ? 0 : idle_rounds + 1;
+    proxy->RunOnce(0);
+  }
+  // ...then the destination stops reading for good. The proxy must wake,
+  // observe the broken delivery path and propagate EPIPE upstream — not
+  // stay parked forever on a ring that will never drain.
+  ASSERT_TRUE(kernel_->SocketShutdown(*host_, server, kernel::kShutRd).ok());
+  bool epipe = false;
+  for (int i = 0; i < 200 && !epipe; ++i) {
+    proxy->RunOnce(0);
+    auto n = kernel_->Write(*client_, client, chunk.data(), chunk.size());
+    epipe = !n.ok() && n.error() == EPIPE;
+  }
+  EXPECT_TRUE(epipe) << "origin writer must see EPIPE after the destination broke";
+}
+
+// --- accept unwinding ---
+
+TEST_F(SocketProxyTest, PartialAcceptFailureUnwindsWholeConnection) {
+  auto proxy = MakeProxy();
+  size_t baseline = ContainerFdCount();
+  // Leave room for accept + upstream connect + the first pipe pair; the
+  // second pipe allocation hits EMFILE.
+  std::vector<Fd> fillers = FillContainerFds(/*leave_free=*/4);
+
+  auto client = kernel_->SocketConnect(*client_, kAppPath);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 20; ++i) {
+    proxy->RunOnce(0);
+  }
+  EXPECT_EQ(proxy->stats().connections, 0u);
+  EXPECT_EQ(proxy->stats().accept_failures, 1u);
+  EXPECT_EQ(ContainerFdCount(), baseline + fillers.size())
+      << "conn/upstream/pipes must all unwind on partial failure";
+  // The client observes a closed connection, not a half-wired one.
+  EXPECT_TRUE(PumpedEof(*proxy, *client_, client.value()));
+
+  // With the pressure gone the same rule accepts cleanly again.
+  for (Fd fd : fillers) {
+    (void)kernel_->Close(*container_, fd);
+  }
+  auto [c2, s2] = ConnectThrough(*proxy);
+  ASSERT_TRUE(kernel_->Write(*client_, c2, "retry", 5).ok());
+  EXPECT_EQ(PumpedRead(*proxy, *host_, s2, 5), "retry");
+  EXPECT_EQ(proxy->stats().connections, 1u);
+}
+
+// --- lifecycle / fd accounting ---
+
+TEST_F(SocketProxyTest, StopWithLiveFlowsReleasesEveryFd) {
+  size_t baseline = ContainerFdCount();
+  {
+    auto proxy = MakeProxy();
+    proxy->Start();
+    auto client_a = kernel_->SocketConnect(*client_, kAppPath);
+    auto client_b = kernel_->SocketConnect(*client_, kAppPath);
+    ASSERT_TRUE(client_a.ok());
+    ASSERT_TRUE(client_b.ok());
+    // Let the proxy establish both and park some undelivered bytes.
+    std::string payload(8192, 'z');
+    (void)kernel_->Write(*client_, client_a.value(), payload.data(), payload.size());
+    for (int i = 0; i < 200 && proxy->stats().connections < 2; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(proxy->stats().connections, 2u);
+    proxy->Stop();
+    EXPECT_EQ(ContainerFdCount(), baseline)
+        << "listener, epoll fd, sockets and flow pipes must all be released";
+  }
+  EXPECT_EQ(ContainerFdCount(), baseline);
+}
+
+TEST_F(SocketProxyTest, EpollCreateFailureSurfacesOnForward) {
+  std::vector<Fd> fillers = FillContainerFds(/*leave_free=*/0);
+  SocketProxy proxy(kernel_.get(), container_, host_);
+  auto fwd = proxy.Forward(kAppPath, kHostPath);
+  EXPECT_FALSE(fwd.ok()) << "a proxy without an epoll fd must refuse rules";
+  proxy.Start();  // must be a no-op, not a thread proxying into EBADF
+  proxy.RunOnce(0);
+  proxy.Stop();
+  for (Fd fd : fillers) {
+    (void)kernel_->Close(*container_, fd);
+  }
+}
+
+TEST_F(SocketProxyTest, ForwardAfterStopIsRejected) {
+  auto proxy = MakeProxy();
+  proxy->Stop();
+  EXPECT_FALSE(proxy->Forward(kAppPath, kHostPath).ok());
+}
+
+}  // namespace
+}  // namespace cntr::core
