@@ -76,6 +76,7 @@ StatusOr<std::unique_ptr<AttachedSession>> Cntr::AttachPid(kernel::Pid pid, Atta
   }
   CNTR_ASSIGN_OR_RETURN(session->cntrfs_,
                         CntrFsServer::Create(kernel_, session->server_proc_, "/"));
+  session->server_threads_ = opts.server_threads;
   session->fuse_server_ = std::make_unique<fuse::FuseServer>(
       session->conn_, session->cntrfs_.get(), opts.server_threads);
   session->fuse_server_->Start();
@@ -157,8 +158,13 @@ Status AttachedSession::Detach() {
     pty_->WriteLineToShell("exit");
     shell_thread_.join();
   }
+  // Shutdown's status is the detach result: a failed final flush means
+  // dirty data never reached the server, and silently returning Ok would
+  // be exactly the lost-write silence the errseq machinery exists to
+  // prevent. Teardown still completes either way.
+  Status shutdown_status = Status::Ok();
   if (fuse_fs_ != nullptr) {
-    fuse_fs_->Shutdown();
+    shutdown_status = fuse_fs_->Shutdown();
   }
   if (fuse_server_ != nullptr) {
     fuse_server_->Stop();
@@ -172,7 +178,27 @@ Status AttachedSession::Detach() {
   if (cntr_proc_ != nullptr) {
     kernel_->Exit(*cntr_proc_);
   }
-  return Status::Ok();
+  return shutdown_status;
+}
+
+Status AttachedSession::Reconnect() {
+  if (detached_) {
+    return Status::Error(EINVAL, "session already detached");
+  }
+  if (fuse_fs_ == nullptr || cntrfs_ == nullptr) {
+    return Status::Error(ENOTCONN, "no filesystem to reconnect");
+  }
+  // Stop the old server threads without DESTROY: the CntrFsServer instance
+  // (and its node table) survives the restart, which is what keeps the
+  // client's nodeids valid across the reconnect.
+  if (fuse_server_ != nullptr) {
+    fuse_server_->Stop(/*notify_destroy=*/false);
+  }
+  CNTR_ASSIGN_OR_RETURN(auto fuse_dev, fuse::OpenFuseDevice(kernel_, *cntr_proc_));
+  conn_ = fuse_dev.second;
+  fuse_server_ = std::make_unique<fuse::FuseServer>(conn_, cntrfs_.get(), server_threads_);
+  fuse_server_->Start();
+  return fuse_fs_->Reconnect(conn_);
 }
 
 }  // namespace cntr::core

@@ -71,7 +71,15 @@ class AttachedSession {
   // pty (use pty().WriteLineToShell / DrainShellOutput to converse).
   void StartInteractiveShell();
 
+  // Tears the session down. A failed final writeback flush (dirty pages the
+  // server never took) surfaces here — detach does not swallow data loss.
   Status Detach();
+
+  // Re-establishes the FUSE transport after a server-side crash/abort: a
+  // fresh /dev/fuse connection, new server threads over the SAME
+  // CntrFsServer (its node table survives, so existing nodeids stay valid),
+  // INIT replayed and live file handles re-opened via FuseFs::Reconnect.
+  Status Reconnect();
 
  private:
   friend class Cntr;
@@ -90,6 +98,7 @@ class AttachedSession {
   std::unique_ptr<Pty> pty_;
   std::unique_ptr<SocketProxy> socket_proxy_;
   std::thread shell_thread_;
+  int server_threads_ = 4;  // remembered for Reconnect's replacement server
   bool detached_ = false;
 };
 

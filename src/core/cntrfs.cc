@@ -21,6 +21,11 @@ FuseReply ErrorReply(const Status& status) {
   return FuseReply::Error(status.error() != 0 ? status.error() : EIO);
 }
 
+// Handler-dispatch injection point: a kFail here models the server failing a
+// request before touching the backing filesystem (ACL daemon down, signal
+// mid-handler, ...).
+CNTR_FAULT_POINT(kFaultDispatch, "cntrfs.dispatch");
+
 }  // namespace
 
 StatusOr<std::unique_ptr<CntrFsServer>> CntrFsServer::Create(kernel::Kernel* kernel,
@@ -89,6 +94,12 @@ StatusOr<FuseEntryOut> CntrFsServer::MakeEntry(const VfsPath& child) {
 }
 
 FuseReply CntrFsServer::Handle(const FuseRequest& req) {
+  if (auto hit = kernel_->faults().Check(kFaultDispatch)) {
+    kernel_->clock().Advance(hit.latency_ns);
+    if (hit.action == fault::FaultAction::kFail) {
+      return FuseReply::Error(hit.error);
+    }
+  }
   switch (req.opcode) {
     case FuseOpcode::kInit:
       return DoInit(req);
@@ -146,6 +157,13 @@ FuseReply CntrFsServer::Handle(const FuseRequest& req) {
     case FuseOpcode::kBatchForget:
       return DoForget(req);
     case FuseOpcode::kDestroy:
+      return FuseReply{};
+    case FuseOpcode::kInterrupt:
+      // Cancellation notice for an in-flight request (unique 0: no reply).
+      // The passthrough handlers never block indefinitely, so observing the
+      // notification is all there is to do; the transport already resolved
+      // the waiter with EINTR.
+      interrupts_.fetch_add(1, std::memory_order_relaxed);
       return FuseReply{};
     case FuseOpcode::kCreate:
       // The kernel side issues MKNOD + OPEN instead of atomic CREATE.

@@ -55,6 +55,7 @@ class CntrFsServer : public fuse::FuseHandler {
     uint64_t readdirs = 0;        // plain READDIR listings served
     uint64_t spliced_reads = 0;   // READ replies served as page refs
     uint64_t spliced_writes = 0;  // WRITE payloads adopted as page refs
+    uint64_t interrupts = 0;      // INTERRUPT notifications observed
   };
   Stats stats() const {
     Stats s;
@@ -67,6 +68,7 @@ class CntrFsServer : public fuse::FuseHandler {
     s.readdirs = readdirs_.load(std::memory_order_relaxed);
     s.spliced_reads = spliced_reads_.load(std::memory_order_relaxed);
     s.spliced_writes = spliced_writes_.load(std::memory_order_relaxed);
+    s.interrupts = interrupts_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -165,6 +167,7 @@ class CntrFsServer : public fuse::FuseHandler {
   std::atomic<uint64_t> readdirs_{0};
   std::atomic<uint64_t> spliced_reads_{0};
   std::atomic<uint64_t> spliced_writes_{0};
+  std::atomic<uint64_t> interrupts_{0};
 
   // TTLs handed to the kernel side; mirror rust-fuse defaults.
   uint64_t entry_ttl_ns_ = 1'000'000'000;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 
+#include "src/fault/fault.h"
 #include "src/util/logging.h"
 
 namespace cntr::core {
@@ -22,8 +23,23 @@ constexpr size_t kCopyChunk = 65536;
 // to epoll after this much, so other flows get serviced (fairness).
 constexpr size_t kPumpBudget = 262144;
 
+// Transient-exhaustion accept backoff window (virtual time): first retry
+// after 1ms, doubling up to 100ms while the exhaustion persists.
+constexpr uint64_t kAcceptBackoffMinNs = 1'000'000;
+constexpr uint64_t kAcceptBackoffMaxNs = 100'000'000;
+
+CNTR_FAULT_POINT(kFaultProxyAccept, "proxy.accept");
+CNTR_FAULT_POINT(kFaultProxyPump, "proxy.pump");
+
 size_t PagesOf(size_t bytes) {
   return (bytes + kernel::kPageSize - 1) / kernel::kPageSize;
+}
+
+// True for errors that mean "out of descriptors/memory right now", where
+// the right move is to leave the connection parked in the accept queue and
+// come back, not to burn it as a failure.
+bool TransientAcceptError(int err) {
+  return err == EMFILE || err == ENFILE || err == ENOMEM;
 }
 
 }  // namespace
@@ -108,7 +124,7 @@ void SocketProxy::RunOnce(int timeout_ms) {
   for (const auto& ev : events.value()) {
     Fd fd = static_cast<Fd>(ev.data);
     bool is_listener = false;
-    for (const auto& rule : rules_) {
+    for (auto& rule : rules_) {
       if (rule.listen_fd == fd) {
         while (AcceptOne(rule)) {
         }
@@ -139,11 +155,42 @@ void SocketProxy::RunOnce(int timeout_ms) {
   }
 }
 
-bool SocketProxy::AcceptOne(const Rule& rule) {
+bool SocketProxy::AcceptOne(Rule& rule) {
+  if (rule.backoff_until_ns != 0) {
+    if (kernel_->clock().NowNs() < rule.backoff_until_ns) {
+      return false;  // still backing off; the level-triggered listener re-arms us
+    }
+    rule.backoff_until_ns = 0;
+  }
   auto conn = kernel_->SocketAccept(*container_proc_, rule.listen_fd, /*nonblock=*/true);
+  if (auto hit = kernel_->faults().Check(kFaultProxyAccept)) {
+    if (hit.latency_ns != 0) {
+      kernel_->clock().Advance(hit.latency_ns);
+    }
+    if (hit.action != fault::FaultAction::kDrop) {
+      if (conn.ok()) {
+        (void)container_proc_->fds.Take(conn.value());
+      }
+      conn = Status::Error(hit.error, "injected proxy accept fault");
+    }
+  }
   if (!conn.ok()) {
+    int err = conn.status().error();
+    if (TransientAcceptError(err)) {
+      // Descriptor/memory exhaustion is a condition, not a verdict on the
+      // connection: it is still parked in the accept queue. Sit the rule
+      // out for a (doubling) backoff window and let the level-triggered
+      // listener event retry it, instead of counting a failure and
+      // silently never serving the client.
+      rule.backoff_ns = rule.backoff_ns == 0
+                            ? kAcceptBackoffMinNs
+                            : std::min(rule.backoff_ns * 2, kAcceptBackoffMaxNs);
+      rule.backoff_until_ns = kernel_->clock().NowNs() + rule.backoff_ns;
+      accept_retries_.fetch_add(1);
+    }
     return false;
   }
+  rule.backoff_ns = 0;
   // Both directions or neither: a connection with one silently-missing
   // direction would black-hole half the traffic and leak the rest. Every
   // installed fd and epoll registration is collected as it is made, so any
@@ -241,6 +288,16 @@ void SocketProxy::PumpFlow(Fd src_fd) {
   }
   Flow& flow = it->second;
   Fd dst_fd = flow.dst;
+  if (auto hit = kernel_->faults().Check(kFaultProxyPump)) {
+    if (hit.latency_ns != 0) {
+      kernel_->clock().Advance(hit.latency_ns);
+    }
+    if (hit.action != fault::FaultAction::kDrop && !flow.done) {
+      // An injected pump fault is an undeliverable flow: abort it so the
+      // origin sees the break instead of a silent stall.
+      AbortFlow(flow);
+    }
+  }
   if (!flow.done) {
     // Deliver parked bytes first: frees pipe window and preserves ordering.
     DrainFlow(flow);

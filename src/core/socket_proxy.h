@@ -73,6 +73,7 @@ class SocketProxy {
     uint64_t copied_bytes = 0;    // delivered through the byte-copy relay
     uint64_t half_closes = 0;     // EOFs propagated as shutdown(SHUT_WR)
     uint64_t accept_failures = 0; // connections unwound on partial setup
+    uint64_t accept_retries = 0;  // transient exhaustion, deferred w/ backoff
   };
   Stats stats() const {
     Stats s;
@@ -82,6 +83,7 @@ class SocketProxy {
     s.copied_bytes = copied_bytes_.load();
     s.half_closes = half_closes_.load();
     s.accept_failures = accept_failures_.load();
+    s.accept_retries = accept_retries_.load();
     return s;
   }
 
@@ -89,6 +91,13 @@ class SocketProxy {
   struct Rule {
     kernel::Fd listen_fd;
     std::string host_path;
+    // Transient-exhaustion backoff (EMFILE/ENFILE/ENOMEM at accept): the
+    // listener sits out until this virtual deadline, then retries — the
+    // pending connection stays parked in the accept queue meanwhile. Each
+    // consecutive transient failure doubles backoff_ns; a successful accept
+    // resets it.
+    uint64_t backoff_until_ns = 0;
+    uint64_t backoff_ns = 0;
   };
   // One direction of an established connection: src -> pipe -> dst. The
   // entry lives until BOTH directions of the connection finish (half-open
@@ -119,10 +128,11 @@ class SocketProxy {
   };
 
   void Loop();
-  // Accepts one pending connection on `rule`; false when none remained.
-  // Allocates both flow pipes before connecting upstream and unwinds the
-  // whole connection on any partial failure.
-  bool AcceptOne(const Rule& rule);
+  // Accepts one pending connection on `rule`; false when none remained (or
+  // the rule is backing off from transient exhaustion). Allocates both flow
+  // pipes before connecting upstream and unwinds the whole connection on
+  // any partial failure.
+  bool AcceptOne(Rule& rule);
   // Services the flow keyed by `src_fd`: drain residue, fill from src,
   // propagate EOF, tear down when both directions finished.
   void PumpFlow(kernel::Fd src_fd);
@@ -152,6 +162,7 @@ class SocketProxy {
   std::atomic<uint64_t> copied_bytes_{0};
   std::atomic<uint64_t> half_closes_{0};
   std::atomic<uint64_t> accept_failures_{0};
+  std::atomic<uint64_t> accept_retries_{0};
 };
 
 }  // namespace cntr::core

@@ -11,6 +11,11 @@ namespace cntr::fuse {
 
 namespace {
 
+// Transport-layer injection points (see docs/robustness.md).
+CNTR_FAULT_POINT(kFaultConnEnqueue, "fuse.conn.enqueue");
+CNTR_FAULT_POINT(kFaultConnReply, "fuse.conn.reply");
+CNTR_FAULT_POINT(kFaultLaneTransit, "fuse.lane.transit");
+
 // Fixed-size head of one packed direntplus record; the name bytes follow.
 struct PackedDirentPlus {
   uint64_t ino = 0;
@@ -156,6 +161,8 @@ const char* FuseOpcodeName(FuseOpcode op) {
       return "ACCESS";
     case FuseOpcode::kCreate:
       return "CREATE";
+    case FuseOpcode::kInterrupt:
+      return "INTERRUPT";
     case FuseOpcode::kDestroy:
       return "DESTROY";
     case FuseOpcode::kBatchForget:
@@ -166,11 +173,14 @@ const char* FuseOpcodeName(FuseOpcode op) {
   return "?";
 }
 
-FuseConn::FuseConn(SimClock* clock, const CostModel* costs, size_t num_channels)
-    : clock_(clock), costs_(costs) {
+FuseConn::FuseConn(SimClock* clock, const CostModel* costs, size_t num_channels,
+                   fault::FaultRegistry* faults)
+    : clock_(clock), costs_(costs), faults_(faults) {
   std::lock_guard<std::mutex> lock(config_mu_);
   InstallChannels(std::clamp<size_t>(num_channels, 1, kMaxChannels));
 }
+
+FuseConn::~FuseConn() { StopSweeper(); }
 
 void FuseConn::InstallChannels(size_t n) {
   for (size_t i = 0; i < n; ++i) {
@@ -311,6 +321,14 @@ void FuseConn::GateRequestPayload(FuseChannel& ch, FuseRequest& request) {
   for (const splice::PageRef& ref : request.payload_pages) {
     bytes += ref.len;
   }
+  if (faults_ != nullptr && splice_on) {
+    if (auto hit = faults_->Check(kFaultLaneTransit)) {
+      // An unusable lane is not fatal to the request — the payload takes
+      // the copy path whole, which is exactly the fallback contract.
+      clock_->Advance(hit.latency_ns);
+      splice_on = false;
+    }
+  }
   if (splice_on) {
     // All-or-nothing per lane: the payload occupies lane capacity until the
     // server consumes the request (TryPop drains it), which is the
@@ -338,7 +356,14 @@ void FuseConn::GateReplyPayload(FuseChannel& ch, FuseReply& reply) {
     return;
   }
   uint64_t bytes = reply.payload_bytes();
-  if (ch.splice_enabled.load(std::memory_order_acquire)) {
+  bool splice_on = ch.splice_enabled.load(std::memory_order_acquire);
+  if (faults_ != nullptr && splice_on) {
+    if (auto hit = faults_->Check(kFaultLaneTransit)) {
+      clock_->Advance(hit.latency_ns);
+      splice_on = false;
+    }
+  }
+  if (splice_on) {
     auto lane = PushToPool(ch.lane_out, reply.pages);
     if (!lane.has_value() && MaybeGrowLanes(ch, bytes)) {
       lane = PushToPool(ch.lane_out, reply.pages);
@@ -381,7 +406,37 @@ StatusOr<size_t> FuseConn::SetLaneCapacity(size_t bytes) {
   return result;
 }
 
+void FuseConn::FinishInFlight() {
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (max_background_.load(std::memory_order_acquire) != 0) {
+    { std::lock_guard<std::mutex> lock(admission_mu_); }
+    admission_cv_.notify_one();
+  }
+}
+
 StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
+  if (faults_ != nullptr) {
+    if (auto hit = faults_->Check(kFaultConnEnqueue)) {
+      clock_->Advance(hit.latency_ns);
+      if (hit.action == fault::FaultAction::kFail) {
+        return Status::Error(hit.error, "injected /dev/fuse enqueue fault");
+      }
+    }
+  }
+  // Admission gate: a stalled server means in-flight requests pile up; past
+  // the max_background cap new callers park here (congestion backpressure)
+  // instead of growing the channel queues without bound.
+  uint32_t cap = max_background_.load(std::memory_order_acquire);
+  if (cap != 0 && in_flight_.load(std::memory_order_acquire) >= cap) {
+    admission_waits_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> gate(admission_mu_);
+    admission_cv_.wait(gate, [&] {
+      return aborted() || in_flight_.load(std::memory_order_acquire) <
+                              max_background_.load(std::memory_order_acquire);
+    });
+  }
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+
   size_t ch_idx = RouteChannel(request.pid);
   FuseChannel& ch = Channel(ch_idx);
   uint64_t unique = MakeUnique(ch_idx);
@@ -403,6 +458,7 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   std::unique_lock<std::mutex> lock(ch.mu);
   if (aborted()) {
     clock_->Advance(cost);
+    FinishInFlight();
     return Status::Error(ENOTCONN, "fuse connection aborted");
   }
   // Channel occupancy: on parallel lanes, arriving at a busy channel means
@@ -420,7 +476,16 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
 
   requests_.fetch_add(1, std::memory_order_relaxed);
   ch.enqueued.fetch_add(1, std::memory_order_relaxed);
-  ch.pending.emplace(unique, FuseChannel::PendingReply{});
+  {
+    FuseChannel::PendingReply entry;
+    entry.pid = request.pid;
+    uint64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+    if (deadline != 0) {
+      entry.deadline_ns = clock_->NowNs() + deadline;
+      entry.enqueued_real = std::chrono::steady_clock::now();
+    }
+    ch.pending.emplace(unique, std::move(entry));
+  }
   ch.queue.push_back(std::move(request));
   if (ch.queue.size() > ch.max_depth.load(std::memory_order_relaxed)) {
     ch.max_depth.store(ch.queue.size(), std::memory_order_relaxed);  // ch.mu held
@@ -431,14 +496,42 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
 
   lock.lock();
   auto it = ch.pending.find(unique);
-  ch.reply_cv.wait(lock, [&] { return it->second.done || aborted(); });
+  ch.reply_cv.wait(lock, [&] {
+    return it->second.done || it->second.timed_out || it->second.interrupted || aborted();
+  });
   if (!it->second.done) {
+    bool timed_out = it->second.timed_out;
+    bool interrupted = it->second.interrupted;
+    uint64_t deadline_abs = it->second.deadline_ns;
     ch.pending.erase(it);
+    lock.unlock();
+    FinishInFlight();
+    if (timed_out) {
+      // Model the wait the caller actually endured: the request ran out its
+      // full deadline on the caller's own timeline.
+      uint64_t now = clock_->NowNs();
+      if (deadline_abs > now) {
+        clock_->Advance(deadline_abs - now);
+      }
+      // Stalled-server degradation: enough deadline misses in a row and the
+      // connection is declared dead rather than timing out forever.
+      uint32_t misses = consecutive_timeouts_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      uint32_t abort_after = abort_after_timeouts_.load(std::memory_order_acquire);
+      if (abort_after != 0 && misses >= abort_after && !aborted()) {
+        Abort();
+      }
+      return Status::Error(ETIMEDOUT, "fuse request deadline expired");
+    }
+    if (interrupted) {
+      return Status::Error(EINTR, "fuse request interrupted");
+    }
     return Status::Error(ENOTCONN, "fuse connection aborted");
   }
   FuseReply reply = std::move(it->second.reply);
   ch.pending.erase(it);
   lock.unlock();
+  FinishInFlight();
+  consecutive_timeouts_.store(0, std::memory_order_release);
   if (reply.spliced) {
     // Consume the lane bytes this reply occupied since WriteReply; the page
     // identity arrived with the reply itself.
@@ -530,6 +623,19 @@ std::optional<FuseRequest> FuseConn::ReadRequest(size_t home_channel) {
 }
 
 void FuseConn::WriteReply(uint64_t unique, FuseReply reply) {
+  if (faults_ != nullptr) {
+    if (auto hit = faults_->Check(kFaultConnReply)) {
+      clock_->Advance(hit.latency_ns);
+      if (hit.action == fault::FaultAction::kDrop) {
+        // The reply is lost on the wire: the waiter's deadline (or the
+        // sweeper, or Abort) must resolve it.
+        return;
+      }
+      if (hit.action == fault::FaultAction::kFail) {
+        reply = FuseReply::Error(hit.error);
+      }
+    }
+  }
   FuseChannel& ch = ChannelOfUnique(unique);
   std::lock_guard<std::mutex> lock(ch.mu);
   // The channel stays occupied through the server-side handling (the worker
@@ -537,7 +643,22 @@ void FuseConn::WriteReply(uint64_t unique, FuseReply reply) {
   ch.busy_until_ns = std::max(ch.busy_until_ns, clock_->NowNs());
   auto it = ch.pending.find(unique);
   if (it == ch.pending.end()) {
-    return;  // forget or aborted waiter: nothing was delivered
+    // Forget, expired-and-collected, or aborted waiter: nothing delivered.
+    late_replies_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (it->second.timed_out || it->second.interrupted ||
+      (it->second.deadline_ns != 0 && clock_->NowNs() > it->second.deadline_ns)) {
+    // The waiter's deadline expired (or it was interrupted) before this
+    // reply landed: drop the payload, resolve the waiter if it has not been
+    // already. Exactly one of {reply, timeout, interrupt} wins per request.
+    if (!it->second.timed_out && !it->second.interrupted) {
+      it->second.timed_out = true;
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    late_replies_.fetch_add(1, std::memory_order_relaxed);
+    ch.reply_cv.notify_all();
+    return;
   }
   // Payload onto the lane (or flattened) only for a live waiter — a dead
   // waiter's pages are simply dropped with the reply.
@@ -569,6 +690,186 @@ void FuseConn::Abort() {
     std::lock_guard<std::mutex> lock(idle_mu_);
   }
   work_cv_.notify_all();
+  // Admission-gated callers must not stay parked on a dead connection.
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+  }
+  admission_cv_.notify_all();
+  // The sweeper has nothing left to expire; let it drain out.
+  sweeper_cv_.notify_all();
+}
+
+void FuseConn::SetRequestDeadline(uint64_t virtual_ns, uint64_t real_grace_ms) {
+  deadline_ns_.store(virtual_ns, std::memory_order_release);
+  deadline_grace_ms_.store(real_grace_ms, std::memory_order_release);
+  if (virtual_ns == 0 || real_grace_ms == 0) {
+    StopSweeper();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(sweeper_mu_);
+  if (!sweeper_.joinable()) {
+    sweeper_stop_ = false;
+    sweeper_ = std::thread([this] { SweeperLoop(); });
+  }
+}
+
+void FuseConn::SweeperLoop() {
+  std::unique_lock<std::mutex> lock(sweeper_mu_);
+  while (!sweeper_stop_) {
+    uint64_t grace_ms =
+        std::max<uint64_t>(deadline_grace_ms_.load(std::memory_order_acquire), 1);
+    // Wake at a fraction of the grace so expiry lands within ~25% of it.
+    sweeper_cv_.wait_for(lock,
+                         std::chrono::milliseconds(std::max<uint64_t>(grace_ms / 4, 1)));
+    if (sweeper_stop_) {
+      break;
+    }
+    if (aborted() || deadline_ns_.load(std::memory_order_acquire) == 0) {
+      continue;
+    }
+    lock.unlock();
+    // Expire requests that have sat unanswered past the real-time grace:
+    // the virtual deadline cannot fire on its own when the server is wedged
+    // and never calls WriteReply, so wall time is the backstop.
+    auto now_real = std::chrono::steady_clock::now();
+    auto grace = std::chrono::milliseconds(grace_ms);
+    {
+      std::lock_guard<std::mutex> config(config_mu_);
+      for (auto& ch : owned_channels_) {
+        bool expired_any = false;
+        {
+          std::lock_guard<std::mutex> chlock(ch->mu);
+          for (auto& [unique, entry] : ch->pending) {
+            if (entry.deadline_ns == 0 || entry.done || entry.timed_out ||
+                entry.interrupted) {
+              continue;
+            }
+            if (now_real - entry.enqueued_real >= grace) {
+              entry.timed_out = true;
+              timeouts_.fetch_add(1, std::memory_order_relaxed);
+              expired_any = true;
+            }
+          }
+        }
+        if (expired_any) {
+          ch->reply_cv.notify_all();
+        }
+      }
+    }
+    lock.lock();
+  }
+}
+
+void FuseConn::StopSweeper() {
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lock(sweeper_mu_);
+    sweeper_stop_ = true;
+    t = std::move(sweeper_);
+  }
+  sweeper_cv_.notify_all();
+  if (t.joinable()) {
+    t.join();
+  }
+  // Re-arming later restarts a fresh thread.
+  {
+    std::lock_guard<std::mutex> lock(sweeper_mu_);
+    sweeper_stop_ = false;
+  }
+}
+
+bool FuseConn::Interrupt(uint64_t unique) {
+  FuseChannel& ch = ChannelOfUnique(unique);
+  size_t ch_idx = unique & (kMaxChannels - 1);
+  bool in_flight_now = false;
+  {
+    std::lock_guard<std::mutex> lock(ch.mu);
+    auto it = ch.pending.find(unique);
+    if (it == ch.pending.end() || it->second.done || it->second.timed_out ||
+        it->second.interrupted) {
+      return false;  // already resolved (or never existed): nothing to do
+    }
+    // Still queued: remove it before the server ever dequeues it, releasing
+    // any lane capacity its spliced payload held (exactly what TryPop would
+    // have consumed).
+    auto qit = std::find_if(ch.queue.begin(), ch.queue.end(),
+                            [&](const FuseRequest& r) { return r.unique == unique; });
+    if (qit != ch.queue.end()) {
+      if (qit->spliced && !qit->payload_pages.empty()) {
+        uint64_t bytes = 0;
+        for (const splice::PageRef& ref : qit->payload_pages) {
+          bytes += ref.len;
+        }
+        ch.lane_in[qit->lane_idx % kLanePoolSize]->DrainBytes(bytes);
+      }
+      ch.queue.erase(qit);
+      queued_total_.fetch_sub(1);
+    } else {
+      in_flight_now = true;
+    }
+    it->second.interrupted = true;
+    interrupts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ch.reply_cv.notify_all();
+  if (in_flight_now) {
+    // The server already holds the request: send the INTERRUPT notification
+    // so it can observe the cancellation (its eventual reply is dropped as
+    // late either way).
+    EnqueueInterruptNotify(ch, ch_idx, unique);
+  }
+  return true;
+}
+
+uint32_t FuseConn::InterruptPid(kernel::Pid pid) {
+  uint32_t count = 0;
+  std::lock_guard<std::mutex> config(config_mu_);
+  for (auto& ch : owned_channels_) {
+    std::vector<uint64_t> found;
+    {
+      std::lock_guard<std::mutex> lock(ch->mu);
+      for (auto& [unique, entry] : ch->pending) {
+        if (entry.pid == pid && !entry.done && !entry.timed_out && !entry.interrupted) {
+          found.push_back(unique);
+        }
+      }
+    }
+    for (uint64_t unique : found) {
+      if (Interrupt(unique)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+void FuseConn::EnqueueInterruptNotify(FuseChannel& ch, size_t ch_idx, uint64_t unique) {
+  FuseRequest notify;
+  notify.unique = 0;  // notification: the server never replies to it
+  notify.opcode = FuseOpcode::kInterrupt;
+  notify.interrupt_unique = unique;
+  notify.channel = static_cast<uint32_t>(ch_idx);
+  notify.lane = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(ch.mu);
+    if (aborted()) {
+      return;
+    }
+    ch.queue.push_back(std::move(notify));
+    queued_total_.fetch_add(1);  // seq_cst: pairs with NotifyWork fast path
+  }
+  NotifyWork();
+}
+
+size_t FuseConn::lane_bytes_in_flight() const {
+  size_t total = 0;
+  std::lock_guard<std::mutex> config(config_mu_);
+  for (const auto& ch : owned_channels_) {
+    for (size_t i = 0; i < kLanePoolSize; ++i) {
+      total += ch->lane_in[i]->Available();
+      total += ch->lane_out[i]->Available();
+    }
+  }
+  return total;
 }
 
 void FuseConn::AddReader(size_t channel) {

@@ -40,14 +40,17 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/fuse/fuse_proto.h"
 #include "src/kernel/file.h"
 #include "src/kernel/pipe.h"
@@ -106,6 +109,14 @@ struct alignas(64) FuseChannel {
   std::deque<FuseRequest> queue;
   struct PendingReply {
     bool done = false;
+    // Request lifecycle hardening (see docs/robustness.md): a waiter wakes
+    // on done, timed_out, interrupted, or connection abort — whichever
+    // happens first; the losing outcomes are dropped with a stat.
+    bool timed_out = false;
+    bool interrupted = false;
+    uint64_t deadline_ns = 0;  // virtual deadline; 0 = none armed
+    std::chrono::steady_clock::time_point enqueued_real;
+    kernel::Pid pid = 0;  // submitting process (InterruptPid lookup)
     FuseReply reply;
   };
   std::map<uint64_t, PendingReply> pending;
@@ -140,7 +151,9 @@ class FuseConn {
   static constexpr size_t kChannelBits = 6;
   static constexpr size_t kMaxChannels = size_t{1} << kChannelBits;
 
-  FuseConn(SimClock* clock, const CostModel* costs, size_t num_channels = 1);
+  FuseConn(SimClock* clock, const CostModel* costs, size_t num_channels = 1,
+           fault::FaultRegistry* faults = nullptr);
+  ~FuseConn();
 
   // Reshapes the channel set (FUSE_DEV_IOC_CLONE analogue). Only honoured
   // before traffic: no readers registered, nothing queued, not aborted.
@@ -172,6 +185,51 @@ class FuseConn {
   // Tear down: wakes waiters with ENOTCONN and unblocks server readers.
   void Abort();
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  // --- request lifecycle hardening ---
+
+  // Arms per-request deadlines. `virtual_ns` bounds the request in virtual
+  // time: a reply delivered past it is dropped as late and the waiter gets
+  // ETIMEDOUT. `real_grace_ms` (> 0) additionally starts a real-time
+  // sweeper for wedged servers that never reply at all — a pending request
+  // older than the grace in wall time is expired the same way (the waiter
+  // then charges `virtual_ns` to its own timeline, modeling the wait).
+  // virtual_ns == 0 disarms both.
+  void SetRequestDeadline(uint64_t virtual_ns, uint64_t real_grace_ms = 50);
+  uint64_t request_deadline_ns() const {
+    return deadline_ns_.load(std::memory_order_acquire);
+  }
+
+  // After `n` consecutive deadline misses the connection auto-aborts (the
+  // stalled-server degradation policy). 0 = never.
+  void SetAbortOnConsecutiveTimeouts(uint32_t n) {
+    abort_after_timeouts_.store(n, std::memory_order_release);
+  }
+
+  // Admission gate (max_background analogue): with a cap set, SendAndWait
+  // blocks while `cap` requests are already in flight, so a stalled server
+  // backpressures callers instead of growing queues unboundedly. 0 = off.
+  void SetMaxBackground(uint32_t cap) {
+    max_background_.store(cap, std::memory_order_release);
+  }
+  uint32_t in_flight() const { return in_flight_.load(std::memory_order_acquire); }
+
+  // FUSE_INTERRUPT analogue. Unblocks the waiter of `unique` with EINTR: a
+  // still-queued request is removed before the server ever sees it; an
+  // in-flight one gets a kInterrupt notification enqueued (unique 0) so the
+  // server can observe the cancellation. Returns true if a waiter was found.
+  bool Interrupt(uint64_t unique);
+  // Interrupts every in-flight request submitted by `pid` (the killed-client
+  // path, driven from the kernel's exit hook). Returns how many.
+  uint32_t InterruptPid(kernel::Pid pid);
+
+  // Bytes currently parked on any channel's splice lanes (in-flight spliced
+  // payloads). Zero on a quiet or aborted connection — the lane-leak assert
+  // for abort-reconciliation tests.
+  size_t lane_bytes_in_flight() const;
+
+  fault::FaultRegistry* faults() const { return faults_; }
+  SimClock* clock() const { return clock_; }
 
   // Number of server threads homed on `channel`; used to model per-channel
   // queue contention (Figure 4).
@@ -238,6 +296,11 @@ class FuseConn {
     // Queue-depth observability (channel-count autotuning groundwork):
     // deepest any channel's queue has ever been.
     uint64_t max_queue_depth = 0;
+    // Failure-plane accounting.
+    uint64_t timeouts = 0;         // requests expired by a deadline
+    uint64_t late_replies = 0;     // server replies with no live waiter
+    uint64_t interrupts = 0;       // requests unblocked via INTERRUPT
+    uint64_t admission_waits = 0;  // SendAndWait calls gated on max_background
   };
   Stats stats() const {
     Stats s;
@@ -248,6 +311,10 @@ class FuseConn {
     s.copied_bytes = copied_bytes_.load(std::memory_order_relaxed);
     s.splice_fallbacks = splice_fallbacks_.load(std::memory_order_relaxed);
     s.lane_growths = lane_growths_.load(std::memory_order_relaxed);
+    s.timeouts = timeouts_.load(std::memory_order_relaxed);
+    s.late_replies = late_replies_.load(std::memory_order_relaxed);
+    s.interrupts = interrupts_.load(std::memory_order_relaxed);
+    s.admission_waits = admission_waits_.load(std::memory_order_relaxed);
     for (size_t i = 0; i < num_channels(); ++i) {
       s.max_queue_depth = std::max(s.max_queue_depth, channel_max_queue_depth(i));
     }
@@ -282,9 +349,19 @@ class FuseConn {
   // Appends `n` fresh channels to owned_channels_ and publishes them through
   // the table (config_mu_ held).
   void InstallChannels(size_t n);
+  // Real-time deadline sweeper body (one background thread while armed).
+  void SweeperLoop();
+  void StopSweeper();
+  // One request left flight (reply, timeout, interrupt, or abort): releases
+  // its admission slot.
+  void FinishInFlight();
+  // Enqueues the kInterrupt notification for an in-flight `unique` (ch.mu
+  // must not be held).
+  void EnqueueInterruptNotify(FuseChannel& ch, size_t ch_idx, uint64_t unique);
 
   SimClock* clock_;
   const CostModel* costs_;
+  fault::FaultRegistry* faults_;
   std::atomic<uint64_t> next_unique_{2};
   std::atomic<int> reader_threads_{0};
   std::atomic<bool> aborted_{false};
@@ -298,7 +375,7 @@ class FuseConn {
   // until Abort sweeps every owned channel.
   std::array<std::atomic<FuseChannel*>, kMaxChannels> channel_table_{};
   std::atomic<size_t> num_channels_{1};
-  std::mutex config_mu_;  // serializes reshape and Abort's owned sweep
+  mutable std::mutex config_mu_;  // serializes reshape and Abort's owned sweep
   std::vector<std::unique_ptr<FuseChannel>> owned_channels_;
 
   // Idle workers park here; any enqueue (to any channel) wakes one. The
@@ -317,6 +394,29 @@ class FuseConn {
   std::atomic<uint64_t> splice_fallbacks_{0};
   std::atomic<uint64_t> lane_growths_{0};
   std::atomic<bool> lane_autosize_{false};
+
+  // --- failure plane ---
+  std::atomic<uint64_t> deadline_ns_{0};
+  std::atomic<uint64_t> deadline_grace_ms_{50};
+  std::atomic<uint32_t> abort_after_timeouts_{0};
+  std::atomic<uint32_t> consecutive_timeouts_{0};
+  std::atomic<uint32_t> max_background_{0};
+  std::atomic<uint32_t> in_flight_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> late_replies_{0};
+  std::atomic<uint64_t> interrupts_{0};
+  std::atomic<uint64_t> admission_waits_{0};
+
+  // Admission-gate parking lot (waiters blocked on max_background).
+  std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+
+  // Deadline sweeper thread: started by the first SetRequestDeadline with a
+  // real grace, stopped by disarming, Abort, or destruction.
+  std::mutex sweeper_mu_;
+  std::condition_variable sweeper_cv_;
+  bool sweeper_stop_ = false;
+  std::thread sweeper_;
 };
 
 // The open /dev/fuse descriptor, as held by the CNTR process. The fd itself

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/fault/fault.h"
 #include "src/util/logging.h"
 
 namespace cntr::fuse {
@@ -15,30 +16,39 @@ using kernel::InodePtr;
 using kernel::kPageSize;
 
 namespace {
+CNTR_FAULT_POINT(kFaultFlusher, "fuse.flusher");
+}  // namespace
 
-// Open file over a FUSE inode; directories carry a dir handle.
+// Open file over a FUSE inode; directories carry a dir handle. Registered
+// with the owning FuseFs so Reconnect can re-open live handles by nodeid; a
+// handle the restarted server cannot resolve goes stale and answers EIO.
 class FuseFile : public kernel::FileDescription {
  public:
   FuseFile(std::shared_ptr<FuseInode> inode, int flags, uint64_t fh, bool is_dir)
       : kernel::FileDescription(inode, flags),
         fuse_inode_(std::move(inode)),
         fh_(fh),
-        is_dir_(is_dir) {}
+        is_dir_(is_dir),
+        open_flags_(flags),
+        wb_err_seen_(fuse_inode_->fuse_fs()->wb_err_seq()) {
+    fuse_inode_->fuse_fs()->RegisterFile(this);
+  }
 
   ~FuseFile() override {
+    auto* fs = fuse_inode_->fuse_fs();
+    fs->UnregisterFile(this);
     // RELEASE/RELEASEDIR on last close; flush dirty data first so the
     // server observes the bytes (close-to-open consistency).
-    auto* fs = fuse_inode_->fuse_fs();
-    if (fs->conn().aborted()) {
+    if (fs->conn().aborted() || stale_.load(std::memory_order_acquire)) {
       return;
     }
     if (!is_dir_ && writable() && fs->options().writeback_cache) {
-      fuse_inode_->FlushDirtyPages(fh_);
+      fuse_inode_->FlushDirtyPages(fh());
     }
     FuseRequest req;
     req.opcode = is_dir_ ? FuseOpcode::kReleasedir : FuseOpcode::kRelease;
     req.nodeid = fuse_inode_->nodeid();
-    req.fh = fh_;
+    req.fh = fh();
     (void)fs->Call(std::move(req));
   }
 
@@ -46,23 +56,59 @@ class FuseFile : public kernel::FileDescription {
     if (!readable()) {
       return Status::Error(EBADF);
     }
-    return fuse_inode_->ReadData(static_cast<char*>(buf), count, offset, fh_, &readahead_);
+    if (stale_.load(std::memory_order_acquire)) {
+      return Status::Error(EIO, "stale handle after reconnect");
+    }
+    return fuse_inode_->ReadData(static_cast<char*>(buf), count, offset, fh(), &readahead_);
   }
 
   StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset) override {
     if (!writable()) {
       return Status::Error(EBADF);
     }
-    return fuse_inode_->WriteData(static_cast<const char*>(buf), count, offset, fh_);
+    if (stale_.load(std::memory_order_acquire)) {
+      return Status::Error(EIO, "stale handle after reconnect");
+    }
+    return fuse_inode_->WriteData(static_cast<const char*>(buf), count, offset, fh());
   }
 
-  Status Fsync(bool datasync) override { return fuse_inode_->FsyncData(datasync, fh_); }
+  Status Fsync(bool datasync) override {
+    auto* fs = fuse_inode_->fuse_fs();
+    if (stale_.load(std::memory_order_acquire)) {
+      return Status::Error(EIO, "stale handle after reconnect");
+    }
+    Status status = fuse_inode_->FsyncData(datasync, fh());
+    // errseq check: a writeback failure since this fd last looked (its own
+    // flush just now, a background flusher, anyone's) surfaces here exactly
+    // once, even though the lost pages were marked clean at failure time.
+    int err = fs->CheckWbErr(&wb_err_seen_);
+    if (status.ok() && err != 0) {
+      return Status::Error(err, "writeback failed since last fsync (errseq)");
+    }
+    return status;
+  }
 
-  Status Release() override { return Status::Ok(); }
+  Status Release() override {
+    // Last close: flush, then report any unseen writeback error so a lost
+    // async write cannot vanish silently (close-time errseq check).
+    auto* fs = fuse_inode_->fuse_fs();
+    if (!is_dir_ && writable() && fs->options().writeback_cache &&
+        !fs->conn().aborted() && !stale_.load(std::memory_order_acquire)) {
+      fuse_inode_->FlushDirtyPages(fh());
+    }
+    int err = fs->CheckWbErr(&wb_err_seen_);
+    if (err != 0) {
+      return Status::Error(err, "writeback failed before close (errseq)");
+    }
+    return Status::Ok();
+  }
 
   StatusOr<std::vector<DirEntry>> Readdir() override {
     if (!is_dir_) {
       return Status::Error(ENOTDIR);
+    }
+    if (stale_.load(std::memory_order_acquire)) {
+      return Status::Error(EIO, "stale handle after reconnect");
     }
     // Seekdir detection (Linux: fuse_use_readdirplus refuses mid-stream
     // reads): a consumer that repositions the directory cursor re-lists
@@ -77,22 +123,50 @@ class FuseFile : public kernel::FileDescription {
     FuseRequest req;
     req.opcode = FuseOpcode::kReaddir;
     req.nodeid = fuse_inode_->nodeid();
-    req.fh = fh_;
+    req.fh = fh();
     CNTR_ASSIGN_OR_RETURN(FuseReply reply, fuse_inode_->fuse_fs()->Call(std::move(req)));
     return reply.entries;
   }
 
+  // Reconnect path: re-open this handle against the restarted server by
+  // nodeid. Failure marks the handle stale — EIO from then on, the same
+  // contract as a revoked descriptor.
+  Status Reopen() {
+    auto* fs = fuse_inode_->fuse_fs();
+    FuseRequest req;
+    req.opcode = is_dir_ ? FuseOpcode::kOpendir : FuseOpcode::kOpen;
+    req.nodeid = fuse_inode_->nodeid();
+    req.flags = open_flags_;
+    auto reply = fs->Call(std::move(req));
+    if (!reply.ok()) {
+      stale_.store(true, std::memory_order_release);
+      return reply.status();
+    }
+    fh_.store(reply.value().fh, std::memory_order_release);
+    stale_.store(false, std::memory_order_release);
+    fuse_inode_->NoteOpenFh(reply.value().fh);
+    return Status::Ok();
+  }
+
+  uint64_t fh() const { return fh_.load(std::memory_order_acquire); }
+  bool stale() const { return stale_.load(std::memory_order_acquire); }
+
  private:
   std::shared_ptr<FuseInode> fuse_inode_;
-  uint64_t fh_;
+  // Atomic: Reopen swaps the server handle while other threads may still be
+  // draining EIO-bound operations against the old value.
+  std::atomic<uint64_t> fh_;
   bool is_dir_;
+  int open_flags_;
+  std::atomic<bool> stale_{false};
+  // errseq cursor, sampled at open: this fd reports only writeback errors
+  // that happen after it existed, and each at most once.
+  uint64_t wb_err_seen_;
   bool seekdir_observed_ = false;
   // Per-open-file readahead ramp: sequential streams grow toward the
   // negotiated ceiling, random access collapses (see kernel/readahead.h).
   kernel::FileReadahead readahead_;
 };
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // FuseFs
@@ -104,67 +178,7 @@ StatusOr<std::shared_ptr<FuseFs>> FuseFs::Create(kernel::Kernel* kernel,
   auto fs = std::shared_ptr<FuseFs>(
       new FuseFs(kernel, std::move(conn), opts));
 
-  // INIT negotiation.
-  FuseRequest init;
-  init.opcode = FuseOpcode::kInit;
-  init.init_flags = (opts.async_read ? kFuseAsyncRead : 0) |
-                    (opts.splice_read ? kFuseSpliceRead : 0) |
-                    (opts.splice_write ? kFuseSpliceWrite : 0) |
-                    (opts.splice_move ? kFuseSpliceMove : 0) |
-                    (opts.parallel_dirops ? kFuseParallelDirops : 0) |
-                    (opts.writeback_cache ? kFuseWritebackCache : 0) |
-                    (opts.readdirplus ? kFuseDoReaddirplus : 0) |
-                    (opts.max_pages > 0 ? kFuseMaxPages : 0);
-  init.max_pages = std::min(opts.max_pages, kFuseMaxMaxPages);
-  CNTR_ASSIGN_OR_RETURN(FuseReply init_reply, fs->conn_->SendAndWait(std::move(init)));
-  fs->readdirplus_enabled_ =
-      opts.readdirplus && (init_reply.init_flags & kFuseDoReaddirplus) != 0;
-  fs->splice_read_enabled_ =
-      opts.splice_read && (init_reply.init_flags & kFuseSpliceRead) != 0;
-  fs->splice_write_enabled_ =
-      opts.splice_write && (init_reply.init_flags & kFuseSpliceWrite) != 0;
-  fs->splice_move_enabled_ =
-      opts.splice_move && (init_reply.init_flags & kFuseSpliceMove) != 0;
-
-  // FUSE_MAX_PAGES: an old server echoes the flags without the bit (or
-  // grants 0 pages) — fall back to the legacy 32-page / 128KiB windows.
-  if (opts.max_pages > 0 && (init_reply.init_flags & kFuseMaxPages) != 0 &&
-      init_reply.max_pages > 0) {
-    fs->negotiated_max_pages_ =
-        std::min({init_reply.max_pages, opts.max_pages, kFuseMaxMaxPages});
-  }
-  fs->effective_max_write_ = opts.max_write;
-  fs->readahead_ceiling_pages_ = std::max<uint32_t>(1, opts.readahead_pages);
-  if (fs->negotiated_max_pages_ > 0) {
-    fs->effective_max_write_ = std::max<uint32_t>(
-        opts.max_write, fs->negotiated_max_pages_ * static_cast<uint32_t>(kPageSize));
-    fs->readahead_ceiling_pages_ =
-        std::max(fs->readahead_ceiling_pages_, fs->negotiated_max_pages_);
-  }
-
-  if (fs->splice_read_enabled_ || fs->splice_write_enabled_) {
-    // Size the channel data lanes (fcntl(F_SETPIPE_SZ) at mount time),
-    // clamped to the pipe limits so an oversized pipe_pages degrades to the
-    // largest legal lane instead of silently keeping the default (which
-    // would bounce every large payload to the copy path).
-    size_t lane_bytes =
-        static_cast<size_t>(std::max<uint32_t>(1, opts.pipe_pages)) * kPageSize;
-    if (opts.lane_autosize) {
-      // Lane follow-through: a negotiation that raised the payload window
-      // past pipe_pages must grow the lanes with it, or every big window
-      // would silently bounce to the copy path.
-      if (fs->splice_read_enabled_) {
-        lane_bytes = std::max<size_t>(
-            lane_bytes, static_cast<size_t>(fs->readahead_ceiling_pages_) * kPageSize);
-      }
-      if (fs->splice_write_enabled_) {
-        lane_bytes = std::max<size_t>(lane_bytes, fs->effective_max_write_);
-      }
-    }
-    lane_bytes = std::min<size_t>(lane_bytes, kernel::kPipeMaxCapacity);
-    CNTR_RETURN_IF_ERROR(fs->conn_->SetLaneCapacity(lane_bytes).status());
-  }
-  fs->conn_->SetLaneAutosize(opts.lane_autosize);
+  CNTR_RETURN_IF_ERROR(fs->NegotiateInit());
 
   // GETATTR of the root to seed the root inode.
   FuseRequest getattr;
@@ -189,6 +203,154 @@ FuseFs::FuseFs(kernel::Kernel* kernel, std::shared_ptr<FuseConn> conn, FuseMount
       opts_(opts) {}
 
 FuseFs::~FuseFs() { StopFlushers(); }
+
+Status FuseFs::NegotiateInit() {
+  // INIT negotiation.
+  FuseRequest init;
+  init.opcode = FuseOpcode::kInit;
+  init.init_flags = (opts_.async_read ? kFuseAsyncRead : 0) |
+                    (opts_.splice_read ? kFuseSpliceRead : 0) |
+                    (opts_.splice_write ? kFuseSpliceWrite : 0) |
+                    (opts_.splice_move ? kFuseSpliceMove : 0) |
+                    (opts_.parallel_dirops ? kFuseParallelDirops : 0) |
+                    (opts_.writeback_cache ? kFuseWritebackCache : 0) |
+                    (opts_.readdirplus ? kFuseDoReaddirplus : 0) |
+                    (opts_.max_pages > 0 ? kFuseMaxPages : 0);
+  init.max_pages = std::min(opts_.max_pages, kFuseMaxMaxPages);
+  CNTR_ASSIGN_OR_RETURN(FuseReply init_reply, conn_->SendAndWait(std::move(init)));
+  readdirplus_enabled_ =
+      opts_.readdirplus && (init_reply.init_flags & kFuseDoReaddirplus) != 0;
+  splice_read_enabled_ =
+      opts_.splice_read && (init_reply.init_flags & kFuseSpliceRead) != 0;
+  splice_write_enabled_ =
+      opts_.splice_write && (init_reply.init_flags & kFuseSpliceWrite) != 0;
+  splice_move_enabled_ =
+      opts_.splice_move && (init_reply.init_flags & kFuseSpliceMove) != 0;
+
+  // FUSE_MAX_PAGES: an old server echoes the flags without the bit (or
+  // grants 0 pages) — fall back to the legacy 32-page / 128KiB windows.
+  negotiated_max_pages_ = 0;
+  if (opts_.max_pages > 0 && (init_reply.init_flags & kFuseMaxPages) != 0 &&
+      init_reply.max_pages > 0) {
+    negotiated_max_pages_ =
+        std::min({init_reply.max_pages, opts_.max_pages, kFuseMaxMaxPages});
+  }
+  effective_max_write_ = opts_.max_write;
+  readahead_ceiling_pages_ = std::max<uint32_t>(1, opts_.readahead_pages);
+  if (negotiated_max_pages_ > 0) {
+    effective_max_write_ = std::max<uint32_t>(
+        opts_.max_write, negotiated_max_pages_ * static_cast<uint32_t>(kPageSize));
+    readahead_ceiling_pages_ =
+        std::max(readahead_ceiling_pages_, negotiated_max_pages_);
+  }
+
+  if (splice_read_enabled_ || splice_write_enabled_) {
+    // Size the channel data lanes (fcntl(F_SETPIPE_SZ) at mount time),
+    // clamped to the pipe limits so an oversized pipe_pages degrades to the
+    // largest legal lane instead of silently keeping the default (which
+    // would bounce every large payload to the copy path).
+    size_t lane_bytes =
+        static_cast<size_t>(std::max<uint32_t>(1, opts_.pipe_pages)) * kPageSize;
+    if (opts_.lane_autosize) {
+      // Lane follow-through: a negotiation that raised the payload window
+      // past pipe_pages must grow the lanes with it, or every big window
+      // would silently bounce to the copy path.
+      if (splice_read_enabled_) {
+        lane_bytes = std::max<size_t>(
+            lane_bytes, static_cast<size_t>(readahead_ceiling_pages_) * kPageSize);
+      }
+      if (splice_write_enabled_) {
+        lane_bytes = std::max<size_t>(lane_bytes, effective_max_write_);
+      }
+    }
+    lane_bytes = std::min<size_t>(lane_bytes, kernel::kPipeMaxCapacity);
+    CNTR_RETURN_IF_ERROR(conn_->SetLaneCapacity(lane_bytes).status());
+  }
+  conn_->SetLaneAutosize(opts_.lane_autosize);
+
+  // Failure plane: deadlines, the admission gate, and the
+  // consecutive-miss abort policy (all default-off).
+  if (opts_.request_deadline_ns != 0) {
+    conn_->SetRequestDeadline(opts_.request_deadline_ns, opts_.deadline_grace_ms);
+  }
+  conn_->SetMaxBackground(opts_.max_background);
+  conn_->SetAbortOnConsecutiveTimeouts(opts_.abort_after_timeouts);
+  return Status::Ok();
+}
+
+void FuseFs::RecordWbErr(int err) {
+  if (err == 0) {
+    return;
+  }
+  wb_err_.store(err, std::memory_order_release);
+  wb_err_seq_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+int FuseFs::CheckWbErr(uint64_t* seen) const {
+  uint64_t seq = wb_err_seq_.load(std::memory_order_acquire);
+  if (seq == *seen) {
+    return 0;
+  }
+  *seen = seq;
+  return wb_err_.load(std::memory_order_acquire);
+}
+
+void FuseFs::RegisterFile(FuseFile* file) {
+  std::lock_guard<std::mutex> lock(files_mu_);
+  live_files_.push_back(file);
+}
+
+void FuseFs::UnregisterFile(FuseFile* file) {
+  std::lock_guard<std::mutex> lock(files_mu_);
+  live_files_.erase(std::remove(live_files_.begin(), live_files_.end(), file),
+                    live_files_.end());
+}
+
+Status FuseFs::Reconnect(std::shared_ptr<FuseConn> conn) {
+  if (conn == nullptr || conn.get() == conn_.get()) {
+    return Status::Error(EINVAL, "reconnect needs a fresh connection");
+  }
+  if (root_ == nullptr) {
+    return Status::Error(ENOTCONN, "filesystem already shut down");
+  }
+  if (!conn_->aborted()) {
+    // The old transport must be dead before the swap (its parked waiters
+    // resolve through its abort path, they never migrate): adopting a
+    // replacement under a healthy connection is a caller bug, not a repair.
+    return Status::Error(EINVAL, "reconnect over a live connection");
+  }
+  conn_ = std::move(conn);
+  CNTR_RETURN_IF_ERROR(NegotiateInit());
+
+  // Refresh the root attributes from the restarted server.
+  FuseRequest getattr;
+  getattr.opcode = FuseOpcode::kGetattr;
+  getattr.nodeid = kFuseRootId;
+  CNTR_ASSIGN_OR_RETURN(FuseReply root_reply, conn_->SendAndWait(std::move(getattr)));
+  root_->PrimeAttr(root_reply.attr, opts_.attr_ttl_ns);
+
+  // Re-open every live handle by nodeid. A failure marks that one handle
+  // stale (EIO) without failing the reconnect: the mount as a whole is
+  // healthy again, individual revoked descriptors are the per-fd story.
+  std::vector<FuseFile*> files;
+  {
+    std::lock_guard<std::mutex> lock(files_mu_);
+    files = live_files_;
+  }
+  for (FuseFile* file : files) {
+    (void)file->Reopen();
+  }
+
+  // Restart the writeback machinery: reap any flusher threads the crash
+  // killed (a fuse.flusher kKill fault exits the thread body but leaves it
+  // joinable), then bring the pool back to full strength.
+  if (opts_.writeback_cache && opts_.flusher_threads > 0 &&
+      flusher_count_.load(std::memory_order_acquire) < opts_.flusher_threads) {
+    StopFlushers();
+    StartFlushers();
+  }
+  return Status::Ok();
+}
 
 InodePtr FuseFs::root() { return root_; }
 
@@ -242,7 +404,14 @@ StatusOr<FuseReply> FuseFs::Call(FuseRequest req) {
   if (opts_.splice_write) {
     kernel_->clock().Advance(kernel_->costs().fuse_round_trip_ns / 2);
   }
-  return conn_->SendAndWait(std::move(req));
+  auto reply = conn_->SendAndWait(std::move(req));
+  if (!reply.ok() && reply.status().error() == ENOTCONN) {
+    // Crash degradation: an aborted mount answers EIO at the filesystem
+    // boundary — the error a dead disk would produce — instead of leaking
+    // the transport's ENOTCONN to applications.
+    return Status::Error(EIO, "fuse mount aborted");
+  }
+  return reply;
 }
 
 InodePtr FuseFs::GetOrCreateInode(const FuseEntryOut& entry) {
@@ -465,6 +634,30 @@ void FuseFs::FlusherLoop() {
     }
     if (auto inode = work.ref.lock()) {
       inode->flush_queued_.store(false, std::memory_order_release);
+      if (auto hit = kernel_->faults().Check(kFaultFlusher)) {
+        if (hit.latency_ns != 0) {
+          kernel_->clock().Advance(hit.latency_ns);
+        }
+        if (hit.action == fault::FaultAction::kKill) {
+          // Flusher thread death: account it gone so writers fall back to
+          // the synchronous path instead of queueing into the void.
+          flusher_count_.fetch_sub(1, std::memory_order_acq_rel);
+          return;
+        }
+        if (hit.action == fault::FaultAction::kFail) {
+          // Simulated writeback failure without a round trip: the dirty
+          // data is considered lost, and the errseq stream carries it.
+          RecordWbErr(hit.error);
+          continue;
+        }
+        continue;  // kDrop: skip this inode's flush (stays dirty, requeues)
+      }
+      // A flusher that wakes to a dead connection must not start a doomed
+      // WRITE storm; FlushDirtyPages itself re-checks between runs for the
+      // mid-flush abort.
+      if (conn_->aborted()) {
+        continue;
+      }
       inode->FlushDirtyPages(UINT64_MAX);
       background_flushes_.fetch_add(1, std::memory_order_relaxed);
     } else if (work.key != nullptr) {
@@ -473,10 +666,19 @@ void FuseFs::FlusherLoop() {
   }
 }
 
-void FuseFs::Shutdown() {
+Status FuseFs::Shutdown() {
   StopFlushers();
+  // The final flush is the last chance to get dirty bytes to the server;
+  // sample the errseq stream around it so a failure surfaces to the detach
+  // caller even with no fd left open to report it.
+  uint64_t wb_seen = wb_err_seq_.load(std::memory_order_acquire);
   FlushAllDirty();
   FlushForgets();
+  Status result = Status::Ok();
+  int err = CheckWbErr(&wb_seen);
+  if (err != 0) {
+    result = Status::Error(err, "writeback failed during detach (dirty data lost)");
+  }
   if (!conn_->aborted()) {
     FuseRequest req;
     req.opcode = FuseOpcode::kDestroy;
@@ -487,6 +689,7 @@ void FuseFs::Shutdown() {
   // open file) still holds its own inode references, and each of those pins
   // the fs until released.
   root_.reset();
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -1144,6 +1347,15 @@ uint32_t FuseInode::FlushDirtyPages(uint64_t fh) {
   // its old bytes are in flight must leave it dirty for the next flush.
   std::vector<uint64_t> gens(dirty.size(), 0);
   while (i < dirty.size()) {
+    if (fs_->conn().aborted()) {
+      // Dead transport mid-flush: every remaining WRITE would fail the same
+      // way, so record the lost writeback once and stop issuing round
+      // trips. The pages stay dirty; the aborted mount never flushes them
+      // (the inode destructor de-accounts).
+      fs_->RecordWbErr(EIO);
+      fs_->SubDirty(cleaned_bytes);
+      return requests;
+    }
     // Collect one contiguous run, capped at the negotiated max_write.
     size_t j = i + 1;
     while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1 && (j - i) < pages_per_write) {
@@ -1199,8 +1411,15 @@ uint32_t FuseInode::FlushDirtyPages(uint64_t fh) {
       i = j;  // every page of the run was skipped: nothing to send
       continue;
     }
-    (void)fs_->Call(std::move(req));
+    auto flush_reply = fs_->Call(std::move(req));
     ++requests;
+    if (!flush_reply.ok()) {
+      // Lost write: the server never durably took these bytes. Linux marks
+      // the pages clean anyway (keeping them dirty would wedge writeback
+      // forever) and records the error in the superblock's errseq stream,
+      // so every open fd's next fsync/close reports it exactly once.
+      fs_->RecordWbErr(flush_reply.status().error());
+    }
     for (size_t k = i; k < j; ++k) {
       // gen 0 never names a dirty page (dirtying bumps it to >= 1): it is
       // the skip sentinel for pages this flush did not write.

@@ -112,6 +112,22 @@ struct FuseMountOptions {
   // window). Off, the lanes stay exactly pipe_pages forever.
   bool lane_autosize = true;
 
+  // --- Failure semantics (docs/robustness.md) ---
+  // Per-request deadline in virtual ns; 0 = none. An expired request
+  // resolves ETIMEDOUT at the caller and its late reply is dropped with a
+  // stat; a wedged server that never replies is caught by a real-time
+  // sweeper after deadline_grace_ms of wall time.
+  uint64_t request_deadline_ns = 0;
+  uint64_t deadline_grace_ms = 50;
+  // Admission gate (max_background analogue): callers park once this many
+  // requests are in flight, so a stalled server backpressures instead of
+  // growing queues without bound. 0 = off.
+  uint32_t max_background = 0;
+  // Consecutive deadline misses before the connection auto-aborts (the
+  // crash-degradation policy: a dead mount answers EIO, it does not time
+  // out forever). 0 = never.
+  uint32_t abort_after_timeouts = 0;
+
   // Everything on, plus the post-paper adaptivity (negotiated 1MiB
   // windows, watermark + flusher writeback, lane autosizing).
   static FuseMountOptions Optimized() { return FuseMountOptions{}; }
@@ -148,6 +164,7 @@ struct FuseMountOptions {
 };
 
 class FuseInode;
+class FuseFile;
 
 class FuseFs : public kernel::FileSystem, public std::enable_shared_from_this<FuseFs> {
  public:
@@ -225,13 +242,44 @@ class FuseFs : public kernel::FileSystem, public std::enable_shared_from_this<Fu
   uint64_t foreground_throttles() const { return foreground_throttles_.load(); }
   uint32_t flusher_thread_count() const { return flusher_count_.load(std::memory_order_acquire); }
 
-  // Detach: flush, send DESTROY, abort the connection.
-  void Shutdown();
+  // Detach: flush, send DESTROY, abort the connection. Returns the first
+  // writeback error hit while draining the final flush (the dirty data is
+  // gone either way; the error is also recorded in the errseq stream for
+  // any fd still open).
+  Status Shutdown();
+
+  // --- errseq_t analogue: the per-superblock writeback error stream ---
+  // A failed WRITE during writeback marks its pages clean anyway (keeping
+  // them dirty would wedge writeback forever — Linux's AS_EIO behaviour)
+  // and records the error here; every fd that later checks the stream sees
+  // the error exactly once.
+  void RecordWbErr(int err);
+  uint64_t wb_err_seq() const { return wb_err_seq_.load(std::memory_order_acquire); }
+  // Check-and-advance against a caller-held cursor (one per fd): returns
+  // the pending error and moves the cursor if the stream advanced past it,
+  // else 0.
+  int CheckWbErr(uint64_t* seen) const;
+
+  // Attach reconnect: adopt a fresh connection to a restarted server.
+  // Precondition: the old connection is aborted (waiters have drained
+  // through its failure path). Replays INIT — windows and lanes are
+  // renegotiated from scratch — then re-opens every live file handle by
+  // nodeid; a handle the server can no longer resolve goes stale and
+  // answers EIO from then on.
+  Status Reconnect(std::shared_ptr<FuseConn> conn);
+
+  // Live open-file registry (Reconnect re-opens these by nodeid).
+  void RegisterFile(FuseFile* file);
+  void UnregisterFile(FuseFile* file);
 
  private:
   friend class FuseInode;
 
   FuseFs(kernel::Kernel* kernel, std::shared_ptr<FuseConn> conn, FuseMountOptions opts);
+
+  // INIT negotiation + window/lane sizing + failure-plane options, applied
+  // to conn_. Shared by Create and Reconnect.
+  Status NegotiateInit();
 
   // Background flusher machinery: NoteDirty enqueues inodes (deduplicated
   // by FuseInode::flush_queued_), flusher threads drain them on private
@@ -280,6 +328,14 @@ class FuseFs : public kernel::FileSystem, public std::enable_shared_from_this<Fu
   std::atomic<uint32_t> flusher_count_{0};
   std::atomic<uint64_t> background_flushes_{0};
   std::atomic<uint64_t> foreground_throttles_{0};
+
+  // errseq stream: err is stored before seq advances, so a reader that
+  // observes a new seq always reads the matching (or a newer) error.
+  std::atomic<uint64_t> wb_err_seq_{0};
+  std::atomic<int> wb_err_{0};
+
+  mutable std::mutex files_mu_;
+  std::vector<FuseFile*> live_files_;
 };
 
 // One inode of a FUSE mount. The attribute cache lives here; the page cache
@@ -328,6 +384,11 @@ class FuseInode : public kernel::Inode {
 
   FuseFs* fuse_fs() const { return fs_; }
   uint64_t CachedSize();
+  // Refreshes the flush-without-open-file handle (reconnect re-open path).
+  void NoteOpenFh(uint64_t fh) {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_known_fh_ = fh;
+  }
   void SetParentHint(std::shared_ptr<FuseInode> parent) { parent_hint_ = std::move(parent); }
 
   // Installs server-granted attributes into the attr cache (READDIRPLUS /

@@ -1,16 +1,50 @@
 #include "src/fuse/fuse_mount.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <mutex>
+#include <vector>
 
 namespace cntr::fuse {
 
 void RegisterFuseDevice(kernel::Kernel* kernel) {
+  // Live connections, for the exit hook below: a process that dies with FUSE
+  // requests in flight gets them interrupted (the kernel's
+  // fuse_req_end/interrupt-on-signal behaviour), so no waiter outlives its
+  // caller silently.
+  auto conns = std::make_shared<std::mutex>();
+  auto conn_list = std::make_shared<std::vector<std::weak_ptr<FuseConn>>>();
   kernel->RegisterCharDevice(
       kernel::kFuseDevRdev,
-      [kernel](kernel::Process& proc, int flags) -> StatusOr<kernel::FilePtr> {
-        auto conn = std::make_shared<FuseConn>(&kernel->clock(), &kernel->costs());
+      [kernel, conns, conn_list](kernel::Process& proc, int flags) -> StatusOr<kernel::FilePtr> {
+        auto conn = std::make_shared<FuseConn>(&kernel->clock(), &kernel->costs(),
+                                               /*num_channels=*/1, &kernel->faults());
+        {
+          std::lock_guard<std::mutex> lock(*conns);
+          // Compact dead entries so a long-lived kernel does not accrete one
+          // weak_ptr per mount forever.
+          auto& list = *conn_list;
+          list.erase(std::remove_if(list.begin(), list.end(),
+                                    [](const std::weak_ptr<FuseConn>& w) { return w.expired(); }),
+                     list.end());
+          list.push_back(conn);
+        }
         return kernel::FilePtr(std::make_shared<FuseDevFile>(std::move(conn), flags));
       });
+  kernel->AddExitHook([conns, conn_list](const kernel::Process& proc) {
+    std::vector<std::shared_ptr<FuseConn>> live;
+    {
+      std::lock_guard<std::mutex> lock(*conns);
+      for (const auto& weak : *conn_list) {
+        if (auto conn = weak.lock()) {
+          live.push_back(std::move(conn));
+        }
+      }
+    }
+    for (const auto& conn : live) {
+      conn->InterruptPid(proc.global_pid());
+    }
+  });
 }
 
 StatusOr<std::pair<kernel::Fd, std::shared_ptr<FuseConn>>> OpenFuseDevice(

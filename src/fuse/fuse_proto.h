@@ -52,6 +52,7 @@ enum class FuseOpcode : uint32_t {
   kReleasedir = 29,
   kAccess = 34,
   kCreate = 35,
+  kInterrupt = 36,
   kDestroy = 38,
   kBatchForget = 42,
   kReaddirPlus = 44,
@@ -121,6 +122,9 @@ struct FuseRequest {
   // INIT only (kFuseMaxPages set): the largest payload window, in pages,
   // the kernel wants to use for READ/WRITE requests. 0 = legacy 32 pages.
   uint32_t max_pages = 0;
+  // INTERRUPT only (fuse_interrupt_in): the unique of the in-flight request
+  // being interrupted. The notification itself carries unique 0 (no reply).
+  uint64_t interrupt_unique = 0;
 
   // True when the payload of a write travels through a kernel pipe (splice)
   // instead of being copied through userspace. The pages then ride in

@@ -4,6 +4,16 @@
 
 namespace cntr::fuse {
 
+namespace {
+
+// Worker-thread injection point: kKill models a server thread dying mid-loop
+// (the whole daemon crash analogue — the connection aborts so waiters degrade
+// to errors instead of hanging), kDrop swallows the reply of the request the
+// worker just handled, kFail replaces it with an error reply.
+CNTR_FAULT_POINT(kFaultServerWorker, "fuse.server.worker");
+
+}  // namespace
+
 void FuseServer::Start() {
   if (started_) {
     return;
@@ -19,7 +29,7 @@ void FuseServer::Start() {
   }
 }
 
-void FuseServer::Stop() {
+void FuseServer::Stop(bool notify_destroy) {
   if (!started_) {
     return;
   }
@@ -31,10 +41,13 @@ void FuseServer::Stop() {
   }
   threads_.clear();
   started_ = false;
-  handler_->OnDestroy();
+  if (notify_destroy) {
+    handler_->OnDestroy();
+  }
 }
 
 void FuseServer::WorkerLoop(size_t home_channel) {
+  fault::FaultRegistry* faults = conn_->faults();
   while (true) {
     auto request = conn_->ReadRequest(home_channel);
     if (!request.has_value()) {
@@ -48,7 +61,26 @@ void FuseServer::WorkerLoop(size_t home_channel) {
     // to the request that incurred them, and channels stay independent when
     // callers run on parallel lanes.
     SimClock::LaneScope lane(request->lane);
+    fault::FaultHit hit;
+    if (faults != nullptr) {
+      hit = faults->Check(kFaultServerWorker);
+      if (hit && hit.latency_ns != 0) {
+        conn_->clock()->Advance(hit.latency_ns);
+      }
+    }
+    if (hit && hit.action == fault::FaultAction::kKill) {
+      // This worker dies holding the request: the daemon has crashed. Abort
+      // the connection so every waiter (including this request's) resolves.
+      conn_->Abort();
+      break;
+    }
     FuseReply reply = handler_->Handle(*request);
+    if (hit && hit.action == fault::FaultAction::kDrop) {
+      continue;  // reply lost: the waiter's deadline/abort must resolve it
+    }
+    if (hit && hit.action == fault::FaultAction::kFail) {
+      reply = FuseReply::Error(hit.error);
+    }
     if (request->unique != 0) {
       conn_->WriteReply(request->unique, std::move(reply));
     }

@@ -47,7 +47,10 @@ class FuseServer {
   // Starts the worker threads; requests are answered from then on.
   void Start();
   // Aborts the connection and joins the workers. Idempotent.
-  void Stop();
+  // `notify_destroy` == false skips the handler's OnDestroy — the restart
+  // path (see CntrFs::Reconnect) tears down the transport but must keep the
+  // handler's node table alive so re-lookups resolve the same nodeids.
+  void Stop(bool notify_destroy = true);
 
   int num_threads() const { return num_threads_; }
 

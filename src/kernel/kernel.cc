@@ -155,6 +155,17 @@ ProcessPtr Kernel::Fork(Process& parent, const std::string& comm) {
 }
 
 void Kernel::Exit(Process& proc) {
+  // Exit hooks run first, while the process is still visible: the FUSE
+  // layer interrupts the pid's in-flight requests before the fd table
+  // teardown can cascade into connection aborts.
+  std::vector<std::function<void(const Process&)>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(exit_hooks_mu_);
+    hooks = exit_hooks_;
+  }
+  for (const auto& hook : hooks) {
+    hook(proc);
+  }
   proc.fds.CloseAll();
   if (proc.cgroup != nullptr) {
     proc.cgroup->RemoveProc(proc.global_pid());
@@ -635,6 +646,11 @@ Status Kernel::PivotToFs(Process& proc, std::shared_ptr<FileSystem> fs) {
 void Kernel::RegisterCharDevice(Dev rdev, CharDeviceOpenFn open_fn) {
   std::lock_guard<std::mutex> lock(devices_mu_);
   char_devices_[rdev] = std::move(open_fn);
+}
+
+void Kernel::AddExitHook(std::function<void(const Process&)> hook) {
+  std::lock_guard<std::mutex> lock(exit_hooks_mu_);
+  exit_hooks_.push_back(std::move(hook));
 }
 
 }  // namespace cntr::kernel

@@ -29,6 +29,7 @@
 #include "src/kernel/pipe.h"
 #include "src/kernel/poll_hub.h"
 #include "src/kernel/process.h"
+#include "src/fault/fault.h"
 #include "src/kernel/types.h"
 #include "src/kernel/unix_socket.h"
 #include "src/splice/splice.h"
@@ -69,6 +70,9 @@ class Kernel {
   // --- subsystems ---
   SimClock& clock() { return clock_; }
   const CostModel& costs() const { return config_.costs; }
+  // Deterministic fault injection: every layer of the stack probes this
+  // registry at its named injection points (see docs/robustness.md).
+  fault::FaultRegistry& faults() { return faults_; }
   PageCachePool& page_cache() { return *page_cache_; }
   DiskModel& disk() { return *disk_; }
   ProcessTable& procs() { return procs_; }
@@ -244,6 +248,11 @@ class Kernel {
   void RegisterCharDevice(Dev rdev, CharDeviceOpenFn open_fn);
   void SetAccessListener(AccessListener* listener) { access_listener_ = listener; }
 
+  // Runs `hook` at the top of every Exit(), before the fd table closes —
+  // the FUSE layer uses this to deliver INTERRUPT for a dying process's
+  // in-flight requests (a killed client must unblock, not hang the mount).
+  void AddExitHook(std::function<void(const Process&)> hook);
+
   // Resolves a namespace file (as opened from /proc/<pid>/ns/*).
   StatusOr<std::shared_ptr<NamespaceBase>> NamespaceOfFd(Process& proc, Fd fd);
 
@@ -280,6 +289,11 @@ class Kernel {
 
   std::mutex devices_mu_;
   std::map<Dev, CharDeviceOpenFn> char_devices_;
+
+  std::mutex exit_hooks_mu_;
+  std::vector<std::function<void(const Process&)>> exit_hooks_;
+
+  fault::FaultRegistry faults_;
 
   std::mutex sockets_mu_;
   std::unordered_map<const Inode*, std::shared_ptr<ListeningSocket>> bound_sockets_;

@@ -14,6 +14,11 @@ bool IsValidName(const std::string& name) {
   return !name.empty() && name != "." && name != ".." && name.find('/') == std::string::npos;
 }
 
+CNTR_FAULT_POINT(kFaultSplice, "kernel.splice");
+CNTR_FAULT_POINT(kFaultVmsplice, "kernel.vmsplice");
+CNTR_FAULT_POINT(kFaultSocketAccept, "kernel.socket.accept");
+CNTR_FAULT_POINT(kFaultSocketConnect, "kernel.socket.connect");
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -678,6 +683,12 @@ StatusOr<Fd> Kernel::SocketListenAbstract(Process& proc, const std::string& name
 
 StatusOr<Fd> Kernel::SocketConnect(Process& proc, const std::string& path) {
   clock_.Advance(config_.costs.syscall_entry_ns);
+  if (auto hit = faults_.Check(kFaultSocketConnect)) {
+    clock_.Advance(hit.latency_ns);
+    if (hit.action == fault::FaultAction::kFail) {
+      return Status::Error(hit.error, "injected connect fault");
+    }
+  }
   CNTR_ASSIGN_OR_RETURN(VfsPath at, Resolve(proc, path));
   CNTR_ASSIGN_OR_RETURN(InodeAttr attr, at.inode->Getattr());
   if (!IsSock(attr.mode)) {
@@ -715,6 +726,12 @@ StatusOr<Fd> Kernel::SocketConnectAbstract(Process& proc, const std::string& nam
 
 StatusOr<Fd> Kernel::SocketAccept(Process& proc, Fd listen_fd, bool nonblock) {
   clock_.Advance(config_.costs.syscall_entry_ns);
+  if (auto hit = faults_.Check(kFaultSocketAccept)) {
+    clock_.Advance(hit.latency_ns);
+    if (hit.action == fault::FaultAction::kFail) {
+      return Status::Error(hit.error, "injected accept fault");
+    }
+  }
   CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(listen_fd));
   auto* lf = dynamic_cast<ListeningSocketFile*>(file.get());
   if (lf == nullptr) {
@@ -780,6 +797,12 @@ StatusOr<std::vector<EpollEvent>> Kernel::EpollWait(Process& proc, Fd epfd, int 
 StatusOr<size_t> Kernel::Splice(Process& proc, Fd fd_in, Fd fd_out, size_t len) {
   CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
+  if (auto hit = faults_.Check(kFaultSplice)) {
+    clock_.Advance(hit.latency_ns);
+    if (hit.action == fault::FaultAction::kFail) {
+      return Status::Error(hit.error, "injected splice fault");
+    }
+  }
   CNTR_ASSIGN_OR_RETURN(FilePtr in, proc.fds.Get(fd_in));
   CNTR_ASSIGN_OR_RETURN(FilePtr out, proc.fds.Get(fd_out));
   auto* in_pipe_end = dynamic_cast<PipeReadEnd*>(in.get());
@@ -844,6 +867,12 @@ std::shared_ptr<PipeBuffer> PipeOfFile(const FilePtr& file) {
 StatusOr<size_t> Kernel::Vmsplice(Process& proc, Fd fd, const void* buf, size_t len, bool gift) {
   CurrentScope current(proc);
   clock_.Advance(config_.costs.syscall_entry_ns);
+  if (auto hit = faults_.Check(kFaultVmsplice)) {
+    clock_.Advance(hit.latency_ns);
+    if (hit.action == fault::FaultAction::kFail) {
+      return Status::Error(hit.error, "injected vmsplice fault");
+    }
+  }
   CNTR_ASSIGN_OR_RETURN(FilePtr file, proc.fds.Get(fd));
   auto* w = dynamic_cast<PipeWriteEnd*>(file.get());
   if (w == nullptr) {

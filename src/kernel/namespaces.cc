@@ -44,10 +44,11 @@ std::shared_ptr<CgroupNode> CgroupNode::FindChild(const std::string& name) const
 }
 
 std::string CgroupNode::Path() const {
-  if (parent_ == nullptr) {
+  auto parent = parent_.lock();
+  if (parent == nullptr) {
     return "/";
   }
-  std::string parent_path = parent_->Path();
+  std::string parent_path = parent->Path();
   if (parent_path == "/") {
     return "/" + name_;
   }

@@ -246,7 +246,9 @@ class CgroupNode : public std::enable_shared_from_this<CgroupNode> {
       : name_(std::move(name)), parent_(std::move(parent)) {}
 
   std::string name_;
-  std::shared_ptr<CgroupNode> parent_;
+  // Weak: the parent owns its children through children_, so a shared
+  // back-edge would cycle and leak the whole tree on teardown.
+  std::weak_ptr<CgroupNode> parent_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<CgroupNode>> children_;
   std::map<std::string, std::string> limits_;

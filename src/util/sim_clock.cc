@@ -1,7 +1,1 @@
 #include "src/util/sim_clock.h"
-
-namespace cntr {
-
-thread_local SimClock::LanePtr SimClock::tls_lane_;
-
-}  // namespace cntr

@@ -96,12 +96,12 @@ class SimClock {
   // attachment — convenient for request paths where a lane is optional).
   class LaneScope {
    public:
-    explicit LaneScope(LanePtr lane) : prev_(tls_lane_) {
+    explicit LaneScope(LanePtr lane) : prev_(tls_lane()) {
       if (lane != nullptr) {
-        tls_lane_ = std::move(lane);
+        tls_lane() = std::move(lane);
       }
     }
-    ~LaneScope() { tls_lane_ = std::move(prev_); }
+    ~LaneScope() { tls_lane() = std::move(prev_); }
     LaneScope(const LaneScope&) = delete;
     LaneScope& operator=(const LaneScope&) = delete;
 
@@ -109,7 +109,7 @@ class SimClock {
     LanePtr prev_;
   };
 
-  static const LanePtr& current_lane() { return tls_lane_; }
+  static const LanePtr& current_lane() { return tls_lane(); }
 
   SimClock() = default;
   SimClock(const SimClock&) = delete;
@@ -117,7 +117,7 @@ class SimClock {
 
   uint64_t NowNs() const {
     uint64_t base = now_ns_.load(std::memory_order_relaxed);
-    if (const Lane* lane = tls_lane_.get()) {
+    if (const Lane* lane = tls_lane().get()) {
       return base + lane->local_ns.load(std::memory_order_relaxed);
     }
     return base;
@@ -126,7 +126,7 @@ class SimClock {
   // Advances virtual time by `ns` and returns the new now. With a lane
   // attached, the advance is private to the lane.
   uint64_t Advance(uint64_t ns) {
-    if (Lane* lane = tls_lane_.get()) {
+    if (Lane* lane = tls_lane().get()) {
       return now_ns_.load(std::memory_order_relaxed) +
              lane->local_ns.fetch_add(ns, std::memory_order_relaxed) + ns;
     }
@@ -138,7 +138,13 @@ class SimClock {
   double NowSeconds() const { return static_cast<double>(NowNs()) * 1e-9; }
 
  private:
-  static thread_local LanePtr tls_lane_;
+  // Function-local so cross-TU users get the guarded-init accessor rather
+  // than a raw TLS symbol reference (which GCC's null sanitizer flags when
+  // the object lives in another translation unit).
+  static LanePtr& tls_lane() {
+    static thread_local LanePtr lane;
+    return lane;
+  }
 
   std::atomic<uint64_t> now_ns_{0};
 };

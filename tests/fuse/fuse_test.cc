@@ -246,7 +246,9 @@ TEST_F(FuseFsTest, AbortedConnectionFailsOperationsCleanly) {
   fuse_fs_->Shutdown();
   auto fd = kernel_->Open(*proc_, "/m/tmp/after-abort", kernel::kOWrOnly | kernel::kOCreat,
                           0644);
-  EXPECT_EQ(fd.error(), ENOTCONN);
+  // The transport speaks ENOTCONN, but the filesystem boundary degrades an
+  // aborted mount to EIO — the same error a dead disk produces.
+  EXPECT_EQ(fd.error(), EIO);
 }
 
 TEST_F(FuseFsTest, RepeatedEnoentLookupsServeFromNegativeDentries) {
