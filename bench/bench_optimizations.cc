@@ -24,6 +24,11 @@
 //   (i) failure-plane hook overhead — fault probes, deadline stamping and
 //       the admission gate armed but never firing vs. a plain mount
 //       (guarded <=2%; docs/robustness.md).
+//   (j) submission rings — GETATTR storm and 4KB random-read ops/sec on the
+//       SQ/CQ ring transport vs. the per-request wakeup handshake
+//       (target >= 1.5x on the GETATTR storm; docs/transport.md).
+//       Panels (a)-(i) are pinned rings-off so their numbers stay
+//       bit-identical to the pre-ring baselines.
 // Plus the ablation the paper explains but ships disabled: splice write.
 //
 // With --json <path>, every panel metric is also written as a flat JSON
@@ -46,6 +51,15 @@ using namespace cntr::workloads;
 using cntr::fuse::FuseMountOptions;
 
 namespace {
+
+// Panels (a)-(i) predate the submission-ring transport and are regression-
+// guarded bit-for-bit: they run on the wakeup path so this PR's transport
+// change cannot move their numbers. Panel (j) measures the rings themselves.
+FuseMountOptions OptimizedNoRings() {
+  FuseMountOptions o = FuseMountOptions::Optimized();
+  o.ring_enabled = false;
+  return o;
+}
 
 double RunCntr(Workload& workload, const FuseMountOptions& fuse) {
   HarnessOptions opts;
@@ -392,6 +406,87 @@ double RunProxyThroughput(bool segment_splice) {
   return ns > 0 ? static_cast<double>(received) / kMB / (static_cast<double>(ns) * 1e-9) : -1;
 }
 
+// --- Panel (j) workloads: small-op storms. ---
+//
+// Per-op payloads are tiny, so the per-request transport handshake IS the
+// cost. This is the shape the submission rings target: sqe + doorbell + cqe
+// (3250ns) against the 6000ns wakeup round trip, with multi-reap burst
+// amortization on the server side. Panels (a)-(i) run rings-off; these two
+// run both transports on otherwise identical mounts.
+
+// Stat storm over a small working set with the attribute cache disabled:
+// every stat() is a dcache hit plus one GETATTR round trip, nothing else —
+// the purest per-request handshake measurement the mount can produce.
+class GetattrStorm : public Workload {
+ public:
+  explicit GetattrStorm(int ops) : ops_(ops) {}
+
+  std::string Name() const override { return "Ring panel: GETATTR storm"; }
+
+  Status Setup(WorkloadEnv& env) override {
+    for (int f = 0; f < kFiles; ++f) {
+      CNTR_RETURN_IF_ERROR(env.WriteFileAt(FileName(f), 4096, 4096));
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<WorkloadResult> Run(WorkloadEnv& env) override {
+    SimTimer timer(env.kernel().clock());
+    for (int i = 0; i < ops_; ++i) {
+      CNTR_RETURN_IF_ERROR(
+          env.kernel().Stat(env.proc(), env.Path(FileName(i % kFiles))).status());
+    }
+    uint64_t ns = timer.ElapsedNs();
+    return WorkloadResult{static_cast<double>(ops_) / (static_cast<double>(ns) * 1e-9),
+                          "ops/s", true, ns};
+  }
+
+ private:
+  static constexpr int kFiles = 16;
+  static std::string FileName(int f) { return "storm-" + std::to_string(f) + ".dat"; }
+  int ops_;
+};
+
+// 4KB random reads, server-warm and kernel-cold (the large stride collapses
+// the readahead ramp): one single-page READ round trip per op, the smallest
+// data-carrying request shape.
+class SmallReadStorm : public Workload {
+ public:
+  SmallReadStorm(uint64_t file_mb, int reads) : file_mb_(file_mb), reads_(reads) {}
+
+  std::string Name() const override { return "Ring panel: 4KB random read"; }
+
+  Status Setup(WorkloadEnv& env) override {
+    CNTR_RETURN_IF_ERROR(env.WriteFileAt("storm-rand.dat", file_mb_ * kMB, kMB));
+    CNTR_ASSIGN_OR_RETURN(kernel::Fd fd, env.Open("storm-rand.dat", kernel::kORdOnly));
+    CNTR_RETURN_IF_ERROR(env.ReadBack(fd, file_mb_ * kMB, kMB).status());  // warm the server
+    CNTR_RETURN_IF_ERROR(env.Close(fd));
+    env.DropCaches();
+    return Status::Ok();
+  }
+
+  StatusOr<WorkloadResult> Run(WorkloadEnv& env) override {
+    CNTR_ASSIGN_OR_RETURN(kernel::Fd fd, env.Open("storm-rand.dat", kernel::kORdOnly));
+    const uint64_t pages = file_mb_ * kMB / 4096;
+    char buf[4096];
+    SimTimer timer(env.kernel().clock());
+    uint64_t page = 1;
+    for (int i = 0; i < reads_; ++i) {
+      page = (page + pages / 2 + 3) % pages;
+      CNTR_RETURN_IF_ERROR(
+          env.kernel().Pread(env.proc(), fd, buf, sizeof(buf), page * 4096).status());
+    }
+    uint64_t ns = timer.ElapsedNs();
+    CNTR_RETURN_IF_ERROR(env.Close(fd));
+    return WorkloadResult{static_cast<double>(reads_) / (static_cast<double>(ns) * 1e-9),
+                          "ops/s", true, ns};
+  }
+
+ private:
+  uint64_t file_mb_;
+  int reads_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -408,9 +503,9 @@ int main(int argc, char** argv) {
   // (a) Read cache: concurrent readers reopening the file.
   {
     auto workload = MakeThreadedIoReopen(4);
-    FuseMountOptions off = FuseMountOptions::Optimized();
+    FuseMountOptions off = OptimizedNoRings();
     off.keep_cache = false;
-    FuseMountOptions on = FuseMountOptions::Optimized();
+    FuseMountOptions on = OptimizedNoRings();
     double before = RunCntr(*workload, off);
     double after = RunCntr(*workload, on);
     metrics["a_read_cache_before"] = before;
@@ -424,9 +519,9 @@ int main(int argc, char** argv) {
   // timed per-op as iozone does (the final close/flush is excluded).
   {
     auto workload = MakeIoZoneWriteNoClose(48);
-    FuseMountOptions off = FuseMountOptions::Optimized();
+    FuseMountOptions off = OptimizedNoRings();
     off.writeback_cache = false;
-    FuseMountOptions on = FuseMountOptions::Optimized();
+    FuseMountOptions on = OptimizedNoRings();
     double before = RunCntr(*workload, off);
     double after = RunCntr(*workload, on);
     double native = RunNative(*workload);
@@ -443,11 +538,11 @@ int main(int argc, char** argv) {
   // (c) Batching: compilebench read tree.
   {
     auto workload = MakeCompileBench("read");
-    FuseMountOptions off = FuseMountOptions::Optimized();
+    FuseMountOptions off = OptimizedNoRings();
     off.parallel_dirops = false;
     off.async_read = false;
     off.batch_forget = false;
-    FuseMountOptions on = FuseMountOptions::Optimized();
+    FuseMountOptions on = OptimizedNoRings();
     double before = RunCntr(*workload, off);
     double after = RunCntr(*workload, on);
     metrics["c_batching_before"] = before;
@@ -460,9 +555,9 @@ int main(int argc, char** argv) {
   // (d) Splice read: sequential reads.
   {
     auto workload = MakeIoZone(false, 64);
-    FuseMountOptions off = FuseMountOptions::Optimized();
+    FuseMountOptions off = OptimizedNoRings();
     off.splice_read = false;
-    FuseMountOptions on = FuseMountOptions::Optimized();
+    FuseMountOptions on = OptimizedNoRings();
     double before = RunCntr(*workload, off);
     double after = RunCntr(*workload, on);
     metrics["d_splice_read_before"] = before;
@@ -477,9 +572,9 @@ int main(int argc, char** argv) {
   // ⌈K/batch⌉ requests removes the per-child LOOKUP storm.
   {
     auto workload = MakeCompileBench("read");
-    FuseMountOptions off = FuseMountOptions::Optimized();
+    FuseMountOptions off = OptimizedNoRings();
     off.readdirplus = false;
-    FuseMountOptions on = FuseMountOptions::Optimized();
+    FuseMountOptions on = OptimizedNoRings();
     double before = RunCntr(*workload, off);
     double after = RunCntr(*workload, on);
     double native = RunNative(*workload);
@@ -499,12 +594,12 @@ int main(int argc, char** argv) {
     // Both sides pinned to the legacy 32-page window (max_pages = 32): this
     // panel isolates the transport (copy vs. splice) at a fixed request
     // shape; panel (g) measures the windows themselves.
-    FuseMountOptions off = FuseMountOptions::Optimized();
+    FuseMountOptions off = OptimizedNoRings();
     off.keep_cache = false;  // each reopen re-rides the transport
     off.splice_read = false;
     off.splice_move = false;
     off.max_pages = 32;
-    FuseMountOptions on = FuseMountOptions::Optimized();
+    FuseMountOptions on = OptimizedNoRings();
     on.keep_cache = false;
     on.max_pages = 32;
     double before = RunCntr(read_wl, off);
@@ -518,13 +613,13 @@ int main(int argc, char** argv) {
     // 8MB stays under the server-side ExtFs dirty threshold (16MB), so the
     // timed phase measures the transport, not EBS writeback.
     SeqWriteTransport write_wl(/*file_mb=*/8);
-    FuseMountOptions woff = FuseMountOptions::Optimized();
+    FuseMountOptions woff = OptimizedNoRings();
     woff.writeback_cache = false;     // write-through: WRITEs are in-band
     woff.max_write = 1024 * 1024;     // true 1MB WRITE round trips
     woff.splice_write = false;
     woff.splice_move = false;
     woff.max_pages = 32;
-    FuseMountOptions won = FuseMountOptions::Optimized();
+    FuseMountOptions won = OptimizedNoRings();
     won.writeback_cache = false;
     won.max_write = 1024 * 1024;
     won.pipe_pages = 256;             // lane sized to carry the 1MB payload
@@ -545,10 +640,10 @@ int main(int argc, char** argv) {
   // their old shape (the ramp collapses, panel (f) stays pinned).
   {
     SeqReadTransport read_wl(/*file_mb=*/32, /*passes=*/3);
-    FuseMountOptions legacy = FuseMountOptions::Optimized();
+    FuseMountOptions legacy = OptimizedNoRings();
     legacy.keep_cache = false;
     legacy.max_pages = 0;  // 128KiB fixed-ceiling windows (pre-negotiation)
-    FuseMountOptions adaptive = FuseMountOptions::Optimized();
+    FuseMountOptions adaptive = OptimizedNoRings();
     adaptive.keep_cache = false;  // defaults: negotiate up to 256 pages
     std::printf("(g) Adaptive I/O windows\n");
 
@@ -558,11 +653,11 @@ int main(int argc, char** argv) {
     // where the per-request hop is the dominant cost, so the window size
     // shows up ~1:1.
     SeqWriteTransport wt_wl(/*file_mb=*/8);
-    FuseMountOptions wt_legacy = FuseMountOptions::Optimized();
+    FuseMountOptions wt_legacy = OptimizedNoRings();
     wt_legacy.writeback_cache = false;
     wt_legacy.splice_write = true;
     wt_legacy.max_pages = 0;  // PR 3 default mount: 128KiB max_write
-    FuseMountOptions wt_adaptive = FuseMountOptions::Optimized();
+    FuseMountOptions wt_adaptive = OptimizedNoRings();
     wt_adaptive.writeback_cache = false;
     wt_adaptive.splice_write = true;
     double wt_128k = RunCntr(wt_wl, wt_legacy);
@@ -616,12 +711,12 @@ int main(int argc, char** argv) {
     // every write bounded.
     StreamingWriteStall write_old(/*file_mb=*/320);
     StreamingWriteStall write_new(/*file_mb=*/320);
-    FuseMountOptions old_wb = FuseMountOptions::Optimized();
+    FuseMountOptions old_wb = OptimizedNoRings();
     old_wb.flusher_threads = 0;
     old_wb.dirty_soft_bytes = 256ull << 20;
     old_wb.dirty_hard_bytes = 256ull << 20;  // the old single threshold
     old_wb.per_inode_dirty_bytes = UINT64_MAX;
-    FuseMountOptions new_wb = FuseMountOptions::Optimized();  // watermarks + flushers
+    FuseMountOptions new_wb = OptimizedNoRings();  // watermarks + flushers
     double wr_old = RunCntr(write_old, old_wb);
     double wr_new = RunCntr(write_new, new_wb);
     metrics["g_stream_write_old"] = wr_old;
@@ -656,8 +751,8 @@ int main(int argc, char** argv) {
   {
     auto metadata_wl = MakeCompileBench("read");  // dense request path
     SeqReadTransport data_wl(/*file_mb=*/32, /*passes=*/3);
-    FuseMountOptions off = FuseMountOptions::Optimized();
-    FuseMountOptions on = FuseMountOptions::Optimized();
+    FuseMountOptions off = OptimizedNoRings();
+    FuseMountOptions on = OptimizedNoRings();
     on.request_deadline_ns = 60'000'000'000;  // 60s virtual: never expires
     on.deadline_grace_ms = 10'000;            // sweeper armed, never fires
     on.max_background = 4096;                 // gate checked, never blocks
@@ -685,12 +780,45 @@ int main(int argc, char** argv) {
     std::printf("    worst overhead %.2f%%   (target: <=2%%)\n\n", overhead);
   }
 
+  // (j) Submission rings: small-op storms, SQ/CQ ring transport vs. the
+  // per-request wakeup handshake on otherwise identical mounts. Tiny
+  // payloads make the handshake the dominant per-op cost, so the ring's
+  // cheaper round trip (and the server's multi-reap of queued bursts) shows
+  // up directly in ops/sec.
+  {
+    GetattrStorm storm(/*ops=*/8192);
+    FuseMountOptions wakeup = OptimizedNoRings();
+    wakeup.attr_ttl_ns = 0;  // every stat is a GETATTR round trip
+    FuseMountOptions ring = FuseMountOptions::Optimized();
+    ring.attr_ttl_ns = 0;
+    double storm_wakeup = RunCntr(storm, wakeup);
+    double storm_ring = RunCntr(storm, ring);
+    metrics["j_getattr_storm_wakeup_ops"] = storm_wakeup;
+    metrics["j_getattr_storm_ring_ops"] = storm_ring;
+    metrics["j_getattr_storm_speedup"] = storm_wakeup > 0 ? storm_ring / storm_wakeup : 0;
+    std::printf("(j) Submission rings (small-op storms) [ops/s]\n");
+    std::printf("    GETATTR storm: wakeup %.0f   ring %.0f   speedup %.2fx   "
+                "(target: >=1.5x)\n",
+                storm_wakeup, storm_ring, storm_wakeup > 0 ? storm_ring / storm_wakeup : 0);
+
+    SmallReadStorm rread(/*file_mb=*/64, /*reads=*/4096);
+    FuseMountOptions rr_wakeup = OptimizedNoRings();
+    FuseMountOptions rr_ring = FuseMountOptions::Optimized();
+    double rread_wakeup = RunCntr(rread, rr_wakeup);
+    double rread_ring = RunCntr(rread, rr_ring);
+    metrics["j_rand_read_wakeup_ops"] = rread_wakeup;
+    metrics["j_rand_read_ring_ops"] = rread_ring;
+    std::printf("    4KB random read: wakeup %.0f   ring %.0f   speedup %.2fx\n\n",
+                rread_wakeup, rread_ring,
+                rread_wakeup > 0 ? rread_ring / rread_wakeup : 0);
+  }
+
   // Ablation: splice write — implemented but disabled by default because
   // parsing the header after the pipe costs every request a hop (§3.3).
   {
     auto read_tree = MakeCompileBench("read");
-    FuseMountOptions off = FuseMountOptions::Optimized();
-    FuseMountOptions on = FuseMountOptions::Optimized();
+    FuseMountOptions off = OptimizedNoRings();
+    FuseMountOptions on = OptimizedNoRings();
     on.splice_write = true;
     double without = RunCntr(*read_tree, off);
     double with = RunCntr(*read_tree, on);

@@ -15,6 +15,15 @@ namespace {
 CNTR_FAULT_POINT(kFaultConnEnqueue, "fuse.conn.enqueue");
 CNTR_FAULT_POINT(kFaultConnReply, "fuse.conn.reply");
 CNTR_FAULT_POINT(kFaultLaneTransit, "fuse.lane.transit");
+// Ring-transport points: an injected SQ overflow (kFail surfaces the error
+// to the submitter, as if the ring were exhausted), a doorbell lost on the
+// wire (any action: the wakeup is skipped; the bounded parks on both sides
+// self-heal), and a poisoned reap pass (kFail/kDrop: the pass returns empty
+// and the burst stays queued for the next one; kKill: the reaping worker
+// treats it as a crash and aborts the connection).
+CNTR_FAULT_POINT(kFaultSqOverflow, "fuse.conn.sq_overflow");
+CNTR_FAULT_POINT(kFaultRingDoorbellLost, "fuse.ring.doorbell_lost");
+CNTR_FAULT_POINT(kFaultRingReap, "fuse.ring.reap");
 
 // Fixed-size head of one packed direntplus record; the name bytes follow.
 struct PackedDirentPlus {
@@ -184,10 +193,59 @@ FuseConn::~FuseConn() { StopSweeper(); }
 
 void FuseConn::InstallChannels(size_t n) {
   for (size_t i = 0; i < n; ++i) {
-    owned_channels_.push_back(std::make_unique<FuseChannel>());
+    auto ch = std::make_unique<FuseChannel>();
+    if (ring_enabled_.load(std::memory_order_acquire)) {
+      // A reshape after the ring switch keeps every channel on the ring
+      // transport (mixed-mode channels would split the unique encoding).
+      ch->ring_owner = std::make_unique<RingState>(
+          ring_depth_.load(std::memory_order_acquire),
+          ring_spin_budget_.load(std::memory_order_acquire));
+      ch->ring.store(ch->ring_owner.get(), std::memory_order_release);
+    }
+    owned_channels_.push_back(std::move(ch));
     channel_table_[i].store(owned_channels_.back().get(), std::memory_order_release);
   }
   num_channels_.store(n, std::memory_order_release);
+}
+
+size_t FuseConn::ConfigureRing(size_t depth, uint32_t spin_budget) {
+  if (depth == 0) {
+    return 0;  // opt out: stay on the wakeup path
+  }
+  std::lock_guard<std::mutex> config(config_mu_);
+  if (ring_enabled()) {
+    // Rings are fixed for the connection's life: replacing a published
+    // RingState under a concurrently scanning worker would free memory it
+    // may still hold. A different geometry needs a fresh connection.
+    return ring_depth();
+  }
+  if (aborted() || queued_total_.load() != 0) {
+    return 0;
+  }
+  // Like ConfigureChannels, the switch is only honoured on a quiet
+  // connection: in-flight legacy uniques do not carry a slot index, so they
+  // could never be completed through a ring. Parked readers are fine — they
+  // discover the rings on their next scan.
+  for (const auto& ch : owned_channels_) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    if (!ch->pending.empty() || !ch->queue.empty()) {
+      return 0;
+    }
+  }
+  size_t d = std::clamp(depth, kMinRingDepth, kMaxRingDepth);
+  // Round up to a power of two (the MPMC ring and the slot mask need it).
+  size_t pow2 = kMinRingDepth;
+  while (pow2 < d) {
+    pow2 <<= 1;
+  }
+  ring_depth_.store(pow2, std::memory_order_release);
+  ring_spin_budget_.store(spin_budget == 0 ? 1 : spin_budget, std::memory_order_release);
+  for (const auto& ch : owned_channels_) {
+    ch->ring_owner = std::make_unique<RingState>(pow2, spin_budget);
+    ch->ring.store(ch->ring_owner.get(), std::memory_order_release);
+  }
+  ring_enabled_.store(true, std::memory_order_release);
+  return pow2;
 }
 
 size_t FuseConn::ConfigureChannels(size_t requested) {
@@ -439,6 +497,9 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
 
   size_t ch_idx = RouteChannel(request.pid);
   FuseChannel& ch = Channel(ch_idx);
+  if (RingState* ring = ch.ring.load(std::memory_order_acquire)) {
+    return RingSendAndWait(ch, *ring, ch_idx, std::move(request));
+  }
   uint64_t unique = MakeUnique(ch_idx);
   request.unique = unique;
   request.channel = static_cast<uint32_t>(ch_idx);
@@ -467,12 +528,13 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   // implicit and charging it again would double-count.
   if (request.lane != nullptr) {
     uint64_t now = clock_->NowNs();
-    if (ch.busy_until_ns > now) {
-      clock_->Advance(ch.busy_until_ns - now);
+    uint64_t busy = ch.busy_until_ns.load(std::memory_order_relaxed);
+    if (busy > now) {
+      clock_->Advance(busy - now);
     }
   }
   clock_->Advance(cost);
-  ch.busy_until_ns = std::max(ch.busy_until_ns, clock_->NowNs());
+  BumpBusyUntil(ch, clock_->NowNs());
 
   requests_.fetch_add(1, std::memory_order_relaxed);
   ch.enqueued.fetch_add(1, std::memory_order_relaxed);
@@ -553,6 +615,10 @@ void FuseConn::SendNoReply(FuseRequest request) {
   // different, because its caller sleeps until the worker is done with the
   // lane.
   request.lane = nullptr;
+  if (RingState* ring = ch.ring.load(std::memory_order_acquire)) {
+    RingSendNoReply(ch, *ring, ch_idx, std::move(request));
+    return;
+  }
   clock_->Advance(costs_->fuse_round_trip_ns / 2);
   {
     std::lock_guard<std::mutex> lock(ch.mu);
@@ -594,14 +660,33 @@ std::optional<FuseRequest> FuseConn::TryPop(FuseChannel& ch) {
 }
 
 std::optional<FuseRequest> FuseConn::ReadRequest(size_t home_channel) {
+  std::vector<FuseRequest> batch = ReadRequestBatch(home_channel, 1);
+  if (batch.empty()) {
+    return std::nullopt;
+  }
+  return std::move(batch.front());
+}
+
+std::vector<FuseRequest> FuseConn::ReadRequestBatch(size_t home_channel,
+                                                    size_t max_batch) {
+  std::vector<FuseRequest> batch;
+  if (max_batch == 0) {
+    max_batch = 1;
+  }
   const size_t n = num_channels();
   const size_t home = home_channel % n;
   while (true) {
     // Home channel first, then steal from siblings in ring order so a
     // single hot channel still drains through every idle worker.
     for (size_t i = 0; i < n; ++i) {
-      if (auto req = TryPop(Channel((home + i) % n))) {
-        return req;
+      FuseChannel& ch = Channel((home + i) % n);
+      if (RingState* ring = ch.ring.load(std::memory_order_acquire)) {
+        if (RingReap(ch, *ring, batch, max_batch) > 0) {
+          return batch;
+        }
+      } else if (auto req = TryPop(ch)) {
+        batch.push_back(std::move(*req));
+        return batch;
       }
     }
     std::unique_lock<std::mutex> idle(idle_mu_);
@@ -612,12 +697,19 @@ std::optional<FuseRequest> FuseConn::ReadRequest(size_t home_channel) {
     }
     if (aborted()) {
       idle_workers_.fetch_sub(1);
-      return std::nullopt;
+      return batch;  // empty
     }
-    work_cv_.wait(idle, [&] { return queued_total_.load() > 0 || aborted(); });
+    if (ring_enabled()) {
+      // Ring doorbells are best-effort (and can be injected away); the
+      // bounded park makes a lost one cost at most a tick, not a hang.
+      work_cv_.wait_for(idle, std::chrono::milliseconds(1),
+                        [&] { return queued_total_.load() > 0 || aborted(); });
+    } else {
+      work_cv_.wait(idle, [&] { return queued_total_.load() > 0 || aborted(); });
+    }
     idle_workers_.fetch_sub(1);
     if (queued_total_.load() == 0 && aborted()) {
-      return std::nullopt;
+      return batch;  // empty
     }
   }
 }
@@ -637,10 +729,14 @@ void FuseConn::WriteReply(uint64_t unique, FuseReply reply) {
     }
   }
   FuseChannel& ch = ChannelOfUnique(unique);
+  if (RingState* ring = ch.ring.load(std::memory_order_acquire)) {
+    RingWriteReply(ch, *ring, unique, std::move(reply));
+    return;
+  }
   std::lock_guard<std::mutex> lock(ch.mu);
   // The channel stays occupied through the server-side handling (the worker
   // runs on the caller's lane, so NowNs here includes the service time).
-  ch.busy_until_ns = std::max(ch.busy_until_ns, clock_->NowNs());
+  BumpBusyUntil(ch, clock_->NowNs());
   auto it = ch.pending.find(unique);
   if (it == ch.pending.end()) {
     // Forget, expired-and-collected, or aborted waiter: nothing delivered.
@@ -669,6 +765,457 @@ void FuseConn::WriteReply(uint64_t unique, FuseReply reply) {
   ch.reply_cv.notify_all();
 }
 
+// --- submission-ring transport ---------------------------------------------
+//
+// Slot discipline (see fuse_ring.h): plain slot fields are written only
+// under kSlotInit (the submitter) and read only by owners of a claim state —
+// the completer under kSlotCompleting, the sweeper/interrupt under
+// kSlotSweeping, the waiter after observing a terminal state. Every claim is
+// a CAS from kSlotPending carrying the generation, so a claim can never land
+// on a recycled slot unnoticed.
+
+void FuseConn::RingWakeWaiters(RingState& ring) {
+  if (ring.parked_waiters.load(std::memory_order_seq_cst) == 0) {
+    return;  // common case: the waiter is spin-polling its slot, no syscall
+  }
+  if (faults_ != nullptr) {
+    if (auto hit = faults_->Check(kFaultRingDoorbellLost)) {
+      clock_->Advance(hit.latency_ns);
+      return;  // lost on the wire: the waiter's bounded park self-heals
+    }
+  }
+  { std::lock_guard<std::mutex> lock(ring.cq_mu); }
+  ring.cq_cv.notify_all();
+}
+
+void FuseConn::RingWakeSubmitters(RingState& ring) {
+  if (ring.sq_waiters.load(std::memory_order_seq_cst) == 0) {
+    return;
+  }
+  { std::lock_guard<std::mutex> lock(ring.sq_mu); }
+  ring.sq_cv.notify_all();
+}
+
+int FuseConn::RingAllocSlot(RingState& ring) {
+  size_t start = static_cast<size_t>(
+      ring.alloc_hint.fetch_add(1, std::memory_order_relaxed));
+  for (size_t i = 0; i < ring.depth; ++i) {
+    size_t idx = (start + i) % ring.depth;
+    RingSlot& slot = ring.slots[idx];
+    uint64_t ctrl = slot.ctrl.load(std::memory_order_relaxed);
+    if (SlotState(ctrl) != kSlotFree) {
+      continue;
+    }
+    if (slot.ctrl.compare_exchange_strong(ctrl, SlotCtrl(SlotGen(ctrl), kSlotInit),
+                                          std::memory_order_acq_rel)) {
+      return static_cast<int>(idx);
+    }
+  }
+  return -1;
+}
+
+bool FuseConn::RingPushSqe(FuseChannel& ch, RingState& ring, FuseRequest request) {
+  bool overflowed = false;
+  // Deterministic doorbell rule: every reply-carrying SQE pays the doorbell;
+  // fire-and-forget entries (FORGETs, interrupt notifications) ride the next
+  // burst for free. Charging by *actual* SQ occupancy would make virtual
+  // time depend on real-time worker scheduling (whether the previous entry
+  // was already reaped), breaking run-to-run determinism.
+  const bool rings_doorbell = request.unique != 0;
+  for (;;) {
+    if (aborted()) {
+      return false;
+    }
+    bool was_empty = ring.sq.SizeApprox() == 0;
+    if (ring.sq.TryPush(std::move(request))) {
+      ch.enqueued.fetch_add(1, std::memory_order_relaxed);
+      uint64_t depth_now = ring.sq.SizeApprox();
+      uint64_t md = ch.max_depth.load(std::memory_order_relaxed);
+      while (md < depth_now && !ch.max_depth.compare_exchange_weak(
+                                   md, depth_now, std::memory_order_relaxed)) {
+      }
+      queued_total_.fetch_add(1);  // seq_cst: pairs with parked workers
+      if (was_empty) {
+        // Burst head (stats only: this is a real-time observation).
+        ring.doorbells.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (rings_doorbell) {
+        clock_->Advance(costs_->fuse_ring_doorbell_ns);
+      }
+      bool lost = false;
+      if (faults_ != nullptr) {
+        if (auto hit = faults_->Check(kFaultRingDoorbellLost)) {
+          clock_->Advance(hit.latency_ns);
+          lost = true;  // the workers' bounded parks self-heal
+        }
+      }
+      if (!lost) {
+        NotifyWork();
+      }
+      return true;
+    }
+    // Ring exhausted: backpressure the submitter with a bounded park until a
+    // reap frees a cell (or the connection dies).
+    if (!overflowed) {
+      overflowed = true;
+      ring.sq_overflows.fetch_add(1, std::memory_order_relaxed);
+    }
+    ring.sq_waiters.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(ring.sq_mu);
+      ring.sq_cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    ring.sq_waiters.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+bool FuseConn::RingClaimSqe(RingState& ring, const FuseRequest& req) {
+  RingSlot& slot = ring.slots[SlotOfUnique(req.unique) % ring.depth];
+  for (;;) {
+    uint64_t ctrl = slot.ctrl.load(std::memory_order_acquire);
+    uint64_t state = SlotState(ctrl);
+    if (state == kSlotInit || state == kSlotSweeping || state == kSlotCompleting) {
+      std::this_thread::yield();  // transient owner; it resolves fast
+      continue;
+    }
+    if (state != kSlotPending) {
+      return false;  // waiter already resolved: drop the stale entry
+    }
+    uint64_t sweeping = SlotCtrl(SlotGen(ctrl), kSlotSweeping);
+    if (!slot.ctrl.compare_exchange_weak(ctrl, sweeping, std::memory_order_acq_rel)) {
+      continue;
+    }
+    // Exclusive: fields are stable for this generation.
+    bool ours = slot.unique == req.unique;
+    if (ours) {
+      // The server has now seen the request: an interrupt from here on must
+      // send the kInterrupt notification instead of silently dropping.
+      slot.claimed.store(true, std::memory_order_relaxed);
+    }
+    slot.ctrl.store(SlotCtrl(SlotGen(ctrl), kSlotPending), std::memory_order_release);
+    return ours;
+  }
+}
+
+size_t FuseConn::RingReap(FuseChannel& ch, RingState& ring,
+                          std::vector<FuseRequest>& out, size_t max_batch) {
+  if (ring.sq.SizeApprox() == 0) {
+    return 0;
+  }
+  if (faults_ != nullptr) {
+    if (auto hit = faults_->Check(kFaultRingReap)) {
+      clock_->Advance(hit.latency_ns);
+      if (hit.action == fault::FaultAction::kKill) {
+        Abort();  // the reaping worker crashed mid-pass
+        return 0;
+      }
+      return 0;  // poisoned pass: the burst stays queued for the next one
+    }
+  }
+  size_t delivered = 0;
+  FuseRequest req;
+  while (delivered < max_batch && ring.sq.TryPop(req)) {
+    queued_total_.fetch_sub(1);
+    if (req.spliced && !req.payload_pages.empty()) {
+      // One /dev/fuse read consumes header + spliced payload together: free
+      // the lane capacity the entry held since submission (dropped entries
+      // included — their payload dies with them).
+      uint64_t bytes = 0;
+      for (const splice::PageRef& ref : req.payload_pages) {
+        bytes += ref.len;
+      }
+      ch.lane_in[req.lane_idx % kLanePoolSize]->DrainBytes(bytes);
+    }
+    if (req.unique != 0 && !RingClaimSqe(ring, req)) {
+      continue;  // interrupt/timeout/abort won the race before the server saw it
+    }
+    out.push_back(std::move(req));
+    ++delivered;
+  }
+  if (delivered > 0) {
+    ring.reaps.fetch_add(1, std::memory_order_relaxed);
+    ring.reaped_requests.fetch_add(delivered, std::memory_order_relaxed);
+    uint64_t cur = ring.max_reqs_per_reap.load(std::memory_order_relaxed);
+    while (cur < delivered && !ring.max_reqs_per_reap.compare_exchange_weak(
+                                  cur, delivered, std::memory_order_relaxed)) {
+    }
+    RingWakeSubmitters(ring);  // SQ cells freed
+  }
+  return delivered;
+}
+
+StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
+                                              size_t ch_idx, FuseRequest request) {
+  // Injected SQ overflow: surfaces to the submitter as a full-ring
+  // submission failure.
+  if (faults_ != nullptr) {
+    if (auto hit = faults_->Check(kFaultSqOverflow)) {
+      clock_->Advance(hit.latency_ns);
+      ring.sq_overflows.fetch_add(1, std::memory_order_relaxed);
+      FinishInFlight();
+      if (hit.action == fault::FaultAction::kKill) {
+        Abort();
+        return Status::Error(ENOTCONN, "fuse connection aborted");
+      }
+      return Status::Error(hit.error != 0 ? hit.error : ENOBUFS,
+                           "injected submission-ring overflow");
+    }
+  }
+  // Claim a completion slot. None free means the full ring depth is already
+  // in flight — park like a full SQ (the admission gate, when armed, trips
+  // first and keeps this loop cold).
+  int slot_idx;
+  bool overflowed = false;
+  for (;;) {
+    if (aborted()) {
+      FinishInFlight();
+      return Status::Error(ENOTCONN, "fuse connection aborted");
+    }
+    slot_idx = RingAllocSlot(ring);
+    if (slot_idx >= 0) {
+      break;
+    }
+    if (!overflowed) {
+      overflowed = true;
+      ring.sq_overflows.fetch_add(1, std::memory_order_relaxed);
+    }
+    ring.sq_waiters.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(ring.sq_mu);
+      ring.sq_cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    ring.sq_waiters.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  RingSlot& slot = ring.slots[slot_idx];
+  const uint64_t gen = SlotGen(slot.ctrl.load(std::memory_order_relaxed));
+
+  uint64_t unique = MakeRingUnique(ch_idx, static_cast<size_t>(slot_idx));
+  request.unique = unique;
+  request.channel = static_cast<uint32_t>(ch_idx);
+  request.lane = SimClock::current_lane();
+  GateRequestPayload(ch, request);
+
+  // Channel occupancy across parallel lanes (same contract as the wakeup
+  // path) — but no per-reader contention premium: SQ producers and the
+  // reaping consumer never contend on a queue lock.
+  if (request.lane != nullptr) {
+    uint64_t now = clock_->NowNs();
+    uint64_t busy = ch.busy_until_ns.load(std::memory_order_relaxed);
+    if (busy > now) {
+      clock_->Advance(busy - now);
+    }
+  }
+  clock_->Advance(costs_->fuse_ring_sqe_ns);
+  BumpBusyUntil(ch, clock_->NowNs());
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Fill the slot under kSlotInit, then publish it Pending.
+  slot.unique = unique;
+  slot.pid = request.pid;
+  slot.deadline_ns = 0;
+  uint64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+  if (deadline != 0) {
+    slot.deadline_ns = clock_->NowNs() + deadline;
+    slot.enqueued_real = std::chrono::steady_clock::now();
+  }
+  slot.claimed.store(false, std::memory_order_relaxed);
+  slot.ctrl.store(SlotCtrl(gen, kSlotPending), std::memory_order_release);
+
+  // Submit. The submitting window is refcounted so Abort can wait out
+  // in-progress pushes before draining the SQ.
+  ring.submitting.fetch_add(1, std::memory_order_seq_cst);
+  bool pushed = RingPushSqe(ch, ring, std::move(request));
+  ring.submitting.fetch_sub(1, std::memory_order_seq_cst);
+
+  // Wait: adaptive spin on our own completion slot, then bounded park.
+  uint32_t spins = 0;
+  uint64_t terminal = 0;
+  for (;;) {
+    uint64_t ctrl = slot.ctrl.load(std::memory_order_acquire);
+    uint64_t state = SlotState(ctrl);
+    if (SlotGen(ctrl) == gen && (state == kSlotDone || state == kSlotTimedOut ||
+                                 state == kSlotInterrupted)) {
+      terminal = state;
+      break;
+    }
+    if (!pushed || aborted()) {
+      // The connection died (or the push never landed): reclaim our Pending
+      // slot unless a completer/sweeper races us — then take its outcome.
+      if (SlotGen(ctrl) == gen && state == kSlotPending) {
+        if (slot.ctrl.compare_exchange_weak(ctrl, SlotCtrl(gen + 1, kSlotFree),
+                                            std::memory_order_acq_rel)) {
+          RingWakeSubmitters(ring);
+          FinishInFlight();
+          return Status::Error(ENOTCONN, "fuse connection aborted");
+        }
+      } else {
+        std::this_thread::yield();  // transient owner; its outcome lands next
+      }
+      continue;
+    }
+    if (++spins < ring.spin_budget) {
+      if ((spins & 63) == 0) {
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    if (spins == ring.spin_budget) {
+      ring.spin_parks.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Spin budget exhausted: park bounded. A completion doorbell lost on the
+    // wire costs at most one tick, never a hang.
+    ring.parked_waiters.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(ring.cq_mu);
+      uint64_t c = slot.ctrl.load(std::memory_order_seq_cst);
+      uint64_t s = SlotState(c);
+      bool resolved = SlotGen(c) == gen && (s == kSlotDone || s == kSlotTimedOut ||
+                                            s == kSlotInterrupted);
+      if (!resolved && !aborted()) {
+        ring.cq_cv.wait_for(lock, std::chrono::milliseconds(1));
+      }
+    }
+    ring.parked_waiters.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  // Terminal: take the outcome, free the slot for reuse (gen bump), then
+  // release capacity to parked submitters.
+  FuseReply reply;
+  uint64_t deadline_abs = slot.deadline_ns;
+  if (terminal == kSlotDone) {
+    reply = std::move(slot.reply);
+    slot.reply = FuseReply{};
+  }
+  slot.ctrl.store(SlotCtrl(gen + 1, kSlotFree), std::memory_order_release);
+  RingWakeSubmitters(ring);
+  FinishInFlight();
+  if (terminal == kSlotTimedOut) {
+    // Model the wait the caller actually endured: the request ran out its
+    // full deadline on the caller's own timeline.
+    uint64_t now = clock_->NowNs();
+    if (deadline_abs > now) {
+      clock_->Advance(deadline_abs - now);
+    }
+    uint32_t misses = consecutive_timeouts_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    uint32_t abort_after = abort_after_timeouts_.load(std::memory_order_acquire);
+    if (abort_after != 0 && misses >= abort_after && !aborted()) {
+      Abort();
+    }
+    return Status::Error(ETIMEDOUT, "fuse request deadline expired");
+  }
+  if (terminal == kSlotInterrupted) {
+    return Status::Error(EINTR, "fuse request interrupted");
+  }
+  consecutive_timeouts_.store(0, std::memory_order_release);
+  if (reply.spliced) {
+    // Consume the lane bytes this reply occupied since RingWriteReply.
+    ch.lane_out[reply.lane_idx % kLanePoolSize]->DrainBytes(reply.payload_bytes());
+  }
+  if (reply.error != 0) {
+    return Status::Error(reply.error);
+  }
+  return reply;
+}
+
+void FuseConn::RingSendNoReply(FuseChannel& ch, RingState& ring, size_t ch_idx,
+                               FuseRequest request) {
+  (void)ch_idx;
+  // Fire-and-forget: one SQE fill, no completion slot, no waiting. The
+  // doorbell (if this lands a burst head) is charged inside the push.
+  clock_->Advance(costs_->fuse_ring_sqe_ns);
+  ring.submitting.fetch_add(1, std::memory_order_seq_cst);
+  if (RingPushSqe(ch, ring, std::move(request))) {
+    forgets_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring.submitting.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void FuseConn::RingWriteReply(FuseChannel& ch, RingState& ring, uint64_t unique,
+                              FuseReply reply) {
+  // The channel stays occupied through the server-side handling (the worker
+  // runs on the caller's lane, so NowNs here includes the service time).
+  BumpBusyUntil(ch, clock_->NowNs());
+  RingSlot& slot = ring.slots[SlotOfUnique(unique) % ring.depth];
+  for (;;) {
+    uint64_t ctrl = slot.ctrl.load(std::memory_order_acquire);
+    uint64_t state = SlotState(ctrl);
+    if (state == kSlotInit || state == kSlotSweeping) {
+      std::this_thread::yield();  // transient owner; it resolves fast
+      continue;
+    }
+    if (state != kSlotPending) {
+      // Resolved (timeout/interrupt/abort) or recycled: nothing delivered.
+      late_replies_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    uint64_t completing = SlotCtrl(SlotGen(ctrl), kSlotCompleting);
+    if (!slot.ctrl.compare_exchange_weak(ctrl, completing, std::memory_order_acq_rel)) {
+      continue;
+    }
+    if (slot.unique != unique) {
+      // The slot was recycled by a new request: this reply's waiter is gone.
+      slot.ctrl.store(SlotCtrl(SlotGen(ctrl), kSlotPending), std::memory_order_release);
+      late_replies_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (slot.deadline_ns != 0 && clock_->NowNs() > slot.deadline_ns) {
+      // The virtual deadline expired before this reply landed: drop the
+      // payload, resolve the waiter as timed out. Exactly one of
+      // {reply, timeout, interrupt} wins per request.
+      slot.ctrl.store(SlotCtrl(SlotGen(ctrl), kSlotTimedOut), std::memory_order_release);
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      late_replies_.fetch_add(1, std::memory_order_relaxed);
+      RingWakeWaiters(ring);
+      return;
+    }
+    // Payload onto the lane (or flattened) only for a live waiter, then one
+    // CQE publish. Out-of-order by construction: each reply lands in its own
+    // slot, whichever worker finishes first.
+    GateReplyPayload(ch, reply);
+    clock_->Advance(costs_->fuse_ring_cqe_ns);
+    slot.reply = std::move(reply);
+    replies_.fetch_add(1, std::memory_order_relaxed);
+    slot.ctrl.store(SlotCtrl(SlotGen(ctrl), kSlotDone), std::memory_order_release);
+    RingWakeWaiters(ring);
+    return;
+  }
+}
+
+bool FuseConn::RingInterrupt(FuseChannel& ch, RingState& ring, size_t ch_idx,
+                             uint64_t unique) {
+  RingSlot& slot = ring.slots[SlotOfUnique(unique) % ring.depth];
+  for (;;) {
+    uint64_t ctrl = slot.ctrl.load(std::memory_order_acquire);
+    uint64_t state = SlotState(ctrl);
+    if (state == kSlotInit || state == kSlotSweeping || state == kSlotCompleting) {
+      std::this_thread::yield();
+      continue;
+    }
+    if (state != kSlotPending) {
+      return false;  // already resolved (or never existed): nothing to do
+    }
+    uint64_t sweeping = SlotCtrl(SlotGen(ctrl), kSlotSweeping);
+    if (!slot.ctrl.compare_exchange_weak(ctrl, sweeping, std::memory_order_acq_rel)) {
+      continue;
+    }
+    if (slot.unique != unique) {
+      slot.ctrl.store(SlotCtrl(SlotGen(ctrl), kSlotPending), std::memory_order_release);
+      return false;
+    }
+    bool claimed = slot.claimed.load(std::memory_order_relaxed);
+    slot.ctrl.store(SlotCtrl(SlotGen(ctrl), kSlotInterrupted), std::memory_order_release);
+    interrupts_.fetch_add(1, std::memory_order_relaxed);
+    RingWakeWaiters(ring);
+    if (claimed) {
+      // The server already reaped it: send the INTERRUPT notification so it
+      // can observe the cancellation (its eventual reply is dropped as
+      // late). An unclaimed SQE is instead dropped at reap time.
+      EnqueueInterruptNotify(ch, ch_idx, unique);
+    }
+    return true;
+  }
+}
+
 void FuseConn::Abort() {
   aborted_.store(true, std::memory_order_release);
   // Sweep every channel ever created (including any retired by a reshape):
@@ -679,6 +1226,26 @@ void FuseConn::Abort() {
       std::lock_guard<std::mutex> lock(ch->mu);
     }
     ch->reply_cv.notify_all();
+    if (RingState* ring = ch->ring.load(std::memory_order_acquire)) {
+      // Wait out in-progress submitters (they observe aborted_ within one
+      // bounded park), then drain the SQ so ring-in-flight entries go to
+      // zero; waiters reclaim their own Pending slots once woken.
+      while (ring->submitting.load(std::memory_order_seq_cst) != 0) {
+        std::this_thread::yield();
+      }
+      FuseRequest drained;
+      while (ring->sq.TryPop(drained)) {
+        queued_total_.fetch_sub(1);
+      }
+      {
+        std::lock_guard<std::mutex> lock(ring->cq_mu);
+      }
+      ring->cq_cv.notify_all();
+      {
+        std::lock_guard<std::mutex> lock(ring->sq_mu);
+      }
+      ring->sq_cv.notify_all();
+    }
     // Waiters that died mid-transit leave payload parked on the lanes; a
     // dead connection must not strand that capacity.
     for (size_t i = 0; i < kLanePoolSize; ++i) {
@@ -736,6 +1303,39 @@ void FuseConn::SweeperLoop() {
     {
       std::lock_guard<std::mutex> config(config_mu_);
       for (auto& ch : owned_channels_) {
+        if (RingState* ring = ch->ring.load(std::memory_order_acquire)) {
+          // Ring channels carry their pending set in the completion slots:
+          // claim each Pending slot transiently, expire it if it has sat
+          // unanswered past the real-time grace.
+          bool expired_ring = false;
+          for (RingSlot& slot : ring->slots) {
+            uint64_t ctrl = slot.ctrl.load(std::memory_order_acquire);
+            if (SlotState(ctrl) != kSlotPending) {
+              continue;
+            }
+            uint64_t sweeping = SlotCtrl(SlotGen(ctrl), kSlotSweeping);
+            if (!slot.ctrl.compare_exchange_strong(ctrl, sweeping,
+                                                   std::memory_order_acq_rel)) {
+              continue;  // racing claim; revisit next tick
+            }
+            bool expire =
+                slot.deadline_ns != 0 && now_real - slot.enqueued_real >= grace;
+            slot.ctrl.store(
+                SlotCtrl(SlotGen(ctrl), expire ? kSlotTimedOut : kSlotPending),
+                std::memory_order_release);
+            if (expire) {
+              timeouts_.fetch_add(1, std::memory_order_relaxed);
+              expired_ring = true;
+            }
+          }
+          if (expired_ring) {
+            {
+              std::lock_guard<std::mutex> lock(ring->cq_mu);
+            }
+            ring->cq_cv.notify_all();
+          }
+          continue;
+        }
         bool expired_any = false;
         {
           std::lock_guard<std::mutex> chlock(ch->mu);
@@ -781,6 +1381,9 @@ void FuseConn::StopSweeper() {
 bool FuseConn::Interrupt(uint64_t unique) {
   FuseChannel& ch = ChannelOfUnique(unique);
   size_t ch_idx = unique & (kMaxChannels - 1);
+  if (RingState* ring = ch.ring.load(std::memory_order_acquire)) {
+    return RingInterrupt(ch, *ring, ch_idx, unique);
+  }
   bool in_flight_now = false;
   {
     std::lock_guard<std::mutex> lock(ch.mu);
@@ -824,6 +1427,38 @@ uint32_t FuseConn::InterruptPid(kernel::Pid pid) {
   uint32_t count = 0;
   std::lock_guard<std::mutex> config(config_mu_);
   for (auto& ch : owned_channels_) {
+    if (RingState* ring = ch->ring.load(std::memory_order_acquire)) {
+      // Scan the completion slots for this pid's in-flight requests and
+      // resolve each the same way RingInterrupt would (the slot claim
+      // doubles as the unique lookup — no pending map in ring mode).
+      for (RingSlot& slot : ring->slots) {
+        uint64_t ctrl = slot.ctrl.load(std::memory_order_acquire);
+        if (SlotState(ctrl) != kSlotPending) {
+          continue;
+        }
+        uint64_t sweeping = SlotCtrl(SlotGen(ctrl), kSlotSweeping);
+        if (!slot.ctrl.compare_exchange_strong(ctrl, sweeping,
+                                               std::memory_order_acq_rel)) {
+          continue;  // racing claim; that owner resolves it
+        }
+        if (slot.pid != pid) {
+          slot.ctrl.store(SlotCtrl(SlotGen(ctrl), kSlotPending),
+                          std::memory_order_release);
+          continue;
+        }
+        uint64_t unique = slot.unique;
+        bool claimed = slot.claimed.load(std::memory_order_relaxed);
+        slot.ctrl.store(SlotCtrl(SlotGen(ctrl), kSlotInterrupted),
+                        std::memory_order_release);
+        interrupts_.fetch_add(1, std::memory_order_relaxed);
+        RingWakeWaiters(*ring);
+        if (claimed) {
+          EnqueueInterruptNotify(*ch, unique & (kMaxChannels - 1), unique);
+        }
+        ++count;
+      }
+      continue;
+    }
     std::vector<uint64_t> found;
     {
       std::lock_guard<std::mutex> lock(ch->mu);
@@ -849,6 +1484,17 @@ void FuseConn::EnqueueInterruptNotify(FuseChannel& ch, size_t ch_idx, uint64_t u
   notify.interrupt_unique = unique;
   notify.channel = static_cast<uint32_t>(ch_idx);
   notify.lane = nullptr;
+  if (RingState* ring = ch.ring.load(std::memory_order_acquire)) {
+    // Best effort: a notification that finds the ring full is dropped — the
+    // waiter is already unblocked either way.
+    ring->submitting.fetch_add(1, std::memory_order_seq_cst);
+    if (!aborted() && ring->sq.TryPush(std::move(notify))) {
+      queued_total_.fetch_add(1);  // seq_cst: pairs with parked workers
+      NotifyWork();
+    }
+    ring->submitting.fetch_sub(1, std::memory_order_seq_cst);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(ch.mu);
     if (aborted()) {

@@ -34,6 +34,15 @@
 //     whole thread pool.
 //
 // The default is one channel — the paper's configuration.
+//
+// Submission rings (post-paper, the FUSE-over-io_uring lineage): when the
+// mount negotiates kFuseRingSubmission, each channel swaps the
+// mutex+deque+pending-map+condvar handshake for a pair of ring buffers (see
+// fuse_ring.h): submissions ride a lock-free SQ the server reaps in bursts,
+// completions land in per-request slots the waiter spin-polls, and a
+// doorbell per direction is only rung when the far side is actually parked.
+// The legacy wakeup path stays bit-identical for mounts that do not opt in
+// (FuseMountOptions::Paper() / Baseline(), and raw FuseConn users).
 #ifndef CNTR_SRC_FUSE_FUSE_CONN_H_
 #define CNTR_SRC_FUSE_FUSE_CONN_H_
 
@@ -52,6 +61,7 @@
 
 #include "src/fault/fault.h"
 #include "src/fuse/fuse_proto.h"
+#include "src/fuse/fuse_ring.h"
 #include "src/kernel/file.h"
 #include "src/kernel/pipe.h"
 #include "src/util/sim_clock.h"
@@ -121,8 +131,9 @@ struct alignas(64) FuseChannel {
   };
   std::map<uint64_t, PendingReply> pending;
   // Virtual-time occupancy: the instant this channel finishes its current
-  // backlog. Only observable across parallel SimClock lanes (mu held).
-  uint64_t busy_until_ns = 0;
+  // backlog. Only observable across parallel SimClock lanes. Atomic because
+  // the ring transport updates it without ch.mu (monotonic fetch-max).
+  std::atomic<uint64_t> busy_until_ns{0};
   // Server threads whose home queue this is (Figure 4 premium scales with
   // the readers of this channel only).
   std::atomic<int> readers{0};
@@ -141,6 +152,11 @@ struct alignas(64) FuseChannel {
   std::array<std::shared_ptr<kernel::PipeBuffer>, kLanePoolSize> lane_in;
   std::array<std::shared_ptr<kernel::PipeBuffer>, kLanePoolSize> lane_out;
   std::atomic<bool> splice_enabled{true};
+
+  // Submission-ring state (null on the legacy wakeup path). Published with
+  // release once fully constructed; owned for the channel's lifetime.
+  std::unique_ptr<RingState> ring_owner;
+  std::atomic<RingState*> ring{nullptr};
 };
 
 class FuseConn {
@@ -161,6 +177,17 @@ class FuseConn {
   size_t ConfigureChannels(size_t requested);
   size_t num_channels() const { return num_channels_.load(std::memory_order_acquire); }
 
+  // Switches every channel to the submission-ring transport (negotiated at
+  // INIT via kFuseRingSubmission). Only honoured on a quiet connection —
+  // nothing queued, nothing pending, not aborted; readers may already be
+  // parked (they pick the rings up on their next scan). `depth` is rounded
+  // up to a power of two in [kMinRingDepth, kMaxRingDepth]; `spin_budget`
+  // is the iterations both sides spin-poll before parking. Returns the
+  // effective depth, or 0 when the switch was refused (depth 0 opts out).
+  size_t ConfigureRing(size_t depth, uint32_t spin_budget = kDefaultRingSpinBudget);
+  bool ring_enabled() const { return ring_enabled_.load(std::memory_order_acquire); }
+  size_t ring_depth() const { return ring_depth_.load(std::memory_order_acquire); }
+
   // Sticky routing: which channel requests from `pid` land on.
   size_t RouteChannel(kernel::Pid pid) const;
 
@@ -180,6 +207,13 @@ class FuseConn {
   // stealing from non-empty siblings when it is dry; returns nullopt when
   // the connection aborts and all queues are drained (server threads exit).
   std::optional<FuseRequest> ReadRequest(size_t home_channel = 0);
+  // Ring-mode reap: blocks like ReadRequest but drains a whole burst (up to
+  // `max_batch` requests) from one channel in a single pass, so one wakeup
+  // amortizes over every SQ entry that accumulated while the worker was
+  // busy. Returns an empty batch when the connection aborts and the rings
+  // are drained. Falls back to a single legacy pop on non-ring channels.
+  std::vector<FuseRequest> ReadRequestBatch(size_t home_channel = 0,
+                                            size_t max_batch = kRingReapBatch);
   void WriteReply(uint64_t unique, FuseReply reply);
 
   // Tear down: wakes waiters with ENOTCONN and unblocks server readers.
@@ -269,15 +303,42 @@ class FuseConn {
   uint64_t channel_requests(size_t i) const {
     return Channel(i).enqueued.load(std::memory_order_relaxed);
   }
-  // Current depth of channel `i`'s queue.
+  // Current depth of channel `i`'s queue (ring mode: SQ occupancy).
   size_t channel_queue_depth(size_t i) const {
     FuseChannel& ch = Channel(i);
+    if (const RingState* ring = ch.ring.load(std::memory_order_acquire)) {
+      return ring->sq.SizeApprox();
+    }
     std::lock_guard<std::mutex> lock(ch.mu);
     return ch.queue.size();
   }
   // Deepest channel `i`'s queue has ever been.
   uint64_t channel_max_queue_depth(size_t i) const {
     return Channel(i).max_depth.load(std::memory_order_relaxed);
+  }
+
+  // Per-channel batch-efficiency counters of the ring transport (all zero
+  // on the legacy wakeup path).
+  struct RingChannelStats {
+    uint64_t doorbells = 0;     // submission doorbells rung (burst heads:
+                                // SQEs that found the ring empty)
+    uint64_t reaps = 0;             // reap passes that returned work
+    uint64_t reaped_requests = 0;   // requests delivered across those passes
+    uint64_t max_reqs_per_reap = 0; // largest single burst
+    uint64_t sq_overflows = 0;      // submissions that hit a full ring
+    uint64_t spin_parks = 0;        // spin budgets exhausted into a park
+  };
+  RingChannelStats channel_ring_stats(size_t i) const {
+    RingChannelStats s;
+    if (const RingState* ring = Channel(i).ring.load(std::memory_order_acquire)) {
+      s.doorbells = ring->doorbells.load(std::memory_order_relaxed);
+      s.reaps = ring->reaps.load(std::memory_order_relaxed);
+      s.reaped_requests = ring->reaped_requests.load(std::memory_order_relaxed);
+      s.max_reqs_per_reap = ring->max_reqs_per_reap.load(std::memory_order_relaxed);
+      s.sq_overflows = ring->sq_overflows.load(std::memory_order_relaxed);
+      s.spin_parks = ring->spin_parks.load(std::memory_order_relaxed);
+    }
+    return s;
   }
 
   // Counters are atomics internally so reading statistics never contends
@@ -301,6 +362,14 @@ class FuseConn {
     uint64_t late_replies = 0;     // server replies with no live waiter
     uint64_t interrupts = 0;       // requests unblocked via INTERRUPT
     uint64_t admission_waits = 0;  // SendAndWait calls gated on max_background
+    // Ring-transport batch efficiency, rolled up across every channel of
+    // the mount (see RingChannelStats for the per-counter meaning).
+    uint64_t doorbells = 0;
+    uint64_t reaps = 0;
+    uint64_t reaped_requests = 0;
+    uint64_t max_reqs_per_reap = 0;
+    uint64_t sq_overflows = 0;
+    uint64_t spin_parks = 0;
   };
   Stats stats() const {
     Stats s;
@@ -317,6 +386,13 @@ class FuseConn {
     s.admission_waits = admission_waits_.load(std::memory_order_relaxed);
     for (size_t i = 0; i < num_channels(); ++i) {
       s.max_queue_depth = std::max(s.max_queue_depth, channel_max_queue_depth(i));
+      RingChannelStats r = channel_ring_stats(i);
+      s.doorbells += r.doorbells;
+      s.reaps += r.reaps;
+      s.reaped_requests += r.reaped_requests;
+      s.max_reqs_per_reap = std::max(s.max_reqs_per_reap, r.max_reqs_per_reap);
+      s.sq_overflows += r.sq_overflows;
+      s.spin_parks += r.spin_parks;
     }
     return s;
   }
@@ -330,6 +406,23 @@ class FuseConn {
   }
   uint64_t MakeUnique(size_t channel) {
     return (next_unique_.fetch_add(1) << kChannelBits) | channel;
+  }
+  // Ring-mode uniques additionally carry the completion-slot index, so a
+  // reply (or an interrupt) finds its slot without any lookup table:
+  // (seq << 16) | (slot << 6) | channel.
+  uint64_t MakeRingUnique(size_t channel, size_t slot) {
+    return (next_unique_.fetch_add(1) << (kChannelBits + kRingSlotBits)) |
+           (static_cast<uint64_t>(slot) << kChannelBits) | channel;
+  }
+  static size_t SlotOfUnique(uint64_t unique) {
+    return (unique >> kChannelBits) & (kMaxRingDepth - 1);
+  }
+  // Monotonic occupancy update without ch.mu (both transports use it).
+  static void BumpBusyUntil(FuseChannel& ch, uint64_t now_ns) {
+    uint64_t cur = ch.busy_until_ns.load(std::memory_order_relaxed);
+    while (cur < now_ns && !ch.busy_until_ns.compare_exchange_weak(
+                               cur, now_ns, std::memory_order_relaxed)) {
+    }
   }
   // Pops the front of `ch` if non-empty (ch.mu must not be held). Consumes
   // the lane bytes of a spliced request's payload.
@@ -359,6 +452,31 @@ class FuseConn {
   // must not be held).
   void EnqueueInterruptNotify(FuseChannel& ch, size_t ch_idx, uint64_t unique);
 
+  // --- submission-ring paths (see docs/transport.md "Submission rings") ---
+  StatusOr<FuseReply> RingSendAndWait(FuseChannel& ch, RingState& ring, size_t ch_idx,
+                                      FuseRequest request);
+  void RingSendNoReply(FuseChannel& ch, RingState& ring, size_t ch_idx,
+                       FuseRequest request);
+  // Claims a free completion slot (kSlotFree -> kSlotInit); -1 when none.
+  int RingAllocSlot(RingState& ring);
+  // Pushes one SQE, parking on a full ring (bounded waits; aborts bail out).
+  // Returns false when the connection aborted before the push landed.
+  bool RingPushSqe(FuseChannel& ch, RingState& ring, FuseRequest request);
+  // Drains up to `max_batch` SQ entries of `ch` into `out`. Returns how many
+  // were delivered (resolved-before-claim entries are dropped in place).
+  size_t RingReap(FuseChannel& ch, RingState& ring, std::vector<FuseRequest>& out,
+                  size_t max_batch);
+  // Marks a reaped SQE's slot as server-claimed; false when its waiter was
+  // already resolved (interrupt/timeout/abort) and the entry must be dropped.
+  bool RingClaimSqe(RingState& ring, const FuseRequest& req);
+  void RingWriteReply(FuseChannel& ch, RingState& ring, uint64_t unique,
+                      FuseReply reply);
+  bool RingInterrupt(FuseChannel& ch, RingState& ring, size_t ch_idx, uint64_t unique);
+  // Wakes parked completion waiters (no virtual cost: control plane only).
+  void RingWakeWaiters(RingState& ring);
+  // Wakes submitters parked on a full ring after capacity was released.
+  void RingWakeSubmitters(RingState& ring);
+
   SimClock* clock_;
   const CostModel* costs_;
   fault::FaultRegistry* faults_;
@@ -385,6 +503,11 @@ class FuseConn {
   std::condition_variable work_cv_;
   std::atomic<int> idle_workers_{0};
   std::atomic<uint64_t> queued_total_{0};
+
+  // --- submission rings ---
+  std::atomic<bool> ring_enabled_{false};
+  std::atomic<uint64_t> ring_depth_{0};
+  std::atomic<uint32_t> ring_spin_budget_{kDefaultRingSpinBudget};
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> replies_{0};

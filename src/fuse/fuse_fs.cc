@@ -215,8 +215,13 @@ Status FuseFs::NegotiateInit() {
                     (opts_.parallel_dirops ? kFuseParallelDirops : 0) |
                     (opts_.writeback_cache ? kFuseWritebackCache : 0) |
                     (opts_.readdirplus ? kFuseDoReaddirplus : 0) |
-                    (opts_.max_pages > 0 ? kFuseMaxPages : 0);
+                    (opts_.max_pages > 0 ? kFuseMaxPages : 0) |
+                    (opts_.ring_enabled && opts_.ring_depth > 0 ? kFuseRingSubmission
+                                                                : 0);
   init.max_pages = std::min(opts_.max_pages, kFuseMaxMaxPages);
+  // INIT itself always rides the legacy wakeup path: the connection is
+  // fresh, nothing is negotiated yet, and ConfigureRing below only switches
+  // a quiet connection — i.e. after this reply has fully drained.
   CNTR_ASSIGN_OR_RETURN(FuseReply init_reply, conn_->SendAndWait(std::move(init)));
   readdirplus_enabled_ =
       opts_.readdirplus && (init_reply.init_flags & kFuseDoReaddirplus) != 0;
@@ -226,6 +231,16 @@ Status FuseFs::NegotiateInit() {
       opts_.splice_write && (init_reply.init_flags & kFuseSpliceWrite) != 0;
   splice_move_enabled_ =
       opts_.splice_move && (init_reply.init_flags & kFuseSpliceMove) != 0;
+
+  // Submission rings: both sides must speak them (an old server echoes the
+  // flags without the bit and the mount stays on the wakeup path), and the
+  // connection must accept the switch.
+  ring_enabled_ = false;
+  if (opts_.ring_enabled && opts_.ring_depth > 0 &&
+      (init_reply.init_flags & kFuseRingSubmission) != 0) {
+    ring_enabled_ =
+        conn_->ConfigureRing(opts_.ring_depth, opts_.ring_spin_budget) > 0;
+  }
 
   // FUSE_MAX_PAGES: an old server echoes the flags without the bit (or
   // grants 0 pages) — fall back to the legacy 32-page / 128KiB windows.
@@ -722,7 +737,9 @@ void FuseInode::UpdateAttrLocked(const InodeAttr& attr, uint64_t ttl_ns) {
   attr_ = attr;
   attr_.ino = nodeid_;
   attr_.dev = fs_->dev_id();
-  attr_expiry_ns_ = fs_->kernel()->NowNs() + ttl_ns;
+  // The mount option caps the server-proposed validity, so attr_ttl_ns = 0
+  // disables the attribute cache outright (every stat round-trips).
+  attr_expiry_ns_ = fs_->kernel()->NowNs() + std::min(ttl_ns, fs_->options().attr_ttl_ns);
 }
 
 StatusOr<InodeAttr> FuseInode::Getattr() {

@@ -59,7 +59,9 @@ struct FuseMountOptions {
   bool readdirplus = true;
 
   uint64_t entry_ttl_ns = 1'000'000'000;  // dentry validity
-  uint64_t attr_ttl_ns = 1'000'000'000;   // attribute cache validity
+  // Attribute cache validity: the fallback when the server's reply carries
+  // no TTL, and a cap on the TTL it does propose (0 = no attr caching).
+  uint64_t attr_ttl_ns = 1'000'000'000;
   // Floors for the negotiated I/O windows: the effective WRITE chunk is
   // max(max_write, granted max_pages * 4KiB) and the readahead ramp's
   // ceiling is max(readahead_pages, granted max_pages). To cap either
@@ -112,6 +114,19 @@ struct FuseMountOptions {
   // window). Off, the lanes stay exactly pipe_pages forever.
   bool lane_autosize = true;
 
+  // --- Submission-ring transport (docs/transport.md "Submission rings") ---
+  // Ask for kFuseRingSubmission at INIT: each channel swaps the per-request
+  // wakeup handshake for SQ/CQ ring buffers — batched submission, multi-reap,
+  // out-of-order completion. An old server that does not ack the flag keeps
+  // the mount on the legacy path transparently.
+  bool ring_enabled = true;
+  // Entries per ring (submission queue and completion slots). Rounded up to
+  // a power of two in [8, 1024]; also the per-channel in-flight ceiling.
+  uint32_t ring_depth = 64;
+  // Iterations a completion waiter (or idle worker) spin-polls before
+  // parking. Higher burns CPU to shave wakeup latency; 0 parks immediately.
+  uint32_t ring_spin_budget = kDefaultRingSpinBudget;
+
   // --- Failure semantics (docs/robustness.md) ---
   // Per-request deadline in virtual ns; 0 = none. An expired request
   // resolves ETIMEDOUT at the caller and its late reply is dropped with a
@@ -143,6 +158,7 @@ struct FuseMountOptions {
     o.dirty_hard_bytes = 256ull << 20;
     o.per_inode_dirty_bytes = UINT64_MAX;
     o.lane_autosize = false;
+    o.ring_enabled = false;  // paper-era wakeup transport, bit-identical
     return o;
   }
   // Everything off (the "before" bars in Figure 3).
@@ -159,6 +175,7 @@ struct FuseMountOptions {
     o.max_pages = 0;         // legacy 32-page / 128KiB windows
     o.flusher_threads = 0;   // synchronous flush at the hard watermark
     o.lane_autosize = false;
+    o.ring_enabled = false;  // per-request wakeup transport
     return o;
   }
 };
@@ -194,6 +211,9 @@ class FuseFs : public kernel::FileSystem, public std::enable_shared_from_this<Fu
   bool splice_read_enabled() const { return splice_read_enabled_; }
   bool splice_write_enabled() const { return splice_write_enabled_; }
   bool splice_move_enabled() const { return splice_move_enabled_; }
+  // True when the mount asked for the submission-ring transport, the server
+  // acked kFuseRingSubmission, and the connection switched over.
+  bool ring_enabled() const { return ring_enabled_; }
 
   // --- negotiated I/O windows (FUSE_MAX_PAGES) ---
   // Pages the server granted at INIT; 0 when the mount did not ask or the
@@ -297,6 +317,7 @@ class FuseFs : public kernel::FileSystem, public std::enable_shared_from_this<Fu
   bool splice_read_enabled_ = false;
   bool splice_write_enabled_ = false;
   bool splice_move_enabled_ = false;
+  bool ring_enabled_ = false;
   uint32_t negotiated_max_pages_ = 0;
   uint32_t effective_max_write_ = 128 * 1024;
   uint32_t readahead_ceiling_pages_ = 32;

@@ -48,41 +48,51 @@ void FuseServer::Stop(bool notify_destroy) {
 
 void FuseServer::WorkerLoop(size_t home_channel) {
   fault::FaultRegistry* faults = conn_->faults();
-  while (true) {
-    auto request = conn_->ReadRequest(home_channel);
-    if (!request.has_value()) {
+  bool killed = false;
+  while (!killed) {
+    // Ring mode: one wakeup reaps the whole burst that accumulated while
+    // this worker was busy, then the batch is handled back to back — the
+    // multi-reap amortization. The legacy path delivers batches of one.
+    std::vector<FuseRequest> batch =
+        conn_->ring_enabled() ? conn_->ReadRequestBatch(home_channel)
+                              : conn_->ReadRequestBatch(home_channel, 1);
+    if (batch.empty()) {
       break;  // connection aborted and queues drained
     }
-    if (request->opcode == FuseOpcode::kDestroy) {
-      handler_->OnDestroy();
-      continue;
-    }
-    // Handle on the caller's virtual timeline: the server-side costs belong
-    // to the request that incurred them, and channels stay independent when
-    // callers run on parallel lanes.
-    SimClock::LaneScope lane(request->lane);
-    fault::FaultHit hit;
-    if (faults != nullptr) {
-      hit = faults->Check(kFaultServerWorker);
-      if (hit && hit.latency_ns != 0) {
-        conn_->clock()->Advance(hit.latency_ns);
+    for (FuseRequest& request : batch) {
+      if (request.opcode == FuseOpcode::kDestroy) {
+        handler_->OnDestroy();
+        continue;
       }
-    }
-    if (hit && hit.action == fault::FaultAction::kKill) {
-      // This worker dies holding the request: the daemon has crashed. Abort
-      // the connection so every waiter (including this request's) resolves.
-      conn_->Abort();
-      break;
-    }
-    FuseReply reply = handler_->Handle(*request);
-    if (hit && hit.action == fault::FaultAction::kDrop) {
-      continue;  // reply lost: the waiter's deadline/abort must resolve it
-    }
-    if (hit && hit.action == fault::FaultAction::kFail) {
-      reply = FuseReply::Error(hit.error);
-    }
-    if (request->unique != 0) {
-      conn_->WriteReply(request->unique, std::move(reply));
+      // Handle on the caller's virtual timeline: the server-side costs
+      // belong to the request that incurred them, and channels stay
+      // independent when callers run on parallel lanes.
+      SimClock::LaneScope lane(request.lane);
+      fault::FaultHit hit;
+      if (faults != nullptr) {
+        hit = faults->Check(kFaultServerWorker);
+        if (hit && hit.latency_ns != 0) {
+          conn_->clock()->Advance(hit.latency_ns);
+        }
+      }
+      if (hit && hit.action == fault::FaultAction::kKill) {
+        // This worker dies holding the request: the daemon has crashed.
+        // Abort the connection so every waiter (including this request's
+        // and the rest of the batch's) resolves.
+        conn_->Abort();
+        killed = true;
+        break;
+      }
+      FuseReply reply = handler_->Handle(request);
+      if (hit && hit.action == fault::FaultAction::kDrop) {
+        continue;  // reply lost: the waiter's deadline/abort must resolve it
+      }
+      if (hit && hit.action == fault::FaultAction::kFail) {
+        reply = FuseReply::Error(hit.error);
+      }
+      if (request.unique != 0) {
+        conn_->WriteReply(request.unique, std::move(reply));
+      }
     }
   }
   conn_->RemoveReader(home_channel);

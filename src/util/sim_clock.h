@@ -30,6 +30,22 @@ struct CostModel {
   // Extra per-request dispatch cost when N>1 server threads contend on the
   // /dev/fuse queue (models futex wakeups + cacheline bouncing, Figure 4).
   uint64_t fuse_thread_contention_ns = 350;
+  // --- Submission-ring transport (io_uring-style SQ/CQ, see
+  // docs/transport.md "Submission rings") ---
+  // Filling one submission-queue entry and publishing the ring tail: a few
+  // cachelines and one release store, no syscall, no lock.
+  uint64_t fuse_ring_sqe_ns = 350;
+  // Writing one completion entry and publishing it to the waiter, which
+  // adaptively spin-polls the completion slot and picks the result up
+  // without a wakeup syscall in the common case.
+  uint64_t fuse_ring_cqe_ns = 300;
+  // Ringing the submission doorbell (futex wake + context switch toward the
+  // server). Charged per reply-carrying SQE; fire-and-forget entries
+  // (FORGETs, interrupt notifications) ride the next burst for free — the
+  // deterministic analogue of burst amortization. One ring round trip
+  // (sqe + doorbell + cqe = 3250ns) still undercuts the 6000ns wakeup
+  // handshake, which is where the small-op win comes from.
+  uint64_t fuse_ring_doorbell_ns = 2600;
   // Copying one 4KiB page between user and kernel buffers.
   uint64_t copy_page_ns = 400;
   // Splicing (remapping) one 4KiB page through a kernel pipe.
