@@ -15,9 +15,37 @@ Baseline entry forms (bench/baselines.json):
 The benchmarks report virtual (simulated) time, so the numbers are stable
 across machines; keys with real-thread jitter (multi-client lanes) are
 simply not listed in the baselines.
+
+The artifact may also carry a nested "obs" object (the observability
+plane's registry SnapshotJson, embedded by bench_optimizations): it is not
+diffed against baselines, but it is sanity-checked — request-latency
+histograms must be present and populated, and every histogram's quantiles
+must be monotonic and bounded by its recorded max.
 """
 import json
 import sys
+
+
+def check_obs(obs, failures) -> None:
+    """Structural sanity for the embedded registry snapshot."""
+    hists = obs.get("histograms", {})
+    request_series = [k for k in hists if k.startswith("cntr_fuse_request_ns")]
+    if not request_series:
+        failures.append("obs: no cntr_fuse_request_ns histograms in snapshot")
+        return
+    if not any(hists[k].get("count", 0) > 0 for k in request_series):
+        failures.append("obs: every request-latency histogram is empty "
+                        "(tracing disabled during the traced run?)")
+    for key in request_series:
+        h = hists[key]
+        p50, p95, p99 = h.get("p50", 0), h.get("p95", 0), h.get("p99", 0)
+        if not p50 <= p95 <= p99:
+            failures.append(
+                f"obs {key}: quantiles not monotonic "
+                f"(p50={p50} p95={p95} p99={p99})")
+        if h.get("count", 0) > 0 and p99 > h.get("max", 0):
+            failures.append(
+                f"obs {key}: p99 {p99} exceeds recorded max {h.get('max', 0)}")
 
 
 def main() -> int:
@@ -50,6 +78,9 @@ def main() -> int:
                     f"baseline {spec['value']:.3f} (floor {floor:.3f})")
             else:
                 print(f"ok   {key}: {got:.3f} vs baseline {spec['value']:.3f}")
+
+    if isinstance(measured.get("obs"), dict):
+        check_obs(measured["obs"], failures)
 
     if failures:
         print("\nBENCH REGRESSIONS:")

@@ -37,7 +37,24 @@ StatusOr<std::unique_ptr<CntrFsServer>> CntrFsServer::Create(kernel::Kernel* ker
 }
 
 CntrFsServer::CntrFsServer(kernel::Kernel* kernel, kernel::ProcessPtr server_proc, VfsPath root)
-    : kernel_(kernel), server_proc_(std::move(server_proc)), root_(std::move(root)) {}
+    : kernel_(kernel), server_proc_(std::move(server_proc)), root_(std::move(root)) {
+  // Per-server rollup scope: each CNTRFS instance of a kernel exports its
+  // own cntr_cntrfs_* series (attach fleets run several side by side).
+  obs::MetricsRegistry& reg = kernel_->metrics();
+  const obs::Labels labels = {
+      {"server", "c" + std::to_string(reg.AllocScope("cntrfs"))}};
+  auto counter = [&](const char* name) { return reg.GetCounter(name, labels); };
+  lookups_ = counter("cntr_cntrfs_lookups_total");
+  reads_ = counter("cntr_cntrfs_reads_total");
+  writes_ = counter("cntr_cntrfs_writes_total");
+  creates_ = counter("cntr_cntrfs_creates_total");
+  forgets_ = counter("cntr_cntrfs_forgets_total");
+  readdirplus_ = counter("cntr_cntrfs_readdirplus_total");
+  readdirs_ = counter("cntr_cntrfs_readdirs_total");
+  spliced_reads_ = counter("cntr_cntrfs_spliced_reads_total");
+  spliced_writes_ = counter("cntr_cntrfs_spliced_writes_total");
+  interrupts_ = counter("cntr_cntrfs_interrupts_total");
+}
 
 StatusOr<VfsPath> CntrFsServer::NodePath(uint64_t nodeid) const {
   if (nodeid == fuse::kFuseRootId) {
@@ -163,7 +180,7 @@ FuseReply CntrFsServer::Handle(const FuseRequest& req) {
       // The passthrough handlers never block indefinitely, so observing the
       // notification is all there is to do; the transport already resolved
       // the waiter with EINTR.
-      interrupts_.fetch_add(1, std::memory_order_relaxed);
+      interrupts_->Add();
       return FuseReply{};
     case FuseOpcode::kCreate:
       // The kernel side issues MKNOD + OPEN instead of atomic CREATE.
@@ -186,7 +203,7 @@ FuseReply CntrFsServer::DoInit(const FuseRequest& req) {
 }
 
 FuseReply CntrFsServer::DoLookup(const FuseRequest& req) {
-  lookups_.fetch_add(1, std::memory_order_relaxed);
+  lookups_->Add();
   auto dir = NodePath(req.nodeid);
   if (!dir.ok()) {
     return ErrorReply(dir.status());
@@ -288,7 +305,7 @@ FuseReply CntrFsServer::DoOpen(const FuseRequest& req, bool dir) {
 }
 
 FuseReply CntrFsServer::DoRead(const FuseRequest& req) {
-  reads_.fetch_add(1, std::memory_order_relaxed);
+  reads_->Add();
   kernel::FilePtr file;
   {
     std::lock_guard<std::mutex> lock(files_mu_);
@@ -309,7 +326,7 @@ FuseReply CntrFsServer::DoRead(const FuseRequest& req) {
     if (pages.ok()) {
       FuseReply reply;
       reply.pages = std::move(pages).value();
-      spliced_reads_.fetch_add(1, std::memory_order_relaxed);
+      spliced_reads_->Add();
       return reply;
     }
     // EOPNOTSUPP (no page cache behind this file), EBADF (write-only
@@ -339,7 +356,7 @@ FuseReply CntrFsServer::DoRead(const FuseRequest& req) {
 }
 
 FuseReply CntrFsServer::DoWrite(const FuseRequest& req) {
-  writes_.fetch_add(1, std::memory_order_relaxed);
+  writes_->Add();
   kernel::FilePtr file;
   {
     std::lock_guard<std::mutex> lock(files_mu_);
@@ -370,7 +387,7 @@ FuseReply CntrFsServer::DoWrite(const FuseRequest& req) {
     // writeback cache still shares them).
     auto n = file->WritePageRefs(req.payload_pages, req.offset);
     if (n.ok()) {
-      spliced_writes_.fetch_add(1, std::memory_order_relaxed);
+      spliced_writes_->Add();
       FuseReply reply;
       reply.count = static_cast<uint32_t>(n.value());
       return reply;
@@ -450,7 +467,7 @@ FuseReply CntrFsServer::DoFsync(const FuseRequest& req) {
 }
 
 FuseReply CntrFsServer::DoReaddir(const FuseRequest& req) {
-  readdirs_.fetch_add(1, std::memory_order_relaxed);
+  readdirs_->Add();
   kernel::FilePtr file;
   {
     std::lock_guard<std::mutex> lock(files_mu_);
@@ -473,7 +490,7 @@ FuseReply CntrFsServer::DoReaddir(const FuseRequest& req) {
 }
 
 FuseReply CntrFsServer::DoReaddirPlus(const FuseRequest& req) {
-  readdirplus_.fetch_add(1, std::memory_order_relaxed);
+  readdirplus_->Add();
   auto dir = NodePath(req.nodeid);
   if (!dir.ok()) {
     return ErrorReply(dir.status());
@@ -565,7 +582,7 @@ FuseReply CntrFsServer::DoReaddirPlus(const FuseRequest& req) {
 }
 
 FuseReply CntrFsServer::DoMknod(const FuseRequest& req) {
-  creates_.fetch_add(1, std::memory_order_relaxed);
+  creates_->Add();
   auto dir = NodePath(req.nodeid);
   if (!dir.ok()) {
     return ErrorReply(dir.status());
@@ -799,7 +816,7 @@ FuseReply CntrFsServer::DoAccess(const FuseRequest& req) {
 }
 
 FuseReply CntrFsServer::DoForget(const FuseRequest& req) {
-  forgets_.fetch_add(1, std::memory_order_relaxed);
+  forgets_->Add();
   // Each forget returns `nlookup` lookups at once (fuse_forget_one): LOOKUP
   // and READDIRPLUS both raise lookup_count, and the kernel sends one FORGET
   // per inode lifetime carrying the full balance. The node's shard owns the

@@ -43,8 +43,10 @@ class CntrFsServer : public fuse::FuseHandler {
   fuse::FuseReply Handle(const fuse::FuseRequest& request) override;
   void OnDestroy() override;
 
-  // Counters are atomics so the handlers never serialize on a stats lock
-  // (the Figure 4 scaling path goes through every one of them).
+  // Thin view over registry-backed instruments (cntr_cntrfs_* series,
+  // labeled server="c<N>"): the handlers bump sharded registry counters —
+  // never a stats lock, the Figure 4 scaling path goes through every one of
+  // them — and this snapshot just reads them back.
   struct Stats {
     uint64_t lookups = 0;
     uint64_t reads = 0;
@@ -59,16 +61,16 @@ class CntrFsServer : public fuse::FuseHandler {
   };
   Stats stats() const {
     Stats s;
-    s.lookups = lookups_.load(std::memory_order_relaxed);
-    s.reads = reads_.load(std::memory_order_relaxed);
-    s.writes = writes_.load(std::memory_order_relaxed);
-    s.creates = creates_.load(std::memory_order_relaxed);
-    s.forgets = forgets_.load(std::memory_order_relaxed);
-    s.readdirplus = readdirplus_.load(std::memory_order_relaxed);
-    s.readdirs = readdirs_.load(std::memory_order_relaxed);
-    s.spliced_reads = spliced_reads_.load(std::memory_order_relaxed);
-    s.spliced_writes = spliced_writes_.load(std::memory_order_relaxed);
-    s.interrupts = interrupts_.load(std::memory_order_relaxed);
+    s.lookups = lookups_->Value();
+    s.reads = reads_->Value();
+    s.writes = writes_->Value();
+    s.creates = creates_->Value();
+    s.forgets = forgets_->Value();
+    s.readdirplus = readdirplus_->Value();
+    s.readdirs = readdirs_->Value();
+    s.spliced_reads = spliced_reads_->Value();
+    s.spliced_writes = spliced_writes_->Value();
+    s.interrupts = interrupts_->Value();
     return s;
   }
 
@@ -158,16 +160,18 @@ class CntrFsServer : public fuse::FuseHandler {
   mutable std::mutex streams_mu_;
   std::map<uint64_t, std::shared_ptr<const std::vector<kernel::DirEntry>>> dir_streams_;
 
-  std::atomic<uint64_t> lookups_{0};
-  std::atomic<uint64_t> reads_{0};
-  std::atomic<uint64_t> writes_{0};
-  std::atomic<uint64_t> creates_{0};
-  std::atomic<uint64_t> forgets_{0};
-  std::atomic<uint64_t> readdirplus_{0};
-  std::atomic<uint64_t> readdirs_{0};
-  std::atomic<uint64_t> spliced_reads_{0};
-  std::atomic<uint64_t> spliced_writes_{0};
-  std::atomic<uint64_t> interrupts_{0};
+  // Registry-backed (kernel->metrics(), labeled server="c<N>"); resolved
+  // once at construction, stable for the registry's lifetime.
+  obs::Counter* lookups_;
+  obs::Counter* reads_;
+  obs::Counter* writes_;
+  obs::Counter* creates_;
+  obs::Counter* forgets_;
+  obs::Counter* readdirplus_;
+  obs::Counter* readdirs_;
+  obs::Counter* spliced_reads_;
+  obs::Counter* spliced_writes_;
+  obs::Counter* interrupts_;
 
   // TTLs handed to the kernel side; mirror rust-fuse defaults.
   uint64_t entry_ttl_ns_ = 1'000'000'000;

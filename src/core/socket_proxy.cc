@@ -48,6 +48,17 @@ SocketProxy::SocketProxy(kernel::Kernel* kernel, kernel::ProcessPtr container_pr
                          kernel::ProcessPtr host_proc)
     : kernel_(kernel), container_proc_(std::move(container_proc)),
       host_proc_(std::move(host_proc)) {
+  obs::MetricsRegistry& reg = kernel_->metrics();
+  const obs::Labels labels = {
+      {"proxy", "p" + std::to_string(reg.AllocScope("socket_proxy"))}};
+  auto counter = [&](const char* name) { return reg.GetCounter(name, labels); };
+  connections_ = counter("cntr_socket_proxy_connections_total");
+  bytes_forwarded_ = counter("cntr_socket_proxy_bytes_forwarded_total");
+  spliced_bytes_ = counter("cntr_socket_proxy_spliced_bytes_total");
+  copied_bytes_ = counter("cntr_socket_proxy_copied_bytes_total");
+  half_closes_ = counter("cntr_socket_proxy_half_closes_total");
+  accept_failures_ = counter("cntr_socket_proxy_accept_failures_total");
+  accept_retries_ = counter("cntr_socket_proxy_accept_retries_total");
   auto ep = kernel_->EpollCreate(*container_proc_);
   if (ep.ok()) {
     epoll_fd_ = ep.value();
@@ -186,7 +197,7 @@ bool SocketProxy::AcceptOne(Rule& rule) {
                             ? kAcceptBackoffMinNs
                             : std::min(rule.backoff_ns * 2, kAcceptBackoffMaxNs);
       rule.backoff_until_ns = kernel_->clock().NowNs() + rule.backoff_ns;
-      accept_retries_.fetch_add(1);
+      accept_retries_->Add();
     }
     return false;
   }
@@ -211,7 +222,7 @@ bool SocketProxy::AcceptOne(Rule& rule) {
     for (Fd fd : installed) {
       (void)container_proc_->fds.Take(fd);
     }
-    accept_failures_.fetch_add(1);
+    accept_failures_->Add();
     return true;  // the listener may hold more pending connections
   };
 
@@ -277,7 +288,7 @@ bool SocketProxy::AcceptOne(Rule& rule) {
   if (!flow_b.ok()) {
     return unwind(flow_b);
   }
-  connections_.fetch_add(1);
+  connections_->Add();
   return true;
 }
 
@@ -388,8 +399,8 @@ void SocketProxy::DrainFlow(Flow& flow) {
         return;
       }
       flow.residue -= out.value();
-      spliced_bytes_.fetch_add(out.value());
-      bytes_forwarded_.fetch_add(out.value());
+      spliced_bytes_->Add(out.value());
+      bytes_forwarded_->Add(out.value());
     } else {
       auto n = kernel_->Write(*container_proc_, flow.dst, flow.carry.data() + flow.carry_off,
                               flow.carry.size() - flow.carry_off);
@@ -404,8 +415,8 @@ void SocketProxy::DrainFlow(Flow& flow) {
       kernel_->clock().Advance(PagesOf(n.value()) * kernel_->costs().copy_page_ns);
       flow.carry_off += n.value();
       flow.residue -= n.value();
-      copied_bytes_.fetch_add(n.value());
-      bytes_forwarded_.fetch_add(n.value());
+      copied_bytes_->Add(n.value());
+      bytes_forwarded_->Add(n.value());
       if (flow.carry_off == flow.carry.size()) {
         flow.carry.clear();
         flow.carry_off = 0;
@@ -419,7 +430,7 @@ void SocketProxy::FinishFlow(Flow& flow) {
   // the destination can still send its remaining response the other way.
   (void)kernel_->SocketShutdown(*container_proc_, flow.dst, kernel::kShutWr);
   flow.done = true;
-  half_closes_.fetch_add(1);
+  half_closes_->Add();
 }
 
 void SocketProxy::AbortFlow(Flow& flow) {

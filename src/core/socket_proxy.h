@@ -66,6 +66,8 @@ class SocketProxy {
   // uses it as the "before" side.
   void SetSegmentSplice(bool on) { use_splice_.store(on); }
 
+  // Thin view over registry-backed instruments (cntr_socket_proxy_* series,
+  // labeled proxy="p<N>" in the kernel's registry).
   struct Stats {
     uint64_t connections = 0;     // fully established proxied connections
     uint64_t bytes_forwarded = 0; // bytes delivered to destinations
@@ -77,13 +79,13 @@ class SocketProxy {
   };
   Stats stats() const {
     Stats s;
-    s.connections = connections_.load();
-    s.bytes_forwarded = bytes_forwarded_.load();
-    s.spliced_bytes = spliced_bytes_.load();
-    s.copied_bytes = copied_bytes_.load();
-    s.half_closes = half_closes_.load();
-    s.accept_failures = accept_failures_.load();
-    s.accept_retries = accept_retries_.load();
+    s.connections = connections_->Value();
+    s.bytes_forwarded = bytes_forwarded_->Value();
+    s.spliced_bytes = spliced_bytes_->Value();
+    s.copied_bytes = copied_bytes_->Value();
+    s.half_closes = half_closes_->Value();
+    s.accept_failures = accept_failures_->Value();
+    s.accept_retries = accept_retries_->Value();
     return s;
   }
 
@@ -156,13 +158,14 @@ class SocketProxy {
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> use_splice_{true};
-  std::atomic<uint64_t> connections_{0};
-  std::atomic<uint64_t> bytes_forwarded_{0};
-  std::atomic<uint64_t> spliced_bytes_{0};
-  std::atomic<uint64_t> copied_bytes_{0};
-  std::atomic<uint64_t> half_closes_{0};
-  std::atomic<uint64_t> accept_failures_{0};
-  std::atomic<uint64_t> accept_retries_{0};
+  // Registry-backed (kernel->metrics()); resolved once at construction.
+  obs::Counter* connections_;
+  obs::Counter* bytes_forwarded_;
+  obs::Counter* spliced_bytes_;
+  obs::Counter* copied_bytes_;
+  obs::Counter* half_closes_;
+  obs::Counter* accept_failures_;
+  obs::Counter* accept_retries_;
 };
 
 }  // namespace cntr::core

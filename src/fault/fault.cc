@@ -117,4 +117,22 @@ uint64_t FaultRegistry::Fired(std::string_view point) const {
   return it == entries_.end() ? 0 : it->second.fired;
 }
 
+uint64_t FaultRegistry::TotalHits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, entry] : entries_) {
+    total += entry.hits;
+  }
+  return total;
+}
+
+uint64_t FaultRegistry::TotalFired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, entry] : entries_) {
+    total += entry.fired;
+  }
+  return total;
+}
+
 }  // namespace cntr::fault

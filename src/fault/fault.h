@@ -78,6 +78,10 @@ class FaultRegistry {
   uint64_t Hits(std::string_view point) const;
   // Times the point actually fired.
   uint64_t Fired(std::string_view point) const;
+  // Sums across every armed point — the observability rollup (exported as
+  // cntr_fault_{hits,fired} callback gauges by the Kernel).
+  uint64_t TotalHits() const;
+  uint64_t TotalFired() const;
   bool AnyArmed() const { return armed_.load(std::memory_order_relaxed) != 0; }
 
   // The catalogue of every injection point compiled into the stack, for

@@ -182,11 +182,48 @@ const char* FuseOpcodeName(FuseOpcode op) {
   return "?";
 }
 
+namespace {
+
+// RequestMetrics lives below the fuse layer and labels series through this
+// adapter (unknown opcodes render as "op<N>" on its side).
+const char* OpcodeNameU32(uint32_t op) {
+  return FuseOpcodeName(static_cast<FuseOpcode>(op));
+}
+
+}  // namespace
+
 FuseConn::FuseConn(SimClock* clock, const CostModel* costs, size_t num_channels,
-                   fault::FaultRegistry* faults)
-    : clock_(clock), costs_(costs), faults_(faults) {
+                   fault::FaultRegistry* faults, obs::MetricsRegistry* metrics)
+    : clock_(clock),
+      costs_(costs),
+      faults_(faults),
+      registry_(metrics != nullptr ? metrics : &obs::MetricsRegistry::Global()) {
+  mount_label_ = "m" + std::to_string(registry_->AllocScope("mount"));
+  const obs::Labels labels{{"mount", mount_label_}};
+  auto counter = [&](const char* name) { return registry_->GetCounter(name, labels); };
+  requests_ = counter("cntr_fuse_conn_requests_total");
+  replies_ = counter("cntr_fuse_conn_replies_total");
+  forgets_ = counter("cntr_fuse_conn_forgets_total");
+  spliced_bytes_ = counter("cntr_fuse_conn_spliced_bytes_total");
+  copied_bytes_ = counter("cntr_fuse_conn_copied_bytes_total");
+  splice_fallbacks_ = counter("cntr_fuse_conn_splice_fallbacks_total");
+  lane_growths_ = counter("cntr_fuse_conn_lane_growths_total");
+  timeouts_ = counter("cntr_fuse_conn_timeouts_total");
+  late_replies_ = counter("cntr_fuse_conn_late_replies_total");
+  interrupts_ = counter("cntr_fuse_conn_interrupts_total");
+  admission_waits_ = counter("cntr_fuse_conn_admission_waits_total");
+  req_metrics_ =
+      std::make_unique<obs::RequestMetrics>(registry_, mount_label_, &OpcodeNameU32);
   std::lock_guard<std::mutex> lock(config_mu_);
   InstallChannels(std::clamp<size_t>(num_channels, 1, kMaxChannels));
+}
+
+void FuseConn::RecordOutcome(FuseOpcode op, const obs::SpanPtr& span,
+                             obs::Outcome outcome, bool spliced) {
+  // Wake stamp: NowNs on the waiter's own timeline. Reads only — the
+  // observability plane never advances the clock.
+  req_metrics_->RecordRequest(static_cast<uint32_t>(op), span.get(), clock_->NowNs(),
+                              outcome, spliced);
 }
 
 FuseConn::~FuseConn() { StopSweeper(); }
@@ -342,7 +379,7 @@ bool FuseConn::MaybeGrowLanes(FuseChannel& ch, uint64_t wanted_bytes) {
   }
   if (grew) {
     ch.fallback_pressure.store(0, std::memory_order_relaxed);
-    lane_growths_.fetch_add(1, std::memory_order_relaxed);
+    lane_growths_->Add();
   }
   return grew;
 }
@@ -397,7 +434,7 @@ void FuseConn::GateRequestPayload(FuseChannel& ch, FuseRequest& request) {
     }
     if (lane.has_value()) {
       request.lane_idx = *lane;
-      spliced_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      spliced_bytes_->Add(bytes);
       return;
     }
   }
@@ -405,8 +442,8 @@ void FuseConn::GateRequestPayload(FuseChannel& ch, FuseRequest& request) {
   // is copied through userspace buffers again, one page at a time.
   FlattenPages(request.payload_pages, request.data, clock_, costs_);
   request.spliced = false;
-  copied_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-  splice_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  copied_bytes_->Add(bytes);
+  splice_fallbacks_->Add();
 }
 
 void FuseConn::GateReplyPayload(FuseChannel& ch, FuseReply& reply) {
@@ -429,15 +466,15 @@ void FuseConn::GateReplyPayload(FuseChannel& ch, FuseReply& reply) {
     if (lane.has_value()) {
       reply.spliced = true;
       reply.lane_idx = *lane;
-      spliced_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      spliced_bytes_->Add(bytes);
       return;
     }
   }
   // Copy fallback: the server write()s the payload into the reply buffer.
   FlattenPages(reply.pages, reply.data, clock_, costs_);
   reply.spliced = false;
-  copied_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-  splice_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  copied_bytes_->Add(bytes);
+  splice_fallbacks_->Add();
 }
 
 StatusOr<size_t> FuseConn::SetLaneCapacity(size_t bytes) {
@@ -477,6 +514,7 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
     if (auto hit = faults_->Check(kFaultConnEnqueue)) {
       clock_->Advance(hit.latency_ns);
       if (hit.action == fault::FaultAction::kFail) {
+        RecordOutcome(request.opcode, nullptr, obs::Outcome::kFault, false);
         return Status::Error(hit.error, "injected /dev/fuse enqueue fault");
       }
     }
@@ -486,7 +524,7 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   // instead of growing the channel queues without bound.
   uint32_t cap = max_background_.load(std::memory_order_acquire);
   if (cap != 0 && in_flight_.load(std::memory_order_acquire) >= cap) {
-    admission_waits_.fetch_add(1, std::memory_order_relaxed);
+    admission_waits_->Add();
     std::unique_lock<std::mutex> gate(admission_mu_);
     admission_cv_.wait(gate, [&] {
       return aborted() || in_flight_.load(std::memory_order_acquire) <
@@ -504,7 +542,14 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   request.unique = unique;
   request.channel = static_cast<uint32_t>(ch_idx);
   request.lane = SimClock::current_lane();
+  const FuseOpcode op = request.opcode;
+  // Enqueue stamp before any transport charge, so the queue phase carries
+  // everything the caller pays between submit and server pickup (payload
+  // gating, backlog wait, the round-trip charge itself).
+  request.span = obs::MakeSpan(clock_->NowNs());
+  obs::SpanPtr span = request.span;
   GateRequestPayload(ch, request);
+  const bool req_spliced = request.spliced;
 
   // One round trip: enqueue + server wakeup + reply + caller wakeup. With
   // more than one server thread homed on this channel, each dequeue pays a
@@ -520,6 +565,7 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   if (aborted()) {
     clock_->Advance(cost);
     FinishInFlight();
+    RecordOutcome(op, span, obs::Outcome::kAbort, req_spliced);
     return Status::Error(ENOTCONN, "fuse connection aborted");
   }
   // Channel occupancy: on parallel lanes, arriving at a busy channel means
@@ -536,7 +582,7 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   clock_->Advance(cost);
   BumpBusyUntil(ch, clock_->NowNs());
 
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_->Add();
   ch.enqueued.fetch_add(1, std::memory_order_relaxed);
   {
     FuseChannel::PendingReply entry;
@@ -582,11 +628,14 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
       if (abort_after != 0 && misses >= abort_after && !aborted()) {
         Abort();
       }
+      RecordOutcome(op, span, obs::Outcome::kTimeout, req_spliced);
       return Status::Error(ETIMEDOUT, "fuse request deadline expired");
     }
     if (interrupted) {
+      RecordOutcome(op, span, obs::Outcome::kInterrupt, req_spliced);
       return Status::Error(EINTR, "fuse request interrupted");
     }
+    RecordOutcome(op, span, obs::Outcome::kAbort, req_spliced);
     return Status::Error(ENOTCONN, "fuse connection aborted");
   }
   FuseReply reply = std::move(it->second.reply);
@@ -599,6 +648,9 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
     // identity arrived with the reply itself.
     ch.lane_out[reply.lane_idx % kLanePoolSize]->DrainBytes(reply.payload_bytes());
   }
+  RecordOutcome(op, span,
+                reply.error != 0 ? obs::Outcome::kError : obs::Outcome::kOk,
+                req_spliced || reply.spliced);
   if (reply.error != 0) {
     return Status::Error(reply.error);
   }
@@ -608,6 +660,7 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
 void FuseConn::SendNoReply(FuseRequest request) {
   size_t ch_idx = RouteChannel(request.pid);
   FuseChannel& ch = Channel(ch_idx);
+  const FuseOpcode op = request.opcode;
   request.unique = 0;  // no reply expected
   request.channel = static_cast<uint32_t>(ch_idx);
   // No lane: nothing blocks on a forget, so the submitting thread's lane may
@@ -625,7 +678,7 @@ void FuseConn::SendNoReply(FuseRequest request) {
     if (aborted()) {
       return;
     }
-    forgets_.fetch_add(1, std::memory_order_relaxed);
+    forgets_->Add();
     ch.enqueued.fetch_add(1, std::memory_order_relaxed);
     ch.queue.push_back(std::move(request));
     if (ch.queue.size() > ch.max_depth.load(std::memory_order_relaxed)) {
@@ -634,6 +687,9 @@ void FuseConn::SendNoReply(FuseRequest request) {
     queued_total_.fetch_add(1);  // seq_cst: pairs with NotifyWork fast path
   }
   NotifyWork();
+  // Fire-and-forget submissions have no span (nothing waits, so there is no
+  // wake to measure); the outcome counter still ticks per opcode.
+  RecordOutcome(op, nullptr, obs::Outcome::kOk, false);
 }
 
 std::optional<FuseRequest> FuseConn::TryPop(FuseChannel& ch) {
@@ -655,6 +711,13 @@ std::optional<FuseRequest> FuseConn::TryPop(FuseChannel& ch) {
       bytes += ref.len;
     }
     ch.lane_in[req->lane_idx % kLanePoolSize]->DrainBytes(bytes);
+  }
+  if (req->span != nullptr) {
+    // Reap stamp on the *submitter's* timeline: the worker has not adopted
+    // the request's lane yet (LaneScope happens in the server loop), so a
+    // plain NowNs() here would read the worker's unrelated timeline.
+    req->span->reap_ns.store(clock_->NowOnLane(req->lane),
+                             std::memory_order_relaxed);
   }
   return req;
 }
@@ -740,7 +803,7 @@ void FuseConn::WriteReply(uint64_t unique, FuseReply reply) {
   auto it = ch.pending.find(unique);
   if (it == ch.pending.end()) {
     // Forget, expired-and-collected, or aborted waiter: nothing delivered.
-    late_replies_.fetch_add(1, std::memory_order_relaxed);
+    late_replies_->Add();
     return;
   }
   if (it->second.timed_out || it->second.interrupted ||
@@ -750,16 +813,16 @@ void FuseConn::WriteReply(uint64_t unique, FuseReply reply) {
     // already. Exactly one of {reply, timeout, interrupt} wins per request.
     if (!it->second.timed_out && !it->second.interrupted) {
       it->second.timed_out = true;
-      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      timeouts_->Add();
     }
-    late_replies_.fetch_add(1, std::memory_order_relaxed);
+    late_replies_->Add();
     ch.reply_cv.notify_all();
     return;
   }
   // Payload onto the lane (or flattened) only for a live waiter — a dead
   // waiter's pages are simply dropped with the reply.
   GateReplyPayload(ch, reply);
-  replies_.fetch_add(1, std::memory_order_relaxed);
+  replies_->Add();
   it->second.reply = std::move(reply);
   it->second.done = true;
   ch.reply_cv.notify_all();
@@ -929,6 +992,12 @@ size_t FuseConn::RingReap(FuseChannel& ch, RingState& ring,
     if (req.unique != 0 && !RingClaimSqe(ring, req)) {
       continue;  // interrupt/timeout/abort won the race before the server saw it
     }
+    if (req.span != nullptr) {
+      // Reap stamp on the submitter's timeline (see TryPop): the reaping
+      // worker adopts the lane only later, in the server loop.
+      req.span->reap_ns.store(clock_->NowOnLane(req.lane),
+                              std::memory_order_relaxed);
+    }
     out.push_back(std::move(req));
     ++delivered;
   }
@@ -946,6 +1015,7 @@ size_t FuseConn::RingReap(FuseChannel& ch, RingState& ring,
 
 StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
                                               size_t ch_idx, FuseRequest request) {
+  const FuseOpcode op = request.opcode;
   // Injected SQ overflow: surfaces to the submitter as a full-ring
   // submission failure.
   if (faults_ != nullptr) {
@@ -955,8 +1025,10 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
       FinishInFlight();
       if (hit.action == fault::FaultAction::kKill) {
         Abort();
+        RecordOutcome(op, nullptr, obs::Outcome::kAbort, false);
         return Status::Error(ENOTCONN, "fuse connection aborted");
       }
+      RecordOutcome(op, nullptr, obs::Outcome::kFault, false);
       return Status::Error(hit.error != 0 ? hit.error : ENOBUFS,
                            "injected submission-ring overflow");
     }
@@ -969,6 +1041,7 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
   for (;;) {
     if (aborted()) {
       FinishInFlight();
+      RecordOutcome(op, nullptr, obs::Outcome::kAbort, false);
       return Status::Error(ENOTCONN, "fuse connection aborted");
     }
     slot_idx = RingAllocSlot(ring);
@@ -993,7 +1066,13 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
   request.unique = unique;
   request.channel = static_cast<uint32_t>(ch_idx);
   request.lane = SimClock::current_lane();
+  // Enqueue stamp before any transport charge, so the queue phase carries
+  // everything the caller pays between submit and server pickup (payload
+  // gating, channel occupancy, the SQE fill itself).
+  request.span = obs::MakeSpan(clock_->NowNs());
+  obs::SpanPtr span = request.span;
   GateRequestPayload(ch, request);
+  const bool req_spliced = request.spliced;
 
   // Channel occupancy across parallel lanes (same contract as the wakeup
   // path) — but no per-reader contention premium: SQ producers and the
@@ -1007,7 +1086,7 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
   }
   clock_->Advance(costs_->fuse_ring_sqe_ns);
   BumpBusyUntil(ch, clock_->NowNs());
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_->Add();
 
   // Fill the slot under kSlotInit, then publish it Pending.
   slot.unique = unique;
@@ -1046,6 +1125,7 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
                                             std::memory_order_acq_rel)) {
           RingWakeSubmitters(ring);
           FinishInFlight();
+          RecordOutcome(op, span, obs::Outcome::kAbort, req_spliced);
           return Status::Error(ENOTCONN, "fuse connection aborted");
         }
       } else {
@@ -1101,9 +1181,11 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
     if (abort_after != 0 && misses >= abort_after && !aborted()) {
       Abort();
     }
+    RecordOutcome(op, span, obs::Outcome::kTimeout, req_spliced);
     return Status::Error(ETIMEDOUT, "fuse request deadline expired");
   }
   if (terminal == kSlotInterrupted) {
+    RecordOutcome(op, span, obs::Outcome::kInterrupt, req_spliced);
     return Status::Error(EINTR, "fuse request interrupted");
   }
   consecutive_timeouts_.store(0, std::memory_order_release);
@@ -1111,6 +1193,9 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
     // Consume the lane bytes this reply occupied since RingWriteReply.
     ch.lane_out[reply.lane_idx % kLanePoolSize]->DrainBytes(reply.payload_bytes());
   }
+  RecordOutcome(op, span,
+                reply.error != 0 ? obs::Outcome::kError : obs::Outcome::kOk,
+                req_spliced || reply.spliced);
   if (reply.error != 0) {
     return Status::Error(reply.error);
   }
@@ -1122,12 +1207,17 @@ void FuseConn::RingSendNoReply(FuseChannel& ch, RingState& ring, size_t ch_idx,
   (void)ch_idx;
   // Fire-and-forget: one SQE fill, no completion slot, no waiting. The
   // doorbell (if this lands a burst head) is charged inside the push.
+  const FuseOpcode op = request.opcode;
   clock_->Advance(costs_->fuse_ring_sqe_ns);
   ring.submitting.fetch_add(1, std::memory_order_seq_cst);
-  if (RingPushSqe(ch, ring, std::move(request))) {
-    forgets_.fetch_add(1, std::memory_order_relaxed);
+  bool pushed = RingPushSqe(ch, ring, std::move(request));
+  if (pushed) {
+    forgets_->Add();
   }
   ring.submitting.fetch_sub(1, std::memory_order_seq_cst);
+  if (pushed) {
+    RecordOutcome(op, nullptr, obs::Outcome::kOk, false);
+  }
 }
 
 void FuseConn::RingWriteReply(FuseChannel& ch, RingState& ring, uint64_t unique,
@@ -1145,7 +1235,7 @@ void FuseConn::RingWriteReply(FuseChannel& ch, RingState& ring, uint64_t unique,
     }
     if (state != kSlotPending) {
       // Resolved (timeout/interrupt/abort) or recycled: nothing delivered.
-      late_replies_.fetch_add(1, std::memory_order_relaxed);
+      late_replies_->Add();
       return;
     }
     uint64_t completing = SlotCtrl(SlotGen(ctrl), kSlotCompleting);
@@ -1155,7 +1245,7 @@ void FuseConn::RingWriteReply(FuseChannel& ch, RingState& ring, uint64_t unique,
     if (slot.unique != unique) {
       // The slot was recycled by a new request: this reply's waiter is gone.
       slot.ctrl.store(SlotCtrl(SlotGen(ctrl), kSlotPending), std::memory_order_release);
-      late_replies_.fetch_add(1, std::memory_order_relaxed);
+      late_replies_->Add();
       return;
     }
     if (slot.deadline_ns != 0 && clock_->NowNs() > slot.deadline_ns) {
@@ -1163,8 +1253,8 @@ void FuseConn::RingWriteReply(FuseChannel& ch, RingState& ring, uint64_t unique,
       // payload, resolve the waiter as timed out. Exactly one of
       // {reply, timeout, interrupt} wins per request.
       slot.ctrl.store(SlotCtrl(SlotGen(ctrl), kSlotTimedOut), std::memory_order_release);
-      timeouts_.fetch_add(1, std::memory_order_relaxed);
-      late_replies_.fetch_add(1, std::memory_order_relaxed);
+      timeouts_->Add();
+      late_replies_->Add();
       RingWakeWaiters(ring);
       return;
     }
@@ -1174,7 +1264,7 @@ void FuseConn::RingWriteReply(FuseChannel& ch, RingState& ring, uint64_t unique,
     GateReplyPayload(ch, reply);
     clock_->Advance(costs_->fuse_ring_cqe_ns);
     slot.reply = std::move(reply);
-    replies_.fetch_add(1, std::memory_order_relaxed);
+    replies_->Add();
     slot.ctrl.store(SlotCtrl(SlotGen(ctrl), kSlotDone), std::memory_order_release);
     RingWakeWaiters(ring);
     return;
@@ -1204,7 +1294,7 @@ bool FuseConn::RingInterrupt(FuseChannel& ch, RingState& ring, size_t ch_idx,
     }
     bool claimed = slot.claimed.load(std::memory_order_relaxed);
     slot.ctrl.store(SlotCtrl(SlotGen(ctrl), kSlotInterrupted), std::memory_order_release);
-    interrupts_.fetch_add(1, std::memory_order_relaxed);
+    interrupts_->Add();
     RingWakeWaiters(ring);
     if (claimed) {
       // The server already reaped it: send the INTERRUPT notification so it
@@ -1324,7 +1414,7 @@ void FuseConn::SweeperLoop() {
                 SlotCtrl(SlotGen(ctrl), expire ? kSlotTimedOut : kSlotPending),
                 std::memory_order_release);
             if (expire) {
-              timeouts_.fetch_add(1, std::memory_order_relaxed);
+              timeouts_->Add();
               expired_ring = true;
             }
           }
@@ -1346,7 +1436,7 @@ void FuseConn::SweeperLoop() {
             }
             if (now_real - entry.enqueued_real >= grace) {
               entry.timed_out = true;
-              timeouts_.fetch_add(1, std::memory_order_relaxed);
+              timeouts_->Add();
               expired_any = true;
             }
           }
@@ -1411,7 +1501,7 @@ bool FuseConn::Interrupt(uint64_t unique) {
       in_flight_now = true;
     }
     it->second.interrupted = true;
-    interrupts_.fetch_add(1, std::memory_order_relaxed);
+    interrupts_->Add();
   }
   ch.reply_cv.notify_all();
   if (in_flight_now) {
@@ -1450,7 +1540,7 @@ uint32_t FuseConn::InterruptPid(kernel::Pid pid) {
         bool claimed = slot.claimed.load(std::memory_order_relaxed);
         slot.ctrl.store(SlotCtrl(SlotGen(ctrl), kSlotInterrupted),
                         std::memory_order_release);
-        interrupts_.fetch_add(1, std::memory_order_relaxed);
+        interrupts_->Add();
         RingWakeWaiters(*ring);
         if (claimed) {
           EnqueueInterruptNotify(*ch, unique & (kMaxChannels - 1), unique);

@@ -64,6 +64,8 @@
 #include "src/fuse/fuse_ring.h"
 #include "src/kernel/file.h"
 #include "src/kernel/pipe.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
 
@@ -167,8 +169,14 @@ class FuseConn {
   static constexpr size_t kChannelBits = 6;
   static constexpr size_t kMaxChannels = size_t{1} << kChannelBits;
 
+  // `metrics` is the registry the connection's instruments live in (the
+  // owning kernel's registry for mounted connections); null falls back to
+  // the process-wide MetricsRegistry::Global(). Every connection gets a
+  // fresh mount label ("m0", "m1", ...) from the registry's scope
+  // allocator, so per-mount series stay distinct in the fleet rollup.
   FuseConn(SimClock* clock, const CostModel* costs, size_t num_channels = 1,
-           fault::FaultRegistry* faults = nullptr);
+           fault::FaultRegistry* faults = nullptr,
+           obs::MetricsRegistry* metrics = nullptr);
   ~FuseConn();
 
   // Reshapes the channel set (FUSE_DEV_IOC_CLONE analogue). Only honoured
@@ -265,6 +273,18 @@ class FuseConn {
   fault::FaultRegistry* faults() const { return faults_; }
   SimClock* clock() const { return clock_; }
 
+  // --- observability ---
+  // The registry this connection's instruments live in and the mount label
+  // its series carry (the per-mount rollup key).
+  obs::MetricsRegistry* metrics_registry() const { return registry_; }
+  const std::string& mount_label() const { return mount_label_; }
+  // The per-mount request instrument bundle: opcode-keyed latency
+  // histograms, outcome counters, slow-request log.
+  obs::RequestMetrics& request_metrics() { return *req_metrics_; }
+  // Slow-request log threshold in virtual ns (0 disables); applied by the
+  // mount from FuseMountOptions::slow_request_ns.
+  void SetSlowRequestNs(uint64_t ns) { req_metrics_->SetSlowThresholdNs(ns); }
+
   // Number of server threads homed on `channel`; used to model per-channel
   // queue contention (Figure 4).
   void AddReader(size_t channel = 0);
@@ -341,8 +361,11 @@ class FuseConn {
     return s;
   }
 
-  // Counters are atomics internally so reading statistics never contends
-  // with the request hot path; stats() returns a consistent-enough snapshot.
+  // The legacy stats surface, kept as a thin view over the registry-backed
+  // instruments (obs::Counter sums sharded relaxed-atomic cells) so
+  // existing callers and tests keep working unchanged. The same values are
+  // exported through the registry as cntr_fuse_conn_* series keyed by the
+  // mount label.
   struct Stats {
     uint64_t requests = 0;
     uint64_t replies = 0;  // delivered to a live waiter only
@@ -371,20 +394,28 @@ class FuseConn {
     uint64_t sq_overflows = 0;
     uint64_t spin_parks = 0;
   };
+  // Safe to call while workers run: every source is an explicit atomic
+  // load taken exactly once into the snapshot (no plain reads of fields a
+  // worker may be writing), and the channel count is pinned up front so
+  // the per-channel walk cannot race a reshape into mixing old and new
+  // channel sets. The snapshot is internally consistent per counter;
+  // cross-counter skew (a request counted whose reply lands mid-walk) is
+  // inherent to lock-free aggregation and bounded by one in-flight window.
   Stats stats() const {
     Stats s;
-    s.requests = requests_.load(std::memory_order_relaxed);
-    s.replies = replies_.load(std::memory_order_relaxed);
-    s.forgets = forgets_.load(std::memory_order_relaxed);
-    s.spliced_bytes = spliced_bytes_.load(std::memory_order_relaxed);
-    s.copied_bytes = copied_bytes_.load(std::memory_order_relaxed);
-    s.splice_fallbacks = splice_fallbacks_.load(std::memory_order_relaxed);
-    s.lane_growths = lane_growths_.load(std::memory_order_relaxed);
-    s.timeouts = timeouts_.load(std::memory_order_relaxed);
-    s.late_replies = late_replies_.load(std::memory_order_relaxed);
-    s.interrupts = interrupts_.load(std::memory_order_relaxed);
-    s.admission_waits = admission_waits_.load(std::memory_order_relaxed);
-    for (size_t i = 0; i < num_channels(); ++i) {
+    s.requests = requests_->Value();
+    s.replies = replies_->Value();
+    s.forgets = forgets_->Value();
+    s.spliced_bytes = spliced_bytes_->Value();
+    s.copied_bytes = copied_bytes_->Value();
+    s.splice_fallbacks = splice_fallbacks_->Value();
+    s.lane_growths = lane_growths_->Value();
+    s.timeouts = timeouts_->Value();
+    s.late_replies = late_replies_->Value();
+    s.interrupts = interrupts_->Value();
+    s.admission_waits = admission_waits_->Value();
+    const size_t n = num_channels();
+    for (size_t i = 0; i < n; ++i) {
       s.max_queue_depth = std::max(s.max_queue_depth, channel_max_queue_depth(i));
       RingChannelStats r = channel_ring_stats(i);
       s.doorbells += r.doorbells;
@@ -509,13 +540,24 @@ class FuseConn {
   std::atomic<uint64_t> ring_depth_{0};
   std::atomic<uint32_t> ring_spin_budget_{kDefaultRingSpinBudget};
 
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> replies_{0};
-  std::atomic<uint64_t> forgets_{0};
-  std::atomic<uint64_t> spliced_bytes_{0};
-  std::atomic<uint64_t> copied_bytes_{0};
-  std::atomic<uint64_t> splice_fallbacks_{0};
-  std::atomic<uint64_t> lane_growths_{0};
+  // --- observability (see src/obs/) ---
+  // All lifecycle counters are registry-backed instruments; pointers are
+  // resolved once at construction and stay valid for the registry's life.
+  obs::MetricsRegistry* registry_;
+  std::string mount_label_;
+  std::unique_ptr<obs::RequestMetrics> req_metrics_;
+  // One request left flight: outcome counter, latency histograms (with a
+  // span), and the slow-request log. Wake stamp is taken here.
+  void RecordOutcome(FuseOpcode op, const obs::SpanPtr& span, obs::Outcome outcome,
+                     bool spliced);
+
+  obs::Counter* requests_;
+  obs::Counter* replies_;
+  obs::Counter* forgets_;
+  obs::Counter* spliced_bytes_;
+  obs::Counter* copied_bytes_;
+  obs::Counter* splice_fallbacks_;
+  obs::Counter* lane_growths_;
   std::atomic<bool> lane_autosize_{false};
 
   // --- failure plane ---
@@ -525,10 +567,10 @@ class FuseConn {
   std::atomic<uint32_t> consecutive_timeouts_{0};
   std::atomic<uint32_t> max_background_{0};
   std::atomic<uint32_t> in_flight_{0};
-  std::atomic<uint64_t> timeouts_{0};
-  std::atomic<uint64_t> late_replies_{0};
-  std::atomic<uint64_t> interrupts_{0};
-  std::atomic<uint64_t> admission_waits_{0};
+  obs::Counter* timeouts_;
+  obs::Counter* late_replies_;
+  obs::Counter* interrupts_;
+  obs::Counter* admission_waits_;
 
   // Admission-gate parking lot (waiters blocked on max_background).
   std::mutex admission_mu_;

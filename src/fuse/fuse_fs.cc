@@ -290,6 +290,10 @@ Status FuseFs::NegotiateInit() {
   }
   conn_->SetMaxBackground(opts_.max_background);
   conn_->SetAbortOnConsecutiveTimeouts(opts_.abort_after_timeouts);
+  // Observability: 0 keeps whatever CNTR_SLOW_REQUEST_NS seeded.
+  if (opts_.slow_request_ns != 0) {
+    conn_->SetSlowRequestNs(opts_.slow_request_ns);
+  }
   return Status::Ok();
 }
 

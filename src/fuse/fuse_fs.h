@@ -143,6 +143,14 @@ struct FuseMountOptions {
   // out forever). 0 = never.
   uint32_t abort_after_timeouts = 0;
 
+  // --- Observability (docs/observability.md) ---
+  // Slow-request log threshold in virtual ns: a completed request whose
+  // total (enqueue to waiter wake) meets it is logged at warn level with
+  // its queue/service/transit breakdown, rate-limited so a mass-timeout
+  // storm cannot flood the log. 0 defers to the CNTR_SLOW_REQUEST_NS
+  // environment variable (absent or unparsable = disabled).
+  uint64_t slow_request_ns = 0;
+
   // Everything on, plus the post-paper adaptivity (negotiated 1MiB
   // windows, watermark + flusher writeback, lane autosizing).
   static FuseMountOptions Optimized() { return FuseMountOptions{}; }

@@ -18,7 +18,8 @@ void RegisterFuseDevice(kernel::Kernel* kernel) {
       kernel::kFuseDevRdev,
       [kernel, conns, conn_list](kernel::Process& proc, int flags) -> StatusOr<kernel::FilePtr> {
         auto conn = std::make_shared<FuseConn>(&kernel->clock(), &kernel->costs(),
-                                               /*num_channels=*/1, &kernel->faults());
+                                               /*num_channels=*/1, &kernel->faults(),
+                                               &kernel->metrics());
         {
           std::lock_guard<std::mutex> lock(*conns);
           // Compact dead entries so a long-lived kernel does not accrete one

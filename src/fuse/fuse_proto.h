@@ -17,6 +17,7 @@
 #include "src/kernel/cred.h"
 #include "src/kernel/file.h"
 #include "src/kernel/inode.h"
+#include "src/obs/trace.h"
 #include "src/splice/page_ref.h"
 #include "src/util/sim_clock.h"
 
@@ -151,6 +152,9 @@ struct FuseRequest {
   // Virtual timeline of the submitting thread; the server worker adopts it
   // while handling so server-side costs charge the caller that incurred them.
   SimClock::LanePtr lane;
+  // Trace span (shared-owned like the lane: the waiter keeps a reference).
+  // Null when tracing is disabled or the submission expects no reply.
+  obs::SpanPtr span;
 };
 
 // Reply payloads (fuse_entry_out / fuse_attr_out / fuse_open_out / ...).

@@ -68,6 +68,10 @@ void FuseServer::WorkerLoop(size_t home_channel) {
       // belong to the request that incurred them, and channels stay
       // independent when callers run on parallel lanes.
       SimClock::LaneScope lane(request.lane);
+      if (request.span != nullptr) {
+        request.span->dispatch_ns.store(conn_->clock()->NowNs(),
+                                        std::memory_order_relaxed);
+      }
       fault::FaultHit hit;
       if (faults != nullptr) {
         hit = faults->Check(kFaultServerWorker);
@@ -91,6 +95,10 @@ void FuseServer::WorkerLoop(size_t home_channel) {
         reply = FuseReply::Error(hit.error);
       }
       if (request.unique != 0) {
+        if (request.span != nullptr) {
+          request.span->reply_ns.store(conn_->clock()->NowNs(),
+                                       std::memory_order_relaxed);
+        }
         conn_->WriteReply(request.unique, std::move(reply));
       }
     }

@@ -32,6 +32,7 @@
 #include "src/fault/fault.h"
 #include "src/kernel/types.h"
 #include "src/kernel/unix_socket.h"
+#include "src/obs/metrics.h"
 #include "src/splice/splice.h"
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
@@ -79,6 +80,10 @@ class Kernel {
   PollHub& poll_hub() { return poll_hub_; }
   DentryCache& dcache() { return *dcache_; }
   splice::SpliceEngine& splice_engine() { return *splice_engine_; }
+  // The kernel-wide metrics registry: every subsystem registers its
+  // instruments here, procfs renders it at /proc/cntr/metrics, and benches
+  // snapshot it into --json output (see docs/observability.md).
+  obs::MetricsRegistry& metrics() { return metrics_; }
   std::shared_ptr<CgroupNode> cgroup_root() { return cgroup_root_; }
 
   // init (pid 1): root tmpfs with /proc, /dev (null, zero, fuse), /tmp,
@@ -274,6 +279,9 @@ class Kernel {
 
   Config config_;
   SimClock clock_;
+  // Declared before the subsystems that register instruments in it, so it
+  // outlives every pointer they resolved (members destroy in reverse order).
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<PageCachePool> page_cache_;
   std::unique_ptr<DiskModel> disk_;
   std::unique_ptr<DentryCache> dcache_;

@@ -322,13 +322,76 @@ class ProcPidDirInode : public ProcInode {
   InodePtr parent_;
 };
 
+// Leaf file rendering one kernel-wide document (no process attached).
+class ProcKernelTextInode : public ProcInode {
+ public:
+  using Renderer = std::function<std::string(Kernel*)>;
+
+  ProcKernelTextInode(ProcFs* fs, Renderer renderer)
+      : ProcInode(fs, fs->AllocIno(), kIfReg | 0444), renderer_(std::move(renderer)) {}
+
+  StatusOr<FilePtr> Open(int flags, const Credentials& cred) override {
+    if (WantsWrite(flags)) {
+      return Status::Error(EACCES);
+    }
+    auto* pfs = static_cast<ProcFs*>(fs());
+    return FilePtr(
+        std::make_shared<StringFile>(shared_from_this(), renderer_(pfs->kernel()), flags));
+  }
+
+ private:
+  Renderer renderer_;
+};
+
+// /proc/cntr/ — the simulated kernel's own observability surface.
+class ProcCntrDirInode : public ProcInode {
+ public:
+  ProcCntrDirInode(ProcFs* fs, InodePtr parent)
+      : ProcInode(fs, fs->AllocIno(), kIfDir | 0555), parent_(std::move(parent)) {}
+
+  StatusOr<InodePtr> Lookup(const std::string& name) override {
+    auto* pfs = static_cast<ProcFs*>(fs());
+    if (name == "metrics") {
+      // Prometheus text exposition of the kernel-wide registry: every
+      // counter/gauge/histogram the subsystems registered, sampled at open.
+      return InodePtr(std::make_shared<ProcKernelTextInode>(
+          pfs, [](Kernel* k) { return k->metrics().RenderPrometheus(); }));
+    }
+    return Status::Error(ENOENT);
+  }
+
+  StatusOr<std::vector<DirEntry>> Readdir() override {
+    std::vector<DirEntry> out;
+    out.push_back({".", ino(), DType::kDir});
+    out.push_back({"..", 0, DType::kDir});
+    out.push_back({"metrics", 0, DType::kReg});
+    return out;
+  }
+
+  StatusOr<InodePtr> Parent() override { return parent_; }
+
+ private:
+  InodePtr parent_;
+};
+
 // /proc/
 class ProcRootInode : public ProcInode {
  public:
   explicit ProcRootInode(ProcFs* fs) : ProcInode(fs, 1, kIfDir | 0555) {}
 
+  // The kernel-wide observability surface (/proc/cntr) belongs to the host
+  // view only: a procfs bound to a container's pid namespace shows that
+  // container its own process world, not host-global metrics.
+  static bool HostView(ProcFs* pfs) {
+    const ProcessPtr& init = pfs->kernel()->init();
+    return init != nullptr && pfs->pid_ns() == init->pid_ns;
+  }
+
   StatusOr<InodePtr> Lookup(const std::string& name) override {
     auto* pfs = static_cast<ProcFs*>(fs());
+    if (name == "cntr" && HostView(pfs)) {
+      return InodePtr(std::make_shared<ProcCntrDirInode>(pfs, shared_from_this()));
+    }
     Pid pid = 0;
     for (char c : name) {
       if (c < '0' || c > '9') {
@@ -352,6 +415,9 @@ class ProcRootInode : public ProcInode {
     std::vector<DirEntry> out;
     out.push_back({".", ino(), DType::kDir});
     out.push_back({"..", 0, DType::kDir});
+    if (HostView(pfs)) {
+      out.push_back({"cntr", 0, DType::kDir});
+    }
     std::vector<Pid> pids;
     for (const auto& proc : pfs->kernel()->procs().All()) {
       Pid in_ns = proc->PidInNs(*pfs->pid_ns());

@@ -1,0 +1,158 @@
+#include "src/obs/trace.h"
+
+#include <cstdlib>
+
+namespace cntr::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{true};
+
+uint64_t EnvSlowThresholdNs() {
+  const char* env = std::getenv("CNTR_SLOW_REQUEST_NS");
+  if (env == nullptr) {
+    return 0;
+  }
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  return (end == env) ? 0 : static_cast<uint64_t>(v);
+}
+
+// Saturating: phases whose stamps are missing (or racing a concurrent
+// resolution) collapse to zero instead of wrapping.
+uint64_t ClampedDelta(uint64_t later, uint64_t earlier) {
+  return (earlier != 0 && later > earlier) ? later - earlier : 0;
+}
+
+}  // namespace
+
+bool TracingEnabled() { return g_tracing.load(std::memory_order_relaxed); }
+void SetTracingEnabled(bool enabled) {
+  g_tracing.store(enabled, std::memory_order_relaxed);
+}
+
+const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kError:
+      return "error";
+    case Outcome::kFault:
+      return "fault";
+    case Outcome::kTimeout:
+      return "timeout";
+    case Outcome::kInterrupt:
+      return "interrupt";
+    case Outcome::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+SpanPtr MakeSpan(uint64_t enqueue_ns) {
+  if (!TracingEnabled()) {
+    return nullptr;
+  }
+  auto span = std::make_shared<TraceSpan>();
+  span->enqueue_ns = enqueue_ns;
+  return span;
+}
+
+SpanBreakdown Breakdown(const TraceSpan& span, uint64_t wake_ns) {
+  SpanBreakdown b;
+  uint64_t reap = span.reap_ns.load(std::memory_order_relaxed);
+  uint64_t dispatch = span.dispatch_ns.load(std::memory_order_relaxed);
+  uint64_t reply = span.reply_ns.load(std::memory_order_relaxed);
+  b.total_ns = wake_ns > span.enqueue_ns ? wake_ns - span.enqueue_ns : 0;
+  b.queue_ns = ClampedDelta(reap, span.enqueue_ns);
+  b.service_ns = ClampedDelta(reply, dispatch);
+  b.transit_ns = ClampedDelta(wake_ns, reply);
+  return b;
+}
+
+RequestMetrics::RequestMetrics(MetricsRegistry* registry, std::string mount,
+                               OpNameFn op_name)
+    : registry_(registry),
+      mount_(std::move(mount)),
+      op_name_(op_name),
+      slow_ns_(EnvSlowThresholdNs()) {}
+
+RequestMetrics::OpInstruments* RequestMetrics::Ops(uint32_t opcode) {
+  size_t idx = opcode < kMaxOps ? opcode : kMaxOps - 1;
+  OpInstruments* ops = ops_[idx].load(std::memory_order_acquire);
+  if (ops != nullptr) {
+    return ops;
+  }
+  std::lock_guard<std::mutex> lock(build_mu_);
+  ops = ops_[idx].load(std::memory_order_acquire);
+  if (ops != nullptr) {
+    return ops;
+  }
+  const char* name = op_name_ != nullptr ? op_name_(opcode) : "?";
+  std::string op = (name != nullptr && name[0] != '\0' && name[0] != '?')
+                       ? name
+                       : "op" + std::to_string(opcode);
+  auto built = std::make_unique<OpInstruments>();
+  auto hist = [&](const char* phase) {
+    return registry_->GetHistogram(
+        "cntr_fuse_request_ns",
+        {{"mount", mount_}, {"op", op}, {"phase", phase}});
+  };
+  built->total = hist("total");
+  built->queue = hist("queue");
+  built->service = hist("service");
+  built->transit = hist("transit");
+  for (size_t i = 0; i < kNumOutcomes; ++i) {
+    built->outcomes[i] = registry_->GetCounter(
+        "cntr_fuse_requests_total",
+        {{"mount", mount_},
+         {"op", op},
+         {"outcome", OutcomeName(static_cast<Outcome>(i))}});
+  }
+  built->paths[0] = registry_->GetCounter(
+      "cntr_fuse_payloads_total",
+      {{"mount", mount_}, {"op", op}, {"path", "copied"}});
+  built->paths[1] = registry_->GetCounter(
+      "cntr_fuse_payloads_total",
+      {{"mount", mount_}, {"op", op}, {"path", "spliced"}});
+  ops = built.get();
+  owned_.push_back(std::move(built));
+  ops_[idx].store(ops, std::memory_order_release);
+  return ops;
+}
+
+void RequestMetrics::RecordRequest(uint32_t opcode, const TraceSpan* span,
+                                   uint64_t wake_ns, Outcome outcome, bool spliced) {
+  OpInstruments* ops = Ops(opcode);
+  ops->outcomes[static_cast<size_t>(outcome)]->Add();
+  if (span == nullptr) {
+    return;
+  }
+  ops->paths[spliced ? 1 : 0]->Add();
+  SpanBreakdown b = Breakdown(*span, wake_ns);
+  ops->total->Record(b.total_ns);
+  ops->queue->Record(b.queue_ns);
+  ops->service->Record(b.service_ns);
+  ops->transit->Record(b.transit_ns);
+
+  uint64_t slow = slow_ns_.load(std::memory_order_relaxed);
+  if (slow != 0 && b.total_ns >= slow &&
+      LogLevel::kWarn >= GlobalLogLevel()) {
+    // Consume a token only when the level would actually emit, so a
+    // silenced build never starves the tally either way.
+    uint64_t suppressed = 0;
+    if (slow_limiter_.Allow(&suppressed)) {
+      CNTR_WLOG << "slow request: mount=" << mount_ << " op="
+                << (op_name_ != nullptr ? op_name_(opcode) : "?")
+                << " outcome=" << OutcomeName(outcome)
+                << " total=" << b.total_ns << "ns queue=" << b.queue_ns
+                << "ns service=" << b.service_ns << "ns transit="
+                << b.transit_ns << "ns"
+                << (suppressed != 0
+                        ? " (+" + std::to_string(suppressed) + " suppressed)"
+                        : "");
+    }
+  }
+}
+
+}  // namespace cntr::obs

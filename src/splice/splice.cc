@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace cntr::splice {
 
 using kernel::kPageSize;
@@ -81,6 +83,18 @@ StatusOr<size_t> SpliceEngine::Tee(PipeBuffer& in, PipeBuffer& out, size_t len, 
   clock_->Advance(pages * costs_->splice_page_ns);
   teed_pages_.fetch_add(pages, std::memory_order_relaxed);
   return teed;
+}
+
+void SpliceEngine::ExportTo(obs::MetricsRegistry& registry) {
+  registry.AddCallback("cntr_splice_spliced_pages", {}, [this] {
+    return static_cast<double>(spliced_pages_.load(std::memory_order_relaxed));
+  });
+  registry.AddCallback("cntr_splice_copied_pages", {}, [this] {
+    return static_cast<double>(copied_pages_.load(std::memory_order_relaxed));
+  });
+  registry.AddCallback("cntr_splice_teed_pages", {}, [this] {
+    return static_cast<double>(teed_pages_.load(std::memory_order_relaxed));
+  });
 }
 
 }  // namespace cntr::splice

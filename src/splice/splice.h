@@ -26,6 +26,10 @@
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
 
+namespace cntr::obs {
+class MetricsRegistry;
+}
+
 namespace cntr::splice {
 
 class SpliceEngine {
@@ -69,6 +73,11 @@ class SpliceEngine {
     s.teed_pages = teed_pages_.load(std::memory_order_relaxed);
     return s;
   }
+
+  // Registers this engine's counters on `registry` as exposition-time
+  // callbacks (cntr_splice_*); the engine must outlive the registry's
+  // renders, which the Kernel's member order guarantees.
+  void ExportTo(obs::MetricsRegistry& registry);
 
  private:
   SimClock* clock_;

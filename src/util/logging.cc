@@ -1,6 +1,7 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +55,30 @@ LogLevel GlobalLogLevel() {
 }
 
 void SetGlobalLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+bool LogRateLimiter::Allow(uint64_t* suppressed) {
+  int64_t now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  int64_t start = window_start_ms_.load(std::memory_order_relaxed);
+  if (start < 0 || now_ms - start >= 1000) {
+    // One thread rotates the window; losers just use the fresh one. A
+    // racing increment can land in either window — harmless slack.
+    if (window_start_ms_.compare_exchange_strong(start, now_ms,
+                                                 std::memory_order_relaxed)) {
+      in_window_.store(0, std::memory_order_relaxed);
+    }
+  }
+  if (in_window_.fetch_add(1, std::memory_order_relaxed) < max_per_sec_) {
+    if (suppressed != nullptr) {
+      *suppressed = suppressed_.exchange(0, std::memory_order_relaxed);
+    }
+    return true;
+  }
+  suppressed_.fetch_add(1, std::memory_order_relaxed);
+  suppressed_total_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
 
 void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
   // Strip directories from the file path for readability.

@@ -3,6 +3,8 @@
 #ifndef CNTR_SRC_UTIL_LOGGING_H_
 #define CNTR_SRC_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -13,6 +15,32 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel GlobalLogLevel();
 void SetGlobalLogLevel(LogLevel level);
 void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+// Real-time token limiter for log statements on storm-prone paths (the
+// slow-request log under a fault schedule that times out thousands of
+// requests must not emit thousands of lines). At most `max_per_sec` calls
+// pass per one-second wall-clock window; the rest are counted, and the
+// next allowed call receives the suppressed tally so it can be reported.
+// Lock-free: safe to consult from request hot paths.
+class LogRateLimiter {
+ public:
+  explicit LogRateLimiter(uint32_t max_per_sec = 10) : max_per_sec_(max_per_sec) {}
+
+  // True when the caller may log. On true, `*suppressed` (if non-null)
+  // receives how many calls were swallowed since the last allowed one.
+  bool Allow(uint64_t* suppressed = nullptr);
+
+  uint64_t suppressed_total() const {
+    return suppressed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const uint32_t max_per_sec_;
+  std::atomic<int64_t> window_start_ms_{-1};
+  std::atomic<uint32_t> in_window_{0};
+  std::atomic<uint64_t> suppressed_{0};
+  std::atomic<uint64_t> suppressed_total_{0};
+};
 
 namespace log_detail {
 

@@ -139,6 +139,19 @@ class SimClock {
     return base;
   }
 
+  // Reads the position of `lane`'s timeline regardless of what is attached
+  // to the calling thread (null lane reads the shared timeline). Trace
+  // stamps use this where a request is handled on behalf of another
+  // thread's lane before LaneScope adoption (e.g. the FUSE server reaping
+  // a queued request).
+  uint64_t NowOnLane(const LanePtr& lane) const {
+    uint64_t base = now_ns_.load(std::memory_order_relaxed);
+    if (lane != nullptr) {
+      return base + lane->local_ns.load(std::memory_order_relaxed);
+    }
+    return base;
+  }
+
   // Advances virtual time by `ns` and returns the new now. With a lane
   // attached, the advance is private to the lane.
   uint64_t Advance(uint64_t ns) {
