@@ -2,15 +2,178 @@
 // container deployment, so shipping debug tools in every image is the cost
 // CNTR eliminates. Compares deploying the Top-50 as-shipped ("fat") versus
 // slim images + one shared tools image attached on demand.
+//
+// Fleet panel (docs/robustness.md "Fleet resilience"): N slim containers
+// attached through ONE shared FuseServerPool, M clients per mount on
+// distinct channels. Reports aggregate throughput and worst per-mount p99
+// over virtual time (deterministic, baselined in bench/baselines.json), and
+// the survivor-p99 degradation when 1 of N mounts is stalled or killed —
+// the fleet acceptance bound is ≤10%, CI-guarded via check_regression.py.
+//
+// With --json <path>, every panel metric is written as a flat JSON object
+// (merged with the bench_optimizations artifact by check_regression.py).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/container/engine.h"
+#include "src/fuse/fuse_conn.h"
+#include "src/fuse/fuse_server_pool.h"
 #include "src/slim/dataset.h"
 #include "src/slim/slimmer.h"
+#include "src/util/sim_clock.h"
 
 using namespace cntr;
 
-int main() {
+namespace {
+
+// Replies instantly; a stalled tenant sleeps wall time first (virtual
+// latencies stay deterministic — the stall exercises worker scheduling).
+class FleetHandler : public fuse::FuseHandler {
+ public:
+  fuse::FuseReply Handle(const fuse::FuseRequest&) override {
+    int stall = stall_ms.load();
+    if (stall > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+    }
+    return fuse::FuseReply{};
+  }
+  std::atomic<int> stall_ms{0};
+};
+
+kernel::Pid PidOnChannel(const fuse::FuseConn& conn, size_t want, kernel::Pid not_before) {
+  for (kernel::Pid pid = not_before;; ++pid) {
+    if (conn.RouteChannel(pid) == want) {
+      return pid;
+    }
+  }
+}
+
+struct FleetPhase {
+  std::vector<double> p99_ns;  // per mount, 0 when it did not run
+  uint64_t ops = 0;
+  uint64_t elapsed_ns = 0;  // slowest client lane
+};
+
+constexpr int kMounts = 8;
+constexpr int kClients = 2;
+constexpr int kRequests = 200;
+
+struct Fleet {
+  SimClock clock;
+  CostModel costs;
+  std::unique_ptr<fuse::FuseServerPool> pool;
+  std::vector<std::shared_ptr<fuse::FuseConn>> conns;
+  std::vector<std::unique_ptr<FleetHandler>> handlers;
+  std::vector<uint64_t> ids;
+  // Persistent lanes: every phase continues each client's virtual timeline,
+  // so later phases do not re-pay earlier channel occupancy.
+  std::shared_ptr<SimClock::Lane> lanes[kMounts][kClients];
+  kernel::Pid pids[kMounts][kClients];
+
+  Fleet() {
+    fuse::FuseServerPoolOptions opts;
+    opts.min_threads = 4;
+    opts.max_threads = 4;
+    opts.controller_interval_ms = 0;  // panel drives the controller
+    opts.reconnect_backoff_ms = 0;
+    pool = std::make_unique<fuse::FuseServerPool>(opts);
+    for (int m = 0; m < kMounts; ++m) {
+      conns.push_back(std::make_shared<fuse::FuseConn>(&clock, &costs, kClients));
+      handlers.push_back(std::make_unique<FleetHandler>());
+      ids.push_back(pool->AddMount(conns.back(), handlers.back().get()));
+      kernel::Pid next = 1;
+      for (int c = 0; c < kClients; ++c) {
+        // Each client on its own channel: latencies decouple across clients
+        // of one mount, keeping the virtual numbers schedule-independent.
+        pids[m][c] = PidOnChannel(*conns[m], static_cast<size_t>(c), next);
+        next = pids[m][c] + 1;
+        lanes[m][c] = std::make_shared<SimClock::Lane>();
+      }
+    }
+  }
+  ~Fleet() { pool->Stop(); }
+
+  FleetPhase Run(const std::vector<int>& mounts) {
+    FleetPhase out;
+    out.p99_ns.assign(kMounts, 0.0);
+    std::vector<uint64_t> latencies[kMounts];
+    std::atomic<uint64_t> ops{0};
+    std::atomic<uint64_t> elapsed{0};
+    std::vector<std::thread> clients;
+    std::mutex lat_mu;
+    for (int m : mounts) {
+      for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, m, c] {
+          SimClock::LaneScope scope(lanes[m][c]);
+          uint64_t start = clock.NowNs();
+          std::vector<uint64_t> lat;
+          for (int r = 0; r < kRequests; ++r) {
+            fuse::FuseRequest req;
+            req.opcode = fuse::FuseOpcode::kGetattr;
+            req.pid = pids[m][c];
+            uint64_t before = clock.NowNs();
+            if (conns[m]->SendAndWait(std::move(req)).ok()) {
+              lat.push_back(clock.NowNs() - before);
+            }
+          }
+          uint64_t span = clock.NowNs() - start;
+          uint64_t seen = elapsed.load();
+          while (span > seen && !elapsed.compare_exchange_weak(seen, span)) {
+          }
+          ops.fetch_add(lat.size());
+          std::lock_guard<std::mutex> lock(lat_mu);
+          latencies[m].insert(latencies[m].end(), lat.begin(), lat.end());
+        });
+      }
+    }
+    for (auto& t : clients) {
+      t.join();
+    }
+    for (int m : mounts) {
+      auto& lat = latencies[m];
+      if (!lat.empty()) {
+        std::sort(lat.begin(), lat.end());
+        size_t idx = (lat.size() * 99) / 100;
+        out.p99_ns[m] = static_cast<double>(lat[std::min(idx, lat.size() - 1)]);
+      }
+    }
+    out.ops = ops.load();
+    out.elapsed_ns = elapsed.load();
+    return out;
+  }
+};
+
+double WorstDegradationPct(const FleetPhase& before, const FleetPhase& after,
+                           const std::vector<int>& survivors) {
+  double worst = 0;
+  for (int m : survivors) {
+    if (before.p99_ns[m] > 0) {
+      worst = std::max(worst, (after.p99_ns[m] / before.p99_ns[m] - 1.0) * 100.0);
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
+    }
+  }
+  std::map<std::string, double> metrics;
+
   auto kernel = kernel::Kernel::Create();
   container::ContainerRuntime runtime(kernel.get());
   container::Registry registry(&kernel->clock());
@@ -66,11 +229,88 @@ int main() {
     }
   }
 
+  double reduction_pct = fat_seconds > 0 ? (1 - slim_seconds / fat_seconds) * 100 : 0;
   std::printf("deploy all 50 fat images:                 %7.1f s of transfer\n", fat_seconds);
   std::printf("deploy 50 slim images + one tools image:  %7.1f s of transfer\n", slim_seconds);
-  std::printf("deployment-time reduction:                %6.1f%%\n",
-              fat_seconds > 0 ? (1 - slim_seconds / fat_seconds) * 100 : 0);
+  std::printf("deployment-time reduction:                %6.1f%%\n", reduction_pct);
   std::printf("\n(the tools image downloads once per node and serves every container via "
               "cntr attach)\n");
+  metrics["deploy_fat_seconds"] = fat_seconds;
+  metrics["deploy_slim_seconds"] = slim_seconds;
+  metrics["deploy_reduction_pct"] = reduction_pct;
+
+  // === Fleet panel: shared server pool, N mounts x M clients ===
+  std::printf("\n=== Fleet: %d mounts x %d clients on one shared server pool ===\n\n",
+              kMounts, kClients);
+  {
+    Fleet fleet;
+    std::vector<int> all, survivors;
+    for (int m = 0; m < kMounts; ++m) {
+      all.push_back(m);
+      if (m != 0) {
+        survivors.push_back(m);
+      }
+    }
+
+    FleetPhase healthy = fleet.Run(all);
+    double elapsed_s = healthy.elapsed_ns / 1e9;
+    double aggregate_kops =
+        elapsed_s > 0 ? healthy.ops / elapsed_s / 1e3 : 0;
+    double p99_us = *std::max_element(healthy.p99_ns.begin(), healthy.p99_ns.end()) / 1e3;
+    std::printf("healthy fleet:      %7.1f kops aggregate, worst per-mount p99 %5.1f us\n",
+                aggregate_kops, p99_us);
+
+    // Stall mount 0 (its handler wedges 2ms wall time per request) while the
+    // survivors rerun their workload.
+    fleet.handlers[0]->stall_ms.store(2);
+    std::thread stalled([&] {
+      SimClock::LaneScope scope(fleet.lanes[0][0]);
+      for (int r = 0; r < 8; ++r) {
+        fuse::FuseRequest req;
+        req.opcode = fuse::FuseOpcode::kGetattr;
+        req.pid = fleet.pids[0][0];
+        (void)fleet.conns[0]->SendAndWait(std::move(req));
+      }
+    });
+    FleetPhase under_stall = fleet.Run(survivors);
+    stalled.join();
+    fleet.handlers[0]->stall_ms.store(0);
+    double stall_degradation = WorstDegradationPct(healthy, under_stall, survivors);
+    std::printf("1 mount stalled:    survivors' worst p99 degradation %5.2f%%\n",
+                stall_degradation);
+
+    // Kill mount 0: the pool quarantines it; survivors rerun.
+    fleet.conns[0]->Abort();
+    fleet.pool->RunControllerPass();
+    FleetPhase after_kill = fleet.Run(survivors);
+    double kill_degradation = WorstDegradationPct(healthy, after_kill, survivors);
+    std::printf("1 mount killed:     survivors' worst p99 degradation %5.2f%%  "
+                "(quarantined, %llu dispatches served)\n",
+                kill_degradation,
+                static_cast<unsigned long long>(fleet.pool->stats().dispatches));
+    std::printf("\n(acceptance bound: a crashed or stalled tenant degrades survivors' "
+                "p99 by <= 10%%)\n");
+
+    metrics["fleet_aggregate_kops"] = aggregate_kops;
+    metrics["fleet_p99_us"] = p99_us;
+    metrics["fleet_survivor_p99_degradation_pct"] = kill_degradation;
+    metrics["fleet_stall_survivor_p99_degradation_pct"] = stall_degradation;
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    bool first = true;
+    for (const auto& [key, value] : metrics) {
+      std::fprintf(f, "%s  \"%s\": %.3f", first ? "" : ",\n", key.c_str(), value);
+      first = false;
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+  }
   return 0;
 }

@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
-"""Bench regression guard: compare a bench_optimizations --json artifact
-against recorded baselines and fail the build when an optimized-config panel
-drops more than the tolerance below its baseline.
+"""Bench regression guard: compare bench --json artifacts against recorded
+baselines and fail the build when an optimized-config panel drops more than
+the tolerance below its baseline.
 
-Usage: check_regression.py <baselines.json> <artifact.json>
+Usage: check_regression.py <baselines.json> <artifact.json> [artifact2.json ...]
+
+Multiple artifacts are shallow-merged (later files win on key collisions),
+so baselines spanning several benchmarks — bench_optimizations panels plus
+the bench_deployment fleet panel — are checked in one invocation.
 
 Baseline entry forms (bench/baselines.json):
   "key": {"value": V}                 -- higher is better; fail when the
@@ -49,13 +53,15 @@ def check_obs(obs, failures) -> None:
 
 
 def main() -> int:
-    if len(sys.argv) != 3:
+    if len(sys.argv) < 3:
         print(__doc__)
         return 2
     with open(sys.argv[1]) as f:
         baselines = json.load(f)
-    with open(sys.argv[2]) as f:
-        measured = json.load(f)
+    measured = {}
+    for path in sys.argv[2:]:
+        with open(path) as f:
+            measured.update(json.load(f))
 
     tolerance = baselines.pop("_tolerance", 0.15)
     failures = []

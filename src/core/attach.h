@@ -26,6 +26,7 @@
 #include "src/core/socket_proxy.h"
 #include "src/fuse/fuse_mount.h"
 #include "src/fuse/fuse_server.h"
+#include "src/fuse/fuse_server_pool.h"
 #include "src/kernel/kernel.h"
 
 namespace cntr::core {
@@ -42,6 +43,15 @@ struct AttachOptions {
   // Unix socket forwards: (path inside the app container, path on the
   // tools side), e.g. {"/tmp/.X11-unix/X0", "/tmp/.X11-unix/X0"}.
   std::vector<std::pair<std::string, std::string>> socket_forwards;
+  // Fleet mode: serve this mount from a shared FuseServerPool instead of
+  // dedicated FuseServer threads (the pool must outlive the session).
+  // server_threads then only sizes the channel count; pool_weight scales the
+  // mount's fair share and pool_admission_budget (0 = none) arms the
+  // per-tenant in-flight cap. The session auto-registers a reconnect hook,
+  // so a quarantined mount revives without caller involvement.
+  fuse::FuseServerPool* server_pool = nullptr;
+  uint32_t pool_weight = 1;
+  uint32_t pool_admission_budget = 0;
 };
 
 // A live attachment. Owns the CntrFS server threads, the nested-namespace
@@ -93,7 +103,9 @@ class AttachedSession {
   std::shared_ptr<fuse::FuseConn> conn_;
   std::shared_ptr<fuse::FuseFs> fuse_fs_;
   std::unique_ptr<CntrFsServer> cntrfs_;
-  std::unique_ptr<fuse::FuseServer> fuse_server_;
+  std::unique_ptr<fuse::FuseServer> fuse_server_;  // null in fleet mode
+  fuse::FuseServerPool* server_pool_ = nullptr;    // set in fleet mode
+  uint64_t pool_mount_id_ = 0;
   std::unique_ptr<ToolboxShell> shell_;
   std::unique_ptr<Pty> pty_;
   std::unique_ptr<SocketProxy> socket_proxy_;

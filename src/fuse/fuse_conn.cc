@@ -212,6 +212,7 @@ FuseConn::FuseConn(SimClock* clock, const CostModel* costs, size_t num_channels,
   late_replies_ = counter("cntr_fuse_conn_late_replies_total");
   interrupts_ = counter("cntr_fuse_conn_interrupts_total");
   admission_waits_ = counter("cntr_fuse_conn_admission_waits_total");
+  sheds_ = counter("cntr_fuse_conn_shed_total");
   req_metrics_ =
       std::make_unique<obs::RequestMetrics>(registry_, mount_label_, &OpcodeNameU32);
   std::lock_guard<std::mutex> lock(config_mu_);
@@ -282,6 +283,7 @@ size_t FuseConn::ConfigureRing(size_t depth, uint32_t spin_budget) {
     ch->ring.store(ch->ring_owner.get(), std::memory_order_release);
   }
   ring_enabled_.store(true, std::memory_order_release);
+  RecomputeSpinBudget();
   return pow2;
 }
 
@@ -302,8 +304,48 @@ size_t FuseConn::ConfigureChannels(size_t requested) {
     }
     if (!busy) {
       InstallChannels(n);
+      RecomputeSpinBudget();
     }
   }
+  return num_channels();
+}
+
+size_t FuseConn::TryReshapeChannels(size_t requested) {
+  size_t n = std::clamp<size_t>(requested, 1, kMaxChannels);
+  // Exclusive acquisition proves no submitter is inside its route-to-enqueue
+  // window (they hold reshape_mu_ shared for the whole send); try_lock keeps
+  // the controller non-blocking — a busy connection just isn't reshaped this
+  // round.
+  std::unique_lock<std::shared_mutex> reshape(reshape_mu_, std::try_to_lock);
+  if (!reshape.owns_lock()) {
+    return num_channels();
+  }
+  std::lock_guard<std::mutex> config(config_mu_);
+  if (n == num_channels() || aborted() || queued_total_.load() != 0 ||
+      in_flight_.load(std::memory_order_acquire) != 0) {
+    return num_channels();
+  }
+  size_t lane_cap = 0;
+  for (const auto& ch : owned_channels_) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    if (!ch->pending.empty() || !ch->queue.empty()) {
+      return num_channels();
+    }
+    lane_cap = std::max(lane_cap, ch->lane_out[0]->capacity());
+  }
+  InstallChannels(n);
+  // Fresh channels are born at the construction-time lane default; carry the
+  // negotiated (or autosized) capacity over so a reshape never shrinks the
+  // payload window behind the mount's back.
+  if (lane_cap > kDefaultLanePages * kernel::kPageSize) {
+    for (size_t i = owned_channels_.size() - n; i < owned_channels_.size(); ++i) {
+      for (size_t l = 0; l < kLanePoolSize; ++l) {
+        (void)owned_channels_[i]->lane_in[l]->SetCapacity(lane_cap);
+        (void)owned_channels_[i]->lane_out[l]->SetCapacity(lane_cap);
+      }
+    }
+  }
+  RecomputeSpinBudget();
   return num_channels();
 }
 
@@ -312,6 +354,10 @@ size_t FuseConn::RouteChannel(kernel::Pid pid) const {
 }
 
 void FuseConn::NotifyWork() {
+  // A shared pool's workers never park in ReadRequestBatch (they use the
+  // non-blocking drain), so the idle-worker handshake below cannot reach
+  // them; the observer is their doorbell.
+  NotifyWorkObserver();
   // Busy-server fast path: no parked worker, no global lock — the enqueue
   // touched only its channel's mutex. The seq_cst pairing with ReadRequest
   // (queued_total_ store before idle_workers_ load here; idle_workers_
@@ -503,10 +549,81 @@ StatusOr<size_t> FuseConn::SetLaneCapacity(size_t bytes) {
 
 void FuseConn::FinishInFlight() {
   in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-  if (max_background_.load(std::memory_order_acquire) != 0) {
+  if (EffectiveAdmissionCap() != 0) {
     { std::lock_guard<std::mutex> lock(admission_mu_); }
     admission_cv_.notify_one();
   }
+}
+
+uint32_t FuseConn::EffectiveAdmissionCap() const {
+  uint32_t cap = max_background_.load(std::memory_order_acquire);
+  uint32_t budget = admission_budget_.load(std::memory_order_acquire);
+  if (cap == 0) {
+    return budget;
+  }
+  if (budget == 0) {
+    return cap;
+  }
+  return std::min(cap, budget);
+}
+
+void FuseConn::SetMaxBackground(uint32_t cap) {
+  max_background_.store(cap, std::memory_order_release);
+  // Wake every parked waiter to re-evaluate under the new cap: widening (or
+  // disarming) the gate must release them — a waiter that parked under the
+  // old cap has no other wakeup source when no request ever finishes.
+  { std::lock_guard<std::mutex> lock(admission_mu_); }
+  admission_cv_.notify_all();
+}
+
+void FuseConn::SetAdmissionBudget(uint32_t budget) {
+  admission_budget_.store(budget, std::memory_order_release);
+  { std::lock_guard<std::mutex> lock(admission_mu_); }
+  admission_cv_.notify_all();
+}
+
+void FuseConn::SetWorkObserver(std::function<void()> observer) {
+  std::shared_ptr<const std::function<void()>> holder;
+  if (observer) {
+    holder = std::make_shared<const std::function<void()>>(std::move(observer));
+  }
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  work_observer_ = std::move(holder);
+  observer_armed_.store(work_observer_ != nullptr, std::memory_order_release);
+}
+
+void FuseConn::NotifyWorkObserver() {
+  if (!observer_armed_.load(std::memory_order_relaxed)) {
+    return;  // no pool attached: one relaxed load, nothing else
+  }
+  std::shared_ptr<const std::function<void()>> cb;
+  {
+    std::lock_guard<std::mutex> lock(observer_mu_);
+    cb = work_observer_;
+  }
+  if (cb != nullptr) {
+    (*cb)();
+  }
+}
+
+void FuseConn::SetServerParallelism(uint32_t threads) {
+  declared_parallelism_.store(threads, std::memory_order_release);
+  RecomputeSpinBudget();
+}
+
+void FuseConn::RecomputeSpinBudget() {
+  uint32_t budget = ring_spin_budget_.load(std::memory_order_acquire);
+  uint32_t threads = declared_parallelism_.load(std::memory_order_acquire);
+  uint32_t channels = static_cast<uint32_t>(num_channels());
+  if (threads != 0 && threads < channels) {
+    // Oversubscribed (pool threads < active channels): a waiter spinning the
+    // full budget is betting the server polls its channel promptly, which an
+    // oversubscribed pool cannot do — scale the budget by the serving ratio
+    // so waiters park early instead of burning the difference.
+    budget = std::max<uint32_t>(1, static_cast<uint32_t>(
+        static_cast<uint64_t>(budget) * threads / channels));
+  }
+  effective_spin_budget_.store(budget, std::memory_order_release);
 }
 
 StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
@@ -519,20 +636,45 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
       }
     }
   }
+  // Overload shedding (pool hard watermark): bounce new work before it
+  // touches a channel, with the same error a drowned request would
+  // eventually earn. Requests already admitted are unaffected.
+  if (shed_new_requests_.load(std::memory_order_acquire)) {
+    sheds_->Add();
+    RecordOutcome(request.opcode, nullptr, obs::Outcome::kTimeout, false);
+    return Status::Error(ETIMEDOUT, "fuse connection shedding load");
+  }
   // Admission gate: a stalled server means in-flight requests pile up; past
-  // the max_background cap new callers park here (congestion backpressure)
-  // instead of growing the channel queues without bound.
-  uint32_t cap = max_background_.load(std::memory_order_acquire);
+  // the effective cap (the tighter of max_background and the pool's
+  // per-tenant budget) new callers park here (congestion backpressure)
+  // instead of growing the channel queues without bound. The predicate
+  // re-reads the cap on every wake — both setters notify_all, so widening or
+  // disarming the gate releases parked waiters — and an abort resolves them
+  // right here with ENOTCONN instead of letting them re-park.
+  uint32_t cap = EffectiveAdmissionCap();
   if (cap != 0 && in_flight_.load(std::memory_order_acquire) >= cap) {
     admission_waits_->Add();
     std::unique_lock<std::mutex> gate(admission_mu_);
     admission_cv_.wait(gate, [&] {
-      return aborted() || in_flight_.load(std::memory_order_acquire) <
-                              max_background_.load(std::memory_order_acquire);
+      if (aborted()) {
+        return true;
+      }
+      uint32_t now_cap = EffectiveAdmissionCap();
+      return now_cap == 0 ||
+             in_flight_.load(std::memory_order_acquire) < now_cap;
     });
+    if (aborted()) {
+      RecordOutcome(request.opcode, nullptr, obs::Outcome::kAbort, false);
+      return Status::Error(ENOTCONN, "fuse connection aborted");
+    }
   }
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
 
+  // Route-to-enqueue window: held shared so a live reshape
+  // (TryReshapeChannels) can never swap the channel set while this request's
+  // channel index is in hand (the unique bakes the index in; a torn view
+  // would strand the reply).
+  std::shared_lock<std::shared_mutex> reshape(reshape_mu_);
   size_t ch_idx = RouteChannel(request.pid);
   FuseChannel& ch = Channel(ch_idx);
   if (RingState* ring = ch.ring.load(std::memory_order_acquire)) {
@@ -658,6 +800,7 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
 }
 
 void FuseConn::SendNoReply(FuseRequest request) {
+  std::shared_lock<std::shared_mutex> reshape(reshape_mu_);
   size_t ch_idx = RouteChannel(request.pid);
   FuseChannel& ch = Channel(ch_idx);
   const FuseOpcode op = request.opcode;
@@ -775,6 +918,34 @@ std::vector<FuseRequest> FuseConn::ReadRequestBatch(size_t home_channel,
       return batch;  // empty
     }
   }
+}
+
+std::vector<FuseRequest> FuseConn::TryReadRequestBatch(size_t start_channel,
+                                                       size_t max_batch) {
+  std::vector<FuseRequest> batch;
+  if (max_batch == 0) {
+    max_batch = 1;
+  }
+  const size_t n = num_channels();
+  const size_t start = start_channel % n;
+  // One pass over every channel, start-channel first; never parks — an
+  // empty result means "nothing queued right now" and the pool's scheduler
+  // decides what to do with that.
+  for (size_t i = 0; i < n && batch.size() < max_batch; ++i) {
+    FuseChannel& ch = Channel((start + i) % n);
+    if (RingState* ring = ch.ring.load(std::memory_order_acquire)) {
+      RingReap(ch, *ring, batch, max_batch - batch.size());
+    } else {
+      while (batch.size() < max_batch) {
+        auto req = TryPop(ch);
+        if (!req.has_value()) {
+          break;
+        }
+        batch.push_back(std::move(*req));
+      }
+    }
+  }
+  return batch;
 }
 
 void FuseConn::WriteReply(uint64_t unique, FuseReply reply) {
@@ -1106,7 +1277,12 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
   bool pushed = RingPushSqe(ch, ring, std::move(request));
   ring.submitting.fetch_sub(1, std::memory_order_seq_cst);
 
-  // Wait: adaptive spin on our own completion slot, then bounded park.
+  // Wait: adaptive spin on our own completion slot, then bounded park. The
+  // budget is the post-backoff effective value, not the ring's configured
+  // one — an oversubscribed pool (threads < channels) shrinks it so waiters
+  // park early instead of spinning for service that cannot arrive yet.
+  const uint32_t spin_budget =
+      std::max<uint32_t>(1, effective_spin_budget_.load(std::memory_order_acquire));
   uint32_t spins = 0;
   uint64_t terminal = 0;
   for (;;) {
@@ -1133,13 +1309,13 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
       }
       continue;
     }
-    if (++spins < ring.spin_budget) {
+    if (++spins < spin_budget) {
       if ((spins & 63) == 0) {
         std::this_thread::yield();
       }
       continue;
     }
-    if (spins == ring.spin_budget) {
+    if (spins == spin_budget) {
       ring.spin_parks.fetch_add(1, std::memory_order_relaxed);
     }
     // Spin budget exhausted: park bounded. A completion doorbell lost on the
@@ -1352,6 +1528,9 @@ void FuseConn::Abort() {
     std::lock_guard<std::mutex> lock(admission_mu_);
   }
   admission_cv_.notify_all();
+  // A shared pool serving this mount needs a wake too: its workers must
+  // notice the abort and let the health controller quarantine the mount.
+  NotifyWorkObserver();
   // The sweeper has nothing left to expire; let it drain out.
   sweeper_cv_.notify_all();
 }

@@ -52,10 +52,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -183,6 +185,16 @@ class FuseConn {
   // before traffic: no readers registered, nothing queued, not aborted.
   // Returns the resulting channel count.
   size_t ConfigureChannels(size_t requested);
+  // Live reshape for pool-served connections (channel-count autoscaling).
+  // Unlike ConfigureChannels it tolerates past traffic, but only fires on a
+  // *quiet* instant: nothing queued, nothing in flight, no submitter inside
+  // its routing window (the submit paths hold reshape_mu_ shared across
+  // route+enqueue, so a successful exclusive acquisition here proves no
+  // sender can be holding a stale channel pointer). Non-blocking: returns
+  // the current count unchanged when the connection is busy. Not meant for
+  // FuseServer-driven connections — worker home-channel indices would go
+  // stale (pool workers scan every channel each visit, so they do not care).
+  size_t TryReshapeChannels(size_t requested);
   size_t num_channels() const { return num_channels_.load(std::memory_order_acquire); }
 
   // Switches every channel to the submission-ring transport (negotiated at
@@ -222,6 +234,13 @@ class FuseConn {
   // are drained. Falls back to a single legacy pop on non-ring channels.
   std::vector<FuseRequest> ReadRequestBatch(size_t home_channel = 0,
                                             size_t max_batch = kRingReapBatch);
+  // Non-blocking variant for shared-pool workers: drains up to `max_batch`
+  // requests scanning every channel once (start-channel first, then ring
+  // order), never parks. An empty batch means "nothing queued right now" —
+  // the pool's own scheduler decides whether to revisit or move on, so the
+  // per-connection idle handshake (idle_workers_/work_cv_) is not touched.
+  std::vector<FuseRequest> TryReadRequestBatch(size_t start_channel = 0,
+                                               size_t max_batch = kRingReapBatch);
   void WriteReply(uint64_t unique, FuseReply reply);
 
   // Tear down: wakes waiters with ENOTCONN and unblocks server readers.
@@ -251,10 +270,54 @@ class FuseConn {
   // Admission gate (max_background analogue): with a cap set, SendAndWait
   // blocks while `cap` requests are already in flight, so a stalled server
   // backpressures callers instead of growing queues unboundedly. 0 = off.
-  void SetMaxBackground(uint32_t cap) {
-    max_background_.store(cap, std::memory_order_release);
+  // Changing the cap wakes every parked waiter to re-evaluate — widening
+  // (or disarming) the gate must release them, and a waiter that wakes on a
+  // dead connection resolves with ENOTCONN instead of re-parking.
+  void SetMaxBackground(uint32_t cap);
+  // Per-tenant admission budget, layered *under* max_background by a shared
+  // server pool: the effective cap is the tighter of the two non-zero
+  // values, so a fleet controller can squeeze one noisy mount without
+  // touching the mount-negotiated gate. 0 = no budget.
+  void SetAdmissionBudget(uint32_t budget);
+  uint32_t admission_budget() const {
+    return admission_budget_.load(std::memory_order_acquire);
   }
   uint32_t in_flight() const { return in_flight_.load(std::memory_order_acquire); }
+
+  // Overload shedding (pool hard watermark): while set, every new
+  // SendAndWait is rejected immediately with ETIMEDOUT — the graceful
+  // alternative to letting one tenant's backlog collapse the fleet's p99.
+  // In-flight requests and fire-and-forget FORGETs are not touched.
+  void SetShedNewRequests(bool shed) {
+    shed_new_requests_.store(shed, std::memory_order_release);
+  }
+  bool shedding_new_requests() const {
+    return shed_new_requests_.load(std::memory_order_acquire);
+  }
+
+  // Requests currently queued across every channel (SQ occupancy in ring
+  // mode) — the pool's overload-watermark signal.
+  uint64_t queued_depth() const { return queued_total_.load(std::memory_order_relaxed); }
+
+  // --- shared-pool integration ---
+  // Observer invoked after every enqueue (and on Abort): a shared server
+  // pool registers one per attached connection so any mount's submission
+  // wakes the pool's scheduler. Install while quiet (attach/adoption time);
+  // passing nullptr disarms. The callback runs on submitter threads and
+  // must not block.
+  void SetWorkObserver(std::function<void()> observer);
+  // Declares how many server threads actually serve this connection (a
+  // FuseServer's worker count, or a pool's fair share). When the declared
+  // parallelism is below the live channel count the ring spin budget backs
+  // off proportionally: an oversubscribed pool cannot be polling every
+  // channel at once, so waiters spinning the full budget before parking
+  // would burn cycles the server can never answer within. 0 = unknown (no
+  // backoff).
+  void SetServerParallelism(uint32_t threads);
+  // The spin budget RingSendAndWait actually uses after the backoff.
+  uint32_t effective_ring_spin_budget() const {
+    return effective_spin_budget_.load(std::memory_order_acquire);
+  }
 
   // FUSE_INTERRUPT analogue. Unblocks the waiter of `unique` with EINTR: a
   // still-queued request is removed before the server ever sees it; an
@@ -385,6 +448,7 @@ class FuseConn {
     uint64_t late_replies = 0;     // server replies with no live waiter
     uint64_t interrupts = 0;       // requests unblocked via INTERRUPT
     uint64_t admission_waits = 0;  // SendAndWait calls gated on max_background
+    uint64_t shed_rejects = 0;     // new requests bounced while shedding
     // Ring-transport batch efficiency, rolled up across every channel of
     // the mount (see RingChannelStats for the per-counter meaning).
     uint64_t doorbells = 0;
@@ -414,6 +478,7 @@ class FuseConn {
     s.late_replies = late_replies_->Value();
     s.interrupts = interrupts_->Value();
     s.admission_waits = admission_waits_->Value();
+    s.shed_rejects = sheds_->Value();
     const size_t n = num_channels();
     for (size_t i = 0; i < n; ++i) {
       s.max_queue_depth = std::max(s.max_queue_depth, channel_max_queue_depth(i));
@@ -479,6 +544,14 @@ class FuseConn {
   // One request left flight (reply, timeout, interrupt, or abort): releases
   // its admission slot.
   void FinishInFlight();
+  // The tighter of max_background_ and admission_budget_ (0 = ungated).
+  uint32_t EffectiveAdmissionCap() const;
+  // Re-derives effective_spin_budget_ from the configured budget, the
+  // declared server parallelism, and the live channel count.
+  void RecomputeSpinBudget();
+  // Fires the registered pool work observer, if armed (one relaxed load
+  // when not).
+  void NotifyWorkObserver();
   // Enqueues the kInterrupt notification for an in-flight `unique` (ch.mu
   // must not be held).
   void EnqueueInterruptNotify(FuseChannel& ch, size_t ch_idx, uint64_t unique);
@@ -526,6 +599,12 @@ class FuseConn {
   std::atomic<size_t> num_channels_{1};
   mutable std::mutex config_mu_;  // serializes reshape and Abort's owned sweep
   std::vector<std::unique_ptr<FuseChannel>> owned_channels_;
+  // Submitters hold this shared across their whole route+enqueue+wait
+  // window; TryReshapeChannels try-locks it exclusive, so a live reshape can
+  // only fire when no sender holds a channel index derived from the old
+  // count. Abort never touches it (parked submitters still holding shared
+  // must stay wakeable).
+  mutable std::shared_mutex reshape_mu_;
 
   // Idle workers park here; any enqueue (to any channel) wakes one. The
   // per-channel locks stay out of this handshake so enqueue/dequeue on
@@ -539,6 +618,16 @@ class FuseConn {
   std::atomic<bool> ring_enabled_{false};
   std::atomic<uint64_t> ring_depth_{0};
   std::atomic<uint32_t> ring_spin_budget_{kDefaultRingSpinBudget};
+  // Spin budget after oversubscription backoff (satellite: pool threads <
+  // active channels must not burn the full configured spin before parking).
+  std::atomic<uint32_t> declared_parallelism_{0};
+  std::atomic<uint32_t> effective_spin_budget_{kDefaultRingSpinBudget};
+
+  // Pool work observer (SetWorkObserver): swapped through a shared_ptr so a
+  // disarm cannot free the callback out from under a concurrent invocation.
+  std::mutex observer_mu_;
+  std::shared_ptr<const std::function<void()>> work_observer_;
+  std::atomic<bool> observer_armed_{false};
 
   // --- observability (see src/obs/) ---
   // All lifecycle counters are registry-backed instruments; pointers are
@@ -566,11 +655,14 @@ class FuseConn {
   std::atomic<uint32_t> abort_after_timeouts_{0};
   std::atomic<uint32_t> consecutive_timeouts_{0};
   std::atomic<uint32_t> max_background_{0};
+  std::atomic<uint32_t> admission_budget_{0};
   std::atomic<uint32_t> in_flight_{0};
+  std::atomic<bool> shed_new_requests_{false};
   obs::Counter* timeouts_;
   obs::Counter* late_replies_;
   obs::Counter* interrupts_;
   obs::Counter* admission_waits_;
+  obs::Counter* sheds_;
 
   // Admission-gate parking lot (waiters blocked on max_background).
   std::mutex admission_mu_;

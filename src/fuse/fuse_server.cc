@@ -21,6 +21,7 @@ void FuseServer::Start() {
   started_ = true;
   size_t want = num_channels_ == 0 ? static_cast<size_t>(num_threads_) : num_channels_;
   size_t channels = conn_->ConfigureChannels(want);
+  conn_->SetServerParallelism(static_cast<uint32_t>(num_threads_));
   threads_.reserve(num_threads_);
   for (int i = 0; i < num_threads_; ++i) {
     size_t home = static_cast<size_t>(i) % channels;

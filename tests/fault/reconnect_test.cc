@@ -200,6 +200,103 @@ TEST_F(ReconnectTest, KillAtOpNSweepDegradesCleanlyEverywhere) {
   }
 }
 
+// --- admission-gate vs. reconnect races ---
+
+// Regression: a waiter parked on a full admission gate used to stay parked
+// when the connection died under it — Reconnect's first step (abort) never
+// reached the gate, and FinishInFlight skipped its notify once the cap was
+// reconfigured to 0. Both the abort and any cap change must wake parked
+// waiters; an abort-woken waiter resolves with ENOTCONN instead of
+// re-parking.
+TEST(AdmissionGateTest, AbortWakesParkedAdmissionWaitersWithEnotconn) {
+  SimClock clock;
+  CostModel costs;
+  fuse::FuseConn conn(&clock, &costs, 1);
+  conn.SetMaxBackground(1);
+
+  std::atomic<int> enotconn{0};
+  // First request occupies the whole gate and waits for a reply that never
+  // comes (nobody is serving).
+  std::thread first([&] {
+    fuse::FuseRequest req;
+    req.opcode = fuse::FuseOpcode::kGetattr;
+    req.pid = 1;
+    if (conn.SendAndWait(std::move(req)).error() == ENOTCONN) {
+      enotconn.fetch_add(1);
+    }
+  });
+  while (conn.channel_queue_depth(0) == 0) {
+    std::this_thread::yield();
+  }
+  // Second request parks on the admission gate.
+  std::thread second([&] {
+    fuse::FuseRequest req;
+    req.opcode = fuse::FuseOpcode::kGetattr;
+    req.pid = 2;
+    if (conn.SendAndWait(std::move(req)).error() == ENOTCONN) {
+      enotconn.fetch_add(1);
+    }
+  });
+  while (conn.stats().admission_waits == 0) {
+    std::this_thread::yield();
+  }
+  // What Reconnect does first when the transport is being replaced.
+  conn.Abort();
+  first.join();
+  second.join();
+  EXPECT_EQ(enotconn.load(), 2)
+      << "the parked waiter must resolve with ENOTCONN, not hang";
+}
+
+TEST(AdmissionGateTest, DisarmingTenantBudgetReleasesParkedWaiters) {
+  SimClock clock;
+  CostModel costs;
+  fuse::FuseConn conn(&clock, &costs, 1);
+  // The pool's per-tenant budget layers under the mount's own gate: the
+  // effective cap is the tighter of the two.
+  conn.SetMaxBackground(4);
+  conn.SetAdmissionBudget(1);
+
+  std::atomic<int> ok{0};
+  std::thread first([&] {
+    fuse::FuseRequest req;
+    req.opcode = fuse::FuseOpcode::kGetattr;
+    req.pid = 1;
+    if (conn.SendAndWait(std::move(req)).ok()) {
+      ok.fetch_add(1);
+    }
+  });
+  while (conn.channel_queue_depth(0) == 0) {
+    std::this_thread::yield();
+  }
+  std::thread second([&] {
+    fuse::FuseRequest req;
+    req.opcode = fuse::FuseOpcode::kGetattr;
+    req.pid = 2;
+    if (conn.SendAndWait(std::move(req)).ok()) {
+      ok.fetch_add(1);
+    }
+  });
+  while (conn.stats().admission_waits == 0) {
+    std::this_thread::yield();
+  }
+  // Lifting the budget must release the parked waiter (the wider
+  // max_background now governs); it proceeds to enqueue.
+  conn.SetAdmissionBudget(0);
+  while (conn.channel_queue_depth(0) < 2) {
+    std::this_thread::yield();
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto req = conn.ReadRequest(0);
+    ASSERT_TRUE(req.has_value());
+    conn.WriteReply(req->unique, fuse::FuseReply{});
+  }
+  first.join();
+  second.join();
+  EXPECT_EQ(ok.load(), 2);
+  conn.Abort();
+}
+
 // --- the full attach stack ---
 
 container::Image MakeAppImage() {
