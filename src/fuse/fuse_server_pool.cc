@@ -86,6 +86,10 @@ void FuseServerPool::WireConn(Mount& m, FuseConn& conn) {
 
 void FuseServerPool::SetMountState(Mount& m, MountState s) {
   m.state.store(static_cast<uint32_t>(s), std::memory_order_release);
+  PublishMountState(m, s);
+}
+
+void FuseServerPool::PublishMountState(Mount& m, MountState s) {
   if (m.state_gauge != nullptr) {
     m.state_gauge->Set(static_cast<int64_t>(s));
   }
@@ -157,7 +161,14 @@ void FuseServerPool::RemoveMount(uint64_t id, bool notify_destroy) {
     mounts_.erase(it);
     mounts_gauge_->Set(static_cast<int64_t>(mounts_.size()));
   }
-  SetMountState(*m, MountState::kDetached);
+  // kDetached goes in with an RMW so it totally orders against the
+  // controller's quarantined->reconnecting CAS in TryReconnect: either that
+  // CAS observes kDetached and the reconnect hook never runs, or our
+  // exchange reads the kReconnecting it wrote — which makes the hook_active
+  // flag published before that CAS visible to the wait loop below.
+  m->state.exchange(static_cast<uint32_t>(MountState::kDetached),
+                    std::memory_order_acq_rel);
+  PublishMountState(*m, MountState::kDetached);
   std::shared_ptr<FuseConn> conn;
   {
     std::lock_guard<std::mutex> lock(m->conn_mu);
@@ -374,6 +385,13 @@ size_t FuseServerPool::ServeMount(Mount& m, size_t worker_idx) {
   if (credit > clamp) {
     m.deficit.store(clamp, std::memory_order_release);
     credit = clamp;
+  } else if (credit <= 0) {
+    // Concurrent visits from other workers can consume credit this visit's
+    // top-up was counted against, driving the observed balance negative.
+    // Casting that to size_t would wrap to a huge `want` and hand an
+    // over-budget mount a full batch; a non-positive balance means the
+    // mount already received its service this round.
+    return 0;
   }
   const size_t want =
       std::min<size_t>(static_cast<size_t>(credit), kRingReapBatch);
@@ -463,6 +481,10 @@ void FuseServerPool::ControllerLoop() {
 }
 
 void FuseServerPool::RunControllerPass() {
+  // Serialize with the background cadence: Mount's controller-side fields
+  // (next_reconnect, last_requests_seen, idle_scans) are plain, and two
+  // overlapping passes would double-fire TryReconnect bookkeeping.
+  std::lock_guard<std::mutex> pass_lock(controller_pass_mu_);
   auto mounts = SnapshotMounts();
   uint64_t total_depth = 0;
   int64_t quarantined = 0;
@@ -581,7 +603,7 @@ void FuseServerPool::Quarantine(Mount& m) {
       break;
     }
   }
-  SetMountState(m, MountState::kQuarantined);
+  PublishMountState(m, MountState::kQuarantined);
   quarantines_->Add();
   std::shared_ptr<FuseConn> conn;
   {
@@ -612,14 +634,21 @@ void FuseServerPool::TryReconnect(Mount& m) {
     hook = m.reconnect_hook;
     conn = m.conn;
   }
+  // hook_active is published BEFORE the state transition: RemoveMount
+  // detaches with an RMW on the same word, so either our CAS observes
+  // kDetached and the hook never runs, or RemoveMount's exchange reads the
+  // kReconnecting we wrote — making this store visible to its wait loop,
+  // which then waits the hook out before destroying the session the hook
+  // captures.
+  m.hook_active.store(true, std::memory_order_release);
   uint32_t quarantined = static_cast<uint32_t>(MountState::kQuarantined);
   if (!m.state.compare_exchange_strong(quarantined,
                                        static_cast<uint32_t>(MountState::kReconnecting),
                                        std::memory_order_acq_rel)) {
+    m.hook_active.store(false, std::memory_order_release);
     return;  // detached (or otherwise moved on) under us
   }
-  SetMountState(m, MountState::kReconnecting);
-  m.hook_active.store(true, std::memory_order_release);
+  PublishMountState(m, MountState::kReconnecting);
   Status status = Status::Ok();
   if (!hook) {
     status = Status::Error(ENOTCONN, "no reconnect hook registered");
@@ -643,16 +672,28 @@ void FuseServerPool::TryReconnect(Mount& m) {
     }
   }
   m.hook_active.store(false, std::memory_order_release);
-  if (static_cast<MountState>(m.state.load(std::memory_order_acquire)) ==
-      MountState::kDetached) {
-    return;  // RemoveMount raced the hook; it owns the teardown
-  }
+  // Every post-hook transition CASes from kReconnecting: if RemoveMount
+  // detached the mount while the hook ran, the CAS fails and teardown stays
+  // with RemoveMount — this thread must never rewrite a state word it no
+  // longer owns (a blind store would resurrect kDetached into a scheduled
+  // state and re-arm the hook against a destroyed session).
+  auto transition = [this, &m](MountState to) {
+    uint32_t reconnecting = static_cast<uint32_t>(MountState::kReconnecting);
+    if (!m.state.compare_exchange_strong(reconnecting, static_cast<uint32_t>(to),
+                                         std::memory_order_acq_rel)) {
+      return false;  // RemoveMount raced the hook; it owns the teardown
+    }
+    PublishMountState(m, to);
+    return true;
+  };
   if (status.ok()) {
+    if (!transition(MountState::kActive)) {
+      return;
+    }
     reconnects_->Add();
     m.faults.store(0, std::memory_order_release);
     m.reconnect_attempts.store(0, std::memory_order_release);
     m.idle_scans = 0;
-    SetMountState(m, MountState::kActive);
     NotifyPoolWork();
     return;
   }
@@ -662,11 +703,14 @@ void FuseServerPool::TryReconnect(Mount& m) {
   if (attempts >= opts_.max_reconnect_attempts) {
     // Terminal: retries exhausted. The mount stays registered (state is
     // surfaced through obs) but is never scheduled again.
-    SetMountState(m, MountState::kTerminal);
-    terminal_->Add();
+    if (transition(MountState::kTerminal)) {
+      terminal_->Add();
+    }
     return;
   }
-  SetMountState(m, MountState::kQuarantined);
+  if (!transition(MountState::kQuarantined)) {
+    return;
+  }
   const uint64_t backoff = opts_.reconnect_backoff_ms
                            << std::min<uint32_t>(attempts, 16);
   m.next_reconnect =
@@ -689,7 +733,9 @@ void FuseServerPool::AutoscaleChannels(Mount& m, FuseConn& conn) {
   }
   size_t desired = n;
   if (deepest >= kGrowDepthPerChannel * n && n < kAutoscaleMaxChannels) {
-    desired = n * 2;  // sustained depth: more clones spread the premium
+    // Sustained depth: more clones spread the premium. Clamp the doubling
+    // so a non-power-of-two starting count never overshoots the ceiling.
+    desired = std::min<size_t>(n * 2, kAutoscaleMaxChannels);
   } else if (m.idle_scans >= kShrinkIdleScans && n > 1) {
     desired = n / 2;  // long quiet: give the clones back
     m.idle_scans = 0;

@@ -136,6 +136,8 @@ class FuseServerPool {
 
   // One synchronous controller pass (health, watermarks, reconnect,
   // scaling); the background controller runs the same body on its cadence.
+  // Passes are serialized internally, so calling this while the background
+  // controller is running (controller_interval_ms > 0) is safe.
   void RunControllerPass();
 
   // --- introspection (tests, bench panels) ---
@@ -176,11 +178,14 @@ class FuseServerPool {
     std::atomic<uint32_t> reconnect_attempts{0};
     std::atomic<bool> shedding{false};
     // Workers inside a dispatch / the controller inside the hook; Remove
-    // waits both out before OnDestroy.
+    // waits both out before OnDestroy. hook_active is published BEFORE the
+    // controller's quarantined->reconnecting CAS and RemoveMount detaches
+    // with an RMW on `state`, so whenever the hook runs, RemoveMount is
+    // guaranteed to observe the flag and wait the hook out.
     std::atomic<int> active_dispatch{0};
     std::atomic<bool> hook_active{false};
     ReconnectHook reconnect_hook;  // written under conn_mu
-    // Controller-only state (single controller, no locking needed).
+    // Controller-pass state, guarded by controller_pass_mu_.
     std::chrono::steady_clock::time_point next_reconnect{};
     uint64_t last_requests_seen = 0;
     uint32_t idle_scans = 0;
@@ -196,6 +201,10 @@ class FuseServerPool {
   std::shared_ptr<Mount> FindMount(uint64_t id) const;
   void WireConn(Mount& m, FuseConn& conn);
   void SetMountState(Mount& m, MountState s);
+  // Gauge-only update for callers that already moved the state word via
+  // CAS/exchange — a blind store here could resurrect a state RemoveMount
+  // just overwrote with kDetached.
+  void PublishMountState(Mount& m, MountState s);
   void Quarantine(Mount& m);
   void TryReconnect(Mount& m);
   void AutoscaleChannels(Mount& m, FuseConn& conn);
@@ -209,6 +218,11 @@ class FuseServerPool {
   mutable std::mutex mounts_mu_;
   std::vector<std::shared_ptr<Mount>> mounts_;
   std::atomic<uint64_t> next_mount_id_{1};
+
+  // Serializes controller passes: the background cadence and external
+  // RunControllerPass callers race on Mount's plain controller-side fields
+  // and would double-fire TryReconnect bookkeeping otherwise.
+  std::mutex controller_pass_mu_;
 
   std::mutex threads_mu_;
   std::vector<std::thread> workers_;

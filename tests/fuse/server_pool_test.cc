@@ -244,6 +244,80 @@ TEST(FuseServerPoolTest, ExhaustedRetriesParkTheMountTerminal) {
   pool.Stop();
 }
 
+// Regression: the reconnect hook captures a raw session pointer that dies
+// the moment RemoveMount returns (attach.cc's fleet-mode contract). The
+// controller must publish hook_active BEFORE its quarantined->reconnecting
+// CAS and must never blind-store over kDetached afterwards; otherwise
+// RemoveMount can slip between the CAS and the flag, skip the wait, and
+// the hook runs against freed memory. Hammer the interleaving — ASan/TSan
+// turn any regression into a hard failure.
+TEST(FuseServerPoolTest, RemoveMountNeverRacesReconnectHook) {
+  SimClock clock;
+  CostModel costs;
+  struct FakeSession {
+    std::atomic<uint64_t> magic{0x5e55105u};
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    FuseServerPool pool(ManualPool());
+    EchoHandler handler;
+    auto conn = std::make_shared<FuseConn>(&clock, &costs, 1);
+    uint64_t id = pool.AddMount(conn, &handler);
+    auto* session = new FakeSession();
+    pool.SetReconnectHook(id, [session] {
+      // Must only ever observe a live session: RemoveMount waits the hook
+      // out before the owner frees it.
+      EXPECT_EQ(session->magic.load(), 0x5e55105u);
+      return Status::Ok();
+    });
+    conn->Abort();
+    pool.RunControllerPass();  // -> kQuarantined (zero backoff: next pass reconnects)
+    ASSERT_EQ(pool.mount_state(id), MountState::kQuarantined);
+
+    std::thread controller([&] { pool.RunControllerPass(); });
+    std::thread remover([&] { pool.RemoveMount(id); });
+    remover.join();
+    // The hook dies with the mount: once RemoveMount returned, the session
+    // is freed even if the controller pass is still finishing.
+    session->magic.store(0xdead);
+    delete session;
+    controller.join();
+    EXPECT_EQ(pool.num_mounts(), 0u);
+    pool.Stop();
+  }
+}
+
+// The grow path doubles the channel count; from a non-power-of-two start
+// the doubling must clamp at the autoscale ceiling (16), not overshoot it.
+TEST(FuseServerPoolTest, ChannelAutoscaleClampsDoublingAtCeiling) {
+  SimClock clock;
+  CostModel costs;
+  FuseServerPoolOptions opts = ManualPool();
+  opts.min_threads = 1;
+  opts.max_threads = 1;
+  opts.autoscale_channels = true;
+  opts.soft_watermark = 1000;  // scaling, not shedding
+  opts.hard_watermark = 2000;
+  FuseServerPool pool(opts);
+
+  EchoHandler handler;
+  auto conn = std::make_shared<FuseConn>(&clock, &costs, 12);
+  // Saturate one channel's high-water (>= 4 x 12 channels) before the pool
+  // serves the mount, so the grow trigger is deterministic.
+  for (int i = 0; i < 48; ++i) {
+    conn->SendNoReply(ForgetFrom(1));
+  }
+  pool.AddMount(conn, &handler);
+  while (conn->queued_depth() != 0 || handler.handled() < 48) {
+    std::this_thread::yield();
+  }
+
+  pool.RunControllerPass();
+  EXPECT_EQ(conn->num_channels(), 16u);  // min(12 * 2, ceiling), not 24
+  pool.RunControllerPass();
+  EXPECT_EQ(conn->num_channels(), 16u);  // at the ceiling: growth stops
+  pool.Stop();
+}
+
 // Cross-tenant isolation: killing or stalling one of N mounts must leave the
 // survivors' latency distribution and throughput intact (the ≤10% fleet
 // acceptance bound; the bench panel guards the same property end to end).
