@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""One-shot adoption sweep: std sync primitives -> cntr::analysis Checked*.
+
+Replaces declaration sites with named lock classes (file-order list below),
+rewrites guard template arguments, and inserts the lockdep include. Kept in
+the tree as a record of the mapping; re-running on an adopted tree fails
+fast because the declaration anchors are gone.
+"""
+import os
+import re
+import sys
+
+ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+SRC = os.path.join(ROOT, "src")
+
+# (file, old-declaration, new-declaration), in file order per file. Each
+# entry replaces the first occurrence after the previous match in the file.
+DECLS = [
+    ("fault/fault.cc", "std::mutex mu;", 'analysis::CheckedMutex mu{"fault.catalogue"};'),
+    ("fault/fault.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"fault.registry"};'),
+
+    ("fuse/fuse_ring.h", "std::mutex cq_mu;", 'analysis::CheckedMutex cq_mu{"fuse.ring.cq"};'),
+    ("fuse/fuse_ring.h", "std::condition_variable cq_cv;", 'analysis::CheckedCondVar cq_cv{"fuse.ring.cq.cv"};'),
+    ("fuse/fuse_ring.h", "std::mutex sq_mu;", 'analysis::CheckedMutex sq_mu{"fuse.ring.sq"};'),
+    ("fuse/fuse_ring.h", "std::condition_variable sq_cv;", 'analysis::CheckedCondVar sq_cv{"fuse.ring.sq.cv"};'),
+
+    ("fuse/fuse_conn.h", "mutable std::mutex mu;", 'mutable analysis::CheckedMutex mu{"fuse.conn.channel"};'),
+    ("fuse/fuse_conn.h", "std::condition_variable reply_cv;", 'analysis::CheckedCondVar reply_cv{"fuse.conn.channel.reply_cv"};'),
+    ("fuse/fuse_conn.h", "mutable std::mutex config_mu_;", 'mutable analysis::CheckedMutex config_mu_{"fuse.conn.config"};'),
+    ("fuse/fuse_conn.h", "mutable std::shared_mutex reshape_mu_;", 'mutable analysis::CheckedSharedMutex reshape_mu_{"fuse.conn.reshape"};'),
+    ("fuse/fuse_conn.h", "std::mutex idle_mu_;", 'analysis::CheckedMutex idle_mu_{"fuse.conn.idle"};'),
+    ("fuse/fuse_conn.h", "std::condition_variable work_cv_;", 'analysis::CheckedCondVar work_cv_{"fuse.conn.idle.work_cv"};'),
+    ("fuse/fuse_conn.h", "std::mutex observer_mu_;", 'analysis::CheckedMutex observer_mu_{"fuse.conn.observer"};'),
+    ("fuse/fuse_conn.h", "std::mutex admission_mu_;", 'analysis::CheckedMutex admission_mu_{"fuse.conn.admission"};'),
+    ("fuse/fuse_conn.h", "std::condition_variable admission_cv_;", 'analysis::CheckedCondVar admission_cv_{"fuse.conn.admission.cv"};'),
+    ("fuse/fuse_conn.h", "std::mutex sweeper_mu_;", 'analysis::CheckedMutex sweeper_mu_{"fuse.conn.sweeper"};'),
+    ("fuse/fuse_conn.h", "std::condition_variable sweeper_cv_;", 'analysis::CheckedCondVar sweeper_cv_{"fuse.conn.sweeper.cv"};'),
+
+    ("fuse/fuse_server_pool.h", "mutable std::mutex conn_mu;", 'mutable analysis::CheckedMutex conn_mu{"fuse.pool.mount.conn"};'),
+    ("fuse/fuse_server_pool.h", "mutable std::mutex mounts_mu_;", 'mutable analysis::CheckedMutex mounts_mu_{"fuse.pool.mounts"};'),
+    ("fuse/fuse_server_pool.h", "std::mutex controller_pass_mu_;", 'analysis::CheckedMutex controller_pass_mu_{"fuse.pool.controller_pass"};'),
+    ("fuse/fuse_server_pool.h", "std::mutex threads_mu_;", 'analysis::CheckedMutex threads_mu_{"fuse.pool.threads"};'),
+    ("fuse/fuse_server_pool.h", "std::mutex pool_mu_;", 'analysis::CheckedMutex pool_mu_{"fuse.pool.eventcount"};'),
+    ("fuse/fuse_server_pool.h", "std::condition_variable pool_cv_;", 'analysis::CheckedCondVar pool_cv_{"fuse.pool.eventcount.worker_cv"};'),
+    ("fuse/fuse_server_pool.h", "std::condition_variable controller_cv_;", 'analysis::CheckedCondVar controller_cv_{"fuse.pool.eventcount.controller_cv"};'),
+
+    ("fuse/fuse_fs.h", "std::mutex inodes_mu_;", 'analysis::CheckedMutex inodes_mu_{"fuse.fs.inodes"};'),
+    ("fuse/fuse_fs.h", "std::mutex forget_mu_;", 'analysis::CheckedMutex forget_mu_{"fuse.fs.forget"};'),
+    ("fuse/fuse_fs.h", "std::mutex dirty_mu_;", 'analysis::CheckedMutex dirty_mu_{"fuse.fs.dirty"};'),
+    ("fuse/fuse_fs.h", "std::mutex flush_mu_;", 'analysis::CheckedMutex flush_mu_{"fuse.fs.flusher"};'),
+    ("fuse/fuse_fs.h", "std::condition_variable flush_cv_;", 'analysis::CheckedCondVar flush_cv_{"fuse.fs.flusher.cv"};'),
+    ("fuse/fuse_fs.h", "mutable std::mutex files_mu_;", 'mutable analysis::CheckedMutex files_mu_{"fuse.fs.files"};'),
+    ("fuse/fuse_fs.h", "std::mutex mu_;", 'analysis::CheckedMutex mu_{"fuse.fs.inode"};'),
+    ("fuse/fuse_fs.h", "std::mutex flush_mu_;", 'analysis::CheckedMutex flush_mu_{"fuse.fs.inode.flush"};'),
+
+    ("fuse/fuse_mount.cc", "std::make_shared<std::mutex>()", 'std::make_shared<analysis::CheckedMutex>("fuse.mount.conn_list")'),
+
+    ("obs/metrics.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"obs.metrics.registry"};'),
+    ("obs/trace.h", "std::mutex build_mu_;", 'analysis::CheckedMutex build_mu_{"obs.trace.build"};'),
+
+    ("kernel/namespaces.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"kernel.ns.uts"};'),
+    ("kernel/namespaces.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"kernel.ns.net"};'),
+    ("kernel/namespaces.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"kernel.ns.user"};'),
+    ("kernel/namespaces.h", "std::mutex mu_;", 'analysis::CheckedMutex mu_{"kernel.ns.pid"};'),
+    ("kernel/namespaces.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"kernel.cgroup.node"};'),
+
+    ("kernel/file.h", "mutable std::mutex offset_mu_;", 'mutable analysis::CheckedMutex offset_mu_{"kernel.file.offset"};'),
+    ("kernel/epoll.h", "std::mutex mu_;", 'analysis::CheckedMutex mu_{"kernel.epoll"};'),
+    ("kernel/kernel.h", "std::mutex devices_mu_;", 'analysis::CheckedMutex devices_mu_{"kernel.devices"};'),
+    ("kernel/kernel.h", "std::mutex exit_hooks_mu_;", 'analysis::CheckedMutex exit_hooks_mu_{"kernel.exit_hooks"};'),
+    ("kernel/kernel.h", "std::mutex sockets_mu_;", 'analysis::CheckedMutex sockets_mu_{"kernel.sockets"};'),
+    ("kernel/kernel.h", "std::mutex xattr_probe_mu_;", 'analysis::CheckedMutex xattr_probe_mu_{"kernel.xattr_probe"};'),
+    ("kernel/mount.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"kernel.mount_table"};'),
+    ("kernel/page_cache.h", "mutable std::mutex mu;", 'mutable analysis::CheckedMutex mu{"kernel.pagecache.shard"};'),
+    ("kernel/unix_socket.h", "mutable std::mutex shut_mu_;", 'mutable analysis::CheckedMutex shut_mu_{"kernel.unixsock.shut"};'),
+    ("kernel/unix_socket.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"kernel.unixsock.buffer"};'),
+    ("kernel/unix_socket.h", "std::condition_variable cv_;", 'analysis::CheckedCondVar cv_{"kernel.unixsock.buffer.cv"};'),
+    ("kernel/poll_hub.h", "std::mutex mu_;", 'analysis::CheckedMutex mu_{"kernel.pollhub"};'),
+    ("kernel/poll_hub.h", "std::condition_variable cv_;", 'analysis::CheckedCondVar cv_{"kernel.pollhub.cv"};'),
+    ("kernel/disk.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"kernel.disk"};'),
+    ("kernel/pipe.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"kernel.pipe.buffer"};'),
+    ("kernel/pipe.h", "std::condition_variable cv_;", 'analysis::CheckedCondVar cv_{"kernel.pipe.buffer.cv"};'),
+    ("kernel/process.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"kernel.fdtable"};'),
+    ("kernel/process.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"kernel.process"};'),
+    ("kernel/process.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"kernel.process_table"};'),
+    ("kernel/dcache.h", "mutable std::mutex mu;", 'mutable analysis::CheckedMutex mu{"kernel.dcache.shard"};'),
+    ("kernel/memfs.h", "std::mutex dirty_mu_;", 'analysis::CheckedMutex dirty_mu_{"kernel.memfs.dirty"};'),
+    ("kernel/memfs.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"kernel.memfs.inode"};'),
+    ("kernel/readahead.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"kernel.readahead"};'),
+
+    ("slim/access_tracker.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"slim.access_tracker"};'),
+    ("container/lambda.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"container.lambda"};'),
+    ("container/registry.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"container.registry"};'),
+    ("container/engine.h", "mutable std::mutex mu_;", 'mutable analysis::CheckedMutex mu_{"container.engine"};'),
+
+    ("core/cntrfs.h", "mutable std::mutex mu;", 'mutable analysis::CheckedMutex mu{"cntrfs.node_shard"};'),
+    ("core/cntrfs.h", "mutable std::mutex files_mu_;", 'mutable analysis::CheckedMutex files_mu_{"cntrfs.files"};'),
+    ("core/cntrfs.h", "mutable std::mutex streams_mu_;", 'mutable analysis::CheckedMutex streams_mu_{"cntrfs.streams"};'),
+]
+
+GUARD_REWRITES = [
+    ("std::lock_guard<std::mutex>", "std::lock_guard<analysis::CheckedMutex>"),
+    ("std::unique_lock<std::mutex>", "std::unique_lock<analysis::CheckedMutex>"),
+    ("std::shared_lock<std::shared_mutex>", "std::shared_lock<analysis::CheckedSharedMutex>"),
+    ("std::unique_lock<std::shared_mutex>", "std::unique_lock<analysis::CheckedSharedMutex>"),
+]
+
+SKIP_DIRS = ("util", "analysis")
+INCLUDE_LINE = '#include "src/analysis/lockdep.h"\n'
+
+
+def adopted_files():
+    for dirpath, _, names in os.walk(SRC):
+        rel = os.path.relpath(dirpath, SRC)
+        if rel.split(os.sep)[0] in SKIP_DIRS:
+            continue
+        for n in sorted(names):
+            if n.endswith((".h", ".cc")):
+                yield os.path.join(dirpath, n)
+
+
+def main():
+    # Pass 1: declaration sites (in-order first-match replacement).
+    by_file = {}
+    for rel, old, new in DECLS:
+        by_file.setdefault(rel, []).append((old, new))
+    for rel, repls in by_file.items():
+        path = os.path.join(SRC, rel)
+        text = open(path).read()
+        cursor = 0
+        for old, new in repls:
+            idx = text.find(old, cursor)
+            if idx < 0:
+                sys.exit(f"anchor not found in {rel}: {old!r}")
+            text = text[:idx] + new + text[idx + len(old):]
+            cursor = idx + len(new)
+        open(path, "w").write(text)
+
+    # Pass 2: guard template arguments + include insertion.
+    for path in adopted_files():
+        text = open(path).read()
+        orig = text
+        for old, new in GUARD_REWRITES:
+            text = text.replace(old, new)
+        touched = text != orig or os.path.relpath(path, SRC) in by_file
+        if touched and INCLUDE_LINE not in text:
+            lines = text.splitlines(keepends=True)
+            last_inc = max(i for i, l in enumerate(lines) if l.startswith("#include"))
+            lines.insert(last_inc + 1, INCLUDE_LINE)
+            text = "".join(lines)
+        if text != orig:
+            open(path, "w").write(text)
+    print("adoption sweep complete")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,426 @@
+// Runtime lock-order validation — a lockdep analogue for the CNTR stack.
+//
+// The simulated kernel is heavily concurrent: hundreds of mutex/condvar
+// sites across the FUSE transport, the server pool, the page cache and the
+// pipe/poll plumbing. TSan catches data races but not lock-order
+// inversions or condvar wait cycles — exactly the bug classes that shipped
+// in earlier PRs (the PipeBuffer notify-under-lock deadlock against
+// EpollWait; the pool detach-vs-reconnect UAF). CheckedMutex /
+// CheckedSharedMutex / CheckedCondVar are drop-in replacements for the std
+// types that, when armed, maintain a per-thread held-lock stack and a
+// global lock-CLASS dependency graph, and report any acquisition that
+// would close a cycle — before the thread blocks on it.
+//
+// Like the Linux kernel's lock validator, this validates classes, not
+// instances: every declaration site names a static lock class ("a shard of
+// the page-cache pool"), all instances of that site share one node in the
+// dependency graph, and an inversion between two classes is reported once
+// with the stack that recorded each edge. The runtime rules:
+//
+//   * Acquiring N while holding H adds the dependency edge H -> N (with a
+//     captured backtrace the first time the edge is seen). Before the edge
+//     is added, a DFS from N over the existing graph looks for a path back
+//     to any currently-held lock; finding one means the new acquisition
+//     closes a cycle: report with both stacks, do not add the edge (the
+//     graph itself stays acyclic).
+//   * Condvar waits add wait-for edges: a thread that waits on condvar C
+//     while still holding lock H (other than the mutex the wait releases)
+//     records H -> C; a notifier that signals C while holding G records
+//     C -> G ("delivering C's wakeup requires G"). The PR-2 deadlock shape
+//     — the wakeup parked behind a lock a waiter is holding — closes a
+//     cycle through the condvar node and is reported like any other
+//     inversion.
+//   * std::shared_mutex read/write modes are tracked separately:
+//     same-class read-after-read nesting is legal (readers do not exclude
+//     readers), while any write acquisition participates fully.
+//   * Sharded/striped locks (node-table shards, dcache/page-cache stripes)
+//     declare a per-stripe SUBCLASS — the lock_nested analogue. Each
+//     (class, subclass) pair is its own graph node, so index-ordered
+//     same-class nesting is legal and an out-of-order pair is still a
+//     reported inversion.
+//   * try_lock acquisitions never block, so they neither cycle-check nor
+//     add edges — but they do join the held stack, so later blocking
+//     acquisitions underneath them are real dependencies. This also keeps
+//     std::scoped_lock's deadlock-avoidance dance (lock + try_lock
+//     rotation) report-free by construction.
+//
+// Cost model: when CNTR_LOCKDEP is unset (or SetLockdepEnabled(false)),
+// every hook is one relaxed atomic load — the same pattern as
+// CNTR_FAULT_POINT — and the wrappers behave exactly like the std types.
+// Armed, the common path (first lock on an empty stack, or a (chain, next)
+// pair already validated) touches only thread-local state and a lock-free
+// chain cache; only a never-seen chain takes the global graph mutex.
+// Nothing here reads or advances SimClock, so bench panels stay
+// bit-identical with the validator compiled in.
+#ifndef CNTR_SRC_ANALYSIS_LOCKDEP_H_
+#define CNTR_SRC_ANALYSIS_LOCKDEP_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace cntr::analysis {
+
+// ---------------------------------------------------------------------------
+// Gate + global controls
+// ---------------------------------------------------------------------------
+
+namespace lockdep_internal {
+// 0 = off, 1 = on. Initialized from the CNTR_LOCKDEP environment variable
+// by lockdep.cc's static initializer; constant-zero before that, so locks
+// taken during other TUs' static init are simply unvalidated.
+extern std::atomic<int> g_enabled;
+
+// Acquisition modes a held-stack entry can carry.
+enum class Mode : uint8_t { kExclusive = 0, kShared = 1 };
+
+// Hook surface implemented in lockdep.cc. `node` is the resolved
+// (class, subclass) graph-node id; `name` is the class name (stable
+// storage, used in reports).
+void OnAcquire(uint32_t node, const char* name, Mode mode, bool trylock);
+void OnRelease(uint32_t node);
+// The wait hook runs with the associated mutex already popped from the
+// held stack; the notify hook runs with the notifier's full held stack.
+void OnCondWait(uint32_t cv_node, const char* name);
+void OnCondNotify(uint32_t cv_node, const char* name);
+// Resolves (class-name, subclass) to a stable graph-node id.
+uint32_t ResolveNode(const char* lock_class, uint32_t subclass);
+}  // namespace lockdep_internal
+
+// The hot-path gate: one relaxed load, matching the CNTR_FAULT_POINT idiom.
+inline bool LockdepEnabled() {
+  return lockdep_internal::g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+// Arms / disarms the validator at runtime (tests; CNTR_LOCKDEP=1 arms it
+// for whole processes). Toggle only at quiet points: locks acquired while
+// disarmed are invisible to the held stack.
+void SetLockdepEnabled(bool enabled);
+
+// One reported finding. `details` is the full human-readable report —
+// the cycle path plus the backtrace recorded when each edge was first
+// added and the acquisition stack that closed the cycle.
+struct LockdepReport {
+  enum class Kind {
+    kCycle,         // lock-order inversion (possibly through a condvar node)
+    kRecursion,     // same (class, subclass) acquired twice, not read-read
+  };
+  Kind kind = Kind::kCycle;
+  std::string summary;                   // one line
+  std::vector<std::string> cycle_nodes;  // class names along the cycle
+  std::string details;                   // full two-stack report text
+};
+
+// Replaces the report sink. The default handler prints `details` to stderr
+// and aborts the process — a finding under CNTR_LOCKDEP=1 fails the run the
+// way a sanitizer report would. Tests that provoke deliberate inversions
+// install a capturing handler; passing nullptr restores the default.
+void SetLockdepReportHandler(std::function<void(const LockdepReport&)> handler);
+
+// Findings reported since start / last reset (each distinct inversion is
+// reported once).
+uint64_t LockdepReportCount();
+
+// Clears the dependency graph, the chain cache, the reported-set and the
+// CALLING thread's held stack (other threads' stacks drain as they unlock).
+// Test isolation only.
+void LockdepResetForTest();
+
+// Dependency edges currently recorded (diagnostics / tests).
+size_t LockdepEdgeCount();
+
+// ---------------------------------------------------------------------------
+// CheckedMutex
+// ---------------------------------------------------------------------------
+
+// Drop-in std::mutex with a lock class. The class name must be a string
+// with static storage duration (string literals). `subclass` distinguishes
+// stripes of a sharded lock (see file comment); instances of one
+// declaration site otherwise share a single graph node.
+class CheckedMutex {
+ public:
+  explicit CheckedMutex(const char* lock_class, uint32_t subclass = 0)
+      : name_(lock_class), subclass_(subclass) {}
+
+  CheckedMutex(const CheckedMutex&) = delete;
+  CheckedMutex& operator=(const CheckedMutex&) = delete;
+
+  // Striped containers (std::vector<Shard>) default-construct their
+  // elements, so the stripe index is applied after construction. Must be
+  // called before the first acquisition of this instance.
+  void set_subclass(uint32_t subclass) {
+    subclass_ = subclass;
+    node_.store(0, std::memory_order_relaxed);
+  }
+
+  void lock() {
+    if (LockdepEnabled()) {
+      const uint32_t n = Node();
+      lockdep_internal::OnAcquire(n, name_,
+                                  lockdep_internal::Mode::kExclusive,
+                                  /*trylock=*/false);
+      mu_.lock();
+      held_as_ = n;
+      return;
+    }
+    mu_.lock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    if (LockdepEnabled()) {
+      const uint32_t n = Node();
+      lockdep_internal::OnAcquire(n, name_,
+                                  lockdep_internal::Mode::kExclusive,
+                                  /*trylock=*/true);
+      held_as_ = n;
+    }
+    return true;
+  }
+  void unlock() {
+    // held_as_ is read while the lock is still held: it names the node this
+    // acquisition pushed (the lock() class node, or the lock_nested()
+    // subclass node), so the release pops the matching held-stack entry.
+    if (LockdepEnabled()) lockdep_internal::OnRelease(held_as_);
+    mu_.unlock();
+  }
+
+  // mutex_lock_nested analogue: acquire this instance AS a different
+  // subclass of its class, for same-class nesting whose order is decided
+  // at the acquisition site (parent -> child inode, address-ordered lock
+  // pairs). Pair with std::adopt_lock; release goes through the normal
+  // unlock()/guard path.
+  void lock_nested(uint32_t subclass) {
+    if (LockdepEnabled()) {
+      const uint32_t n = lockdep_internal::ResolveNode(name_, subclass);
+      lockdep_internal::OnAcquire(n, name_, lockdep_internal::Mode::kExclusive,
+                                  /*trylock=*/false);
+      mu_.lock();
+      held_as_ = n;
+      return;
+    }
+    mu_.lock();
+  }
+
+  // The underlying mutex, for CheckedCondVar's adopt/release dance.
+  std::mutex& raw() { return mu_; }
+
+  uint32_t NodeIdForTest() { return Node(); }
+
+ private:
+  friend class CheckedCondVar;
+
+  uint32_t Node() {
+    uint32_t n = node_.load(std::memory_order_relaxed);
+    if (n == 0) {
+      n = lockdep_internal::ResolveNode(name_, subclass_);
+      node_.store(n, std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  std::mutex mu_;
+  const char* name_;
+  uint32_t subclass_;
+  // The node the current hold was acquired as. Written after acquiring mu_
+  // and read before releasing it, so plain storage is race-free; only
+  // meaningful while armed (stale values are ignored by OnRelease).
+  uint32_t held_as_ = 0;
+  std::atomic<uint32_t> node_{0};
+};
+
+// ---------------------------------------------------------------------------
+// CheckedSharedMutex
+// ---------------------------------------------------------------------------
+
+class CheckedSharedMutex {
+ public:
+  explicit CheckedSharedMutex(const char* lock_class, uint32_t subclass = 0)
+      : name_(lock_class), subclass_(subclass) {}
+
+  CheckedSharedMutex(const CheckedSharedMutex&) = delete;
+  CheckedSharedMutex& operator=(const CheckedSharedMutex&) = delete;
+
+  void set_subclass(uint32_t subclass) {
+    subclass_ = subclass;
+    node_.store(0, std::memory_order_relaxed);
+  }
+
+  void lock() {
+    if (LockdepEnabled()) {
+      lockdep_internal::OnAcquire(Node(), name_,
+                                  lockdep_internal::Mode::kExclusive,
+                                  /*trylock=*/false);
+    }
+    mu_.lock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    if (LockdepEnabled()) {
+      lockdep_internal::OnAcquire(Node(), name_,
+                                  lockdep_internal::Mode::kExclusive,
+                                  /*trylock=*/true);
+    }
+    return true;
+  }
+  void unlock() {
+    if (LockdepEnabled()) lockdep_internal::OnRelease(Node());
+    mu_.unlock();
+  }
+
+  void lock_shared() {
+    if (LockdepEnabled()) {
+      lockdep_internal::OnAcquire(Node(), name_,
+                                  lockdep_internal::Mode::kShared,
+                                  /*trylock=*/false);
+    }
+    mu_.lock_shared();
+  }
+  bool try_lock_shared() {
+    if (!mu_.try_lock_shared()) return false;
+    if (LockdepEnabled()) {
+      lockdep_internal::OnAcquire(Node(), name_,
+                                  lockdep_internal::Mode::kShared,
+                                  /*trylock=*/true);
+    }
+    return true;
+  }
+  void unlock_shared() {
+    if (LockdepEnabled()) lockdep_internal::OnRelease(Node());
+    mu_.unlock_shared();
+  }
+
+ private:
+  uint32_t Node() {
+    uint32_t n = node_.load(std::memory_order_relaxed);
+    if (n == 0) {
+      n = lockdep_internal::ResolveNode(name_, subclass_);
+      node_.store(n, std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  std::shared_mutex mu_;
+  const char* name_;
+  uint32_t subclass_;
+  std::atomic<uint32_t> node_{0};
+};
+
+// ---------------------------------------------------------------------------
+// CheckedCondVar
+// ---------------------------------------------------------------------------
+
+// Drop-in std::condition_variable over CheckedMutex. The condvar itself is
+// a node in the dependency graph (its own lock class): waits record
+// held-lock -> condvar edges, notifies record condvar -> held-lock edges
+// (see file comment). Timing semantics match std::condition_variable —
+// pred overloads re-evaluate under the re-acquired mutex, timed waits
+// honour one deadline across spurious wakeups.
+class CheckedCondVar {
+ public:
+  explicit CheckedCondVar(const char* lock_class) : name_(lock_class) {}
+
+  CheckedCondVar(const CheckedCondVar&) = delete;
+  CheckedCondVar& operator=(const CheckedCondVar&) = delete;
+
+  void notify_one() {
+    if (LockdepEnabled()) lockdep_internal::OnCondNotify(Node(), name_);
+    cv_.notify_one();
+  }
+  void notify_all() {
+    if (LockdepEnabled()) lockdep_internal::OnCondNotify(Node(), name_);
+    cv_.notify_all();
+  }
+
+  void wait(std::unique_lock<CheckedMutex>& lk) {
+    const bool armed = LockdepEnabled();
+    const uint32_t n = PreWait(lk, armed);
+    std::unique_lock<std::mutex> inner(lk.mutex()->raw(), std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();
+    PostWait(lk, armed, n);
+  }
+
+  template <typename Pred>
+  void wait(std::unique_lock<CheckedMutex>& lk, Pred pred) {
+    while (!pred()) wait(lk);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(std::unique_lock<CheckedMutex>& lk,
+                            const std::chrono::time_point<Clock, Duration>& tp) {
+    const bool armed = LockdepEnabled();
+    const uint32_t n = PreWait(lk, armed);
+    std::unique_lock<std::mutex> inner(lk.mutex()->raw(), std::adopt_lock);
+    std::cv_status st = cv_.wait_until(inner, tp);
+    inner.release();
+    PostWait(lk, armed, n);
+    return st;
+  }
+
+  template <typename Clock, typename Duration, typename Pred>
+  bool wait_until(std::unique_lock<CheckedMutex>& lk,
+                  const std::chrono::time_point<Clock, Duration>& tp, Pred pred) {
+    while (!pred()) {
+      if (wait_until(lk, tp) == std::cv_status::timeout) return pred();
+    }
+    return true;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(std::unique_lock<CheckedMutex>& lk,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return wait_until(lk, std::chrono::steady_clock::now() + dur);
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(std::unique_lock<CheckedMutex>& lk,
+                const std::chrono::duration<Rep, Period>& dur, Pred pred) {
+    return wait_until(lk, std::chrono::steady_clock::now() + dur,
+                      std::move(pred));
+  }
+
+ private:
+  uint32_t Node() {
+    uint32_t n = node_.load(std::memory_order_relaxed);
+    if (n == 0) {
+      n = lockdep_internal::ResolveNode(name_, /*subclass=*/0);
+      node_.store(n, std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  // Pops the released mutex from the held stack (by the node it was
+  // acquired as), then records the wait-for edges from everything still
+  // held. Returns that node so PostWait can restore it.
+  uint32_t PreWait(std::unique_lock<CheckedMutex>& lk, bool armed) {
+    if (!armed) return 0;
+    uint32_t n = lk.mutex()->held_as_;
+    if (n == 0) n = lk.mutex()->Node();
+    lockdep_internal::OnRelease(n);
+    lockdep_internal::OnCondWait(Node(), name_);
+    return n;
+  }
+  // The wait re-acquired the mutex: re-join the held stack. The edges this
+  // acquisition implies were already recorded by the original lock().
+  void PostWait(std::unique_lock<CheckedMutex>& lk, bool armed, uint32_t n) {
+    if (!armed) return;
+    lockdep_internal::OnAcquire(n, lk.mutex()->name_,
+                                lockdep_internal::Mode::kExclusive,
+                                /*trylock=*/true);
+    lk.mutex()->held_as_ = n;
+  }
+
+  std::condition_variable cv_;
+  const char* name_;
+  std::atomic<uint32_t> node_{0};
+};
+
+}  // namespace cntr::analysis
+
+#endif  // CNTR_SRC_ANALYSIS_LOCKDEP_H_

@@ -4,13 +4,14 @@
 
 #include "src/util/rng.h"
 #include "src/util/strings.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::container {
 
 StatusOr<ContainerPtr> ContainerEngine::Run(const std::string& name, const Image& image,
                                             ContainerSpec spec) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     if (by_name_.count(name) != 0) {
       return Status::Error(EEXIST, EngineName() + ": container name in use: " + name);
     }
@@ -23,7 +24,7 @@ StatusOr<ContainerPtr> ContainerEngine::Run(const std::string& name, const Image
     spec.lsm = DefaultLsmProfile();
   }
   CNTR_ASSIGN_OR_RETURN(ContainerPtr container, runtime_->Start(std::move(spec)));
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   by_name_[name] = container;
   return container;
 }
@@ -40,7 +41,7 @@ StatusOr<ContainerPtr> ContainerEngine::RunFromRegistry(const std::string& name,
 
 StatusOr<ContainerPtr> ContainerEngine::FindByNameOrIdPrefix(const std::string& key,
                                                              bool allow_prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = by_name_.find(key);
   if (it != by_name_.end()) {
     return it->second;
@@ -67,7 +68,7 @@ StatusOr<ContainerPtr> ContainerEngine::Find(const std::string& name) const {
 }
 
 std::vector<std::string> ContainerEngine::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(by_name_.size());
   for (const auto& [name, _] : by_name_) {
@@ -79,7 +80,7 @@ std::vector<std::string> ContainerEngine::List() const {
 Status ContainerEngine::Stop(const std::string& name) {
   CNTR_ASSIGN_OR_RETURN(ContainerPtr container, Find(name));
   CNTR_RETURN_IF_ERROR(runtime_->Stop(container));
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   by_name_.erase(container->name());
   return Status::Ok();
 }

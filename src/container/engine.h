@@ -15,6 +15,7 @@
 
 #include "src/container/registry.h"
 #include "src/container/runtime.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::container {
 
@@ -52,7 +53,7 @@ class ContainerEngine {
 
   ContainerRuntime* runtime_;
   Registry* registry_;
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"container.engine"};
   std::map<std::string, ContainerPtr> by_name_;
 };
 
@@ -64,7 +65,7 @@ class DockerEngine : public ContainerEngine {
 
  protected:
   std::string MakeContainerId(const std::string& name) const override;
-  std::string CgroupParent(const std::string& id) const override { return "docker"; }
+  std::string CgroupParent(const std::string& /*id*/) const override { return "docker"; }
   kernel::LsmProfile DefaultLsmProfile() const override {
     kernel::LsmProfile p;
     p.name = "docker-default";

@@ -3,6 +3,7 @@
 #include <cerrno>
 
 #include "src/util/logging.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::container {
 
@@ -55,7 +56,7 @@ Status LambdaPlatform::Deploy(FunctionSpec spec) {
   image.env()["LAMBDA_TASK_ROOT"] = "/var/task";
   image.env()["AWS_LAMBDA_FUNCTION_NAME"] = spec.name;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   Function fn;
   fn.spec = std::move(spec);
   fn.image = std::move(image);
@@ -81,7 +82,7 @@ StatusOr<InvocationResult> LambdaPlatform::Invoke(const std::string& name,
                                                   const std::string& payload) {
   Function* fn = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     auto it = functions_.find(name);
     if (it == functions_.end()) {
       return Status::Error(ENOENT, "no such function: " + name);
@@ -94,7 +95,7 @@ StatusOr<InvocationResult> LambdaPlatform::Invoke(const std::string& name,
   SimTimer timer(kernel_->clock());
   ContainerPtr instance;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     if (fn->warm != nullptr && fn->warm->running()) {
       instance = fn->warm;
     }
@@ -102,7 +103,7 @@ StatusOr<InvocationResult> LambdaPlatform::Invoke(const std::string& name,
   if (instance == nullptr) {
     CNTR_ASSIGN_OR_RETURN(instance, ColdStart(*fn));
     result.cold_start = true;
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     ++stats_.cold_starts;
     fn->warm = instance;
   } else {
@@ -116,7 +117,7 @@ StatusOr<InvocationResult> LambdaPlatform::Invoke(const std::string& name,
 }
 
 StatusOr<kernel::Pid> LambdaPlatform::WarmInstancePid(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = functions_.find(name);
   if (it == functions_.end()) {
     return Status::Error(ENOENT, "no such function: " + name);
@@ -128,7 +129,7 @@ StatusOr<kernel::Pid> LambdaPlatform::WarmInstancePid(const std::string& name) c
 }
 
 int LambdaPlatform::warm_instances(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = functions_.find(name);
   return it != functions_.end() && it->second.warm != nullptr && it->second.warm->running() ? 1
                                                                                             : 0;

@@ -20,6 +20,7 @@
 
 #include "src/container/engine.h"
 #include "src/container/runtime.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::container {
 
@@ -61,7 +62,7 @@ class LambdaPlatform {
     uint64_t cold_starts = 0;
   };
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return stats_;
   }
 
@@ -78,7 +79,7 @@ class LambdaPlatform {
 
   kernel::Kernel* kernel_;
   ContainerRuntime* runtime_;
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"container.lambda"};
   std::map<std::string, Function> functions_;
   Stats stats_;
   int instance_counter_ = 0;

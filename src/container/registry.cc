@@ -1,16 +1,17 @@
 #include "src/container/registry.h"
 
 #include <cerrno>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::container {
 
 void Registry::Push(Image image) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   images_[image.Ref()] = std::move(image);
 }
 
 bool Registry::Has(const std::string& ref) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   return images_.count(ref) != 0;
 }
 
@@ -18,7 +19,7 @@ StatusOr<Image> Registry::Pull(const std::string& ref, const std::string& node) 
   Image image;
   uint64_t bytes = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     auto it = images_.find(ref);
     if (it == images_.end()) {
       return Status::Error(ENOENT, "no such image: " + ref);
@@ -38,7 +39,7 @@ StatusOr<Image> Registry::Pull(const std::string& ref, const std::string& node) 
 
 StatusOr<double> Registry::EstimatePullSeconds(const std::string& ref,
                                                const std::string& node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = images_.find(ref);
   if (it == images_.end()) {
     return Status::Error(ENOENT, "no such image: " + ref);

@@ -16,6 +16,7 @@
 #include "src/container/image.h"
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::container {
 
@@ -38,7 +39,7 @@ class Registry {
   StatusOr<double> EstimatePullSeconds(const std::string& ref, const std::string& node) const;
 
   uint64_t bytes_transferred() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return bytes_transferred_;
   }
 
@@ -47,7 +48,7 @@ class Registry {
 
   SimClock* clock_;
   uint64_t bandwidth_;
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"container.registry"};
   std::map<std::string, Image> images_;
   // node -> layer ids already cached there.
   std::map<std::string, std::set<std::string>> node_layers_;

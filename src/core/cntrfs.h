@@ -30,6 +30,7 @@
 #include "src/fuse/fuse_server.h"
 #include "src/kernel/kernel.h"
 #include "src/util/hash.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::core {
 
@@ -99,7 +100,7 @@ class CntrFsServer : public fuse::FuseHandler {
   static constexpr size_t kNodeShardBits = 4;
   static constexpr size_t kNodeShards = size_t{1} << kNodeShardBits;
   struct alignas(64) NodeShard {
-    mutable std::mutex mu;
+    mutable analysis::CheckedMutex mu{"cntrfs.node_shard"};
     std::map<uint64_t, Node> nodes;
     std::map<DevIno, uint64_t> by_dev_ino;
     uint64_t next_seq = 1;  // nodeid = (seq << kNodeShardBits) | shard index
@@ -150,14 +151,14 @@ class CntrFsServer : public fuse::FuseHandler {
   // Open handles and directory streams each take their own lock: the data
   // plane (READ/WRITE fh resolution) never contends with the metadata plane
   // (node interning), and neither blocks the other's channels.
-  mutable std::mutex files_mu_;
+  mutable analysis::CheckedMutex files_mu_{"cntrfs.files"};
   std::map<uint64_t, kernel::FilePtr> open_files_;
   std::atomic<uint64_t> next_fh_{1};
   // In-flight READDIRPLUS listings, keyed by continuation token: the first
   // batch snapshots the directory and later batches serve windows of the
   // (immutable, shared) snapshot, so concurrent create/unlink cannot skip
   // or duplicate entries mid-walk.
-  mutable std::mutex streams_mu_;
+  mutable analysis::CheckedMutex streams_mu_{"cntrfs.streams"};
   std::map<uint64_t, std::shared_ptr<const std::vector<kernel::DirEntry>>> dir_streams_;
 
   // Registry-backed (kernel->metrics(), labeled server="c<N>"); resolved

@@ -20,10 +20,10 @@ class PtyEnd : public kernel::FileDescription {
     out_->DropWriter();
   }
 
-  StatusOr<size_t> Read(void* buf, size_t count, uint64_t offset) override {
+  StatusOr<size_t> Read(void* buf, size_t count, uint64_t /*offset*/) override {
     return in_->Read(static_cast<char*>(buf), count, nonblocking());
   }
-  StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset) override {
+  StatusOr<size_t> Write(const void* buf, size_t count, uint64_t /*offset*/) override {
     return out_->Write(static_cast<const char*>(buf), count, nonblocking());
   }
   uint32_t PollEvents() override {

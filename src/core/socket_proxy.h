@@ -116,7 +116,7 @@ class SocketProxy {
     bool want_out = false;   // dst backpressured; re-arm EPOLLOUT on dst
     bool done = false;       // EOF/abort fully propagated downstream
     uint32_t watch_mask = 0; // current epoll interest on src
-    std::vector<char> carry; // copy-relay buffer (splice_mode off)
+    std::vector<char> carry{}; // copy-relay buffer (splice_mode off)
     size_t carry_off = 0;
 
     // Whether the flow can absorb another source segment: the in-flight

@@ -1,6 +1,7 @@
 #include "src/fault/fault.h"
 
 #include <algorithm>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::fault {
 
@@ -9,7 +10,7 @@ namespace {
 // The global catalogue of compiled-in injection points. Guarded by its own
 // mutex because registration runs from static initializers across TUs.
 struct Catalogue {
-  std::mutex mu;
+  analysis::CheckedMutex mu{"fault.catalogue"};
   std::vector<std::string> points;
 };
 
@@ -22,7 +23,7 @@ Catalogue& catalogue() {
 
 std::string_view RegisterFaultPoint(std::string_view point) {
   Catalogue& c = catalogue();
-  std::lock_guard<std::mutex> lock(c.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(c.mu);
   auto it = std::find(c.points.begin(), c.points.end(), point);
   if (it == c.points.end()) {
     c.points.emplace_back(point);
@@ -32,7 +33,7 @@ std::string_view RegisterFaultPoint(std::string_view point) {
 
 std::vector<std::string> FaultRegistry::Points() {
   Catalogue& c = catalogue();
-  std::lock_guard<std::mutex> lock(c.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(c.mu);
   std::vector<std::string> out = c.points;
   std::sort(out.begin(), out.end());
   return out;
@@ -41,7 +42,7 @@ std::vector<std::string> FaultRegistry::Points() {
 FaultRegistry::FaultRegistry(uint64_t seed) : rng_(seed) {}
 
 void FaultRegistry::Arm(std::string_view point, FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = entries_.find(point);
   if (it == entries_.end()) {
     entries_.emplace(std::string(point), Entry{spec, 0, 0});
@@ -52,7 +53,7 @@ void FaultRegistry::Arm(std::string_view point, FaultSpec spec) {
 }
 
 void FaultRegistry::Disarm(std::string_view point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = entries_.find(point);
   if (it != entries_.end()) {
     entries_.erase(it);
@@ -61,7 +62,7 @@ void FaultRegistry::Disarm(std::string_view point) {
 }
 
 void FaultRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   armed_.fetch_sub(entries_.size(), std::memory_order_relaxed);
   entries_.clear();
 }
@@ -71,7 +72,7 @@ FaultHit FaultRegistry::Check(std::string_view point) {
   if (armed_.load(std::memory_order_relaxed) == 0) {
     return FaultHit{};
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = entries_.find(point);
   if (it == entries_.end()) {
     return FaultHit{};
@@ -106,19 +107,19 @@ FaultHit FaultRegistry::Check(std::string_view point) {
 }
 
 uint64_t FaultRegistry::Hits(std::string_view point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = entries_.find(point);
   return it == entries_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultRegistry::Fired(std::string_view point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = entries_.find(point);
   return it == entries_.end() ? 0 : it->second.fired;
 }
 
 uint64_t FaultRegistry::TotalHits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [name, entry] : entries_) {
     total += entry.hits;
@@ -127,7 +128,7 @@ uint64_t FaultRegistry::TotalHits() const {
 }
 
 uint64_t FaultRegistry::TotalFired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [name, entry] : entries_) {
     total += entry.fired;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/util/rng.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::fault {
 
@@ -98,7 +99,7 @@ class FaultRegistry {
 
   // Count of armed points; the fast-path gate.
   std::atomic<uint64_t> armed_{0};
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"fault.registry"};
   std::map<std::string, Entry, std::less<>> entries_;
   Rng rng_;
 };

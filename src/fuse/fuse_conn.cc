@@ -6,6 +6,7 @@
 #include <type_traits>
 
 #include "src/util/hash.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::fuse {
 
@@ -215,7 +216,7 @@ FuseConn::FuseConn(SimClock* clock, const CostModel* costs, size_t num_channels,
   sheds_ = counter("cntr_fuse_conn_shed_total");
   req_metrics_ =
       std::make_unique<obs::RequestMetrics>(registry_, mount_label_, &OpcodeNameU32);
-  std::lock_guard<std::mutex> lock(config_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(config_mu_);
   InstallChannels(std::clamp<size_t>(num_channels, 1, kMaxChannels));
 }
 
@@ -250,7 +251,7 @@ size_t FuseConn::ConfigureRing(size_t depth, uint32_t spin_budget) {
   if (depth == 0) {
     return 0;  // opt out: stay on the wakeup path
   }
-  std::lock_guard<std::mutex> config(config_mu_);
+  std::lock_guard<analysis::CheckedMutex> config(config_mu_);
   if (ring_enabled()) {
     // Rings are fixed for the connection's life: replacing a published
     // RingState under a concurrently scanning worker would free memory it
@@ -265,7 +266,7 @@ size_t FuseConn::ConfigureRing(size_t depth, uint32_t spin_budget) {
   // could never be completed through a ring. Parked readers are fine — they
   // discover the rings on their next scan.
   for (const auto& ch : owned_channels_) {
-    std::lock_guard<std::mutex> lock(ch->mu);
+    std::lock_guard<analysis::CheckedMutex> lock(ch->mu);
     if (!ch->pending.empty() || !ch->queue.empty()) {
       return 0;
     }
@@ -289,7 +290,7 @@ size_t FuseConn::ConfigureRing(size_t depth, uint32_t spin_budget) {
 
 size_t FuseConn::ConfigureChannels(size_t requested) {
   size_t n = std::clamp<size_t>(requested, 1, kMaxChannels);
-  std::lock_guard<std::mutex> config(config_mu_);
+  std::lock_guard<analysis::CheckedMutex> config(config_mu_);
   // Reshaping with traffic in flight would orphan queued uniques (their
   // channel index is baked into the id), so only honour the request on a
   // quiet connection. Old channels stay in owned_channels_, so even a
@@ -299,7 +300,7 @@ size_t FuseConn::ConfigureChannels(size_t requested) {
       queued_total_.load() == 0 && !aborted()) {
     bool busy = false;
     for (const auto& ch : owned_channels_) {
-      std::lock_guard<std::mutex> lock(ch->mu);
+      std::lock_guard<analysis::CheckedMutex> lock(ch->mu);
       busy |= !ch->pending.empty() || !ch->queue.empty();
     }
     if (!busy) {
@@ -316,18 +317,18 @@ size_t FuseConn::TryReshapeChannels(size_t requested) {
   // window (they hold reshape_mu_ shared for the whole send); try_lock keeps
   // the controller non-blocking — a busy connection just isn't reshaped this
   // round.
-  std::unique_lock<std::shared_mutex> reshape(reshape_mu_, std::try_to_lock);
+  std::unique_lock<analysis::CheckedSharedMutex> reshape(reshape_mu_, std::try_to_lock);
   if (!reshape.owns_lock()) {
     return num_channels();
   }
-  std::lock_guard<std::mutex> config(config_mu_);
+  std::lock_guard<analysis::CheckedMutex> config(config_mu_);
   if (n == num_channels() || aborted() || queued_total_.load() != 0 ||
       in_flight_.load(std::memory_order_acquire) != 0) {
     return num_channels();
   }
   size_t lane_cap = 0;
   for (const auto& ch : owned_channels_) {
-    std::lock_guard<std::mutex> lock(ch->mu);
+    std::lock_guard<analysis::CheckedMutex> lock(ch->mu);
     if (!ch->pending.empty() || !ch->queue.empty()) {
       return num_channels();
     }
@@ -369,7 +370,7 @@ void FuseConn::NotifyWork() {
   // Empty critical section: a worker that evaluated "no work" under idle_mu_
   // is already parked in wait() by the time we acquire, so the notify below
   // cannot be lost.
-  { std::lock_guard<std::mutex> lock(idle_mu_); }
+  { std::lock_guard<analysis::CheckedMutex> lock(idle_mu_); }
   work_cv_.notify_one();
 }
 
@@ -524,7 +525,7 @@ void FuseConn::GateReplyPayload(FuseChannel& ch, FuseReply& reply) {
 }
 
 StatusOr<size_t> FuseConn::SetLaneCapacity(size_t bytes) {
-  std::lock_guard<std::mutex> config(config_mu_);
+  std::lock_guard<analysis::CheckedMutex> config(config_mu_);
   // Best effort across the whole channel set: a failure on one lane (EBUSY
   // with payload in flight) must not strand the rest at a different size.
   StatusOr<size_t> result = Status::Error(EINVAL);
@@ -550,7 +551,7 @@ StatusOr<size_t> FuseConn::SetLaneCapacity(size_t bytes) {
 void FuseConn::FinishInFlight() {
   in_flight_.fetch_sub(1, std::memory_order_acq_rel);
   if (EffectiveAdmissionCap() != 0) {
-    { std::lock_guard<std::mutex> lock(admission_mu_); }
+    { std::lock_guard<analysis::CheckedMutex> lock(admission_mu_); }
     admission_cv_.notify_one();
   }
 }
@@ -572,13 +573,13 @@ void FuseConn::SetMaxBackground(uint32_t cap) {
   // Wake every parked waiter to re-evaluate under the new cap: widening (or
   // disarming) the gate must release them — a waiter that parked under the
   // old cap has no other wakeup source when no request ever finishes.
-  { std::lock_guard<std::mutex> lock(admission_mu_); }
+  { std::lock_guard<analysis::CheckedMutex> lock(admission_mu_); }
   admission_cv_.notify_all();
 }
 
 void FuseConn::SetAdmissionBudget(uint32_t budget) {
   admission_budget_.store(budget, std::memory_order_release);
-  { std::lock_guard<std::mutex> lock(admission_mu_); }
+  { std::lock_guard<analysis::CheckedMutex> lock(admission_mu_); }
   admission_cv_.notify_all();
 }
 
@@ -587,7 +588,7 @@ void FuseConn::SetWorkObserver(std::function<void()> observer) {
   if (observer) {
     holder = std::make_shared<const std::function<void()>>(std::move(observer));
   }
-  std::lock_guard<std::mutex> lock(observer_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(observer_mu_);
   work_observer_ = std::move(holder);
   observer_armed_.store(work_observer_ != nullptr, std::memory_order_release);
 }
@@ -598,7 +599,7 @@ void FuseConn::NotifyWorkObserver() {
   }
   std::shared_ptr<const std::function<void()>> cb;
   {
-    std::lock_guard<std::mutex> lock(observer_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(observer_mu_);
     cb = work_observer_;
   }
   if (cb != nullptr) {
@@ -654,7 +655,7 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   uint32_t cap = EffectiveAdmissionCap();
   if (cap != 0 && in_flight_.load(std::memory_order_acquire) >= cap) {
     admission_waits_->Add();
-    std::unique_lock<std::mutex> gate(admission_mu_);
+    std::unique_lock<analysis::CheckedMutex> gate(admission_mu_);
     admission_cv_.wait(gate, [&] {
       if (aborted()) {
         return true;
@@ -674,11 +675,27 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
   // (TryReshapeChannels) can never swap the channel set while this request's
   // channel index is in hand (the unique bakes the index in; a torn view
   // would strand the reply).
-  std::shared_lock<std::shared_mutex> reshape(reshape_mu_);
+  std::shared_lock<analysis::CheckedSharedMutex> reshape(reshape_mu_);
   size_t ch_idx = RouteChannel(request.pid);
   FuseChannel& ch = Channel(ch_idx);
   if (RingState* ring = ch.ring.load(std::memory_order_acquire)) {
-    return RingSendAndWait(ch, *ring, ch_idx, std::move(request));
+    RingPostActions post;
+    StatusOr<FuseReply> result =
+        RingSendAndWait(ch, *ring, ch_idx, std::move(request), &post);
+    // Wakeups and connection teardown are delivered after the reshape
+    // window closes: notifying sq_cv (or sweeping every channel's waiters
+    // in Abort) while still pinning the channel topology is the
+    // reshape_mu_ <-> cv wait cycle lockdep flags. The ring outlives the
+    // unlock — channels (and their rings) stay in owned_channels_ until
+    // the connection dies.
+    reshape.unlock();
+    if (post.wake_submitters) {
+      RingWakeSubmitters(*ring);
+    }
+    if (post.abort_conn) {
+      Abort();
+    }
+    return result;
   }
   uint64_t unique = MakeUnique(ch_idx);
   request.unique = unique;
@@ -703,7 +720,7 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
     cost += static_cast<uint64_t>(readers - 1) * costs_->fuse_thread_contention_ns;
   }
 
-  std::unique_lock<std::mutex> lock(ch.mu);
+  std::unique_lock<analysis::CheckedMutex> lock(ch.mu);
   if (aborted()) {
     clock_->Advance(cost);
     FinishInFlight();
@@ -755,6 +772,12 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
     uint64_t deadline_abs = it->second.deadline_ns;
     ch.pending.erase(it);
     lock.unlock();
+    // Nothing below touches the channel set, and the timeout branch can
+    // escalate to Abort() — which sweeps and notifies every channel's
+    // reply_cv. Other submitters park on reply_cv holding reshape_mu_
+    // shared, so the sweep must not run under it (lockdep: reply_cv <->
+    // reshape_mu_ wait cycle).
+    reshape.unlock();
     FinishInFlight();
     if (timed_out) {
       // Model the wait the caller actually endured: the request ran out its
@@ -800,7 +823,7 @@ StatusOr<FuseReply> FuseConn::SendAndWait(FuseRequest request) {
 }
 
 void FuseConn::SendNoReply(FuseRequest request) {
-  std::shared_lock<std::shared_mutex> reshape(reshape_mu_);
+  std::shared_lock<analysis::CheckedSharedMutex> reshape(reshape_mu_);
   size_t ch_idx = RouteChannel(request.pid);
   FuseChannel& ch = Channel(ch_idx);
   const FuseOpcode op = request.opcode;
@@ -817,7 +840,7 @@ void FuseConn::SendNoReply(FuseRequest request) {
   }
   clock_->Advance(costs_->fuse_round_trip_ns / 2);
   {
-    std::lock_guard<std::mutex> lock(ch.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(ch.mu);
     if (aborted()) {
       return;
     }
@@ -838,7 +861,7 @@ void FuseConn::SendNoReply(FuseRequest request) {
 std::optional<FuseRequest> FuseConn::TryPop(FuseChannel& ch) {
   std::optional<FuseRequest> req;
   {
-    std::lock_guard<std::mutex> lock(ch.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(ch.mu);
     if (ch.queue.empty()) {
       return std::nullopt;
     }
@@ -895,7 +918,7 @@ std::vector<FuseRequest> FuseConn::ReadRequestBatch(size_t home_channel,
         return batch;
       }
     }
-    std::unique_lock<std::mutex> idle(idle_mu_);
+    std::unique_lock<analysis::CheckedMutex> idle(idle_mu_);
     idle_workers_.fetch_add(1);  // seq_cst: pairs with NotifyWork's fast path
     if (queued_total_.load() > 0) {
       idle_workers_.fetch_sub(1);
@@ -967,7 +990,7 @@ void FuseConn::WriteReply(uint64_t unique, FuseReply reply) {
     RingWriteReply(ch, *ring, unique, std::move(reply));
     return;
   }
-  std::lock_guard<std::mutex> lock(ch.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(ch.mu);
   // The channel stays occupied through the server-side handling (the worker
   // runs on the caller's lane, so NowNs here includes the service time).
   BumpBusyUntil(ch, clock_->NowNs());
@@ -1018,7 +1041,7 @@ void FuseConn::RingWakeWaiters(RingState& ring) {
       return;  // lost on the wire: the waiter's bounded park self-heals
     }
   }
-  { std::lock_guard<std::mutex> lock(ring.cq_mu); }
+  { std::lock_guard<analysis::CheckedMutex> lock(ring.cq_mu); }
   ring.cq_cv.notify_all();
 }
 
@@ -1026,7 +1049,7 @@ void FuseConn::RingWakeSubmitters(RingState& ring) {
   if (ring.sq_waiters.load(std::memory_order_seq_cst) == 0) {
     return;
   }
-  { std::lock_guard<std::mutex> lock(ring.sq_mu); }
+  { std::lock_guard<analysis::CheckedMutex> lock(ring.sq_mu); }
   ring.sq_cv.notify_all();
 }
 
@@ -1096,7 +1119,7 @@ bool FuseConn::RingPushSqe(FuseChannel& ch, RingState& ring, FuseRequest request
     }
     ring.sq_waiters.fetch_add(1, std::memory_order_seq_cst);
     {
-      std::unique_lock<std::mutex> lock(ring.sq_mu);
+      std::unique_lock<analysis::CheckedMutex> lock(ring.sq_mu);
       ring.sq_cv.wait_for(lock, std::chrono::milliseconds(1));
     }
     ring.sq_waiters.fetch_sub(1, std::memory_order_seq_cst);
@@ -1185,7 +1208,8 @@ size_t FuseConn::RingReap(FuseChannel& ch, RingState& ring,
 }
 
 StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
-                                              size_t ch_idx, FuseRequest request) {
+                                              size_t ch_idx, FuseRequest request,
+                                              RingPostActions* post) {
   const FuseOpcode op = request.opcode;
   // Injected SQ overflow: surfaces to the submitter as a full-ring
   // submission failure.
@@ -1195,7 +1219,7 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
       ring.sq_overflows.fetch_add(1, std::memory_order_relaxed);
       FinishInFlight();
       if (hit.action == fault::FaultAction::kKill) {
-        Abort();
+        post->abort_conn = true;
         RecordOutcome(op, nullptr, obs::Outcome::kAbort, false);
         return Status::Error(ENOTCONN, "fuse connection aborted");
       }
@@ -1225,7 +1249,7 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
     }
     ring.sq_waiters.fetch_add(1, std::memory_order_seq_cst);
     {
-      std::unique_lock<std::mutex> lock(ring.sq_mu);
+      std::unique_lock<analysis::CheckedMutex> lock(ring.sq_mu);
       ring.sq_cv.wait_for(lock, std::chrono::milliseconds(1));
     }
     ring.sq_waiters.fetch_sub(1, std::memory_order_seq_cst);
@@ -1299,7 +1323,7 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
       if (SlotGen(ctrl) == gen && state == kSlotPending) {
         if (slot.ctrl.compare_exchange_weak(ctrl, SlotCtrl(gen + 1, kSlotFree),
                                             std::memory_order_acq_rel)) {
-          RingWakeSubmitters(ring);
+          post->wake_submitters = true;
           FinishInFlight();
           RecordOutcome(op, span, obs::Outcome::kAbort, req_spliced);
           return Status::Error(ENOTCONN, "fuse connection aborted");
@@ -1322,7 +1346,7 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
     // wire costs at most one tick, never a hang.
     ring.parked_waiters.fetch_add(1, std::memory_order_seq_cst);
     {
-      std::unique_lock<std::mutex> lock(ring.cq_mu);
+      std::unique_lock<analysis::CheckedMutex> lock(ring.cq_mu);
       uint64_t c = slot.ctrl.load(std::memory_order_seq_cst);
       uint64_t s = SlotState(c);
       bool resolved = SlotGen(c) == gen && (s == kSlotDone || s == kSlotTimedOut ||
@@ -1343,7 +1367,7 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
     slot.reply = FuseReply{};
   }
   slot.ctrl.store(SlotCtrl(gen + 1, kSlotFree), std::memory_order_release);
-  RingWakeSubmitters(ring);
+  post->wake_submitters = true;
   FinishInFlight();
   if (terminal == kSlotTimedOut) {
     // Model the wait the caller actually endured: the request ran out its
@@ -1355,7 +1379,7 @@ StatusOr<FuseReply> FuseConn::RingSendAndWait(FuseChannel& ch, RingState& ring,
     uint32_t misses = consecutive_timeouts_.fetch_add(1, std::memory_order_acq_rel) + 1;
     uint32_t abort_after = abort_after_timeouts_.load(std::memory_order_acquire);
     if (abort_after != 0 && misses >= abort_after && !aborted()) {
-      Abort();
+      post->abort_conn = true;
     }
     RecordOutcome(op, span, obs::Outcome::kTimeout, req_spliced);
     return Status::Error(ETIMEDOUT, "fuse request deadline expired");
@@ -1486,10 +1510,10 @@ void FuseConn::Abort() {
   aborted_.store(true, std::memory_order_release);
   // Sweep every channel ever created (including any retired by a reshape):
   // a waiter parked on a stale channel must still wake with ENOTCONN.
-  std::lock_guard<std::mutex> config(config_mu_);
+  std::lock_guard<analysis::CheckedMutex> config(config_mu_);
   for (auto& ch : owned_channels_) {
     {
-      std::lock_guard<std::mutex> lock(ch->mu);
+      std::lock_guard<analysis::CheckedMutex> lock(ch->mu);
     }
     ch->reply_cv.notify_all();
     if (RingState* ring = ch->ring.load(std::memory_order_acquire)) {
@@ -1504,11 +1528,11 @@ void FuseConn::Abort() {
         queued_total_.fetch_sub(1);
       }
       {
-        std::lock_guard<std::mutex> lock(ring->cq_mu);
+        std::lock_guard<analysis::CheckedMutex> lock(ring->cq_mu);
       }
       ring->cq_cv.notify_all();
       {
-        std::lock_guard<std::mutex> lock(ring->sq_mu);
+        std::lock_guard<analysis::CheckedMutex> lock(ring->sq_mu);
       }
       ring->sq_cv.notify_all();
     }
@@ -1520,12 +1544,12 @@ void FuseConn::Abort() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(idle_mu_);
   }
   work_cv_.notify_all();
   // Admission-gated callers must not stay parked on a dead connection.
   {
-    std::lock_guard<std::mutex> lock(admission_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(admission_mu_);
   }
   admission_cv_.notify_all();
   // A shared pool serving this mount needs a wake too: its workers must
@@ -1542,7 +1566,7 @@ void FuseConn::SetRequestDeadline(uint64_t virtual_ns, uint64_t real_grace_ms) {
     StopSweeper();
     return;
   }
-  std::lock_guard<std::mutex> lock(sweeper_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(sweeper_mu_);
   if (!sweeper_.joinable()) {
     sweeper_stop_ = false;
     sweeper_ = std::thread([this] { SweeperLoop(); });
@@ -1550,7 +1574,7 @@ void FuseConn::SetRequestDeadline(uint64_t virtual_ns, uint64_t real_grace_ms) {
 }
 
 void FuseConn::SweeperLoop() {
-  std::unique_lock<std::mutex> lock(sweeper_mu_);
+  std::unique_lock<analysis::CheckedMutex> lock(sweeper_mu_);
   while (!sweeper_stop_) {
     uint64_t grace_ms =
         std::max<uint64_t>(deadline_grace_ms_.load(std::memory_order_acquire), 1);
@@ -1570,7 +1594,7 @@ void FuseConn::SweeperLoop() {
     auto now_real = std::chrono::steady_clock::now();
     auto grace = std::chrono::milliseconds(grace_ms);
     {
-      std::lock_guard<std::mutex> config(config_mu_);
+      std::lock_guard<analysis::CheckedMutex> config(config_mu_);
       for (auto& ch : owned_channels_) {
         if (RingState* ring = ch->ring.load(std::memory_order_acquire)) {
           // Ring channels carry their pending set in the completion slots:
@@ -1599,7 +1623,7 @@ void FuseConn::SweeperLoop() {
           }
           if (expired_ring) {
             {
-              std::lock_guard<std::mutex> lock(ring->cq_mu);
+              std::lock_guard<analysis::CheckedMutex> lock(ring->cq_mu);
             }
             ring->cq_cv.notify_all();
           }
@@ -1607,7 +1631,7 @@ void FuseConn::SweeperLoop() {
         }
         bool expired_any = false;
         {
-          std::lock_guard<std::mutex> chlock(ch->mu);
+          std::lock_guard<analysis::CheckedMutex> chlock(ch->mu);
           for (auto& [unique, entry] : ch->pending) {
             if (entry.deadline_ns == 0 || entry.done || entry.timed_out ||
                 entry.interrupted) {
@@ -1632,7 +1656,7 @@ void FuseConn::SweeperLoop() {
 void FuseConn::StopSweeper() {
   std::thread t;
   {
-    std::lock_guard<std::mutex> lock(sweeper_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(sweeper_mu_);
     sweeper_stop_ = true;
     t = std::move(sweeper_);
   }
@@ -1642,7 +1666,7 @@ void FuseConn::StopSweeper() {
   }
   // Re-arming later restarts a fresh thread.
   {
-    std::lock_guard<std::mutex> lock(sweeper_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(sweeper_mu_);
     sweeper_stop_ = false;
   }
 }
@@ -1655,7 +1679,7 @@ bool FuseConn::Interrupt(uint64_t unique) {
   }
   bool in_flight_now = false;
   {
-    std::lock_guard<std::mutex> lock(ch.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(ch.mu);
     auto it = ch.pending.find(unique);
     if (it == ch.pending.end() || it->second.done || it->second.timed_out ||
         it->second.interrupted) {
@@ -1694,7 +1718,7 @@ bool FuseConn::Interrupt(uint64_t unique) {
 
 uint32_t FuseConn::InterruptPid(kernel::Pid pid) {
   uint32_t count = 0;
-  std::lock_guard<std::mutex> config(config_mu_);
+  std::lock_guard<analysis::CheckedMutex> config(config_mu_);
   for (auto& ch : owned_channels_) {
     if (RingState* ring = ch->ring.load(std::memory_order_acquire)) {
       // Scan the completion slots for this pid's in-flight requests and
@@ -1730,7 +1754,7 @@ uint32_t FuseConn::InterruptPid(kernel::Pid pid) {
     }
     std::vector<uint64_t> found;
     {
-      std::lock_guard<std::mutex> lock(ch->mu);
+      std::lock_guard<analysis::CheckedMutex> lock(ch->mu);
       for (auto& [unique, entry] : ch->pending) {
         if (entry.pid == pid && !entry.done && !entry.timed_out && !entry.interrupted) {
           found.push_back(unique);
@@ -1765,7 +1789,7 @@ void FuseConn::EnqueueInterruptNotify(FuseChannel& ch, size_t ch_idx, uint64_t u
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(ch.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(ch.mu);
     if (aborted()) {
       return;
     }
@@ -1777,7 +1801,7 @@ void FuseConn::EnqueueInterruptNotify(FuseChannel& ch, size_t ch_idx, uint64_t u
 
 size_t FuseConn::lane_bytes_in_flight() const {
   size_t total = 0;
-  std::lock_guard<std::mutex> config(config_mu_);
+  std::lock_guard<analysis::CheckedMutex> config(config_mu_);
   for (const auto& ch : owned_channels_) {
     for (size_t i = 0; i < kLanePoolSize; ++i) {
       total += ch->lane_in[i]->Available();

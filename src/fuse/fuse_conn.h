@@ -70,6 +70,7 @@
 #include "src/obs/trace.h"
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::fuse {
 
@@ -118,8 +119,8 @@ struct alignas(64) FuseChannel {
     }
   }
 
-  mutable std::mutex mu;
-  std::condition_variable reply_cv;  // kernel waits for replies
+  mutable analysis::CheckedMutex mu{"fuse.conn.channel"};
+  analysis::CheckedCondVar reply_cv{"fuse.conn.channel.reply_cv"};  // kernel waits for replies
   std::deque<FuseRequest> queue;
   struct PendingReply {
     bool done = false;
@@ -392,7 +393,7 @@ class FuseConn {
     if (const RingState* ring = ch.ring.load(std::memory_order_acquire)) {
       return ring->sq.SizeApprox();
     }
-    std::lock_guard<std::mutex> lock(ch.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(ch.mu);
     return ch.queue.size();
   }
   // Deepest channel `i`'s queue has ever been.
@@ -557,8 +558,17 @@ class FuseConn {
   void EnqueueInterruptNotify(FuseChannel& ch, size_t ch_idx, uint64_t unique);
 
   // --- submission-ring paths (see docs/transport.md "Submission rings") ---
+  // Actions RingSendAndWait defers to its caller: both wake parked peers
+  // (or sweep every channel, for Abort), and neither may run while the
+  // caller still holds reshape_mu_ shared — submitters park on those very
+  // condvars holding reshape_mu_ shared, so notifying under it closes a
+  // wait cycle (flagged by lockdep).
+  struct RingPostActions {
+    bool wake_submitters = false;
+    bool abort_conn = false;
+  };
   StatusOr<FuseReply> RingSendAndWait(FuseChannel& ch, RingState& ring, size_t ch_idx,
-                                      FuseRequest request);
+                                      FuseRequest request, RingPostActions* post);
   void RingSendNoReply(FuseChannel& ch, RingState& ring, size_t ch_idx,
                        FuseRequest request);
   // Claims a free completion slot (kSlotFree -> kSlotInit); -1 when none.
@@ -597,20 +607,20 @@ class FuseConn {
   // until Abort sweeps every owned channel.
   std::array<std::atomic<FuseChannel*>, kMaxChannels> channel_table_{};
   std::atomic<size_t> num_channels_{1};
-  mutable std::mutex config_mu_;  // serializes reshape and Abort's owned sweep
+  mutable analysis::CheckedMutex config_mu_{"fuse.conn.config"};  // serializes reshape and Abort's owned sweep
   std::vector<std::unique_ptr<FuseChannel>> owned_channels_;
   // Submitters hold this shared across their whole route+enqueue+wait
   // window; TryReshapeChannels try-locks it exclusive, so a live reshape can
   // only fire when no sender holds a channel index derived from the old
   // count. Abort never touches it (parked submitters still holding shared
   // must stay wakeable).
-  mutable std::shared_mutex reshape_mu_;
+  mutable analysis::CheckedSharedMutex reshape_mu_{"fuse.conn.reshape"};
 
   // Idle workers park here; any enqueue (to any channel) wakes one. The
   // per-channel locks stay out of this handshake so enqueue/dequeue on
   // different channels never touch the same contended line for long.
-  std::mutex idle_mu_;
-  std::condition_variable work_cv_;
+  analysis::CheckedMutex idle_mu_{"fuse.conn.idle"};
+  analysis::CheckedCondVar work_cv_{"fuse.conn.idle.work_cv"};
   std::atomic<int> idle_workers_{0};
   std::atomic<uint64_t> queued_total_{0};
 
@@ -625,7 +635,7 @@ class FuseConn {
 
   // Pool work observer (SetWorkObserver): swapped through a shared_ptr so a
   // disarm cannot free the callback out from under a concurrent invocation.
-  std::mutex observer_mu_;
+  analysis::CheckedMutex observer_mu_{"fuse.conn.observer"};
   std::shared_ptr<const std::function<void()>> work_observer_;
   std::atomic<bool> observer_armed_{false};
 
@@ -665,13 +675,13 @@ class FuseConn {
   obs::Counter* sheds_;
 
   // Admission-gate parking lot (waiters blocked on max_background).
-  std::mutex admission_mu_;
-  std::condition_variable admission_cv_;
+  analysis::CheckedMutex admission_mu_{"fuse.conn.admission"};
+  analysis::CheckedCondVar admission_cv_{"fuse.conn.admission.cv"};
 
   // Deadline sweeper thread: started by the first SetRequestDeadline with a
   // real grace, stopped by disarming, Abort, or destruction.
-  std::mutex sweeper_mu_;
-  std::condition_variable sweeper_cv_;
+  analysis::CheckedMutex sweeper_mu_{"fuse.conn.sweeper"};
+  analysis::CheckedCondVar sweeper_cv_{"fuse.conn.sweeper.cv"};
   bool sweeper_stop_ = false;
   std::thread sweeper_;
 };

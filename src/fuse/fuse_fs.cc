@@ -6,6 +6,7 @@
 
 #include "src/fault/fault.h"
 #include "src/util/logging.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::fuse {
 
@@ -189,7 +190,7 @@ StatusOr<std::shared_ptr<FuseFs>> FuseFs::Create(kernel::Kernel* kernel,
   fs->root_ = std::make_shared<FuseInode>(fs.get(), kFuseRootId, root_reply.attr,
                                           fs->kernel_->NowNs() + opts.attr_ttl_ns);
   {
-    std::lock_guard<std::mutex> lock(fs->inodes_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(fs->inodes_mu_);
     fs->inodes_[kFuseRootId] = fs->root_;
   }
   if (opts.writeback_cache && opts.flusher_threads > 0) {
@@ -315,12 +316,12 @@ int FuseFs::CheckWbErr(uint64_t* seen) const {
 }
 
 void FuseFs::RegisterFile(FuseFile* file) {
-  std::lock_guard<std::mutex> lock(files_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(files_mu_);
   live_files_.push_back(file);
 }
 
 void FuseFs::UnregisterFile(FuseFile* file) {
-  std::lock_guard<std::mutex> lock(files_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(files_mu_);
   live_files_.erase(std::remove(live_files_.begin(), live_files_.end(), file),
                     live_files_.end());
 }
@@ -353,7 +354,7 @@ Status FuseFs::Reconnect(std::shared_ptr<FuseConn> conn) {
   // healthy again, individual revoked descriptors are the per-fd story.
   std::vector<FuseFile*> files;
   {
-    std::lock_guard<std::mutex> lock(files_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(files_mu_);
     files = live_files_;
   }
   for (FuseFile* file : files) {
@@ -436,7 +437,7 @@ StatusOr<FuseReply> FuseFs::Call(FuseRequest req) {
 InodePtr FuseFs::GetOrCreateInode(const FuseEntryOut& entry) {
   std::shared_ptr<FuseInode> existing;
   {
-    std::lock_guard<std::mutex> lock(inodes_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(inodes_mu_);
     auto it = inodes_.find(entry.nodeid);
     if (it != inodes_.end()) {
       existing = it->second.lock();
@@ -485,7 +486,7 @@ void FuseFs::QueueForget(uint64_t nodeid, uint64_t nlookup) {
   }
   std::vector<FuseRequest::Forget> batch;
   {
-    std::lock_guard<std::mutex> lock(forget_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(forget_mu_);
     forget_queue_.push_back(FuseRequest::Forget{nodeid, nlookup});
     if (forget_queue_.size() < 64) {
       return;
@@ -502,7 +503,7 @@ void FuseFs::QueueForget(uint64_t nodeid, uint64_t nlookup) {
 void FuseFs::FlushForgets() {
   std::vector<FuseRequest::Forget> batch;
   {
-    std::lock_guard<std::mutex> lock(forget_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(forget_mu_);
     batch.swap(forget_queue_);
   }
   if (batch.empty() || conn_->aborted()) {
@@ -518,7 +519,7 @@ void FuseFs::FlushForgets() {
 void FuseFs::NoteDirty(FuseInode* inode, uint64_t newly_dirty_bytes) {
   dirty_bytes_.fetch_add(newly_dirty_bytes);
   {
-    std::lock_guard<std::mutex> lock(dirty_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(dirty_mu_);
     if (!inode->dirty_registered_) {
       inode->dirty_registered_ = true;
       dirty_inodes_.push_back(DirtyRef{
@@ -535,7 +536,7 @@ void FuseFs::NoteDirty(FuseInode* inode, uint64_t newly_dirty_bytes) {
     if (total >= opts_.dirty_soft_bytes) {
       std::vector<DirtyRef> all;
       {
-        std::lock_guard<std::mutex> lock(dirty_mu_);
+        std::lock_guard<analysis::CheckedMutex> lock(dirty_mu_);
         all = dirty_inodes_;
       }
       for (const DirtyRef& r : all) {
@@ -569,7 +570,7 @@ void FuseFs::SubDirty(uint64_t bytes) {
 }
 
 void FuseFs::ForgetDirty(FuseInode* inode) {
-  std::lock_guard<std::mutex> lock(dirty_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(dirty_mu_);
   std::erase_if(dirty_inodes_, [&](const DirtyRef& r) { return r.key == inode; });
   inode->dirty_registered_ = false;
 }
@@ -577,7 +578,7 @@ void FuseFs::ForgetDirty(FuseInode* inode) {
 void FuseFs::FlushAllDirty() {
   std::vector<DirtyRef> victims;
   {
-    std::lock_guard<std::mutex> lock(dirty_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(dirty_mu_);
     victims.swap(dirty_inodes_);
     for (const DirtyRef& r : victims) {
       r.key->dirty_registered_ = false;
@@ -593,7 +594,7 @@ void FuseFs::FlushAllDirty() {
 }
 
 void FuseFs::StartFlushers() {
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(flush_mu_);
   flushers_stop_ = false;
   flushers_.reserve(opts_.flusher_threads);
   for (uint32_t i = 0; i < opts_.flusher_threads; ++i) {
@@ -604,7 +605,7 @@ void FuseFs::StartFlushers() {
 
 void FuseFs::StopFlushers() {
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(flush_mu_);
     if (flushers_.empty()) {
       return;
     }
@@ -627,7 +628,7 @@ void FuseFs::QueueFlush(FuseInode* inode) {
     return;  // already queued
   }
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(flush_mu_);
     flush_queue_.push_back(DirtyRef{
         inode, std::static_pointer_cast<FuseInode>(inode->weak_from_this().lock())});
   }
@@ -643,7 +644,7 @@ void FuseFs::FlusherLoop() {
   while (true) {
     DirtyRef work;
     {
-      std::unique_lock<std::mutex> lock(flush_mu_);
+      std::unique_lock<analysis::CheckedMutex> lock(flush_mu_);
       flush_cv_.wait(lock, [&] { return flushers_stop_ || !flush_queue_.empty(); });
       if (flushers_stop_ && flush_queue_.empty()) {
         return;
@@ -748,7 +749,7 @@ void FuseInode::UpdateAttrLocked(const InodeAttr& attr, uint64_t ttl_ns) {
 
 StatusOr<InodeAttr> FuseInode::Getattr() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     if (AttrFreshLocked()) {
       fs_->kernel()->clock().Advance(fs_->kernel()->costs().dcache_hit_ns);
       // First read of a READDIRPLUS-primed attribute: credit the directory
@@ -770,7 +771,7 @@ StatusOr<InodeAttr> FuseInode::Getattr() {
   if (auto parent = parent_hint_.lock()) {
     parent->AdviseReaddirPlus();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   UpdateServerAttrLocked(reply.attr, reply.attr_ttl_ns != 0 ? reply.attr_ttl_ns
                                                             : fs_->options().attr_ttl_ns);
   return attr_;
@@ -792,7 +793,7 @@ Status FuseInode::Setattr(const kernel::SetattrRequest& sreq, const kernel::Cred
     pool.TruncatePages(this, *sreq.size);
     fs_->SubDirty(dirty_before - pool.DirtyBytes(this));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   UpdateAttrLocked(reply.attr, fs_->options().attr_ttl_ns);
   return Status::Ok();
 }
@@ -920,7 +921,7 @@ StatusOr<std::vector<DirEntry>> FuseInode::Readdir() {
 }
 
 void FuseInode::PrimeAttr(const InodeAttr& attr, uint64_t ttl_ns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   UpdateServerAttrLocked(attr, ttl_ns != 0 ? ttl_ns : fs_->options().attr_ttl_ns);
 }
 
@@ -1010,7 +1011,7 @@ StatusOr<FilePtr> FuseInode::Open(int flags, const kernel::Credentials& cred) {
   }
   bool is_dir;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     is_dir = kernel::IsDir(attr_.mode);
   }
   FuseRequest req;
@@ -1030,7 +1031,7 @@ StatusOr<FilePtr> FuseInode::Open(int flags, const kernel::Credentials& cred) {
     fs_->kernel()->page_cache().DropAll(this);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     last_known_fh_ = reply.fh;
   }
   return FilePtr(std::make_shared<FuseFile>(std::static_pointer_cast<FuseInode>(shared_from_this()),
@@ -1074,7 +1075,7 @@ Status FuseInode::RemoveXattr(const std::string& name) {
 
 StatusOr<InodePtr> FuseInode::Parent() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     if (!kernel::IsDir(attr_.mode)) {
       return Status::Error(ENOTDIR);
     }
@@ -1095,7 +1096,7 @@ StatusOr<InodePtr> FuseInode::Parent() {
 }
 
 uint64_t FuseInode::CachedSize() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   return attr_.size;
 }
 
@@ -1276,7 +1277,7 @@ StatusOr<size_t> FuseInode::WriteData(const char* buf, size_t count, uint64_t of
         break;
       }
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     attr_.size = std::max<uint64_t>(attr_.size, off + written);
     attr_.mtime = kernel::Timespec::FromNs(fs_->kernel()->NowNs());
     return written;
@@ -1330,7 +1331,7 @@ StatusOr<size_t> FuseInode::WriteData(const char* buf, size_t count, uint64_t of
     fs_->kernel()->clock().Advance(costs.copy_page_ns);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     attr_.size = std::max<uint64_t>(attr_.size, off + count);
     attr_.mtime = kernel::Timespec::FromNs(fs_->kernel()->NowNs());
     last_known_fh_ = fh;
@@ -1345,14 +1346,14 @@ uint32_t FuseInode::FlushDirtyPages(uint64_t fh) {
   // One whole-inode flush at a time: a background flusher and a throttled
   // foreground writer (or close/fsync) must not issue duplicate WRITEs for
   // the same extents.
-  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  std::lock_guard<analysis::CheckedMutex> flush_lock(flush_mu_);
   auto& pool = fs_->kernel()->page_cache();
   std::vector<uint64_t> dirty = pool.DirtyPages(this);
   if (dirty.empty()) {
     return 0;
   }
   if (fh == UINT64_MAX) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     fh = last_known_fh_;
   }
   uint64_t size_now = CachedSize();
@@ -1466,7 +1467,7 @@ Status FuseInode::FsyncData(bool datasync, uint64_t fh) {
     st.opcode = FuseOpcode::kSetattr;
     st.nodeid = nodeid_;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<analysis::CheckedMutex> lock(mu_);
       st.setattr.mtime = attr_.mtime;
     }
     (void)fs_->Call(std::move(st));

@@ -40,6 +40,7 @@
 #include "src/kernel/filesystem.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/readahead.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::fuse {
 
@@ -331,14 +332,14 @@ class FuseFs : public kernel::FileSystem, public std::enable_shared_from_this<Fu
   uint32_t readahead_ceiling_pages_ = 32;
   std::shared_ptr<FuseInode> root_;
 
-  std::mutex inodes_mu_;
+  analysis::CheckedMutex inodes_mu_{"fuse.fs.inodes"};
   std::map<uint64_t, std::weak_ptr<FuseInode>> inodes_;
 
-  std::mutex forget_mu_;
+  analysis::CheckedMutex forget_mu_{"fuse.fs.forget"};
   std::vector<FuseRequest::Forget> forget_queue_;
 
   std::atomic<uint64_t> dirty_bytes_{0};
-  std::mutex dirty_mu_;
+  analysis::CheckedMutex dirty_mu_{"fuse.fs.dirty"};
   // Registered dirty inodes, with weak refs so FlushAllDirty and the
   // flushers can pin an inode across the flush (or skip one that died).
   struct DirtyRef {
@@ -347,8 +348,8 @@ class FuseFs : public kernel::FileSystem, public std::enable_shared_from_this<Fu
   };
   std::vector<DirtyRef> dirty_inodes_;
 
-  std::mutex flush_mu_;
-  std::condition_variable flush_cv_;
+  analysis::CheckedMutex flush_mu_{"fuse.fs.flusher"};
+  analysis::CheckedCondVar flush_cv_{"fuse.fs.flusher.cv"};
   std::deque<DirtyRef> flush_queue_;
   bool flushers_stop_ = false;
   std::vector<std::thread> flushers_;
@@ -363,7 +364,7 @@ class FuseFs : public kernel::FileSystem, public std::enable_shared_from_this<Fu
   std::atomic<uint64_t> wb_err_seq_{0};
   std::atomic<int> wb_err_{0};
 
-  mutable std::mutex files_mu_;
+  mutable analysis::CheckedMutex files_mu_{"fuse.fs.files"};
   std::vector<FuseFile*> live_files_;
 };
 
@@ -415,7 +416,7 @@ class FuseInode : public kernel::Inode {
   uint64_t CachedSize();
   // Refreshes the flush-without-open-file handle (reconnect re-open path).
   void NoteOpenFh(uint64_t fh) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     last_known_fh_ = fh;
   }
   void SetParentHint(std::shared_ptr<FuseInode> parent) { parent_hint_ = std::move(parent); }
@@ -471,7 +472,7 @@ class FuseInode : public kernel::Inode {
   // materialized through GetOrCreateInode); returned in the FORGET so the
   // server's lookup_count balances to zero.
   std::atomic<uint64_t> nlookup_{1};
-  std::mutex mu_;
+  analysis::CheckedMutex mu_{"fuse.fs.inode"};
   kernel::InodeAttr attr_;
   uint64_t attr_expiry_ns_;
   uint64_t last_known_fh_ = UINT64_MAX;  // for flush without an open file
@@ -481,7 +482,7 @@ class FuseInode : public kernel::Inode {
   std::atomic<bool> flush_queued_{false};
   // Serializes whole-inode flushes so a background flusher and a throttled
   // foreground writer do not issue duplicate WRITEs for the same extents.
-  std::mutex flush_mu_;
+  analysis::CheckedMutex flush_mu_{"fuse.fs.inode.flush"};
 
   // Adaptivity sample for directories: children primed by the last
   // READDIRPLUS walk vs. primed attrs consumed since (see DecideReaddirPlus).

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <mutex>
 #include <vector>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::fuse {
 
@@ -12,16 +13,16 @@ void RegisterFuseDevice(kernel::Kernel* kernel) {
   // requests in flight gets them interrupted (the kernel's
   // fuse_req_end/interrupt-on-signal behaviour), so no waiter outlives its
   // caller silently.
-  auto conns = std::make_shared<std::mutex>();
+  auto conns = std::make_shared<analysis::CheckedMutex>("fuse.mount.conn_list");
   auto conn_list = std::make_shared<std::vector<std::weak_ptr<FuseConn>>>();
   kernel->RegisterCharDevice(
       kernel::kFuseDevRdev,
-      [kernel, conns, conn_list](kernel::Process& proc, int flags) -> StatusOr<kernel::FilePtr> {
+      [kernel, conns, conn_list](kernel::Process& /*proc*/, int flags) -> StatusOr<kernel::FilePtr> {
         auto conn = std::make_shared<FuseConn>(&kernel->clock(), &kernel->costs(),
                                                /*num_channels=*/1, &kernel->faults(),
                                                &kernel->metrics());
         {
-          std::lock_guard<std::mutex> lock(*conns);
+          std::lock_guard<analysis::CheckedMutex> lock(*conns);
           // Compact dead entries so a long-lived kernel does not accrete one
           // weak_ptr per mount forever.
           auto& list = *conn_list;
@@ -35,7 +36,7 @@ void RegisterFuseDevice(kernel::Kernel* kernel) {
   kernel->AddExitHook([conns, conn_list](const kernel::Process& proc) {
     std::vector<std::shared_ptr<FuseConn>> live;
     {
-      std::lock_guard<std::mutex> lock(*conns);
+      std::lock_guard<analysis::CheckedMutex> lock(*conns);
       for (const auto& weak : *conn_list) {
         if (auto conn = weak.lock()) {
           live.push_back(std::move(conn));

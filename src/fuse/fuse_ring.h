@@ -32,6 +32,7 @@
 
 #include "src/fuse/fuse_proto.h"
 #include "src/kernel/cred.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::fuse {
 
@@ -182,12 +183,12 @@ struct RingState {
 
   // Completion-side parking: waiters spin on their slot's ctrl first, then
   // park here under a bounded wait (a lost doorbell self-heals).
-  std::mutex cq_mu;
-  std::condition_variable cq_cv;
+  analysis::CheckedMutex cq_mu{"fuse.ring.cq"};
+  analysis::CheckedCondVar cq_cv{"fuse.ring.cq.cv"};
   std::atomic<uint32_t> parked_waiters{0};
   // Submission-side backpressure parking (SQ or completion slots exhausted).
-  std::mutex sq_mu;
-  std::condition_variable sq_cv;
+  analysis::CheckedMutex sq_mu{"fuse.ring.sq"};
+  analysis::CheckedCondVar sq_cv{"fuse.ring.sq.cv"};
   std::atomic<uint32_t> sq_waiters{0};
 
   // Batch-efficiency stats (per channel; FuseConn::Stats rolls them up).

@@ -5,6 +5,7 @@
 #include "src/fault/fault.h"
 #include "src/util/logging.h"
 #include "src/util/sim_clock.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::fuse {
 
@@ -73,7 +74,7 @@ void FuseServerPool::NotifyPoolWork() {
   if (idle_workers_.load(std::memory_order_seq_cst) == 0) {
     return;  // every worker is scanning; the seq bump keeps them scanning
   }
-  { std::lock_guard<std::mutex> lock(pool_mu_); }
+  { std::lock_guard<analysis::CheckedMutex> lock(pool_mu_); }
   pool_cv_.notify_all();
 }
 
@@ -107,12 +108,12 @@ uint64_t FuseServerPool::AddMount(std::shared_ptr<FuseConn> conn, FuseHandler* h
       {{"pool", label_}, {"mount", "pm" + std::to_string(m->id)}});
   WireConn(*m, *conn);
   {
-    std::lock_guard<std::mutex> lock(m->conn_mu);
+    std::lock_guard<analysis::CheckedMutex> lock(m->conn_mu);
     m->conn = std::move(conn);
   }
   SetMountState(*m, MountState::kActive);
   {
-    std::lock_guard<std::mutex> lock(mounts_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mounts_mu_);
     mounts_.push_back(m);
     mounts_gauge_->Set(static_cast<int64_t>(mounts_.size()));
   }
@@ -125,7 +126,7 @@ void FuseServerPool::SetReconnectHook(uint64_t id, ReconnectHook hook) {
   if (m == nullptr) {
     return;
   }
-  std::lock_guard<std::mutex> lock(m->conn_mu);
+  std::lock_guard<analysis::CheckedMutex> lock(m->conn_mu);
   m->reconnect_hook = std::move(hook);
 }
 
@@ -137,7 +138,7 @@ Status FuseServerPool::AdoptConn(uint64_t id, std::shared_ptr<FuseConn> conn) {
   WireConn(*m, *conn);
   std::shared_ptr<FuseConn> old;
   {
-    std::lock_guard<std::mutex> lock(m->conn_mu);
+    std::lock_guard<analysis::CheckedMutex> lock(m->conn_mu);
     old = std::move(m->conn);
     m->conn = std::move(conn);
   }
@@ -151,7 +152,7 @@ Status FuseServerPool::AdoptConn(uint64_t id, std::shared_ptr<FuseConn> conn) {
 void FuseServerPool::RemoveMount(uint64_t id, bool notify_destroy) {
   std::shared_ptr<Mount> m;
   {
-    std::lock_guard<std::mutex> lock(mounts_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mounts_mu_);
     auto it = std::find_if(mounts_.begin(), mounts_.end(),
                            [&](const auto& e) { return e->id == id; });
     if (it == mounts_.end()) {
@@ -171,7 +172,7 @@ void FuseServerPool::RemoveMount(uint64_t id, bool notify_destroy) {
   PublishMountState(*m, MountState::kDetached);
   std::shared_ptr<FuseConn> conn;
   {
-    std::lock_guard<std::mutex> lock(m->conn_mu);
+    std::lock_guard<analysis::CheckedMutex> lock(m->conn_mu);
     conn = m->conn;
   }
   if (conn != nullptr) {
@@ -197,7 +198,7 @@ void FuseServerPool::Stop() {
   for (const auto& m : SnapshotMounts()) {
     std::shared_ptr<FuseConn> conn;
     {
-      std::lock_guard<std::mutex> lock(m->conn_mu);
+      std::lock_guard<analysis::CheckedMutex> lock(m->conn_mu);
       conn = m->conn;
     }
     if (conn != nullptr) {
@@ -206,12 +207,12 @@ void FuseServerPool::Stop() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(pool_mu_);
   }
   pool_cv_.notify_all();
   controller_cv_.notify_all();
   {
-    std::lock_guard<std::mutex> lock(threads_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(threads_mu_);
     for (auto& t : workers_) {
       if (t.joinable()) {
         t.join();
@@ -226,12 +227,12 @@ void FuseServerPool::Stop() {
 
 std::vector<std::shared_ptr<FuseServerPool::Mount>> FuseServerPool::SnapshotMounts()
     const {
-  std::lock_guard<std::mutex> lock(mounts_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mounts_mu_);
   return mounts_;
 }
 
 std::shared_ptr<FuseServerPool::Mount> FuseServerPool::FindMount(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mounts_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mounts_mu_);
   for (const auto& m : mounts_) {
     if (m->id == id) {
       return m;
@@ -257,7 +258,7 @@ uint32_t FuseServerPool::mount_reconnect_attempts(uint64_t id) const {
 }
 
 size_t FuseServerPool::num_mounts() const {
-  std::lock_guard<std::mutex> lock(mounts_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mounts_mu_);
   return mounts_.size();
 }
 
@@ -271,7 +272,7 @@ uint64_t FuseServerPool::queued_depth() const {
     }
     std::shared_ptr<FuseConn> conn;
     {
-      std::lock_guard<std::mutex> lock(m->conn_mu);
+      std::lock_guard<analysis::CheckedMutex> lock(m->conn_mu);
       conn = m->conn;
     }
     if (conn != nullptr && !conn->aborted()) {
@@ -297,7 +298,7 @@ FuseServerPool::PoolStats FuseServerPool::stats() const {
 
 void FuseServerPool::GrowThreadsTo(int target) {
   target = std::clamp(target, opts_.min_threads, opts_.max_threads);
-  std::lock_guard<std::mutex> lock(threads_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(threads_mu_);
   int cur = target_threads_.load(std::memory_order_acquire);
   if (target <= cur || stop_.load(std::memory_order_acquire)) {
     return;
@@ -315,7 +316,7 @@ void FuseServerPool::GrowThreadsTo(int target) {
   for (const auto& m : SnapshotMounts()) {
     std::shared_ptr<FuseConn> conn;
     {
-      std::lock_guard<std::mutex> lock2(m->conn_mu);
+      std::lock_guard<analysis::CheckedMutex> lock2(m->conn_mu);
       conn = m->conn;
     }
     if (conn != nullptr) {
@@ -356,7 +357,7 @@ void FuseServerPool::WorkerLoop(size_t worker_idx) {
       continue;
     }
     // Dry scan: park until new work (or a tick — wakes are best-effort).
-    std::unique_lock<std::mutex> lock(pool_mu_);
+    std::unique_lock<analysis::CheckedMutex> lock(pool_mu_);
     idle_workers_.fetch_add(1, std::memory_order_seq_cst);
     if (work_seq_.load(std::memory_order_seq_cst) == seq &&
         !stop_.load(std::memory_order_acquire)) {
@@ -369,7 +370,7 @@ void FuseServerPool::WorkerLoop(size_t worker_idx) {
 size_t FuseServerPool::ServeMount(Mount& m, size_t worker_idx) {
   std::shared_ptr<FuseConn> conn;
   {
-    std::lock_guard<std::mutex> lock(m.conn_mu);
+    std::lock_guard<analysis::CheckedMutex> lock(m.conn_mu);
     conn = m.conn;
   }
   if (conn == nullptr || conn->aborted()) {
@@ -467,7 +468,7 @@ void FuseServerPool::DispatchBatch(Mount& m, FuseConn& conn,
 // --- controller -------------------------------------------------------------
 
 void FuseServerPool::ControllerLoop() {
-  std::unique_lock<std::mutex> lock(pool_mu_);
+  std::unique_lock<analysis::CheckedMutex> lock(pool_mu_);
   while (!stop_.load(std::memory_order_acquire)) {
     controller_cv_.wait_for(
         lock, std::chrono::milliseconds(std::max<uint64_t>(1, opts_.controller_interval_ms)));
@@ -481,11 +482,18 @@ void FuseServerPool::ControllerLoop() {
 }
 
 void FuseServerPool::RunControllerPass() {
-  // Serialize with the background cadence: Mount's controller-side fields
-  // (next_reconnect, last_requests_seen, idle_scans) are plain, and two
-  // overlapping passes would double-fire TryReconnect bookkeeping.
-  std::lock_guard<std::mutex> pass_lock(controller_pass_mu_);
-  auto mounts = SnapshotMounts();
+  // Quarantined connections are aborted only after controller_pass_mu_ is
+  // released below: Abort() notifies every channel's reply_cv, and waking
+  // waiters while holding the pass lock — which this pass also holds while
+  // blocking on conn->queued_depth()'s reshape_mu_ — closes the
+  // reshape_mu_ ~> reply_cv ~> controller_pass cycle lockdep reports.
+  std::vector<std::shared_ptr<FuseConn>> deferred_aborts;
+  {
+    // Serialize with the background cadence: Mount's controller-side fields
+    // (next_reconnect, last_requests_seen, idle_scans) are plain, and two
+    // overlapping passes would double-fire TryReconnect bookkeeping.
+    std::lock_guard<analysis::CheckedMutex> pass_lock(controller_pass_mu_);
+    auto mounts = SnapshotMounts();
   uint64_t total_depth = 0;
   int64_t quarantined = 0;
   Mount* noisiest = nullptr;
@@ -496,7 +504,7 @@ void FuseServerPool::RunControllerPass() {
     auto s = static_cast<MountState>(m.state.load(std::memory_order_acquire));
     std::shared_ptr<FuseConn> conn;
     {
-      std::lock_guard<std::mutex> lock(m.conn_mu);
+      std::lock_guard<analysis::CheckedMutex> lock(m.conn_mu);
       conn = m.conn;
     }
     if (s == MountState::kQuarantined) {
@@ -511,7 +519,7 @@ void FuseServerPool::RunControllerPass() {
     // mount to quarantine (drained, descheduled, reconnect pending).
     if (conn == nullptr || conn->aborted() ||
         m.faults.load(std::memory_order_acquire) >= opts_.quarantine_after_faults) {
-      Quarantine(m);
+      Quarantine(m, &deferred_aborts);
       ++quarantined;
       continue;
     }
@@ -534,7 +542,7 @@ void FuseServerPool::RunControllerPass() {
   if (total_depth >= opts_.hard_watermark && noisiest != nullptr) {
     std::shared_ptr<FuseConn> conn;
     {
-      std::lock_guard<std::mutex> lock(noisiest->conn_mu);
+      std::lock_guard<analysis::CheckedMutex> lock(noisiest->conn_mu);
       conn = noisiest->conn;
     }
     if (conn != nullptr && !noisiest->shedding.load(std::memory_order_acquire)) {
@@ -563,7 +571,7 @@ void FuseServerPool::RunControllerPass() {
       if (m.shedding.load(std::memory_order_acquire)) {
         std::shared_ptr<FuseConn> conn;
         {
-          std::lock_guard<std::mutex> lock(m.conn_mu);
+          std::lock_guard<analysis::CheckedMutex> lock(m.conn_mu);
           conn = m.conn;
         }
         if (conn != nullptr) {
@@ -588,9 +596,14 @@ void FuseServerPool::RunControllerPass() {
     GrowThreadsTo(cur + 1);
     NotifyPoolWork();
   }
+  }  // pass_lock released
+  for (const auto& conn : deferred_aborts) {
+    conn->Abort();
+  }
 }
 
-void FuseServerPool::Quarantine(Mount& m) {
+void FuseServerPool::Quarantine(Mount& m,
+                                std::vector<std::shared_ptr<FuseConn>>* deferred_aborts) {
   for (;;) {
     uint32_t s = m.state.load(std::memory_order_acquire);
     auto cur = static_cast<MountState>(s);
@@ -607,13 +620,19 @@ void FuseServerPool::Quarantine(Mount& m) {
   quarantines_->Add();
   std::shared_ptr<FuseConn> conn;
   {
-    std::lock_guard<std::mutex> lock(m.conn_mu);
+    std::lock_guard<analysis::CheckedMutex> lock(m.conn_mu);
     conn = m.conn;
   }
   if (conn != nullptr) {
     // Drain: every queued request and parked waiter resolves with ENOTCONN
-    // instead of waiting on a mount that is no longer scheduled.
-    conn->Abort();
+    // instead of waiting on a mount that is no longer scheduled. When the
+    // caller holds controller_pass_mu_ it hands us a deferral list instead
+    // of eating the Abort-under-pass-lock wait cycle (see RunControllerPass).
+    if (deferred_aborts != nullptr) {
+      deferred_aborts->push_back(std::move(conn));
+    } else {
+      conn->Abort();
+    }
   }
   m.shedding.store(false, std::memory_order_release);
   const uint64_t backoff =
@@ -630,7 +649,7 @@ void FuseServerPool::TryReconnect(Mount& m) {
   ReconnectHook hook;
   std::shared_ptr<FuseConn> conn;
   {
-    std::lock_guard<std::mutex> lock(m.conn_mu);
+    std::lock_guard<analysis::CheckedMutex> lock(m.conn_mu);
     hook = m.reconnect_hook;
     conn = m.conn;
   }

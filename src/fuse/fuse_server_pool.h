@@ -55,6 +55,7 @@
 #include "src/fuse/fuse_server.h"
 #include "src/obs/metrics.h"
 #include "src/util/status.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::fuse {
 
@@ -170,7 +171,7 @@ class FuseServerPool {
     FuseHandler* handler = nullptr;
     // conn is swapped by AdoptConn while workers serve: copy the shared_ptr
     // under conn_mu once per visit, never hold a raw reference across one.
-    mutable std::mutex conn_mu;
+    mutable analysis::CheckedMutex conn_mu{"fuse.pool.mount.conn"};
     std::shared_ptr<FuseConn> conn;
     std::atomic<uint32_t> state{static_cast<uint32_t>(MountState::kActive)};
     std::atomic<int64_t> deficit{0};
@@ -205,7 +206,13 @@ class FuseServerPool {
   // CAS/exchange — a blind store here could resurrect a state RemoveMount
   // just overwrote with kDetached.
   void PublishMountState(Mount& m, MountState s);
-  void Quarantine(Mount& m);
+  // Moves the mount to kQuarantined and drains its connection. With a
+  // non-null `deferred_aborts`, the connection Abort() is handed back to
+  // the caller instead of running inline — required when the caller holds
+  // controller_pass_mu_ (aborting notifies reply_cv waiters, and doing so
+  // under the pass lock closes a lock/wait cycle; see RunControllerPass).
+  void Quarantine(Mount& m,
+                  std::vector<std::shared_ptr<FuseConn>>* deferred_aborts = nullptr);
   void TryReconnect(Mount& m);
   void AutoscaleChannels(Mount& m, FuseConn& conn);
   void GrowThreadsTo(int target);  // threads_mu_ must not be held
@@ -215,16 +222,16 @@ class FuseServerPool {
   obs::MetricsRegistry* registry_;
   std::string label_;
 
-  mutable std::mutex mounts_mu_;
+  mutable analysis::CheckedMutex mounts_mu_{"fuse.pool.mounts"};
   std::vector<std::shared_ptr<Mount>> mounts_;
   std::atomic<uint64_t> next_mount_id_{1};
 
   // Serializes controller passes: the background cadence and external
   // RunControllerPass callers race on Mount's plain controller-side fields
   // and would double-fire TryReconnect bookkeeping otherwise.
-  std::mutex controller_pass_mu_;
+  analysis::CheckedMutex controller_pass_mu_{"fuse.pool.controller_pass"};
 
-  std::mutex threads_mu_;
+  analysis::CheckedMutex threads_mu_{"fuse.pool.threads"};
   std::vector<std::thread> workers_;
   std::atomic<int> target_threads_{0};
   std::thread controller_;
@@ -234,9 +241,9 @@ class FuseServerPool {
   // conn's work observer; a worker parks only when a full scan found
   // nothing AND the seq did not move since it started the scan. Parks are
   // bounded (1ms) so a lost wake costs a tick, never a hang.
-  std::mutex pool_mu_;
-  std::condition_variable pool_cv_;
-  std::condition_variable controller_cv_;
+  analysis::CheckedMutex pool_mu_{"fuse.pool.eventcount"};
+  analysis::CheckedCondVar pool_cv_{"fuse.pool.eventcount.worker_cv"};
+  analysis::CheckedCondVar controller_cv_{"fuse.pool.eventcount.controller_cv"};
   std::atomic<uint64_t> work_seq_{0};
   std::atomic<int> idle_workers_{0};
 

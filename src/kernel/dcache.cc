@@ -1,6 +1,7 @@
 #include "src/kernel/dcache.h"
 
 #include <algorithm>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -10,12 +11,17 @@ DentryCache::DentryCache(SimClock* clock, const CostModel* costs, size_t max_ent
       costs_(costs),
       shards_(ClampShardCount(num_shards, max_entries)) {
   max_per_shard_ = std::max<size_t>(1, max_entries / shards_.size());
+  // Per-stripe lockdep subclass (see PageCachePool): shard index i gets
+  // subclass i+1 so stripe 0 is distinct from the class's base node.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].mu.set_subclass(static_cast<uint32_t>(i + 1));
+  }
 }
 
 std::optional<InodePtr> DentryCache::LookupEntry(const Inode* dir, const std::string& name) {
   Key key{dir, name};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -44,7 +50,7 @@ void DentryCache::Insert(const Inode* dir, const std::string& name, InodePtr chi
   Key key{dir, name};
   Shard& shard = ShardFor(key);
   uint64_t expiry = ttl_ns == UINT64_MAX ? UINT64_MAX : clock_->NowNs() + ttl_ns;
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
     it->second.child = std::move(child);
@@ -66,7 +72,7 @@ void DentryCache::Insert(const Inode* dir, const std::string& name, InodePtr chi
 void DentryCache::Invalidate(const Inode* dir, const std::string& name) {
   Key key{dir, name};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
     shard.lru.erase(it->second.lru_it);
@@ -76,7 +82,7 @@ void DentryCache::Invalidate(const Inode* dir, const std::string& name) {
 
 void DentryCache::InvalidateDir(const Inode* dir) {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
     for (auto it = shard.entries.begin(); it != shard.entries.end();) {
       if (it->first.dir == dir) {
         shard.lru.erase(it->second.lru_it);
@@ -90,7 +96,7 @@ void DentryCache::InvalidateDir(const Inode* dir) {
 
 void DentryCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
     shard.entries.clear();
     shard.lru.clear();
   }
@@ -99,7 +105,7 @@ void DentryCache::Clear() {
 size_t DentryCache::size() const {
   size_t total = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
     total += shard.entries.size();
   }
   return total;

@@ -24,6 +24,7 @@
 #include "src/kernel/inode.h"
 #include "src/util/hash.h"
 #include "src/util/sim_clock.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -103,7 +104,7 @@ class DentryCache {
   // One lock stripe: its own map and LRU list, padded to a cache line so
   // neighbouring shard locks do not false-share.
   struct alignas(64) Shard {
-    mutable std::mutex mu;
+    mutable analysis::CheckedMutex mu{"kernel.dcache.shard"};
     std::unordered_map<Key, Entry, KeyHash> entries;
     std::list<Key> lru;  // front = most recent
   };

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
 void DiskModel::ChargeRead(uint64_t bytes, uint32_t ops) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     stats_.read_ops += ops;
     stats_.bytes_read += bytes;
   }
@@ -17,7 +18,7 @@ void DiskModel::ChargeRead(uint64_t bytes, uint32_t ops) {
 
 void DiskModel::ChargeWrite(uint64_t bytes, uint32_t ops) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     stats_.write_ops += ops;
     stats_.bytes_written += bytes;
   }
@@ -27,7 +28,7 @@ void DiskModel::ChargeWrite(uint64_t bytes, uint32_t ops) {
 
 void DiskModel::ChargeFlush() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     ++stats_.flushes;
   }
   clock_->Advance(costs_->disk_flush_ns);
@@ -35,7 +36,7 @@ void DiskModel::ChargeFlush() {
 
 void DiskModel::ChargeDirectWrite(uint64_t bytes, uint32_t ops) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     stats_.write_ops += ops;
     stats_.bytes_written += bytes;
   }
@@ -49,7 +50,7 @@ void DiskModel::ChargeParallelWrite(uint64_t bytes, uint32_t ops, uint32_t queue
     queue_depth = 1;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     stats_.write_ops += ops;
     stats_.bytes_written += bytes;
   }
@@ -58,7 +59,7 @@ void DiskModel::ChargeParallelWrite(uint64_t bytes, uint32_t ops, uint32_t queue
 }
 
 void DiskModel::ReadData(Ino ino, uint64_t off, uint64_t len, char* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   std::memset(out, 0, len);
   auto it = data_.find(ino);
   if (it == data_.end() || off >= it->second.size()) {
@@ -69,7 +70,7 @@ void DiskModel::ReadData(Ino ino, uint64_t off, uint64_t len, char* out) const {
 }
 
 void DiskModel::WriteData(Ino ino, uint64_t off, uint64_t len, const char* src) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto& vec = data_[ino];
   if (vec.size() < off + len) {
     vec.resize(off + len, 0);
@@ -78,7 +79,7 @@ void DiskModel::WriteData(Ino ino, uint64_t off, uint64_t len, const char* src) 
 }
 
 void DiskModel::TruncateData(Ino ino, uint64_t new_size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = data_.find(ino);
   if (it == data_.end()) {
     return;
@@ -87,18 +88,18 @@ void DiskModel::TruncateData(Ino ino, uint64_t new_size) {
 }
 
 void DiskModel::FreeData(Ino ino) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   data_.erase(ino);
 }
 
 uint64_t DiskModel::StoredBytes(Ino ino) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = data_.find(ino);
   return it == data_.end() ? 0 : it->second.size();
 }
 
 uint64_t DiskModel::TotalStoredBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [ino, vec] : data_) {
     total += vec.size();

@@ -17,6 +17,7 @@
 #include "src/kernel/types.h"
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -49,11 +50,11 @@ class DiskModel {
     uint64_t bytes_written = 0;
   };
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     stats_ = Stats{};
   }
 
@@ -74,7 +75,7 @@ class DiskModel {
   uint64_t capacity_bytes_;
   uint32_t direct_parallelism_ = 3;
 
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"kernel.disk"};
   std::unordered_map<Ino, std::vector<char>> data_;
   Stats stats_;
 };

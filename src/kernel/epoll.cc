@@ -1,11 +1,12 @@
 #include "src/kernel/epoll.h"
 
 #include <cerrno>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
 Status EpollFile::Ctl(int op, Fd fd, const FilePtr& file, uint32_t events, uint64_t data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   switch (op) {
     case kEpollCtlAdd: {
       if (watches_.count(fd) != 0) {
@@ -35,7 +36,7 @@ Status EpollFile::Ctl(int op, Fd fd, const FilePtr& file, uint32_t events, uint6
 }
 
 std::vector<EpollEvent> EpollFile::CollectReady(int max_events) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   std::vector<EpollEvent> out;
   for (auto& [fd, watch] : watches_) {
     uint32_t ready = watch.file->PollEvents();

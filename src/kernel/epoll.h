@@ -11,6 +11,7 @@
 #include "src/kernel/file.h"
 #include "src/kernel/poll_hub.h"
 #include "src/util/status.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -43,7 +44,7 @@ class EpollFile : public FileDescription {
   std::vector<EpollEvent> CollectReady(int max_events);
 
   PollHub* hub_;
-  std::mutex mu_;
+  analysis::CheckedMutex mu_{"kernel.epoll"};
   std::map<Fd, Watch> watches_;
 };
 

@@ -4,11 +4,11 @@
 
 namespace cntr::kernel {
 
-StatusOr<size_t> FileDescription::Read(void* buf, size_t count, uint64_t offset) {
+StatusOr<size_t> FileDescription::Read(void* /*buf*/, size_t /*count*/, uint64_t /*offset*/) {
   return Status::Error(EINVAL, "read not supported on this file");
 }
 
-StatusOr<size_t> FileDescription::Write(const void* buf, size_t count, uint64_t offset) {
+StatusOr<size_t> FileDescription::Write(const void* /*buf*/, size_t /*count*/, uint64_t /*offset*/) {
   return Status::Error(EINVAL, "write not supported on this file");
 }
 

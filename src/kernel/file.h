@@ -16,6 +16,7 @@
 #include "src/kernel/types.h"
 #include "src/splice/page_ref.h"
 #include "src/util/status.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -53,16 +54,16 @@ class FileDescription {
   // accept payload as page references: a splice() against this file moves
   // pages instead of copying them. `offset` must be page-aligned. Default:
   // unsupported — callers fall back to the byte path.
-  virtual StatusOr<std::vector<splice::PageRef>> ReadPageRefs(size_t count, uint64_t offset) {
+  virtual StatusOr<std::vector<splice::PageRef>> ReadPageRefs(size_t /*count*/, uint64_t /*offset*/) {
     return Status::Error(EOPNOTSUPP);
   }
-  virtual StatusOr<size_t> WritePageRefs(const std::vector<splice::PageRef>& pages,
-                                         uint64_t offset) {
+  virtual StatusOr<size_t> WritePageRefs(const std::vector<splice::PageRef>& /*pages*/,
+                                         uint64_t /*offset*/) {
     return Status::Error(EOPNOTSUPP);
   }
 
   // --- durability ---
-  virtual Status Fsync(bool datasync) { return Status::Ok(); }
+  virtual Status Fsync(bool /*datasync*/) { return Status::Ok(); }
   // Called when the last reference to the description is closed.
   virtual Status Release() { return Status::Ok(); }
 
@@ -73,19 +74,19 @@ class FileDescription {
   virtual uint32_t PollEvents() { return kPollIn | kPollOut; }
 
   // --- ioctl-ish extension point for devices ---
-  virtual StatusOr<uint64_t> Ioctl(uint64_t cmd, uint64_t arg) { return Status::Error(ENOTTY); }
+  virtual StatusOr<uint64_t> Ioctl(uint64_t /*cmd*/, uint64_t /*arg*/) { return Status::Error(ENOTTY); }
 
   // Cursor management (used by read/write/lseek, guarded for dup'd fds).
   uint64_t offset() const {
-    std::lock_guard<std::mutex> lock(offset_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(offset_mu_);
     return offset_;
   }
   void set_offset(uint64_t off) {
-    std::lock_guard<std::mutex> lock(offset_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(offset_mu_);
     offset_ = off;
   }
   uint64_t AdvanceOffset(uint64_t delta) {
-    std::lock_guard<std::mutex> lock(offset_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(offset_mu_);
     offset_ += delta;
     return offset_;
   }
@@ -93,7 +94,7 @@ class FileDescription {
  private:
   InodePtr inode_;
   int flags_;
-  mutable std::mutex offset_mu_;
+  mutable analysis::CheckedMutex offset_mu_{"kernel.file.offset"};
   uint64_t offset_ = 0;
 };
 

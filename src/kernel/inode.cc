@@ -4,33 +4,33 @@
 
 namespace cntr::kernel {
 
-Status Inode::Setattr(const SetattrRequest& req, const Credentials& cred) {
+Status Inode::Setattr(const SetattrRequest& /*req*/, const Credentials& /*cred*/) {
   return Status::Error(ENOSYS, "setattr not supported");
 }
 
-StatusOr<InodePtr> Inode::Lookup(const std::string& name) {
+StatusOr<InodePtr> Inode::Lookup(const std::string& /*name*/) {
   return Status::Error(ENOTDIR);
 }
 
-StatusOr<InodePtr> Inode::Create(const std::string& name, Mode mode, Dev rdev,
-                                 const Credentials& cred) {
+StatusOr<InodePtr> Inode::Create(const std::string& /*name*/, Mode /*mode*/, Dev /*rdev*/,
+                                 const Credentials& /*cred*/) {
   return Status::Error(ENOTDIR);
 }
 
-StatusOr<InodePtr> Inode::Mkdir(const std::string& name, Mode mode, const Credentials& cred) {
+StatusOr<InodePtr> Inode::Mkdir(const std::string& /*name*/, Mode /*mode*/, const Credentials& /*cred*/) {
   return Status::Error(ENOTDIR);
 }
 
-Status Inode::Unlink(const std::string& name) { return Status::Error(ENOTDIR); }
+Status Inode::Unlink(const std::string& /*name*/) { return Status::Error(ENOTDIR); }
 
-Status Inode::Rmdir(const std::string& name) { return Status::Error(ENOTDIR); }
+Status Inode::Rmdir(const std::string& /*name*/) { return Status::Error(ENOTDIR); }
 
-Status Inode::Link(const std::string& name, const InodePtr& target) {
+Status Inode::Link(const std::string& /*name*/, const InodePtr& /*target*/) {
   return Status::Error(ENOTDIR);
 }
 
-StatusOr<InodePtr> Inode::Symlink(const std::string& name, const std::string& target,
-                                  const Credentials& cred) {
+StatusOr<InodePtr> Inode::Symlink(const std::string& /*name*/, const std::string& /*target*/,
+                                  const Credentials& /*cred*/) {
   return Status::Error(ENOTDIR);
 }
 
@@ -38,21 +38,21 @@ StatusOr<std::vector<DirEntry>> Inode::Readdir() { return Status::Error(ENOTDIR)
 
 StatusOr<std::string> Inode::Readlink() { return Status::Error(EINVAL); }
 
-StatusOr<FilePtr> Inode::Open(int flags, const Credentials& cred) {
+StatusOr<FilePtr> Inode::Open(int /*flags*/, const Credentials& /*cred*/) {
   return Status::Error(ENOSYS, "open not supported");
 }
 
-Status Inode::SetXattr(const std::string& name, const std::string& value, int flags) {
+Status Inode::SetXattr(const std::string& /*name*/, const std::string& /*value*/, int /*flags*/) {
   return Status::Error(ENOTSUP);
 }
 
-StatusOr<std::string> Inode::GetXattr(const std::string& name) {
+StatusOr<std::string> Inode::GetXattr(const std::string& /*name*/) {
   return Status::Error(ENOTSUP);
 }
 
 StatusOr<std::vector<std::string>> Inode::ListXattr() { return Status::Error(ENOTSUP); }
 
-Status Inode::RemoveXattr(const std::string& name) { return Status::Error(ENOTSUP); }
+Status Inode::RemoveXattr(const std::string& /*name*/) { return Status::Error(ENOTSUP); }
 
 StatusOr<uint64_t> Inode::ExportHandle() { return Status::Error(EOPNOTSUPP); }
 

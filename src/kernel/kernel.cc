@@ -6,6 +6,7 @@
 #include "src/kernel/procfs.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -15,14 +16,14 @@ namespace {
 class NullFile : public FileDescription {
  public:
   explicit NullFile(int flags, bool zero) : FileDescription(nullptr, flags), zero_(zero) {}
-  StatusOr<size_t> Read(void* buf, size_t count, uint64_t offset) override {
+  StatusOr<size_t> Read(void* buf, size_t count, uint64_t /*offset*/) override {
     if (!zero_) {
       return size_t{0};
     }
     std::memset(buf, 0, count);
     return count;
   }
-  StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset) override {
+  StatusOr<size_t> Write(const void* /*buf*/, size_t count, uint64_t /*offset*/) override {
     return count;
   }
 
@@ -191,7 +192,7 @@ void Kernel::Exit(Process& proc) {
   // teardown can cascade into connection aborts.
   std::vector<std::function<void(const Process&)>> hooks;
   {
-    std::lock_guard<std::mutex> lock(exit_hooks_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(exit_hooks_mu_);
     hooks = exit_hooks_;
   }
   for (const auto& hook : hooks) {
@@ -675,12 +676,12 @@ Status Kernel::PivotToFs(Process& proc, std::shared_ptr<FileSystem> fs) {
 }
 
 void Kernel::RegisterCharDevice(Dev rdev, CharDeviceOpenFn open_fn) {
-  std::lock_guard<std::mutex> lock(devices_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(devices_mu_);
   char_devices_[rdev] = std::move(open_fn);
 }
 
 void Kernel::AddExitHook(std::function<void(const Process&)> hook) {
-  std::lock_guard<std::mutex> lock(exit_hooks_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(exit_hooks_mu_);
   exit_hooks_.push_back(std::move(hook));
 }
 

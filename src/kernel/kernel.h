@@ -36,6 +36,7 @@
 #include "src/splice/splice.h"
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -295,19 +296,19 @@ class Kernel {
   ProcessPtr init_;
   Dev next_dev_id_ = 100;
 
-  std::mutex devices_mu_;
+  analysis::CheckedMutex devices_mu_{"kernel.devices"};
   std::map<Dev, CharDeviceOpenFn> char_devices_;
 
-  std::mutex exit_hooks_mu_;
+  analysis::CheckedMutex exit_hooks_mu_{"kernel.exit_hooks"};
   std::vector<std::function<void(const Process&)>> exit_hooks_;
 
   fault::FaultRegistry faults_;
 
-  std::mutex sockets_mu_;
+  analysis::CheckedMutex sockets_mu_{"kernel.sockets"};
   std::unordered_map<const Inode*, std::shared_ptr<ListeningSocket>> bound_sockets_;
 
   // Per-inode "security.capability known absent" cache (native fs only).
-  std::mutex xattr_probe_mu_;
+  analysis::CheckedMutex xattr_probe_mu_{"kernel.xattr_probe"};
   std::unordered_set<const Inode*> xattr_absent_;
 
   AccessListener* access_listener_ = nullptr;

@@ -5,6 +5,7 @@
 #include "src/kernel/kernel.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -109,7 +110,7 @@ StatusOr<Fd> Kernel::Open(Process& proc, const std::string& path, int flags, Mod
   if (IsChr(attr.mode)) {
     CharDeviceOpenFn open_fn;
     {
-      std::lock_guard<std::mutex> lock(devices_mu_);
+      std::lock_guard<analysis::CheckedMutex> lock(devices_mu_);
       auto it = char_devices_.find(attr.rdev);
       if (it == char_devices_.end()) {
         return Status::Error(ENXIO, "no driver for device");
@@ -592,7 +593,7 @@ Status Kernel::SetXattr(Process& proc, const std::string& path, const std::strin
     }
   }
   {
-    std::lock_guard<std::mutex> lock(xattr_probe_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(xattr_probe_mu_);
     xattr_absent_.erase(at.inode.get());
   }
   return at.inode->SetXattr(name, value, flags);
@@ -625,14 +626,14 @@ void Kernel::ChargeWriteXattrProbe(const InodePtr& inode) {
   // the effect the paper measures in Apache (1.5x) and IOzone write (1.2x).
   bool native = inode->fs()->DentryTtlNs() == UINT64_MAX;
   if (native) {
-    std::lock_guard<std::mutex> lock(xattr_probe_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(xattr_probe_mu_);
     if (xattr_absent_.count(inode.get()) != 0) {
       return;
     }
   }
   (void)inode->GetXattr("security.capability");
   if (native) {
-    std::lock_guard<std::mutex> lock(xattr_probe_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(xattr_probe_mu_);
     xattr_absent_.insert(inode.get());
   }
 }
@@ -667,7 +668,7 @@ StatusOr<Fd> Kernel::SocketListen(Process& proc, const std::string& path, int ba
   CNTR_ASSIGN_OR_RETURN(InodePtr inode, dir.inode->Create(name, kIfSock | 0777, 0, proc.creds));
   auto sock = std::make_shared<ListeningSocket>(&poll_hub_, backlog);
   {
-    std::lock_guard<std::mutex> lock(sockets_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(sockets_mu_);
     bound_sockets_[inode.get()] = sock;
   }
   dcache_->Insert(dir.inode.get(), name, inode, dir.inode->fs()->DentryTtlNs());
@@ -697,7 +698,7 @@ StatusOr<Fd> Kernel::SocketConnect(Process& proc, const std::string& path) {
   CNTR_RETURN_IF_ERROR(CheckAccess(attr, proc.creds, kAccessRead | kAccessWrite));
   std::shared_ptr<ListeningSocket> sock;
   {
-    std::lock_guard<std::mutex> lock(sockets_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(sockets_mu_);
     auto it = bound_sockets_.find(at.inode.get());
     if (it != bound_sockets_.end()) {
       sock = it->second;

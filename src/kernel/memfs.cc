@@ -6,10 +6,19 @@
 #include <cstring>
 
 #include "src/util/logging.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
 namespace {
+
+// Lockdep subclasses for "kernel.memfs.inode": directory operations hold a
+// parent inode at the base class, the second parent of an address-ordered
+// rename pair at kSecondParentLockClass, and any child/victim/target inode
+// at kChildLockClass. The legal edges are base -> second-parent -> child;
+// anything else (child before parent, unordered parent pair) reports.
+constexpr uint32_t kSecondParentLockClass = 1;
+constexpr uint32_t kChildLockClass = 2;
 
 // Open file description for MemFs regular files and directories.
 class MemFile : public FileDescription {
@@ -117,19 +126,19 @@ Status MemFs::Sync() {
 }
 
 void MemFs::NoteDirty(MemInode* inode) {
-  std::lock_guard<std::mutex> lock(dirty_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(dirty_mu_);
   dirty_inodes_.push_back(inode);
 }
 
 void MemFs::ForgetDirty(MemInode* inode) {
-  std::lock_guard<std::mutex> lock(dirty_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(dirty_mu_);
   std::erase(dirty_inodes_, inode);
 }
 
 void MemFs::WritebackAll() {
   std::vector<MemInode*> victims;
   {
-    std::lock_guard<std::mutex> lock(dirty_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(dirty_mu_);
     victims.swap(dirty_inodes_);
   }
   for (MemInode* inode : victims) {
@@ -162,7 +171,7 @@ void MemFs::MaybeBackgroundWriteback() {
   if (now - last > opts_.commit_interval_ns) {
     bool have_dirty;
     {
-      std::lock_guard<std::mutex> lock(dirty_mu_);
+      std::lock_guard<analysis::CheckedMutex> lock(dirty_mu_);
       have_dirty = !dirty_inodes_.empty();
     }
     if (have_dirty && last_commit_ns_.compare_exchange_strong(last, now)) {
@@ -183,17 +192,22 @@ Status MemFs::Rename(const InodePtr& old_dir, const std::string& old_name,
     return Status::Error(EINVAL);
   }
 
-  // Lock both parents in address order.
-  std::unique_lock<std::mutex> l1;
-  std::unique_lock<std::mutex> l2;
+  // Lock both parents in address order. The second parent is the same lock
+  // class as the first, so it is acquired under the kSecondParent lockdep
+  // subclass — address order makes the nesting deadlock-free, and the
+  // annotation tells the validator so.
+  std::unique_lock<analysis::CheckedMutex> l1;
+  std::unique_lock<analysis::CheckedMutex> l2;
   if (od == nd) {
-    l1 = std::unique_lock<std::mutex>(od->mu_);
+    l1 = std::unique_lock<analysis::CheckedMutex>(od->mu_);
   } else if (od < nd) {
-    l1 = std::unique_lock<std::mutex>(od->mu_);
-    l2 = std::unique_lock<std::mutex>(nd->mu_);
+    l1 = std::unique_lock<analysis::CheckedMutex>(od->mu_);
+    nd->mu_.lock_nested(kSecondParentLockClass);
+    l2 = std::unique_lock<analysis::CheckedMutex>(nd->mu_, std::adopt_lock);
   } else {
-    l1 = std::unique_lock<std::mutex>(nd->mu_);
-    l2 = std::unique_lock<std::mutex>(od->mu_);
+    l1 = std::unique_lock<analysis::CheckedMutex>(nd->mu_);
+    od->mu_.lock_nested(kSecondParentLockClass);
+    l2 = std::unique_lock<analysis::CheckedMutex>(od->mu_, std::adopt_lock);
   }
 
   auto src_it = od->entries_.find(old_name);
@@ -249,7 +263,8 @@ Status MemFs::Rename(const InodePtr& old_dir, const std::string& old_name,
       if (!IsDir(victim->attr_.mode)) {
         return Status::Error(ENOTDIR);
       }
-      std::lock_guard<std::mutex> vl(victim->mu_);
+      victim->mu_.lock_nested(kChildLockClass);
+      std::lock_guard<analysis::CheckedMutex> vl(victim->mu_, std::adopt_lock);
       if (!victim->entries_.empty()) {
         return Status::Error(ENOTEMPTY);
       }
@@ -261,7 +276,8 @@ Status MemFs::Rename(const InodePtr& old_dir, const std::string& old_name,
   // Perform the move.
   od->entries_.erase(src_it);
   if (victim != nullptr) {
-    std::lock_guard<std::mutex> vl(victim->mu_);
+    victim->mu_.lock_nested(kChildLockClass);
+    std::lock_guard<analysis::CheckedMutex> vl(victim->mu_, std::adopt_lock);
     if (victim->attr_.nlink > 0) {
       --victim->attr_.nlink;
     }
@@ -281,7 +297,8 @@ Status MemFs::Rename(const InodePtr& old_dir, const std::string& old_name,
     nd->TouchCTimeLocked();
   }
   {
-    std::lock_guard<std::mutex> sl(src->mu_);
+    src->mu_.lock_nested(kChildLockClass);
+    std::lock_guard<analysis::CheckedMutex> sl(src->mu_, std::adopt_lock);
     src->attr_.ctime = Now();
   }
   opts_.clock->Advance(2 * opts_.costs->fs_inode_update_ns);
@@ -330,18 +347,18 @@ std::shared_ptr<MemInode> MemInode::SelfPtr() {
 }
 
 StatusOr<InodeAttr> MemInode::Getattr() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   fs_->clock()->Advance(fs_->costs()->dcache_hit_ns);
   InodeAttr out = attr_;
   out.blocks = (out.size + 511) / 512;
   return out;
 }
 
-Status MemInode::Setattr(const SetattrRequest& req, const Credentials& cred) {
+Status MemInode::Setattr(const SetattrRequest& req, const Credentials& /*cred*/) {
   if (req.size.has_value()) {
     CNTR_RETURN_IF_ERROR(TruncateData(*req.size));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (req.mode.has_value()) {
     attr_.mode = (attr_.mode & kIfMt) | (*req.mode & kPermMask);
   }
@@ -364,7 +381,7 @@ Status MemInode::Setattr(const SetattrRequest& req, const Credentials& cred) {
 }
 
 StatusOr<InodePtr> MemInode::Lookup(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   CNTR_ASSIGN_OR_RETURN(auto child, LookupLocked(name));
   return InodePtr(child);
 }
@@ -383,7 +400,7 @@ StatusOr<std::shared_ptr<MemInode>> MemInode::LookupLocked(const std::string& na
 
 StatusOr<InodePtr> MemInode::Create(const std::string& name, Mode mode, Dev rdev,
                                     const Credentials& cred) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (!IsDir(attr_.mode)) {
     return Status::Error(ENOTDIR);
   }
@@ -412,7 +429,7 @@ StatusOr<InodePtr> MemInode::Create(const std::string& name, Mode mode, Dev rdev
 }
 
 StatusOr<InodePtr> MemInode::Mkdir(const std::string& name, Mode mode, const Credentials& cred) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (!IsDir(attr_.mode)) {
     return Status::Error(ENOTDIR);
   }
@@ -439,7 +456,7 @@ StatusOr<InodePtr> MemInode::Mkdir(const std::string& name, Mode mode, const Cre
 }
 
 Status MemInode::Unlink(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (!IsDir(attr_.mode)) {
     return Status::Error(ENOTDIR);
   }
@@ -451,7 +468,8 @@ Status MemInode::Unlink(const std::string& name) {
     return Status::Error(EISDIR);
   }
   {
-    std::lock_guard<std::mutex> cl(it->second->mu_);
+    it->second->mu_.lock_nested(kChildLockClass);
+    std::lock_guard<analysis::CheckedMutex> cl(it->second->mu_, std::adopt_lock);
     if (it->second->attr_.nlink > 0) {
       --it->second->attr_.nlink;
     }
@@ -464,7 +482,7 @@ Status MemInode::Unlink(const std::string& name) {
 }
 
 Status MemInode::Rmdir(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (!IsDir(attr_.mode)) {
     return Status::Error(ENOTDIR);
   }
@@ -474,7 +492,8 @@ Status MemInode::Rmdir(const std::string& name) {
   }
   auto child = it->second;
   {
-    std::lock_guard<std::mutex> cl(child->mu_);
+    child->mu_.lock_nested(kChildLockClass);
+    std::lock_guard<analysis::CheckedMutex> cl(child->mu_, std::adopt_lock);
     if (!IsDir(child->attr_.mode)) {
       return Status::Error(ENOTDIR);
     }
@@ -495,7 +514,7 @@ Status MemInode::Link(const std::string& name, const InodePtr& target) {
   if (mem_target == nullptr || mem_target->fs_ != fs_) {
     return Status::Error(EXDEV);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (!IsDir(attr_.mode)) {
     return Status::Error(ENOTDIR);
   }
@@ -503,7 +522,8 @@ Status MemInode::Link(const std::string& name, const InodePtr& target) {
     return Status::Error(EEXIST);
   }
   {
-    std::lock_guard<std::mutex> tl(mem_target->mu_);
+    mem_target->mu_.lock_nested(kChildLockClass);
+    std::lock_guard<analysis::CheckedMutex> tl(mem_target->mu_, std::adopt_lock);
     if (IsDir(mem_target->attr_.mode)) {
       return Status::Error(EPERM);
     }
@@ -518,7 +538,7 @@ Status MemInode::Link(const std::string& name, const InodePtr& target) {
 
 StatusOr<InodePtr> MemInode::Symlink(const std::string& name, const std::string& target,
                                      const Credentials& cred) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (!IsDir(attr_.mode)) {
     return Status::Error(ENOTDIR);
   }
@@ -537,7 +557,7 @@ StatusOr<InodePtr> MemInode::Symlink(const std::string& name, const std::string&
 }
 
 StatusOr<std::vector<DirEntry>> MemInode::Readdir() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (!IsDir(attr_.mode)) {
     return Status::Error(ENOTDIR);
   }
@@ -554,7 +574,7 @@ StatusOr<std::vector<DirEntry>> MemInode::Readdir() {
 }
 
 StatusOr<std::string> MemInode::Readlink() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (!IsLnk(attr_.mode)) {
     return Status::Error(EINVAL);
   }
@@ -562,8 +582,8 @@ StatusOr<std::string> MemInode::Readlink() {
   return symlink_target_;
 }
 
-StatusOr<FilePtr> MemInode::Open(int flags, const Credentials& cred) {
-  std::lock_guard<std::mutex> lock(mu_);
+StatusOr<FilePtr> MemInode::Open(int flags, const Credentials& /*cred*/) {
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if ((flags & kODirect) && !fs_->options().support_odirect) {
     return Status::Error(EINVAL, "O_DIRECT not supported");
   }
@@ -578,7 +598,7 @@ StatusOr<FilePtr> MemInode::Open(int flags, const Credentials& cred) {
 }
 
 Status MemInode::SetXattr(const std::string& name, const std::string& value, int flags) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = xattrs_.find(name);
   if ((flags & kXattrCreate) && it != xattrs_.end()) {
     return Status::Error(EEXIST);
@@ -593,7 +613,7 @@ Status MemInode::SetXattr(const std::string& name, const std::string& value, int
 }
 
 StatusOr<std::string> MemInode::GetXattr(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   fs_->clock()->Advance(fs_->costs()->fs_xattr_lookup_ns);
   auto it = xattrs_.find(name);
   if (it == xattrs_.end()) {
@@ -603,7 +623,7 @@ StatusOr<std::string> MemInode::GetXattr(const std::string& name) {
 }
 
 StatusOr<std::vector<std::string>> MemInode::ListXattr() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   fs_->clock()->Advance(fs_->costs()->fs_xattr_lookup_ns);
   std::vector<std::string> out;
   out.reserve(xattrs_.size());
@@ -614,7 +634,7 @@ StatusOr<std::vector<std::string>> MemInode::ListXattr() {
 }
 
 Status MemInode::RemoveXattr(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (xattrs_.erase(name) == 0) {
     return Status::Error(ENODATA);
   }
@@ -626,7 +646,7 @@ Status MemInode::RemoveXattr(const std::string& name) {
 StatusOr<uint64_t> MemInode::ExportHandle() { return ino(); }
 
 StatusOr<InodePtr> MemInode::Parent() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (!IsDir(attr_.mode)) {
     return Status::Error(ENOTDIR);
   }
@@ -638,14 +658,14 @@ StatusOr<InodePtr> MemInode::Parent() {
 }
 
 bool MemInode::IsEmptyDir() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   return IsDir(attr_.mode) && entries_.empty();
 }
 
 void MemInode::TouchCTimeLocked() { attr_.mtime = attr_.ctime = fs_->Now(); }
 
 uint64_t MemInode::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   return attr_.size;
 }
 
@@ -653,7 +673,7 @@ uint64_t MemInode::size() const {
 
 StatusOr<size_t> MemInode::ReadData(char* buf, size_t count, uint64_t off, bool direct,
                                     FileReadahead* ra) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (!IsReg(attr_.mode)) {
     return Status::Error(EINVAL);
   }
@@ -709,7 +729,7 @@ StatusOr<size_t> MemInode::ReadData(char* buf, size_t count, uint64_t off, bool 
 StatusOr<size_t> MemInode::WriteData(const char* buf, size_t count, uint64_t off, bool direct) {
   bool maybe_writeback = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     if (!IsReg(attr_.mode)) {
       return Status::Error(EINVAL);
     }
@@ -795,7 +815,7 @@ StatusOr<size_t> MemInode::WriteData(const char* buf, size_t count, uint64_t off
 
 StatusOr<std::vector<splice::PageRef>> MemInode::ReadPageRefs(size_t count, uint64_t off,
                                                               FileReadahead* ra) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (!IsReg(attr_.mode)) {
     return Status::Error(EINVAL);
   }
@@ -864,7 +884,7 @@ StatusOr<size_t> MemInode::WritePageRefs(const std::vector<splice::PageRef>& pag
   }
   bool maybe_writeback = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     if (!IsReg(attr_.mode)) {
       return Status::Error(EINVAL);
     }
@@ -952,7 +972,7 @@ StatusOr<size_t> MemInode::WritePageRefs(const std::vector<splice::PageRef>& pag
 }
 
 Status MemInode::TruncateData(uint64_t new_size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (IsDir(attr_.mode)) {
     return Status::Error(EISDIR);
   }
@@ -984,7 +1004,7 @@ Status MemInode::FsyncData(bool datasync) {
   // Explicit metadata updates (setattr) commit in their own transaction.
   bool metadata_commit = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     if (metadata_dirty_ && !datasync) {
       metadata_dirty_ = false;
       metadata_commit = true;
@@ -997,7 +1017,7 @@ Status MemInode::FsyncData(bool datasync) {
 }
 
 uint32_t MemInode::FlushDirtyPages() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   const MemFs::Options& opts = fs_->options();
   if (opts.disk == nullptr) {
     return 0;

@@ -26,6 +26,7 @@
 #include "src/kernel/readahead.h"
 #include "src/kernel/types.h"
 #include "src/util/sim_clock.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -104,7 +105,7 @@ class MemFs : public FileSystem, public std::enable_shared_from_this<MemFs> {
   std::atomic<int64_t> used_bytes_{0};
   std::atomic<int64_t> used_inodes_{0};
 
-  std::mutex dirty_mu_;
+  analysis::CheckedMutex dirty_mu_{"kernel.memfs.dirty"};
   std::vector<MemInode*> dirty_inodes_;  // insertion order = flush order
   std::atomic<uint64_t> last_commit_ns_{0};
 };
@@ -180,7 +181,7 @@ class MemInode : public Inode {
   std::shared_ptr<std::atomic<bool>> fs_alive_;  // MemFs::alive_
   PageCachePool* page_cache_;  // kernel-owned; outlives any filesystem
   DiskModel* disk_;            // kernel-owned; null for pure tmpfs
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"kernel.memfs.inode"};
   InodeAttr attr_;
   std::map<std::string, std::shared_ptr<MemInode>> entries_;  // directories
   std::weak_ptr<MemInode> parent_;                            // directories

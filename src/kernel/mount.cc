@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <map>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -14,7 +15,7 @@ MountNamespace::MountNamespace(MountPtr root)
 }
 
 std::shared_ptr<MountNamespace> MountNamespace::Clone() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   // Copy every mount, then fix up parent pointers through an old->new map.
   std::map<const Mount*, MountPtr> copies;
   for (const auto& m : mounts_) {
@@ -39,7 +40,7 @@ std::shared_ptr<MountNamespace> MountNamespace::Clone() const {
 }
 
 MountPtr MountNamespace::MountAt(const MountPtr& under, const InodePtr& at) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   for (const auto& m : mounts_) {
     if (m->parent() == under && m->mountpoint() == at) {
       return m;
@@ -50,7 +51,7 @@ MountPtr MountNamespace::MountAt(const MountPtr& under, const InodePtr& at) cons
 
 Status MountNamespace::AddMount(const MountPtr& m, const MountPtr& parent,
                                 const InodePtr& mountpoint) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (std::find(mounts_.begin(), mounts_.end(), parent) == mounts_.end()) {
     return Status::Error(EINVAL, "parent mount not in this namespace");
   }
@@ -65,7 +66,7 @@ Status MountNamespace::AddMount(const MountPtr& m, const MountPtr& parent,
 }
 
 Status MountNamespace::RemoveMount(const MountPtr& m, bool force) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = std::find(mounts_.begin(), mounts_.end(), m);
   if (it == mounts_.end()) {
     return Status::Error(EINVAL, "mount not in this namespace");
@@ -86,12 +87,12 @@ Status MountNamespace::RemoveMount(const MountPtr& m, bool force) {
 }
 
 std::vector<MountPtr> MountNamespace::AllMounts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   return mounts_;
 }
 
 std::vector<MountPtr> MountNamespace::ChildrenOf(const MountPtr& m) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   std::vector<MountPtr> out;
   for (const auto& other : mounts_) {
     if (other->parent() == m) {
@@ -102,14 +103,14 @@ std::vector<MountPtr> MountNamespace::ChildrenOf(const MountPtr& m) const {
 }
 
 void MountNamespace::MakeAllPrivate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   for (const auto& m : mounts_) {
     m->set_propagation_private(true);
   }
 }
 
 bool MountNamespace::Contains(const MountPtr& m) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   return std::find(mounts_.begin(), mounts_.end(), m) != mounts_.end();
 }
 

@@ -18,6 +18,7 @@
 #include "src/kernel/inode.h"
 #include "src/kernel/namespaces.h"
 #include "src/util/status.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -81,7 +82,7 @@ class MountNamespace : public NamespaceBase {
   explicit MountNamespace(MountPtr root);
 
   MountPtr root() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return root_;
   }
 
@@ -111,7 +112,7 @@ class MountNamespace : public NamespaceBase {
   bool Contains(const MountPtr& m) const;
 
  private:
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"kernel.mount_table"};
   MountPtr root_;
   std::vector<MountPtr> mounts_;
 };

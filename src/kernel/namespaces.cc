@@ -1,13 +1,14 @@
 #include "src/kernel/namespaces.h"
 
 #include <cerrno>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
 std::atomic<uint64_t> NamespaceBase::next_id_{4026531840ULL};
 
 Status NetNamespace::BindAbstract(const std::string& name, std::shared_ptr<void> socket) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto [it, inserted] = abstract_sockets_.emplace(name, std::move(socket));
   if (!inserted) {
     return Status::Error(EADDRINUSE, "abstract socket name in use");
@@ -16,18 +17,18 @@ Status NetNamespace::BindAbstract(const std::string& name, std::shared_ptr<void>
 }
 
 std::shared_ptr<void> NetNamespace::LookupAbstract(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = abstract_sockets_.find(name);
   return it == abstract_sockets_.end() ? nullptr : it->second;
 }
 
 void NetNamespace::UnbindAbstract(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   abstract_sockets_.erase(name);
 }
 
 std::shared_ptr<CgroupNode> CgroupNode::FindOrCreateChild(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = children_.find(name);
   if (it != children_.end()) {
     return it->second;
@@ -38,7 +39,7 @@ std::shared_ptr<CgroupNode> CgroupNode::FindOrCreateChild(const std::string& nam
 }
 
 std::shared_ptr<CgroupNode> CgroupNode::FindChild(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = children_.find(name);
   return it == children_.end() ? nullptr : it->second;
 }

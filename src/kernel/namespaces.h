@@ -18,6 +18,7 @@
 #include "src/kernel/cred.h"
 #include "src/kernel/types.h"
 #include "src/util/status.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -78,16 +79,16 @@ class UtsNamespace : public NamespaceBase {
       : NamespaceBase(NsType::kUts), hostname_(std::move(hostname)) {}
 
   std::string hostname() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return hostname_;
   }
   void set_hostname(std::string h) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     hostname_ = std::move(h);
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"kernel.ns.uts"};
   std::string hostname_ = "host";
 };
 
@@ -106,7 +107,7 @@ class NetNamespace : public NamespaceBase {
   void UnbindAbstract(const std::string& name);
 
  private:
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"kernel.ns.net"};
   std::map<std::string, std::shared_ptr<void>> abstract_sockets_;
 };
 
@@ -126,19 +127,19 @@ class UserNamespace : public NamespaceBase {
   const std::shared_ptr<UserNamespace>& parent() const { return parent_; }
 
   void SetUidMap(std::vector<IdMapRange> map) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     uid_map_ = std::move(map);
   }
   void SetGidMap(std::vector<IdMapRange> map) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     gid_map_ = std::move(map);
   }
   std::vector<IdMapRange> uid_map() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return uid_map_;
   }
   std::vector<IdMapRange> gid_map() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return gid_map_;
   }
 
@@ -177,7 +178,7 @@ class UserNamespace : public NamespaceBase {
   }
 
   std::shared_ptr<UserNamespace> parent_;
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"kernel.ns.user"};
   std::vector<IdMapRange> uid_map_;
   std::vector<IdMapRange> gid_map_;
 };
@@ -193,14 +194,14 @@ class PidNamespace : public NamespaceBase {
   uint32_t level() const { return level_; }
 
   Pid AllocPid() {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return next_pid_++;
   }
 
  private:
   std::shared_ptr<PidNamespace> parent_;
   uint32_t level_ = 0;
-  std::mutex mu_;
+  analysis::CheckedMutex mu_{"kernel.ns.pid"};
   Pid next_pid_ = 1;
 };
 
@@ -220,24 +221,24 @@ class CgroupNode : public std::enable_shared_from_this<CgroupNode> {
   std::string Path() const;
 
   void SetLimit(const std::string& key, const std::string& value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     limits_[key] = value;
   }
   std::map<std::string, std::string> limits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return limits_;
   }
 
   void AddProc(Pid pid) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     procs_.push_back(pid);
   }
   void RemoveProc(Pid pid) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     std::erase(procs_, pid);
   }
   std::vector<Pid> procs() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return procs_;
   }
 
@@ -249,7 +250,7 @@ class CgroupNode : public std::enable_shared_from_this<CgroupNode> {
   // Weak: the parent owns its children through children_, so a shared
   // back-edge would cycle and leak the whole tree on teardown.
   std::weak_ptr<CgroupNode> parent_;
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"kernel.cgroup.node"};
   std::map<std::string, std::shared_ptr<CgroupNode>> children_;
   std::map<std::string, std::string> limits_;
   std::vector<Pid> procs_;

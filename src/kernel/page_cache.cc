@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -12,12 +13,17 @@ PageCachePool::PageCachePool(SimClock* clock, const CostModel* costs, uint64_t c
       capacity_bytes_(capacity_bytes),
       shards_(ClampShardCount(num_shards, capacity_bytes / kPageSize)) {
   capacity_per_shard_ = std::max<uint64_t>(kPageSize, capacity_bytes_ / shards_.size());
+  // Per-stripe lockdep subclass: index-ordered same-class nesting (e.g. a
+  // full-pool sweep) stays legal while out-of-order pairs still report.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].mu.set_subclass(static_cast<uint32_t>(i + 1));
+  }
 }
 
 bool PageCachePool::ReadPage(CacheOwner owner, uint64_t idx, char* out) {
   Key key{owner, idx};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
   auto it = shard.pages.find(key);
   if (it == shard.pages.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -33,14 +39,14 @@ bool PageCachePool::ReadPage(CacheOwner owner, uint64_t idx, char* out) {
 bool PageCachePool::HasPage(CacheOwner owner, uint64_t idx) const {
   Key key{owner, idx};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
   return shard.pages.count(key) != 0;
 }
 
 bool PageCachePool::StorePage(CacheOwner owner, uint64_t idx, const char* data, bool dirty) {
   Key key{owner, idx};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
   auto it = shard.pages.find(key);
   if (it == shard.pages.end()) {
     Page page;
@@ -77,7 +83,7 @@ PageCachePool::UpdateResult PageCachePool::UpdatePage(CacheOwner owner, uint64_t
                                                       const char* src, bool mark_dirty) {
   Key key{owner, idx};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
   auto it = shard.pages.find(key);
   if (it == shard.pages.end()) {
     return UpdateResult::kNotResident;
@@ -103,7 +109,7 @@ void PageCachePool::TruncatePages(CacheOwner owner, uint64_t new_size) {
   if (new_size % kPageSize != 0) {
     Key key{owner, new_size / kPageSize};
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
     auto it = shard.pages.find(key);
     if (it != shard.pages.end()) {
       uint32_t keep = static_cast<uint32_t>(new_size % kPageSize);
@@ -114,7 +120,7 @@ void PageCachePool::TruncatePages(CacheOwner owner, uint64_t new_size) {
   // Drop whole pages past the new end (the owner's pages are spread over
   // every shard, so all stripes are visited).
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
     auto dit = shard.dirty.find(owner);
     for (auto it = shard.pages.begin(); it != shard.pages.end();) {
       if (it->first.owner == owner && it->first.idx >= first_dropped) {
@@ -140,7 +146,7 @@ bool PageCachePool::MarkClean(CacheOwner owner, uint64_t idx) {
 bool PageCachePool::MarkCleanIfGen(CacheOwner owner, uint64_t idx, uint64_t gen) {
   Key key{owner, idx};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
   auto it = shard.pages.find(key);
   if (it == shard.pages.end() || !it->second.dirty) {
     return false;
@@ -160,7 +166,7 @@ bool PageCachePool::MarkCleanIfGen(CacheOwner owner, uint64_t idx, uint64_t gen)
 void PageCachePool::Drop(CacheOwner owner, uint64_t idx) {
   Key key{owner, idx};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
   auto it = shard.pages.find(key);
   if (it == shard.pages.end()) {
     return;
@@ -178,7 +184,7 @@ void PageCachePool::Drop(CacheOwner owner, uint64_t idx) {
 
 void PageCachePool::DropAll(CacheOwner owner) {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
     for (auto it = shard.pages.begin(); it != shard.pages.end();) {
       if (it->first.owner == owner) {
         if (it->second.dirty) {
@@ -196,7 +202,7 @@ void PageCachePool::DropAll(CacheOwner owner) {
 
 void PageCachePool::DropAllClean() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
     for (auto it = shard.pages.begin(); it != shard.pages.end();) {
       if (!it->second.dirty) {
         shard.lru.erase(it->second.lru_it);
@@ -211,7 +217,7 @@ void PageCachePool::DropAllClean() {
 std::vector<uint64_t> PageCachePool::DirtyPages(CacheOwner owner) const {
   std::vector<uint64_t> out;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
     auto dit = shard.dirty.find(owner);
     if (dit == shard.dirty.end()) {
       continue;
@@ -229,7 +235,7 @@ bool PageCachePool::PeekPage(CacheOwner owner, uint64_t idx, char* out,
                              uint64_t* gen_out) const {
   Key key{owner, idx};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
   auto it = shard.pages.find(key);
   if (it == shard.pages.end()) {
     return false;
@@ -244,7 +250,7 @@ bool PageCachePool::PeekPage(CacheOwner owner, uint64_t idx, char* out,
 uint64_t PageCachePool::DirtyBytes(CacheOwner owner) const {
   uint64_t total = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
     auto dit = shard.dirty.find(owner);
     if (dit != shard.dirty.end()) {
       total += dit->second.size() * kPageSize;
@@ -260,7 +266,7 @@ uint64_t PageCachePool::TotalDirtyBytes() const {
 uint64_t PageCachePool::ResidentBytes() const {
   uint64_t total = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
     total += shard.pages.size() * kPageSize;
   }
   return total;
@@ -270,7 +276,7 @@ std::optional<splice::PageRef> PageCachePool::GetPageRef(CacheOwner owner, uint6
                                                          uint64_t* gen_out) {
   Key key{owner, idx};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
   auto it = shard.pages.find(key);
   if (it == shard.pages.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -314,7 +320,7 @@ PageCachePool::StoreRefResult PageCachePool::StorePageRef(CacheOwner owner, uint
 
   Key key{owner, idx};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
   auto it = shard.pages.find(key);
   bool count_dirty = dirty;
   if (it == shard.pages.end()) {
@@ -349,7 +355,7 @@ PageCachePool::StoreRefResult PageCachePool::StorePageRef(CacheOwner owner, uint
 std::optional<splice::PageRef> PageCachePool::StealPage(CacheOwner owner, uint64_t idx) {
   Key key{owner, idx};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<analysis::CheckedMutex> lock(shard.mu);
   auto it = shard.pages.find(key);
   if (it == shard.pages.end() || it->second.dirty) {
     return std::nullopt;  // absent, or pinned by writeback
@@ -380,7 +386,7 @@ void PageCachePool::EnsureExclusiveLocked(Page& page, bool preserve_content) {
   clock_->Advance(costs_->copy_page_ns);
 }
 
-void PageCachePool::TouchLocked(Shard& shard, Page& page, const Key& key) {
+void PageCachePool::TouchLocked(Shard& shard, Page& page, const Key& /*key*/) {
   shard.lru.splice(shard.lru.begin(), shard.lru, page.lru_it);
   page.lru_it = shard.lru.begin();
 }

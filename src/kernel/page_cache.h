@@ -36,6 +36,7 @@
 #include "src/splice/page_ref.h"
 #include "src/util/hash.h"
 #include "src/util/sim_clock.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -188,7 +189,7 @@ class PageCachePool {
   // One lock stripe with its own map, LRU list, capacity slice and dirty
   // bookkeeping; padded so neighbouring shard locks do not false-share.
   struct alignas(64) Shard {
-    mutable std::mutex mu;
+    mutable analysis::CheckedMutex mu{"kernel.pagecache.shard"};
     std::unordered_map<Key, Page, KeyHash> pages;
     std::list<Key> lru;  // front = most recent
     // Per-owner dirty page sets, kept sorted for extent coalescing.

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cerrno>
 #include <cstring>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -39,7 +40,7 @@ void PipeBuffer::AppendBytesLocked(const char* buf, size_t n) {
 }
 
 StatusOr<size_t> PipeBuffer::Read(char* buf, size_t count, bool nonblock) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<analysis::CheckedMutex> lock(mu_);
   while (bytes_ == 0) {
     if (writers_ == 0) {
       return size_t{0};  // EOF
@@ -68,7 +69,7 @@ StatusOr<size_t> PipeBuffer::Read(char* buf, size_t count, bool nonblock) {
 }
 
 StatusOr<size_t> PipeBuffer::Write(const char* buf, size_t count, bool nonblock) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<analysis::CheckedMutex> lock(mu_);
   size_t written = 0;
   while (written < count) {
     if (readers_ == 0) {
@@ -103,7 +104,7 @@ StatusOr<size_t> PipeBuffer::PushSegments(std::vector<PipeSegment> segs, bool no
   for (const PipeSegment& seg : segs) {
     total += seg.size();
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<analysis::CheckedMutex> lock(mu_);
   if (require_all) {
     if (readers_ == 0) {
       return Status::Error(EPIPE);
@@ -169,7 +170,7 @@ StatusOr<size_t> PipeBuffer::PushSegments(std::vector<PipeSegment> segs, bool no
 }
 
 StatusOr<std::vector<PipeSegment>> PipeBuffer::PopSegments(size_t max_bytes, bool nonblock) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<analysis::CheckedMutex> lock(mu_);
   while (bytes_ == 0) {
     if (writers_ == 0) {
       return std::vector<PipeSegment>{};  // EOF
@@ -205,7 +206,7 @@ StatusOr<std::vector<PipeSegment>> PipeBuffer::PopSegments(size_t max_bytes, boo
 
 void PipeBuffer::RequeueFront(std::vector<PipeSegment> segs) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     for (auto it = segs.rbegin(); it != segs.rend(); ++it) {
       bytes_ += it->size();
       segs_.push_front(std::move(*it));
@@ -217,7 +218,7 @@ void PipeBuffer::RequeueFront(std::vector<PipeSegment> segs) {
 size_t PipeBuffer::DrainBytes(size_t n) {
   size_t dropped = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     while (!segs_.empty() && dropped < n) {
       PipeSegment& front = segs_.front();
       uint32_t take = static_cast<uint32_t>(std::min<size_t>(front.size(), n - dropped));
@@ -240,7 +241,7 @@ StatusOr<size_t> PipeBuffer::TeeTo(PipeBuffer& dst, size_t max_bytes, bool nonbl
   // lock held on the source (two pipes, two locks — never nested).
   std::vector<PipeSegment> dup;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<analysis::CheckedMutex> lock(mu_);
     while (bytes_ == 0) {
       if (writers_ == 0) {
         return size_t{0};
@@ -276,7 +277,7 @@ StatusOr<size_t> PipeBuffer::SetCapacity(size_t bytes) {
   size_t rounded = std::bit_ceil(std::max(bytes, kPipeMinCapacity));
   bool grew;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     if (rounded < bytes_) {
       return Status::Error(EBUSY, "pipe holds more data than the requested size");
     }
@@ -291,7 +292,7 @@ StatusOr<size_t> PipeBuffer::SetCapacity(size_t bytes) {
 
 void PipeBuffer::Clear() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     segs_.clear();
     bytes_ = 0;
   }
@@ -299,33 +300,33 @@ void PipeBuffer::Clear() {
 }
 
 void PipeBuffer::AddReader() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   ++readers_;
 }
 
 void PipeBuffer::DropReader() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     --readers_;
   }
   NotifyUnlocked();
 }
 
 void PipeBuffer::AddWriter() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   ++writers_;
 }
 
 void PipeBuffer::DropWriter() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     --writers_;
   }
   NotifyUnlocked();
 }
 
 uint32_t PipeBuffer::ReadEndPollEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   uint32_t ev = 0;
   if (bytes_ > 0) {
     ev |= kPollIn;
@@ -340,7 +341,7 @@ uint32_t PipeBuffer::ReadEndPollEvents() const {
 }
 
 uint32_t PipeBuffer::WriteEndPollEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   uint32_t ev = 0;
   if (bytes_ < capacity_) {
     ev |= kPollOut;

@@ -21,6 +21,7 @@
 #include "src/kernel/types.h"
 #include "src/splice/page_ref.h"
 #include "src/util/status.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -103,7 +104,7 @@ class PipeBuffer {
   // Returns the resulting capacity.
   StatusOr<size_t> SetCapacity(size_t bytes);
   size_t capacity() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return capacity_;
   }
 
@@ -116,19 +117,19 @@ class PipeBuffer {
   void DropWriter();
 
   size_t Available() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return bytes_;
   }
   size_t SpaceLeft() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return capacity_ - bytes_;
   }
   bool WriterClosed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return writers_ == 0;
   }
   bool ReaderClosed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return readers_ == 0;
   }
 
@@ -148,8 +149,8 @@ class PipeBuffer {
 
   PollHub* hub_;
   size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable analysis::CheckedMutex mu_{"kernel.pipe.buffer"};
+  analysis::CheckedCondVar cv_{"kernel.pipe.buffer.cv"};
   std::deque<PipeSegment> segs_;
   size_t bytes_ = 0;
   int readers_ = 0;
@@ -164,7 +165,7 @@ class PipeReadEnd : public FileDescription {
   }
   ~PipeReadEnd() override { buf_->DropReader(); }
 
-  StatusOr<size_t> Read(void* buf, size_t count, uint64_t offset) override {
+  StatusOr<size_t> Read(void* buf, size_t count, uint64_t /*offset*/) override {
     return buf_->Read(static_cast<char*>(buf), count, nonblocking());
   }
   uint32_t PollEvents() override { return buf_->ReadEndPollEvents(); }
@@ -183,7 +184,7 @@ class PipeWriteEnd : public FileDescription {
   }
   ~PipeWriteEnd() override { buf_->DropWriter(); }
 
-  StatusOr<size_t> Write(const void* buf, size_t count, uint64_t offset) override {
+  StatusOr<size_t> Write(const void* buf, size_t count, uint64_t /*offset*/) override {
     return buf_->Write(static_cast<const char*>(buf), count, nonblocking());
   }
   uint32_t PollEvents() override { return buf_->WriteEndPollEvents(); }

@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -19,7 +20,7 @@ class PollHub {
  public:
   void Notify() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<analysis::CheckedMutex> lock(mu_);
       ++generation_;
     }
     cv_.notify_all();
@@ -29,7 +30,7 @@ class PollHub {
   // forever). Returns pred() at exit.
   template <typename Pred>
   bool WaitFor(Pred pred, int timeout_ms) {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<analysis::CheckedMutex> lock(mu_);
     if (timeout_ms < 0) {
       cv_.wait(lock, [&] { return pred(); });
       return true;
@@ -38,8 +39,8 @@ class PollHub {
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  analysis::CheckedMutex mu_{"kernel.pollhub"};
+  analysis::CheckedCondVar cv_{"kernel.pollhub.cv"};
   uint64_t generation_ = 0;
 };
 

@@ -1,11 +1,12 @@
 #include "src/kernel/process.h"
 
 #include <cerrno>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
 StatusOr<Fd> FdTable::Install(FilePtr file, bool cloexec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   if (fds_.size() >= max_fds_) {
     return Status::Error(EMFILE);
   }
@@ -21,7 +22,7 @@ StatusOr<Fd> FdTable::Install(FilePtr file, bool cloexec) {
 }
 
 StatusOr<FilePtr> FdTable::Get(Fd fd) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
     return Status::Error(EBADF);
@@ -30,7 +31,7 @@ StatusOr<FilePtr> FdTable::Get(Fd fd) const {
 }
 
 StatusOr<FilePtr> FdTable::Take(Fd fd) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
     return Status::Error(EBADF);
@@ -41,7 +42,7 @@ StatusOr<FilePtr> FdTable::Take(Fd fd) {
 }
 
 StatusOr<Fd> FdTable::Dup(Fd fd, Fd min_fd, bool cloexec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
     return Status::Error(EBADF);
@@ -58,7 +59,7 @@ StatusOr<Fd> FdTable::Dup(Fd fd, Fd min_fd, bool cloexec) {
 }
 
 Status FdTable::Dup2(Fd oldfd, Fd newfd) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = fds_.find(oldfd);
   if (it == fds_.end()) {
     return Status::Error(EBADF);
@@ -68,7 +69,7 @@ Status FdTable::Dup2(Fd oldfd, Fd newfd) {
 }
 
 bool FdTable::SetCloexec(Fd fd, bool cloexec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
     return false;
@@ -78,7 +79,7 @@ bool FdTable::SetCloexec(Fd fd, bool cloexec) {
 }
 
 std::vector<Fd> FdTable::AllFds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   std::vector<Fd> out;
   out.reserve(fds_.size());
   for (const auto& [fd, _] : fds_) {
@@ -90,7 +91,7 @@ std::vector<Fd> FdTable::AllFds() const {
 void FdTable::CloseAll() {
   std::map<Fd, Entry> doomed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     doomed.swap(fds_);
   }
   for (auto& [fd, entry] : doomed) {
@@ -125,7 +126,7 @@ Pid Process::PidInNs(const PidNamespace& ns) const {
 }
 
 ProcessPtr ProcessTable::Create(std::string comm) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   Pid pid = next_pid_++;
   auto proc = std::make_shared<Process>(pid, std::move(comm));
   procs_[pid] = proc;
@@ -133,18 +134,18 @@ ProcessPtr ProcessTable::Create(std::string comm) {
 }
 
 ProcessPtr ProcessTable::Get(Pid global_pid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = procs_.find(global_pid);
   return it == procs_.end() ? nullptr : it->second;
 }
 
 void ProcessTable::Remove(Pid global_pid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   procs_.erase(global_pid);
 }
 
 std::vector<ProcessPtr> ProcessTable::All() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   std::vector<ProcessPtr> out;
   out.reserve(procs_.size());
   for (const auto& [pid, proc] : procs_) {

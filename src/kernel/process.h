@@ -20,6 +20,7 @@
 #include "src/kernel/namespaces.h"
 #include "src/kernel/types.h"
 #include "src/util/status.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -48,7 +49,7 @@ class FdTable {
     FilePtr file;
     bool cloexec = false;
   };
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"kernel.fdtable"};
   std::map<Fd, Entry> fds_;
   uint64_t max_fds_;
 };
@@ -65,11 +66,11 @@ class Process : public std::enable_shared_from_this<Process> {
   Pid PidInNs(const PidNamespace& ns) const;
 
   std::string comm() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return comm_;
   }
   void set_comm(std::string c) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     comm_ = std::move(c);
   }
 
@@ -104,7 +105,7 @@ class Process : public std::enable_shared_from_this<Process> {
 
  private:
   Pid global_pid_;
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"kernel.process"};
   std::string comm_;
 };
 
@@ -117,7 +118,7 @@ class ProcessTable {
   std::vector<ProcessPtr> All() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"kernel.process_table"};
   std::map<Pid, ProcessPtr> procs_;
   Pid next_pid_ = 1;
 };

@@ -55,7 +55,7 @@ class ProcInode : public Inode {
     return attr;
   }
 
-  StatusOr<FilePtr> Open(int flags, const Credentials& cred) override {
+  StatusOr<FilePtr> Open(int flags, const Credentials& /*cred*/) override {
     if (WantsWrite(flags)) {
       return Status::Error(EACCES);
     }
@@ -171,7 +171,7 @@ class ProcTextInode : public ProcInode {
         pid_in_ns_(pid_in_ns),
         renderer_(std::move(renderer)) {}
 
-  StatusOr<FilePtr> Open(int flags, const Credentials& cred) override {
+  StatusOr<FilePtr> Open(int flags, const Credentials& /*cred*/) override {
     if (WantsWrite(flags)) {
       return Status::Error(EACCES);
     }
@@ -191,7 +191,7 @@ class ProcNsInode : public ProcInode {
   ProcNsInode(ProcFs* fs, std::shared_ptr<NamespaceBase> ns)
       : ProcInode(fs, fs->AllocIno(), kIfReg | 0444), ns_(std::move(ns)) {}
 
-  StatusOr<FilePtr> Open(int flags, const Credentials& cred) override {
+  StatusOr<FilePtr> Open(int flags, const Credentials& /*cred*/) override {
     return FilePtr(std::make_shared<NsFile>(ns_, flags));
   }
 
@@ -330,7 +330,7 @@ class ProcKernelTextInode : public ProcInode {
   ProcKernelTextInode(ProcFs* fs, Renderer renderer)
       : ProcInode(fs, fs->AllocIno(), kIfReg | 0444), renderer_(std::move(renderer)) {}
 
-  StatusOr<FilePtr> Open(int flags, const Credentials& cred) override {
+  StatusOr<FilePtr> Open(int flags, const Credentials& /*cred*/) override {
     if (WantsWrite(flags)) {
       return Status::Error(EACCES);
     }

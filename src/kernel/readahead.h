@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <mutex>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -45,7 +46,7 @@ class FileReadahead {
   // extra cache hop. Thread-safe (two threads sharing one fd serialize
   // here, nowhere else).
   uint32_t OnMiss(uint64_t page, uint32_t ceiling) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     ceiling = std::max<uint32_t>(1, ceiling);
     bool sequential =
         has_history_ ? page == async_mark_ : page == 0;
@@ -65,17 +66,17 @@ class FileReadahead {
 
   // Current window in pages (0 before the first miss). For tests/stats.
   uint32_t window_pages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return window_;
   }
   // Page whose miss continues the sequential ramp.
   uint64_t async_mark() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return async_mark_;
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"kernel.readahead"};
   bool has_history_ = false;   // prev_pos validity
   uint64_t async_mark_ = 0;    // prev_pos: page after the last window
   uint32_t window_ = 0;        // current window, pages

@@ -1,6 +1,7 @@
 #include "src/kernel/unix_socket.h"
 
 #include <cerrno>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -34,14 +35,14 @@ ConnectedSocketFile::~ConnectedSocketFile() {
   }
 }
 
-StatusOr<size_t> ConnectedSocketFile::Read(void* buf, size_t count, uint64_t offset) {
+StatusOr<size_t> ConnectedSocketFile::Read(void* buf, size_t count, uint64_t /*offset*/) {
   if (read_shutdown()) {
     return size_t{0};  // EOF after shutdown(SHUT_RD), pending data discarded
   }
   return in().Read(static_cast<char*>(buf), count, nonblocking());
 }
 
-StatusOr<size_t> ConnectedSocketFile::Write(const void* buf, size_t count, uint64_t offset) {
+StatusOr<size_t> ConnectedSocketFile::Write(const void* buf, size_t count, uint64_t /*offset*/) {
   if (write_shutdown()) {
     return Status::Error(EPIPE, "write after shutdown");
   }
@@ -71,7 +72,7 @@ Status ConnectedSocketFile::Shutdown(int how) {
   bool drop_rd = false;
   bool drop_wr = false;
   {
-    std::lock_guard<std::mutex> lock(shut_mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(shut_mu_);
     if ((how == kShutRd || how == kShutRdWr) && !shut_rd_) {
       shut_rd_ = true;
       drop_rd = true;
@@ -91,12 +92,12 @@ Status ConnectedSocketFile::Shutdown(int how) {
 }
 
 bool ConnectedSocketFile::read_shutdown() const {
-  std::lock_guard<std::mutex> lock(shut_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(shut_mu_);
   return shut_rd_;
 }
 
 bool ConnectedSocketFile::write_shutdown() const {
-  std::lock_guard<std::mutex> lock(shut_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(shut_mu_);
   return shut_wr_;
 }
 
@@ -130,7 +131,7 @@ StatusOr<FilePtr> ListeningSocket::Connect(int flags) {
   std::shared_ptr<SocketConnection> conn;
   FilePtr client;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     if (closed_) {
       return Status::Error(ECONNREFUSED);
     }
@@ -153,7 +154,7 @@ StatusOr<FilePtr> ListeningSocket::Connect(int flags) {
 }
 
 StatusOr<FilePtr> ListeningSocket::Accept(int flags, bool nonblock) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<analysis::CheckedMutex> lock(mu_);
   while (pending_.empty()) {
     if (closed_) {
       return Status::Error(EINVAL, "socket shut down");
@@ -178,7 +179,7 @@ StatusOr<FilePtr> ListeningSocket::Accept(int flags, bool nonblock) {
 void ListeningSocket::Shutdown() {
   std::deque<std::shared_ptr<SocketConnection>> orphans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     closed_ = true;
     orphans.swap(pending_);
   }
@@ -192,7 +193,7 @@ void ListeningSocket::Shutdown() {
 }
 
 uint32_t ListeningSocket::PollEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   uint32_t ev = 0;
   if (!pending_.empty()) {
     ev |= kPollIn;

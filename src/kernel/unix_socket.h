@@ -18,6 +18,7 @@
 #include "src/kernel/pipe.h"
 #include "src/kernel/poll_hub.h"
 #include "src/util/status.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::kernel {
 
@@ -86,7 +87,7 @@ class ConnectedSocketFile : public FileDescription {
 
   std::shared_ptr<SocketConnection> conn_;
   Side side_;
-  mutable std::mutex shut_mu_;
+  mutable analysis::CheckedMutex shut_mu_{"kernel.unixsock.shut"};
   bool shut_rd_ = false;
   bool shut_wr_ = false;
 };
@@ -107,7 +108,7 @@ class ListeningSocket {
 
   void Shutdown();
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     return closed_;
   }
   uint32_t PollEvents() const;
@@ -115,8 +116,8 @@ class ListeningSocket {
  private:
   PollHub* hub_;
   int backlog_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable analysis::CheckedMutex mu_{"kernel.unixsock.buffer"};
+  analysis::CheckedCondVar cv_{"kernel.unixsock.buffer.cv"};
   std::deque<std::shared_ptr<SocketConnection>> pending_;
   bool closed_ = false;
 };

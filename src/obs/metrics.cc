@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::obs {
 
@@ -184,7 +185,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(std::string_view name,
                                                       const Labels& labels, Kind kind) {
   std::string key = SeriesKey(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = series_.find(key);
   if (it != series_.end()) {
     return it->second.kind == kind ? &it->second : nullptr;
@@ -224,7 +225,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name, Labels labels) {
 }
 
 uint64_t MetricsRegistry::AllocScope(std::string_view kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   auto it = scopes_.find(kind);
   if (it == scopes_.end()) {
     scopes_.emplace(std::string(kind), 1);
@@ -236,7 +237,8 @@ uint64_t MetricsRegistry::AllocScope(std::string_view kind) {
 uint64_t MetricsRegistry::AddCallback(std::string_view name, Labels labels,
                                       std::function<double()> fn) {
   std::string key = SeriesKey(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> cb_lock(callbacks_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   Entry& e = series_[key];
   e.kind = Kind::kCallback;
   e.name = std::string(name);
@@ -246,7 +248,10 @@ uint64_t MetricsRegistry::AddCallback(std::string_view name, Labels labels,
 }
 
 void MetricsRegistry::RemoveCallback(uint64_t handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // callbacks_mu_ makes removal a barrier: any exposition pass sampling
+  // this callback has finished before erase, so the caller may die.
+  std::lock_guard<analysis::CheckedMutex> cb_lock(callbacks_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   for (auto it = series_.begin(); it != series_.end(); ++it) {
     if (it->second.kind == Kind::kCallback && it->second.handle == handle) {
       series_.erase(it);
@@ -255,8 +260,31 @@ void MetricsRegistry::RemoveCallback(uint64_t handle) {
   }
 }
 
+std::map<std::string, double> MetricsRegistry::SampleCallbacksLocked() const {
+  // Copy the functions out under mu_, invoke them with mu_ released: the
+  // callbacks take subsystem locks that instrumented paths hold while
+  // recording here. Entries added or removed between the copy and the
+  // format pass render as 0 / skip for one exposition — benign.
+  std::vector<std::pair<std::string, std::function<double()>>> cbs;
+  {
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
+    for (const auto& [key, e] : series_) {
+      if (e.kind == Kind::kCallback && e.callback) {
+        cbs.emplace_back(key, e.callback);
+      }
+    }
+  }
+  std::map<std::string, double> values;
+  for (auto& [key, fn] : cbs) {
+    values[key] = fn();
+  }
+  return values;
+}
+
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> cb_lock(callbacks_mu_);
+  const std::map<std::string, double> cb_values = SampleCallbacksLocked();
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   // Group series by family so each family gets exactly one # TYPE line
   // (the map is sorted by full key, which can interleave families).
   std::map<std::string, std::vector<const std::map<std::string, Entry>::value_type*>> families;
@@ -286,10 +314,12 @@ std::string MetricsRegistry::RenderPrometheus() const {
           out += key;
           out += line;
           break;
-        case Kind::kCallback:
+        case Kind::kCallback: {
+          auto v = cb_values.find(key);
           out += key;
-          out += " " + FormatDouble(e.callback ? e.callback() : 0.0) + "\n";
+          out += " " + FormatDouble(v == cb_values.end() ? 0.0 : v->second) + "\n";
           break;
+        }
         case Kind::kHistogram: {
           Histogram::Snapshot snap = e.histogram->Snap();
           uint64_t cum = 0;
@@ -326,7 +356,9 @@ std::string MetricsRegistry::RenderPrometheus() const {
 }
 
 std::string MetricsRegistry::SnapshotJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::CheckedMutex> cb_lock(callbacks_mu_);
+  const std::map<std::string, double> cb_values = SampleCallbacksLocked();
+  std::lock_guard<analysis::CheckedMutex> lock(mu_);
   std::string counters, gauges, hists;
   char num[64];
   for (const auto& [key, e] : series_) {
@@ -343,11 +375,13 @@ std::string MetricsRegistry::SnapshotJson() const {
         std::snprintf(num, sizeof(num), ":%" PRId64, e.gauge->Value());
         gauges += num;
         break;
-      case Kind::kCallback:
+      case Kind::kCallback: {
+        auto v = cb_values.find(key);
         if (!gauges.empty()) gauges += ",";
         AppendJsonString(&gauges, key);
-        gauges += ":" + FormatDouble(e.callback ? e.callback() : 0.0);
+        gauges += ":" + FormatDouble(v == cb_values.end() ? 0.0 : v->second);
         break;
+      }
       case Kind::kHistogram: {
         Histogram::Snapshot snap = e.histogram->Snap();
         if (!hists.empty()) hists += ",";

@@ -36,6 +36,7 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::obs {
 
@@ -186,7 +187,20 @@ class MetricsRegistry {
 
   Entry* FindOrCreate(std::string_view name, const Labels& labels, Kind kind);
 
-  mutable std::mutex mu_;
+  // Samples every registered callback with mu_ NOT held. Callbacks call
+  // into their owning subsystems (dcache shards, page-cache stats, ...),
+  // and instrumented request paths record into this registry while holding
+  // those same subsystem locks — invoking a callback under mu_ closes a
+  // real deadlock cycle (render thread: mu_ -> shard; request thread:
+  // shard -> ... -> mu_). Requires callbacks_mu_ held, which serializes
+  // sampling against RemoveCallback so a removed callback is never
+  // mid-flight after removal returns.
+  std::map<std::string, double> SampleCallbacksLocked() const;
+
+  // Ordering: callbacks_mu_ before mu_, never the reverse. Held across
+  // callback registration/removal and across exposition-time sampling.
+  mutable analysis::CheckedMutex callbacks_mu_{"obs.metrics.callbacks"};
+  mutable analysis::CheckedMutex mu_{"obs.metrics.registry"};
   // Keyed by the full series string name{k="v",...}; std::map keeps the
   // exposition deterministic.
   std::map<std::string, Entry> series_;

@@ -1,6 +1,7 @@
 #include "src/obs/trace.h"
 
 #include <cstdlib>
+#include "src/analysis/lockdep.h"
 
 namespace cntr::obs {
 
@@ -83,7 +84,7 @@ RequestMetrics::OpInstruments* RequestMetrics::Ops(uint32_t opcode) {
   if (ops != nullptr) {
     return ops;
   }
-  std::lock_guard<std::mutex> lock(build_mu_);
+  std::lock_guard<analysis::CheckedMutex> lock(build_mu_);
   ops = ops_[idx].load(std::memory_order_acquire);
   if (ops != nullptr) {
     return ops;

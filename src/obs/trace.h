@@ -41,6 +41,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/util/logging.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::obs {
 
@@ -139,7 +140,7 @@ class RequestMetrics {
   std::atomic<uint64_t> slow_ns_;
   LogRateLimiter slow_limiter_;
 
-  std::mutex build_mu_;  // serializes lazy per-opcode construction
+  analysis::CheckedMutex build_mu_{"obs.trace.build"};  // serializes lazy per-opcode construction
   std::array<std::atomic<OpInstruments*>, kMaxOps> ops_{};
   std::vector<std::unique_ptr<OpInstruments>> owned_;
 };

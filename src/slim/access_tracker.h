@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/kernel/kernel.h"
+#include "src/analysis/lockdep.h"
 
 namespace cntr::slim {
 
@@ -29,20 +30,20 @@ class AccessTracker : public kernel::AccessListener {
   AccessTracker& operator=(const AccessTracker&) = delete;
 
   void OnAccess(const kernel::Process& proc, const std::string& path,
-                const kernel::InodeAttr& attr) override {
-    std::lock_guard<std::mutex> lock(mu_);
+                const kernel::InodeAttr& /*attr*/) override {
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     accessed_[proc.global_pid()].insert(path);
   }
 
   // Paths accessed by one process (container-relative, as resolved).
   std::set<std::string> AccessedBy(kernel::Pid pid) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     auto it = accessed_.find(pid);
     return it == accessed_.end() ? std::set<std::string>{} : it->second;
   }
 
   uint64_t total_events() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<analysis::CheckedMutex> lock(mu_);
     uint64_t n = 0;
     for (const auto& [pid, paths] : accessed_) {
       n += paths.size();
@@ -52,7 +53,7 @@ class AccessTracker : public kernel::AccessListener {
 
  private:
   kernel::Kernel* kernel_;
-  mutable std::mutex mu_;
+  mutable analysis::CheckedMutex mu_{"slim.access_tracker"};
   std::map<kernel::Pid, std::set<std::string>> accessed_;
 };
 

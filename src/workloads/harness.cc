@@ -19,7 +19,7 @@ kernel::Kernel::Config HarnessOptions::BenchKernelConfig() {
   return config;
 }
 
-StatusOr<std::unique_ptr<BenchSide>> BenchSide::MakeNative(const HarnessOptions& opts) {
+StatusOr<std::unique_ptr<BenchSide>> BenchSide::MakeNative(const HarnessOptions& /*opts*/) {
   auto side = std::unique_ptr<BenchSide>(new BenchSide());
   side->kernel_ = kernel::Kernel::Create(HarnessOptions::BenchKernelConfig());
   side->bench_proc_ = side->kernel_->Fork(*side->kernel_->init(), "bench");

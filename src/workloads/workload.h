@@ -73,7 +73,7 @@ class Workload {
   virtual ~Workload() = default;
   virtual std::string Name() const = 0;
   // Unmeasured preparation (building source trees, seeding files).
-  virtual Status Setup(WorkloadEnv& env) { return Status::Ok(); }
+  virtual Status Setup(WorkloadEnv& /*env*/) { return Status::Ok(); }
   // The measured phase.
   virtual StatusOr<WorkloadResult> Run(WorkloadEnv& env) = 0;
 };
